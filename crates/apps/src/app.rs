@@ -1,0 +1,332 @@
+//! The application abstraction: a graph algorithm "compiled" against the
+//! abstract GPU machine.
+
+use gpp_graph::{properties, Graph, NodeId};
+use gpp_sim::exec::Executor;
+use serde::{Deserialize, Serialize};
+
+/// The seven high-level problems of the study (paper Table VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Problem {
+    /// Breadth-first search.
+    Bfs,
+    /// Connected components.
+    Cc,
+    /// Maximal independent set.
+    Mis,
+    /// Minimum spanning tree (forest).
+    Mst,
+    /// PageRank.
+    Pr,
+    /// Single-source shortest paths.
+    Sssp,
+    /// Triangle counting.
+    Tri,
+}
+
+impl Problem {
+    /// All problems in Table VII order.
+    pub const ALL: [Problem; 7] = [
+        Problem::Bfs,
+        Problem::Cc,
+        Problem::Mis,
+        Problem::Mst,
+        Problem::Pr,
+        Problem::Sssp,
+        Problem::Tri,
+    ];
+}
+
+impl std::fmt::Display for Problem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Problem::Bfs => "BFS",
+            Problem::Cc => "CC",
+            Problem::Mis => "MIS",
+            Problem::Mst => "MST",
+            Problem::Pr => "PR",
+            Problem::Sssp => "SSSP",
+            Problem::Tri => "TRI",
+        })
+    }
+}
+
+/// The result computed by an application run, used for validation against
+/// sequential reference implementations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AppOutput {
+    /// BFS hop distances from node 0 (`u32::MAX` = unreachable).
+    Levels(Vec<u32>),
+    /// SSSP weighted distances from node 0 (`u64::MAX` = unreachable).
+    Distances(Vec<u64>),
+    /// Per-node component labels (minimum node id in the component).
+    Labels(Vec<NodeId>),
+    /// Per-node maximal-independent-set membership.
+    Independent(Vec<bool>),
+    /// Total weight of a minimum spanning forest.
+    MstWeight(u64),
+    /// PageRank scores (damping 0.85).
+    Ranks(Vec<f64>),
+    /// Number of triangles.
+    TriangleCount(u64),
+}
+
+/// A graph application expressed against the abstract machine.
+///
+/// `run` must compute a correct result (checked by [`validate`]) while
+/// reporting every kernel invocation — with per-node degrees and worklist
+/// pushes — to the executor. The executor is either a timing session or a
+/// trace recorder; the algorithm must not depend on which.
+pub trait Application: Send + Sync {
+    /// The application's name, e.g. `"bfs-wl"`.
+    fn name(&self) -> &'static str;
+    /// The high-level problem this application solves.
+    fn problem(&self) -> Problem;
+    /// Whether this is the fastest implementation strategy for its
+    /// problem (the `(*)` mark in paper Table VII).
+    fn fastest_variant(&self) -> bool {
+        false
+    }
+    /// Executes the algorithm on `graph`, reporting kernels to `exec`.
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput;
+}
+
+/// Validates an application's output against the sequential reference
+/// implementations in [`gpp_graph::properties`].
+///
+/// # Errors
+///
+/// Returns a description of the first discrepancy found.
+pub fn validate(graph: &Graph, output: &AppOutput) -> Result<(), String> {
+    match output {
+        AppOutput::Levels(levels) => {
+            let expect = properties::bfs_levels(graph, 0);
+            if levels != &expect {
+                return Err(first_diff("BFS level", levels, &expect));
+            }
+        }
+        AppOutput::Distances(dist) => {
+            let expect = properties::dijkstra(graph, 0);
+            if dist != &expect {
+                return Err(first_diff("SSSP distance", dist, &expect));
+            }
+        }
+        AppOutput::Labels(labels) => {
+            let expect = properties::connected_components(graph).labels;
+            if labels != &expect {
+                return Err(first_diff("CC label", labels, &expect));
+            }
+        }
+        AppOutput::Independent(in_set) => {
+            if in_set.len() != graph.num_nodes() {
+                return Err(format!(
+                    "MIS length {} does not match node count {}",
+                    in_set.len(),
+                    graph.num_nodes()
+                ));
+            }
+            for u in graph.nodes() {
+                if in_set[u as usize] {
+                    // Independence: no selected neighbour.
+                    if let Some(&v) = graph
+                        .neighbors(u)
+                        .iter()
+                        .find(|&&v| v != u && in_set[v as usize])
+                    {
+                        return Err(format!("MIS not independent: {u} and {v} both selected"));
+                    }
+                } else {
+                    // Maximality: some selected neighbour.
+                    let covered = graph.neighbors(u).iter().any(|&v| in_set[v as usize]);
+                    if !covered {
+                        return Err(format!("MIS not maximal: {u} and no neighbour selected"));
+                    }
+                }
+            }
+        }
+        AppOutput::MstWeight(w) => {
+            let expect = properties::mst_weight(graph);
+            if *w != expect {
+                return Err(format!("MST weight {w} != reference {expect}"));
+            }
+        }
+        AppOutput::Ranks(ranks) => {
+            if ranks.len() != graph.num_nodes() {
+                return Err(format!(
+                    "rank vector length {} does not match node count {}",
+                    ranks.len(),
+                    graph.num_nodes()
+                ));
+            }
+            let expect = reference_pagerank(graph);
+            for (v, (got, want)) in ranks.iter().zip(&expect).enumerate() {
+                if (got - want).abs() > 1e-3 {
+                    return Err(format!("PageRank of {v}: {got} vs reference {want}"));
+                }
+            }
+        }
+        AppOutput::TriangleCount(n) => {
+            let expect = properties::triangle_count(graph);
+            if *n != expect {
+                return Err(format!("triangle count {n} != reference {expect}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn first_diff<T: PartialEq + std::fmt::Debug>(what: &str, got: &[T], want: &[T]) -> String {
+    if got.len() != want.len() {
+        return format!(
+            "{what} vector length {} != reference {}",
+            got.len(),
+            want.len()
+        );
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if g != w {
+            return format!("{what} of node {i}: {g:?} vs reference {w:?}");
+        }
+    }
+    format!("{what}: vectors differ (no index found?)")
+}
+
+/// PageRank constants shared by the three PR variants and the reference.
+pub mod pagerank {
+    /// Damping factor.
+    pub const DAMPING: f64 = 0.85;
+    /// Convergence threshold on the L1 delta.
+    pub const TOLERANCE: f64 = 1e-6;
+    /// Iteration cap.
+    pub const MAX_ITERS: usize = 64;
+}
+
+/// Sequential reference PageRank (pull-style power iteration) used for
+/// validation. Nodes with no out-edges distribute their rank uniformly.
+pub fn reference_pagerank(graph: &Graph) -> Vec<f64> {
+    let n = graph.num_nodes();
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..pagerank::MAX_ITERS {
+        let dangling: f64 = graph
+            .nodes()
+            .filter(|&u| graph.degree(u) == 0)
+            .map(|u| rank[u as usize])
+            .sum();
+        let base = (1.0 - pagerank::DAMPING) / n as f64 + pagerank::DAMPING * dangling / n as f64;
+        for slot in next.iter_mut() {
+            *slot = base;
+        }
+        for u in graph.nodes() {
+            let d = graph.degree(u);
+            if d > 0 {
+                let share = pagerank::DAMPING * rank[u as usize] / d as f64;
+                for &v in graph.neighbors(u) {
+                    next[v as usize] += share;
+                }
+            }
+        }
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < pagerank::TOLERANCE {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_graph::generators;
+
+    #[test]
+    fn problem_display_names() {
+        assert_eq!(Problem::Bfs.to_string(), "BFS");
+        assert_eq!(Problem::Tri.to_string(), "TRI");
+        assert_eq!(Problem::ALL.len(), 7);
+    }
+
+    #[test]
+    fn validate_accepts_reference_outputs() {
+        let g = generators::rmat(7, 6, 3).unwrap();
+        let levels = gpp_graph::properties::bfs_levels(&g, 0);
+        assert_eq!(validate(&g, &AppOutput::Levels(levels)), Ok(()));
+        let dist = gpp_graph::properties::dijkstra(&g, 0);
+        assert_eq!(validate(&g, &AppOutput::Distances(dist)), Ok(()));
+        let labels = gpp_graph::properties::connected_components(&g).labels;
+        assert_eq!(validate(&g, &AppOutput::Labels(labels)), Ok(()));
+        let w = gpp_graph::properties::mst_weight(&g);
+        assert_eq!(validate(&g, &AppOutput::MstWeight(w)), Ok(()));
+        let t = gpp_graph::properties::triangle_count(&g);
+        assert_eq!(validate(&g, &AppOutput::TriangleCount(t)), Ok(()));
+        let ranks = reference_pagerank(&g);
+        assert_eq!(validate(&g, &AppOutput::Ranks(ranks)), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_levels() {
+        let g = generators::path(4).unwrap();
+        let mut levels = gpp_graph::properties::bfs_levels(&g, 0);
+        levels[2] = 7;
+        let err = validate(&g, &AppOutput::Levels(levels)).unwrap_err();
+        assert!(err.contains("node 2"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_dependent_mis() {
+        let g = generators::path(3).unwrap();
+        // 0-1-2: selecting 0 and 1 violates independence.
+        let err = validate(&g, &AppOutput::Independent(vec![true, true, false])).unwrap_err();
+        assert!(err.contains("independent"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_non_maximal_mis() {
+        let g = generators::path(3).unwrap();
+        // Only node 0 selected: node 2 has no selected neighbour.
+        let err = validate(&g, &AppOutput::Independent(vec![true, false, false])).unwrap_err();
+        assert!(err.contains("maximal"), "{err}");
+    }
+
+    #[test]
+    fn validate_accepts_valid_mis() {
+        let g = generators::path(3).unwrap();
+        assert_eq!(
+            validate(&g, &AppOutput::Independent(vec![true, false, true])),
+            Ok(())
+        );
+        assert_eq!(
+            validate(&g, &AppOutput::Independent(vec![false, true, false])),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_wrong_mst_weight() {
+        let g = generators::path(4).unwrap();
+        let err = validate(&g, &AppOutput::MstWeight(999)).unwrap_err();
+        assert!(err.contains("999"), "{err}");
+    }
+
+    #[test]
+    fn reference_pagerank_sums_to_one() {
+        for g in [
+            generators::star(20).unwrap(),
+            generators::rmat(7, 5, 1).unwrap(),
+            generators::path(9).unwrap(),
+        ] {
+            let ranks = reference_pagerank(&g);
+            let sum: f64 = ranks.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+            assert!(ranks.iter().all(|&r| r > 0.0));
+        }
+    }
+
+    #[test]
+    fn reference_pagerank_star_hub_dominates() {
+        let g = generators::star(11).unwrap();
+        let ranks = reference_pagerank(&g);
+        assert!(ranks[0] > 3.0 * ranks[1]);
+    }
+}

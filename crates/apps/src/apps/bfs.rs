@@ -1,0 +1,412 @@
+//! Breadth-first search: five implementation strategies from node 0.
+//!
+//! The variants differ in how they track the frontier — the axis along
+//! which the IrGL suite's BFS implementations differ — and therefore in
+//! how many kernels they launch, how much stale work they do, and how many
+//! worklist pushes they perform:
+//!
+//! - [`BfsTp`] — topology-driven: every node is scanned every level;
+//! - [`BfsWl`] — worklist with visited-CAS dedup (the fastest variant);
+//! - [`BfsAtm`] — duplicate-tolerant worklist, no per-edge CAS;
+//! - [`BfsHyb`] — hybrid: switches between topology and worklist kernels
+//!   by frontier density;
+//! - [`BfsDd`] — two-phase: duplicate-tolerant expansion plus an explicit
+//!   filter kernel per level.
+
+use gpp_graph::{Graph, NodeId};
+use gpp_sim::exec::{Executor, WorkItem};
+
+use crate::app::{AppOutput, Application, Problem};
+use crate::kernels;
+
+/// Level not yet assigned.
+const UNSET: u32 = u32::MAX;
+
+/// Topology-driven level-synchronous BFS: each level launches one kernel
+/// over *all* nodes; only nodes on the current level expand.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BfsTp;
+
+impl Application for BfsTp {
+    fn name(&self) -> &'static str {
+        "bfs-tp"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Bfs
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let profile = kernels::topology_scan("bfs_tp_level");
+        let n = graph.num_nodes();
+        let mut levels = vec![UNSET; n];
+        levels[0] = 0;
+        let mut current = 0u32;
+        loop {
+            let items: Vec<WorkItem> = graph
+                .nodes()
+                .map(|u| {
+                    let active = levels[u as usize] == current;
+                    WorkItem::new(if active { graph.degree(u) as u32 } else { 0 }, 0)
+                })
+                .collect();
+            exec.kernel(&profile, &items);
+            let mut changed = false;
+            for u in graph.nodes() {
+                if levels[u as usize] == current {
+                    for &v in graph.neighbors(u) {
+                        if levels[v as usize] == UNSET {
+                            levels[v as usize] = current + 1;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            current += 1;
+        }
+        AppOutput::Levels(levels)
+    }
+}
+
+/// Worklist BFS with visited-check dedup: the classic push-based variant
+/// and the fastest strategy of the suite.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BfsWl;
+
+impl Application for BfsWl {
+    fn name(&self) -> &'static str {
+        "bfs-wl"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Bfs
+    }
+
+    fn fastest_variant(&self) -> bool {
+        true
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let profile = kernels::frontier_push("bfs_wl_expand");
+        let n = graph.num_nodes();
+        let mut levels = vec![UNSET; n];
+        levels[0] = 0;
+        let mut frontier: Vec<NodeId> = vec![0];
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            let mut items = Vec::with_capacity(frontier.len());
+            let mut next = Vec::new();
+            for &u in &frontier {
+                let mut pushes = 0u32;
+                for &v in graph.neighbors(u) {
+                    if levels[v as usize] == UNSET {
+                        levels[v as usize] = level + 1;
+                        next.push(v);
+                        pushes += 1;
+                    }
+                }
+                items.push(WorkItem::new(graph.degree(u) as u32, pushes));
+            }
+            exec.kernel(&profile, &items);
+            frontier = next;
+            level += 1;
+        }
+        AppOutput::Levels(levels)
+    }
+}
+
+/// Duplicate-tolerant worklist BFS: no per-edge CAS, so a node discovered
+/// by several parents in the same level enters the worklist several times
+/// and all but the first pop are stale.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BfsAtm;
+
+impl Application for BfsAtm {
+    fn name(&self) -> &'static str {
+        "bfs-atm"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Bfs
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let profile = kernels::frontier_nodedup("bfs_atm_expand");
+        let n = graph.num_nodes();
+        let mut levels = vec![UNSET; n];
+        levels[0] = 0;
+        let mut expanded = vec![false; n];
+        let mut frontier: Vec<NodeId> = vec![0];
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            // Snapshot: all threads of a level see the same "visited" state.
+            let snapshot = levels.clone();
+            let mut items = Vec::with_capacity(frontier.len());
+            let mut next = Vec::new();
+            for &u in &frontier {
+                if expanded[u as usize] {
+                    // Stale duplicate: pays node overhead, expands nothing.
+                    items.push(WorkItem::new(0, 0));
+                    continue;
+                }
+                expanded[u as usize] = true;
+                let mut pushes = 0u32;
+                for &v in graph.neighbors(u) {
+                    if snapshot[v as usize] == UNSET {
+                        levels[v as usize] = level + 1;
+                        next.push(v);
+                        pushes += 1;
+                    }
+                }
+                items.push(WorkItem::new(graph.degree(u) as u32, pushes));
+            }
+            exec.kernel(&profile, &items);
+            frontier = next;
+            level += 1;
+        }
+        AppOutput::Levels(levels)
+    }
+}
+
+/// Hybrid BFS: a worklist kernel for sparse frontiers, a topology-driven
+/// kernel once the frontier is dense (more than 1/20 of the nodes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BfsHyb;
+
+impl Application for BfsHyb {
+    fn name(&self) -> &'static str {
+        "bfs-hyb"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Bfs
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let wl_profile = kernels::frontier_push("bfs_hyb_wl");
+        let tp_profile = kernels::topology_scan("bfs_hyb_tp");
+        let n = graph.num_nodes();
+        let mut levels = vec![UNSET; n];
+        levels[0] = 0;
+        let mut frontier: Vec<NodeId> = vec![0];
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            let dense = frontier.len() > n / 20;
+            let mut next = Vec::new();
+            if dense {
+                let in_frontier: Vec<bool> = {
+                    let mut f = vec![false; n];
+                    for &u in &frontier {
+                        f[u as usize] = true;
+                    }
+                    f
+                };
+                let items: Vec<WorkItem> = graph
+                    .nodes()
+                    .map(|u| {
+                        WorkItem::new(
+                            if in_frontier[u as usize] {
+                                graph.degree(u) as u32
+                            } else {
+                                0
+                            },
+                            0,
+                        )
+                    })
+                    .collect();
+                exec.kernel(&tp_profile, &items);
+                for &u in &frontier {
+                    for &v in graph.neighbors(u) {
+                        if levels[v as usize] == UNSET {
+                            levels[v as usize] = level + 1;
+                            next.push(v);
+                        }
+                    }
+                }
+            } else {
+                let mut items = Vec::with_capacity(frontier.len());
+                for &u in &frontier {
+                    let mut pushes = 0u32;
+                    for &v in graph.neighbors(u) {
+                        if levels[v as usize] == UNSET {
+                            levels[v as usize] = level + 1;
+                            next.push(v);
+                            pushes += 1;
+                        }
+                    }
+                    items.push(WorkItem::new(graph.degree(u) as u32, pushes));
+                }
+                exec.kernel(&wl_profile, &items);
+            }
+            frontier = next;
+            level += 1;
+        }
+        AppOutput::Levels(levels)
+    }
+}
+
+/// Two-phase BFS: duplicate-tolerant expansion followed by an explicit
+/// filter kernel per level that compacts the raw worklist. Twice the
+/// kernel launches of the other worklist variants.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BfsDd;
+
+impl Application for BfsDd {
+    fn name(&self) -> &'static str {
+        "bfs-dd"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Bfs
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let expand_profile = kernels::frontier_nodedup("bfs_dd_expand");
+        let filter_profile = kernels::filter("bfs_dd_filter");
+        let n = graph.num_nodes();
+        let mut levels = vec![UNSET; n];
+        levels[0] = 0;
+        let mut frontier: Vec<NodeId> = vec![0];
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            // Phase 1: expand, admitting duplicates into the raw list.
+            let snapshot = levels.clone();
+            let mut items = Vec::with_capacity(frontier.len());
+            let mut raw = Vec::new();
+            for &u in &frontier {
+                let mut pushes = 0u32;
+                for &v in graph.neighbors(u) {
+                    if snapshot[v as usize] == UNSET {
+                        levels[v as usize] = level + 1;
+                        raw.push(v);
+                        pushes += 1;
+                    }
+                }
+                items.push(WorkItem::new(graph.degree(u) as u32, pushes));
+            }
+            exec.kernel(&expand_profile, &items);
+
+            // Phase 2: filter the raw list down to unique nodes.
+            let mut seen = vec![false; n];
+            let mut next = Vec::with_capacity(raw.len());
+            let filter_items: Vec<WorkItem> = raw
+                .iter()
+                .map(|&v| {
+                    if seen[v as usize] {
+                        WorkItem::new(0, 0)
+                    } else {
+                        seen[v as usize] = true;
+                        next.push(v);
+                        WorkItem::new(0, 1)
+                    }
+                })
+                .collect();
+            exec.kernel(&filter_profile, &filter_items);
+
+            frontier = next;
+            level += 1;
+        }
+        AppOutput::Levels(levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::validate;
+    use gpp_graph::generators;
+    use gpp_sim::trace::Recorder;
+
+    fn check_on(graph: &Graph) {
+        let apps: [&dyn Application; 5] = [&BfsTp, &BfsWl, &BfsAtm, &BfsHyb, &BfsDd];
+        for app in apps {
+            let mut rec = Recorder::new();
+            let out = app.run(graph, &mut rec);
+            validate(graph, &out).unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+            assert!(rec.into_trace().num_kernels() > 0, "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn correct_on_path() {
+        check_on(&generators::path(20).unwrap());
+    }
+
+    #[test]
+    fn correct_on_star() {
+        check_on(&generators::star(50).unwrap());
+    }
+
+    #[test]
+    fn correct_on_road() {
+        check_on(&generators::road_grid(12, 12, 3).unwrap());
+    }
+
+    #[test]
+    fn correct_on_social() {
+        check_on(&generators::rmat(8, 6, 9).unwrap());
+    }
+
+    #[test]
+    fn correct_on_disconnected() {
+        let g = gpp_graph::GraphBuilder::new(6)
+            .undirected()
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(4, 5)
+            .build()
+            .unwrap();
+        check_on(&g);
+    }
+
+    #[test]
+    fn correct_on_single_node() {
+        check_on(&generators::path(1).unwrap());
+    }
+
+    #[test]
+    fn tp_launches_one_kernel_per_level() {
+        let g = generators::path(10).unwrap();
+        let mut rec = Recorder::new();
+        BfsTp.run(&g, &mut rec);
+        // 9 productive levels plus the fixed-point check.
+        assert_eq!(rec.into_trace().num_kernels(), 10);
+    }
+
+    #[test]
+    fn dd_launches_two_kernels_per_level() {
+        let g = generators::path(10).unwrap();
+        let mut rec_wl = Recorder::new();
+        BfsWl.run(&g, &mut rec_wl);
+        let wl_kernels = rec_wl.into_trace().num_kernels();
+        let mut rec_dd = Recorder::new();
+        BfsDd.run(&g, &mut rec_dd);
+        assert_eq!(rec_dd.into_trace().num_kernels(), 2 * wl_kernels);
+    }
+
+    #[test]
+    fn atm_admits_duplicates() {
+        // A 4-cycle: node 2 is discovered by both 1 and 3 in the same
+        // level, so the duplicate-tolerant variant records 2 extra pushes.
+        let g = generators::cycle(4).unwrap();
+        let mut rec_wl = Recorder::new();
+        BfsWl.run(&g, &mut rec_wl);
+        let wl_pushes: u64 = pushes(&rec_wl);
+        let mut rec_atm = Recorder::new();
+        BfsAtm.run(&g, &mut rec_atm);
+        assert!(pushes(&rec_atm) > wl_pushes);
+    }
+
+    fn pushes(rec: &Recorder) -> u64 {
+        rec.clone()
+            .into_trace()
+            .calls()
+            .iter()
+            .flat_map(|c| c.items.iter())
+            .map(|i| i.pushes as u64)
+            .sum()
+    }
+}

@@ -1,0 +1,205 @@
+//! Connected components: label propagation and Shiloach–Vishkin.
+
+use gpp_graph::{Graph, NodeId};
+use gpp_sim::exec::{Executor, WorkItem};
+
+use crate::app::{AppOutput, Application, Problem};
+use crate::kernels;
+
+/// Label propagation: every node starts with its own id; changed nodes
+/// push the minimum label to their neighbours until stable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CcLp;
+
+impl Application for CcLp {
+    fn name(&self) -> &'static str {
+        "cc-lp"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Cc
+    }
+
+    fn fastest_variant(&self) -> bool {
+        true
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let profile = kernels::topology_scan("cc_lp_propagate");
+        let n = graph.num_nodes();
+        let mut labels: Vec<NodeId> = (0..n as NodeId).collect();
+        let mut changed = vec![true; n];
+        loop {
+            let items: Vec<WorkItem> = graph
+                .nodes()
+                .map(|u| {
+                    WorkItem::new(
+                        if changed[u as usize] {
+                            graph.degree(u) as u32
+                        } else {
+                            0
+                        },
+                        0,
+                    )
+                })
+                .collect();
+            exec.kernel(&profile, &items);
+            // Level-synchronous: a GPU kernel reads the labels written by
+            // the *previous* iteration, so the minimum advances one hop
+            // per kernel.
+            let snapshot = labels.clone();
+            let mut next_changed = vec![false; n];
+            let mut any = false;
+            for u in graph.nodes() {
+                if !changed[u as usize] {
+                    continue;
+                }
+                let lu = snapshot[u as usize];
+                for &v in graph.neighbors(u) {
+                    if lu < labels[v as usize] {
+                        labels[v as usize] = lu;
+                        next_changed[v as usize] = true;
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            changed = next_changed;
+        }
+        AppOutput::Labels(labels)
+    }
+}
+
+/// Shiloach–Vishkin: alternate edge-hooking rounds (attach the larger
+/// root under the smaller) with pointer-jumping rounds that flatten the
+/// parent forest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CcSv;
+
+impl CcSv {
+    fn root(parent: &[NodeId], mut x: NodeId) -> NodeId {
+        while parent[x as usize] != x {
+            x = parent[x as usize];
+        }
+        x
+    }
+}
+
+impl Application for CcSv {
+    fn name(&self) -> &'static str {
+        "cc-sv"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Cc
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let hook_profile = kernels::min_edge_scan("cc_sv_hook");
+        let jump_profile = kernels::pointer_jump("cc_sv_jump");
+        let n = graph.num_nodes();
+        let mut parent: Vec<NodeId> = (0..n as NodeId).collect();
+        loop {
+            // Hook kernel: every node scans its edges, hooking roots.
+            let items: Vec<WorkItem> = graph
+                .nodes()
+                .map(|u| WorkItem::new(graph.degree(u) as u32, 0))
+                .collect();
+            exec.kernel(&hook_profile, &items);
+            let mut hooked = false;
+            for u in graph.nodes() {
+                for &v in graph.neighbors(u) {
+                    let (ru, rv) = (Self::root(&parent, u), Self::root(&parent, v));
+                    if ru != rv {
+                        let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                        parent[hi as usize] = lo;
+                        hooked = true;
+                    }
+                }
+            }
+            // Pointer-jumping kernels until the forest is flat.
+            loop {
+                let jump_items: Vec<WorkItem> = (0..n).map(|_| WorkItem::new(1, 0)).collect();
+                exec.kernel(&jump_profile, &jump_items);
+                let mut moved = false;
+                for v in 0..n {
+                    let p = parent[v];
+                    let gp = parent[p as usize];
+                    if p != gp {
+                        parent[v] = gp;
+                        moved = true;
+                    }
+                }
+                if !moved {
+                    break;
+                }
+            }
+            if !hooked {
+                break;
+            }
+        }
+        let labels: Vec<NodeId> = (0..n as NodeId).map(|v| Self::root(&parent, v)).collect();
+        AppOutput::Labels(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::validate;
+    use gpp_graph::generators;
+    use gpp_sim::trace::Recorder;
+
+    fn check_on(graph: &Graph) {
+        let apps: [&dyn Application; 2] = [&CcLp, &CcSv];
+        for app in apps {
+            let mut rec = Recorder::new();
+            let out = app.run(graph, &mut rec);
+            validate(graph, &out).unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        }
+    }
+
+    #[test]
+    fn correct_on_connected_graphs() {
+        check_on(&generators::road_grid(8, 8, 1).unwrap());
+        check_on(&generators::cycle(17).unwrap());
+    }
+
+    #[test]
+    fn correct_on_islands() {
+        let g = gpp_graph::GraphBuilder::new(9)
+            .undirected()
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(4, 5)
+            .edge(7, 8)
+            .build()
+            .unwrap();
+        check_on(&g);
+    }
+
+    #[test]
+    fn correct_on_social() {
+        check_on(&generators::rmat(8, 4, 11).unwrap());
+    }
+
+    #[test]
+    fn correct_on_edgeless() {
+        let g = gpp_graph::GraphBuilder::new(5).build().unwrap();
+        check_on(&g);
+    }
+
+    #[test]
+    fn sv_converges_in_logarithmic_hook_rounds() {
+        // A path is the worst case for label propagation (diameter
+        // rounds) but SV flattens it in O(log n) hook rounds.
+        let g = generators::path(256).unwrap();
+        let mut rec_lp = Recorder::new();
+        CcLp.run(&g, &mut rec_lp);
+        let mut rec_sv = Recorder::new();
+        CcSv.run(&g, &mut rec_sv);
+        assert!(rec_sv.into_trace().num_kernels() < rec_lp.into_trace().num_kernels() / 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! Maximal independent set: Luby-style random priorities and static
+//! degree-based priorities.
+
+use gpp_graph::rng::Rng64;
+use gpp_graph::{Graph, NodeId};
+use gpp_sim::exec::{Executor, WorkItem};
+
+use crate::app::{AppOutput, Application, Problem};
+use crate::kernels;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Undecided,
+    In,
+    Out,
+}
+
+/// Shared round structure: a selection kernel over undecided nodes, then
+/// an update kernel over the newly selected ones (pushing exclusions).
+fn mis_rounds<P>(
+    graph: &Graph,
+    exec: &mut dyn Executor,
+    select_name: &'static str,
+    update_name: &'static str,
+    priority: P,
+) -> Vec<bool>
+where
+    P: Fn(NodeId, u32) -> u64,
+{
+    let select_profile = kernels::priority_select(select_name);
+    let update_profile = kernels::topology_scan(update_name);
+    let n = graph.num_nodes();
+    let mut state = vec![State::Undecided; n];
+    let mut undecided: Vec<NodeId> = graph.nodes().collect();
+    let mut round = 0u32;
+    while !undecided.is_empty() {
+        // Selection: an undecided node joins the set if its priority beats
+        // every undecided neighbour's.
+        let items: Vec<WorkItem> = undecided
+            .iter()
+            .map(|&u| WorkItem::new(graph.degree(u) as u32, 0))
+            .collect();
+        exec.kernel(&select_profile, &items);
+        let mut selected = Vec::new();
+        for &u in &undecided {
+            let pu = priority(u, round);
+            let wins = graph.neighbors(u).iter().all(|&v| {
+                v == u
+                    || state[v as usize] != State::Undecided
+                    || pu > priority(v, round)
+                    || (pu == priority(v, round) && u < v)
+            });
+            if wins {
+                selected.push(u);
+            }
+        }
+        // Update: selected nodes join, their neighbours drop out.
+        let update_items: Vec<WorkItem> = selected
+            .iter()
+            .map(|&u| {
+                let excl = graph
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&v| v != u && state[v as usize] == State::Undecided)
+                    .count() as u32;
+                WorkItem::new(graph.degree(u) as u32, excl)
+            })
+            .collect();
+        exec.kernel(&update_profile, &update_items);
+        for &u in &selected {
+            state[u as usize] = State::In;
+            for &v in graph.neighbors(u) {
+                if v != u && state[v as usize] == State::Undecided {
+                    state[v as usize] = State::Out;
+                }
+            }
+        }
+        undecided.retain(|&u| state[u as usize] == State::Undecided);
+        round += 1;
+    }
+    state.into_iter().map(|s| s == State::In).collect()
+}
+
+/// Luby's algorithm: fresh random priorities every round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MisLuby;
+
+impl Application for MisLuby {
+    fn name(&self) -> &'static str {
+        "mis-luby"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Mis
+    }
+
+    fn fastest_variant(&self) -> bool {
+        true
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let in_set = mis_rounds(
+            graph,
+            exec,
+            "mis_luby_select",
+            "mis_luby_update",
+            |u, round| {
+                // Deterministic per-(node, round) hash, as a GPU kernel would
+                // derive from the node id and iteration counter.
+                Rng64::new(((round as u64) << 32) ^ u as u64).next_u64()
+            },
+        );
+        AppOutput::Independent(in_set)
+    }
+}
+
+/// Static degree-based priorities: low-degree nodes win (ties by id).
+/// Deterministic across rounds, typically needing more rounds than Luby.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MisPrio;
+
+impl Application for MisPrio {
+    fn name(&self) -> &'static str {
+        "mis-prio"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Mis
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let n = graph.num_nodes() as u64;
+        let in_set = mis_rounds(
+            graph,
+            exec,
+            "mis_prio_select",
+            "mis_prio_update",
+            move |u, _| {
+                // Lower degree => higher priority; encode as a big score.
+                let deg = graph.degree(u) as u64;
+                (n - deg) * n + (n - 1 - u as u64)
+            },
+        );
+        AppOutput::Independent(in_set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::validate;
+    use gpp_graph::generators;
+    use gpp_sim::trace::Recorder;
+
+    fn check_on(graph: &Graph) {
+        let apps: [&dyn Application; 2] = [&MisLuby, &MisPrio];
+        for app in apps {
+            let mut rec = Recorder::new();
+            let out = app.run(graph, &mut rec);
+            validate(graph, &out).unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        }
+    }
+
+    #[test]
+    fn valid_on_basic_shapes() {
+        check_on(&generators::path(20).unwrap());
+        check_on(&generators::cycle(9).unwrap());
+        check_on(&generators::star(30).unwrap());
+        check_on(&generators::complete(8).unwrap());
+    }
+
+    #[test]
+    fn valid_on_study_inputs() {
+        check_on(&generators::road_grid(9, 9, 2).unwrap());
+        check_on(&generators::rmat(8, 5, 4).unwrap());
+        check_on(&generators::uniform_random(300, 6.0, 6).unwrap());
+    }
+
+    #[test]
+    fn valid_on_edgeless_graph() {
+        let g = gpp_graph::GraphBuilder::new(4).build().unwrap();
+        let mut rec = Recorder::new();
+        match MisLuby.run(&g, &mut rec) {
+            AppOutput::Independent(s) => assert!(s.iter().all(|&b| b)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prio_on_star_picks_the_leaves() {
+        // Leaves have degree 1, hub degree n-1: leaves all win round one.
+        let g = generators::star(12).unwrap();
+        let mut rec = Recorder::new();
+        match MisPrio.run(&g, &mut rec) {
+            AppOutput::Independent(s) => {
+                assert!(!s[0]);
+                assert!(s[1..].iter().all(|&b| b));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complete_graph_selects_exactly_one() {
+        for app in [&MisLuby as &dyn Application, &MisPrio] {
+            let g = generators::complete(10).unwrap();
+            let mut rec = Recorder::new();
+            match app.run(&g, &mut rec) {
+                AppOutput::Independent(s) => {
+                    assert_eq!(s.iter().filter(|&&b| b).count(), 1, "{}", app.name());
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The 17 applications of the study, grouped by problem (paper Table VII).
+
+pub mod bfs;
+pub mod cc;
+pub mod mis;
+pub mod mst;
+pub mod pr;
+pub mod sssp;
+pub mod tri;
+
+use crate::app::Application;
+
+/// All 17 applications, grouped by problem in Table VII order:
+/// BFS ×5, CC ×2, MIS ×2, MST ×2, PR ×3, SSSP ×2, TRI ×1.
+pub fn all_applications() -> Vec<Box<dyn Application>> {
+    vec![
+        Box::new(bfs::BfsTp),
+        Box::new(bfs::BfsWl),
+        Box::new(bfs::BfsAtm),
+        Box::new(bfs::BfsHyb),
+        Box::new(bfs::BfsDd),
+        Box::new(cc::CcLp),
+        Box::new(cc::CcSv),
+        Box::new(mis::MisLuby),
+        Box::new(mis::MisPrio),
+        Box::new(mst::MstBor),
+        Box::new(mst::MstKs),
+        Box::new(pr::PrPull),
+        Box::new(pr::PrPush),
+        Box::new(pr::PrWl),
+        Box::new(sssp::SsspBf),
+        Box::new(sssp::SsspWl),
+        Box::new(tri::Tri),
+    ]
+}
+
+/// Looks up an application by name.
+pub fn application(name: &str) -> Option<Box<dyn Application>> {
+    all_applications().into_iter().find(|a| a.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::Problem;
+    use std::collections::HashMap;
+
+    #[test]
+    fn seventeen_applications() {
+        assert_eq!(all_applications().len(), 17);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let apps = all_applications();
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn problem_variant_counts_match_table_vii() {
+        let mut counts: HashMap<Problem, usize> = HashMap::new();
+        for app in all_applications() {
+            *counts.entry(app.problem()).or_default() += 1;
+        }
+        assert_eq!(counts[&Problem::Bfs], 5);
+        assert_eq!(counts[&Problem::Cc], 2);
+        assert_eq!(counts[&Problem::Mis], 2);
+        assert_eq!(counts[&Problem::Mst], 2);
+        assert_eq!(counts[&Problem::Pr], 3);
+        assert_eq!(counts[&Problem::Sssp], 2);
+        assert_eq!(counts[&Problem::Tri], 1);
+    }
+
+    #[test]
+    fn each_problem_has_exactly_one_fastest_variant() {
+        let mut fastest: HashMap<Problem, usize> = HashMap::new();
+        for app in all_applications() {
+            if app.fastest_variant() {
+                *fastest.entry(app.problem()).or_default() += 1;
+            }
+        }
+        for problem in Problem::ALL {
+            assert_eq!(fastest.get(&problem), Some(&1), "{problem}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(application("bfs-wl").is_some());
+        assert!(application("pr-wl").is_some());
+        assert!(application("nonesuch").is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! Minimum spanning forest: Borůvka contraction and a sorted
+//! (Kruskal-style) filter variant.
+
+use gpp_graph::properties::UnionFind;
+use gpp_graph::{Graph, NodeId};
+use gpp_sim::exec::{Executor, WorkItem};
+
+use crate::app::{AppOutput, Application, Problem};
+use crate::kernels;
+
+/// Ties are broken lexicographically on `(weight, u, v)` so every variant
+/// agrees on the forest weight regardless of scan order.
+fn edge_key(w: u32, u: NodeId, v: NodeId) -> (u32, NodeId, NodeId) {
+    if u < v {
+        (w, u, v)
+    } else {
+        (w, v, u)
+    }
+}
+
+/// Borůvka: rounds of per-component minimum-edge scans followed by
+/// hooking; the number of components at least halves each round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MstBor;
+
+impl Application for MstBor {
+    fn name(&self) -> &'static str {
+        "mst-bor"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Mst
+    }
+
+    fn fastest_variant(&self) -> bool {
+        true
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let scan_profile = kernels::min_edge_scan("mst_bor_minedge");
+        let hook_profile = kernels::pointer_jump("mst_bor_hook");
+        let n = graph.num_nodes();
+        let mut uf = UnionFind::new(n);
+        let mut total = 0u64;
+        loop {
+            // Minimum-edge scan: every node walks its edges, atomically
+            // proposing the lightest outgoing edge of its component.
+            let items: Vec<WorkItem> = graph
+                .nodes()
+                .map(|u| WorkItem::new(graph.degree(u) as u32, 0))
+                .collect();
+            exec.kernel(&scan_profile, &items);
+
+            let mut best: Vec<Option<(u32, NodeId, NodeId)>> = vec![None; n];
+            for u in graph.nodes() {
+                let ru = uf.find(u as usize);
+                for (v, w) in graph.out_edges(u) {
+                    if uf.find(v as usize) == ru {
+                        continue;
+                    }
+                    let key = edge_key(w, u, v);
+                    if best[ru].is_none_or(|b| key < b) {
+                        best[ru] = Some(key);
+                    }
+                }
+            }
+
+            // Hook kernel: one work item per component root; a push per
+            // successful merge.
+            let proposals: Vec<(usize, (u32, NodeId, NodeId))> = best
+                .iter()
+                .enumerate()
+                .filter_map(|(root, b)| b.map(|key| (root, key)))
+                .collect();
+            let hook_items: Vec<WorkItem> = proposals.iter().map(|_| WorkItem::new(1, 1)).collect();
+            exec.kernel(&hook_profile, &hook_items);
+
+            let mut merged = false;
+            for &(_, (w, u, v)) in &proposals {
+                if uf.union(u as usize, v as usize) {
+                    total += w as u64;
+                    merged = true;
+                }
+            }
+            if !merged {
+                break;
+            }
+        }
+        AppOutput::MstWeight(total)
+    }
+}
+
+/// Kruskal-style filter: a modelled device sort of the edge list (a fixed
+/// number of data-parallel passes) followed by ascending filter kernels
+/// that admit forest edges chunk by chunk.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MstKs;
+
+/// Edges admitted per filter kernel.
+const CHUNK: usize = 4_096;
+/// Modelled passes of the device sample sort.
+const SORT_PASSES: usize = 8;
+
+impl Application for MstKs {
+    fn name(&self) -> &'static str {
+        "mst-ks"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Mst
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let sort_profile = kernels::sort_pass("mst_ks_sort");
+        let filter_profile = kernels::filter("mst_ks_filter");
+        // Collect each undirected edge once.
+        let mut edges: Vec<(u32, NodeId, NodeId)> = Vec::new();
+        for u in graph.nodes() {
+            for (v, w) in graph.out_edges(u) {
+                if u < v || graph.is_directed() {
+                    edges.push(edge_key(w, u, v));
+                }
+            }
+        }
+        // Device sort: each pass streams the whole record array.
+        let sort_items: Vec<WorkItem> = edges.iter().map(|_| WorkItem::new(0, 0)).collect();
+        for _ in 0..SORT_PASSES {
+            exec.kernel(&sort_profile, &sort_items);
+        }
+        edges.sort_unstable();
+
+        let mut uf = UnionFind::new(graph.num_nodes());
+        let mut total = 0u64;
+        for chunk in edges.chunks(CHUNK.max(1)) {
+            let items: Vec<WorkItem> = chunk
+                .iter()
+                .map(|&(w, u, v)| {
+                    if uf.union(u as usize, v as usize) {
+                        total += w as u64;
+                        WorkItem::new(0, 1)
+                    } else {
+                        WorkItem::new(0, 0)
+                    }
+                })
+                .collect();
+            exec.kernel(&filter_profile, &items);
+        }
+        AppOutput::MstWeight(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::validate;
+    use gpp_graph::generators;
+    use gpp_sim::trace::Recorder;
+
+    fn check_on(graph: &Graph) {
+        let apps: [&dyn Application; 2] = [&MstBor, &MstKs];
+        for app in apps {
+            let mut rec = Recorder::new();
+            let out = app.run(graph, &mut rec);
+            validate(graph, &out).unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        }
+    }
+
+    #[test]
+    fn correct_on_weighted_inputs() {
+        check_on(&generators::road_grid(9, 9, 7).unwrap());
+        check_on(&generators::rmat(8, 5, 3).unwrap());
+        check_on(&generators::uniform_random(200, 5.0, 8).unwrap());
+    }
+
+    #[test]
+    fn correct_on_unweighted_graph() {
+        check_on(&generators::cycle(12).unwrap());
+    }
+
+    #[test]
+    fn correct_on_forest_input() {
+        let g = gpp_graph::GraphBuilder::new(6)
+            .undirected()
+            .weighted_edge(0, 1, 4)
+            .weighted_edge(2, 3, 9)
+            .build()
+            .unwrap();
+        check_on(&g);
+    }
+
+    #[test]
+    fn correct_on_edgeless_graph() {
+        let g = gpp_graph::GraphBuilder::new(3).build().unwrap();
+        for app in [&MstBor as &dyn Application, &MstKs] {
+            let mut rec = Recorder::new();
+            match app.run(&g, &mut rec) {
+                AppOutput::MstWeight(w) => assert_eq!(w, 0, "{}", app.name()),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn boruvka_rounds_are_logarithmic() {
+        let g = generators::path(128).unwrap();
+        let mut rec = Recorder::new();
+        MstBor.run(&g, &mut rec);
+        // Two kernels per round, components at least halve: <= ~2*log2(128)+2.
+        assert!(rec.into_trace().num_kernels() <= 18);
+    }
+
+    #[test]
+    fn kruskal_variant_always_pays_the_sort() {
+        let g = generators::path(4).unwrap();
+        let mut rec = Recorder::new();
+        MstKs.run(&g, &mut rec);
+        assert!(rec.into_trace().num_kernels() > SORT_PASSES);
+    }
+}

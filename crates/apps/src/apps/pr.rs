@@ -1,0 +1,268 @@
+//! PageRank (damping 0.85): pull, push, and residual-worklist variants.
+
+use gpp_graph::Graph;
+use gpp_sim::exec::{Executor, WorkItem};
+
+use crate::app::{pagerank, AppOutput, Application, Problem};
+use crate::kernels;
+
+/// Uniform share of dangling (out-degree 0) rank plus the teleport term.
+fn iteration_base(graph: &Graph, rank: &[f64]) -> f64 {
+    let n = graph.num_nodes() as f64;
+    let dangling: f64 = graph
+        .nodes()
+        .filter(|&u| graph.degree(u) == 0)
+        .map(|u| rank[u as usize])
+        .sum();
+    (1.0 - pagerank::DAMPING) / n + pagerank::DAMPING * dangling / n
+}
+
+/// Pull-style power iteration: each node gathers its neighbours' shares.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrPull;
+
+impl Application for PrPull {
+    fn name(&self) -> &'static str {
+        "pr-pull"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Pr
+    }
+
+    fn fastest_variant(&self) -> bool {
+        true
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let profile = kernels::rank_pull("pr_pull_gather");
+        let n = graph.num_nodes();
+        let mut rank = vec![1.0 / n as f64; n];
+        let mut next = vec![0.0f64; n];
+        for _ in 0..pagerank::MAX_ITERS {
+            let items: Vec<WorkItem> = graph
+                .nodes()
+                .map(|u| WorkItem::new(graph.degree(u) as u32, 0))
+                .collect();
+            exec.kernel(&profile, &items);
+            let base = iteration_base(graph, &rank);
+            for slot in next.iter_mut() {
+                *slot = base;
+            }
+            for u in graph.nodes() {
+                let d = graph.degree(u);
+                if d > 0 {
+                    let share = pagerank::DAMPING * rank[u as usize] / d as f64;
+                    for &v in graph.neighbors(u) {
+                        next[v as usize] += share;
+                    }
+                }
+            }
+            let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+            std::mem::swap(&mut rank, &mut next);
+            if delta < pagerank::TOLERANCE {
+                break;
+            }
+        }
+        AppOutput::Ranks(rank)
+    }
+}
+
+/// Push-style power iteration: each node scatters its share to its
+/// neighbours with atomic adds — the same arithmetic, different kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrPush;
+
+impl Application for PrPush {
+    fn name(&self) -> &'static str {
+        "pr-push"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Pr
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let profile = kernels::rank_push("pr_push_scatter");
+        let n = graph.num_nodes();
+        let mut rank = vec![1.0 / n as f64; n];
+        let mut next = vec![0.0f64; n];
+        for _ in 0..pagerank::MAX_ITERS {
+            let items: Vec<WorkItem> = graph
+                .nodes()
+                .map(|u| WorkItem::new(graph.degree(u) as u32, 0))
+                .collect();
+            exec.kernel(&profile, &items);
+            let base = iteration_base(graph, &rank);
+            for slot in next.iter_mut() {
+                *slot = base;
+            }
+            for u in graph.nodes() {
+                let d = graph.degree(u);
+                if d > 0 {
+                    let share = pagerank::DAMPING * rank[u as usize] / d as f64;
+                    for &v in graph.neighbors(u) {
+                        next[v as usize] += share;
+                    }
+                }
+            }
+            let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+            std::mem::swap(&mut rank, &mut next);
+            if delta < pagerank::TOLERANCE {
+                break;
+            }
+        }
+        AppOutput::Ranks(rank)
+    }
+}
+
+/// Residual-worklist PageRank: only nodes whose rank moved since their
+/// last propagation re-scatter; contributions of quiescent nodes are
+/// cached. Converges to the same fixed point with a shrinking frontier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrWl;
+
+/// A node re-propagates once its rank has drifted this far from the value
+/// it last propagated.
+const ACTIVATION: f64 = 1e-10;
+
+impl Application for PrWl {
+    fn name(&self) -> &'static str {
+        "pr-wl"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Pr
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let profile = kernels::rank_push("pr_wl_scatter");
+        let n = graph.num_nodes();
+        let mut rank = vec![1.0 / n as f64; n];
+        // Last value each node propagated; contrib[v] = sum of cached
+        // incoming shares.
+        let mut propagated = vec![0.0f64; n];
+        let mut contrib = vec![0.0f64; n];
+        for _ in 0..pagerank::MAX_ITERS {
+            // Active set: nodes whose rank drifted since last propagation.
+            let mut items = Vec::new();
+            let mut active_any = false;
+            for u in graph.nodes() {
+                let drift = (rank[u as usize] - propagated[u as usize]).abs();
+                if drift > ACTIVATION {
+                    active_any = true;
+                    let d = graph.degree(u);
+                    let mut activations = 0u32;
+                    if d > 0 {
+                        let new_share = pagerank::DAMPING * rank[u as usize] / d as f64;
+                        let old_share = pagerank::DAMPING * propagated[u as usize] / d as f64;
+                        let delta = new_share - old_share;
+                        for &v in graph.neighbors(u) {
+                            contrib[v as usize] += delta;
+                            activations += 1;
+                        }
+                    }
+                    propagated[u as usize] = rank[u as usize];
+                    items.push(WorkItem::new(graph.degree(u) as u32, activations.min(4)));
+                }
+            }
+            exec.kernel(&profile, &items);
+            if !active_any {
+                break;
+            }
+            let base = iteration_base(graph, &propagated);
+            let mut delta_sum = 0.0f64;
+            for v in 0..n {
+                let new_rank = base + contrib[v];
+                delta_sum += (new_rank - rank[v]).abs();
+                rank[v] = new_rank;
+            }
+            if delta_sum < pagerank::TOLERANCE {
+                break;
+            }
+        }
+        AppOutput::Ranks(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{reference_pagerank, validate};
+    use gpp_graph::generators;
+    use gpp_sim::trace::Recorder;
+
+    fn check_on(graph: &Graph) {
+        let apps: [&dyn Application; 3] = [&PrPull, &PrPush, &PrWl];
+        for app in apps {
+            let mut rec = Recorder::new();
+            let out = app.run(graph, &mut rec);
+            validate(graph, &out).unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        }
+    }
+
+    #[test]
+    fn correct_on_study_style_inputs() {
+        check_on(&generators::road_grid(8, 8, 3).unwrap());
+        check_on(&generators::rmat(8, 5, 5).unwrap());
+        check_on(&generators::uniform_random(256, 6.0, 7).unwrap());
+    }
+
+    #[test]
+    fn correct_with_dangling_nodes() {
+        // Node 3 is isolated: its rank must be redistributed uniformly.
+        let g = gpp_graph::GraphBuilder::new(4)
+            .undirected()
+            .edge(0, 1)
+            .edge(1, 2)
+            .build()
+            .unwrap();
+        check_on(&g);
+    }
+
+    #[test]
+    fn pull_matches_reference_exactly() {
+        let g = generators::rmat(7, 5, 2).unwrap();
+        let mut rec = Recorder::new();
+        match PrPull.run(&g, &mut rec) {
+            AppOutput::Ranks(r) => assert_eq!(r, reference_pagerank(&g)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worklist_variant_shrinks_its_frontier() {
+        let g = generators::uniform_random(500, 6.0, 9).unwrap();
+        let mut rec = Recorder::new();
+        PrWl.run(&g, &mut rec);
+        let trace = rec.into_trace();
+        let first = trace
+            .calls()
+            .first()
+            .expect("at least one kernel")
+            .items
+            .len();
+        let last = trace
+            .calls()
+            .last()
+            .expect("at least one kernel")
+            .items
+            .len();
+        assert!(last < first, "frontier should shrink: {first} -> {last}");
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = generators::star(40).unwrap();
+        for app in [&PrPull as &dyn Application, &PrPush, &PrWl] {
+            let mut rec = Recorder::new();
+            match app.run(&g, &mut rec) {
+                AppOutput::Ranks(r) => {
+                    let sum: f64 = r.iter().sum();
+                    assert!((sum - 1.0).abs() < 1e-6, "{}: sum {sum}", app.name());
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

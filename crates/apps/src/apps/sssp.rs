@@ -1,0 +1,199 @@
+//! Single-source shortest paths from node 0: two implementation
+//! strategies. (The priority-worklist SSSP of the IrGL suite is excluded,
+//! as in the paper, for its CUDA-only support library.)
+
+use gpp_graph::{Graph, NodeId};
+use gpp_sim::exec::{Executor, WorkItem};
+
+use crate::app::{AppOutput, Application, Problem};
+use crate::kernels;
+
+/// Topology-driven Bellman-Ford: every iteration scans all nodes; nodes
+/// whose distance changed in the previous iteration relax their edges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SsspBf;
+
+impl Application for SsspBf {
+    fn name(&self) -> &'static str {
+        "sssp-bf"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Sssp
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let profile = kernels::relax("sssp_bf_relax");
+        let n = graph.num_nodes();
+        let mut dist = vec![u64::MAX; n];
+        dist[0] = 0;
+        let mut changed = vec![false; n];
+        changed[0] = true;
+        loop {
+            let items: Vec<WorkItem> = graph
+                .nodes()
+                .map(|u| {
+                    WorkItem::new(
+                        if changed[u as usize] {
+                            graph.degree(u) as u32
+                        } else {
+                            0
+                        },
+                        0,
+                    )
+                })
+                .collect();
+            exec.kernel(&profile, &items);
+            // Level-synchronous: relax against the distances of the
+            // previous iteration, as the GPU kernel would.
+            let snapshot = dist.clone();
+            let mut next_changed = vec![false; n];
+            let mut any = false;
+            for u in graph.nodes() {
+                if !changed[u as usize] {
+                    continue;
+                }
+                let du = snapshot[u as usize];
+                for (v, w) in graph.out_edges(u) {
+                    let nd = du + w as u64;
+                    if nd < dist[v as usize] {
+                        dist[v as usize] = nd;
+                        next_changed[v as usize] = true;
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            changed = next_changed;
+        }
+        AppOutput::Distances(dist)
+    }
+}
+
+/// Worklist SSSP: only nodes whose distance improved are queued for the
+/// next relaxation round (deduplicated per round).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SsspWl;
+
+impl Application for SsspWl {
+    fn name(&self) -> &'static str {
+        "sssp-wl"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Sssp
+    }
+
+    fn fastest_variant(&self) -> bool {
+        true
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let profile = kernels::relax("sssp_wl_relax");
+        let n = graph.num_nodes();
+        let mut dist = vec![u64::MAX; n];
+        dist[0] = 0;
+        let mut frontier: Vec<NodeId> = vec![0];
+        let mut in_next = vec![false; n];
+        while !frontier.is_empty() {
+            let mut items = Vec::with_capacity(frontier.len());
+            let mut next = Vec::new();
+            for &u in &frontier {
+                let du = dist[u as usize];
+                let mut pushes = 0u32;
+                for (v, w) in graph.out_edges(u) {
+                    let nd = du + w as u64;
+                    if nd < dist[v as usize] {
+                        dist[v as usize] = nd;
+                        if !in_next[v as usize] {
+                            in_next[v as usize] = true;
+                            next.push(v);
+                            pushes += 1;
+                        }
+                    }
+                }
+                items.push(WorkItem::new(graph.degree(u) as u32, pushes));
+            }
+            exec.kernel(&profile, &items);
+            for &v in &next {
+                in_next[v as usize] = false;
+            }
+            frontier = next;
+        }
+        AppOutput::Distances(dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::validate;
+    use gpp_graph::generators;
+    use gpp_sim::trace::Recorder;
+
+    fn check_on(graph: &Graph) {
+        let apps: [&dyn Application; 2] = [&SsspBf, &SsspWl];
+        for app in apps {
+            let mut rec = Recorder::new();
+            let out = app.run(graph, &mut rec);
+            validate(graph, &out).unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        }
+    }
+
+    #[test]
+    fn correct_on_weighted_road() {
+        check_on(&generators::road_grid(10, 10, 5).unwrap());
+    }
+
+    #[test]
+    fn correct_on_weighted_social() {
+        check_on(&generators::rmat(8, 6, 2).unwrap());
+    }
+
+    #[test]
+    fn correct_on_unweighted_path() {
+        check_on(&generators::path(15).unwrap());
+    }
+
+    #[test]
+    fn correct_on_disconnected() {
+        let g = gpp_graph::GraphBuilder::new(5)
+            .undirected()
+            .weighted_edge(0, 1, 3)
+            .weighted_edge(3, 4, 2)
+            .build()
+            .unwrap();
+        check_on(&g);
+    }
+
+    #[test]
+    fn takes_the_light_detour() {
+        // Heavy direct edge vs light two-hop path.
+        let g = gpp_graph::GraphBuilder::new(3)
+            .undirected()
+            .weighted_edge(0, 1, 100)
+            .weighted_edge(0, 2, 1)
+            .weighted_edge(2, 1, 1)
+            .build()
+            .unwrap();
+        for app in [&SsspBf as &dyn Application, &SsspWl] {
+            let mut rec = Recorder::new();
+            match app.run(&g, &mut rec) {
+                AppOutput::Distances(d) => assert_eq!(d, vec![0, 2, 1], "{}", app.name()),
+                other => panic!("unexpected output {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_variant_visits_fewer_items_on_road() {
+        let g = generators::road_grid(14, 14, 1).unwrap();
+        let mut rec_bf = Recorder::new();
+        SsspBf.run(&g, &mut rec_bf);
+        let mut rec_wl = Recorder::new();
+        SsspWl.run(&g, &mut rec_wl);
+        assert!(rec_wl.into_trace().num_items() < rec_bf.into_trace().num_items());
+    }
+}

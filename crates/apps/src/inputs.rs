@@ -1,0 +1,202 @@
+//! The study's input graphs (paper Table VIII): one per structural class,
+//! at three scales.
+
+use gpp_graph::properties::InputClass;
+use gpp_graph::{generators, Graph};
+
+/// How large to make the study inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StudyScale {
+    /// Full-size study (the default for benchmarks and EXPERIMENTS.md).
+    Full,
+    /// Reduced study for integration tests.
+    Small,
+    /// Minimal study for fast unit tests.
+    Tiny,
+}
+
+/// One named study input.
+#[derive(Debug, Clone)]
+pub struct StudyInput {
+    /// Input name used in the dataset (e.g. `"road"`).
+    pub name: String,
+    /// The structural class the input represents.
+    pub class: InputClass,
+    /// The graph itself.
+    pub graph: Graph,
+}
+
+/// Builds the three study inputs at the requested scale. Deterministic in
+/// `seed`.
+///
+/// - `road`: grid road network (the `usa.ny` analogue): high diameter,
+///   low uniform degree;
+/// - `social`: R-MAT power-law graph: low diameter, heavy-tailed degrees;
+/// - `random`: uniform random graph: low diameter, concentrated degrees.
+///
+/// # Panics
+///
+/// Panics only if the built-in generator parameters are invalid, which
+/// would be a bug.
+pub fn study_inputs(scale: StudyScale, seed: u64) -> Vec<StudyInput> {
+    let (road_side, rmat_scale, rmat_ef, rand_n, rand_deg) = scale_params(scale);
+    vec![
+        StudyInput {
+            name: "road".to_owned(),
+            class: InputClass::Road,
+            graph: generators::road_grid(road_side, road_side, seed)
+                .expect("road generator parameters are valid"),
+        },
+        StudyInput {
+            name: "social".to_owned(),
+            class: InputClass::Social,
+            graph: generators::rmat(rmat_scale, rmat_ef, seed)
+                .expect("rmat generator parameters are valid"),
+        },
+        StudyInput {
+            name: "random".to_owned(),
+            class: InputClass::Random,
+            graph: generators::uniform_random(rand_n, rand_deg, seed)
+                .expect("random generator parameters are valid"),
+        },
+    ]
+}
+
+fn scale_params(scale: StudyScale) -> (usize, u32, usize, usize, f64) {
+    match scale {
+        StudyScale::Full => (96, 12, 8, 8_192, 8.0),
+        StudyScale::Small => (24, 10, 8, 1_024, 8.0),
+        StudyScale::Tiny => (8, 7, 4, 128, 6.0),
+    }
+}
+
+/// An extended input set with *two* graphs per structural class, for
+/// studies that stress the input dimension beyond the paper's minimum:
+///
+/// - `road` (square grid) and `road.wide` (elongated grid: same class,
+///   different diameter/width mix);
+/// - `social` (R-MAT) and `social.ba` (Barabási–Albert: same power-law
+///   class, different generative model);
+/// - `random` and `random.dense` (double the average degree).
+///
+/// Deterministic in `seed`; the first graph of each class equals the
+/// corresponding [`study_inputs`] graph.
+pub fn study_inputs_extended(scale: StudyScale, seed: u64) -> Vec<StudyInput> {
+    let (road_side, rmat_scale, rmat_ef, rand_n, rand_deg) = scale_params(scale);
+    let mut inputs = study_inputs(scale, seed);
+    inputs.push(StudyInput {
+        name: "road.wide".to_owned(),
+        class: InputClass::Road,
+        graph: generators::road_grid(road_side * 2, (road_side / 2).max(2), seed ^ 0x77)
+            .expect("road generator parameters are valid"),
+    });
+    inputs.push(StudyInput {
+        name: "social.ba".to_owned(),
+        class: InputClass::Social,
+        graph: generators::barabasi_albert(1 << rmat_scale, (rmat_ef / 2).max(2), seed ^ 0x77)
+            .expect("barabasi-albert generator parameters are valid"),
+    });
+    inputs.push(StudyInput {
+        name: "random.dense".to_owned(),
+        class: InputClass::Random,
+        graph: generators::uniform_random(rand_n, rand_deg * 2.0, seed ^ 0x77)
+            .expect("random generator parameters are valid"),
+    });
+    inputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_graph::properties;
+
+    #[test]
+    fn three_inputs_with_expected_names() {
+        let inputs = study_inputs(StudyScale::Tiny, 1);
+        let names: Vec<&str> = inputs.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, ["road", "social", "random"]);
+    }
+
+    #[test]
+    fn full_inputs_classify_as_declared() {
+        for input in study_inputs(StudyScale::Full, 42) {
+            assert_eq!(
+                properties::classify(&input.graph),
+                input.class,
+                "{}",
+                input.name
+            );
+        }
+    }
+
+    #[test]
+    fn small_inputs_are_smaller_than_full() {
+        let full = study_inputs(StudyScale::Full, 1);
+        let small = study_inputs(StudyScale::Small, 1);
+        for (f, s) in full.iter().zip(&small) {
+            assert!(s.graph.num_nodes() < f.graph.num_nodes(), "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn inputs_are_deterministic_in_seed() {
+        let a = study_inputs(StudyScale::Small, 7);
+        let b = study_inputs(StudyScale::Small, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.graph, y.graph);
+        }
+        let c = study_inputs(StudyScale::Small, 8);
+        assert_ne!(a[1].graph, c[1].graph);
+    }
+
+    #[test]
+    fn extended_inputs_double_each_class() {
+        let inputs = study_inputs_extended(StudyScale::Tiny, 3);
+        assert_eq!(inputs.len(), 6);
+        for class in [InputClass::Road, InputClass::Social, InputClass::Random] {
+            assert_eq!(
+                inputs.iter().filter(|i| i.class == class).count(),
+                2,
+                "{class}"
+            );
+        }
+        // The base three are unchanged.
+        let base = study_inputs(StudyScale::Tiny, 3);
+        for (a, b) in base.iter().zip(&inputs) {
+            assert_eq!(a.graph, b.graph);
+        }
+        // Names are unique.
+        let mut names: Vec<&str> = inputs.iter().map(|i| i.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn extended_inputs_classify_as_declared_at_small_scale() {
+        for input in study_inputs_extended(StudyScale::Small, 42) {
+            assert_eq!(
+                properties::classify(&input.graph),
+                input.class,
+                "{}",
+                input.name
+            );
+        }
+    }
+
+    #[test]
+    fn road_has_much_higher_diameter_than_social() {
+        let inputs = study_inputs(StudyScale::Small, 3);
+        let road = properties::estimate_diameter(&inputs[0].graph);
+        let social = properties::estimate_diameter(&inputs[1].graph);
+        assert!(road > 3 * social, "road {road} vs social {social}");
+    }
+
+    #[test]
+    fn social_has_much_higher_degree_skew() {
+        let inputs = study_inputs(StudyScale::Small, 3);
+        let social = properties::degree_stats(&inputs[1].graph);
+        let random = properties::degree_stats(&inputs[2].graph);
+        assert!(social.cv > 2.0 * random.cv);
+    }
+}

@@ -1,0 +1,231 @@
+//! Kernel operation-count profiles shared by the applications.
+//!
+//! Each profile states what one generated kernel does per edge and per
+//! node — the static knowledge the graph-DSL compiler has about its own
+//! output. The numbers are representative operation counts for the kernel
+//! archetypes of the IrGL suite; what matters to the study is that
+//! different kernels stress the chips differently (atomic-heavy vs
+//! memory-heavy vs ALU-heavy).
+
+use gpp_sim::exec::KernelProfile;
+
+/// Worklist frontier expansion with a visited-check CAS per edge
+/// (worklist BFS flavours).
+pub fn frontier_push(name: &str) -> KernelProfile {
+    KernelProfile {
+        name: name.to_owned(),
+        alu_per_edge: 4.0,
+        reads_per_edge: 1.2,
+        writes_per_edge: 0.3,
+        atomics_per_edge: 0.4,
+        alu_per_node: 6.0,
+        reads_per_node: 2.0,
+        writes_per_node: 1.0,
+        irregular: true,
+    }
+}
+
+/// Duplicate-tolerant frontier expansion: no per-edge CAS, cheaper edges.
+pub fn frontier_nodedup(name: &str) -> KernelProfile {
+    KernelProfile {
+        name: name.to_owned(),
+        alu_per_edge: 3.0,
+        reads_per_edge: 1.2,
+        writes_per_edge: 0.5,
+        atomics_per_edge: 0.0,
+        alu_per_node: 5.0,
+        reads_per_node: 2.0,
+        writes_per_node: 1.0,
+        irregular: true,
+    }
+}
+
+/// Topology-driven scan: every node checks activity, active ones walk
+/// their edges (level BFS, label propagation, Bellman-Ford).
+pub fn topology_scan(name: &str) -> KernelProfile {
+    KernelProfile {
+        name: name.to_owned(),
+        alu_per_edge: 3.0,
+        reads_per_edge: 1.0,
+        writes_per_edge: 0.3,
+        atomics_per_edge: 0.0,
+        alu_per_node: 4.0,
+        reads_per_node: 2.0,
+        writes_per_node: 0.5,
+        irregular: true,
+    }
+}
+
+/// Edge relaxation with an atomic-min per improving edge (SSSP).
+pub fn relax(name: &str) -> KernelProfile {
+    KernelProfile {
+        name: name.to_owned(),
+        alu_per_edge: 5.0,
+        reads_per_edge: 1.5,
+        writes_per_edge: 0.0,
+        atomics_per_edge: 1.0,
+        alu_per_node: 5.0,
+        reads_per_node: 2.0,
+        writes_per_node: 0.5,
+        irregular: true,
+    }
+}
+
+/// Pull-style rank accumulation (PR pull): read neighbour ranks, no
+/// atomics.
+pub fn rank_pull(name: &str) -> KernelProfile {
+    KernelProfile {
+        name: name.to_owned(),
+        alu_per_edge: 4.0,
+        reads_per_edge: 2.0,
+        writes_per_edge: 0.0,
+        atomics_per_edge: 0.0,
+        alu_per_node: 8.0,
+        reads_per_node: 2.0,
+        writes_per_node: 1.0,
+        irregular: true,
+    }
+}
+
+/// Push-style rank scatter (PR push): one atomic add per edge.
+pub fn rank_push(name: &str) -> KernelProfile {
+    KernelProfile {
+        name: name.to_owned(),
+        alu_per_edge: 3.0,
+        reads_per_edge: 0.5,
+        writes_per_edge: 0.0,
+        atomics_per_edge: 1.0,
+        alu_per_node: 6.0,
+        reads_per_node: 2.0,
+        writes_per_node: 1.0,
+        irregular: true,
+    }
+}
+
+/// Priority comparison against neighbours (MIS selection).
+pub fn priority_select(name: &str) -> KernelProfile {
+    KernelProfile {
+        name: name.to_owned(),
+        alu_per_edge: 4.0,
+        reads_per_edge: 1.0,
+        writes_per_edge: 0.0,
+        atomics_per_edge: 0.0,
+        alu_per_node: 7.0,
+        reads_per_node: 1.5,
+        writes_per_node: 1.0,
+        irregular: true,
+    }
+}
+
+/// Minimum outgoing-edge scan per component (Borůvka).
+pub fn min_edge_scan(name: &str) -> KernelProfile {
+    KernelProfile {
+        name: name.to_owned(),
+        alu_per_edge: 5.0,
+        reads_per_edge: 1.5,
+        writes_per_edge: 0.0,
+        atomics_per_edge: 0.5,
+        alu_per_node: 5.0,
+        reads_per_node: 2.0,
+        writes_per_node: 0.5,
+        irregular: true,
+    }
+}
+
+/// Node-local pointer jumping / hooking (no edge loop).
+pub fn pointer_jump(name: &str) -> KernelProfile {
+    KernelProfile {
+        name: name.to_owned(),
+        alu_per_edge: 2.0,
+        reads_per_edge: 1.0,
+        writes_per_edge: 0.5,
+        atomics_per_edge: 0.0,
+        alu_per_node: 4.0,
+        reads_per_node: 2.0,
+        writes_per_node: 1.0,
+        irregular: false,
+    }
+}
+
+/// One pass of a device merge/bitonic sort over keyed records.
+pub fn sort_pass(name: &str) -> KernelProfile {
+    KernelProfile {
+        name: name.to_owned(),
+        alu_per_edge: 0.0,
+        reads_per_edge: 0.0,
+        writes_per_edge: 0.0,
+        atomics_per_edge: 0.0,
+        alu_per_node: 6.0,
+        reads_per_node: 2.0,
+        writes_per_node: 2.0,
+        irregular: false,
+    }
+}
+
+/// Sorted-adjacency intersection (triangle counting); an "edge" here is
+/// one merge comparison.
+pub fn intersect(name: &str) -> KernelProfile {
+    KernelProfile {
+        name: name.to_owned(),
+        alu_per_edge: 1.5,
+        reads_per_edge: 0.2,
+        writes_per_edge: 0.0,
+        atomics_per_edge: 0.0,
+        alu_per_node: 5.0,
+        reads_per_node: 2.0,
+        writes_per_node: 0.5,
+        irregular: true,
+    }
+}
+
+/// Compaction/filter pass over a raw worklist (no edge loop, one push per
+/// surviving entry).
+pub fn filter(name: &str) -> KernelProfile {
+    KernelProfile {
+        name: name.to_owned(),
+        alu_per_edge: 0.0,
+        reads_per_edge: 0.0,
+        writes_per_edge: 0.0,
+        atomics_per_edge: 0.0,
+        alu_per_node: 4.0,
+        reads_per_node: 1.5,
+        writes_per_node: 0.5,
+        irregular: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_sim::chip::ChipProfile;
+
+    #[test]
+    fn all_profiles_have_positive_costs() {
+        let chip = ChipProfile::r9();
+        for p in [
+            frontier_push("a"),
+            frontier_nodedup("b"),
+            topology_scan("c"),
+            relax("d"),
+            rank_pull("e"),
+            rank_push("f"),
+            priority_select("g"),
+            min_edge_scan("h"),
+            pointer_jump("i"),
+            sort_pass("j"),
+            intersect("k"),
+            filter("l"),
+        ] {
+            assert!(p.node_cost(&chip) > 0.0, "{}", p.name);
+            assert!(p.edge_cost(&chip, 1.0) >= 0.0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn atomic_heavy_kernels_cost_more_per_edge_on_atomic_weak_chips() {
+        let chip = ChipProfile::mali();
+        let plain = topology_scan("t").edge_cost(&chip, 1.0);
+        let atomic = relax("r").edge_cost(&chip, 1.0);
+        assert!(atomic > plain);
+    }
+}

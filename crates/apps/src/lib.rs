@@ -1,0 +1,52 @@
+//! The 17 graph applications of the study, "compiled" against the
+//! abstract GPU machine, plus the experiment grid that collects the
+//! paper's timing dataset.
+//!
+//! - [`app`] — the [`app::Application`] trait, output
+//!   validation against sequential references, and the seven problems of
+//!   paper Table VII;
+//! - [`apps`] — the implementations: BFS ×5, CC ×2, MIS ×2, MST ×2,
+//!   PR ×3, SSSP ×2, TRI ×1;
+//! - [`kernels`] — the kernel operation-count profiles the applications
+//!   are compiled to;
+//! - [`inputs`] — the three study inputs (road / social / random);
+//! - [`study`] — the grid runner producing the [`study::Dataset`]
+//!   consumed by `gpp-core`'s portability analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use gpp_apps::apps::bfs::BfsWl;
+//! use gpp_apps::app::Application;
+//! use gpp_graph::generators;
+//! use gpp_sim::chip::ChipProfile;
+//! use gpp_sim::exec::Machine;
+//! use gpp_sim::opts::{OptConfig, Optimization};
+//!
+//! let graph = generators::rmat(8, 8, 1)?;
+//! let machine = Machine::new(ChipProfile::r9());
+//!
+//! let mut base = machine.session(OptConfig::baseline());
+//! BfsWl.run(&graph, &mut base);
+//!
+//! let mut tuned = machine.session(OptConfig::baseline().with(Optimization::Fg8));
+//! BfsWl.run(&graph, &mut tuned);
+//!
+//! // Load balancing pays off on the skewed social input.
+//! assert!(tuned.elapsed_ns() < base.elapsed_ns());
+//! # Ok::<(), gpp_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod apps;
+pub mod inputs;
+pub mod kernels;
+pub mod study;
+
+pub use app::{AppOutput, Application, Problem};
+pub use apps::{all_applications, application};
+pub use inputs::{study_inputs, study_inputs_extended, StudyInput, StudyScale};
+pub use study::{run_study, run_study_on, Cell, Dataset, StudyConfig};

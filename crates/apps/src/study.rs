@@ -1,0 +1,418 @@
+//! The experiment grid: run every application on every input, replay on
+//! every chip under every optimisation configuration, and collect the
+//! timing dataset the paper's analysis consumes.
+//!
+//! One *cell* of the dataset is an (application, input, chip) tuple with
+//! `runs` noisy timings for each of the 96 configurations — the paper's
+//! 306-tuple, ~88k-measurement dataset (Section VI-D), regenerated
+//! deterministically from a seed.
+
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use gpp_graph::rng::Rng64;
+use gpp_sim::chip::study_chips;
+use gpp_sim::exec::Machine;
+use gpp_sim::opts::{OptConfig, NUM_CONFIGS};
+use gpp_sim::trace::{CompiledTrace, Recorder};
+use serde::{Deserialize, Serialize};
+
+use crate::app::validate;
+use crate::apps::all_applications;
+use crate::inputs::{study_inputs, study_inputs_extended, StudyScale};
+
+/// Parameters of a study run.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyConfig {
+    /// Input scale.
+    pub scale: StudyScale,
+    /// Seed for input generation and timing noise.
+    pub seed: u64,
+    /// Repetitions per (cell, configuration) — the paper used 3.
+    pub runs: usize,
+    /// Log-normal sigma of multiplicative timing noise.
+    pub noise_sigma: f64,
+    /// Whether to validate every application output against the
+    /// sequential references while collecting (recommended).
+    pub validate: bool,
+    /// Use the extended input set (two graphs per class) instead of the
+    /// paper's one-per-class minimum.
+    pub extended_inputs: bool,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            scale: StudyScale::Full,
+            seed: 0x9a7e_2019,
+            runs: 3,
+            noise_sigma: 0.015,
+            validate: true,
+            extended_inputs: false,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A reduced configuration for integration tests.
+    pub fn small() -> Self {
+        StudyConfig {
+            scale: StudyScale::Small,
+            ..StudyConfig::default()
+        }
+    }
+
+    /// A minimal configuration for unit tests.
+    pub fn tiny() -> Self {
+        StudyConfig {
+            scale: StudyScale::Tiny,
+            ..StudyConfig::default()
+        }
+    }
+}
+
+/// One (application, input, chip) tuple's timings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Application name.
+    pub app: String,
+    /// Input name.
+    pub input: String,
+    /// Chip name.
+    pub chip: String,
+    /// `times[config_index][run]`, nanoseconds;
+    /// `config_index` follows [`OptConfig::index`].
+    pub times: Vec<Vec<f64>>,
+}
+
+impl Cell {
+    /// The runs for one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is out of range.
+    pub fn runs(&self, config: OptConfig) -> &[f64] {
+        &self.times[config.index()]
+    }
+
+    /// Median runtime for one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is out of range.
+    pub fn median(&self, config: OptConfig) -> f64 {
+        let mut v = self.times[config.index()].clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        v[v.len() / 2]
+    }
+
+    /// The configuration with the smallest median runtime — the oracle
+    /// choice for this cell.
+    pub fn best_config(&self) -> OptConfig {
+        let best = (0..NUM_CONFIGS)
+            .min_by(|&a, &b| {
+                let (ca, cb) = (OptConfig::from_index(a), OptConfig::from_index(b));
+                self.median(ca)
+                    .partial_cmp(&self.median(cb))
+                    .expect("times are finite")
+            })
+            .expect("non-empty configuration space");
+        OptConfig::from_index(best)
+    }
+
+    /// Speedup of `config` over the baseline (medians; > 1 is faster).
+    pub fn speedup(&self, config: OptConfig) -> f64 {
+        self.median(OptConfig::baseline()) / self.median(config)
+    }
+}
+
+/// The full study dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Application names, in registry order.
+    pub apps: Vec<String>,
+    /// Input names.
+    pub inputs: Vec<String>,
+    /// Chip names, in Table I order.
+    pub chips: Vec<String>,
+    /// Repetitions per (cell, configuration).
+    pub runs: usize,
+    /// One cell per (application, input, chip), iteration order
+    /// input-major, then application, then chip.
+    pub cells: Vec<Cell>,
+}
+
+impl Dataset {
+    /// Looks up one cell.
+    pub fn cell(&self, app: &str, input: &str, chip: &str) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.app == app && c.input == input && c.chip == chip)
+    }
+
+    /// All cells restricted by optional dimension filters.
+    pub fn select<'a>(
+        &'a self,
+        app: Option<&'a str>,
+        input: Option<&'a str>,
+        chip: Option<&'a str>,
+    ) -> impl Iterator<Item = &'a Cell> + 'a {
+        self.cells.iter().filter(move |c| {
+            app.is_none_or(|a| c.app == a)
+                && input.is_none_or(|i| c.input == i)
+                && chip.is_none_or(|h| c.chip == h)
+        })
+    }
+
+    /// Serialises the dataset as JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialisation failures.
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(BufWriter::new(file), self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Loads a dataset saved by [`Dataset::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialisation failures.
+    pub fn load_json(path: &Path) -> std::io::Result<Dataset> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(BufReader::new(file))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Runs the full grid and collects the dataset.
+///
+/// Each (application, input) pair is executed once against a trace
+/// recorder — validating the computed result against the sequential
+/// references when `config.validate` is set — and the trace is then
+/// replayed on every chip under all 96 configurations. Timing noise is
+/// log-normal, seeded per (cell, configuration, run), so the dataset is a
+/// pure function of `config`.
+///
+/// # Panics
+///
+/// Panics if an application produces an incorrect result (with
+/// `config.validate`), or if `config.runs` is zero.
+pub fn run_study(config: &StudyConfig) -> Dataset {
+    run_study_on(config, &study_chips())
+}
+
+/// [`run_study`] over a custom chip set — used by robustness experiments
+/// that perturb the chip models, and by studies of hypothetical devices.
+///
+/// # Panics
+///
+/// Panics as [`run_study`] does, or if `chips` is empty or contains
+/// duplicate names.
+pub fn run_study_on(config: &StudyConfig, chips: &[gpp_sim::chip::ChipProfile]) -> Dataset {
+    assert!(config.runs > 0, "need at least one run per measurement");
+    assert!(!chips.is_empty(), "need at least one chip");
+    {
+        let mut names: Vec<&str> = chips.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), chips.len(), "chip names must be unique");
+    }
+    let inputs = if config.extended_inputs {
+        study_inputs_extended(config.scale, config.seed)
+    } else {
+        study_inputs(config.scale, config.seed)
+    };
+    let apps = all_applications();
+    let chips = chips.to_vec();
+    let machines: Vec<Machine> = chips.iter().cloned().map(Machine::new).collect();
+
+    let mut cells = Vec::with_capacity(inputs.len() * apps.len() * chips.len());
+    for input in &inputs {
+        for app in &apps {
+            let mut recorder = Recorder::new();
+            let output = app.run(&input.graph, &mut recorder);
+            if config.validate {
+                if let Err(e) = validate(&input.graph, &output) {
+                    panic!("{} on {}: {e}", app.name(), input.name);
+                }
+            }
+            let mut compiled = CompiledTrace::new(recorder.into_trace());
+            for machine in &machines {
+                let mut times = Vec::with_capacity(NUM_CONFIGS);
+                for idx in 0..NUM_CONFIGS {
+                    let cfg = OptConfig::from_index(idx);
+                    let base = compiled.replay(machine, cfg).time_ns;
+                    let mut rng = noise_rng(
+                        config.seed,
+                        app.name(),
+                        &input.name,
+                        &machine.chip().name,
+                        idx,
+                    );
+                    let runs: Vec<f64> = (0..config.runs)
+                        .map(|_| base * rng.next_log_normal(0.0, config.noise_sigma))
+                        .collect();
+                    times.push(runs);
+                }
+                cells.push(Cell {
+                    app: app.name().to_owned(),
+                    input: input.name.clone(),
+                    chip: machine.chip().name.clone(),
+                    times,
+                });
+            }
+        }
+    }
+
+    Dataset {
+        apps: apps.iter().map(|a| a.name().to_owned()).collect(),
+        inputs: inputs.iter().map(|i| i.name.clone()).collect(),
+        chips: chips.iter().map(|c| c.name.clone()).collect(),
+        runs: config.runs,
+        cells,
+    }
+}
+
+/// Derives the per-(cell, configuration) noise stream.
+fn noise_rng(seed: u64, app: &str, input: &str, chip: &str, config_index: usize) -> Rng64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    for byte in app
+        .bytes()
+        .chain([0])
+        .chain(input.bytes())
+        .chain([0])
+        .chain(chip.bytes())
+        .chain([0])
+        .chain((config_index as u32).to_le_bytes())
+    {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    Rng64::new(seed ^ h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_sim::opts::Optimization;
+
+    fn tiny_dataset() -> Dataset {
+        run_study(&StudyConfig::tiny())
+    }
+
+    #[test]
+    fn tiny_study_has_full_grid() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.apps.len(), 17);
+        assert_eq!(ds.inputs.len(), 3);
+        assert_eq!(ds.chips.len(), 6);
+        assert_eq!(ds.cells.len(), 17 * 3 * 6);
+        for cell in &ds.cells {
+            assert_eq!(cell.times.len(), NUM_CONFIGS);
+            assert!(cell.times.iter().all(|r| r.len() == 3));
+            assert!(cell
+                .times
+                .iter()
+                .flatten()
+                .all(|&t| t.is_finite() && t > 0.0));
+        }
+    }
+
+    #[test]
+    fn extended_inputs_grow_the_grid() {
+        let ds = run_study(&StudyConfig {
+            extended_inputs: true,
+            ..StudyConfig::tiny()
+        });
+        assert_eq!(ds.inputs.len(), 6);
+        assert_eq!(ds.cells.len(), 17 * 6 * 6);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = run_study(&StudyConfig::tiny());
+        let b = run_study(&StudyConfig::tiny());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_changes_times_not_shape() {
+        let a = run_study(&StudyConfig::tiny());
+        let b = run_study(&StudyConfig {
+            seed: 1234,
+            ..StudyConfig::tiny()
+        });
+        assert_eq!(a.cells.len(), b.cells.len());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cell_lookup_and_median() {
+        let ds = tiny_dataset();
+        let cell = ds.cell("bfs-wl", "road", "MALI").expect("cell exists");
+        let m = cell.median(OptConfig::baseline());
+        let runs = cell.runs(OptConfig::baseline());
+        assert!(runs.contains(&m));
+        assert!(ds.cell("bfs-wl", "road", "NOPE").is_none());
+    }
+
+    #[test]
+    fn select_filters_dimensions() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.select(Some("tri"), None, None).count(), 3 * 6);
+        assert_eq!(ds.select(None, Some("road"), None).count(), 17 * 6);
+        assert_eq!(ds.select(None, None, Some("R9")).count(), 17 * 3);
+        assert_eq!(ds.select(Some("tri"), Some("road"), Some("R9")).count(), 1);
+    }
+
+    #[test]
+    fn noise_is_small_and_multiplicative() {
+        let ds = tiny_dataset();
+        for cell in ds.cells.iter().take(20) {
+            for runs in &cell.times {
+                let mean = runs.iter().sum::<f64>() / runs.len() as f64;
+                for &t in runs {
+                    assert!((t / mean - 1.0).abs() < 0.2, "noise too large: {runs:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oitergb_helps_mali_road_bfs() {
+        // A smoke test of the paper's central mechanism at tiny scale.
+        let ds = tiny_dataset();
+        let cell = ds.cell("bfs-wl", "road", "MALI").expect("cell exists");
+        let speedup = cell.speedup(OptConfig::baseline().with(Optimization::Oitergb));
+        assert!(
+            speedup > 1.5,
+            "oitergb speedup on MALI road bfs-wl: {speedup}"
+        );
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("gpp-study-test");
+        let path = dir.join("dataset.json");
+        ds.save_json(&path).unwrap();
+        let back = Dataset::load_json(&path).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        run_study(&StudyConfig {
+            runs: 0,
+            ..StudyConfig::tiny()
+        });
+    }
+}

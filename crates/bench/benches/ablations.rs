@@ -1,0 +1,149 @@
+//! Ablation benches for the design choices called out in DESIGN.md: each
+//! group sweeps one chip parameter or workload property and reports the
+//! modelled runtime under the optimisation the parameter interacts with,
+//! so the crossover points are visible in the Criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpp_sim::chip::{ChipProfile, Vendor};
+use gpp_sim::exec::{KernelProfile, Machine, Session, WorkItem};
+use gpp_sim::opts::{OptConfig, Optimization};
+use std::hint::black_box;
+
+fn pushy_items(n: usize) -> Vec<WorkItem> {
+    (0..n)
+        .map(|i| WorkItem::new(2, 2 + (i % 3) as u32))
+        .collect()
+}
+
+fn skewed_items(n: usize, hub: u32) -> Vec<WorkItem> {
+    (0..n)
+        .map(|i| WorkItem::new(if i % 256 == 0 { hub } else { 4 }, 0))
+        .collect()
+}
+
+/// coop-cv's value depends on atomic RMW throughput: sweep the cost and
+/// run the same worklist-heavy kernel with the optimisation on.
+fn ablation_coop_cv_vs_atomic_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_coopcv_atomic_cost");
+    let items = pushy_items(20_000);
+    let profile = KernelProfile::frontier("coopcv");
+    for &atomic in &[10.0f64, 40.0, 160.0] {
+        let chip = ChipProfile::builder("SWEEP", Vendor::Amd)
+            .subgroup_size(64)
+            .atomic_rmw_cost(atomic)
+            .build();
+        let machine = Machine::new(chip);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(atomic as u64),
+            &items,
+            |b, items| {
+                let cfg = OptConfig::baseline().with(Optimization::CoopCv);
+                b.iter(|| {
+                    let mut s = machine.session(cfg);
+                    Session::kernel(&mut s, &profile, black_box(items));
+                    s.finish().time_ns
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Nested-parallelism schemes vs degree skew: sweep the hub degree.
+fn ablation_np_vs_skew(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_np_skew");
+    let profile = KernelProfile::frontier("np");
+    let machine = Machine::new(ChipProfile::gtx1080());
+    for &hub in &[8u32, 256, 8_192] {
+        let items = skewed_items(20_000, hub);
+        for (name, cfg) in [
+            ("serial", OptConfig::baseline()),
+            ("fg8", OptConfig::baseline().with(Optimization::Fg8)),
+            (
+                "wg_sg_fg8",
+                OptConfig::baseline()
+                    .with(Optimization::Wg)
+                    .with(Optimization::Sg)
+                    .with(Optimization::Fg8),
+            ),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, hub), &items, |b, items| {
+                b.iter(|| {
+                    let mut s = machine.session(cfg);
+                    Session::kernel(&mut s, &profile, black_box(items));
+                    s.finish().time_ns
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Iteration outlining vs launch overhead: sweep the launch cost and run
+/// a 100-iteration fixed-point loop with and without oitergb.
+fn ablation_oitergb_vs_launch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_oitergb_launch");
+    group.sample_size(20);
+    let profile = KernelProfile::frontier("oitergb");
+    let items: Vec<WorkItem> = vec![WorkItem::new(4, 0); 256];
+    for &launch in &[2_000.0f64, 20_000.0, 80_000.0] {
+        let chip = ChipProfile::builder("SWEEP", Vendor::Intel)
+            .kernel_launch_cost(launch)
+            .host_copy_cost(launch / 2.0)
+            .build();
+        let machine = Machine::new(chip);
+        for (name, cfg) in [
+            ("host_loop", OptConfig::baseline()),
+            (
+                "outlined",
+                OptConfig::baseline().with(Optimization::Oitergb),
+            ),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, launch as u64), &items, |b, items| {
+                b.iter(|| {
+                    let mut s = machine.session(cfg);
+                    for _ in 0..100 {
+                        Session::kernel(&mut s, &profile, black_box(items));
+                    }
+                    s.finish().time_ns
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Workgroup size vs scheme overhead: 128 vs 256 with and without wg.
+fn ablation_sz256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sz256");
+    let profile = KernelProfile::frontier("sz");
+    let machine = Machine::new(ChipProfile::iris6100());
+    let items = skewed_items(30_000, 512);
+    for (name, cfg) in [
+        ("ws128", OptConfig::baseline().with(Optimization::Wg)),
+        (
+            "ws256",
+            OptConfig::baseline()
+                .with(Optimization::Wg)
+                .with(Optimization::Sz256),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &items, |b, items| {
+            b.iter(|| {
+                let mut s = machine.session(cfg);
+                Session::kernel(&mut s, &profile, black_box(items));
+                s.finish().time_ns
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = ablation_coop_cv_vs_atomic_cost, ablation_np_vs_skew, ablation_oitergb_vs_launch, ablation_sz256
+}
+criterion_main!(benches);

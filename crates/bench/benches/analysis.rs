@@ -1,0 +1,68 @@
+//! Criterion benches for the statistical core: the Mann–Whitney U test,
+//! Algorithm 1 over a study-scale dataset, and strategy construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpp_apps::study::{run_study, StudyConfig};
+use gpp_core::analysis::{opts_for_partition, DatasetStats};
+use gpp_core::stats::mann_whitney_u;
+use gpp_core::strategy::{build_assignment, Strategy};
+use gpp_graph::rng::Rng64;
+use std::hint::black_box;
+
+fn bench_mwu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mann_whitney_u");
+    for &n in &[10usize, 100, 1_000, 10_000] {
+        let mut rng = Rng64::new(42);
+        let a: Vec<f64> = (0..n).map(|_| 0.9 + 0.2 * rng.next_f64()).collect();
+        let b: Vec<f64> = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bench, (a, b)| {
+            bench.iter(|| mann_whitney_u(black_box(a), black_box(b)).expect("non-empty"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    // A tiny-scale study has the same shape (306 cells x 96 configs) as
+    // the full one; only the traces are smaller.
+    let ds = run_study(&StudyConfig::tiny());
+    let stats = DatasetStats::new(&ds);
+    let all: Vec<usize> = (0..stats.num_cells()).collect();
+    c.bench_function("opts_for_partition_306_cells", |b| {
+        b.iter(|| opts_for_partition(black_box(&stats), black_box(&all)));
+    });
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let ds = run_study(&StudyConfig::tiny());
+    let stats = DatasetStats::new(&ds);
+    let mut group = c.benchmark_group("build_assignment");
+    group.sample_size(20);
+    for s in [
+        Strategy::Global,
+        Strategy::Chip,
+        Strategy::AppInput,
+        Strategy::ChipAppInput,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |b, &s| {
+            b.iter(|| build_assignment(black_box(&stats), s));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stats_cache(c: &mut Criterion) {
+    let ds = run_study(&StudyConfig::tiny());
+    c.bench_function("dataset_stats_build", |b| {
+        b.iter(|| DatasetStats::new(black_box(&ds)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_mwu, bench_algorithm1, bench_strategies, bench_stats_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches for the applications: one representative per
+//! problem, executed end-to-end (algorithm + trace recording) and as a
+//! timed session on a study chip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpp_apps::app::Application;
+use gpp_apps::apps::{
+    bfs::BfsWl, cc::CcLp, mis::MisLuby, mst::MstBor, pr::PrPull, sssp::SsspWl, tri::Tri,
+};
+use gpp_graph::generators;
+use gpp_sim::chip::ChipProfile;
+use gpp_sim::exec::Machine;
+use gpp_sim::opts::OptConfig;
+use gpp_sim::trace::Recorder;
+use std::hint::black_box;
+
+fn apps() -> Vec<Box<dyn Application>> {
+    vec![
+        Box::new(BfsWl),
+        Box::new(CcLp),
+        Box::new(MisLuby),
+        Box::new(MstBor),
+        Box::new(PrPull),
+        Box::new(SsspWl),
+        Box::new(Tri),
+    ]
+}
+
+fn bench_record(c: &mut Criterion) {
+    let social = generators::rmat(10, 8, 3).expect("valid");
+    let mut group = c.benchmark_group("record_social_1k");
+    group.sample_size(20);
+    for app in apps() {
+        group.bench_with_input(BenchmarkId::from_parameter(app.name()), &social, |b, g| {
+            b.iter(|| {
+                let mut rec = Recorder::new();
+                app.run(black_box(g), &mut rec);
+                rec.into_trace().num_items()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_timed_session(c: &mut Criterion) {
+    let road = generators::road_grid(32, 32, 3).expect("valid");
+    let machine = Machine::new(ChipProfile::mali());
+    let mut group = c.benchmark_group("session_road_mali");
+    group.sample_size(20);
+    for app in apps() {
+        group.bench_with_input(BenchmarkId::from_parameter(app.name()), &road, |b, g| {
+            b.iter(|| {
+                let mut s = machine.session(OptConfig::baseline());
+                app.run(black_box(g), &mut s);
+                s.finish().time_ns
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_record, bench_timed_session
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for the graph substrate: generators and structural
+//! analyses at study scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpp_graph::{generators, properties};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(20);
+    group.bench_function("road_96x96", |b| {
+        b.iter(|| generators::road_grid(black_box(96), 96, 7).expect("valid"));
+    });
+    group.bench_function("rmat_scale12_ef8", |b| {
+        b.iter(|| generators::rmat(black_box(12), 8, 7).expect("valid"));
+    });
+    group.bench_function("uniform_8k_deg8", |b| {
+        b.iter(|| generators::uniform_random(black_box(8_192), 8.0, 7).expect("valid"));
+    });
+    group.finish();
+}
+
+fn bench_properties(c: &mut Criterion) {
+    let road = generators::road_grid(96, 96, 7).expect("valid");
+    let social = generators::rmat(12, 8, 7).expect("valid");
+    let mut group = c.benchmark_group("properties");
+    for (name, g) in [("road", &road), ("social", &social)] {
+        group.bench_with_input(BenchmarkId::new("bfs", name), g, |b, g| {
+            b.iter(|| properties::bfs_levels(black_box(g), 0));
+        });
+        group.bench_with_input(BenchmarkId::new("components", name), g, |b, g| {
+            b.iter(|| properties::connected_components(black_box(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("degree_stats", name), g, |b, g| {
+            b.iter(|| properties::degree_stats(black_box(g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_generators, bench_properties
+}
+criterion_main!(benches);

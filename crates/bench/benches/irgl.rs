@@ -1,0 +1,72 @@
+//! Criterion benches for the DSL compiler: parsing, planning, code
+//! generation, and interpretation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpp_graph::generators;
+use gpp_irgl::{codegen, interp, parser, printer, programs, transform};
+use gpp_sim::opts::{OptConfig, Optimization};
+use gpp_sim::trace::Recorder;
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let sources: Vec<(String, String)> = programs::all()
+        .into_iter()
+        .map(|p| (p.name.clone(), printer::to_source(&p)))
+        .collect();
+    let mut group = c.benchmark_group("irgl_parse");
+    for (name, src) in &sources {
+        group.bench_with_input(BenchmarkId::from_parameter(name), src, |b, src| {
+            b.iter(|| parser::parse(black_box(src)).expect("valid source"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let program = programs::sssp_bellman();
+    let cfg = OptConfig::from_opts([
+        Optimization::CoopCv,
+        Optimization::Wg,
+        Optimization::Sg,
+        Optimization::Fg8,
+        Optimization::Oitergb,
+    ]);
+    let plan = transform::plan(&program, cfg).expect("valid");
+    c.bench_function("irgl_codegen_full_config", |b| {
+        b.iter(|| codegen::opencl(black_box(&program), black_box(&plan)).expect("codegen"));
+    });
+}
+
+fn bench_interpret(c: &mut Criterion) {
+    let graph = generators::rmat(9, 6, 3).expect("valid");
+    let mut group = c.benchmark_group("irgl_interpret_social_512");
+    group.sample_size(20);
+    for program in [
+        programs::bfs_worklist(),
+        programs::cc_label_prop(),
+        programs::pr_pull(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(program.name.clone()),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let mut rec = Recorder::new();
+                    interp::execute(black_box(program), black_box(&graph), &mut rec)
+                        .expect("runs")
+                        .iterations
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_parse, bench_codegen, bench_interpret
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion benches for the execution engine: kernel evaluation
+//! throughput across frontier shapes, chips, and configurations, plus the
+//! aggregation and replay paths that make the full study cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpp_sim::chip::ChipProfile;
+use gpp_sim::exec::{CallAggregates, KernelProfile, Machine, Session, WorkItem};
+use gpp_sim::opts::{OptConfig, Optimization};
+use gpp_sim::trace::{CompiledTrace, Recorder};
+use gpp_sim::Executor;
+use std::hint::black_box;
+
+fn frontier(n: usize, skew: bool) -> Vec<WorkItem> {
+    (0..n)
+        .map(|i| {
+            let degree = if skew && i % 512 == 0 {
+                4_000
+            } else {
+                3 + (i % 13) as u32
+            };
+            WorkItem::new(degree, (i % 4 == 0) as u32)
+        })
+        .collect()
+}
+
+fn bench_kernel_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_eval");
+    let profile = KernelProfile::frontier("bench");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let items = frontier(n, true);
+        group.bench_with_input(BenchmarkId::new("baseline", n), &items, |b, items| {
+            let m = Machine::new(ChipProfile::r9());
+            b.iter(|| {
+                let mut s = m.session(OptConfig::baseline());
+                Session::kernel(&mut s, &profile, black_box(items));
+                s.finish().time_ns
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("all_schemes", n), &items, |b, items| {
+            let m = Machine::new(ChipProfile::r9());
+            let cfg = OptConfig::baseline()
+                .with(Optimization::Wg)
+                .with(Optimization::Sg)
+                .with(Optimization::Fg8)
+                .with(Optimization::CoopCv);
+            b.iter(|| {
+                let mut s = m.session(cfg);
+                Session::kernel(&mut s, &profile, black_box(items));
+                s.finish().time_ns
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let items = frontier(100_000, true);
+    c.bench_function("aggregate_100k_items", |b| {
+        b.iter(|| CallAggregates::from_items(black_box(&items), 128, 64));
+    });
+}
+
+fn bench_replay(c: &mut Criterion) {
+    // Record a 50-kernel trace once, then measure replaying it across a
+    // configuration — the hot loop of the study.
+    let profile = KernelProfile::frontier("bench");
+    let mut rec = Recorder::new();
+    for i in 0..50u32 {
+        let items = frontier(2_000 + (i as usize * 37) % 500, i % 2 == 0);
+        rec.kernel(&profile, &items);
+    }
+    let mut compiled = CompiledTrace::new(rec.into_trace());
+    let machine = Machine::new(ChipProfile::iris6100());
+    // Warm the aggregation cache so the bench measures pure replay.
+    compiled.replay(&machine, OptConfig::baseline());
+    c.bench_function("replay_50_kernels", |b| {
+        let mut idx = 0usize;
+        b.iter(|| {
+            idx = (idx + 1) % 96;
+            compiled
+                .replay(&machine, OptConfig::from_index(idx))
+                .time_ns
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_kernel_eval, bench_aggregation, bench_replay
+}
+criterion_main!(benches);

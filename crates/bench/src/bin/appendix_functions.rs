@@ -1,0 +1,56 @@
+//! The per-application and per-input optimisation functions — the
+//! companion tables to Table IX that the paper defers to the thesis
+//! ([29, Ch. 4]): what Algorithm 1 recommends when specialising on each
+//! of the other two single dimensions.
+
+use gpp_bench::load_or_run_study;
+use gpp_core::analysis::DatasetStats;
+use gpp_core::report::Table;
+use gpp_core::strategy::{build_assignment, Strategy};
+
+fn main() {
+    let ds = load_or_run_study();
+    let stats = DatasetStats::new(&ds);
+
+    println!("Per-application optimisation function (app strategy, Table V):\n");
+    let a = build_assignment(&stats, Strategy::App);
+    let mut t = Table::new(["Application", "Recommended configuration"]);
+    for (key, analysis) in a.partitions() {
+        t.row([
+            key.app.clone().unwrap_or_default(),
+            analysis.config.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    println!("Per-input optimisation function (input strategy, Table V):\n");
+    let a = build_assignment(&stats, Strategy::Input);
+    let mut t = Table::new(["Input", "Recommended configuration"]);
+    for (key, analysis) in a.partitions() {
+        t.row([
+            key.input.clone().unwrap_or_default(),
+            analysis.config.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    println!("Per-(application, input) functions (app_input strategy) for the fastest");
+    println!("variants:\n");
+    let a = build_assignment(&stats, Strategy::AppInput);
+    let mut t = Table::new(["Application", "Input", "Recommended configuration"]);
+    for (key, analysis) in a.partitions() {
+        let app = key.app.clone().unwrap_or_default();
+        if [
+            "bfs-wl", "cc-lp", "mis-luby", "mst-bor", "pr-pull", "sssp-wl", "tri",
+        ]
+        .contains(&app.as_str())
+        {
+            t.row([
+                app,
+                key.input.clone().unwrap_or_default(),
+                analysis.config.to_string(),
+            ]);
+        }
+    }
+    println!("{t}");
+}

@@ -1,0 +1,150 @@
+//! Developer diagnostic: run the full study and dump every analysis the
+//! paper reports, for calibration against the paper's qualitative
+//! findings.
+
+use gpp_apps::study::{run_study, StudyConfig};
+use gpp_core::analysis::{DatasetStats, Decision};
+use gpp_core::report::{ratio, Table};
+use gpp_core::strategy::{build_assignment, chip_function, Strategy};
+use gpp_core::{
+    evaluate_assignment, extremes, heatmap, max_geomean_config, per_chip_outcomes, ranking,
+    top_speedup_opts,
+};
+use gpp_sim::opts::Optimization;
+
+fn main() {
+    let t = std::time::Instant::now();
+    let ds = run_study(&StudyConfig::default());
+    eprintln!("study: {:?}", t.elapsed());
+    let stats = DatasetStats::new(&ds);
+
+    println!("== Table IX: chip function ==");
+    let mut t9 = Table::new(["opt", "M4000", "GTX1080", "HD5500", "IRIS", "R9", "MALI"]);
+    let cf = chip_function(&stats);
+    for opt in Optimization::ALL {
+        let mut row = vec![opt.name().to_string()];
+        for (_, analysis) in &cf {
+            let d = analysis.decision(opt);
+            let mark = match d.decision {
+                Decision::Enable => "Y",
+                Decision::Disable => "n",
+                Decision::Inconclusive => "?",
+            };
+            row.push(format!(
+                "{mark} {:.2} (p{:.3},n{})",
+                d.effect_size, d.p_value, d.samples
+            ));
+        }
+        t9.row(row);
+    }
+    println!("{t9}");
+
+    println!("== Fig 1: heatmap ==");
+    let hm = heatmap(&stats);
+    let mut t1 = Table::new({
+        let mut h = vec!["run\\opt".to_string()];
+        h.extend(hm.chips.iter().cloned());
+        h.push("row-gm".into());
+        h
+    });
+    for (i, chip) in hm.chips.iter().enumerate() {
+        let mut row = vec![chip.clone()];
+        row.extend(hm.matrix[i].iter().map(|v| format!("{v:.2}")));
+        row.push(format!("{:.2}", hm.row_geomeans[i]));
+        t1.row(row);
+    }
+    let mut last = vec!["col-gm".to_string()];
+    last.extend(hm.column_geomeans.iter().map(|v| format!("{v:.2}")));
+    last.push("".into());
+    t1.row(last);
+    println!("{t1}");
+
+    println!("== Table II: extremes ==");
+    let mut t2 = Table::new(["chip", "max speedup", "test", "max slowdown", "test"]);
+    for e in extremes(&stats) {
+        t2.row([
+            e.chip.clone(),
+            ratio(e.max_speedup),
+            format!("{} {}", e.speedup_test.0, e.speedup_test.1),
+            ratio(e.max_slowdown),
+            format!("{} {}", e.slowdown_test.0, e.slowdown_test.1),
+        ]);
+    }
+    println!("{t2}");
+
+    println!("== Table III: ranking (top5 / bottom5) ==");
+    let ranked = ranking(&stats);
+    let mut t3 = Table::new(["rank", "opts", "slowdowns", "speedups", "geomean"]);
+    for (i, r) in ranked.iter().enumerate() {
+        if i < 5 || i >= ranked.len() - 5 {
+            t3.row([
+                i.to_string(),
+                r.config.to_string(),
+                r.slowdowns.to_string(),
+                r.speedups.to_string(),
+                format!("{:.2}", r.geomean_speedup),
+            ]);
+        }
+    }
+    println!("{t3}");
+    let mg = max_geomean_config(&stats);
+    println!(
+        "max-geomean pick: {} (geomean {:.2}, slowdowns {})",
+        mg.config, mg.geomean_speedup, mg.slowdowns
+    );
+    println!("== Table IV for max-geomean pick ==");
+    let mut t4 = Table::new(["chip", "speedups", "slowdowns", "max speedup"]);
+    for r in per_chip_outcomes(&stats, mg.config) {
+        t4.row([
+            r.chip.clone(),
+            r.speedups.to_string(),
+            r.slowdowns.to_string(),
+            ratio(r.max_speedup),
+        ]);
+    }
+    println!("{t4}");
+
+    println!("== Fig 3/4: strategies ==");
+    let mut tf = Table::new([
+        "strategy",
+        "speedups",
+        "slowdowns",
+        "nochange",
+        "improvable",
+        "gm vs oracle",
+        "gm vs base",
+    ]);
+    for s in Strategy::ALL {
+        let a = build_assignment(&stats, s);
+        let e = evaluate_assignment(&stats, &a);
+        tf.row([
+            e.strategy.clone(),
+            e.speedups.to_string(),
+            e.slowdowns.to_string(),
+            e.no_change.to_string(),
+            e.improvable.to_string(),
+            format!("{:.3}", e.geomean_slowdown_vs_oracle),
+            format!("{:.3}", e.geomean_speedup_vs_baseline),
+        ]);
+    }
+    println!("{tf}");
+
+    println!("== Fig 2: top-speedup opt usage ==");
+    let mut t2b = Table::new([
+        "chip", "coop-cv", "wg", "sg", "fg", "fg8", "oitergb", "sz256",
+    ]);
+    for row in top_speedup_opts(&stats) {
+        let mut cells = vec![row.chip.clone()];
+        cells.extend(row.usage.iter().map(|(_, f)| format!("{:.0}%", f * 100.0)));
+        t2b.row(cells);
+    }
+    println!("{t2b}");
+
+    println!("== strategy configs ==");
+    for s in [Strategy::Global, Strategy::Chip] {
+        let a = build_assignment(&stats, s);
+        for (key, analysis) in a.partitions() {
+            println!("{s} {:?} -> {}", key.chip, analysis.config);
+        }
+    }
+}

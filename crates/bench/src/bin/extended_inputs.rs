@@ -1,0 +1,60 @@
+//! Input-dimension stress test: rerun the study with *two* graphs per
+//! structural class (six inputs) and check whether the per-chip analysis
+//! (Table IX) is stable under the richer input mix — the paper's point
+//! that inputs confound simplistic analyses, and that a sound analysis
+//! should not flip when more inputs of the same classes are added.
+
+use gpp_apps::study::{run_study, StudyConfig};
+use gpp_core::analysis::{DatasetStats, Decision};
+use gpp_core::report::Table;
+use gpp_core::strategy::chip_function;
+use gpp_sim::opts::Optimization;
+
+fn main() {
+    let base_ds = run_study(&StudyConfig::default());
+    let ext_ds = run_study(&StudyConfig {
+        extended_inputs: true,
+        ..StudyConfig::default()
+    });
+    println!(
+        "base study: {} inputs / {} cells; extended: {} inputs / {} cells\n",
+        base_ds.inputs.len(),
+        base_ds.cells.len(),
+        ext_ds.inputs.len(),
+        ext_ds.cells.len()
+    );
+
+    let base_stats = DatasetStats::new(&base_ds);
+    let ext_stats = DatasetStats::new(&ext_ds);
+    let base_fn = chip_function(&base_stats);
+    let ext_fn = chip_function(&ext_stats);
+
+    let mark = |d: Decision| match d {
+        Decision::Enable => "Y",
+        Decision::Disable => "n",
+        Decision::Inconclusive => "?",
+    };
+    let mut headers = vec!["Optimisation".to_string()];
+    headers.extend(base_fn.iter().map(|(c, _)| format!("{c} (3->6 inputs)")));
+    let mut t = Table::new(headers);
+    let (mut agree, mut total) = (0usize, 0usize);
+    for opt in Optimization::ALL {
+        let mut row = vec![opt.name().to_string()];
+        for ((_, b), (_, e)) in base_fn.iter().zip(&ext_fn) {
+            let (bd, ed) = (b.decision(opt).decision, e.decision(opt).decision);
+            total += 1;
+            if bd == ed {
+                agree += 1;
+            }
+            row.push(format!("{} -> {}", mark(bd), mark(ed)));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+    println!(
+        "verdict agreement under the doubled input set: {}/{} ({:.0}%)",
+        agree,
+        total,
+        100.0 * agree as f64 / total as f64
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates paper Fig. 1: the heatmap of geomean slowdowns when the
+//! optimal optimisations for one chip are applied on all other chips
+//! (rows = chip run on, columns = chip tuned for; higher is worse).
+
+use gpp_bench::load_or_run_study;
+use gpp_core::analysis::DatasetStats;
+use gpp_core::heatmap;
+use gpp_core::report::Table;
+
+fn main() {
+    let ds = load_or_run_study();
+    let stats = DatasetStats::new(&ds);
+    let hm = heatmap(&stats);
+
+    println!("Fig. 1: geomean slowdown of chip-specialised optima ported across chips\n");
+    let mut headers = vec!["run \\ tuned-for".to_string()];
+    headers.extend(hm.chips.iter().cloned());
+    headers.push("row geomean".into());
+    let mut t = Table::new(headers);
+    for (i, chip) in hm.chips.iter().enumerate() {
+        let mut row = vec![chip.clone()];
+        row.extend(hm.matrix[i].iter().map(|v| format!("{v:.2}")));
+        row.push(format!("{:.2}", hm.row_geomeans[i]));
+        t.row(row);
+    }
+    let mut footer = vec!["column geomean".to_string()];
+    footer.extend(hm.column_geomeans.iter().map(|v| format!("{v:.2}")));
+    footer.push(String::new());
+    t.row(footer);
+    println!("{t}");
+    println!("Smaller column geomean = that chip's optima are more portable;");
+    println!("smaller row geomean = that chip tolerates foreign optima better.");
+}

@@ -1,0 +1,25 @@
+//! Regenerates paper Fig. 2: which optimisations are necessary for the
+//! top speedups on each chip (fraction of each chip's improvable tests
+//! whose oracle configuration enables the optimisation).
+
+use gpp_bench::{load_or_run_study, pct};
+use gpp_core::analysis::DatasetStats;
+use gpp_core::report::Table;
+use gpp_core::top_speedup_opts;
+use gpp_sim::opts::Optimization;
+
+fn main() {
+    let ds = load_or_run_study();
+    let stats = DatasetStats::new(&ds);
+
+    println!("Fig. 2: optimisations necessary for top speedups per chip\n");
+    let mut headers = vec!["Chip".to_string()];
+    headers.extend(Optimization::ALL.iter().map(|o| o.name().to_string()));
+    let mut t = Table::new(headers);
+    for row in top_speedup_opts(&stats) {
+        let mut cells = vec![row.chip.clone()];
+        cells.extend(row.usage.iter().map(|(_, f)| pct(*f)));
+        t.row(cells);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,41 @@
+//! Regenerates paper Fig. 3: for each optimisation strategy (from fully
+//! portable to fully specialised), the share of improvable tests showing
+//! a speedup, slowdown, or no significant change.
+
+use gpp_bench::{load_or_run_study, pct};
+use gpp_core::analysis::DatasetStats;
+use gpp_core::evaluate_assignment;
+use gpp_core::report::Table;
+use gpp_core::strategy::{build_assignment, Strategy};
+
+fn main() {
+    let ds = load_or_run_study();
+    let stats = DatasetStats::new(&ds);
+
+    println!("Fig. 3: speedups / slowdowns / no-change per strategy");
+    println!("(tests with no achievable speedup are excluded, as in the paper)\n");
+    let mut t = Table::new([
+        "Strategy",
+        "Dims",
+        "Speedups",
+        "Slowdowns",
+        "No change",
+        "Speedup %",
+        "Slowdown %",
+    ]);
+    for s in Strategy::ALL {
+        let a = build_assignment(&stats, s);
+        let e = evaluate_assignment(&stats, &a);
+        let denom = e.improvable.max(1) as f64;
+        t.row([
+            e.strategy.clone(),
+            s.dimensions().to_string(),
+            e.speedups.to_string(),
+            e.slowdowns.to_string(),
+            e.no_change.to_string(),
+            pct(e.speedups as f64 / denom),
+            pct(e.slowdowns as f64 / denom),
+        ]);
+    }
+    println!("{t}");
+}

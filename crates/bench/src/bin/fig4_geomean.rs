@@ -1,0 +1,33 @@
+//! Regenerates paper Fig. 4: the geomean slowdown of every strategy
+//! relative to the oracle (1.0 = oracle performance), quantifying what
+//! each surrendered dimension of specialisation costs.
+
+use gpp_bench::load_or_run_study;
+use gpp_core::analysis::DatasetStats;
+use gpp_core::evaluate_assignment;
+use gpp_core::report::Table;
+use gpp_core::strategy::{build_assignment, Strategy};
+
+fn main() {
+    let ds = load_or_run_study();
+    let stats = DatasetStats::new(&ds);
+
+    println!("Fig. 4: geomean slowdown vs the oracle per strategy\n");
+    let mut t = Table::new([
+        "Strategy",
+        "Dims",
+        "Geomean vs oracle",
+        "Geomean vs baseline",
+    ]);
+    for s in Strategy::ALL {
+        let a = build_assignment(&stats, s);
+        let e = evaluate_assignment(&stats, &a);
+        t.row([
+            e.strategy.clone(),
+            s.dimensions().to_string(),
+            format!("{:.3}", e.geomean_slowdown_vs_oracle),
+            format!("{:.3}", e.geomean_speedup_vs_baseline),
+        ]);
+    }
+    println!("{t}");
+}

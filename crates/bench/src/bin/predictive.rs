@@ -1,0 +1,46 @@
+//! The paper's predictive-model future work (Section IX-b): probe a
+//! handful of configurations for an unseen test and predict a good
+//! configuration by nearest-neighbour over the known tests on the same
+//! chip. Leave-one-out evaluation over the full dataset, sweeping the
+//! probe budget.
+
+use gpp_bench::{load_or_run_study, pct};
+use gpp_core::analysis::DatasetStats;
+use gpp_core::report::Table;
+use gpp_core::strategy::{build_assignment, Strategy};
+use gpp_core::{evaluate_assignment, leave_one_out};
+
+fn main() {
+    let ds = load_or_run_study();
+    let stats = DatasetStats::new(&ds);
+
+    println!("Leave-one-out predictive model: probe k of 96 configurations, predict the");
+    println!("rest from the nearest known test on the same chip\n");
+    let mut t = Table::new([
+        "Probes",
+        "Geomean vs oracle",
+        "Within 5% of oracle",
+        "Beats baseline",
+    ]);
+    for k in [2usize, 4, 8, 12, 16, 24] {
+        let e = leave_one_out(&stats, k);
+        t.row([
+            e.probes.to_string(),
+            format!("{:.3}", e.geomean_vs_oracle),
+            pct(e.near_oracle),
+            pct(e.beats_baseline),
+        ]);
+    }
+    println!("{t}");
+
+    // Context: the descriptive strategies' distance to the oracle.
+    println!("For comparison (descriptive strategies, no per-test probes):");
+    for s in [Strategy::Global, Strategy::Chip, Strategy::ChipAppInput] {
+        let e = evaluate_assignment(&stats, &build_assignment(&stats, s));
+        println!(
+            "  {:<16} geomean vs oracle {:.3}",
+            s.name(),
+            e.geomean_slowdown_vs_oracle
+        );
+    }
+}

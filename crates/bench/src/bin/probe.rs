@@ -1,0 +1,32 @@
+//! Developer probe: per-cell speedups of single optimisations.
+
+use gpp_apps::apps::all_applications;
+use gpp_apps::inputs::{study_inputs, StudyScale};
+use gpp_sim::chip::study_chips;
+use gpp_sim::exec::Machine;
+use gpp_sim::opts::{OptConfig, Optimization};
+use gpp_sim::trace::{CompiledTrace, Recorder};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let opt_name = args.get(1).map(String::as_str).unwrap_or("fg8");
+    let opt = Optimization::parse(opt_name).expect("unknown optimisation");
+    let inputs = study_inputs(StudyScale::Full, 0x9a7e_2019);
+    let apps = all_applications();
+    println!("speedup of {{{opt}}} over baseline, per (app, input, chip):");
+    for input in &inputs {
+        for app in &apps {
+            let mut rec = Recorder::new();
+            app.run(&input.graph, &mut rec);
+            let mut compiled = CompiledTrace::new(rec.into_trace());
+            print!("{:>9} {:>7}: ", app.name(), input.name);
+            for chip in study_chips() {
+                let m = Machine::new(chip.clone());
+                let base = compiled.replay(&m, OptConfig::baseline()).time_ns;
+                let with = compiled.replay(&m, OptConfig::baseline().with(opt)).time_ns;
+                print!("{}={:>5.2} ", chip.name, base / with);
+            }
+            println!();
+        }
+    }
+}

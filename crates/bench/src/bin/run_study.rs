@@ -1,0 +1,16 @@
+//! Runs the full study grid and caches the dataset for the other
+//! regenerators. Pass `--fresh` to discard any existing cache.
+
+use gpp_bench::load_or_run_study;
+
+fn main() {
+    let ds = load_or_run_study();
+    println!(
+        "dataset: {} applications x {} inputs x {} chips = {} tuples, {} runs per configuration",
+        ds.apps.len(),
+        ds.inputs.len(),
+        ds.chips.len(),
+        ds.cells.len(),
+        ds.runs
+    );
+}

@@ -1,0 +1,28 @@
+//! Regenerates paper Table I: the GPUs of the study.
+
+use gpp_core::report::Table;
+use gpp_sim::chip::study_chips;
+
+fn main() {
+    println!("Table I: GPUs used in the study\n");
+    let mut t = Table::new(["Vendor", "Chip", "#CUs", "SG Size", "Short Name"]);
+    for chip in study_chips() {
+        let long_name = match chip.name.as_str() {
+            "M4000" => "Quadro M4000",
+            "GTX1080" => "GTX 1080",
+            "HD5500" => "HD 5500",
+            "IRIS" => "Iris 6100",
+            "R9" => "Radeon R9",
+            "MALI" => "Mali-T628",
+            other => other,
+        };
+        t.row([
+            chip.vendor.to_string(),
+            long_name.to_string(),
+            chip.num_cus.to_string(),
+            chip.subgroup_size.to_string(),
+            chip.name.clone(),
+        ]);
+    }
+    println!("{t}");
+}

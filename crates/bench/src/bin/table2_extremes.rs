@@ -1,0 +1,34 @@
+//! Regenerates paper Table II: the extreme speedups and slowdowns
+//! observed per chip across all (application, input, configuration)
+//! combinations, plus the overall oracle geomean (Section II-B).
+
+use gpp_bench::load_or_run_study;
+use gpp_core::analysis::DatasetStats;
+use gpp_core::report::{ratio, Table};
+use gpp_core::strategy::{build_assignment, Strategy};
+use gpp_core::{evaluate_assignment, extremes};
+
+fn main() {
+    let ds = load_or_run_study();
+    let stats = DatasetStats::new(&ds);
+
+    println!("Table II: extreme speedups/slowdowns per chip\n");
+    let mut t = Table::new(["Chip", "Max speedup", "on test", "Max slowdown", "on test"]);
+    for e in extremes(&stats) {
+        t.row([
+            e.chip.clone(),
+            ratio(e.max_speedup),
+            format!("{} / {}", e.speedup_test.0, e.speedup_test.1),
+            ratio(e.max_slowdown),
+            format!("{} / {}", e.slowdown_test.0, e.slowdown_test.1),
+        ]);
+    }
+    println!("{t}");
+
+    let oracle = build_assignment(&stats, Strategy::Oracle);
+    let eval = evaluate_assignment(&stats, &oracle);
+    println!(
+        "Maximum geomean speedup (oracle over baseline, all tests): {}",
+        ratio(eval.geomean_speedup_vs_baseline)
+    );
+}

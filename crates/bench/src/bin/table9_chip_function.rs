@@ -1,0 +1,38 @@
+//! Regenerates paper Table IX: the per-chip optimisation function with
+//! Mann-Whitney common-language effect sizes. `Y` = enable, `n` = do not
+//! enable, `?` = not enough significant samples to decide.
+
+use gpp_bench::load_or_run_study;
+use gpp_core::analysis::{DatasetStats, Decision};
+use gpp_core::report::Table;
+use gpp_core::strategy::chip_function;
+use gpp_sim::opts::Optimization;
+
+fn main() {
+    let ds = load_or_run_study();
+    let stats = DatasetStats::new(&ds);
+    let table = chip_function(&stats);
+
+    println!("Table IX: chip-specialised optimisation function (mark, CL effect size)\n");
+    let mut headers = vec!["Optimisation".to_string()];
+    headers.extend(table.iter().map(|(chip, _)| chip.clone()));
+    let mut t = Table::new(headers);
+    for opt in Optimization::ALL {
+        let mut row = vec![opt.name().to_string()];
+        for (_, analysis) in &table {
+            let d = analysis.decision(opt);
+            let mark = match d.decision {
+                Decision::Enable => "Y",
+                Decision::Disable => "n",
+                Decision::Inconclusive => "?",
+            };
+            row.push(format!("{mark} {:.2}", d.effect_size));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+    println!("Recommended per-chip configurations:");
+    for (chip, analysis) in &table {
+        println!("  {chip:>8}: {}", analysis.config);
+    }
+}

@@ -1,0 +1,73 @@
+//! Implementation-strategy comparison (paper Table VII): for each of the
+//! seven problems, compare the variants' *oracle-configured* runtimes per
+//! input class and chip group, showing where each strategy wins — e.g.
+//! topology-driven vs worklist BFS crossing over between road and social
+//! inputs.
+
+use std::collections::BTreeMap;
+
+use gpp_apps::apps::all_applications;
+use gpp_bench::load_or_run_study;
+use gpp_core::analysis::DatasetStats;
+use gpp_core::report::Table;
+use gpp_core::stats::geomean;
+
+fn main() {
+    let ds = load_or_run_study();
+    let stats = DatasetStats::new(&ds);
+    let apps = all_applications();
+
+    // Group application names by problem, remembering the (*) variant.
+    let mut problems: BTreeMap<String, Vec<(String, bool)>> = BTreeMap::new();
+    for app in &apps {
+        problems
+            .entry(app.problem().to_string())
+            .or_default()
+            .push((app.name().to_string(), app.fastest_variant()));
+    }
+
+    println!("Variant comparison under per-test oracle configurations");
+    println!("(geomean over chips of each variant's oracle time, normalised per");
+    println!("problem+input to the fastest variant; 1.00 = wins that input)\n");
+
+    for (problem, variants) in &problems {
+        if variants.len() < 2 {
+            continue;
+        }
+        let mut t = Table::new(["Variant", "road", "social", "random", "paper's (*)"]);
+        // variant -> per-input geomean oracle time.
+        let mut times: Vec<(String, bool, Vec<f64>)> = Vec::new();
+        for (name, starred) in variants {
+            let mut per_input = Vec::new();
+            for input in &ds.inputs {
+                let cells = stats.select_indices(Some(name), Some(input), None);
+                let oracle_times: Vec<f64> = cells
+                    .iter()
+                    .map(|&c| stats.median_of(c, stats.best_config(c)))
+                    .collect();
+                per_input.push(geomean(&oracle_times));
+            }
+            times.push((name.clone(), *starred, per_input));
+        }
+        for (i, _) in ds.inputs.iter().enumerate() {
+            let best = times
+                .iter()
+                .map(|(_, _, t)| t[i])
+                .fold(f64::INFINITY, f64::min);
+            for entry in &mut times {
+                entry.2[i] /= best;
+            }
+        }
+        for (name, starred, ratios) in &times {
+            let mut row = vec![name.clone()];
+            row.extend(ratios.iter().map(|r| format!("{r:.2}")));
+            row.push(if *starred { "*".into() } else { String::new() });
+            t.row(row);
+        }
+        println!("== {problem} ==");
+        println!("{t}");
+    }
+    println!("Reading: a variant at 1.00 is the fastest implementation strategy for");
+    println!("that input; crossovers (different winners per column) are the paper's");
+    println!("motivation for keeping multiple strategies per problem.");
+}

@@ -1,0 +1,63 @@
+//! Shared infrastructure for the experiment regenerators: dataset caching
+//! and common output helpers.
+//!
+//! Every table/figure binary calls [`load_or_run_study`], which runs the
+//! full study once and caches it as JSON under `target/study/`; subsequent
+//! regenerators load the cache so the whole evaluation is cheap to
+//! iterate on. Delete the cache file (or pass `--fresh`) to force a
+//! re-run.
+
+use std::path::PathBuf;
+
+use gpp_apps::study::{run_study, Dataset, StudyConfig};
+
+/// Location of the cached full-scale dataset.
+pub fn cache_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/study/dataset.json")
+}
+
+/// Loads the cached full-scale dataset, running the study (and writing
+/// the cache) if it is missing, unreadable, or `--fresh` was passed on
+/// the command line.
+pub fn load_or_run_study() -> Dataset {
+    let fresh = std::env::args().any(|a| a == "--fresh");
+    let path = cache_path();
+    if !fresh {
+        if let Ok(ds) = Dataset::load_json(&path) {
+            eprintln!("[loaded cached dataset from {}]", path.display());
+            return ds;
+        }
+    }
+    eprintln!("[running full study (17 apps x 3 inputs x 6 chips x 96 configs x 3 runs)...]");
+    let t = std::time::Instant::now();
+    let ds = run_study(&StudyConfig::default());
+    eprintln!("[study complete in {:?}]", t.elapsed());
+    if let Err(e) = ds.save_json(&path) {
+        eprintln!("[warning: could not cache dataset: {e}]");
+    } else {
+        eprintln!("[cached dataset at {}]", path.display());
+    }
+    ds
+}
+
+/// Formats an optimisation-usage fraction as the paper prints it.
+pub fn pct(f: f64) -> String {
+    format!("{:.0}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_path_is_under_target() {
+        let p = cache_path();
+        assert!(p.to_string_lossy().contains("target"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5), "50%");
+        assert_eq!(pct(1.0), "100%");
+    }
+}

@@ -1,0 +1,112 @@
+//! Minimal argument parsing: `gpp <command> [--flag value]...`.
+
+use std::collections::HashMap;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+    /// `--key value` and bare `--flag` options (the latter map to `""`).
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses an argument vector (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Args {
+        let mut args = Args::default();
+        let mut iter = argv.into_iter().peekable();
+        if let Some(cmd) = iter.next() {
+            args.command = cmd;
+        }
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+                    _ => String::new(),
+                };
+                args.options.insert(key.to_owned(), value);
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        args
+    }
+
+    /// An option's value, if present.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// A numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the option when the value does not parse.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: `{v}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse("study --scale small --seed 42");
+        assert_eq!(a.command, "study");
+        assert_eq!(a.opt("scale"), Some("small"));
+        assert_eq!(a.num::<u64>("seed", 0), Ok(42));
+    }
+
+    #[test]
+    fn parses_positional_and_flags() {
+        let a = parse("classify graph.el --verbose");
+        assert_eq!(a.positional, vec!["graph.el"]);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn numeric_default_applies() {
+        let a = parse("study");
+        assert_eq!(a.num::<u64>("seed", 7), Ok(7));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = parse("study --seed zebra");
+        assert!(a.num::<u64>("seed", 0).unwrap_err().contains("seed"));
+    }
+
+    #[test]
+    fn empty_argv_is_empty_command() {
+        let a = Args::parse(std::iter::empty());
+        assert_eq!(a.command, "");
+    }
+
+    #[test]
+    fn flag_before_another_option_has_empty_value() {
+        let a = parse("x --fresh --seed 3");
+        assert!(a.flag("fresh"));
+        assert_eq!(a.opt("fresh"), Some(""));
+        assert_eq!(a.num::<u64>("seed", 0), Ok(3));
+    }
+}

@@ -1,0 +1,678 @@
+//! Subcommand implementations. Each takes parsed [`Args`] and writes its
+//! report to the given writer (stdout in production, a buffer in tests).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use gpp_apps::study::{run_study, run_study_on, Dataset, StudyConfig};
+use gpp_apps::StudyScale;
+use gpp_core::analysis::{DatasetStats, Decision};
+use gpp_core::report::{percent, ratio, Table};
+use gpp_core::strategy::{build_assignment, chip_function, Strategy};
+use gpp_core::{
+    evaluate_assignment, extremes, heatmap, leave_one_out, ranking, subsample_sensitivity,
+};
+use gpp_graph::{io as graph_io, properties};
+use gpp_irgl::{codegen, interp, parser, programs, transform};
+use gpp_sim::chip::{study_chip, study_chips, ChipProfile};
+use gpp_sim::exec::Machine;
+use gpp_sim::microbench::{m_divg, sg_cmb, utilisation, LAUNCHES, M_DIVG_ROUNDS, SG_CMB_N};
+use gpp_sim::opts::OptConfig;
+
+use crate::args::Args;
+
+/// Runs one subcommand.
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad arguments, missing files, or
+/// malformed inputs.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    match args.command.as_str() {
+        "chips" => chips(out),
+        "study" => study(args, out),
+        "analyze" => analyze(args, out),
+        "chip-function" => chip_function_cmd(args, out),
+        "heatmap" => heatmap_cmd(args, out),
+        "ranking" => ranking_cmd(args, out),
+        "extremes" => extremes_cmd(args, out),
+        "microbench" => microbench(out),
+        "classify" => classify(args, out),
+        "codegen" => codegen_cmd(args, out),
+        "compile" => compile_cmd(args, out),
+        "run-dsl" => run_dsl(args, out),
+        "sensitivity" => sensitivity_cmd(args, out),
+        "predict" => predict_cmd(args, out),
+        "export-csv" => export_csv(args, out),
+        "export-chips" => export_chips(args, out),
+        "help" | "" => help(out),
+        other => Err(format!("unknown command `{other}`; try `gpp help`")),
+    }
+}
+
+fn w(out: &mut dyn Write, text: impl std::fmt::Display) -> Result<(), String> {
+    writeln!(out, "{text}").map_err(|e| e.to_string())
+}
+
+fn help(out: &mut dyn Write) -> Result<(), String> {
+    w(
+        out,
+        "gpp — quantifying performance portability of graph applications on (simulated) GPUs\n\n\
+         commands:\n  \
+         chips                       the six study chips (Table I)\n  \
+         study [--scale S] [--seed N] [--out FILE] [--chips FILE]\n                              run the full grid and save the dataset\n  \
+         export-chips FILE           write the six study chip models as JSON\n  \
+         analyze [--data FILE]       strategy spectrum (Figs 3 and 4)\n  \
+         chip-function [--data FILE] per-chip recommendations (Table IX)\n  \
+         heatmap [--data FILE]       cross-chip portability (Fig 1)\n  \
+         ranking [--data FILE]       global configuration ranking (Table III)\n  \
+         extremes [--data FILE]      per-chip extremes (Table II)\n  \
+         microbench                  sg-cmb / m-divg / launch utilisation (Table X, Fig 5)\n  \
+         classify FILE               classify an edge-list graph into road/social/random\n  \
+         codegen PROGRAM [--opts \"sg, fg8\"]\n                              compile a built-in DSL program and print its OpenCL\n  \
+         compile FILE [--opts OPTS]  compile a .irgl source file and print its OpenCL\n  \
+         run-dsl FILE [--input I] [--chip C] [--opts OPTS]\n                              execute a .irgl program on a simulated chip\n  \
+         sensitivity [--data FILE]   sample-size sensitivity sweep (Section IX-b)\n  \
+         predict [--data FILE] [--probes K]\n                              leave-one-out predictive model (Section IX-b)\n  \
+         export-csv [--data FILE] [--out FILE]\n                              dataset medians as CSV",
+    )
+}
+
+fn parse_scale(args: &Args) -> Result<StudyScale, String> {
+    match args.opt("scale").unwrap_or("full") {
+        "full" => Ok(StudyScale::Full),
+        "small" => Ok(StudyScale::Small),
+        "tiny" => Ok(StudyScale::Tiny),
+        other => Err(format!("unknown scale `{other}` (full | small | tiny)")),
+    }
+}
+
+/// Default dataset cache location shared with the bench regenerators.
+fn default_data_path() -> PathBuf {
+    PathBuf::from("target/study/dataset.json")
+}
+
+fn load_dataset(args: &Args) -> Result<Dataset, String> {
+    let path = args
+        .opt("data")
+        .map(PathBuf::from)
+        .unwrap_or_else(default_data_path);
+    if path.exists() && !args.flag("fresh") {
+        Dataset::load_json(&path).map_err(|e| format!("cannot load {}: {e}", path.display()))
+    } else {
+        eprintln!("[no dataset at {}; running the full study]", path.display());
+        let ds = run_study(&StudyConfig::default());
+        ds.save_json(&path)
+            .map_err(|e| format!("cannot cache dataset: {e}"))?;
+        Ok(ds)
+    }
+}
+
+fn chips(out: &mut dyn Write) -> Result<(), String> {
+    let mut t = Table::new(["Vendor", "Chip", "#CUs", "SG size", "Launch overhead (us)"]);
+    for chip in study_chips() {
+        t.row([
+            chip.vendor.to_string(),
+            chip.name.clone(),
+            chip.num_cus.to_string(),
+            chip.subgroup_size.to_string(),
+            format!(
+                "{:.1}",
+                (chip.kernel_launch_cost + chip.host_copy_cost) / 1_000.0
+            ),
+        ]);
+    }
+    w(out, t)
+}
+
+fn study(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let cfg = StudyConfig {
+        scale: parse_scale(args)?,
+        seed: args.num("seed", StudyConfig::default().seed)?,
+        runs: args.num("runs", 3usize)?,
+        ..StudyConfig::default()
+    };
+    let started = std::time::Instant::now();
+    let ds = match args.opt("chips") {
+        None => run_study(&cfg),
+        Some(file) => {
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let chips: Vec<ChipProfile> =
+                serde_json::from_str(&text).map_err(|e| format!("{file}: {e}"))?;
+            if chips.is_empty() {
+                return Err(format!("{file}: chip list is empty"));
+            }
+            run_study_on(&cfg, &chips)
+        }
+    };
+    let path = args
+        .opt("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(default_data_path);
+    ds.save_json(&path)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    w(
+        out,
+        format!(
+            "collected {} cells x 96 configurations x {} runs in {:?}\nsaved to {}",
+            ds.cells.len(),
+            ds.runs,
+            started.elapsed(),
+            path.display()
+        ),
+    )
+}
+
+fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let stats = DatasetStats::new(&ds);
+    let mut t = Table::new([
+        "Strategy",
+        "Dims",
+        "Speedups",
+        "Slowdowns",
+        "GM vs oracle",
+        "GM vs baseline",
+    ]);
+    for s in Strategy::ALL {
+        let a = build_assignment(&stats, s);
+        let e = evaluate_assignment(&stats, &a);
+        t.row([
+            e.strategy.clone(),
+            s.dimensions().to_string(),
+            e.speedups.to_string(),
+            e.slowdowns.to_string(),
+            format!("{:.3}", e.geomean_slowdown_vs_oracle),
+            format!("{:.3}", e.geomean_speedup_vs_baseline),
+        ]);
+    }
+    w(out, t)
+}
+
+fn chip_function_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let stats = DatasetStats::new(&ds);
+    let table = chip_function(&stats);
+    let mut headers = vec!["Optimisation".to_string()];
+    headers.extend(table.iter().map(|(c, _)| c.clone()));
+    let mut t = Table::new(headers);
+    for opt in gpp_sim::opts::Optimization::ALL {
+        let mut row = vec![opt.name().to_string()];
+        for (_, analysis) in &table {
+            let d = analysis.decision(opt);
+            let mark = match d.decision {
+                Decision::Enable => "Y",
+                Decision::Disable => "n",
+                Decision::Inconclusive => "?",
+            };
+            row.push(format!("{mark} {:.2}", d.effect_size));
+        }
+        t.row(row);
+    }
+    w(out, &t)?;
+    for (chip, analysis) in &table {
+        w(out, format!("{chip:>8}: {}", analysis.config))?;
+    }
+    Ok(())
+}
+
+fn heatmap_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let stats = DatasetStats::new(&ds);
+    let hm = heatmap(&stats);
+    let mut headers = vec!["run \\ tuned".to_string()];
+    headers.extend(hm.chips.iter().cloned());
+    let mut t = Table::new(headers);
+    for (i, chip) in hm.chips.iter().enumerate() {
+        let mut row = vec![chip.clone()];
+        row.extend(hm.matrix[i].iter().map(|v| format!("{v:.2}")));
+        t.row(row);
+    }
+    w(out, t)
+}
+
+fn ranking_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let stats = DatasetStats::new(&ds);
+    let rows = ranking(&stats);
+    let show: usize = args.num("top", 10usize)?;
+    let mut t = Table::new(["Rank", "Opts", "Slowdowns", "Speedups", "Geomean"]);
+    for (i, r) in rows.iter().enumerate() {
+        if i < show || i >= rows.len() - show {
+            t.row([
+                i.to_string(),
+                r.config.to_string(),
+                r.slowdowns.to_string(),
+                r.speedups.to_string(),
+                format!("{:.2}", r.geomean_speedup),
+            ]);
+        }
+    }
+    w(out, t)
+}
+
+fn extremes_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let stats = DatasetStats::new(&ds);
+    let mut t = Table::new(["Chip", "Max speedup", "Test", "Max slowdown", "Test"]);
+    for e in extremes(&stats) {
+        t.row([
+            e.chip.clone(),
+            ratio(e.max_speedup),
+            format!("{}/{}", e.speedup_test.0, e.speedup_test.1),
+            ratio(e.max_slowdown),
+            format!("{}/{}", e.slowdown_test.0, e.slowdown_test.1),
+        ]);
+    }
+    w(out, t)
+}
+
+fn microbench(out: &mut dyn Write) -> Result<(), String> {
+    let chips = study_chips();
+    let mut headers = vec!["Probe".to_string()];
+    headers.extend(chips.iter().map(|c| c.name.clone()));
+    let mut t = Table::new(headers);
+    let mut row = vec!["sg-cmb".to_string()];
+    row.extend(chips.iter().map(|c| ratio(sg_cmb(c, SG_CMB_N).speedup())));
+    t.row(row);
+    let mut row = vec!["m-divg".to_string()];
+    row.extend(
+        chips
+            .iter()
+            .map(|c| ratio(m_divg(c, M_DIVG_ROUNDS).speedup())),
+    );
+    t.row(row);
+    let mut row = vec!["util @10us".to_string()];
+    row.extend(
+        chips
+            .iter()
+            .map(|c| format!("{:.2}", utilisation(c, 10_000.0, LAUNCHES))),
+    );
+    t.row(row);
+    w(out, t)
+}
+
+fn classify(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: gpp classify <edge-list-file>")?;
+    let file = std::fs::File::open(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let graph = graph_io::read_edge_list(std::io::BufReader::new(file))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let stats = properties::degree_stats(&graph);
+    let class = properties::classify(&graph);
+    w(
+        out,
+        format!(
+            "{path}: {} nodes, {} arcs, degree cv {:.2}, diameter ~{}, clustering {:.3}, assortativity {:+.2}, class {class}",
+            graph.num_nodes(),
+            graph.num_edges(),
+            stats.cv,
+            properties::estimate_diameter(&graph),
+            properties::clustering_coefficient(&graph),
+            properties::degree_assortativity(&graph),
+        ),
+    )
+}
+
+fn codegen_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let name = args.positional.first().ok_or_else(|| {
+        let names: Vec<String> = programs::all().iter().map(|p| p.name.clone()).collect();
+        format!("usage: gpp codegen <program> — one of {}", names.join(", "))
+    })?;
+    let program = programs::all()
+        .into_iter()
+        .find(|p| &p.name == name)
+        .ok_or_else(|| format!("unknown program `{name}`"))?;
+    let cfg = match args.opt("opts") {
+        None => OptConfig::baseline(),
+        Some(text) => OptConfig::parse(text).ok_or_else(|| format!("bad --opts `{text}`"))?,
+    };
+    let plan = transform::plan(&program, cfg).map_err(|e| e.to_string())?;
+    let text = codegen::opencl(&program, &plan).map_err(|e| e.to_string())?;
+    w(out, text)
+}
+
+fn parse_irgl_file(path: &str) -> Result<gpp_irgl::Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = parser::parse(&src).map_err(|e| format!("{path}:{e}"))?;
+    gpp_irgl::validate_program(&program).map_err(|e| format!("{path}: {e}"))?;
+    Ok(program)
+}
+
+fn config_opt(args: &Args) -> Result<OptConfig, String> {
+    match args.opt("opts") {
+        None => Ok(OptConfig::baseline()),
+        Some(text) => OptConfig::parse(text).ok_or_else(|| format!("bad --opts `{text}`")),
+    }
+}
+
+fn compile_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: gpp compile <file.irgl> [--opts OPTS]")?;
+    let program = parse_irgl_file(path)?;
+    let cfg = config_opt(args)?;
+    let plan = transform::plan(&program, cfg).map_err(|e| e.to_string())?;
+    let text = codegen::opencl(&program, &plan).map_err(|e| e.to_string())?;
+    w(out, text)
+}
+
+fn run_dsl(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let path = args.positional.first().ok_or(
+        "usage: gpp run-dsl <file.irgl> [--input road|social|random] [--chip NAME] [--opts OPTS]",
+    )?;
+    let program = parse_irgl_file(path)?;
+    let cfg = config_opt(args)?;
+    let chip_name = args.opt("chip").unwrap_or("R9");
+    let chip = study_chip(chip_name).ok_or_else(|| format!("unknown chip `{chip_name}`"))?;
+    let inputs = gpp_apps::study_inputs(StudyScale::Small, 7);
+    let input_name = args.opt("input").unwrap_or("social");
+    let input = inputs
+        .iter()
+        .find(|i| i.name == input_name)
+        .ok_or_else(|| format!("unknown input `{input_name}` (road | social | random)"))?;
+    let machine = Machine::new(chip);
+    let mut session = machine.session(cfg);
+    let result = interp::execute(&program, &input.graph, &mut session)
+        .map_err(|e| format!("execution failed: {e}"))?;
+    let stats = session.finish();
+    let output = result.output(&program);
+    let finite = output.iter().filter(|v| v.is_finite()).count();
+    w(
+        out,
+        format!(
+            "{} on {} ({} nodes) under `{cfg}` on {}:\n  modelled time {:.1} us, {} kernels, {} launches, {} iterations\n  output `{}`: {} finite values, first = {:?}",
+            program.name,
+            input.name,
+            input.graph.num_nodes(),
+            machine.chip().name,
+            stats.time_ns / 1_000.0,
+            stats.kernels,
+            stats.launches,
+            result.iterations,
+            program.fields[program.output].name,
+            finite,
+            &output[..output.len().min(5)],
+        ),
+    )
+}
+
+fn sensitivity_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let report = subsample_sensitivity(
+        &ds,
+        &[1.0, 0.5, 0.25, 0.1],
+        args.num("trials", 5usize)?,
+        0x5eed,
+    );
+    let mut t = Table::new(["Fraction", "Tests", "Verdict agreement", "Config agreement"]);
+    for p in &report.points {
+        t.row([
+            percent(p.fraction),
+            p.tests_kept.to_string(),
+            percent(p.decision_agreement),
+            percent(p.config_agreement),
+        ]);
+    }
+    w(out, t)
+}
+
+fn export_chips(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: gpp export-chips <file.json>")?;
+    let chips = study_chips();
+    let text = serde_json::to_string_pretty(&chips).map_err(|e| e.to_string())?;
+    std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+    w(
+        out,
+        format!(
+            "wrote {} chip models to {path}; edit and pass back via `gpp study --chips`",
+            chips.len()
+        ),
+    )
+}
+
+fn predict_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let stats = DatasetStats::new(&ds);
+    let k: usize = args.num("probes", 8usize)?;
+    if k == 0 {
+        return Err("--probes must be at least 1".into());
+    }
+    let e = leave_one_out(&stats, k);
+    w(
+        out,
+        format!(
+            "leave-one-out prediction with {} probes: geomean vs oracle {:.3}, within 5% of oracle {}, beats baseline {}",
+            e.probes,
+            e.geomean_vs_oracle,
+            percent(e.near_oracle),
+            percent(e.beats_baseline)
+        ),
+    )
+}
+
+fn export_csv(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let mut csv = String::from("app,input,chip,config,median_ns\n");
+    for cell in &ds.cells {
+        for (idx, runs) in cell.times.iter().enumerate() {
+            let mut sorted = runs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let median = sorted[sorted.len() / 2];
+            csv.push_str(&format!(
+                "{},{},{},\"{}\",{median}\n",
+                cell.app,
+                cell.input,
+                cell.chip,
+                OptConfig::from_index(idx)
+            ));
+        }
+    }
+    match args.opt("out") {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| format!("{path}: {e}"))?;
+            w(out, format!("wrote {} rows to {path}", ds.cells.len() * 96))
+        }
+        None => w(out, csv),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cmd(line: &str) -> Result<String, String> {
+        let args = Args::parse(line.split_whitespace().map(str::to_owned));
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let text = run_cmd("help").unwrap();
+        for cmd in [
+            "chips",
+            "study",
+            "analyze",
+            "microbench",
+            "codegen",
+            "sensitivity",
+        ] {
+            assert!(text.contains(cmd), "missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn chips_prints_all_six() {
+        let text = run_cmd("chips").unwrap();
+        for chip in ["M4000", "GTX1080", "HD5500", "IRIS", "R9", "MALI"] {
+            assert!(text.contains(chip));
+        }
+    }
+
+    #[test]
+    fn microbench_prints_probes() {
+        let text = run_cmd("microbench").unwrap();
+        assert!(text.contains("sg-cmb"));
+        assert!(text.contains("m-divg"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = run_cmd("frobnicate").unwrap_err();
+        assert!(err.contains("frobnicate"));
+    }
+
+    #[test]
+    fn codegen_compiles_named_program() {
+        let text = run_cmd("codegen bfs_wl --opts sg,fg8").unwrap();
+        assert!(text.contains("__kernel void bfs_wl_expand"));
+        assert!(text.contains("[np-fg8]"));
+    }
+
+    #[test]
+    fn codegen_rejects_unknown_program_and_bad_opts() {
+        assert!(run_cmd("codegen nonesuch")
+            .unwrap_err()
+            .contains("nonesuch"));
+        assert!(run_cmd("codegen bfs_wl --opts warp9")
+            .unwrap_err()
+            .contains("warp9"));
+    }
+
+    #[test]
+    fn classify_reads_edge_lists() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.el");
+        let g = gpp_graph::generators::road_grid(12, 12, 1).unwrap();
+        let mut buf = Vec::new();
+        graph_io::write_edge_list(&g, &mut buf).unwrap();
+        std::fs::write(&path, buf).unwrap();
+        let text = run_cmd(&format!("classify {}", path.display())).unwrap();
+        assert!(text.contains("class road"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn classify_requires_a_path() {
+        assert!(run_cmd("classify").unwrap_err().contains("usage"));
+    }
+
+    #[test]
+    fn compile_and_run_dsl_from_file() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-irgl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hops.irgl");
+        let src = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/data/hops.irgl"),
+        )
+        .unwrap();
+        std::fs::write(&path, src).unwrap();
+        let text = run_cmd(&format!("compile {} --opts coop-cv", path.display())).unwrap();
+        assert!(text.contains("sub_group_reduce_add"));
+        let text = run_cmd(&format!(
+            "run-dsl {} --input road --chip MALI --opts oitergb",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("hops on road"), "{text}");
+        assert!(text.contains("1 launches"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_dsl_rejects_unknown_chip_and_input() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-irgl2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.irgl");
+        std::fs::write(&path, "program p { field x = const(0); kernel k all_nodes { } driver fixed(k) iters 1; output x; }").unwrap();
+        assert!(run_cmd(&format!("run-dsl {} --chip RTX", path.display()))
+            .unwrap_err()
+            .contains("RTX"));
+        assert!(
+            run_cmd(&format!("run-dsl {} --input lattice", path.display()))
+                .unwrap_err()
+                .contains("lattice")
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compile_reports_parse_errors_with_position() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-irgl3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.irgl");
+        std::fs::write(&path, "program p {\n  field x = wat;\n}").unwrap();
+        let err = run_cmd(&format!("compile {}", path.display())).unwrap_err();
+        assert!(err.contains("2:"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn study_command_writes_a_dataset() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-study-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        let text = run_cmd(&format!("study --scale tiny --out {}", path.display())).unwrap();
+        assert!(text.contains("306 cells"));
+        assert!(path.exists());
+        // Downstream commands can consume it.
+        let text = run_cmd(&format!("extremes --data {}", path.display())).unwrap();
+        assert!(text.contains("MALI"));
+        let text = run_cmd(&format!("export-csv --data {}", path.display())).unwrap();
+        assert!(text.contains("app,input,chip,config,median_ns"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_chips_round_trips_through_study() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-chips-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let chips_path = dir.join("chips.json");
+        let text = run_cmd(&format!("export-chips {}", chips_path.display())).unwrap();
+        assert!(text.contains("6 chip models"));
+        // Trim to two chips and run a tiny study on them.
+        let chips: Vec<gpp_sim::chip::ChipProfile> =
+            serde_json::from_str(&std::fs::read_to_string(&chips_path).unwrap()).unwrap();
+        std::fs::write(&chips_path, serde_json::to_string(&chips[..2]).unwrap()).unwrap();
+        let ds_path = dir.join("ds.json");
+        let text = run_cmd(&format!(
+            "study --scale tiny --chips {} --out {}",
+            chips_path.display(),
+            ds_path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("102 cells"), "{text}"); // 17 apps x 3 inputs x 2 chips
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn study_rejects_empty_chip_files() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-chips2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let chips_path = dir.join("none.json");
+        std::fs::write(&chips_path, "[]").unwrap();
+        let err = run_cmd(&format!(
+            "study --scale tiny --chips {}",
+            chips_path.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_scale_is_an_error() {
+        assert!(run_cmd("study --scale gigantic")
+            .unwrap_err()
+            .contains("gigantic"));
+    }
+}

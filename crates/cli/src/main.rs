@@ -1,0 +1,22 @@
+//! `gpp` — command-line interface to the performance-portability study.
+//!
+//! Run `gpp help` for the command list. Every analysis command consumes
+//! the dataset cached by `gpp study` (default `target/study/dataset.json`)
+//! and regenerates one of the paper's tables or figures.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = args::Args::parse(std::env::args().skip(1));
+    let stdout = std::io::stdout();
+    match commands::run(&parsed, &mut stdout.lock()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Algorithm 1 of the paper: deciding, per data partition, which
+//! optimisations to enable — using only statistically significant,
+//! rank-based evidence.
+//!
+//! For every binary optimisation `opt` and every configuration `os` that
+//! enables it, the mirror configuration `os[opt=disabled]` is compared on
+//! each test of the partition. Where the two differ significantly (95%
+//! CI), the normalised runtime `t(os) / t(mirror)` joins sample `A` and
+//! the baseline `1.0` joins sample `B`. The optimisation is enabled iff
+//! the Mann–Whitney U test finds `A` stochastically different from `B`
+//! (`p < 0.05`) *and* the median of `A` shows a speedup.
+
+use gpp_apps::study::Dataset;
+use gpp_sim::opts::{settings_enabling, OptConfig, Optimization, NUM_CONFIGS};
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{ci95, mann_whitney_u, median, Ci95};
+
+/// Precomputed per-cell, per-configuration statistics over a dataset:
+/// medians and 95% confidence intervals, plus the oracle (fastest)
+/// configuration per cell. Everything downstream works through this view.
+#[derive(Debug, Clone)]
+pub struct DatasetStats<'d> {
+    dataset: &'d Dataset,
+    medians: Vec<Vec<f64>>,
+    cis: Vec<Vec<Ci95>>,
+    best: Vec<OptConfig>,
+}
+
+impl<'d> DatasetStats<'d> {
+    /// Builds the statistics cache for `dataset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell lacks the full 96-configuration grid.
+    pub fn new(dataset: &'d Dataset) -> Self {
+        let mut medians = Vec::with_capacity(dataset.cells.len());
+        let mut cis = Vec::with_capacity(dataset.cells.len());
+        let mut best = Vec::with_capacity(dataset.cells.len());
+        for cell in &dataset.cells {
+            assert_eq!(
+                cell.times.len(),
+                NUM_CONFIGS,
+                "cell is missing configurations"
+            );
+            let m: Vec<f64> = cell.times.iter().map(|runs| median(runs)).collect();
+            let c: Vec<Ci95> = cell.times.iter().map(|runs| ci95(runs)).collect();
+            let best_idx = (0..NUM_CONFIGS)
+                .min_by(|&a, &b| m[a].partial_cmp(&m[b]).expect("finite medians"))
+                .expect("non-empty configuration space");
+            medians.push(m);
+            cis.push(c);
+            best.push(OptConfig::from_index(best_idx));
+        }
+        DatasetStats {
+            dataset,
+            medians,
+            cis,
+            best,
+        }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &'d Dataset {
+        self.dataset
+    }
+
+    /// Number of cells ((application, input, chip) tuples).
+    pub fn num_cells(&self) -> usize {
+        self.dataset.cells.len()
+    }
+
+    /// Median runtime of `cell` under `config`.
+    pub fn median_of(&self, cell: usize, config: OptConfig) -> f64 {
+        self.medians[cell][config.index()]
+    }
+
+    /// The oracle configuration of `cell` (smallest median).
+    pub fn best_config(&self, cell: usize) -> OptConfig {
+        self.best[cell]
+    }
+
+    /// Whether `a` and `b` differ significantly on `cell` (95% CI).
+    pub fn significant(&self, cell: usize, a: OptConfig, b: OptConfig) -> bool {
+        let (ca, cb) = (self.cis[cell][a.index()], self.cis[cell][b.index()]);
+        ca.hi < cb.lo || cb.hi < ca.lo
+    }
+
+    /// Speedup of `config` over the baseline on `cell` (> 1 is faster).
+    pub fn speedup(&self, cell: usize, config: OptConfig) -> f64 {
+        self.median_of(cell, OptConfig::baseline()) / self.median_of(cell, config)
+    }
+
+    /// Index of the cell for an (application, input, chip) tuple.
+    pub fn cell_index(&self, app: &str, input: &str, chip: &str) -> Option<usize> {
+        self.dataset
+            .cells
+            .iter()
+            .position(|c| c.app == app && c.input == input && c.chip == chip)
+    }
+
+    /// Indices of all cells matching the given dimension filters.
+    pub fn select_indices(
+        &self,
+        app: Option<&str>,
+        input: Option<&str>,
+        chip: Option<&str>,
+    ) -> Vec<usize> {
+        self.dataset
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                app.is_none_or(|a| c.app == a)
+                    && input.is_none_or(|i| c.input == i)
+                    && chip.is_none_or(|h| c.chip == h)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The verdict of Algorithm 1 on one optimisation for one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Statistically significant speedup: enable.
+    Enable,
+    /// Evidence present but no significant speedup (ineffective or
+    /// harmful): leave disabled.
+    Disable,
+    /// Too few significant comparisons to decide (the paper's
+    /// fg8-on-MALI case).
+    Inconclusive,
+}
+
+/// One optimisation's analysis outcome for a partition, including the
+/// values reported in paper Table IX.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptDecision {
+    /// The optimisation decided on.
+    pub opt: Optimization,
+    /// The verdict.
+    pub decision: Decision,
+    /// Two-sided MWU p-value (1.0 when no samples were available).
+    pub p_value: f64,
+    /// Common-language effect size: probability a random (application,
+    /// input) pair shows a speedup under this optimisation.
+    pub effect_size: f64,
+    /// Number of significant comparisons that entered the test.
+    pub samples: usize,
+}
+
+/// Fewer significant comparisons than this and the analysis refuses to
+/// decide (MWU cannot approach `p < 0.05` on smaller samples anyway).
+pub const MIN_SAMPLES: usize = 5;
+
+/// `OPTS_FOR_PARTITION` of Algorithm 1: analyses every optimisation over
+/// the given cells and returns the recommended configuration together
+/// with the per-optimisation detail.
+///
+/// If both `fg1` and `fg8` win, the one with the stronger effect size is
+/// kept (they are mutually exclusive).
+pub fn opts_for_partition(stats: &DatasetStats<'_>, cells: &[usize]) -> PartitionAnalysis {
+    let mut decisions = Vec::with_capacity(Optimization::ALL.len());
+    for opt in Optimization::ALL {
+        let mut a = Vec::new();
+        for os in settings_enabling(opt) {
+            let mirror = os.without(opt);
+            for &cell in cells {
+                if stats.significant(cell, os, mirror) {
+                    a.push(stats.median_of(cell, os) / stats.median_of(cell, mirror));
+                }
+            }
+        }
+        let b = vec![1.0f64; a.len()];
+        let decision = if a.len() < MIN_SAMPLES {
+            OptDecision {
+                opt,
+                decision: Decision::Inconclusive,
+                p_value: 1.0,
+                effect_size: if a.is_empty() {
+                    0.5
+                } else {
+                    mann_whitney_u(&a, &b).map_or(0.5, |r| r.effect_size)
+                },
+                samples: a.len(),
+            }
+        } else {
+            let r = mann_whitney_u(&a, &b).expect("non-empty samples");
+            let enable = r.p_value < 0.05 && median(&a) < 1.0;
+            OptDecision {
+                opt,
+                decision: if enable {
+                    Decision::Enable
+                } else {
+                    Decision::Disable
+                },
+                p_value: r.p_value,
+                effect_size: r.effect_size,
+                samples: a.len(),
+            }
+        };
+        decisions.push(decision);
+    }
+
+    // Resolve the fg1/fg8 exclusivity by effect size.
+    let fg1 = decisions
+        .iter()
+        .find(|d| d.opt == Optimization::Fg1)
+        .expect("fg1 analysed");
+    let fg8 = decisions
+        .iter()
+        .find(|d| d.opt == Optimization::Fg8)
+        .expect("fg8 analysed");
+    let drop_fg = if fg1.decision == Decision::Enable && fg8.decision == Decision::Enable {
+        Some(if fg1.effect_size >= fg8.effect_size {
+            Optimization::Fg8
+        } else {
+            Optimization::Fg1
+        })
+    } else {
+        None
+    };
+
+    let config = decisions
+        .iter()
+        .filter(|d| d.decision == Decision::Enable && Some(d.opt) != drop_fg)
+        .fold(OptConfig::baseline(), |cfg, d| cfg.with(d.opt));
+
+    PartitionAnalysis { config, decisions }
+}
+
+/// Result of analysing one partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionAnalysis {
+    /// The configuration recommended for the partition.
+    pub config: OptConfig,
+    /// Per-optimisation verdicts, in [`Optimization::ALL`] order.
+    pub decisions: Vec<OptDecision>,
+}
+
+impl PartitionAnalysis {
+    /// The verdict for one optimisation.
+    pub fn decision(&self, opt: Optimization) -> &OptDecision {
+        self.decisions
+            .iter()
+            .find(|d| d.opt == opt)
+            .expect("all optimisations analysed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_apps::study::{run_study, StudyConfig};
+
+    fn tiny() -> Dataset {
+        run_study(&StudyConfig::tiny())
+    }
+
+    #[test]
+    fn stats_cache_matches_cell_methods() {
+        let ds = tiny();
+        let stats = DatasetStats::new(&ds);
+        for (i, cell) in ds.cells.iter().enumerate().step_by(37) {
+            for idx in [0usize, 13, 95] {
+                let cfg = OptConfig::from_index(idx);
+                assert_eq!(stats.median_of(i, cfg), cell.median(cfg));
+            }
+            assert_eq!(stats.best_config(i), cell.best_config());
+        }
+    }
+
+    #[test]
+    fn cell_index_round_trips() {
+        let ds = tiny();
+        let stats = DatasetStats::new(&ds);
+        let i = stats
+            .cell_index("bfs-wl", "social", "R9")
+            .expect("cell exists");
+        assert_eq!(ds.cells[i].app, "bfs-wl");
+        assert_eq!(ds.cells[i].chip, "R9");
+        assert!(stats.cell_index("bfs-wl", "social", "NOPE").is_none());
+    }
+
+    #[test]
+    fn select_indices_counts() {
+        let ds = tiny();
+        let stats = DatasetStats::new(&ds);
+        assert_eq!(stats.select_indices(None, None, None).len(), 306);
+        assert_eq!(stats.select_indices(None, None, Some("MALI")).len(), 51);
+        assert_eq!(
+            stats
+                .select_indices(Some("tri"), Some("road"), Some("R9"))
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn identical_configs_never_significant() {
+        let ds = tiny();
+        let stats = DatasetStats::new(&ds);
+        for i in (0..stats.num_cells()).step_by(29) {
+            let cfg = OptConfig::from_index(7);
+            assert!(!stats.significant(i, cfg, cfg));
+        }
+    }
+
+    #[test]
+    fn partition_analysis_produces_valid_config() {
+        let ds = tiny();
+        let stats = DatasetStats::new(&ds);
+        let all: Vec<usize> = (0..stats.num_cells()).collect();
+        let analysis = opts_for_partition(&stats, &all);
+        // fg1 and fg8 never both enabled.
+        assert!(
+            !(analysis.config.enables(Optimization::Fg1)
+                && analysis.config.enables(Optimization::Fg8))
+        );
+        assert_eq!(analysis.decisions.len(), 7);
+        for d in &analysis.decisions {
+            assert!((0.0..=1.0).contains(&d.p_value), "{d:?}");
+            assert!((0.0..=1.0).contains(&d.effect_size), "{d:?}");
+            if d.decision == Decision::Enable {
+                // Enabled decisions appear in the config — except one of
+                // fg1/fg8 when both win (they are mutually exclusive).
+                let fg_displaced = matches!(d.opt, Optimization::Fg1 | Optimization::Fg8)
+                    && (analysis.config.enables(Optimization::Fg1)
+                        || analysis.config.enables(Optimization::Fg8));
+                assert!(analysis.config.enables(d.opt) || fg_displaced, "{d:?}");
+                assert!(d.p_value < 0.05);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_partition_is_all_inconclusive() {
+        let ds = tiny();
+        let stats = DatasetStats::new(&ds);
+        let analysis = opts_for_partition(&stats, &[]);
+        assert!(analysis.config.is_baseline());
+        assert!(analysis
+            .decisions
+            .iter()
+            .all(|d| d.decision == Decision::Inconclusive));
+    }
+
+    #[test]
+    fn decision_lookup_by_opt() {
+        let ds = tiny();
+        let stats = DatasetStats::new(&ds);
+        let all: Vec<usize> = (0..stats.num_cells()).collect();
+        let analysis = opts_for_partition(&stats, &all);
+        assert_eq!(analysis.decision(Optimization::Sg).opt, Optimization::Sg);
+    }
+}

@@ -1,0 +1,520 @@
+//! Evaluation machinery for every table and figure of the paper:
+//! speedup/slowdown classification (Fig. 3), geomean slowdown vs the
+//! oracle (Fig. 4), the cross-chip portability heatmap (Fig. 1), per-chip
+//! extremes (Table II), the global configuration ranking (Table III),
+//! per-chip bias breakdowns (Table IV), and the oracle-optimisation
+//! attribution of Fig. 2.
+
+use gpp_sim::opts::{all_configs, OptConfig, Optimization};
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::DatasetStats;
+use crate::stats::geomean;
+use crate::strategy::Assignment;
+
+/// Outcome of running a cell under some configuration, relative to the
+/// baseline. Speedups and slowdowns require statistical significance
+/// (95% CI), as everywhere in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Significantly faster than baseline.
+    Speedup,
+    /// Significantly slower than baseline.
+    Slowdown,
+    /// No significant difference.
+    NoChange,
+}
+
+/// Classifies `config` on `cell` against the baseline.
+pub fn classify(stats: &DatasetStats<'_>, cell: usize, config: OptConfig) -> Outcome {
+    let baseline = OptConfig::baseline();
+    if config == baseline || !stats.significant(cell, config, baseline) {
+        return Outcome::NoChange;
+    }
+    if stats.median_of(cell, config) < stats.median_of(cell, baseline) {
+        Outcome::Speedup
+    } else {
+        Outcome::Slowdown
+    }
+}
+
+/// Whether the cell can be improved at all: its oracle configuration is a
+/// significant speedup over the baseline. The paper excludes the
+/// non-improvable tests (43% of its dataset) from the Fig. 3 counts.
+pub fn improvable(stats: &DatasetStats<'_>, cell: usize) -> bool {
+    classify(stats, cell, stats.best_config(cell)) == Outcome::Speedup
+}
+
+/// Aggregate evaluation of one strategy (one bar of Fig. 3 + one point of
+/// Fig. 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyEvaluation {
+    /// Strategy name.
+    pub strategy: String,
+    /// Improvable cells showing a significant speedup.
+    pub speedups: usize,
+    /// Improvable cells showing a significant slowdown.
+    pub slowdowns: usize,
+    /// Improvable cells with no significant change.
+    pub no_change: usize,
+    /// Number of improvable cells (the Fig. 3 denominator).
+    pub improvable: usize,
+    /// Geometric mean over *all* cells of `t(assigned) / t(oracle)`
+    /// (≥ 1; 1 = oracle performance, Fig. 4).
+    pub geomean_slowdown_vs_oracle: f64,
+    /// Geometric mean speedup over baseline across all cells.
+    pub geomean_speedup_vs_baseline: f64,
+}
+
+/// Evaluates an assignment against the dataset.
+pub fn evaluate_assignment(
+    stats: &DatasetStats<'_>,
+    assignment: &Assignment,
+) -> StrategyEvaluation {
+    let n = stats.num_cells();
+    let (mut speedups, mut slowdowns, mut no_change, mut improvable_count) = (0, 0, 0, 0);
+    let mut vs_oracle = Vec::with_capacity(n);
+    let mut vs_baseline = Vec::with_capacity(n);
+    for cell in 0..n {
+        let cfg = assignment.config(cell);
+        if improvable(stats, cell) {
+            improvable_count += 1;
+            match classify(stats, cell, cfg) {
+                Outcome::Speedup => speedups += 1,
+                Outcome::Slowdown => slowdowns += 1,
+                Outcome::NoChange => no_change += 1,
+            }
+        }
+        vs_oracle.push(stats.median_of(cell, cfg) / stats.median_of(cell, stats.best_config(cell)));
+        vs_baseline.push(stats.speedup(cell, cfg));
+    }
+    StrategyEvaluation {
+        strategy: assignment.strategy().name().to_owned(),
+        speedups,
+        slowdowns,
+        no_change,
+        improvable: improvable_count,
+        geomean_slowdown_vs_oracle: geomean(&vs_oracle),
+        geomean_speedup_vs_baseline: geomean(&vs_baseline),
+    }
+}
+
+/// The Fig. 1 heatmap: how configurations specialised to one chip travel
+/// to the others.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heatmap {
+    /// Chip names, indexing both axes.
+    pub chips: Vec<String>,
+    /// `matrix[run_on][tuned_for]`: geomean over (application, input) of
+    /// the slowdown of chip `tuned_for`'s oracle configuration when run
+    /// on chip `run_on`, relative to `run_on`'s own oracle.
+    pub matrix: Vec<Vec<f64>>,
+    /// Column geomeans (portability of each chip's optima; smaller =
+    /// more portable).
+    pub column_geomeans: Vec<f64>,
+    /// Row geomeans (sensitivity of each chip to foreign optima).
+    pub row_geomeans: Vec<f64>,
+}
+
+/// Computes the Fig. 1 heatmap.
+pub fn heatmap(stats: &DatasetStats<'_>) -> Heatmap {
+    let ds = stats.dataset();
+    let chips = ds.chips.clone();
+    let k = chips.len();
+    let mut matrix = vec![vec![0.0f64; k]; k];
+    for (from_idx, tuned_for) in chips.iter().enumerate() {
+        for (on_idx, run_on) in chips.iter().enumerate() {
+            let mut ratios = Vec::new();
+            for app in &ds.apps {
+                for input in &ds.inputs {
+                    let src = stats.cell_index(app, input, tuned_for).expect("full grid");
+                    let dst = stats.cell_index(app, input, run_on).expect("full grid");
+                    let cfg = stats.best_config(src);
+                    let slowdown =
+                        stats.median_of(dst, cfg) / stats.median_of(dst, stats.best_config(dst));
+                    ratios.push(slowdown);
+                }
+            }
+            matrix[on_idx][from_idx] = geomean(&ratios);
+        }
+    }
+    // Column/row geomeans exclude the diagonal (which is 1 by
+    // construction), matching the "on all *other* chips" reading.
+    let column_geomeans = (0..k)
+        .map(|c| {
+            geomean(
+                &(0..k)
+                    .filter(|&r| r != c)
+                    .map(|r| matrix[r][c])
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let row_geomeans = (0..k)
+        .map(|r| {
+            geomean(
+                &(0..k)
+                    .filter(|&c| c != r)
+                    .map(|c| matrix[r][c])
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    Heatmap {
+        chips,
+        matrix,
+        column_geomeans,
+        row_geomeans,
+    }
+}
+
+/// Per-chip performance envelope (Table II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipExtremes {
+    /// Chip name.
+    pub chip: String,
+    /// Largest speedup of any configuration over baseline on this chip.
+    pub max_speedup: f64,
+    /// (application, input) of the largest speedup.
+    pub speedup_test: (String, String),
+    /// Largest slowdown factor (baseline / config median, inverted to a
+    /// ≥ 1 "slowdown of" value).
+    pub max_slowdown: f64,
+    /// (application, input) of the largest slowdown.
+    pub slowdown_test: (String, String),
+}
+
+/// Computes Table II: the extreme speedup and slowdown per chip across
+/// all (application, input, configuration) combinations.
+pub fn extremes(stats: &DatasetStats<'_>) -> Vec<ChipExtremes> {
+    let ds = stats.dataset();
+    ds.chips
+        .iter()
+        .map(|chip| {
+            let mut best = (1.0f64, (String::new(), String::new()));
+            let mut worst = (1.0f64, (String::new(), String::new()));
+            for cell in stats.select_indices(None, None, Some(chip)) {
+                for cfg in all_configs() {
+                    if cfg.is_baseline() {
+                        continue;
+                    }
+                    let speedup = stats.speedup(cell, cfg);
+                    if speedup > best.0 {
+                        best = (
+                            speedup,
+                            (ds.cells[cell].app.clone(), ds.cells[cell].input.clone()),
+                        );
+                    }
+                    let slowdown = 1.0 / speedup;
+                    if slowdown > worst.0 {
+                        worst = (
+                            slowdown,
+                            (ds.cells[cell].app.clone(), ds.cells[cell].input.clone()),
+                        );
+                    }
+                }
+            }
+            ChipExtremes {
+                chip: chip.clone(),
+                max_speedup: best.0,
+                speedup_test: best.1,
+                max_slowdown: worst.0,
+                slowdown_test: worst.1,
+            }
+        })
+        .collect()
+}
+
+/// One row of the Table III global ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedConfig {
+    /// The configuration.
+    pub config: OptConfig,
+    /// Cells where applying it globally causes a significant slowdown.
+    pub slowdowns: usize,
+    /// Cells where it causes a significant speedup.
+    pub speedups: usize,
+    /// Geomean speedup over baseline across all cells.
+    pub geomean_speedup: f64,
+}
+
+/// Computes Table III: every non-baseline configuration applied globally,
+/// ranked by the number of slowdowns it causes (ascending; ties broken by
+/// more speedups, then higher geomean).
+pub fn ranking(stats: &DatasetStats<'_>) -> Vec<RankedConfig> {
+    let n = stats.num_cells();
+    let mut rows: Vec<RankedConfig> = all_configs()
+        .into_iter()
+        .filter(|c| !c.is_baseline())
+        .map(|config| {
+            let (mut slowdowns, mut speedups) = (0, 0);
+            let mut ratios = Vec::with_capacity(n);
+            for cell in 0..n {
+                match classify(stats, cell, config) {
+                    Outcome::Slowdown => slowdowns += 1,
+                    Outcome::Speedup => speedups += 1,
+                    Outcome::NoChange => {}
+                }
+                ratios.push(stats.speedup(cell, config));
+            }
+            RankedConfig {
+                config,
+                slowdowns,
+                speedups,
+                geomean_speedup: geomean(&ratios),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        a.slowdowns
+            .cmp(&b.slowdowns)
+            .then(b.speedups.cmp(&a.speedups))
+            .then(
+                b.geomean_speedup
+                    .partial_cmp(&a.geomean_speedup)
+                    .expect("finite"),
+            )
+    });
+    rows
+}
+
+/// The configuration maximising geomean speedup across the whole dataset
+/// — the biased "maximise geomean" pick of Section II-C.
+pub fn max_geomean_config(stats: &DatasetStats<'_>) -> RankedConfig {
+    ranking(stats)
+        .into_iter()
+        .max_by(|a, b| {
+            a.geomean_speedup
+                .partial_cmp(&b.geomean_speedup)
+                .expect("finite")
+        })
+        .expect("non-empty configuration space")
+}
+
+/// Per-chip speedup/slowdown counts for one globally applied
+/// configuration (Table IV).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerChipOutcome {
+    /// Chip name.
+    pub chip: String,
+    /// Significant speedups on this chip.
+    pub speedups: usize,
+    /// Significant slowdowns on this chip.
+    pub slowdowns: usize,
+    /// Largest individual speedup on this chip.
+    pub max_speedup: f64,
+}
+
+/// Computes Table IV for one configuration.
+pub fn per_chip_outcomes(stats: &DatasetStats<'_>, config: OptConfig) -> Vec<PerChipOutcome> {
+    stats
+        .dataset()
+        .chips
+        .iter()
+        .map(|chip| {
+            let cells = stats.select_indices(None, None, Some(chip));
+            let (mut speedups, mut slowdowns) = (0, 0);
+            let mut max_speedup = 1.0f64;
+            for cell in cells {
+                match classify(stats, cell, config) {
+                    Outcome::Speedup => speedups += 1,
+                    Outcome::Slowdown => slowdowns += 1,
+                    Outcome::NoChange => {}
+                }
+                max_speedup = max_speedup.max(stats.speedup(cell, config));
+            }
+            PerChipOutcome {
+                chip: chip.clone(),
+                speedups,
+                slowdowns,
+                max_speedup,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 2: how often each optimisation appears in the per-test oracle
+/// configurations of each chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopOptUsage {
+    /// Chip name.
+    pub chip: String,
+    /// For each optimisation (in [`Optimization::ALL`] order), the
+    /// fraction of this chip's improvable tests whose oracle enables it.
+    pub usage: Vec<(Optimization, f64)>,
+}
+
+/// Computes Fig. 2 from the per-cell oracle configurations.
+pub fn top_speedup_opts(stats: &DatasetStats<'_>) -> Vec<TopOptUsage> {
+    stats
+        .dataset()
+        .chips
+        .iter()
+        .map(|chip| {
+            let cells: Vec<usize> = stats
+                .select_indices(None, None, Some(chip))
+                .into_iter()
+                .filter(|&c| improvable(stats, c))
+                .collect();
+            let usage = Optimization::ALL
+                .into_iter()
+                .map(|opt| {
+                    let count = cells
+                        .iter()
+                        .filter(|&&c| stats.best_config(c).enables(opt))
+                        .count();
+                    (
+                        opt,
+                        if cells.is_empty() {
+                            0.0
+                        } else {
+                            count as f64 / cells.len() as f64
+                        },
+                    )
+                })
+                .collect();
+            TopOptUsage {
+                chip: chip.clone(),
+                usage,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{build_assignment, Strategy};
+    use gpp_apps::study::{run_study, StudyConfig};
+
+    fn stats_fixture(ds: &gpp_apps::study::Dataset) -> DatasetStats<'_> {
+        DatasetStats::new(ds)
+    }
+
+    #[test]
+    fn baseline_classifies_as_no_change() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = stats_fixture(&ds);
+        for cell in (0..stats.num_cells()).step_by(31) {
+            assert_eq!(
+                classify(&stats, cell, OptConfig::baseline()),
+                Outcome::NoChange
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_never_classified_slower() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = stats_fixture(&ds);
+        for cell in 0..stats.num_cells() {
+            assert_ne!(
+                classify(&stats, cell, stats.best_config(cell)),
+                Outcome::Slowdown
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_evaluation_is_perfect() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = stats_fixture(&ds);
+        let oracle = build_assignment(&stats, Strategy::Oracle);
+        let eval = evaluate_assignment(&stats, &oracle);
+        assert_eq!(eval.slowdowns, 0);
+        assert_eq!(eval.speedups, eval.improvable);
+        assert!((eval.geomean_slowdown_vs_oracle - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_evaluation_shows_no_changes() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = stats_fixture(&ds);
+        let baseline = build_assignment(&stats, Strategy::Baseline);
+        let eval = evaluate_assignment(&stats, &baseline);
+        assert_eq!(eval.speedups, 0);
+        assert_eq!(eval.slowdowns, 0);
+        assert!((eval.geomean_speedup_vs_baseline - 1.0).abs() < 1e-12);
+        assert!(eval.geomean_slowdown_vs_oracle >= 1.0);
+    }
+
+    #[test]
+    fn heatmap_diagonal_is_one() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = stats_fixture(&ds);
+        let hm = heatmap(&stats);
+        assert_eq!(hm.chips.len(), 6);
+        for i in 0..6 {
+            assert!((hm.matrix[i][i] - 1.0).abs() < 1e-12, "diagonal at {i}");
+            for j in 0..6 {
+                assert!(
+                    hm.matrix[i][j] >= 1.0 - 1e-12,
+                    "[{i}][{j}] = {}",
+                    hm.matrix[i][j]
+                );
+            }
+        }
+        assert_eq!(hm.column_geomeans.len(), 6);
+        assert_eq!(hm.row_geomeans.len(), 6);
+    }
+
+    #[test]
+    fn extremes_cover_every_chip_and_exceed_one() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = stats_fixture(&ds);
+        let ex = extremes(&stats);
+        assert_eq!(ex.len(), 6);
+        for e in &ex {
+            assert!(e.max_speedup >= 1.0, "{}", e.chip);
+            assert!(e.max_slowdown >= 1.0, "{}", e.chip);
+        }
+    }
+
+    #[test]
+    fn ranking_has_95_rows_sorted_by_slowdowns() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = stats_fixture(&ds);
+        let rows = ranking(&stats);
+        assert_eq!(rows.len(), 95);
+        assert!(rows.windows(2).all(|w| w[0].slowdowns <= w[1].slowdowns));
+        for r in &rows {
+            assert!(!r.config.is_baseline());
+            assert!(r.slowdowns + r.speedups <= stats.num_cells());
+        }
+    }
+
+    #[test]
+    fn per_chip_outcomes_partition_the_cells() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = stats_fixture(&ds);
+        let cfg = ranking(&stats)[0].config;
+        let rows = per_chip_outcomes(&stats, cfg);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.speedups + r.slowdowns <= 17 * 3, "{}", r.chip);
+            assert!(r.max_speedup >= 1.0);
+        }
+    }
+
+    #[test]
+    fn top_opts_fractions_in_unit_interval() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = stats_fixture(&ds);
+        for row in top_speedup_opts(&stats) {
+            assert_eq!(row.usage.len(), 7);
+            for (opt, f) in row.usage {
+                assert!((0.0..=1.0).contains(&f), "{} {opt}: {f}", row.chip);
+            }
+        }
+    }
+
+    #[test]
+    fn max_geomean_config_tops_the_geomean_column() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = stats_fixture(&ds);
+        let top = max_geomean_config(&stats);
+        for r in ranking(&stats) {
+            assert!(r.geomean_speedup <= top.geomean_speedup + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The paper's primary contribution: a statistical methodology that
+//! consumes the study's timing dataset and produces *portable
+//! optimisation strategies* at every degree of specialisation, plus the
+//! evaluation machinery behind each table and figure.
+//!
+//! - [`stats`] — medians, geomeans, 95% CIs, and the rank-based
+//!   Mann–Whitney U test with common-language effect size;
+//! - [`analysis`] — Algorithm 1: per-partition enable/disable decisions
+//!   from statistically significant evidence only;
+//! - [`strategy`] — the Table V strategy functions, from `baseline` to
+//!   `oracle`, resolved against a dataset;
+//! - [`evaluation`] — Figures 1–4 and Tables II–IV/IX computations;
+//! - [`report`] — plain-text table rendering for the regenerators.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gpp_apps::study::{run_study, StudyConfig};
+//! use gpp_core::analysis::DatasetStats;
+//! use gpp_core::evaluation::evaluate_assignment;
+//! use gpp_core::strategy::{build_assignment, Strategy};
+//!
+//! let dataset = run_study(&StudyConfig::default());
+//! let stats = DatasetStats::new(&dataset);
+//! let global = build_assignment(&stats, Strategy::Global);
+//! let eval = evaluate_assignment(&stats, &global);
+//! println!("fully portable strategy: {} speedups, {} slowdowns",
+//!          eval.speedups, eval.slowdowns);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod evaluation;
+pub mod predict;
+pub mod report;
+pub mod sensitivity;
+pub mod stats;
+pub mod strategy;
+
+pub use analysis::{opts_for_partition, DatasetStats, Decision, OptDecision, PartitionAnalysis};
+pub use evaluation::{
+    classify, evaluate_assignment, extremes, heatmap, improvable, max_geomean_config,
+    per_chip_outcomes, ranking, top_speedup_opts, Heatmap, Outcome, RankedConfig,
+    StrategyEvaluation,
+};
+pub use predict::{leave_one_out, predict_config, probe_set, PredictionEvaluation};
+pub use sensitivity::{subsample_sensitivity, SensitivityPoint, SensitivityReport};
+pub use strategy::{build_assignment, chip_function, Assignment, PartitionKey, Strategy};

@@ -1,0 +1,228 @@
+//! A predictive model on top of the descriptive analysis — the paper's
+//! second future-work direction (Section IX-b): instead of exhaustively
+//! measuring all 96 configurations for a new test, measure a handful of
+//! *probe* configurations and predict a good configuration from the tests
+//! already in the dataset.
+//!
+//! The predictor is deliberately simple and magnitude-agnostic in spirit:
+//! a test's *signature* is the vector of log-ratios of its probe times to
+//! its baseline time; prediction finds the nearest known test on the same
+//! chip (excluding every cell of the target's own (application, input)
+//! pair, so evaluation is leakage-free) and recommends that neighbour's
+//! oracle configuration.
+
+use gpp_sim::opts::{all_configs, OptConfig, Optimization};
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::DatasetStats;
+use crate::stats::geomean;
+
+/// A deterministic probe set of `k` configurations (baseline first).
+///
+/// The first probes are the seven single-optimisation configurations —
+/// the axes of the space — followed by progressively larger combinations.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the configuration space.
+pub fn probe_set(k: usize) -> Vec<OptConfig> {
+    assert!(k >= 1, "need at least the baseline probe");
+    let mut probes = vec![OptConfig::baseline()];
+    for opt in Optimization::ALL {
+        probes.push(OptConfig::baseline().with(opt));
+    }
+    probes.push(OptConfig::from_opts([Optimization::Sg, Optimization::Fg8]));
+    probes.push(OptConfig::from_opts([
+        Optimization::CoopCv,
+        Optimization::Oitergb,
+    ]));
+    probes.push(OptConfig::from_opts([
+        Optimization::Sg,
+        Optimization::Fg8,
+        Optimization::Oitergb,
+        Optimization::Sz256,
+    ]));
+    probes.push(OptConfig::from_opts([
+        Optimization::Wg,
+        Optimization::Sz256,
+    ]));
+    // Top up from the full space if even more probes are requested.
+    for cfg in all_configs() {
+        if probes.len() >= k.max(1) {
+            break;
+        }
+        if !probes.contains(&cfg) {
+            probes.push(cfg);
+        }
+    }
+    probes.truncate(k);
+    assert!(!probes.is_empty());
+    probes
+}
+
+/// The probe signature of one cell: log-ratios of each probe's median
+/// time to the cell's baseline median. The baseline probe contributes a
+/// leading zero, keeping vector lengths aligned with the probe set.
+pub fn signature(stats: &DatasetStats<'_>, cell: usize, probes: &[OptConfig]) -> Vec<f64> {
+    let base = stats.median_of(cell, OptConfig::baseline());
+    probes
+        .iter()
+        .map(|&cfg| (stats.median_of(cell, cfg) / base).ln())
+        .collect()
+}
+
+fn distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Predicts a configuration for `target` from its probe measurements:
+/// the oracle configuration of the nearest same-chip neighbour whose
+/// (application, input) differs from the target's.
+///
+/// Falls back to the baseline when no eligible neighbour exists.
+pub fn predict_config(stats: &DatasetStats<'_>, target: usize, probes: &[OptConfig]) -> OptConfig {
+    let ds = stats.dataset();
+    let target_cell = &ds.cells[target];
+    let target_sig = signature(stats, target, probes);
+    let mut best: Option<(f64, usize)> = None;
+    for (i, cell) in ds.cells.iter().enumerate() {
+        if cell.chip != target_cell.chip {
+            continue;
+        }
+        if cell.app == target_cell.app && cell.input == target_cell.input {
+            continue; // leakage guard: the target's own test is unknown
+        }
+        let d = distance(&target_sig, &signature(stats, i, probes));
+        if best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, i));
+        }
+    }
+    match best {
+        Some((_, neighbour)) => stats.best_config(neighbour),
+        None => OptConfig::baseline(),
+    }
+}
+
+/// Leave-one-out evaluation of the predictor over the whole dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionEvaluation {
+    /// Probes measured per prediction (out of 96 configurations).
+    pub probes: usize,
+    /// Geomean of `t(predicted) / t(oracle)` over all cells (≥ 1).
+    pub geomean_vs_oracle: f64,
+    /// Fraction of cells where the prediction is within 5% of the oracle.
+    pub near_oracle: f64,
+    /// Fraction of cells where the prediction beats the baseline.
+    pub beats_baseline: f64,
+}
+
+/// Runs leave-one-out prediction for every cell with a `k`-probe set.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or `k` is zero.
+pub fn leave_one_out(stats: &DatasetStats<'_>, k: usize) -> PredictionEvaluation {
+    let probes = probe_set(k);
+    let n = stats.num_cells();
+    assert!(n > 0, "dataset must not be empty");
+    let mut ratios = Vec::with_capacity(n);
+    let (mut near, mut beats) = (0usize, 0usize);
+    for cell in 0..n {
+        let predicted = predict_config(stats, cell, &probes);
+        let t_pred = stats.median_of(cell, predicted);
+        let t_oracle = stats.median_of(cell, stats.best_config(cell));
+        let t_base = stats.median_of(cell, OptConfig::baseline());
+        ratios.push(t_pred / t_oracle);
+        if t_pred / t_oracle < 1.05 {
+            near += 1;
+        }
+        if t_pred < t_base {
+            beats += 1;
+        }
+    }
+    PredictionEvaluation {
+        probes: probes.len(),
+        geomean_vs_oracle: geomean(&ratios),
+        near_oracle: near as f64 / n as f64,
+        beats_baseline: beats as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_apps::study::{run_study, StudyConfig};
+
+    #[test]
+    fn probe_sets_are_deterministic_prefixes() {
+        let p4 = probe_set(4);
+        let p8 = probe_set(8);
+        assert_eq!(p4.len(), 4);
+        assert_eq!(&p8[..4], &p4[..]);
+        assert!(p4[0].is_baseline());
+        // No duplicates.
+        let mut q = p8.clone();
+        q.sort();
+        q.dedup();
+        assert_eq!(q.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline probe")]
+    fn probe_set_rejects_zero() {
+        probe_set(0);
+    }
+
+    #[test]
+    fn signature_starts_at_zero_and_is_finite() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = crate::analysis::DatasetStats::new(&ds);
+        let probes = probe_set(6);
+        let sig = signature(&stats, 0, &probes);
+        assert_eq!(sig.len(), 6);
+        assert!(sig[0].abs() < 1e-12, "baseline ratio must be 1");
+        assert!(sig.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn prediction_beats_no_optimisation_on_average() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = crate::analysis::DatasetStats::new(&ds);
+        let eval = leave_one_out(&stats, 8);
+        assert!(eval.geomean_vs_oracle >= 1.0);
+        assert!(
+            eval.beats_baseline > 0.5,
+            "predictor should usually help: {eval:?}"
+        );
+        assert!((0.0..=1.0).contains(&eval.near_oracle));
+    }
+
+    #[test]
+    fn more_probes_do_not_hurt_much() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = crate::analysis::DatasetStats::new(&ds);
+        let few = leave_one_out(&stats, 2);
+        let many = leave_one_out(&stats, 12);
+        // Not strictly monotone, but a 12-probe signature should not be
+        // dramatically worse than a 2-probe one.
+        assert!(
+            many.geomean_vs_oracle <= few.geomean_vs_oracle * 1.25,
+            "{few:?} vs {many:?}"
+        );
+    }
+
+    #[test]
+    fn predict_config_never_returns_invalid_configs() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = crate::analysis::DatasetStats::new(&ds);
+        let probes = probe_set(4);
+        for cell in (0..stats.num_cells()).step_by(17) {
+            let cfg = predict_config(&stats, cell, &probes);
+            assert!(cfg.index() < 96);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Plain-text table rendering for the experiment regenerators.
+
+use std::fmt::Write as _;
+
+/// A fixed-width text table with a header row.
+///
+/// # Example
+///
+/// ```
+/// use gpp_core::report::Table;
+///
+/// let mut t = Table::new(["chip", "speedup"]);
+/// t.row(["R9", "22.1"]);
+/// t.row(["MALI", "1.0"]);
+/// let text = t.render();
+/// assert!(text.contains("chip"));
+/// assert!(text.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length does not match the header.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width must match header");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, width)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}");
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let row_line = |cells: &[String]| {
+            let mut line = String::from("|");
+            for cell in cells {
+                let _ = write!(line, " {} |", cell.replace('|', "\\|"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&row_line(&self.headers));
+        out.push('|');
+        for _ in &self.headers {
+            out.push_str(" --- |");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row_line(row));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a ratio with two decimals and a trailing `x` (`"1.23x"`).
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a fraction as a percentage (`"62%"`).
+pub fn percent(v: f64) -> String {
+    format!("{:.0}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["longish-name", "1"]).row(["x", "22"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].starts_with("longish-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_mismatched_rows() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = Table::new(["a"]);
+        assert!(t.is_empty());
+        t.row(["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(1.234), "1.23x");
+        assert_eq!(percent(0.625), "62%");
+    }
+
+    #[test]
+    fn markdown_has_separator_and_escapes_pipes() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x|y", "2"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |"));
+        assert!(md.contains("| --- | --- |"));
+        assert!(md.contains("x\\|y"));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new(["h"]);
+        t.row(["v"]);
+        assert_eq!(t.to_string(), t.render());
+    }
+}

@@ -1,0 +1,194 @@
+//! Sample-size sensitivity: the paper's future-work question (Section
+//! IX-b) — could a *subset* of the test domain yield the same
+//! recommendations as the exhaustive dataset?
+//!
+//! The experiment: repeatedly subsample the (application, input) tests —
+//! keeping all chips for each kept test — rerun the per-chip analysis of
+//! Algorithm 1 on the reduced dataset, and measure how often its
+//! enable/disable verdicts agree with those from the full dataset.
+
+use gpp_apps::study::Dataset;
+use gpp_graph::rng::Rng64;
+use gpp_sim::opts::Optimization;
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{DatasetStats, Decision};
+use crate::strategy::chip_function;
+
+/// Agreement of one subsampled analysis with the full analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityPoint {
+    /// Fraction of (application, input) tests kept.
+    pub fraction: f64,
+    /// Tests kept (out of applications × inputs).
+    pub tests_kept: usize,
+    /// Fraction of (chip, optimisation) verdicts matching the full
+    /// dataset's, averaged over trials.
+    pub decision_agreement: f64,
+    /// Fraction of per-chip recommended configurations identical to the
+    /// full dataset's, averaged over trials.
+    pub config_agreement: f64,
+    /// Fraction of verdicts that were inconclusive in the subsample,
+    /// averaged over trials.
+    pub inconclusive: f64,
+}
+
+/// The full sensitivity sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityReport {
+    /// One point per requested fraction, in input order.
+    pub points: Vec<SensitivityPoint>,
+    /// Trials averaged per point.
+    pub trials: usize,
+}
+
+/// Runs the sensitivity sweep.
+///
+/// For each `fraction`, `trials` random subsets of the (application,
+/// input) tests are drawn (seeded deterministically from `seed`), the
+/// per-chip analysis is rerun on each, and verdict/config agreement with
+/// the full-dataset analysis is averaged.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero, a fraction is outside `(0, 1]`, or the
+/// dataset is empty.
+pub fn subsample_sensitivity(
+    dataset: &Dataset,
+    fractions: &[f64],
+    trials: usize,
+    seed: u64,
+) -> SensitivityReport {
+    assert!(trials > 0, "need at least one trial");
+    assert!(!dataset.cells.is_empty(), "dataset must not be empty");
+    let full_stats = DatasetStats::new(dataset);
+    let full = chip_function(&full_stats);
+
+    // The unit of subsampling is one (application, input) test.
+    let mut tests: Vec<(String, String)> = Vec::new();
+    for app in &dataset.apps {
+        for input in &dataset.inputs {
+            tests.push((app.clone(), input.clone()));
+        }
+    }
+
+    let mut rng = Rng64::new(seed ^ 0x5e5e_11fe);
+    let mut points = Vec::with_capacity(fractions.len());
+    for &fraction in fractions {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction {fraction} out of range"
+        );
+        let keep = ((tests.len() as f64 * fraction).round() as usize).clamp(1, tests.len());
+        let (mut agree_sum, mut config_sum, mut inconclusive_sum) = (0.0f64, 0.0f64, 0.0f64);
+        for _ in 0..trials {
+            let mut order: Vec<usize> = (0..tests.len()).collect();
+            rng.shuffle(&mut order);
+            let kept: Vec<&(String, String)> = order[..keep].iter().map(|&i| &tests[i]).collect();
+            let sub = Dataset {
+                apps: dataset.apps.clone(),
+                inputs: dataset.inputs.clone(),
+                chips: dataset.chips.clone(),
+                runs: dataset.runs,
+                cells: dataset
+                    .cells
+                    .iter()
+                    .filter(|c| kept.iter().any(|(a, i)| c.app == *a && c.input == *i))
+                    .cloned()
+                    .collect(),
+            };
+            let sub_stats = DatasetStats::new(&sub);
+            let sub_fn = chip_function(&sub_stats);
+
+            let (mut agree, mut total, mut inconclusive) = (0usize, 0usize, 0usize);
+            let mut configs_match = 0usize;
+            for ((chip_a, full_a), (chip_b, sub_a)) in full.iter().zip(&sub_fn) {
+                assert_eq!(chip_a, chip_b, "chip order is stable");
+                for opt in Optimization::ALL {
+                    total += 1;
+                    let (fd, sd) = (full_a.decision(opt).decision, sub_a.decision(opt).decision);
+                    if sd == Decision::Inconclusive {
+                        inconclusive += 1;
+                    }
+                    if fd == sd {
+                        agree += 1;
+                    }
+                }
+                if full_a.config == sub_a.config {
+                    configs_match += 1;
+                }
+            }
+            agree_sum += agree as f64 / total as f64;
+            config_sum += configs_match as f64 / full.len() as f64;
+            inconclusive_sum += inconclusive as f64 / total as f64;
+        }
+        points.push(SensitivityPoint {
+            fraction,
+            tests_kept: keep,
+            decision_agreement: agree_sum / trials as f64,
+            config_agreement: config_sum / trials as f64,
+            inconclusive: inconclusive_sum / trials as f64,
+        });
+    }
+    SensitivityReport { points, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_apps::study::{run_study, StudyConfig};
+
+    fn tiny() -> Dataset {
+        run_study(&StudyConfig::tiny())
+    }
+
+    #[test]
+    fn full_fraction_agrees_perfectly() {
+        let ds = tiny();
+        let report = subsample_sensitivity(&ds, &[1.0], 2, 7);
+        let p = &report.points[0];
+        assert_eq!(p.tests_kept, 51);
+        assert!((p.decision_agreement - 1.0).abs() < 1e-12);
+        assert!((p.config_agreement - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_declines_or_holds_with_smaller_samples() {
+        let ds = tiny();
+        let report = subsample_sensitivity(&ds, &[1.0, 0.5, 0.1], 3, 11);
+        assert_eq!(report.points.len(), 3);
+        let full = report.points[0].decision_agreement;
+        for p in &report.points[1..] {
+            assert!(p.decision_agreement <= full + 1e-12, "{p:?}");
+            assert!((0.0..=1.0).contains(&p.decision_agreement));
+            assert!((0.0..=1.0).contains(&p.config_agreement));
+        }
+    }
+
+    #[test]
+    fn smaller_samples_are_more_often_inconclusive() {
+        let ds = tiny();
+        let report = subsample_sensitivity(&ds, &[1.0, 0.05], 3, 3);
+        assert!(report.points[1].inconclusive >= report.points[0].inconclusive);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_in_seed() {
+        let ds = tiny();
+        let a = subsample_sensitivity(&ds, &[0.3], 2, 5);
+        let b = subsample_sensitivity(&ds, &[0.3], 2, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn rejects_zero_fraction() {
+        subsample_sensitivity(&tiny(), &[0.0], 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial")]
+    fn rejects_zero_trials() {
+        subsample_sensitivity(&tiny(), &[0.5], 0, 1);
+    }
+}

@@ -1,0 +1,317 @@
+//! Statistical machinery of the analysis: medians, geometric means, 95%
+//! confidence intervals, and the rank-based Mann–Whitney U test with its
+//! common-language effect size.
+//!
+//! The paper's key methodological point (Sections II-C and III) is that
+//! *magnitude-based* summaries are biased towards optimisation-sensitive
+//! chips, so the enable/disable decision uses the *rank-based* MWU test,
+//! which only asks whether one sample is stochastically smaller than the
+//! other.
+
+/// Median of a sample (the upper median for even sizes, matching the
+/// dataset's 3-run cells where it is simply the middle run).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains NaN.
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty sample");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("median requires non-NaN values"));
+    v[v.len() / 2]
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any value is not positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty sample");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A 95% confidence interval for the mean of a small sample, using the
+/// t-distribution critical values for the tiny degrees of freedom that
+/// occur with the study's 3-run measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ci95 {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+/// Two-sided t critical values at 95% for df = 1..=30 (df > 30 uses the
+/// normal value 1.96).
+const T_CRIT: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Computes the sample's 95% CI for the mean. A single observation yields
+/// the degenerate interval `[x, x]`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn ci95(values: &[f64]) -> Ci95 {
+    assert!(!values.is_empty(), "CI of empty sample");
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return Ci95 { lo: mean, hi: mean };
+    }
+    let var = values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+    let t = T_CRIT.get(n - 2).copied().unwrap_or(1.96);
+    let half = t * (var / n as f64).sqrt();
+    Ci95 {
+        lo: mean - half,
+        hi: mean + half,
+    }
+}
+
+/// Whether two samples differ significantly at the 95% level, judged by
+/// non-overlapping confidence intervals — the `SIGNIFICANT` predicate of
+/// Algorithm 1 (line 14).
+pub fn significantly_different(a: &[f64], b: &[f64]) -> bool {
+    let (ca, cb) = (ci95(a), ci95(b));
+    ca.hi < cb.lo || cb.hi < ca.lo
+}
+
+/// Result of a two-sided Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MwuResult {
+    /// The U statistic of the first sample.
+    pub u: f64,
+    /// Two-sided p-value (normal approximation with tie correction and
+    /// continuity correction).
+    pub p_value: f64,
+    /// Common-language effect size: the probability that a random draw
+    /// from the first sample is *smaller* than one from the second
+    /// (ties count half). For normalised runtimes against a baseline of
+    /// 1.0 this is the probability of a speedup.
+    pub effect_size: f64,
+}
+
+/// Runs the two-sided Mann–Whitney U test on two samples.
+///
+/// Returns `None` when either sample is empty or when every value is tied
+/// (zero rank variance), in which case no decision can be made.
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MwuResult> {
+    let (n1, n2) = (a.len(), b.len());
+    if n1 == 0 || n2 == 0 {
+        return None;
+    }
+    // Rank the pooled sample, averaging ranks over ties.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&v| (v, 0usize))
+        .chain(b.iter().map(|&v| (v, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("MWU requires non-NaN values"));
+
+    let n = pooled.len();
+    let mut rank_sum_a = 0.0f64;
+    let mut tie_term = 0.0f64; // sum of t^3 - t over tie groups
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let tie_len = (j - i + 1) as f64;
+        // Average rank of the tie group (1-based ranks).
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for entry in &pooled[i..=j] {
+            if entry.1 == 0 {
+                rank_sum_a += avg_rank;
+            }
+        }
+        if tie_len > 1.0 {
+            tie_term += tie_len * tie_len * tie_len - tie_len;
+        }
+        i = j + 1;
+    }
+
+    let (n1f, n2f, nf) = (n1 as f64, n2 as f64, n as f64);
+    let u1 = rank_sum_a - n1f * (n1f + 1.0) / 2.0;
+    let mean_u = n1f * n2f / 2.0;
+    let var_u = if nf > 1.0 {
+        (n1f * n2f / 12.0) * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)))
+    } else {
+        0.0
+    };
+    // Effect size: P(a < b) with ties counted half. U1 counts pairs where
+    // a beats b (is larger), so invert.
+    let effect_size = 1.0 - u1 / (n1f * n2f);
+
+    if var_u <= 0.0 {
+        // All values tied: no evidence of difference.
+        return Some(MwuResult {
+            u: u1,
+            p_value: 1.0,
+            effect_size,
+        });
+    }
+    // Continuity-corrected normal approximation.
+    let diff = u1 - mean_u;
+    let z = (diff.abs() - 0.5).max(0.0) / var_u.sqrt();
+    let p_value = 2.0 * (1.0 - standard_normal_cdf(z));
+    Some(MwuResult {
+        u: u1,
+        p_value: p_value.clamp(0.0, 1.0),
+        effect_size,
+    })
+}
+
+/// Φ(z): standard normal CDF via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7).
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 3.0); // upper median
+        assert_eq!(median(&[5.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn median_rejects_empty() {
+        median(&[]);
+    }
+
+    #[test]
+    fn geomean_known_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[0.5, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn ci95_contains_mean_and_shrinks_with_n() {
+        let wide = ci95(&[10.0, 12.0, 14.0]);
+        assert!(wide.lo < 12.0 && 12.0 < wide.hi);
+        let narrow = ci95(&[10.0, 12.0, 14.0, 10.0, 12.0, 14.0, 10.0, 12.0, 14.0]);
+        assert!(narrow.hi - narrow.lo < wide.hi - wide.lo);
+    }
+
+    #[test]
+    fn ci95_single_value_is_degenerate() {
+        let ci = ci95(&[7.0]);
+        assert_eq!((ci.lo, ci.hi), (7.0, 7.0));
+    }
+
+    #[test]
+    fn clearly_different_samples_are_significant() {
+        assert!(significantly_different(
+            &[1.0, 1.01, 0.99],
+            &[2.0, 2.01, 1.99]
+        ));
+    }
+
+    #[test]
+    fn noisy_overlapping_samples_are_not_significant() {
+        assert!(!significantly_different(&[1.0, 2.0, 3.0], &[1.5, 2.5, 3.5]));
+    }
+
+    #[test]
+    fn mwu_detects_stochastic_dominance() {
+        let a: Vec<f64> = (0..30).map(|i| 0.5 + i as f64 * 0.001).collect();
+        let b: Vec<f64> = (0..30).map(|i| 1.5 + i as f64 * 0.001).collect();
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p_value < 0.001, "p={}", r.p_value);
+        assert!(r.effect_size > 0.99);
+    }
+
+    #[test]
+    fn mwu_identical_samples_not_significant() {
+        let a = vec![1.0; 10];
+        let b = vec![1.0; 10];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        assert!((r.effect_size - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mwu_symmetry_of_effect_size() {
+        let a = vec![0.8, 0.9, 1.1, 0.7, 0.95];
+        let b = vec![1.0, 1.0, 1.0, 1.0, 1.0];
+        let ab = mann_whitney_u(&a, &b).unwrap();
+        let ba = mann_whitney_u(&b, &a).unwrap();
+        assert!((ab.effect_size + ba.effect_size - 1.0).abs() < 1e-12);
+        assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mwu_empty_sample_is_none() {
+        assert!(mann_whitney_u(&[], &[1.0]).is_none());
+        assert!(mann_whitney_u(&[1.0], &[]).is_none());
+    }
+
+    #[test]
+    fn mwu_small_samples_cannot_reach_significance() {
+        // Two observations per side cannot reach p < 0.05 under MWU.
+        let r = mann_whitney_u(&[0.1, 0.2], &[1.0, 1.0]).unwrap();
+        assert!(r.p_value > 0.05, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn mwu_is_magnitude_agnostic() {
+        // Scaling one sample's spread must not change the verdict: the
+        // property that motivates the paper's choice of test.
+        let a1: Vec<f64> = (0..20).map(|i| 0.9 - i as f64 * 0.001).collect();
+        let a2: Vec<f64> = (0..20).map(|i| 0.9 - i as f64 * 0.02).collect();
+        let b = vec![1.0; 20];
+        let r1 = mann_whitney_u(&a1, &b).unwrap();
+        let r2 = mann_whitney_u(&a2, &b).unwrap();
+        assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+        assert_eq!(r1.effect_size, r2.effect_size);
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((standard_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(standard_normal_cdf(6.0) > 0.999_999);
+    }
+
+    #[test]
+    fn mwu_effect_size_counts_ties_half() {
+        let r = mann_whitney_u(&[1.0], &[1.0]).unwrap();
+        assert!((r.effect_size - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,298 @@
+//! The optimisation strategy functions of paper Table V: from the fully
+//! portable `baseline` and `global` through every combination of
+//! specialisation over chip, application and input, up to the
+//! fully-specialised `oracle`.
+
+use std::collections::HashMap;
+
+use gpp_sim::opts::OptConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{opts_for_partition, DatasetStats, PartitionAnalysis};
+
+/// The ten strategies of the study (Table V's nine functions plus the
+/// measured oracle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Strategy {
+    /// All optimisations disabled everywhere.
+    Baseline,
+    /// One configuration for the whole dataset (fully portable).
+    Global,
+    /// Specialised per chip.
+    Chip,
+    /// Specialised per application.
+    App,
+    /// Specialised per input.
+    Input,
+    /// Specialised per (chip, application).
+    ChipApp,
+    /// Specialised per (chip, input).
+    ChipInput,
+    /// Specialised per (application, input).
+    AppInput,
+    /// Specialised per (chip, application, input) via the analysis.
+    ChipAppInput,
+    /// The measured best configuration per test (full specialisation).
+    Oracle,
+}
+
+impl Strategy {
+    /// All strategies, ordered from fully portable to fully specialised.
+    pub const ALL: [Strategy; 10] = [
+        Strategy::Baseline,
+        Strategy::Global,
+        Strategy::Chip,
+        Strategy::App,
+        Strategy::Input,
+        Strategy::ChipApp,
+        Strategy::ChipInput,
+        Strategy::AppInput,
+        Strategy::ChipAppInput,
+        Strategy::Oracle,
+    ];
+
+    /// The paper's name for the strategy.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Baseline => "baseline",
+            Strategy::Global => "global",
+            Strategy::Chip => "chip",
+            Strategy::App => "app",
+            Strategy::Input => "input",
+            Strategy::ChipApp => "chip_app",
+            Strategy::ChipInput => "chip_input",
+            Strategy::AppInput => "app_input",
+            Strategy::ChipAppInput => "chip_app_input",
+            Strategy::Oracle => "oracle",
+        }
+    }
+
+    /// Which dimensions the strategy specialises over, as
+    /// `(chip, app, input)` flags. The oracle specialises over all three
+    /// (and additionally uses measured optima rather than the analysis).
+    pub fn specialises(self) -> (bool, bool, bool) {
+        match self {
+            Strategy::Baseline | Strategy::Global => (false, false, false),
+            Strategy::Chip => (true, false, false),
+            Strategy::App => (false, true, false),
+            Strategy::Input => (false, false, true),
+            Strategy::ChipApp => (true, true, false),
+            Strategy::ChipInput => (true, false, true),
+            Strategy::AppInput => (false, true, true),
+            Strategy::ChipAppInput | Strategy::Oracle => (true, true, true),
+        }
+    }
+
+    /// Number of dimensions specialised over.
+    pub fn dimensions(self) -> usize {
+        let (c, a, i) = self.specialises();
+        usize::from(c) + usize::from(a) + usize::from(i)
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A strategy resolved against a dataset: one configuration per cell,
+/// plus the per-partition analysis details that produced them.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    strategy: Strategy,
+    configs: Vec<OptConfig>,
+    partitions: Vec<(PartitionKey, PartitionAnalysis)>,
+}
+
+/// The key of one partition: the specialised dimension values
+/// (`None` = dimension not specialised).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PartitionKey {
+    /// Chip name, if specialised by chip.
+    pub chip: Option<String>,
+    /// Application name, if specialised by application.
+    pub app: Option<String>,
+    /// Input name, if specialised by input.
+    pub input: Option<String>,
+}
+
+impl Assignment {
+    /// The strategy this assignment realises.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The configuration assigned to cell index `cell`.
+    pub fn config(&self, cell: usize) -> OptConfig {
+        self.configs[cell]
+    }
+
+    /// All per-cell configurations, indexed like the dataset's cells.
+    pub fn configs(&self) -> &[OptConfig] {
+        &self.configs
+    }
+
+    /// The per-partition analyses behind this assignment (empty for
+    /// `baseline` and `oracle`, which need no analysis).
+    pub fn partitions(&self) -> &[(PartitionKey, PartitionAnalysis)] {
+        &self.partitions
+    }
+}
+
+/// Resolves `strategy` against the dataset: partitions the cells by the
+/// specialised dimensions, runs Algorithm 1 on each partition, and maps
+/// every cell to its partition's configuration.
+pub fn build_assignment(stats: &DatasetStats<'_>, strategy: Strategy) -> Assignment {
+    let dataset = stats.dataset();
+    let n = stats.num_cells();
+    match strategy {
+        Strategy::Baseline => Assignment {
+            strategy,
+            configs: vec![OptConfig::baseline(); n],
+            partitions: Vec::new(),
+        },
+        Strategy::Oracle => Assignment {
+            strategy,
+            configs: (0..n).map(|i| stats.best_config(i)).collect(),
+            partitions: Vec::new(),
+        },
+        _ => {
+            let (by_chip, by_app, by_input) = strategy.specialises();
+            let mut groups: HashMap<PartitionKey, Vec<usize>> = HashMap::new();
+            for (i, cell) in dataset.cells.iter().enumerate() {
+                let key = PartitionKey {
+                    chip: by_chip.then(|| cell.chip.clone()),
+                    app: by_app.then(|| cell.app.clone()),
+                    input: by_input.then(|| cell.input.clone()),
+                };
+                groups.entry(key).or_default().push(i);
+            }
+            let mut keys: Vec<PartitionKey> = groups.keys().cloned().collect();
+            keys.sort_by_key(|k| (k.chip.clone(), k.app.clone(), k.input.clone()));
+            let mut configs = vec![OptConfig::baseline(); n];
+            let mut partitions = Vec::with_capacity(keys.len());
+            for key in keys {
+                let cells = &groups[&key];
+                let analysis = opts_for_partition(stats, cells);
+                for &i in cells {
+                    configs[i] = analysis.config;
+                }
+                partitions.push((key, analysis));
+            }
+            Assignment {
+                strategy,
+                configs,
+                partitions,
+            }
+        }
+    }
+}
+
+/// The per-chip `chip` function with its Table IX detail: one partition
+/// analysis per chip, in dataset chip order.
+pub fn chip_function(stats: &DatasetStats<'_>) -> Vec<(String, PartitionAnalysis)> {
+    stats
+        .dataset()
+        .chips
+        .iter()
+        .map(|chip| {
+            let cells = stats.select_indices(None, None, Some(chip));
+            (chip.clone(), opts_for_partition(stats, &cells))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_apps::study::{run_study, StudyConfig};
+    use gpp_sim::opts::Optimization;
+
+    #[test]
+    fn strategy_names_and_dimensions() {
+        assert_eq!(Strategy::ALL.len(), 10);
+        assert_eq!(Strategy::Global.dimensions(), 0);
+        assert_eq!(Strategy::Chip.dimensions(), 1);
+        assert_eq!(Strategy::AppInput.dimensions(), 2);
+        assert_eq!(Strategy::Oracle.dimensions(), 3);
+        assert_eq!(Strategy::ChipApp.name(), "chip_app");
+    }
+
+    #[test]
+    fn assignments_cover_every_cell() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = DatasetStats::new(&ds);
+        for strategy in Strategy::ALL {
+            let a = build_assignment(&stats, strategy);
+            assert_eq!(a.configs().len(), ds.cells.len(), "{strategy}");
+            assert_eq!(a.strategy(), strategy);
+        }
+    }
+
+    #[test]
+    fn baseline_assigns_baseline_everywhere() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = DatasetStats::new(&ds);
+        let a = build_assignment(&stats, Strategy::Baseline);
+        assert!(a.configs().iter().all(|c| c.is_baseline()));
+        assert!(a.partitions().is_empty());
+    }
+
+    #[test]
+    fn oracle_assigns_measured_best() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = DatasetStats::new(&ds);
+        let a = build_assignment(&stats, Strategy::Oracle);
+        for i in (0..ds.cells.len()).step_by(23) {
+            assert_eq!(a.config(i), stats.best_config(i));
+        }
+    }
+
+    #[test]
+    fn global_assigns_one_config_everywhere() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = DatasetStats::new(&ds);
+        let a = build_assignment(&stats, Strategy::Global);
+        let first = a.config(0);
+        assert!(a.configs().iter().all(|&c| c == first));
+        assert_eq!(a.partitions().len(), 1);
+    }
+
+    #[test]
+    fn chip_strategy_is_constant_within_a_chip() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = DatasetStats::new(&ds);
+        let a = build_assignment(&stats, Strategy::Chip);
+        assert_eq!(a.partitions().len(), 6);
+        for chip in &ds.chips {
+            let cells = stats.select_indices(None, None, Some(chip));
+            let first = a.config(cells[0]);
+            assert!(cells.iter().all(|&i| a.config(i) == first), "{chip}");
+        }
+    }
+
+    #[test]
+    fn app_input_strategy_partitions_correctly() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = DatasetStats::new(&ds);
+        let a = build_assignment(&stats, Strategy::AppInput);
+        assert_eq!(a.partitions().len(), 17 * 3);
+        // Within one (app, input), all chips share a config.
+        let cells = stats.select_indices(Some("bfs-wl"), Some("road"), None);
+        let first = a.config(cells[0]);
+        assert!(cells.iter().all(|&i| a.config(i) == first));
+    }
+
+    #[test]
+    fn chip_function_covers_all_chips() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = DatasetStats::new(&ds);
+        let table = chip_function(&stats);
+        assert_eq!(table.len(), 6);
+        for (chip, analysis) in &table {
+            assert!(ds.chips.contains(chip));
+            assert_eq!(analysis.decisions.len(), Optimization::ALL.len());
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Incremental construction of [`Graph`] values from edge lists.
+
+use crate::{Graph, GraphError, NodeId};
+
+/// A non-consuming builder for [`Graph`].
+///
+/// Edges may be added in any order; [`GraphBuilder::build`] sorts them,
+/// removes duplicates (keeping the minimum weight, which is what shortest
+/// path style algorithms want), optionally drops self-loops, and optionally
+/// mirrors every edge to produce an undirected graph.
+///
+/// # Example
+///
+/// ```
+/// use gpp_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(4)
+///     .undirected()
+///     .edge(0, 1)
+///     .weighted_edge(1, 2, 5)
+///     .edge(2, 3)
+///     .build()?;
+/// assert_eq!(g.num_edges(), 6);
+/// # Ok::<(), gpp_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId, u32)>,
+    directed: bool,
+    keep_self_loops: bool,
+    weighted: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes and no edges.
+    ///
+    /// The graph is directed by default; call [`GraphBuilder::undirected`]
+    /// to mirror every edge.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            directed: true,
+            keep_self_loops: false,
+            weighted: false,
+        }
+    }
+
+    /// Mirrors every added edge so the built graph is undirected.
+    pub fn undirected(&mut self) -> &mut Self {
+        self.directed = false;
+        self
+    }
+
+    /// Keeps self-loops instead of silently dropping them (the default).
+    pub fn keep_self_loops(&mut self) -> &mut Self {
+        self.keep_self_loops = true;
+        self
+    }
+
+    /// Adds an unweighted edge `u -> v` (weight 1).
+    pub fn edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.edges.push((u, v, 1));
+        self
+    }
+
+    /// Adds a weighted edge `u -> v`.
+    pub fn weighted_edge(&mut self, u: NodeId, v: NodeId, w: u32) -> &mut Self {
+        self.weighted = true;
+        self.edges.push((u, v, w));
+        self
+    }
+
+    /// Adds edges from an iterator of `(u, v)` pairs.
+    pub fn edges<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: I) -> &mut Self {
+        for (u, v) in iter {
+            self.edge(u, v);
+        }
+        self
+    }
+
+    /// Number of edges added so far (before dedup/mirroring).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Builds the CSR graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyGraph`] for zero-node graphs and
+    /// [`GraphError::NodeOutOfBounds`] if any edge endpoint is out of range.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        if self.num_nodes == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        let n = self.num_nodes;
+        for &(u, v, _) in &self.edges {
+            for node in [u, v] {
+                if node as usize >= n {
+                    return Err(GraphError::NodeOutOfBounds {
+                        node: node as u64,
+                        num_nodes: n as u64,
+                    });
+                }
+            }
+        }
+
+        let mut arcs: Vec<(NodeId, NodeId, u32)> =
+            Vec::with_capacity(self.edges.len() * if self.directed { 1 } else { 2 });
+        for &(u, v, w) in &self.edges {
+            if u == v && !self.keep_self_loops {
+                continue;
+            }
+            arcs.push((u, v, w));
+            if !self.directed && u != v {
+                arcs.push((v, u, w));
+            }
+        }
+        // Sort then dedup keeping the minimum weight per (u, v).
+        arcs.sort_unstable();
+        arcs.dedup_by(|next, prev| {
+            if next.0 == prev.0 && next.1 == prev.1 {
+                prev.2 = prev.2.min(next.2);
+                true
+            } else {
+                false
+            }
+        });
+
+        let mut offsets = vec![0u32; n + 1];
+        for &(u, _, _) in &arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<NodeId> = arcs.iter().map(|a| a.1).collect();
+        let weights: Vec<u32> = if self.weighted {
+            arcs.iter().map(|a| a.2).collect()
+        } else {
+            Vec::new()
+        };
+
+        Graph::from_csr(offsets, targets, weights, self.directed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_nodes_is_an_error() {
+        assert_eq!(
+            GraphBuilder::new(0).build().unwrap_err(),
+            GraphError::EmptyGraph
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_edge_is_an_error() {
+        let err = GraphBuilder::new(2).edge(0, 2).build().unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfBounds {
+                node: 2,
+                num_nodes: 2
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_edges_collapse_to_min_weight() {
+        let g = GraphBuilder::new(2)
+            .weighted_edge(0, 1, 7)
+            .weighted_edge(0, 1, 3)
+            .weighted_edge(0, 1, 9)
+            .build()
+            .expect("valid");
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3));
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let g = GraphBuilder::new(2)
+            .edge(0, 0)
+            .edge(0, 1)
+            .build()
+            .expect("valid");
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn self_loops_kept_on_request() {
+        let g = GraphBuilder::new(2)
+            .keep_self_loops()
+            .edge(0, 0)
+            .build()
+            .expect("valid");
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn undirected_mirrors_edges() {
+        let g = GraphBuilder::new(3)
+            .undirected()
+            .edge(0, 1)
+            .build()
+            .expect("valid");
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn undirected_self_loop_not_doubled() {
+        let g = GraphBuilder::new(1)
+            .undirected()
+            .keep_self_loops()
+            .edge(0, 0)
+            .build()
+            .expect("valid");
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = GraphBuilder::new(5)
+            .edges([(0, 4), (0, 1), (0, 3), (0, 2)])
+            .build()
+            .expect("valid");
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pending_edges_counts_additions() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1).edge(1, 2);
+        assert_eq!(b.pending_edges(), 2);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let g = GraphBuilder::new(10).edge(0, 9).build().expect("valid");
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.degree(5), 0);
+    }
+}

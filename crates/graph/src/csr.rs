@@ -1,0 +1,405 @@
+//! Immutable compressed-sparse-row graph representation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::GraphError;
+
+/// Node identifier. The study graphs are well below `u32::MAX` nodes and the
+/// narrow id keeps CSR arrays compact, which matters for the simulator's
+/// memory-traffic accounting.
+pub type NodeId = u32;
+
+/// An immutable graph in compressed-sparse-row form.
+///
+/// Construction goes through [`crate::GraphBuilder`] (or the generators),
+/// which validate all invariants:
+///
+/// - `offsets.len() == num_nodes + 1`, monotonically non-decreasing,
+///   `offsets[0] == 0`, `offsets[n] == targets.len()`;
+/// - every target id is `< num_nodes`;
+/// - if weighted, `weights.len() == targets.len()`.
+///
+/// For undirected graphs every edge is stored in both directions, so
+/// [`Graph::num_edges`] counts *directed arcs*.
+///
+/// # Example
+///
+/// ```
+/// use gpp_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(3).undirected().edge(0, 1).edge(1, 2).build()?;
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 4); // two undirected edges = four arcs
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// # Ok::<(), gpp_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+    weights: Vec<u32>,
+    directed: bool,
+}
+
+impl Graph {
+    /// Builds a graph directly from CSR arrays, validating all invariants.
+    ///
+    /// Prefer [`crate::GraphBuilder`] unless the arrays already exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if the arrays are inconsistent: non-monotonic
+    /// offsets, wrong offset array length, out-of-bounds targets, or a
+    /// weight array whose length does not match the target array.
+    pub fn from_csr(
+        offsets: Vec<u32>,
+        targets: Vec<NodeId>,
+        weights: Vec<u32>,
+        directed: bool,
+    ) -> Result<Self, GraphError> {
+        if offsets.is_empty() {
+            return Err(GraphError::EmptyGraph);
+        }
+        let n = offsets.len() - 1;
+        if offsets[0] != 0 {
+            return Err(GraphError::InvalidParameter {
+                name: "offsets",
+                reason: "offsets[0] must be 0".into(),
+            });
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::InvalidParameter {
+                name: "offsets",
+                reason: "offsets must be non-decreasing".into(),
+            });
+        }
+        if *offsets.last().expect("non-empty") as usize != targets.len() {
+            return Err(GraphError::InvalidParameter {
+                name: "offsets",
+                reason: format!(
+                    "last offset {} does not match target count {}",
+                    offsets.last().expect("non-empty"),
+                    targets.len()
+                ),
+            });
+        }
+        if let Some(&bad) = targets.iter().find(|&&t| t as usize >= n) {
+            return Err(GraphError::NodeOutOfBounds {
+                node: bad as u64,
+                num_nodes: n as u64,
+            });
+        }
+        if !weights.is_empty() && weights.len() != targets.len() {
+            return Err(GraphError::InvalidParameter {
+                name: "weights",
+                reason: format!(
+                    "weight count {} does not match target count {}",
+                    weights.len(),
+                    targets.len()
+                ),
+            });
+        }
+        Ok(Graph {
+            offsets,
+            targets,
+            weights,
+            directed,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed arcs stored (undirected edges count twice).
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the graph was built as directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Whether per-edge weights are attached.
+    pub fn is_weighted(&self) -> bool {
+        !self.weights.is_empty()
+    }
+
+    /// Out-degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn degree(&self, node: NodeId) -> usize {
+        let (lo, hi) = self.range(node);
+        hi - lo
+    }
+
+    /// The neighbors of `node` as a slice (sorted ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        let (lo, hi) = self.range(node);
+        &self.targets[lo..hi]
+    }
+
+    /// The weights of edges out of `node`, parallel to [`Graph::neighbors`].
+    ///
+    /// Returns an empty slice for unweighted graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn edge_weights(&self, node: NodeId) -> &[u32] {
+        if self.weights.is_empty() {
+            return &[];
+        }
+        let (lo, hi) = self.range(node);
+        &self.weights[lo..hi]
+    }
+
+    /// Iterates over `(target, weight)` pairs out of `node`; the weight is 1
+    /// for unweighted graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn out_edges(&self, node: NodeId) -> NeighborIter<'_> {
+        let (lo, hi) = self.range(node);
+        NeighborIter {
+            graph: self,
+            pos: lo,
+            end: hi,
+        }
+    }
+
+    /// Iterates over all node ids `0..num_nodes`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// The maximum out-degree over all nodes (0 for edgeless graphs).
+    pub fn max_degree(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean out-degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        self.num_edges() as f64 / self.num_nodes() as f64
+    }
+
+    /// Raw CSR offset array (length `num_nodes + 1`), for cost models that
+    /// aggregate over the whole degree sequence without per-node calls.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Raw CSR target array.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Returns `true` if the arc `u -> v` exists (binary search).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Weight of arc `u -> v`, if it exists (1 for unweighted graphs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        let idx = self.neighbors(u).binary_search(&v).ok()?;
+        if self.weights.is_empty() {
+            Some(1)
+        } else {
+            let (lo, _) = self.range(u);
+            Some(self.weights[lo + idx])
+        }
+    }
+
+    fn range(&self, node: NodeId) -> (usize, usize) {
+        let n = self.num_nodes();
+        assert!(
+            (node as usize) < n,
+            "node {node} out of bounds for {n} nodes"
+        );
+        (
+            self.offsets[node as usize] as usize,
+            self.offsets[node as usize + 1] as usize,
+        )
+    }
+}
+
+/// Iterator over `(target, weight)` pairs, returned by [`Graph::out_edges`].
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'a> {
+    graph: &'a Graph,
+    pos: usize,
+    end: usize,
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = (NodeId, u32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.end {
+            return None;
+        }
+        let t = self.graph.targets[self.pos];
+        let w = if self.graph.weights.is_empty() {
+            1
+        } else {
+            self.graph.weights[self.pos]
+        };
+        self.pos += 1;
+        Some((t, w))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.end - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> Graph {
+        GraphBuilder::new(3)
+            .undirected()
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn from_csr_validates_offsets_start() {
+        let err = Graph::from_csr(vec![1, 1], vec![], vec![], true).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::InvalidParameter {
+                name: "offsets",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn from_csr_validates_monotonicity() {
+        let err = Graph::from_csr(vec![0, 2, 1], vec![0, 1], vec![], true).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::InvalidParameter {
+                name: "offsets",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn from_csr_validates_target_bounds() {
+        let err = Graph::from_csr(vec![0, 1], vec![5], vec![], true).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfBounds {
+                node: 5,
+                num_nodes: 1
+            }
+        );
+    }
+
+    #[test]
+    fn from_csr_validates_weight_length() {
+        let err = Graph::from_csr(vec![0, 1, 1], vec![1], vec![3, 4], true).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::InvalidParameter {
+                name: "weights",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn from_csr_rejects_empty_offsets() {
+        assert_eq!(
+            Graph::from_csr(vec![], vec![], vec![], true).unwrap_err(),
+            GraphError::EmptyGraph
+        );
+    }
+
+    #[test]
+    fn triangle_shape() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.mean_degree() - 2.0).abs() < 1e-12);
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn out_edges_default_weight_is_one() {
+        let g = triangle();
+        assert_eq!(g.out_edges(0).collect::<Vec<_>>(), vec![(1, 1), (2, 1)]);
+        assert_eq!(g.out_edges(0).len(), 2);
+    }
+
+    #[test]
+    fn weighted_edges_round_trip() {
+        let g = GraphBuilder::new(2)
+            .weighted_edge(0, 1, 9)
+            .build()
+            .expect("valid");
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(0, 1), Some(9));
+        assert_eq!(g.edge_weight(1, 0), None);
+        assert_eq!(g.edge_weights(0), &[9]);
+    }
+
+    #[test]
+    fn edgeless_node_has_empty_slices() {
+        let g = GraphBuilder::new(2).build().expect("valid");
+        assert_eq!(g.neighbors(1), &[] as &[NodeId]);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn neighbors_panics_out_of_bounds() {
+        triangle().neighbors(3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = triangle();
+        let json = serde_json::to_string(&g).expect("serialise");
+        let back: Graph = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced when building, validating, or parsing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a node id `node` outside `0..num_nodes`.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: u64,
+        /// The number of nodes in the graph under construction.
+        num_nodes: u64,
+    },
+    /// The requested graph shape has zero nodes where at least one is needed.
+    EmptyGraph,
+    /// A generator was asked for an impossible configuration
+    /// (e.g. average degree exceeding `n - 1`).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A parse failure in [`crate::io`], with the 1-based line number.
+    Parse {
+        /// Line at which parsing failed.
+        line: usize,
+        /// Description of what went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(
+                    f,
+                    "node id {node} out of bounds for graph with {num_nodes} nodes"
+                )
+            }
+            GraphError::EmptyGraph => write!(f, "graph must have at least one node"),
+            GraphError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            GraphError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_node_and_bound() {
+        let e = GraphError::NodeOutOfBounds {
+            node: 9,
+            num_nodes: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'), "{s}");
+    }
+
+    #[test]
+    fn display_parse_mentions_line() {
+        let e = GraphError::Parse {
+            line: 3,
+            reason: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

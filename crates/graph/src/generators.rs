@@ -1,0 +1,475 @@
+//! Synthetic graph generators spanning the study's three input classes.
+//!
+//! The paper (Table VIII) evaluates on three classes of inputs whose
+//! structure drives performance in different ways:
+//!
+//! - **road networks** (`usa.ny`): large diameter, low and nearly uniform
+//!   degree — reproduced by [`road_grid`];
+//! - **social networks**: small diameter, power-law degree distribution —
+//!   reproduced by [`rmat`];
+//! - **random graphs**: small diameter, binomial (concentrated) degrees —
+//!   reproduced by [`uniform_random`].
+//!
+//! All generators are deterministic in their `seed` argument. Small exact
+//! shapes ([`path`], [`cycle`], [`star`], [`complete`], [`binary_tree`]) are
+//! provided for tests and examples.
+
+use crate::rng::Rng64;
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// Maximum edge weight produced by the weighted generators.
+pub const MAX_WEIGHT: u32 = 100;
+
+/// Generates a road-network-like graph: a `width × height` grid with
+/// unit-ish random weights, a sprinkle of diagonal shortcuts, and a few
+/// random deletions so degrees are not perfectly regular.
+///
+/// The result is undirected, weighted, connected, has diameter
+/// `Θ(width + height)` and mean degree ≈ 3–4, matching the structural
+/// profile of `usa.ny` in the paper.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either dimension is < 2.
+///
+/// # Example
+///
+/// ```
+/// let g = gpp_graph::generators::road_grid(8, 8, 1)?;
+/// assert_eq!(g.num_nodes(), 64);
+/// # Ok::<(), gpp_graph::GraphError>(())
+/// ```
+pub fn road_grid(width: usize, height: usize, seed: u64) -> Result<Graph, GraphError> {
+    if width < 2 || height < 2 {
+        return Err(GraphError::InvalidParameter {
+            name: "width/height",
+            reason: format!("grid must be at least 2x2, got {width}x{height}"),
+        });
+    }
+    let n = width * height;
+    let mut rng = Rng64::new(seed ^ 0x0ead_0001);
+    let mut b = GraphBuilder::new(n);
+    b.undirected();
+    let id = |x: usize, y: usize| (y * width + x) as NodeId;
+    for y in 0..height {
+        for x in 0..width {
+            let w1 = 1 + rng.gen_range(MAX_WEIGHT as u64) as u32;
+            let w2 = 1 + rng.gen_range(MAX_WEIGHT as u64) as u32;
+            // Drop ~4% of grid edges to roughen the degree distribution, but
+            // never the spanning "spine" (x == 0 column, y == 0 row edges),
+            // so the graph stays connected.
+            if x + 1 < width && (y == 0 || !rng.gen_bool(0.04)) {
+                b.weighted_edge(id(x, y), id(x + 1, y), w1);
+            }
+            if y + 1 < height && (x == 0 || !rng.gen_bool(0.04)) {
+                b.weighted_edge(id(x, y), id(x, y + 1), w2);
+            }
+            // Occasional diagonal shortcut, like highway ramps.
+            if x + 1 < width && y + 1 < height && rng.gen_bool(0.05) {
+                let w3 = 1 + rng.gen_range(MAX_WEIGHT as u64) as u32;
+                b.weighted_edge(id(x, y), id(x + 1, y + 1), w3);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Generates a social-network-like graph with the R-MAT recursive-matrix
+/// procedure (Chakrabarti, Zhan & Faloutsos, SDM 2004) using the canonical
+/// skewed partition `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`.
+///
+/// The result has `2^scale` nodes and approximately `edge_factor · 2^scale`
+/// undirected weighted edges, a heavy-tailed degree distribution, and a
+/// small diameter.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `scale` is 0 or > 28, or if
+/// `edge_factor` is 0.
+///
+/// # Example
+///
+/// ```
+/// let g = gpp_graph::generators::rmat(8, 8, 3)?;
+/// assert_eq!(g.num_nodes(), 256);
+/// # Ok::<(), gpp_graph::GraphError>(())
+/// ```
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> Result<Graph, GraphError> {
+    if scale == 0 || scale > 28 {
+        return Err(GraphError::InvalidParameter {
+            name: "scale",
+            reason: format!("scale must be in 1..=28, got {scale}"),
+        });
+    }
+    if edge_factor == 0 {
+        return Err(GraphError::InvalidParameter {
+            name: "edge_factor",
+            reason: "edge_factor must be positive".into(),
+        });
+    }
+    let n = 1usize << scale;
+    let m = n.saturating_mul(edge_factor);
+    let mut rng = Rng64::new(seed ^ 0x50c1_a100);
+    let mut b = GraphBuilder::new(n);
+    b.undirected();
+    const A: f64 = 0.57;
+    const B: f64 = 0.19;
+    const C: f64 = 0.19;
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r = rng.next_f64();
+            let (du, dv) = if r < A {
+                (0, 0)
+            } else if r < A + B {
+                (0, 1)
+            } else if r < A + B + C {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u == v {
+            continue;
+        }
+        let w = 1 + rng.gen_range(MAX_WEIGHT as u64) as u32;
+        b.weighted_edge(u as NodeId, v as NodeId, w);
+    }
+    b.build()
+}
+
+/// Generates a uniform random graph: `n` nodes, approximately
+/// `n · avg_degree / 2` undirected weighted edges chosen uniformly.
+///
+/// Degrees concentrate tightly around `avg_degree` (binomial), producing
+/// the low-skew regime where nested-parallelism load balancing mostly adds
+/// overhead — the contrast input of the study.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2` or
+/// `avg_degree >= n`.
+///
+/// # Example
+///
+/// ```
+/// let g = gpp_graph::generators::uniform_random(100, 8.0, 5)?;
+/// assert!(g.mean_degree() > 6.0 && g.mean_degree() < 10.0);
+/// # Ok::<(), gpp_graph::GraphError>(())
+/// ```
+pub fn uniform_random(n: usize, avg_degree: f64, seed: u64) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter {
+            name: "n",
+            reason: format!("need at least 2 nodes, got {n}"),
+        });
+    }
+    if avg_degree <= 0.0 || avg_degree.is_nan() || avg_degree >= n as f64 {
+        return Err(GraphError::InvalidParameter {
+            name: "avg_degree",
+            reason: format!("avg_degree must be in (0, n), got {avg_degree}"),
+        });
+    }
+    let m = ((n as f64 * avg_degree) / 2.0).round() as usize;
+    let mut rng = Rng64::new(seed ^ 0x0a4d_0a4d);
+    let mut b = GraphBuilder::new(n);
+    b.undirected();
+    for _ in 0..m {
+        let u = rng.gen_range(n as u64) as NodeId;
+        let v = rng.gen_range(n as u64) as NodeId;
+        if u == v {
+            continue;
+        }
+        let w = 1 + rng.gen_range(MAX_WEIGHT as u64) as u32;
+        b.weighted_edge(u, v, w);
+    }
+    b.build()
+}
+
+/// Generates a Barabási–Albert preferential-attachment graph: starting
+/// from a small clique, each new node attaches to `m` existing nodes
+/// chosen proportionally to their degree. A second power-law social
+/// model alongside [`rmat`], with a guaranteed connected result.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `m == 0` or `n <= m`.
+///
+/// # Example
+///
+/// ```
+/// let g = gpp_graph::generators::barabasi_albert(500, 3, 1)?;
+/// assert_eq!(g.num_nodes(), 500);
+/// # Ok::<(), gpp_graph::GraphError>(())
+/// ```
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
+    if m == 0 {
+        return Err(GraphError::InvalidParameter {
+            name: "m",
+            reason: "attachment count must be positive".into(),
+        });
+    }
+    if n <= m {
+        return Err(GraphError::InvalidParameter {
+            name: "n",
+            reason: format!("need more than m = {m} nodes, got {n}"),
+        });
+    }
+    let mut rng = Rng64::new(seed ^ 0xba2a_ba51);
+    let mut b = GraphBuilder::new(n);
+    b.undirected();
+    // Attachment targets are drawn from this multiset, where every node
+    // appears once per incident edge end — the classic O(m) sampler.
+    let mut ends: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    // Seed clique over the first m + 1 nodes.
+    for u in 0..=(m as NodeId) {
+        for v in (u + 1)..=(m as NodeId) {
+            let w = 1 + rng.gen_range(MAX_WEIGHT as u64) as u32;
+            b.weighted_edge(u, v, w);
+            ends.push(u);
+            ends.push(v);
+        }
+    }
+    for u in (m + 1)..n {
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let v = ends[rng.gen_range(ends.len() as u64) as usize];
+            if v != u as NodeId && !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        for &v in &chosen {
+            let w = 1 + rng.gen_range(MAX_WEIGHT as u64) as u32;
+            b.weighted_edge(u as NodeId, v, w);
+            ends.push(u as NodeId);
+            ends.push(v);
+        }
+    }
+    b.build()
+}
+
+/// A simple path `0 - 1 - ... - (n-1)` (undirected, unit weights).
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] if `n == 0`.
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    b.undirected();
+    for i in 1..n {
+        b.edge((i - 1) as NodeId, i as NodeId);
+    }
+    b.build()
+}
+
+/// A cycle of `n` nodes (undirected).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 3`.
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter {
+            name: "n",
+            reason: format!("cycle needs at least 3 nodes, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    b.undirected();
+    for i in 0..n {
+        b.edge(i as NodeId, ((i + 1) % n) as NodeId);
+    }
+    b.build()
+}
+
+/// A star: node 0 connected to all others (undirected). The canonical
+/// maximum-skew input for load-balancing tests.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2`.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter {
+            name: "n",
+            reason: format!("star needs at least 2 nodes, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    b.undirected();
+    for i in 1..n {
+        b.edge(0, i as NodeId);
+    }
+    b.build()
+}
+
+/// The complete graph on `n` nodes (undirected).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2`.
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter {
+            name: "n",
+            reason: format!("complete graph needs at least 2 nodes, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    b.undirected();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.edge(u as NodeId, v as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// A complete binary tree of the given `depth` (depth 0 = single node).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `depth > 24`.
+pub fn binary_tree(depth: u32) -> Result<Graph, GraphError> {
+    if depth > 24 {
+        return Err(GraphError::InvalidParameter {
+            name: "depth",
+            reason: format!("depth must be <= 24, got {depth}"),
+        });
+    }
+    let n = (1usize << (depth + 1)) - 1;
+    let mut b = GraphBuilder::new(n);
+    b.undirected();
+    for i in 1..n {
+        b.edge(((i - 1) / 2) as NodeId, i as NodeId);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn road_grid_is_connected_and_long() {
+        let g = road_grid(20, 20, 3).expect("valid");
+        assert_eq!(g.num_nodes(), 400);
+        assert_eq!(properties::connected_components(&g).component_count, 1);
+        assert!(properties::estimate_diameter(&g) >= 20);
+        assert!(g.mean_degree() < 5.0);
+    }
+
+    #[test]
+    fn road_grid_deterministic() {
+        assert_eq!(road_grid(10, 10, 9).unwrap(), road_grid(10, 10, 9).unwrap());
+    }
+
+    #[test]
+    fn road_grid_rejects_degenerate() {
+        assert!(road_grid(1, 5, 0).is_err());
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(10, 8, 1).expect("valid");
+        assert_eq!(g.num_nodes(), 1024);
+        // Power-law: the max degree dwarfs the mean.
+        assert!(g.max_degree() as f64 > 6.0 * g.mean_degree());
+    }
+
+    #[test]
+    fn rmat_rejects_bad_scale() {
+        assert!(rmat(0, 8, 1).is_err());
+        assert!(rmat(29, 8, 1).is_err());
+        assert!(rmat(5, 0, 1).is_err());
+    }
+
+    #[test]
+    fn uniform_random_is_flat() {
+        let g = uniform_random(2000, 12.0, 4).expect("valid");
+        // Binomial degrees: max degree within a small factor of the mean.
+        assert!((g.max_degree() as f64) < 4.0 * g.mean_degree());
+    }
+
+    #[test]
+    fn uniform_random_rejects_bad_degree() {
+        assert!(uniform_random(10, 10.0, 0).is_err());
+        assert!(uniform_random(10, 0.0, 0).is_err());
+        assert!(uniform_random(1, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected_and_skewed() {
+        let g = barabasi_albert(1_000, 3, 7).expect("valid");
+        assert_eq!(g.num_nodes(), 1_000);
+        assert_eq!(properties::connected_components(&g).component_count, 1);
+        assert!(g.max_degree() as f64 > 5.0 * g.mean_degree());
+    }
+
+    #[test]
+    fn barabasi_albert_rejects_bad_parameters() {
+        assert!(barabasi_albert(5, 0, 1).is_err());
+        assert!(barabasi_albert(3, 3, 1).is_err());
+    }
+
+    #[test]
+    fn barabasi_albert_is_deterministic() {
+        assert_eq!(
+            barabasi_albert(200, 2, 5).unwrap(),
+            barabasi_albert(200, 2, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn path_endpoints_have_degree_one() {
+        let g = path(5).expect("valid");
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn single_node_path() {
+        let g = path(1).expect("valid");
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_degrees_all_two() {
+        let g = cycle(7).expect("valid");
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn star_hub_degree() {
+        let g = star(10).expect("valid");
+        assert_eq!(g.degree(0), 9);
+        assert!(g.nodes().skip(1).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete(6).expect("valid");
+        assert_eq!(g.num_edges(), 6 * 5);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(3).expect("valid");
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(14), 1);
+    }
+
+    #[test]
+    fn generators_produce_weighted_study_inputs() {
+        assert!(road_grid(8, 8, 0).unwrap().is_weighted());
+        assert!(rmat(6, 4, 0).unwrap().is_weighted());
+        assert!(uniform_random(64, 4.0, 0).unwrap().is_weighted());
+    }
+}

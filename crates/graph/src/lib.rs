@@ -1,0 +1,42 @@
+//! Graph substrate for the performance-portability study.
+//!
+//! This crate provides everything the upper layers need from "a graph":
+//!
+//! - [`Graph`]: a validated, immutable compressed-sparse-row (CSR) graph,
+//!   optionally weighted and optionally directed.
+//! - [`GraphBuilder`]: incremental, fallible construction from edge lists.
+//! - [`generators`]: synthetic workload generators spanning the three input
+//!   classes of the paper (road networks, social networks, uniform random
+//!   graphs) plus small deterministic shapes used by tests.
+//! - [`properties`]: structural analyses (degree statistics, BFS levels,
+//!   diameter estimation, connected components, input classification).
+//! - [`transform`]: component extraction, relabelling, and reversal.
+//! - [`io`]: plain-text edge-list and DIMACS-style parsing/serialisation.
+//! - [`rng`]: a small deterministic PRNG shared by the whole workspace so
+//!   that every experiment is reproducible without OS entropy.
+//!
+//! # Example
+//!
+//! ```
+//! use gpp_graph::{generators, properties};
+//!
+//! let g = generators::road_grid(16, 16, 7)?;
+//! assert!(properties::estimate_diameter(&g) > 16);
+//! # Ok::<(), gpp_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod csr;
+mod error;
+pub mod generators;
+pub mod io;
+pub mod properties;
+pub mod rng;
+pub mod transform;
+
+pub use builder::GraphBuilder;
+pub use csr::{Graph, NeighborIter, NodeId};
+pub use error::GraphError;

@@ -1,0 +1,574 @@
+//! Structural graph analyses used to characterise study inputs and to
+//! cross-check application results.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Graph, NodeId};
+
+/// Level (hop distance) of every node from a source; unreachable nodes are
+/// `u32::MAX`. Reference implementation used to validate the GPU-simulated
+/// BFS applications.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Sequential reference BFS. Returns per-node hop distances from `source`
+/// ([`UNREACHABLE`] where no path exists).
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+pub fn bfs_levels(graph: &Graph, source: NodeId) -> Vec<u32> {
+    let mut levels = vec![UNREACHABLE; graph.num_nodes()];
+    levels[source as usize] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let next = levels[u as usize] + 1;
+        for &v in graph.neighbors(u) {
+            if levels[v as usize] == UNREACHABLE {
+                levels[v as usize] = next;
+                queue.push_back(v);
+            }
+        }
+    }
+    levels
+}
+
+/// Sequential reference Dijkstra. Returns per-node weighted distances from
+/// `source` (`u64::MAX` where no path exists). Unweighted graphs use weight
+/// 1 per edge.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+pub fn dijkstra(graph: &Graph, source: NodeId) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut dist = vec![u64::MAX; graph.num_nodes()];
+    dist[source as usize] = 0;
+    let mut heap = BinaryHeap::from([Reverse((0u64, source))]);
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in graph.out_edges(u) {
+            let nd = d + w as u64;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Result of a connected-components analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Components {
+    /// For each node, the smallest node id in its component.
+    pub labels: Vec<NodeId>,
+    /// Number of distinct components.
+    pub component_count: usize,
+}
+
+/// Computes connected components (treating arcs as undirected) with a
+/// union-find; the label of each node is the minimum node id in its
+/// component. Reference implementation for the CC applications.
+pub fn connected_components(graph: &Graph) -> Components {
+    let mut uf = UnionFind::new(graph.num_nodes());
+    for u in graph.nodes() {
+        for &v in graph.neighbors(u) {
+            uf.union(u as usize, v as usize);
+        }
+    }
+    // Map each root to the minimum id in its set.
+    let n = graph.num_nodes();
+    let mut min_of_root = vec![NodeId::MAX; n];
+    for v in 0..n {
+        let r = uf.find(v);
+        min_of_root[r] = min_of_root[r].min(v as NodeId);
+    }
+    let labels: Vec<NodeId> = (0..n).map(|v| min_of_root[uf.find(v)]).collect();
+    let mut roots: Vec<NodeId> = labels.clone();
+    roots.sort_unstable();
+    roots.dedup();
+    Components {
+        labels,
+        component_count: roots.len(),
+    }
+}
+
+/// A classic union-find (disjoint-set) structure with path halving and
+/// union by size. Exposed because several reference algorithms (CC, MST)
+/// and tests need it.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Returns the representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n`.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Reference minimum-spanning-forest weight via Kruskal's algorithm.
+/// Counts each undirected edge once (smaller endpoint first).
+pub fn mst_weight(graph: &Graph) -> u64 {
+    let mut edges: Vec<(u32, NodeId, NodeId)> = Vec::new();
+    for u in graph.nodes() {
+        for (v, w) in graph.out_edges(u) {
+            if u < v || graph.is_directed() {
+                edges.push((w, u, v));
+            }
+        }
+    }
+    edges.sort_unstable();
+    let mut uf = UnionFind::new(graph.num_nodes());
+    let mut total = 0u64;
+    for (w, u, v) in edges {
+        if uf.union(u as usize, v as usize) {
+            total += w as u64;
+        }
+    }
+    total
+}
+
+/// Reference triangle count: number of unordered node triples that are
+/// mutually adjacent. Assumes an undirected (mirrored) graph.
+pub fn triangle_count(graph: &Graph) -> u64 {
+    let mut count = 0u64;
+    for u in graph.nodes() {
+        for &v in graph.neighbors(u) {
+            if v <= u {
+                continue;
+            }
+            // Intersect neighbor lists of u and v above v.
+            let (mut a, mut b) = (graph.neighbors(u), graph.neighbors(v));
+            while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+                match x.cmp(&y) {
+                    std::cmp::Ordering::Less => a = &a[1..],
+                    std::cmp::Ordering::Greater => b = &b[1..],
+                    std::cmp::Ordering::Equal => {
+                        if x > v {
+                            count += 1;
+                        }
+                        a = &a[1..];
+                        b = &b[1..];
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Average local clustering coefficient: for each node with degree ≥ 2,
+/// the fraction of its neighbour pairs that are themselves adjacent,
+/// averaged over all such nodes (0 if none qualify). High for social
+/// graphs, near zero for roads and sparse random graphs.
+pub fn clustering_coefficient(graph: &Graph) -> f64 {
+    let mut sum = 0.0f64;
+    let mut counted = 0usize;
+    for u in graph.nodes() {
+        let nbrs = graph.neighbors(u);
+        let d = nbrs.len();
+        if d < 2 {
+            continue;
+        }
+        let mut closed = 0usize;
+        for (i, &v) in nbrs.iter().enumerate() {
+            for &w in &nbrs[i + 1..] {
+                if graph.has_edge(v, w) {
+                    closed += 1;
+                }
+            }
+        }
+        sum += closed as f64 / (d * (d - 1) / 2) as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        sum / counted as f64
+    }
+}
+
+/// Histogram of out-degrees in power-of-two buckets: `histogram[i]`
+/// counts nodes with degree in `[2^i, 2^(i+1))`; bucket 0 additionally
+/// holds degree-0 nodes. Useful for eyeballing the skew of an input.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut histogram = Vec::new();
+    for u in graph.nodes() {
+        let d = graph.degree(u);
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - 1 - d.leading_zeros()) as usize
+        };
+        if histogram.len() <= bucket {
+            histogram.resize(bucket + 1, 0);
+        }
+        histogram[bucket] += 1;
+    }
+    histogram
+}
+
+/// Degree assortativity: the Pearson correlation of the degrees at the
+/// two ends of each edge (in `[-1, 1]`; 0 for degree-uncorrelated wiring,
+/// negative when hubs attach to leaves). Returns 0 for graphs without
+/// degree variance.
+pub fn degree_assortativity(graph: &Graph) -> f64 {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for u in graph.nodes() {
+        for &v in graph.neighbors(u) {
+            xs.push(graph.degree(u) as f64);
+            ys.push(graph.degree(v) as f64);
+        }
+    }
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let (mx, my) = (xs.iter().sum::<f64>() / n, ys.iter().sum::<f64>() / n);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Estimates the graph diameter by a handful of BFS sweeps: start from node
+/// 0, repeatedly jump to the farthest reachable node. A lower bound on the
+/// true diameter, tight enough to separate road from social inputs.
+pub fn estimate_diameter(graph: &Graph) -> usize {
+    let mut source: NodeId = 0;
+    let mut best = 0usize;
+    for _ in 0..4 {
+        let levels = bfs_levels(graph, source);
+        let (far, ecc) = levels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l != UNREACHABLE)
+            .max_by_key(|(_, &l)| l)
+            .map(|(i, &l)| (i as NodeId, l as usize))
+            .unwrap_or((source, 0));
+        if ecc <= best {
+            break;
+        }
+        best = ecc;
+        source = far;
+    }
+    best
+}
+
+/// Summary of a graph's degree distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Minimum out-degree.
+    pub min: usize,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Coefficient of variation (stddev / mean); 0 for regular graphs,
+    /// large for power-law graphs.
+    pub cv: f64,
+}
+
+/// Computes [`DegreeStats`] in one pass over the offset array.
+pub fn degree_stats(graph: &Graph) -> DegreeStats {
+    let n = graph.num_nodes();
+    let degrees = graph.offsets().windows(2).map(|w| (w[1] - w[0]) as usize);
+    let (mut min, mut max, mut sum) = (usize::MAX, 0usize, 0usize);
+    for d in degrees.clone() {
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+    }
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            cv: 0.0,
+        };
+    }
+    let mean = sum as f64 / n as f64;
+    let var = degrees.map(|d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+    DegreeStats { min, max, mean, cv }
+}
+
+/// The study's three input classes (paper Table VIII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputClass {
+    /// High diameter, low near-uniform degree (e.g. `usa.ny`).
+    Road,
+    /// Low diameter, power-law degrees (e.g. social networks).
+    Social,
+    /// Low diameter, concentrated degrees (e.g. uniform random).
+    Random,
+}
+
+impl std::fmt::Display for InputClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            InputClass::Road => "road",
+            InputClass::Social => "social",
+            InputClass::Random => "random",
+        })
+    }
+}
+
+/// Classifies a graph into one of the three input classes using diameter
+/// and degree-skew heuristics. Used by examples to sanity-check that a
+/// user-provided input lands in the regime they expect.
+pub fn classify(graph: &Graph) -> InputClass {
+    let stats = degree_stats(graph);
+    let diam = estimate_diameter(graph);
+    let n = graph.num_nodes().max(2) as f64;
+    // Road networks: diameter scales like sqrt(n) or worse, whereas social
+    // and random graphs have diameter O(log n) — far below sqrt(n) at any
+    // realistic size.
+    if (diam as f64) > 1.2 * n.sqrt() {
+        return InputClass::Road;
+    }
+    if stats.cv > 1.0 {
+        InputClass::Social
+    } else {
+        InputClass::Random
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let g = generators::path(5).unwrap();
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_levels(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let g = GraphBuilder::new(3)
+            .undirected()
+            .edge(0, 1)
+            .build()
+            .unwrap();
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, UNREACHABLE]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_paths() {
+        // 0 -10-> 1, 0 -1-> 2 -1-> 1: shortest 0..1 distance is 2.
+        let g = GraphBuilder::new(3)
+            .weighted_edge(0, 1, 10)
+            .weighted_edge(0, 2, 1)
+            .weighted_edge(2, 1, 1)
+            .build()
+            .unwrap();
+        assert_eq!(dijkstra(&g, 0), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_max() {
+        let g = GraphBuilder::new(2).build().unwrap();
+        assert_eq!(dijkstra(&g, 0)[1], u64::MAX);
+    }
+
+    #[test]
+    fn components_on_two_islands() {
+        let g = GraphBuilder::new(5)
+            .undirected()
+            .edge(0, 1)
+            .edge(2, 3)
+            .build()
+            .unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.component_count, 3);
+        assert_eq!(c.labels, vec![0, 0, 2, 2, 4]);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert!(uf.connected(1, 2));
+    }
+
+    #[test]
+    fn mst_weight_of_cycle_drops_heaviest() {
+        let g = GraphBuilder::new(3)
+            .undirected()
+            .weighted_edge(0, 1, 1)
+            .weighted_edge(1, 2, 2)
+            .weighted_edge(2, 0, 10)
+            .build()
+            .unwrap();
+        assert_eq!(mst_weight(&g), 3);
+    }
+
+    #[test]
+    fn mst_of_forest_sums_trees() {
+        let g = GraphBuilder::new(4)
+            .undirected()
+            .weighted_edge(0, 1, 5)
+            .weighted_edge(2, 3, 7)
+            .build()
+            .unwrap();
+        assert_eq!(mst_weight(&g), 12);
+    }
+
+    #[test]
+    fn triangle_count_exact_shapes() {
+        assert_eq!(triangle_count(&generators::complete(4).unwrap()), 4);
+        assert_eq!(triangle_count(&generators::complete(5).unwrap()), 10);
+        assert_eq!(triangle_count(&generators::cycle(4).unwrap()), 0);
+        assert_eq!(triangle_count(&generators::star(6).unwrap()), 0);
+    }
+
+    #[test]
+    fn clustering_of_exact_shapes() {
+        assert!((clustering_coefficient(&generators::complete(5).unwrap()) - 1.0).abs() < 1e-12);
+        assert_eq!(clustering_coefficient(&generators::star(8).unwrap()), 0.0);
+        assert_eq!(clustering_coefficient(&generators::path(2).unwrap()), 0.0);
+        // A triangle with a pendant: node degrees 2,2,3,1.
+        let g = GraphBuilder::new(4)
+            .undirected()
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+            .build()
+            .unwrap();
+        let cc = clustering_coefficient(&g);
+        assert!((cc - (1.0 + 1.0 + 1.0 / 3.0) / 3.0).abs() < 1e-12, "{cc}");
+    }
+
+    #[test]
+    fn social_graphs_cluster_more_than_random() {
+        let social = generators::barabasi_albert(600, 4, 2).unwrap();
+        let random = generators::uniform_random(600, 8.0, 2).unwrap();
+        assert!(clustering_coefficient(&social) > clustering_coefficient(&random));
+    }
+
+    #[test]
+    fn degree_histogram_buckets_by_power_of_two() {
+        let g = generators::star(9).unwrap(); // hub degree 8, leaves 1
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], 8); // leaves
+        assert_eq!(h[3], 1); // hub in [8, 16)
+        assert_eq!(h.iter().sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn assortativity_is_negative_for_stars_and_bounded() {
+        let star = generators::star(20).unwrap();
+        let a = degree_assortativity(&star);
+        assert!(a < -0.9, "{a}"); // hubs only touch leaves
+        for g in [
+            generators::rmat(8, 5, 3).unwrap(),
+            generators::cycle(12).unwrap(),
+        ] {
+            let a = degree_assortativity(&g);
+            assert!((-1.0..=1.0).contains(&a), "{a}");
+        }
+        // Regular graphs have no degree variance.
+        assert_eq!(degree_assortativity(&generators::cycle(6).unwrap()), 0.0);
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let g = generators::path(10).unwrap();
+        assert_eq!(estimate_diameter(&g), 9);
+    }
+
+    #[test]
+    fn degree_stats_on_star() {
+        let s = degree_stats(&generators::star(11).unwrap());
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10);
+        assert!(s.cv > 1.0);
+    }
+
+    #[test]
+    fn classification_matches_generators() {
+        assert_eq!(
+            classify(&generators::road_grid(24, 24, 1).unwrap()),
+            InputClass::Road
+        );
+        assert_eq!(
+            classify(&generators::rmat(10, 8, 1).unwrap()),
+            InputClass::Social
+        );
+        assert_eq!(
+            classify(&generators::uniform_random(1024, 8.0, 1).unwrap()),
+            InputClass::Random
+        );
+    }
+
+    #[test]
+    fn input_class_display_names() {
+        assert_eq!(InputClass::Road.to_string(), "road");
+        assert_eq!(InputClass::Social.to_string(), "social");
+        assert_eq!(InputClass::Random.to_string(), "random");
+    }
+}

@@ -1,0 +1,218 @@
+//! Graph transformations: extraction, relabelling, and reversal.
+//!
+//! Relabelling matters to GPU graph processing because thread ids map to
+//! node ids: a BFS or degree-sorted order changes which nodes share a
+//! workgroup, and therefore how much intra-workgroup load imbalance and
+//! memory divergence the kernels see.
+
+use crate::properties::{bfs_levels, connected_components, UNREACHABLE};
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// Extracts the largest connected component (ties broken towards the
+/// smaller minimum node id), relabelling its nodes densely from 0 in the
+/// original id order.
+///
+/// # Errors
+///
+/// Propagates construction errors (none expected for valid inputs).
+pub fn largest_component(graph: &Graph) -> Result<Graph, GraphError> {
+    let comps = connected_components(graph);
+    // Count component sizes by label.
+    let mut sizes: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+    for &label in &comps.labels {
+        *sizes.entry(label).or_default() += 1;
+    }
+    let (&best_label, _) = sizes
+        .iter()
+        .max_by_key(|(label, size)| (**size, std::cmp::Reverse(**label)))
+        .expect("graphs have at least one node");
+    let keep: Vec<NodeId> = graph
+        .nodes()
+        .filter(|&v| comps.labels[v as usize] == best_label)
+        .collect();
+    relabel_subgraph(graph, &keep)
+}
+
+/// Relabels the graph so node ids follow BFS discovery order from
+/// `source` (unreached nodes keep their relative order at the end).
+/// Improves locality: frontier neighbours end up in nearby workgroups.
+///
+/// # Errors
+///
+/// Propagates construction errors (none expected for valid inputs).
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+pub fn relabel_by_bfs(graph: &Graph, source: NodeId) -> Result<Graph, GraphError> {
+    let levels = bfs_levels(graph, source);
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    order.sort_by_key(|&v| {
+        let l = levels[v as usize];
+        (if l == UNREACHABLE { u32::MAX } else { l }, v)
+    });
+    relabel_subgraph(graph, &order)
+}
+
+/// Relabels the graph by descending degree (GPU graph frameworks do this
+/// so the heavy nodes share the first workgroups).
+///
+/// # Errors
+///
+/// Propagates construction errors (none expected for valid inputs).
+pub fn relabel_by_degree(graph: &Graph) -> Result<Graph, GraphError> {
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+    relabel_subgraph(graph, &order)
+}
+
+/// Reverses every arc of a directed graph (the transpose); undirected
+/// graphs are returned unchanged (their arc set is symmetric).
+///
+/// # Errors
+///
+/// Propagates construction errors (none expected for valid inputs).
+pub fn reverse(graph: &Graph) -> Result<Graph, GraphError> {
+    if !graph.is_directed() {
+        return Ok(graph.clone());
+    }
+    let mut b = GraphBuilder::new(graph.num_nodes());
+    for u in graph.nodes() {
+        for (v, w) in graph.out_edges(u) {
+            if graph.is_weighted() {
+                b.weighted_edge(v, u, w);
+            } else {
+                b.edge(v, u);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Builds the subgraph induced by `order`, relabelling `order[i]` to `i`
+/// and keeping only edges between kept nodes. When `order` is a
+/// permutation of all nodes this is a pure relabelling.
+fn relabel_subgraph(graph: &Graph, order: &[NodeId]) -> Result<Graph, GraphError> {
+    let mut new_id = vec![NodeId::MAX; graph.num_nodes()];
+    for (new, &old) in order.iter().enumerate() {
+        new_id[old as usize] = new as NodeId;
+    }
+    let mut b = GraphBuilder::new(order.len());
+    if !graph.is_directed() {
+        b.undirected();
+    }
+    for &old_u in order {
+        let u = new_id[old_u as usize];
+        for (old_v, w) in graph.out_edges(old_u) {
+            let v = new_id[old_v as usize];
+            if v == NodeId::MAX {
+                continue;
+            }
+            // Each undirected edge appears twice in the arc set; add once.
+            if !graph.is_directed() && v < u {
+                continue;
+            }
+            if graph.is_weighted() {
+                b.weighted_edge(u, v, w);
+            } else {
+                b.edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::properties;
+
+    #[test]
+    fn largest_component_keeps_the_big_island() {
+        let g = GraphBuilder::new(10)
+            .undirected()
+            .edges([(0, 1), (1, 2), (2, 3), (5, 6)])
+            .build()
+            .unwrap();
+        let lc = largest_component(&g).unwrap();
+        assert_eq!(lc.num_nodes(), 4);
+        assert_eq!(properties::connected_components(&lc).component_count, 1);
+        assert_eq!(lc.num_edges(), 6);
+    }
+
+    #[test]
+    fn largest_component_of_connected_graph_is_identity_sized() {
+        let g = generators::road_grid(8, 8, 1).unwrap();
+        let lc = largest_component(&g).unwrap();
+        assert_eq!(lc.num_nodes(), g.num_nodes());
+        assert_eq!(lc.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn bfs_relabel_preserves_structure() {
+        let g = generators::rmat(7, 5, 3).unwrap();
+        let r = relabel_by_bfs(&g, 0).unwrap();
+        assert_eq!(r.num_nodes(), g.num_nodes());
+        assert_eq!(r.num_edges(), g.num_edges());
+        // Degree multiset is preserved.
+        let mut d1: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+        let mut d2: Vec<usize> = r.nodes().map(|v| r.degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+        // BFS levels from the new source are sorted by node id.
+        let levels = properties::bfs_levels(&r, 0);
+        let reached: Vec<u32> = levels
+            .iter()
+            .copied()
+            .filter(|&l| l != properties::UNREACHABLE)
+            .collect();
+        assert!(
+            reached.windows(2).all(|w| w[0] <= w[1]),
+            "levels not monotone: {reached:?}"
+        );
+    }
+
+    #[test]
+    fn degree_relabel_puts_heavy_nodes_first() {
+        let g = generators::rmat(7, 6, 5).unwrap();
+        let r = relabel_by_degree(&g).unwrap();
+        let degrees: Vec<usize> = r.nodes().map(|v| r.degree(v)).collect();
+        assert!(degrees.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(r.max_degree(), g.max_degree());
+    }
+
+    #[test]
+    fn relabelling_preserves_component_count_and_mst_weight() {
+        let g = generators::road_grid(7, 7, 9).unwrap();
+        let r = relabel_by_degree(&g).unwrap();
+        assert_eq!(
+            properties::connected_components(&g).component_count,
+            properties::connected_components(&r).component_count
+        );
+        assert_eq!(properties::mst_weight(&g), properties::mst_weight(&r));
+    }
+
+    #[test]
+    fn reverse_transposes_directed_graphs() {
+        let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).build().unwrap();
+        let t = reverse(&g).unwrap();
+        assert!(t.has_edge(1, 0));
+        assert!(t.has_edge(2, 1));
+        assert!(!t.has_edge(0, 1));
+    }
+
+    #[test]
+    fn reverse_of_undirected_is_identity() {
+        let g = generators::cycle(6).unwrap();
+        assert_eq!(reverse(&g).unwrap(), g);
+    }
+
+    #[test]
+    fn reverse_keeps_weights() {
+        let g = GraphBuilder::new(2).weighted_edge(0, 1, 9).build().unwrap();
+        let t = reverse(&g).unwrap();
+        assert_eq!(t.edge_weight(1, 0), Some(9));
+    }
+}

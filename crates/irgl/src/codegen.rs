@@ -1,0 +1,503 @@
+//! Pseudo-OpenCL code generation: renders a program under a
+//! [`CompilationPlan`] as readable OpenCL-style C, with the four
+//! optimisations manifest in the emitted code — scheduled edge loops
+//! (`wg`/`sg`/`fg`), subgroup-combined worklist pushes (`coop-cv`), an
+//! outlined megakernel with a software global barrier (`oitergb`), and
+//! the required workgroup size attribute (`sz256`).
+//!
+//! The output is meant for human inspection, golden tests, and
+//! documentation of what each transformation does to a kernel; it is not
+//! run through a real OpenCL driver in this repository.
+
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Domain, Driver, Expr, Kernel, Program, Ref, Stmt, UnaryOp};
+use crate::transform::{CompilationPlan, Scheme};
+use crate::validate::IrglError;
+
+/// Renders `program` under `plan` as pseudo-OpenCL.
+///
+/// # Errors
+///
+/// Returns an error only for programs that fail validation (the plan is
+/// assumed to have been produced by [`crate::transform::plan`] for this
+/// very program).
+pub fn opencl(program: &Program, plan: &CompilationPlan) -> Result<String, IrglError> {
+    crate::validate::validate(program)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "// program: {}", program.name);
+    let _ = writeln!(out, "// configuration: {}", plan.config);
+    let _ = writeln!(out, "#define WG_SIZE {}", plan.workgroup_size);
+    out.push('\n');
+
+    for (kernel, kplan) in program.kernels.iter().zip(&plan.kernels) {
+        emit_kernel(&mut out, program, kernel, kplan, plan);
+        out.push('\n');
+    }
+    if plan.outlined {
+        emit_outlined_driver(&mut out, program, plan);
+    }
+    Ok(out)
+}
+
+fn buffer_params(program: &Program) -> String {
+    let mut parts: Vec<String> = program
+        .fields
+        .iter()
+        .map(|f| format!("__global double *{}", f.name))
+        .collect();
+    parts.push("__global const uint *row".into());
+    parts.push("__global const uint *col".into());
+    parts.push("__global const uint *wt".into());
+    for g in &program.globals {
+        parts.push(format!("__global double *g_{}", g.name));
+    }
+    parts.push("__global volatile uint *changed".into());
+    parts.push("uint iter".into());
+    parts.push("uint n".into());
+    parts.join(", ")
+}
+
+fn emit_kernel(
+    out: &mut String,
+    program: &Program,
+    kernel: &Kernel,
+    kplan: &crate::transform::KernelPlan,
+    plan: &CompilationPlan,
+) {
+    let _ = writeln!(out, "__attribute__((reqd_work_group_size(WG_SIZE, 1, 1)))");
+    let mut params = buffer_params(program);
+    if kernel.domain == Domain::Worklist || kplan.has_pushes {
+        params.push_str(
+            ", __global const uint *wl_in, uint wl_size, __global uint *wl_out, __global volatile uint *wl_tail",
+        );
+    }
+    let _ = writeln!(out, "__kernel void {}({params}) {{", kernel.name);
+    match kernel.domain {
+        Domain::AllNodes => {
+            let _ = writeln!(out, "  uint node = get_global_id(0);");
+            let _ = writeln!(out, "  if (node >= n) return;");
+        }
+        Domain::Worklist => {
+            let _ = writeln!(out, "  uint idx = get_global_id(0);");
+            let _ = writeln!(out, "  if (idx >= wl_size) return;");
+            let _ = writeln!(out, "  uint node = wl_in[idx];");
+        }
+    }
+    emit_stmts(out, program, kernel, &kernel.body, kplan, 1);
+    let _ = writeln!(out, "}}");
+    let _ = plan;
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn emit_stmts(
+    out: &mut String,
+    program: &Program,
+    kernel: &Kernel,
+    stmts: &[Stmt],
+    kplan: &crate::transform::KernelPlan,
+    depth: usize,
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let(local, expr) => {
+                indent(out, depth);
+                let _ = writeln!(out, "double t{local} = {};", expr_text(program, expr));
+            }
+            Stmt::If { cond, then, els } => {
+                indent(out, depth);
+                let _ = writeln!(out, "if ({}) {{", expr_text(program, cond));
+                emit_stmts(out, program, kernel, then, kplan, depth + 1);
+                if !els.is_empty() {
+                    indent(out, depth);
+                    let _ = writeln!(out, "}} else {{");
+                    emit_stmts(out, program, kernel, els, kplan, depth + 1);
+                }
+                indent(out, depth);
+                let _ = writeln!(out, "}}");
+            }
+            Stmt::Store {
+                field,
+                target,
+                value,
+            } => {
+                indent(out, depth);
+                let _ = writeln!(
+                    out,
+                    "{}[{}] = {};",
+                    program.fields[*field].name,
+                    ref_text(*target),
+                    expr_text(program, value)
+                );
+            }
+            Stmt::AtomicMin {
+                field,
+                target,
+                value,
+            } => {
+                indent(out, depth);
+                let _ = writeln!(
+                    out,
+                    "atomic_fetch_min(&{}[{}], {});",
+                    program.fields[*field].name,
+                    ref_text(*target),
+                    expr_text(program, value)
+                );
+            }
+            Stmt::AtomicAdd {
+                field,
+                target,
+                value,
+            } => {
+                indent(out, depth);
+                let _ = writeln!(
+                    out,
+                    "atomic_fetch_add(&{}[{}], {});",
+                    program.fields[*field].name,
+                    ref_text(*target),
+                    expr_text(program, value)
+                );
+            }
+            Stmt::ForEachEdge(body) => {
+                emit_edge_loop(out, program, kernel, body, kplan, depth);
+            }
+            Stmt::Push(target) => {
+                emit_push(out, ref_text(*target), kplan, depth);
+            }
+            Stmt::MarkChanged => {
+                indent(out, depth);
+                let _ = writeln!(out, "*changed = 1u;");
+            }
+            Stmt::GlobalAdd(global, value) => {
+                indent(out, depth);
+                let _ = writeln!(
+                    out,
+                    "atomic_fetch_add(g_{}, {});",
+                    program.globals[*global].name,
+                    expr_text(program, value)
+                );
+            }
+        }
+    }
+}
+
+fn emit_edge_loop(
+    out: &mut String,
+    program: &Program,
+    kernel: &Kernel,
+    body: &[Stmt],
+    kplan: &crate::transform::KernelPlan,
+    depth: usize,
+) {
+    let schemes = &kplan.schemes;
+    indent(out, depth);
+    let _ = writeln!(out, "uint e_start = row[node], e_end = row[node + 1];");
+    if schemes.contains(&Scheme::Wg) {
+        indent(out, depth);
+        let _ = writeln!(
+            out,
+            "// [np-wg] offer high-degree nodes to the whole workgroup"
+        );
+        indent(out, depth);
+        let _ = writeln!(
+            out,
+            "np_wg_offer(e_end - e_start >= WG_SIZE, e_start, e_end);"
+        );
+        indent(out, depth);
+        let _ = writeln!(out, "work_group_barrier(CLK_LOCAL_MEM_FENCE);");
+    }
+    if schemes.contains(&Scheme::Sg) {
+        indent(out, depth);
+        let _ = writeln!(out, "// [np-sg] offer medium-degree nodes to the subgroup");
+        indent(out, depth);
+        let _ = writeln!(
+            out,
+            "np_sg_offer(e_end - e_start >= get_sub_group_size(), e_start, e_end);"
+        );
+        indent(out, depth);
+        let _ = writeln!(out, "sub_group_barrier(CLK_LOCAL_MEM_FENCE);");
+    }
+    let fg = schemes
+        .iter()
+        .find(|s| matches!(s, Scheme::Fg1 | Scheme::Fg8));
+    if let Some(fg) = fg {
+        let epi = if *fg == Scheme::Fg8 { 8 } else { 1 };
+        indent(out, depth);
+        let _ = writeln!(
+            out,
+            "// [np-{}] inspector/executor: linearise remaining edges,",
+            fg.name()
+        );
+        indent(out, depth);
+        let _ = writeln!(out, "// {epi} edge(s) per thread per round");
+        indent(out, depth);
+        let _ = writeln!(
+            out,
+            "uint base = work_group_scan_exclusive_add(e_end - e_start);"
+        );
+        indent(out, depth);
+        let _ = writeln!(out, "for (uint r = 0; r < np_fg_rounds({epi}); ++r) {{");
+        indent(out, depth + 1);
+        let _ = writeln!(out, "uint e = np_fg_edge(base, r, {epi});");
+        indent(out, depth + 1);
+        let _ = writeln!(out, "if (e < e_end) {{");
+        emit_edge_body(out, program, kernel, body, kplan, depth + 2);
+        indent(out, depth + 1);
+        let _ = writeln!(out, "}}");
+        indent(out, depth + 1);
+        let _ = writeln!(out, "work_group_barrier(CLK_LOCAL_MEM_FENCE);");
+        indent(out, depth);
+        let _ = writeln!(out, "}}");
+    } else {
+        indent(out, depth);
+        let _ = writeln!(out, "for (uint e = e_start; e < e_end; ++e) {{");
+        emit_edge_body(out, program, kernel, body, kplan, depth + 1);
+        indent(out, depth);
+        let _ = writeln!(out, "}}");
+    }
+}
+
+fn emit_edge_body(
+    out: &mut String,
+    program: &Program,
+    kernel: &Kernel,
+    body: &[Stmt],
+    kplan: &crate::transform::KernelPlan,
+    depth: usize,
+) {
+    indent(out, depth);
+    let _ = writeln!(out, "uint nbr = col[e];");
+    emit_stmts(out, program, kernel, body, kplan, depth);
+}
+
+fn emit_push(out: &mut String, target: String, kplan: &crate::transform::KernelPlan, depth: usize) {
+    if kplan.combined_pushes {
+        indent(out, depth);
+        let _ = writeln!(
+            out,
+            "// [coop-cv] combine the subgroup's pushes into one RMW"
+        );
+        indent(out, depth);
+        let _ = writeln!(out, "uint want = 1u;");
+        indent(out, depth);
+        let _ = writeln!(out, "uint total = sub_group_reduce_add(want);");
+        indent(out, depth);
+        let _ = writeln!(out, "uint pos = sub_group_scan_exclusive_add(want);");
+        indent(out, depth);
+        let _ = writeln!(out, "uint base;");
+        indent(out, depth);
+        let _ = writeln!(
+            out,
+            "if (get_sub_group_local_id() == 0) base = atomic_fetch_add(wl_tail, total);"
+        );
+        indent(out, depth);
+        let _ = writeln!(out, "base = sub_group_broadcast(base, 0);");
+        indent(out, depth);
+        let _ = writeln!(out, "wl_out[base + pos] = {target};");
+    } else {
+        indent(out, depth);
+        let _ = writeln!(out, "wl_out[atomic_fetch_add(wl_tail, 1u)] = {target};");
+    }
+}
+
+fn emit_outlined_driver(out: &mut String, program: &Program, plan: &CompilationPlan) {
+    let _ = writeln!(
+        out,
+        "// [oitergb] iteration loop outlined to the device: kernel"
+    );
+    let _ = writeln!(
+        out,
+        "// launches become function calls separated by a software"
+    );
+    let _ = writeln!(out, "// global barrier over the discovered occupancy.");
+    let _ = writeln!(out, "__attribute__((reqd_work_group_size(WG_SIZE, 1, 1)))");
+    let _ = writeln!(
+        out,
+        "__kernel void {}_outlined({}) {{",
+        program.name,
+        buffer_params(program)
+    );
+    let _ = writeln!(out, "  uint resident = discover_occupancy();");
+    let _ = writeln!(out, "  for (uint iter = 0; ; ++iter) {{");
+    let _ = writeln!(out, "    *changed = 0u;");
+    for &k in &program.driver_kernels() {
+        let _ = writeln!(
+            out,
+            "    {}_body(/* all buffers */, iter, n);",
+            program.kernels[k].name
+        );
+        let _ = writeln!(out, "    global_barrier(resident);");
+    }
+    match &program.driver {
+        Driver::Fixed { iters, .. } => {
+            let _ = writeln!(out, "    if (iter + 1 >= {iters}) break;");
+        }
+        _ => {
+            let _ = writeln!(out, "    if (!*changed && worklist_empty()) break;");
+        }
+    }
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    let _ = plan;
+}
+
+fn ref_text(r: Ref) -> String {
+    match r {
+        Ref::Node => "node".into(),
+        Ref::Nbr => "nbr".into(),
+    }
+}
+
+fn expr_text(program: &Program, expr: &Expr) -> String {
+    match expr {
+        Expr::Const(c) => {
+            if c.is_infinite() {
+                "INFINITY".into()
+            } else {
+                format!("{c:?}")
+            }
+        }
+        Expr::NodeId(r) => format!("(double){}", ref_text(*r)),
+        Expr::Degree(r) => format!("(double)(row[{0} + 1] - row[{0}])", ref_text(*r)),
+        Expr::Field(field, r) => format!("{}[{}]", program.fields[*field].name, ref_text(*r)),
+        Expr::EdgeWeight => "(double)wt[e]".into(),
+        Expr::Iter => "(double)iter".into(),
+        Expr::NumNodes => "(double)n".into(),
+        Expr::Local(l) => format!("t{l}"),
+        Expr::Global(g) => format!("*g_{}", program.globals[*g].name),
+        Expr::Unary(op, a) => {
+            let a = expr_text(program, a);
+            match op {
+                UnaryOp::Not => format!("(!({a}))"),
+                UnaryOp::Neg => format!("(-({a}))"),
+                UnaryOp::Floor => format!("floor({a})"),
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let (a, b) = (expr_text(program, a), expr_text(program, b));
+            match op {
+                BinOp::Add => format!("({a} + {b})"),
+                BinOp::Sub => format!("({a} - {b})"),
+                BinOp::Mul => format!("({a} * {b})"),
+                BinOp::Div => format!("({a} / {b})"),
+                BinOp::Min => format!("fmin({a}, {b})"),
+                BinOp::Max => format!("fmax({a}, {b})"),
+                BinOp::Lt => format!("({a} < {b})"),
+                BinOp::Le => format!("({a} <= {b})"),
+                BinOp::Eq => format!("({a} == {b})"),
+                BinOp::Ne => format!("({a} != {b})"),
+                BinOp::And => format!("({a} && {b})"),
+                BinOp::Or => format!("({a} || {b})"),
+            }
+        }
+        Expr::Hash(a, b) => {
+            format!(
+                "hash2({}, {})",
+                expr_text(program, a),
+                expr_text(program, b)
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+    use crate::transform::plan;
+    use gpp_sim::opts::{OptConfig, Optimization};
+
+    fn render(program: &Program, cfg: OptConfig) -> String {
+        let plan = plan(program, cfg).expect("valid program");
+        opencl(program, &plan).expect("codegen succeeds")
+    }
+
+    #[test]
+    fn baseline_emits_plain_serial_loops() {
+        let text = render(&programs::bfs_topology(), OptConfig::baseline());
+        assert!(text.contains("__kernel void"));
+        assert!(text.contains("for (uint e = e_start; e < e_end; ++e)"));
+        assert!(!text.contains("[np-"));
+        assert!(!text.contains("global_barrier"));
+        assert!(text.contains("#define WG_SIZE 128"));
+    }
+
+    #[test]
+    fn fg8_emits_inspector_executor() {
+        let text = render(
+            &programs::bfs_topology(),
+            OptConfig::baseline().with(Optimization::Fg8),
+        );
+        assert!(text.contains("[np-fg8]"));
+        assert!(text.contains("work_group_scan_exclusive_add"));
+        assert!(text.contains("np_fg_rounds(8)"));
+    }
+
+    #[test]
+    fn wg_and_sg_emit_offers_and_barriers() {
+        let cfg = OptConfig::from_opts([Optimization::Wg, Optimization::Sg]);
+        let text = render(&programs::sssp_bellman(), cfg);
+        assert!(text.contains("[np-wg]"));
+        assert!(text.contains("np_wg_offer"));
+        assert!(text.contains("[np-sg]"));
+        assert!(text.contains("sub_group_barrier"));
+    }
+
+    #[test]
+    fn coop_cv_emits_subgroup_combined_push() {
+        let cfg = OptConfig::baseline().with(Optimization::CoopCv);
+        let text = render(&programs::bfs_worklist(), cfg);
+        assert!(text.contains("[coop-cv]"));
+        assert!(text.contains("sub_group_reduce_add"));
+        assert!(text.contains("sub_group_broadcast"));
+        // The plain push idiom must be gone.
+        assert!(!text.contains("wl_out[atomic_fetch_add(wl_tail, 1u)]"));
+    }
+
+    #[test]
+    fn plain_push_without_coop_cv() {
+        let text = render(&programs::bfs_worklist(), OptConfig::baseline());
+        assert!(text.contains("wl_out[atomic_fetch_add(wl_tail, 1u)]"));
+        assert!(!text.contains("sub_group_reduce_add"));
+    }
+
+    #[test]
+    fn oitergb_emits_outlined_megakernel() {
+        let cfg = OptConfig::baseline().with(Optimization::Oitergb);
+        let text = render(&programs::cc_label_prop(), cfg);
+        assert!(text.contains("_outlined("));
+        assert!(text.contains("discover_occupancy()"));
+        assert!(text.contains("global_barrier(resident)"));
+    }
+
+    #[test]
+    fn sz256_sets_the_workgroup_size() {
+        let cfg = OptConfig::baseline().with(Optimization::Sz256);
+        let text = render(&programs::pr_pull(), cfg);
+        assert!(text.contains("#define WG_SIZE 256"));
+        assert!(text.contains("reqd_work_group_size(WG_SIZE, 1, 1)"));
+    }
+
+    #[test]
+    fn globals_render_as_buffers_and_atomics() {
+        let text = render(&programs::pr_pull(), OptConfig::baseline());
+        assert!(text.contains("__global double *g_dangling"));
+        assert!(text.contains("atomic_fetch_add(g_dangling"));
+    }
+
+    #[test]
+    fn every_program_renders_under_every_transformation() {
+        for program in programs::all() {
+            for idx in [0usize, 1, 17, 42, 95] {
+                let cfg = OptConfig::from_index(idx);
+                let text = render(&program, cfg);
+                assert!(text.contains("__kernel"), "{} cfg {cfg}", program.name);
+            }
+        }
+    }
+}

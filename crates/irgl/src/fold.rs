@@ -1,0 +1,277 @@
+//! Constant folding and branch simplification — the classic clean-up
+//! pass a DSL compiler runs before the optimisation passes, so that
+//! statically-decidable conditionals don't inflate the derived cost
+//! profiles or the generated code.
+//!
+//! Folding is semantics-preserving by construction: every rewrite
+//! evaluates exactly the arithmetic the interpreter would
+//! ([`crate::interp`]), including IEEE edge cases (infinities propagate;
+//! division by zero yields the same infinity/NaN the runtime would see).
+
+use crate::ast::{BinOp, Expr, Kernel, Program, Stmt, UnaryOp};
+
+/// Folds all constant subexpressions and statically-decidable branches in
+/// every kernel of `program`, returning the simplified program.
+pub fn fold_program(program: &Program) -> Program {
+    let mut folded = program.clone();
+    for kernel in &mut folded.kernels {
+        fold_kernel(kernel);
+    }
+    folded
+}
+
+/// Folds one kernel in place.
+pub fn fold_kernel(kernel: &mut Kernel) {
+    kernel.body = fold_stmts(std::mem::take(&mut kernel.body));
+}
+
+fn fold_stmts(stmts: Vec<Stmt>) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let(local, expr) => out.push(Stmt::Let(local, fold_expr(expr))),
+            Stmt::If { cond, then, els } => {
+                let cond = fold_expr(cond);
+                let then = fold_stmts(then);
+                let els = fold_stmts(els);
+                match cond {
+                    // Statically-decidable branch: splice the taken arm.
+                    Expr::Const(c) if c != 0.0 => out.extend(then),
+                    Expr::Const(_) => out.extend(els),
+                    cond => {
+                        if then.is_empty() && els.is_empty() {
+                            // Branch with no effects: drop it entirely
+                            // (the condition is side-effect free).
+                            continue;
+                        }
+                        out.push(Stmt::If { cond, then, els });
+                    }
+                }
+            }
+            Stmt::Store {
+                field,
+                target,
+                value,
+            } => {
+                out.push(Stmt::Store {
+                    field,
+                    target,
+                    value: fold_expr(value),
+                });
+            }
+            Stmt::AtomicMin {
+                field,
+                target,
+                value,
+            } => {
+                out.push(Stmt::AtomicMin {
+                    field,
+                    target,
+                    value: fold_expr(value),
+                });
+            }
+            Stmt::AtomicAdd {
+                field,
+                target,
+                value,
+            } => {
+                out.push(Stmt::AtomicAdd {
+                    field,
+                    target,
+                    value: fold_expr(value),
+                });
+            }
+            Stmt::ForEachEdge(body) => {
+                let body = fold_stmts(body);
+                if body.is_empty() {
+                    // An empty edge loop has no effect.
+                    continue;
+                }
+                out.push(Stmt::ForEachEdge(body));
+            }
+            Stmt::GlobalAdd(global, value) => {
+                out.push(Stmt::GlobalAdd(global, fold_expr(value)));
+            }
+            other @ (Stmt::Push(_) | Stmt::MarkChanged) => out.push(other),
+        }
+    }
+    out
+}
+
+/// Folds one expression, mirroring the interpreter's arithmetic exactly.
+pub fn fold_expr(expr: Expr) -> Expr {
+    match expr {
+        Expr::Unary(op, a) => {
+            let a = fold_expr(*a);
+            if let Expr::Const(c) = a {
+                return Expr::Const(match op {
+                    UnaryOp::Not => f64::from(c == 0.0),
+                    UnaryOp::Neg => -c,
+                    UnaryOp::Floor => c.floor(),
+                });
+            }
+            Expr::Unary(op, Box::new(a))
+        }
+        Expr::Binary(op, a, b) => {
+            let a = fold_expr(*a);
+            let b = fold_expr(*b);
+            if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
+                let (x, y) = (*x, *y);
+                return Expr::Const(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                    BinOp::Lt => f64::from(x < y),
+                    BinOp::Le => f64::from(x <= y),
+                    BinOp::Eq => f64::from(x == y),
+                    BinOp::Ne => f64::from(x != y),
+                    BinOp::And => f64::from(x != 0.0 && y != 0.0),
+                    BinOp::Or => f64::from(x != 0.0 || y != 0.0),
+                });
+            }
+            // Identity simplifications that are exact in IEEE arithmetic
+            // for the finite operands graph programs use: x*1, 1*x, x+0,
+            // 0+x, x-0, x/1. (x*0 is NOT folded: 0 * inf = NaN.)
+            match (op, &a, &b) {
+                (BinOp::Mul, _, Expr::Const(c)) if *c == 1.0 => a,
+                (BinOp::Mul, Expr::Const(c), _) if *c == 1.0 => b,
+                (BinOp::Add, _, Expr::Const(c)) if *c == 0.0 => a,
+                (BinOp::Add, Expr::Const(c), _) if *c == 0.0 => b,
+                (BinOp::Sub, _, Expr::Const(c)) if *c == 0.0 => a,
+                (BinOp::Div, _, Expr::Const(c)) if *c == 1.0 => a,
+                _ => Expr::Binary(op, Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Hash(a, b) => Expr::Hash(Box::new(fold_expr(*a)), Box::new(fold_expr(*b))),
+        leaf => leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Domain, Kernel, Ref};
+    use crate::programs;
+    use gpp_sim::trace::Recorder;
+
+    fn c(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+
+    #[test]
+    fn arithmetic_folds() {
+        assert_eq!(fold_expr(Expr::bin(BinOp::Add, c(2.0), c(3.0))), c(5.0));
+        assert_eq!(fold_expr(Expr::bin(BinOp::Min, c(2.0), c(3.0))), c(2.0));
+        assert_eq!(fold_expr(Expr::bin(BinOp::Lt, c(2.0), c(3.0))), c(1.0));
+        assert_eq!(
+            fold_expr(Expr::Unary(UnaryOp::Neg, Box::new(c(4.0)))),
+            c(-4.0)
+        );
+    }
+
+    #[test]
+    fn folds_nested_trees() {
+        // (1 + 2) * (10 - 4) = 18
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Add, c(1.0), c(2.0)),
+            Expr::bin(BinOp::Sub, c(10.0), c(4.0)),
+        );
+        assert_eq!(fold_expr(e), c(18.0));
+    }
+
+    #[test]
+    fn identities_simplify_without_changing_dynamic_operands() {
+        let dyn_e = Expr::Field(0, Ref::Node);
+        assert_eq!(
+            fold_expr(Expr::bin(BinOp::Mul, dyn_e.clone(), c(1.0))),
+            dyn_e
+        );
+        assert_eq!(
+            fold_expr(Expr::bin(BinOp::Add, c(0.0), dyn_e.clone())),
+            dyn_e
+        );
+        // x * 0 must NOT fold: the field could hold infinity.
+        let e = fold_expr(Expr::bin(BinOp::Mul, dyn_e.clone(), c(0.0)));
+        assert!(matches!(e, Expr::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn ieee_edge_cases_match_runtime() {
+        let div = fold_expr(Expr::bin(BinOp::Div, c(1.0), c(0.0)));
+        assert_eq!(div, c(f64::INFINITY));
+        let lt = fold_expr(Expr::bin(BinOp::Lt, c(f64::INFINITY), c(f64::INFINITY)));
+        assert_eq!(lt, c(0.0));
+    }
+
+    #[test]
+    fn constant_branches_splice() {
+        let body = fold_stmts(vec![Stmt::If {
+            cond: Expr::bin(BinOp::Lt, c(1.0), c(2.0)),
+            then: vec![Stmt::MarkChanged],
+            els: vec![Stmt::Push(Ref::Node)],
+        }]);
+        assert_eq!(body, vec![Stmt::MarkChanged]);
+    }
+
+    #[test]
+    fn empty_constructs_are_removed() {
+        let body = fold_stmts(vec![
+            Stmt::ForEachEdge(vec![Stmt::If {
+                cond: c(0.0),
+                then: vec![Stmt::MarkChanged],
+                els: vec![],
+            }]),
+            Stmt::If {
+                cond: Expr::Field(0, Ref::Node),
+                then: vec![],
+                els: vec![],
+            },
+        ]);
+        assert!(body.is_empty(), "{body:?}");
+    }
+
+    #[test]
+    fn folding_preserves_program_semantics() {
+        let graph = gpp_graph::generators::rmat(6, 5, 4).expect("valid");
+        for program in programs::all() {
+            let folded = fold_program(&program);
+            assert_eq!(crate::validate::validate(&folded), Ok(()));
+            let mut ra = Recorder::new();
+            let a = crate::interp::execute(&program, &graph, &mut ra).expect("original runs");
+            let mut rb = Recorder::new();
+            let b = crate::interp::execute(&folded, &graph, &mut rb).expect("folded runs");
+            assert_eq!(a.fields, b.fields, "{}", program.name);
+            assert_eq!(a.iterations, b.iterations, "{}", program.name);
+        }
+    }
+
+    #[test]
+    fn folding_shrinks_a_wasteful_kernel() {
+        let mut kernel = Kernel {
+            name: "wasteful".into(),
+            domain: Domain::AllNodes,
+            locals: 1,
+            body: vec![
+                Stmt::Let(
+                    0,
+                    Expr::bin(BinOp::Mul, Expr::bin(BinOp::Add, c(1.0), c(1.0)), c(3.0)),
+                ),
+                Stmt::If {
+                    cond: c(0.0),
+                    then: vec![Stmt::Store {
+                        field: 0,
+                        target: Ref::Node,
+                        value: c(9.0),
+                    }],
+                    els: vec![],
+                },
+            ],
+        };
+        fold_kernel(&mut kernel);
+        assert_eq!(kernel.body, vec![Stmt::Let(0, c(6.0))]);
+    }
+}

@@ -1,0 +1,483 @@
+//! The DSL runtime: executes a validated program over a graph, computing
+//! real field values while reporting every kernel launch — with per-node
+//! edge-loop trip counts and worklist pushes — to an
+//! [`gpp_sim::exec::Executor`] (a timing session or a trace
+//! recorder).
+//!
+//! # Semantics
+//!
+//! Kernels are data-parallel but the interpreter processes nodes in id
+//! order with stores visible immediately. DSL programs are expected to
+//! use monotone updates (`atomic_min`/`atomic_add`) or explicit
+//! iteration-counter guards for cross-thread communication, exactly as
+//! race-tolerant GPU graph kernels do; under that discipline the result
+//! is deterministic and order-independent.
+
+use gpp_graph::{Graph, NodeId};
+use gpp_sim::exec::{Executor, KernelProfile, WorkItem};
+
+use crate::ast::{
+    BinOp, Domain, Driver, Expr, FieldInit, Kernel, Program, Ref, Stmt, UnaryOp, WorklistInit,
+};
+use crate::profile::derive_profile;
+use crate::validate::{validate, IrglError};
+
+/// The state left behind by a completed program execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Execution {
+    /// Final value of every field, indexed like `program.fields`.
+    pub fields: Vec<Vec<f64>>,
+    /// Final value of every global scalar.
+    pub globals: Vec<f64>,
+    /// Driver iterations executed.
+    pub iterations: u32,
+    /// Total kernel launches.
+    pub kernels: u32,
+}
+
+impl Execution {
+    /// The program's output field values.
+    pub fn output(&self, program: &Program) -> &[f64] {
+        &self.fields[program.output]
+    }
+}
+
+/// Executes `program` on `graph`, reporting kernels to `exec`.
+///
+/// # Errors
+///
+/// Returns validation errors, or
+/// [`IrglError::IterationBoundExceeded`] if a fixed-point driver fails to
+/// converge within its bound.
+pub fn execute(
+    program: &Program,
+    graph: &Graph,
+    exec: &mut dyn Executor,
+) -> Result<Execution, IrglError> {
+    validate(program)?;
+    let n = graph.num_nodes();
+    let mut fields: Vec<Vec<f64>> = program
+        .fields
+        .iter()
+        .map(|decl| init_field(decl.init, n))
+        .collect();
+    let profiles: Vec<KernelProfile> = program
+        .kernels
+        .iter()
+        .map(|k| derive_profile(k, &k.name))
+        .collect();
+    let mut globals: Vec<f64> = program.globals.iter().map(|g| g.init).collect();
+    let reset_globals = |globals: &mut Vec<f64>| {
+        globals
+            .iter_mut()
+            .zip(&program.globals)
+            .for_each(|(v, g)| *v = g.init)
+    };
+
+    let mut iterations = 0u32;
+    let mut kernels = 0u32;
+    match &program.driver {
+        Driver::UntilFixpoint {
+            kernels: seq,
+            max_iters,
+        } => loop {
+            if iterations >= *max_iters {
+                return Err(IrglError::IterationBoundExceeded {
+                    program: program.name.clone(),
+                    bound: *max_iters,
+                });
+            }
+            reset_globals(&mut globals);
+            let mut changed = false;
+            for &k in seq {
+                let kernel = &program.kernels[k];
+                let mut state = KernelState::new(graph, &mut fields, &mut globals, iterations);
+                run_all_nodes(kernel, &mut state);
+                changed |= state.changed;
+                exec.kernel(&profiles[k], &state.items);
+                kernels += 1;
+            }
+            iterations += 1;
+            if !changed {
+                break;
+            }
+        },
+        Driver::Fixed {
+            kernels: seq,
+            iters,
+        } => {
+            for iter in 0..*iters {
+                reset_globals(&mut globals);
+                for &k in seq {
+                    let kernel = &program.kernels[k];
+                    let mut state = KernelState::new(graph, &mut fields, &mut globals, iter);
+                    run_all_nodes(kernel, &mut state);
+                    exec.kernel(&profiles[k], &state.items);
+                    kernels += 1;
+                }
+                iterations += 1;
+            }
+        }
+        Driver::WorklistLoop {
+            init,
+            kernel,
+            max_iters,
+        } => {
+            let mut worklist: Vec<NodeId> = match init {
+                WorklistInit::Source => vec![0],
+                WorklistInit::AllNodes => graph.nodes().collect(),
+            };
+            while !worklist.is_empty() {
+                if iterations >= *max_iters {
+                    return Err(IrglError::IterationBoundExceeded {
+                        program: program.name.clone(),
+                        bound: *max_iters,
+                    });
+                }
+                reset_globals(&mut globals);
+                let k = &program.kernels[*kernel];
+                let mut state = KernelState::new(graph, &mut fields, &mut globals, iterations);
+                state.in_next = vec![false; n];
+                for &u in &worklist {
+                    state.run_node(k, u);
+                }
+                exec.kernel(&profiles[*kernel], &state.items);
+                kernels += 1;
+                worklist = std::mem::take(&mut state.next_worklist);
+                iterations += 1;
+            }
+        }
+    }
+    Ok(Execution {
+        fields,
+        globals,
+        iterations,
+        kernels,
+    })
+}
+
+fn init_field(init: FieldInit, n: usize) -> Vec<f64> {
+    match init {
+        FieldInit::Const(c) => vec![c; n],
+        FieldInit::NodeId => (0..n).map(|i| i as f64).collect(),
+        FieldInit::Infinity => vec![f64::INFINITY; n],
+        FieldInit::OneOverN => vec![1.0 / n as f64; n],
+        FieldInit::SourceElse(c) => {
+            let mut v = vec![c; n];
+            if let Some(first) = v.first_mut() {
+                *first = 0.0;
+            }
+            v
+        }
+    }
+}
+
+/// Per-launch interpreter state.
+struct KernelState<'a> {
+    graph: &'a Graph,
+    fields: &'a mut Vec<Vec<f64>>,
+    globals: &'a mut Vec<f64>,
+    iter: u32,
+    changed: bool,
+    items: Vec<WorkItem>,
+    next_worklist: Vec<NodeId>,
+    in_next: Vec<bool>,
+    locals: Vec<f64>,
+}
+
+/// The node/neighbour context of a statement.
+#[derive(Clone, Copy)]
+struct Edge {
+    nbr: NodeId,
+    weight: u32,
+}
+
+impl<'a> KernelState<'a> {
+    fn new(
+        graph: &'a Graph,
+        fields: &'a mut Vec<Vec<f64>>,
+        globals: &'a mut Vec<f64>,
+        iter: u32,
+    ) -> Self {
+        KernelState {
+            graph,
+            fields,
+            globals,
+            iter,
+            changed: false,
+            items: Vec::new(),
+            next_worklist: Vec::new(),
+            in_next: Vec::new(),
+            locals: Vec::new(),
+        }
+    }
+
+    fn run_node(&mut self, kernel: &Kernel, u: NodeId) {
+        self.locals.clear();
+        self.locals.resize(kernel.locals, 0.0);
+        let mut trips = 0u32;
+        let mut pushes = 0u32;
+        self.exec_stmts(&kernel.body, u, None, &mut trips, &mut pushes);
+        self.items.push(WorkItem::new(trips, pushes));
+    }
+
+    fn exec_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        u: NodeId,
+        edge: Option<Edge>,
+        trips: &mut u32,
+        pushes: &mut u32,
+    ) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Let(local, expr) => {
+                    self.locals[*local] = self.eval(expr, u, edge);
+                }
+                Stmt::If { cond, then, els } => {
+                    if self.eval(cond, u, edge) != 0.0 {
+                        self.exec_stmts(then, u, edge, trips, pushes);
+                    } else {
+                        self.exec_stmts(els, u, edge, trips, pushes);
+                    }
+                }
+                Stmt::Store {
+                    field,
+                    target,
+                    value,
+                } => {
+                    let v = self.eval(value, u, edge);
+                    let idx = self.resolve(*target, u, edge);
+                    self.fields[*field][idx as usize] = v;
+                }
+                Stmt::AtomicMin {
+                    field,
+                    target,
+                    value,
+                } => {
+                    let v = self.eval(value, u, edge);
+                    let idx = self.resolve(*target, u, edge) as usize;
+                    let slot = &mut self.fields[*field][idx];
+                    if v < *slot {
+                        *slot = v;
+                    }
+                }
+                Stmt::AtomicAdd {
+                    field,
+                    target,
+                    value,
+                } => {
+                    let v = self.eval(value, u, edge);
+                    let idx = self.resolve(*target, u, edge) as usize;
+                    self.fields[*field][idx] += v;
+                }
+                Stmt::ForEachEdge(body) => {
+                    for (nbr, weight) in self.graph.out_edges(u) {
+                        *trips += 1;
+                        self.exec_stmts(body, u, Some(Edge { nbr, weight }), trips, pushes);
+                    }
+                }
+                Stmt::Push(target) => {
+                    let v = self.resolve(*target, u, edge);
+                    if !self.in_next[v as usize] {
+                        self.in_next[v as usize] = true;
+                        self.next_worklist.push(v);
+                        *pushes += 1;
+                    }
+                }
+                Stmt::MarkChanged => {
+                    self.changed = true;
+                }
+                Stmt::GlobalAdd(global, value) => {
+                    let v = self.eval(value, u, edge);
+                    self.globals[*global] += v;
+                }
+            }
+        }
+    }
+
+    fn resolve(&self, r: Ref, u: NodeId, edge: Option<Edge>) -> NodeId {
+        match r {
+            Ref::Node => u,
+            Ref::Nbr => edge.expect("validated: Nbr inside edge loop").nbr,
+        }
+    }
+
+    fn eval(&self, expr: &Expr, u: NodeId, edge: Option<Edge>) -> f64 {
+        match expr {
+            Expr::Const(c) => *c,
+            Expr::NodeId(r) => self.resolve(*r, u, edge) as f64,
+            Expr::Degree(r) => self.graph.degree(self.resolve(*r, u, edge)) as f64,
+            Expr::Field(field, r) => self.fields[*field][self.resolve(*r, u, edge) as usize],
+            Expr::EdgeWeight => edge.expect("validated: EdgeWeight inside edge loop").weight as f64,
+            Expr::Iter => self.iter as f64,
+            Expr::NumNodes => self.graph.num_nodes() as f64,
+            Expr::Local(local) => self.locals[*local],
+            Expr::Global(global) => self.globals[*global],
+            Expr::Unary(op, a) => {
+                let a = self.eval(a, u, edge);
+                match op {
+                    UnaryOp::Not => f64::from(a == 0.0),
+                    UnaryOp::Neg => -a,
+                    UnaryOp::Floor => a.floor(),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let (a, b) = (self.eval(a, u, edge), self.eval(b, u, edge));
+                match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Min => a.min(b),
+                    BinOp::Max => a.max(b),
+                    BinOp::Lt => f64::from(a < b),
+                    BinOp::Le => f64::from(a <= b),
+                    BinOp::Eq => f64::from(a == b),
+                    BinOp::Ne => f64::from(a != b),
+                    BinOp::And => f64::from(a != 0.0 && b != 0.0),
+                    BinOp::Or => f64::from(a != 0.0 || b != 0.0),
+                }
+            }
+            Expr::Hash(a, b) => {
+                let (a, b) = (self.eval(a, u, edge), self.eval(b, u, edge));
+                hash2(a as u64, b as u64) as f64
+            }
+        }
+    }
+}
+
+fn run_all_nodes(kernel: &Kernel, state: &mut KernelState<'_>) {
+    debug_assert_eq!(kernel.domain, Domain::AllNodes);
+    for u in state.graph.nodes() {
+        state.run_node(kernel, u);
+    }
+}
+
+/// Deterministic 32-bit hash of two integers (SplitMix64 finaliser).
+fn hash2(a: u64, b: u64) -> u32 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.rotate_left(31));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::FieldDecl;
+    use gpp_graph::generators;
+    use gpp_sim::trace::Recorder;
+
+    /// level[v] = hop distance from node 0, via atomic-min relaxation.
+    fn bfs_program() -> Program {
+        Program {
+            name: "bfs".into(),
+            fields: vec![FieldDecl {
+                name: "level".into(),
+                init: FieldInit::SourceElse(f64::INFINITY),
+            }],
+            globals: vec![],
+            kernels: vec![Kernel {
+                name: "level_step".into(),
+                domain: Domain::AllNodes,
+                locals: 1,
+                body: vec![Stmt::If {
+                    cond: Expr::bin(BinOp::Eq, Expr::Field(0, Ref::Node), Expr::Iter),
+                    then: vec![Stmt::ForEachEdge(vec![Stmt::If {
+                        cond: Expr::bin(
+                            BinOp::Lt,
+                            Expr::bin(BinOp::Add, Expr::Iter, Expr::Const(1.0)),
+                            Expr::Field(0, Ref::Nbr),
+                        ),
+                        then: vec![
+                            Stmt::AtomicMin {
+                                field: 0,
+                                target: Ref::Nbr,
+                                value: Expr::bin(BinOp::Add, Expr::Iter, Expr::Const(1.0)),
+                            },
+                            Stmt::MarkChanged,
+                        ],
+                        els: vec![],
+                    }])],
+                    els: vec![],
+                }],
+            }],
+            driver: Driver::UntilFixpoint {
+                kernels: vec![0],
+                max_iters: 10_000,
+            },
+            output: 0,
+        }
+    }
+
+    #[test]
+    fn bfs_program_computes_reference_levels() {
+        let g = generators::road_grid(9, 9, 2).unwrap();
+        let mut rec = Recorder::new();
+        let result = execute(&bfs_program(), &g, &mut rec).unwrap();
+        let expect = gpp_graph::properties::bfs_levels(&g, 0);
+        for (got, want) in result.output(&bfs_program()).iter().zip(&expect) {
+            if *want == u32::MAX {
+                assert!(got.is_infinite());
+            } else {
+                assert_eq!(*got, *want as f64);
+            }
+        }
+        // One kernel per level plus the fixed-point check.
+        assert_eq!(result.kernels as usize, rec.into_trace().num_kernels());
+    }
+
+    #[test]
+    fn execution_reports_work_items() {
+        let g = generators::star(20).unwrap();
+        let mut rec = Recorder::new();
+        execute(&bfs_program(), &g, &mut rec).unwrap();
+        let trace = rec.into_trace();
+        // First kernel: only the hub (node 0) is active, walking 19 edges.
+        let first = &trace.calls()[0];
+        assert_eq!(first.items.len(), 20);
+        assert_eq!(first.items[0].degree, 19);
+        assert!(first.items[1..].iter().all(|i| i.degree == 0));
+    }
+
+    #[test]
+    fn fixpoint_bound_is_enforced() {
+        let mut p = bfs_program();
+        if let Driver::UntilFixpoint { max_iters, .. } = &mut p.driver {
+            *max_iters = 2;
+        }
+        let g = generators::path(30).unwrap();
+        let mut rec = Recorder::new();
+        let err = execute(&p, &g, &mut rec).unwrap_err();
+        assert!(matches!(
+            err,
+            IrglError::IterationBoundExceeded { bound: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn fixed_driver_runs_exact_iterations() {
+        let mut p = bfs_program();
+        p.driver = Driver::Fixed {
+            kernels: vec![0],
+            iters: 7,
+        };
+        let g = generators::cycle(8).unwrap();
+        let mut rec = Recorder::new();
+        let result = execute(&p, &g, &mut rec).unwrap();
+        assert_eq!(result.iterations, 7);
+        assert_eq!(result.kernels, 7);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        let a = hash2(3, 7);
+        assert_eq!(a, hash2(3, 7));
+        assert_ne!(a, hash2(7, 3));
+        let distinct: std::collections::HashSet<u32> = (0..1000u64).map(|i| hash2(i, 0)).collect();
+        assert!(distinct.len() > 990);
+    }
+}

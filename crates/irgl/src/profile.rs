@@ -1,0 +1,303 @@
+//! Deriving machine cost profiles from kernel IR — the static analysis a
+//! DSL compiler performs to know what its generated code does per node
+//! and per edge.
+
+use gpp_sim::exec::KernelProfile;
+
+use crate::ast::{Expr, Kernel, Ref, Stmt};
+
+/// Operation counts accumulated by the walker.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct Counts {
+    alu: f64,
+    reads: f64,
+    writes: f64,
+    atomics: f64,
+}
+
+impl Counts {
+    fn max(self, other: Counts) -> Counts {
+        Counts {
+            alu: self.alu.max(other.alu),
+            reads: self.reads.max(other.reads),
+            writes: self.writes.max(other.writes),
+            atomics: self.atomics.max(other.atomics),
+        }
+    }
+
+    fn add(&mut self, other: Counts) {
+        self.alu += other.alu;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.atomics += other.atomics;
+    }
+}
+
+/// Fraction of a memory access charged for own-node data touched inside
+/// the edge loop: the compiler keeps it in a register after the first
+/// load.
+const CACHED_ACCESS: f64 = 0.25;
+
+/// Fraction charged for streaming the edge-weight array (sequential,
+/// prefetchable).
+const EDGE_WEIGHT_ACCESS: f64 = 0.5;
+
+/// Derives the abstract machine's [`KernelProfile`] from a kernel's IR.
+///
+/// Per-node costs come from statements outside the edge loop plus fixed
+/// bookkeeping (thread id, activity check); per-edge costs from
+/// statements inside it. Conditionals charge the condition plus the
+/// *more expensive* branch (SIMT execution pays for the longest path in
+/// the subgroup).
+pub fn derive_profile(kernel: &Kernel, name: &str) -> KernelProfile {
+    let mut node = Counts {
+        alu: 2.0,
+        reads: 1.5,
+        writes: 0.0,
+        atomics: 0.0,
+    };
+    let mut edge = Counts::default();
+    let mut irregular = false;
+    walk_stmts(&kernel.body, false, &mut node, &mut edge, &mut irregular);
+    KernelProfile {
+        name: name.to_owned(),
+        alu_per_edge: edge.alu,
+        reads_per_edge: edge.reads,
+        writes_per_edge: edge.writes,
+        atomics_per_edge: edge.atomics,
+        alu_per_node: node.alu,
+        reads_per_node: node.reads,
+        writes_per_node: node.writes + node.atomics,
+        irregular,
+    }
+}
+
+fn walk_stmts(
+    stmts: &[Stmt],
+    in_edge: bool,
+    node: &mut Counts,
+    edge: &mut Counts,
+    irregular: &mut bool,
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let(_, expr) => {
+                charge(expr_counts(expr, in_edge), in_edge, node, edge);
+            }
+            Stmt::If { cond, then, els } => {
+                charge(expr_counts(cond, in_edge), in_edge, node, edge);
+                // Charge the heavier branch (SIMT worst lane).
+                let (mut tn, mut te) = (Counts::default(), Counts::default());
+                let (mut en, mut ee) = (Counts::default(), Counts::default());
+                let mut dummy = false;
+                walk_stmts(then, in_edge, &mut tn, &mut te, irregular);
+                walk_stmts(els, in_edge, &mut en, &mut ee, &mut dummy);
+                node.add(tn.max(en));
+                edge.add(te.max(ee));
+            }
+            Stmt::Store { target, value, .. } => {
+                let mut c = expr_counts(value, in_edge);
+                c.writes += access_weight(*target, in_edge);
+                charge(c, in_edge, node, edge);
+            }
+            Stmt::AtomicMin { target, value, .. } | Stmt::AtomicAdd { target, value, .. } => {
+                let mut c = expr_counts(value, in_edge);
+                c.atomics += access_weight(*target, in_edge);
+                charge(c, in_edge, node, edge);
+            }
+            Stmt::ForEachEdge(body) => {
+                *irregular = true;
+                // Loop bookkeeping per edge.
+                edge.alu += 1.0;
+                walk_stmts(body, true, node, edge, irregular);
+            }
+            Stmt::Push(_) => {
+                // The RMW itself is accounted through WorkItem::pushes;
+                // charge the index computation.
+                charge(
+                    Counts {
+                        alu: 1.0,
+                        ..Counts::default()
+                    },
+                    in_edge,
+                    node,
+                    edge,
+                );
+            }
+            Stmt::MarkChanged => {
+                // A flag write, heavily coalesced across threads.
+                charge(
+                    Counts {
+                        writes: CACHED_ACCESS,
+                        ..Counts::default()
+                    },
+                    in_edge,
+                    node,
+                    edge,
+                );
+            }
+            Stmt::GlobalAdd(_, value) => {
+                // A hot single-location atomic.
+                let mut c = expr_counts(value, in_edge);
+                c.atomics += 1.0;
+                charge(c, in_edge, node, edge);
+            }
+        }
+    }
+}
+
+fn charge(c: Counts, in_edge: bool, node: &mut Counts, edge: &mut Counts) {
+    if in_edge {
+        edge.add(c);
+    } else {
+        node.add(c);
+    }
+}
+
+fn access_weight(target: Ref, in_edge: bool) -> f64 {
+    match (target, in_edge) {
+        // Scattered neighbour access.
+        (Ref::Nbr, _) => 1.0,
+        // Own-node access inside the loop: register-cached.
+        (Ref::Node, true) => CACHED_ACCESS,
+        (Ref::Node, false) => 1.0,
+    }
+}
+
+fn expr_counts(expr: &Expr, in_edge: bool) -> Counts {
+    let mut c = Counts::default();
+    expr_walk(expr, in_edge, &mut c);
+    c
+}
+
+fn expr_walk(expr: &Expr, in_edge: bool, c: &mut Counts) {
+    match expr {
+        Expr::Const(_) | Expr::Iter | Expr::NumNodes | Expr::Local(_) => {}
+        Expr::Global(_) => c.reads += CACHED_ACCESS,
+        Expr::NodeId(_) => c.alu += 0.5,
+        Expr::Degree(r) => c.reads += access_weight(*r, in_edge),
+        Expr::Field(_, r) => c.reads += access_weight(*r, in_edge),
+        Expr::EdgeWeight => c.reads += EDGE_WEIGHT_ACCESS,
+        Expr::Unary(_, a) => {
+            c.alu += 1.0;
+            expr_walk(a, in_edge, c);
+        }
+        Expr::Binary(_, a, b) => {
+            c.alu += 1.0;
+            expr_walk(a, in_edge, c);
+            expr_walk(b, in_edge, c);
+        }
+        Expr::Hash(a, b) => {
+            c.alu += 6.0; // a few rounds of integer mixing
+            expr_walk(a, in_edge, c);
+            expr_walk(b, in_edge, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Domain};
+
+    fn kernel(body: Vec<Stmt>) -> Kernel {
+        Kernel {
+            name: "k".into(),
+            domain: Domain::AllNodes,
+            locals: 2,
+            body,
+        }
+    }
+
+    #[test]
+    fn regular_kernel_has_no_edge_costs() {
+        let k = kernel(vec![Stmt::Store {
+            field: 0,
+            target: Ref::Node,
+            value: Expr::Const(1.0),
+        }]);
+        let p = derive_profile(&k, "t");
+        assert!(!p.irregular);
+        assert_eq!(p.reads_per_edge, 0.0);
+        assert_eq!(p.writes_per_edge, 0.0);
+        assert!(p.writes_per_node >= 1.0);
+    }
+
+    #[test]
+    fn edge_loop_makes_kernel_irregular() {
+        let k = kernel(vec![Stmt::ForEachEdge(vec![Stmt::AtomicMin {
+            field: 0,
+            target: Ref::Nbr,
+            value: Expr::bin(BinOp::Add, Expr::Field(0, Ref::Node), Expr::EdgeWeight),
+        }])]);
+        let p = derive_profile(&k, "t");
+        assert!(p.irregular);
+        assert!(
+            p.atomics_per_edge >= 1.0,
+            "scattered atomic: {}",
+            p.atomics_per_edge
+        );
+        assert!(p.reads_per_edge > 0.0);
+        assert!(
+            p.alu_per_edge >= 2.0,
+            "loop bookkeeping + add: {}",
+            p.alu_per_edge
+        );
+    }
+
+    #[test]
+    fn neighbour_reads_cost_more_than_cached_own_reads() {
+        let nbr = kernel(vec![Stmt::ForEachEdge(vec![Stmt::Let(
+            0,
+            Expr::Field(0, Ref::Nbr),
+        )])]);
+        let own = kernel(vec![Stmt::ForEachEdge(vec![Stmt::Let(
+            0,
+            Expr::Field(0, Ref::Node),
+        )])]);
+        let p_nbr = derive_profile(&nbr, "n");
+        let p_own = derive_profile(&own, "o");
+        assert!(p_nbr.reads_per_edge > p_own.reads_per_edge);
+    }
+
+    #[test]
+    fn if_charges_the_heavier_branch() {
+        let heavy_then = kernel(vec![Stmt::If {
+            cond: Expr::Const(1.0),
+            then: vec![
+                Stmt::Store {
+                    field: 0,
+                    target: Ref::Node,
+                    value: Expr::Const(1.0),
+                },
+                Stmt::Store {
+                    field: 0,
+                    target: Ref::Node,
+                    value: Expr::Const(2.0),
+                },
+            ],
+            els: vec![Stmt::Store {
+                field: 0,
+                target: Ref::Node,
+                value: Expr::Const(3.0),
+            }],
+        }]);
+        let p = derive_profile(&heavy_then, "t");
+        // Two stores (the heavier branch), not three, not one.
+        assert!(
+            (p.writes_per_node - 2.0).abs() < 1e-9,
+            "{}",
+            p.writes_per_node
+        );
+    }
+
+    #[test]
+    fn hash_is_alu_heavy() {
+        let k = kernel(vec![Stmt::Let(
+            0,
+            Expr::Hash(Box::new(Expr::NodeId(Ref::Node)), Box::new(Expr::Iter)),
+        )]);
+        let p = derive_profile(&k, "t");
+        assert!(p.alu_per_node >= 8.0, "{}", p.alu_per_node);
+    }
+}

@@ -1,0 +1,569 @@
+//! Graph applications written in the DSL, mirroring a subset of the
+//! handwritten suite: two BFS strategies, two SSSP strategies, label
+//! propagation, PageRank, and Luby's maximal independent set.
+
+use crate::ast::{
+    BinOp, Domain, Driver, Expr, FieldDecl, FieldInit, GlobalDecl, Kernel, Program, Ref, Stmt,
+    WorklistInit,
+};
+
+use Expr::{Const, Degree, EdgeWeight, Global, Iter, Local, NodeId, NumNodes};
+
+fn field(f: usize, r: Ref) -> Expr {
+    Expr::Field(f, r)
+}
+
+fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    Expr::bin(op, a, b)
+}
+
+/// Topology-driven BFS: one kernel over all nodes per level, expanding
+/// nodes whose level equals the iteration counter.
+pub fn bfs_topology() -> Program {
+    let level = 0;
+    Program {
+        name: "bfs_tp".into(),
+        fields: vec![FieldDecl {
+            name: "level".into(),
+            init: FieldInit::SourceElse(f64::INFINITY),
+        }],
+        globals: vec![],
+        kernels: vec![Kernel {
+            name: "bfs_tp_step".into(),
+            domain: Domain::AllNodes,
+            locals: 0,
+            body: vec![Stmt::If {
+                cond: bin(BinOp::Eq, field(level, Ref::Node), Iter),
+                then: vec![Stmt::ForEachEdge(vec![Stmt::If {
+                    cond: bin(
+                        BinOp::Lt,
+                        bin(BinOp::Add, Iter, Const(1.0)),
+                        field(level, Ref::Nbr),
+                    ),
+                    then: vec![
+                        Stmt::AtomicMin {
+                            field: level,
+                            target: Ref::Nbr,
+                            value: bin(BinOp::Add, Iter, Const(1.0)),
+                        },
+                        Stmt::MarkChanged,
+                    ],
+                    els: vec![],
+                }])],
+                els: vec![],
+            }],
+        }],
+        driver: Driver::UntilFixpoint {
+            kernels: vec![0],
+            max_iters: 1_000_000,
+        },
+        output: level,
+    }
+}
+
+/// Worklist BFS: frontier nodes relax their neighbours and push newly
+/// improved ones.
+pub fn bfs_worklist() -> Program {
+    let level = 0;
+    Program {
+        name: "bfs_wl".into(),
+        fields: vec![FieldDecl {
+            name: "level".into(),
+            init: FieldInit::SourceElse(f64::INFINITY),
+        }],
+        globals: vec![],
+        kernels: vec![Kernel {
+            name: "bfs_wl_expand".into(),
+            domain: Domain::Worklist,
+            locals: 1,
+            body: vec![
+                Stmt::Let(0, bin(BinOp::Add, field(level, Ref::Node), Const(1.0))),
+                Stmt::ForEachEdge(vec![Stmt::If {
+                    cond: bin(BinOp::Lt, Local(0), field(level, Ref::Nbr)),
+                    then: vec![
+                        Stmt::AtomicMin {
+                            field: level,
+                            target: Ref::Nbr,
+                            value: Local(0),
+                        },
+                        Stmt::Push(Ref::Nbr),
+                    ],
+                    els: vec![],
+                }]),
+            ],
+        }],
+        driver: Driver::WorklistLoop {
+            init: WorklistInit::Source,
+            kernel: 0,
+            max_iters: 1_000_000,
+        },
+        output: level,
+    }
+}
+
+/// Topology-driven Bellman-Ford SSSP.
+pub fn sssp_bellman() -> Program {
+    let dist = 0;
+    Program {
+        name: "sssp_bf".into(),
+        fields: vec![FieldDecl {
+            name: "dist".into(),
+            init: FieldInit::SourceElse(f64::INFINITY),
+        }],
+        globals: vec![],
+        kernels: vec![Kernel {
+            name: "sssp_bf_relax".into(),
+            domain: Domain::AllNodes,
+            locals: 1,
+            body: vec![Stmt::If {
+                cond: bin(BinOp::Lt, field(dist, Ref::Node), Const(f64::INFINITY)),
+                then: vec![Stmt::ForEachEdge(vec![
+                    Stmt::Let(0, bin(BinOp::Add, field(dist, Ref::Node), EdgeWeight)),
+                    Stmt::If {
+                        cond: bin(BinOp::Lt, Local(0), field(dist, Ref::Nbr)),
+                        then: vec![
+                            Stmt::AtomicMin {
+                                field: dist,
+                                target: Ref::Nbr,
+                                value: Local(0),
+                            },
+                            Stmt::MarkChanged,
+                        ],
+                        els: vec![],
+                    },
+                ])],
+                els: vec![],
+            }],
+        }],
+        driver: Driver::UntilFixpoint {
+            kernels: vec![0],
+            max_iters: 1_000_000,
+        },
+        output: dist,
+    }
+}
+
+/// Worklist SSSP: improved nodes are queued for re-relaxation.
+pub fn sssp_worklist() -> Program {
+    let dist = 0;
+    Program {
+        name: "sssp_wl".into(),
+        fields: vec![FieldDecl {
+            name: "dist".into(),
+            init: FieldInit::SourceElse(f64::INFINITY),
+        }],
+        globals: vec![],
+        kernels: vec![Kernel {
+            name: "sssp_wl_relax".into(),
+            domain: Domain::Worklist,
+            locals: 1,
+            body: vec![Stmt::ForEachEdge(vec![
+                Stmt::Let(0, bin(BinOp::Add, field(dist, Ref::Node), EdgeWeight)),
+                Stmt::If {
+                    cond: bin(BinOp::Lt, Local(0), field(dist, Ref::Nbr)),
+                    then: vec![
+                        Stmt::AtomicMin {
+                            field: dist,
+                            target: Ref::Nbr,
+                            value: Local(0),
+                        },
+                        Stmt::Push(Ref::Nbr),
+                    ],
+                    els: vec![],
+                },
+            ])],
+        }],
+        driver: Driver::WorklistLoop {
+            init: WorklistInit::Source,
+            kernel: 0,
+            max_iters: 1_000_000,
+        },
+        output: dist,
+    }
+}
+
+/// Connected components by minimum-label propagation.
+pub fn cc_label_prop() -> Program {
+    let label = 0;
+    Program {
+        name: "cc_lp".into(),
+        fields: vec![FieldDecl {
+            name: "label".into(),
+            init: FieldInit::NodeId,
+        }],
+        globals: vec![],
+        kernels: vec![Kernel {
+            name: "cc_lp_propagate".into(),
+            domain: Domain::AllNodes,
+            locals: 0,
+            body: vec![Stmt::ForEachEdge(vec![Stmt::If {
+                cond: bin(BinOp::Lt, field(label, Ref::Node), field(label, Ref::Nbr)),
+                then: vec![
+                    Stmt::AtomicMin {
+                        field: label,
+                        target: Ref::Nbr,
+                        value: field(label, Ref::Node),
+                    },
+                    Stmt::MarkChanged,
+                ],
+                els: vec![],
+            }])],
+        }],
+        driver: Driver::UntilFixpoint {
+            kernels: vec![0],
+            max_iters: 1_000_000,
+        },
+        output: label,
+    }
+}
+
+/// Pull-style PageRank with uniform redistribution of dangling mass via a
+/// global accumulator; a fixed 64 power iterations (damping 0.85).
+pub fn pr_pull() -> Program {
+    let rank = 0;
+    let share = 1;
+    let dangling = 0;
+    Program {
+        name: "pr_pull".into(),
+        fields: vec![
+            FieldDecl {
+                name: "rank".into(),
+                init: FieldInit::OneOverN,
+            },
+            FieldDecl {
+                name: "share".into(),
+                init: FieldInit::Const(0.0),
+            },
+        ],
+        globals: vec![GlobalDecl {
+            name: "dangling".into(),
+            init: 0.0,
+        }],
+        kernels: vec![
+            Kernel {
+                name: "pr_compute_share".into(),
+                domain: Domain::AllNodes,
+                locals: 0,
+                body: vec![Stmt::If {
+                    cond: bin(BinOp::Lt, Const(0.0), Degree(Ref::Node)),
+                    then: vec![Stmt::Store {
+                        field: share,
+                        target: Ref::Node,
+                        value: bin(
+                            BinOp::Div,
+                            bin(BinOp::Mul, Const(0.85), field(rank, Ref::Node)),
+                            Degree(Ref::Node),
+                        ),
+                    }],
+                    els: vec![Stmt::GlobalAdd(dangling, field(rank, Ref::Node))],
+                }],
+            },
+            Kernel {
+                name: "pr_gather".into(),
+                domain: Domain::AllNodes,
+                locals: 1,
+                body: vec![
+                    Stmt::Let(0, Const(0.0)),
+                    Stmt::ForEachEdge(vec![Stmt::Let(
+                        0,
+                        bin(BinOp::Add, Local(0), field(share, Ref::Nbr)),
+                    )]),
+                    Stmt::Store {
+                        field: rank,
+                        target: Ref::Node,
+                        value: bin(
+                            BinOp::Add,
+                            bin(
+                                BinOp::Add,
+                                bin(BinOp::Div, Const(0.15), NumNodes),
+                                bin(
+                                    BinOp::Div,
+                                    bin(BinOp::Mul, Const(0.85), Global(dangling)),
+                                    NumNodes,
+                                ),
+                            ),
+                            Local(0),
+                        ),
+                    },
+                ],
+            },
+        ],
+        driver: Driver::Fixed {
+            kernels: vec![0, 1],
+            iters: 64,
+        },
+        output: rank,
+    }
+}
+
+/// Luby's maximal independent set: fresh hash priorities per round;
+/// state 0 = undecided, 1 = in the set, 2 = excluded.
+pub fn mis_luby() -> Program {
+    let state = 0;
+    let cand = 1;
+    let my_prio = 1usize; // local 1; local 0 is the "win" flag
+    Program {
+        name: "mis_luby".into(),
+        fields: vec![
+            FieldDecl {
+                name: "state".into(),
+                init: FieldInit::Const(0.0),
+            },
+            FieldDecl {
+                name: "cand".into(),
+                init: FieldInit::Const(0.0),
+            },
+        ],
+        globals: vec![],
+        kernels: vec![
+            Kernel {
+                name: "mis_select".into(),
+                domain: Domain::AllNodes,
+                locals: 2,
+                body: vec![Stmt::If {
+                    cond: bin(BinOp::Eq, field(state, Ref::Node), Const(0.0)),
+                    then: vec![
+                        Stmt::Let(0, Const(1.0)),
+                        Stmt::Let(
+                            my_prio,
+                            Expr::Hash(Box::new(NodeId(Ref::Node)), Box::new(Iter)),
+                        ),
+                        Stmt::ForEachEdge(vec![Stmt::If {
+                            cond: bin(
+                                BinOp::And,
+                                bin(BinOp::Eq, field(state, Ref::Nbr), Const(0.0)),
+                                bin(
+                                    BinOp::Or,
+                                    bin(
+                                        BinOp::Lt,
+                                        Local(my_prio),
+                                        Expr::Hash(Box::new(NodeId(Ref::Nbr)), Box::new(Iter)),
+                                    ),
+                                    bin(
+                                        BinOp::And,
+                                        bin(
+                                            BinOp::Eq,
+                                            Local(my_prio),
+                                            Expr::Hash(Box::new(NodeId(Ref::Nbr)), Box::new(Iter)),
+                                        ),
+                                        bin(BinOp::Lt, NodeId(Ref::Nbr), NodeId(Ref::Node)),
+                                    ),
+                                ),
+                            ),
+                            then: vec![Stmt::Let(0, Const(0.0))],
+                            els: vec![],
+                        }]),
+                        Stmt::Store {
+                            field: cand,
+                            target: Ref::Node,
+                            value: Local(0),
+                        },
+                    ],
+                    els: vec![Stmt::Store {
+                        field: cand,
+                        target: Ref::Node,
+                        value: Const(0.0),
+                    }],
+                }],
+            },
+            Kernel {
+                name: "mis_apply".into(),
+                domain: Domain::AllNodes,
+                locals: 0,
+                body: vec![Stmt::If {
+                    cond: bin(
+                        BinOp::And,
+                        bin(BinOp::Eq, field(cand, Ref::Node), Const(1.0)),
+                        bin(BinOp::Eq, field(state, Ref::Node), Const(0.0)),
+                    ),
+                    then: vec![
+                        Stmt::Store {
+                            field: state,
+                            target: Ref::Node,
+                            value: Const(1.0),
+                        },
+                        Stmt::MarkChanged,
+                        Stmt::ForEachEdge(vec![Stmt::If {
+                            cond: bin(BinOp::Eq, field(state, Ref::Nbr), Const(0.0)),
+                            then: vec![Stmt::Store {
+                                field: state,
+                                target: Ref::Nbr,
+                                value: Const(2.0),
+                            }],
+                            els: vec![],
+                        }]),
+                    ],
+                    els: vec![],
+                }],
+            },
+        ],
+        driver: Driver::UntilFixpoint {
+            kernels: vec![0, 1],
+            max_iters: 100_000,
+        },
+        output: state,
+    }
+}
+
+/// All DSL-authored programs.
+pub fn all() -> Vec<Program> {
+    vec![
+        bfs_topology(),
+        bfs_worklist(),
+        sssp_bellman(),
+        sssp_worklist(),
+        cc_label_prop(),
+        pr_pull(),
+        mis_luby(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::execute;
+    use crate::validate::validate as validate_program;
+    use gpp_graph::{generators, properties, Graph};
+    use gpp_sim::trace::Recorder;
+
+    fn run(program: &Program, graph: &Graph) -> Vec<f64> {
+        let mut rec = Recorder::new();
+        let exec =
+            execute(program, graph, &mut rec).unwrap_or_else(|e| panic!("{}: {e}", program.name));
+        exec.output(program).to_vec()
+    }
+
+    fn test_graphs() -> Vec<Graph> {
+        vec![
+            generators::road_grid(8, 8, 3).unwrap(),
+            generators::rmat(7, 6, 5).unwrap(),
+            generators::star(25).unwrap(),
+            generators::path(17).unwrap(),
+            gpp_graph::GraphBuilder::new(7)
+                .undirected()
+                .weighted_edge(0, 1, 5)
+                .weighted_edge(3, 4, 2)
+                .weighted_edge(4, 5, 9)
+                .build()
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn all_programs_are_well_formed() {
+        for p in all() {
+            validate_program(&p).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+        assert_eq!(all().len(), 7);
+    }
+
+    #[test]
+    fn bfs_programs_match_reference_levels() {
+        for g in test_graphs() {
+            let expect = properties::bfs_levels(&g, 0);
+            for p in [bfs_topology(), bfs_worklist()] {
+                let got = run(&p, &g);
+                for (v, (g_, w)) in got.iter().zip(&expect).enumerate() {
+                    let want = if *w == u32::MAX {
+                        f64::INFINITY
+                    } else {
+                        *w as f64
+                    };
+                    assert_eq!(*g_, want, "{} node {v}", p.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_programs_match_dijkstra() {
+        for g in test_graphs() {
+            let expect = properties::dijkstra(&g, 0);
+            for p in [sssp_bellman(), sssp_worklist()] {
+                let got = run(&p, &g);
+                for (v, (g_, w)) in got.iter().zip(&expect).enumerate() {
+                    let want = if *w == u64::MAX {
+                        f64::INFINITY
+                    } else {
+                        *w as f64
+                    };
+                    assert_eq!(*g_, want, "{} node {v}", p.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cc_matches_union_find() {
+        for g in test_graphs() {
+            let expect = properties::connected_components(&g).labels;
+            let got = run(&cc_label_prop(), &g);
+            for (v, (g_, w)) in got.iter().zip(&expect).enumerate() {
+                assert_eq!(*g_, *w as f64, "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_matches_power_iteration() {
+        for g in test_graphs() {
+            let got = run(&pr_pull(), &g);
+            // Independent reference: 64 pull iterations with uniform
+            // dangling redistribution.
+            let n = g.num_nodes();
+            let mut rank = vec![1.0 / n as f64; n];
+            let mut next = vec![0.0; n];
+            for _ in 0..64 {
+                let dangling: f64 = g
+                    .nodes()
+                    .filter(|&u| g.degree(u) == 0)
+                    .map(|u| rank[u as usize])
+                    .sum();
+                let base = 0.15 / n as f64 + 0.85 * dangling / n as f64;
+                for v in g.nodes() {
+                    let mut acc = 0.0;
+                    for &u in g.neighbors(v) {
+                        acc += 0.85 * rank[u as usize] / g.degree(u) as f64;
+                    }
+                    next[v as usize] = base + acc;
+                }
+                std::mem::swap(&mut rank, &mut next);
+            }
+            for (v, (g_, w)) in got.iter().zip(&rank).enumerate() {
+                assert!((g_ - w).abs() < 1e-9, "node {v}: {g_} vs {w}");
+            }
+            let sum: f64 = got.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mis_is_independent_and_maximal() {
+        for g in test_graphs() {
+            let state = run(&mis_luby(), &g);
+            for u in g.nodes() {
+                let selected = state[u as usize] == 1.0;
+                if selected {
+                    for &v in g.neighbors(u) {
+                        assert_ne!(state[v as usize], 1.0, "{u} and {v} both selected");
+                    }
+                } else {
+                    assert!(
+                        g.neighbors(u).iter().any(|&v| state[v as usize] == 1.0),
+                        "{u} uncovered"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_variants_do_less_work_on_road() {
+        let g = generators::road_grid(12, 12, 1).unwrap();
+        let mut rec_tp = Recorder::new();
+        execute(&bfs_topology(), &g, &mut rec_tp).unwrap();
+        let mut rec_wl = Recorder::new();
+        execute(&bfs_worklist(), &g, &mut rec_wl).unwrap();
+        assert!(rec_wl.into_trace().num_items() < rec_tp.into_trace().num_items());
+    }
+}

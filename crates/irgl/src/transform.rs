@@ -1,0 +1,193 @@
+//! The optimisation passes: given a program and an optimisation
+//! configuration, decide — per kernel — which transformations legally
+//! apply and how each kernel will be scheduled. The plan drives code
+//! generation ([`crate::codegen`]) and mirrors the scheduling the
+//! abstract machine applies at evaluation time.
+
+use gpp_sim::opts::{FgMode, OptConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{Program, Stmt};
+use crate::validate::{validate, IrglError};
+
+/// A nested-parallelism scheme selected for a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Whole-workgroup processing of high-degree nodes.
+    Wg,
+    /// Subgroup processing of medium-degree nodes.
+    Sg,
+    /// Fine-grained inspector/executor, one edge per round.
+    Fg1,
+    /// Fine-grained inspector/executor, eight edges per round.
+    Fg8,
+}
+
+impl Scheme {
+    /// The paper's name for the scheme.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Wg => "wg",
+            Scheme::Sg => "sg",
+            Scheme::Fg1 => "fg",
+            Scheme::Fg8 => "fg8",
+        }
+    }
+}
+
+/// How one kernel will be compiled under a configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelPlan {
+    /// The kernel's index in the program.
+    pub kernel: usize,
+    /// Whether the kernel has an irregular edge loop at all.
+    pub irregular: bool,
+    /// Nested-parallelism schemes applied (empty for regular kernels or
+    /// when no `np` optimisation is enabled).
+    pub schemes: Vec<Scheme>,
+    /// Whether the kernel pushes to a worklist.
+    pub has_pushes: bool,
+    /// Whether worklist pushes are subgroup-combined (`coop-cv` enabled
+    /// *and* the kernel pushes).
+    pub combined_pushes: bool,
+}
+
+/// The whole-program compilation plan for one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompilationPlan {
+    /// The configuration the plan realises.
+    pub config: OptConfig,
+    /// Workgroup size (128 or 256, from `sz256`).
+    pub workgroup_size: u32,
+    /// Whether the iteration loop is outlined behind a global barrier
+    /// (`oitergb`).
+    pub outlined: bool,
+    /// Per-kernel plans, indexed like `program.kernels`.
+    pub kernels: Vec<KernelPlan>,
+}
+
+/// Builds the compilation plan for `program` under `config`.
+///
+/// # Errors
+///
+/// Propagates validation errors; a plan is only produced for well-formed
+/// programs.
+pub fn plan(program: &Program, config: OptConfig) -> Result<CompilationPlan, IrglError> {
+    validate(program)?;
+    let mut schemes = Vec::new();
+    if config.wg {
+        schemes.push(Scheme::Wg);
+    }
+    if config.sg {
+        schemes.push(Scheme::Sg);
+    }
+    match config.fg {
+        FgMode::Off => {}
+        FgMode::Fg1 => schemes.push(Scheme::Fg1),
+        FgMode::Fg8 => schemes.push(Scheme::Fg8),
+    }
+    let kernels = program
+        .kernels
+        .iter()
+        .enumerate()
+        .map(|(i, kernel)| {
+            let irregular = stmts_have(&kernel.body, &|s| matches!(s, Stmt::ForEachEdge(_)));
+            let has_pushes = stmts_have(&kernel.body, &|s| matches!(s, Stmt::Push(_)));
+            KernelPlan {
+                kernel: i,
+                irregular,
+                schemes: if irregular {
+                    schemes.clone()
+                } else {
+                    Vec::new()
+                },
+                has_pushes,
+                combined_pushes: has_pushes && config.coop_cv,
+            }
+        })
+        .collect();
+    Ok(CompilationPlan {
+        config,
+        workgroup_size: config.workgroup_size(),
+        outlined: config.oitergb,
+        kernels,
+    })
+}
+
+fn stmts_have(stmts: &[Stmt], pred: &dyn Fn(&Stmt) -> bool) -> bool {
+    stmts.iter().any(|s| {
+        pred(s)
+            || match s {
+                Stmt::If { then, els, .. } => stmts_have(then, pred) || stmts_have(els, pred),
+                Stmt::ForEachEdge(body) => stmts_have(body, pred),
+                _ => false,
+            }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+    use gpp_sim::opts::Optimization;
+
+    #[test]
+    fn baseline_plan_applies_nothing() {
+        let p = programs::bfs_worklist();
+        let plan = plan(&p, OptConfig::baseline()).unwrap();
+        assert_eq!(plan.workgroup_size, 128);
+        assert!(!plan.outlined);
+        for k in &plan.kernels {
+            assert!(k.schemes.is_empty());
+            assert!(!k.combined_pushes);
+        }
+    }
+
+    #[test]
+    fn np_schemes_only_touch_irregular_kernels() {
+        let p = programs::pr_pull();
+        let cfg = OptConfig::from_opts([Optimization::Wg, Optimization::Sg, Optimization::Fg8]);
+        let plan = plan(&p, cfg).unwrap();
+        for (k, kp) in p.kernels.iter().zip(&plan.kernels) {
+            if kp.irregular {
+                assert_eq!(
+                    kp.schemes,
+                    vec![Scheme::Wg, Scheme::Sg, Scheme::Fg8],
+                    "{}",
+                    k.name
+                );
+            } else {
+                assert!(kp.schemes.is_empty(), "{}", k.name);
+            }
+        }
+        // pr-pull has both kinds of kernels.
+        assert!(plan.kernels.iter().any(|k| k.irregular));
+        assert!(plan.kernels.iter().any(|k| !k.irregular));
+    }
+
+    #[test]
+    fn coop_cv_only_combines_pushing_kernels() {
+        let wl = programs::bfs_worklist();
+        let cfg = OptConfig::baseline().with(Optimization::CoopCv);
+        let plan_wl = plan(&wl, cfg).unwrap();
+        assert!(plan_wl.kernels.iter().any(|k| k.combined_pushes));
+        let tp = programs::bfs_topology();
+        let plan_tp = plan(&tp, cfg).unwrap();
+        assert!(plan_tp.kernels.iter().all(|k| !k.combined_pushes));
+    }
+
+    #[test]
+    fn oitergb_and_sz256_are_program_level() {
+        let p = programs::sssp_bellman();
+        let cfg = OptConfig::from_opts([Optimization::Oitergb, Optimization::Sz256]);
+        let plan = plan(&p, cfg).unwrap();
+        assert!(plan.outlined);
+        assert_eq!(plan.workgroup_size, 256);
+    }
+
+    #[test]
+    fn scheme_names_match_paper() {
+        assert_eq!(Scheme::Wg.name(), "wg");
+        assert_eq!(Scheme::Fg8.name(), "fg8");
+    }
+}

@@ -1,0 +1,538 @@
+//! Structural validation of DSL programs: the checks a compiler front
+//! end performs before any transformation runs.
+
+use std::fmt;
+
+use crate::ast::{Domain, Driver, Expr, Kernel, Program, Ref, Stmt};
+
+/// Errors raised by program validation or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrglError {
+    /// A neighbour reference (`Ref::Nbr`, `EdgeWeight`) appeared outside
+    /// an edge loop.
+    NbrOutsideEdgeLoop {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// Edge loops may not nest.
+    NestedEdgeLoop {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// A field id was out of range.
+    UnknownField {
+        /// Kernel name.
+        kernel: String,
+        /// The offending field id.
+        field: usize,
+    },
+    /// A local id was not declared by the kernel.
+    UnknownLocal {
+        /// Kernel name.
+        kernel: String,
+        /// The offending local id.
+        local: usize,
+    },
+    /// The driver referenced a kernel id that does not exist.
+    UnknownKernel {
+        /// The offending kernel id.
+        kernel: usize,
+    },
+    /// The driver and a kernel's domain disagree (worklist loops need
+    /// worklist kernels and vice versa).
+    DomainMismatch {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// `Push` appeared in a program whose driver has no worklist.
+    PushWithoutWorklist {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// A global scalar id was out of range.
+    UnknownGlobal {
+        /// Kernel name.
+        kernel: String,
+        /// The offending global id.
+        global: usize,
+    },
+    /// The output field id is out of range.
+    BadOutputField,
+    /// A driver bound (iterations) was zero.
+    ZeroIterations,
+    /// Execution exceeded the driver's iteration bound without reaching
+    /// a fixed point.
+    IterationBoundExceeded {
+        /// Program name.
+        program: String,
+        /// The bound that was hit.
+        bound: u32,
+    },
+}
+
+impl fmt::Display for IrglError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrglError::NbrOutsideEdgeLoop { kernel } => {
+                write!(
+                    f,
+                    "kernel `{kernel}`: neighbour reference outside an edge loop"
+                )
+            }
+            IrglError::NestedEdgeLoop { kernel } => {
+                write!(f, "kernel `{kernel}`: edge loops may not nest")
+            }
+            IrglError::UnknownField { kernel, field } => {
+                write!(f, "kernel `{kernel}`: unknown field id {field}")
+            }
+            IrglError::UnknownLocal { kernel, local } => {
+                write!(f, "kernel `{kernel}`: unknown local id {local}")
+            }
+            IrglError::UnknownKernel { kernel } => write!(f, "driver: unknown kernel id {kernel}"),
+            IrglError::DomainMismatch { kernel } => {
+                write!(
+                    f,
+                    "kernel `{kernel}`: launch domain does not match the driver"
+                )
+            }
+            IrglError::PushWithoutWorklist { kernel } => {
+                write!(f, "kernel `{kernel}`: push without a worklist driver")
+            }
+            IrglError::UnknownGlobal { kernel, global } => {
+                write!(f, "kernel `{kernel}`: unknown global id {global}")
+            }
+            IrglError::BadOutputField => write!(f, "output field id out of range"),
+            IrglError::ZeroIterations => write!(f, "driver iteration bound must be positive"),
+            IrglError::IterationBoundExceeded { program, bound } => {
+                write!(
+                    f,
+                    "program `{program}` did not converge within {bound} iterations"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrglError {}
+
+/// Validates a program's structure.
+///
+/// # Errors
+///
+/// Returns the first [`IrglError`] found; `Ok(())` means the program is
+/// safe to transform, compile, and execute.
+pub fn validate(program: &Program) -> Result<(), IrglError> {
+    if program.output >= program.fields.len() {
+        return Err(IrglError::BadOutputField);
+    }
+    let has_worklist = matches!(program.driver, Driver::WorklistLoop { .. });
+    for kernel in &program.kernels {
+        validate_kernel(program, kernel, has_worklist)?;
+    }
+    match &program.driver {
+        Driver::UntilFixpoint { kernels, max_iters }
+        | Driver::Fixed {
+            kernels,
+            iters: max_iters,
+        } => {
+            if *max_iters == 0 {
+                return Err(IrglError::ZeroIterations);
+            }
+            for &k in kernels {
+                let kernel = program
+                    .kernels
+                    .get(k)
+                    .ok_or(IrglError::UnknownKernel { kernel: k })?;
+                if kernel.domain != Domain::AllNodes {
+                    return Err(IrglError::DomainMismatch {
+                        kernel: kernel.name.clone(),
+                    });
+                }
+            }
+        }
+        Driver::WorklistLoop {
+            kernel, max_iters, ..
+        } => {
+            if *max_iters == 0 {
+                return Err(IrglError::ZeroIterations);
+            }
+            let k = program
+                .kernels
+                .get(*kernel)
+                .ok_or(IrglError::UnknownKernel { kernel: *kernel })?;
+            if k.domain != Domain::Worklist {
+                return Err(IrglError::DomainMismatch {
+                    kernel: k.name.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_kernel(
+    program: &Program,
+    kernel: &Kernel,
+    has_worklist: bool,
+) -> Result<(), IrglError> {
+    validate_stmts(program, kernel, &kernel.body, false, has_worklist)
+}
+
+fn validate_stmts(
+    program: &Program,
+    kernel: &Kernel,
+    stmts: &[Stmt],
+    in_edge_loop: bool,
+    has_worklist: bool,
+) -> Result<(), IrglError> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let(local, expr) => {
+                if *local >= kernel.locals {
+                    return Err(IrglError::UnknownLocal {
+                        kernel: kernel.name.clone(),
+                        local: *local,
+                    });
+                }
+                validate_expr(program, kernel, expr, in_edge_loop)?;
+            }
+            Stmt::If { cond, then, els } => {
+                validate_expr(program, kernel, cond, in_edge_loop)?;
+                validate_stmts(program, kernel, then, in_edge_loop, has_worklist)?;
+                validate_stmts(program, kernel, els, in_edge_loop, has_worklist)?;
+            }
+            Stmt::Store {
+                field,
+                target,
+                value,
+            }
+            | Stmt::AtomicMin {
+                field,
+                target,
+                value,
+            }
+            | Stmt::AtomicAdd {
+                field,
+                target,
+                value,
+            } => {
+                if *field >= program.fields.len() {
+                    return Err(IrglError::UnknownField {
+                        kernel: kernel.name.clone(),
+                        field: *field,
+                    });
+                }
+                if *target == Ref::Nbr && !in_edge_loop {
+                    return Err(IrglError::NbrOutsideEdgeLoop {
+                        kernel: kernel.name.clone(),
+                    });
+                }
+                validate_expr(program, kernel, value, in_edge_loop)?;
+            }
+            Stmt::ForEachEdge(body) => {
+                if in_edge_loop {
+                    return Err(IrglError::NestedEdgeLoop {
+                        kernel: kernel.name.clone(),
+                    });
+                }
+                validate_stmts(program, kernel, body, true, has_worklist)?;
+            }
+            Stmt::Push(target) => {
+                if !has_worklist {
+                    return Err(IrglError::PushWithoutWorklist {
+                        kernel: kernel.name.clone(),
+                    });
+                }
+                if *target == Ref::Nbr && !in_edge_loop {
+                    return Err(IrglError::NbrOutsideEdgeLoop {
+                        kernel: kernel.name.clone(),
+                    });
+                }
+            }
+            Stmt::MarkChanged => {}
+            Stmt::GlobalAdd(global, value) => {
+                if *global >= program.globals.len() {
+                    return Err(IrglError::UnknownGlobal {
+                        kernel: kernel.name.clone(),
+                        global: *global,
+                    });
+                }
+                validate_expr(program, kernel, value, in_edge_loop)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_expr(
+    program: &Program,
+    kernel: &Kernel,
+    expr: &Expr,
+    in_edge_loop: bool,
+) -> Result<(), IrglError> {
+    match expr {
+        Expr::Const(_) | Expr::Iter | Expr::NumNodes => Ok(()),
+        Expr::NodeId(r) | Expr::Degree(r) => {
+            if *r == Ref::Nbr && !in_edge_loop {
+                Err(IrglError::NbrOutsideEdgeLoop {
+                    kernel: kernel.name.clone(),
+                })
+            } else {
+                Ok(())
+            }
+        }
+        Expr::Field(field, r) => {
+            if *field >= program.fields.len() {
+                return Err(IrglError::UnknownField {
+                    kernel: kernel.name.clone(),
+                    field: *field,
+                });
+            }
+            if *r == Ref::Nbr && !in_edge_loop {
+                return Err(IrglError::NbrOutsideEdgeLoop {
+                    kernel: kernel.name.clone(),
+                });
+            }
+            Ok(())
+        }
+        Expr::EdgeWeight => {
+            if in_edge_loop {
+                Ok(())
+            } else {
+                Err(IrglError::NbrOutsideEdgeLoop {
+                    kernel: kernel.name.clone(),
+                })
+            }
+        }
+        Expr::Global(global) => {
+            if *global >= program.globals.len() {
+                Err(IrglError::UnknownGlobal {
+                    kernel: kernel.name.clone(),
+                    global: *global,
+                })
+            } else {
+                Ok(())
+            }
+        }
+        Expr::Local(local) => {
+            if *local >= kernel.locals {
+                Err(IrglError::UnknownLocal {
+                    kernel: kernel.name.clone(),
+                    local: *local,
+                })
+            } else {
+                Ok(())
+            }
+        }
+        Expr::Unary(_, a) => validate_expr(program, kernel, a, in_edge_loop),
+        Expr::Binary(_, a, b) | Expr::Hash(a, b) => {
+            validate_expr(program, kernel, a, in_edge_loop)?;
+            validate_expr(program, kernel, b, in_edge_loop)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, FieldDecl, FieldInit};
+
+    fn kernel(body: Vec<Stmt>) -> Kernel {
+        Kernel {
+            name: "k".into(),
+            domain: Domain::AllNodes,
+            locals: 1,
+            body,
+        }
+    }
+
+    fn program(kernels: Vec<Kernel>, driver: Driver) -> Program {
+        Program {
+            name: "t".into(),
+            fields: vec![FieldDecl {
+                name: "x".into(),
+                init: FieldInit::Const(0.0),
+            }],
+            globals: vec![],
+            kernels,
+            driver,
+            output: 0,
+        }
+    }
+
+    #[test]
+    fn accepts_well_formed_program() {
+        let p = program(
+            vec![kernel(vec![Stmt::ForEachEdge(vec![Stmt::AtomicMin {
+                field: 0,
+                target: Ref::Nbr,
+                value: Expr::bin(BinOp::Add, Expr::Field(0, Ref::Node), Expr::EdgeWeight),
+            }])])],
+            Driver::UntilFixpoint {
+                kernels: vec![0],
+                max_iters: 10,
+            },
+        );
+        assert_eq!(validate(&p), Ok(()));
+    }
+
+    #[test]
+    fn rejects_nbr_outside_edge_loop() {
+        let p = program(
+            vec![kernel(vec![Stmt::Store {
+                field: 0,
+                target: Ref::Nbr,
+                value: Expr::Const(1.0),
+            }])],
+            Driver::UntilFixpoint {
+                kernels: vec![0],
+                max_iters: 10,
+            },
+        );
+        assert!(matches!(
+            validate(&p),
+            Err(IrglError::NbrOutsideEdgeLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_edge_weight_outside_edge_loop() {
+        let p = program(
+            vec![kernel(vec![Stmt::Let(0, Expr::EdgeWeight)])],
+            Driver::UntilFixpoint {
+                kernels: vec![0],
+                max_iters: 10,
+            },
+        );
+        assert!(matches!(
+            validate(&p),
+            Err(IrglError::NbrOutsideEdgeLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nested_edge_loops() {
+        let p = program(
+            vec![kernel(vec![Stmt::ForEachEdge(vec![Stmt::ForEachEdge(
+                vec![],
+            )])])],
+            Driver::UntilFixpoint {
+                kernels: vec![0],
+                max_iters: 10,
+            },
+        );
+        assert!(matches!(
+            validate(&p),
+            Err(IrglError::NestedEdgeLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_field_and_local() {
+        let p = program(
+            vec![kernel(vec![Stmt::Store {
+                field: 9,
+                target: Ref::Node,
+                value: Expr::Const(0.0),
+            }])],
+            Driver::UntilFixpoint {
+                kernels: vec![0],
+                max_iters: 10,
+            },
+        );
+        assert!(matches!(
+            validate(&p),
+            Err(IrglError::UnknownField { field: 9, .. })
+        ));
+        let p = program(
+            vec![kernel(vec![Stmt::Let(5, Expr::Const(0.0))])],
+            Driver::UntilFixpoint {
+                kernels: vec![0],
+                max_iters: 10,
+            },
+        );
+        assert!(matches!(
+            validate(&p),
+            Err(IrglError::UnknownLocal { local: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_push_without_worklist() {
+        let p = program(
+            vec![kernel(vec![Stmt::Push(Ref::Node)])],
+            Driver::UntilFixpoint {
+                kernels: vec![0],
+                max_iters: 10,
+            },
+        );
+        assert!(matches!(
+            validate(&p),
+            Err(IrglError::PushWithoutWorklist { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_domain_mismatch() {
+        let p = program(
+            vec![kernel(vec![])],
+            Driver::WorklistLoop {
+                init: WorklistInitWrapper::SOURCE,
+                kernel: 0,
+                max_iters: 5,
+            },
+        );
+        assert!(matches!(
+            validate(&p),
+            Err(IrglError::DomainMismatch { .. })
+        ));
+    }
+
+    // Local alias to keep the test above terse.
+    struct WorklistInitWrapper;
+    impl WorklistInitWrapper {
+        const SOURCE: crate::ast::WorklistInit = crate::ast::WorklistInit::Source;
+    }
+
+    #[test]
+    fn rejects_unknown_kernel_and_zero_iterations() {
+        let p = program(
+            vec![kernel(vec![])],
+            Driver::UntilFixpoint {
+                kernels: vec![3],
+                max_iters: 10,
+            },
+        );
+        assert_eq!(validate(&p), Err(IrglError::UnknownKernel { kernel: 3 }));
+        let p = program(
+            vec![kernel(vec![])],
+            Driver::UntilFixpoint {
+                kernels: vec![0],
+                max_iters: 0,
+            },
+        );
+        assert_eq!(validate(&p), Err(IrglError::ZeroIterations));
+    }
+
+    #[test]
+    fn rejects_bad_output_field() {
+        let mut p = program(
+            vec![kernel(vec![])],
+            Driver::UntilFixpoint {
+                kernels: vec![0],
+                max_iters: 1,
+            },
+        );
+        p.output = 7;
+        assert_eq!(validate(&p), Err(IrglError::BadOutputField));
+    }
+
+    #[test]
+    fn error_messages_name_the_kernel() {
+        let e = IrglError::NestedEdgeLoop {
+            kernel: "relax".into(),
+        };
+        assert!(e.to_string().contains("relax"));
+    }
+}

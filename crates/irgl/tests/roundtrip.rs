@@ -1,0 +1,137 @@
+//! Property-based round-trip: random expression trees embedded in a
+//! program survive printing and re-parsing unchanged.
+
+use gpp_irgl::ast::{
+    BinOp, Domain, Driver, Expr, FieldDecl, FieldInit, GlobalDecl, Kernel, Program, Ref, Stmt,
+    UnaryOp,
+};
+use gpp_irgl::{parse, to_source, validate_program};
+use proptest::prelude::*;
+
+fn arb_ref() -> impl Strategy<Value = Ref> {
+    prop_oneof![Just(Ref::Node), Just(Ref::Nbr)]
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Min),
+        Just(BinOp::Max),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn arb_unop() -> impl Strategy<Value = UnaryOp> {
+    prop_oneof![Just(UnaryOp::Not), Just(UnaryOp::Neg), Just(UnaryOp::Floor)]
+}
+
+/// Expressions legal inside an edge loop of a kernel with 2 fields,
+/// 1 global, and 1 bound local.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        // Finite constants that print and re-parse exactly.
+        (-1_000_000i32..1_000_000).prop_map(|v| Expr::Const(v as f64)),
+        Just(Expr::Const(f64::INFINITY)),
+        arb_ref().prop_map(Expr::NodeId),
+        arb_ref().prop_map(Expr::Degree),
+        (0usize..2, arb_ref()).prop_map(|(f, r)| Expr::Field(f, r)),
+        Just(Expr::EdgeWeight),
+        Just(Expr::Iter),
+        Just(Expr::NumNodes),
+        Just(Expr::Local(0)),
+        Just(Expr::Global(0)),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (arb_unop(), inner.clone()).prop_map(|(op, a)| Expr::Unary(op, Box::new(a))),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Binary(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Hash(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn wrap(expr: Expr) -> Program {
+    Program {
+        name: "fuzz".into(),
+        fields: vec![
+            FieldDecl {
+                name: "alpha".into(),
+                init: FieldInit::Const(0.0),
+            },
+            FieldDecl {
+                name: "beta".into(),
+                init: FieldInit::NodeId,
+            },
+        ],
+        globals: vec![GlobalDecl {
+            name: "acc".into(),
+            init: 0.0,
+        }],
+        kernels: vec![Kernel {
+            name: "k".into(),
+            domain: Domain::AllNodes,
+            locals: 1,
+            body: vec![
+                Stmt::Let(0, Expr::Const(1.0)),
+                Stmt::ForEachEdge(vec![Stmt::Store {
+                    field: 0,
+                    target: Ref::Nbr,
+                    value: expr,
+                }]),
+            ],
+        }],
+        driver: Driver::Fixed {
+            kernels: vec![0],
+            iters: 1,
+        },
+        output: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `parse . print` normalises (negated constants fold), but must be
+    /// idempotent from the first application on, and must preserve the
+    /// program's semantics exactly.
+    #[test]
+    fn print_parse_round_trip(expr in arb_expr()) {
+        let program = wrap(expr);
+        prop_assert_eq!(validate_program(&program), Ok(()));
+        let text = to_source(&program);
+        let once = parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        prop_assert_eq!(validate_program(&once), Ok(()));
+        let twice = parse(&to_source(&once))
+            .map_err(|e| TestCaseError::fail(format!("second parse: {e}")))?;
+        prop_assert_eq!(&twice, &once, "parse . print must be idempotent");
+
+        // Semantic equivalence: both programs compute identical fields.
+        let graph = gpp_graph::generators::rmat(5, 4, 9).expect("valid generator");
+        let mut rec_a = gpp_sim::trace::Recorder::new();
+        let a = gpp_irgl::execute(&program, &graph, &mut rec_a)
+            .map_err(|e| TestCaseError::fail(format!("original: {e}")))?;
+        let mut rec_b = gpp_sim::trace::Recorder::new();
+        let b = gpp_irgl::execute(&once, &graph, &mut rec_b)
+            .map_err(|e| TestCaseError::fail(format!("round-tripped: {e}")))?;
+        for (fa, fb) in a.fields.iter().zip(&b.fields) {
+            for (x, y) in fa.iter().zip(fb) {
+                // NaN-tolerant exact comparison (expressions may divide
+                // by zero or overflow to infinity).
+                prop_assert!(x.to_bits() == y.to_bits(), "{x} vs {y}");
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The portable inter-workgroup global barrier (paper Section V-C).
+//!
+//! OpenCL gives no forward-progress guarantee between workgroups, so a
+//! naive global barrier can deadlock if more workgroups are launched than
+//! can be resident. The portable recipe (Sorensen et al., the paper's
+//! reference 17) first
+//! *discovers* the occupancy — how many workgroups the chip actually keeps
+//! resident — then launches exactly that many persistent workgroups and
+//! synchronises them with a master/slave flag protocol.
+//!
+//! This module provides both a *functional* simulation of that protocol
+//! (used by tests to show the recipe is deadlock-free exactly when the
+//! occupancy bound is respected) and the *cost* model used by the
+//! execution engine.
+
+use crate::chip::ChipProfile;
+
+/// A discovered execution environment for global synchronisation.
+///
+/// # Example
+///
+/// ```
+/// use gpp_sim::barrier::GlobalBarrier;
+/// use gpp_sim::chip::ChipProfile;
+///
+/// let chip = ChipProfile::r9();
+/// let gb = GlobalBarrier::discover(&chip, 128);
+/// assert_eq!(gb.resident_workgroups(), chip.resident_workgroups(128));
+/// assert!(gb.barrier_cost() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalBarrier {
+    resident_wgs: u32,
+    wg_size: u32,
+    setup_cost: f64,
+    barrier_cost: f64,
+}
+
+impl GlobalBarrier {
+    /// Runs (the cost model of) occupancy discovery on `chip` for
+    /// workgroups of `wg_size` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wg_size` is zero.
+    pub fn discover(chip: &ChipProfile, wg_size: u32) -> Self {
+        let resident = chip.resident_workgroups(wg_size);
+        // Discovery: every candidate workgroup performs one global RMW on a
+        // shared counter plus a polling read; the master then closes the
+        // poll with one more RMW and a memory fence.
+        let setup_cost = resident as f64 * (chip.atomic_rmw_cost + chip.global_mem_cost)
+            + chip.atomic_rmw_cost
+            + chip.global_mem_cost;
+        // One barrier episode: each slave writes its flag and polls the
+        // master's release flag; the master polls all slaves then releases.
+        // Cost scales with resident workgroups (the master's serial scan)
+        // plus two intra-workgroup barriers bracketing the episode.
+        let barrier_cost =
+            resident as f64 * chip.global_barrier_cost_per_wg + 2.0 * chip.wg_barrier(wg_size);
+        GlobalBarrier {
+            resident_wgs: resident,
+            wg_size,
+            setup_cost,
+            barrier_cost,
+        }
+    }
+
+    /// Number of persistent workgroups the discovered environment uses.
+    pub fn resident_workgroups(&self) -> u32 {
+        self.resident_wgs
+    }
+
+    /// Workgroup size the environment was discovered for.
+    pub fn workgroup_size(&self) -> u32 {
+        self.wg_size
+    }
+
+    /// One-time cost of discovery and environment setup (ns).
+    pub fn setup_cost(&self) -> f64 {
+        self.setup_cost
+    }
+
+    /// Cost of one global barrier episode (ns).
+    pub fn barrier_cost(&self) -> f64 {
+        self.barrier_cost
+    }
+}
+
+/// Outcome of the functional master/slave barrier protocol simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolOutcome {
+    /// Every workgroup passed the barrier.
+    Released {
+        /// Number of protocol steps (flag reads/writes) executed.
+        steps: usize,
+    },
+    /// The protocol cannot complete: some participant never becomes
+    /// resident, so the master polls forever.
+    Deadlock,
+}
+
+/// Functionally simulates the master/slave global-barrier protocol under
+/// the *occupancy-bound execution model* (paper Section IV-b): only
+/// `resident` workgroups make progress; the rest are not scheduled until
+/// a resident one finishes — which persistent kernels never do.
+///
+/// Returns [`ProtocolOutcome::Deadlock`] iff `participants > resident`,
+/// demonstrating why the portable recipe must first discover occupancy.
+///
+/// # Panics
+///
+/// Panics if `participants` is zero.
+pub fn simulate_protocol(participants: u32, resident: u32) -> ProtocolOutcome {
+    assert!(participants > 0, "barrier needs at least one participant");
+    if participants > resident {
+        // The master (workgroup 0) waits on slave flags that will never be
+        // set: non-resident workgroups are not scheduled while the
+        // resident ones spin.
+        return ProtocolOutcome::Deadlock;
+    }
+    // All participants are resident: run the two-phase protocol.
+    let n = participants as usize;
+    let mut slave_flag = vec![false; n];
+    let mut release_flag = vec![false; n];
+    let mut steps = 0usize;
+
+    // Phase 1: every slave announces arrival; the master observes each.
+    for (wg, flag) in slave_flag.iter_mut().enumerate().skip(1) {
+        *flag = true; // slave write
+        steps += 1;
+        let _ = wg;
+    }
+    for flag in slave_flag.iter().skip(1) {
+        assert!(*flag, "master observed an unset slave flag");
+        steps += 1; // master read
+    }
+    // Phase 2: the master releases every slave; slaves observe the release.
+    for flag in release_flag.iter_mut().skip(1) {
+        *flag = true; // master write
+        steps += 1;
+    }
+    let mut released = 1usize; // the master releases itself
+    for flag in release_flag.iter().skip(1) {
+        assert!(*flag, "slave observed an unset release flag");
+        released += 1;
+        steps += 1; // slave read
+    }
+    assert_eq!(released, n, "not every workgroup passed the barrier");
+    ProtocolOutcome::Released { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::{study_chips, ChipProfile};
+
+    #[test]
+    fn discovery_matches_chip_occupancy() {
+        for chip in study_chips() {
+            for ws in [128, 256] {
+                let gb = GlobalBarrier::discover(&chip, ws);
+                assert_eq!(gb.resident_workgroups(), chip.resident_workgroups(ws));
+                assert_eq!(gb.workgroup_size(), ws);
+            }
+        }
+    }
+
+    #[test]
+    fn costs_are_positive_and_scale_with_occupancy() {
+        let big = GlobalBarrier::discover(&ChipProfile::r9(), 128);
+        let small = GlobalBarrier::discover(&ChipProfile::mali(), 128);
+        assert!(big.setup_cost() > 0.0 && big.barrier_cost() > 0.0);
+        // R9 keeps two orders of magnitude more workgroups resident, so its
+        // barrier episodes are more expensive than MALI's.
+        assert!(big.barrier_cost() > small.barrier_cost());
+    }
+
+    #[test]
+    fn protocol_releases_all_when_occupancy_respected() {
+        match simulate_protocol(64, 64) {
+            ProtocolOutcome::Released { steps } => {
+                // 4 flag operations per slave (announce, observe, release,
+                // observe release).
+                assert_eq!(steps, 4 * 63);
+            }
+            ProtocolOutcome::Deadlock => panic!("unexpected deadlock"),
+        }
+    }
+
+    #[test]
+    fn protocol_deadlocks_when_oversubscribed() {
+        assert_eq!(simulate_protocol(65, 64), ProtocolOutcome::Deadlock);
+        assert_eq!(simulate_protocol(1000, 8), ProtocolOutcome::Deadlock);
+    }
+
+    #[test]
+    fn single_workgroup_barrier_is_trivial() {
+        assert_eq!(
+            simulate_protocol(1, 1),
+            ProtocolOutcome::Released { steps: 0 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn protocol_rejects_zero_participants() {
+        simulate_protocol(0, 4);
+    }
+
+    #[test]
+    fn discovered_environment_never_deadlocks() {
+        for chip in study_chips() {
+            let gb = GlobalBarrier::discover(&chip, 128);
+            let outcome =
+                simulate_protocol(gb.resident_workgroups(), chip.resident_workgroups(128));
+            assert!(
+                matches!(outcome, ProtocolOutcome::Released { .. }),
+                "{}",
+                chip.name
+            );
+        }
+    }
+}

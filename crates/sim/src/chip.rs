@@ -1,0 +1,622 @@
+//! Chip profiles: the per-GPU performance parameters of the cost model.
+//!
+//! The paper's analysis consumes only program timings, so a chip is fully
+//! characterised here by the parameters that govern how the optimisations
+//! of Section V interact with hardware (paper Table VI): launch and copy
+//! overhead (`oitergb`), atomic RMW throughput and JIT combining
+//! (`coop-cv`), barrier throughputs and local memory (`wg`/`sg`/`fg`),
+//! occupancy limits (`sz256`), and memory-divergence sensitivity (the MALI
+//! effect of Section VIII-c).
+//!
+//! The six study chips (paper Table I) are exposed via [`study_chips`];
+//! their parameters are calibrated so that the paper's per-chip findings
+//! (Table IX, Table X, Figures 1–5) re-emerge from the same mechanisms.
+//! All times are in abstract nanoseconds.
+
+use serde::{Deserialize, Serialize};
+
+/// GPU vendor (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Vendor {
+    /// Nvidia (discrete: Quadro M4000, GTX 1080).
+    Nvidia,
+    /// Intel (integrated: HD 5500, Iris 6100).
+    Intel,
+    /// AMD (discrete: Radeon R9).
+    Amd,
+    /// ARM (mobile: Mali-T628).
+    Arm,
+}
+
+impl std::fmt::Display for Vendor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Vendor::Nvidia => "Nvidia",
+            Vendor::Intel => "Intel",
+            Vendor::Amd => "AMD",
+            Vendor::Arm => "ARM",
+        })
+    }
+}
+
+/// A complete performance description of one chip (GPU + runtime).
+///
+/// Construct custom profiles with [`ChipProfile::builder`]; the six study
+/// chips come from [`study_chips`] or the named constructors
+/// ([`ChipProfile::m4000`] etc.).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipProfile {
+    /// Short name used throughout tables and figures (e.g. `"M4000"`).
+    pub name: String,
+    /// Hardware vendor.
+    pub vendor: Vendor,
+    /// Number of compute units.
+    pub num_cus: u32,
+    /// Subgroup size (1 on chips without subgroup support, like MALI).
+    pub subgroup_size: u32,
+    /// Whether subgroups execute in lockstep (subgroup barriers are free).
+    pub lockstep_subgroups: bool,
+    /// Maximum threads resident per CU (occupancy limit).
+    pub max_threads_per_cu: u32,
+    /// Maximum workgroups resident per CU (occupancy limit).
+    pub max_wgs_per_cu: u32,
+    /// Chip-wide execution throughput ceiling, in concurrently retiring
+    /// threads. Resident threads beyond this hide latency but add no
+    /// throughput.
+    pub throughput_threads: u32,
+    /// Cost of one scalar ALU operation per thread (ns).
+    pub alu_cost: f64,
+    /// Cost of one coalesced global-memory transaction (ns).
+    pub global_mem_cost: f64,
+    /// Multiplier on global-memory cost for divergent (scattered/strided)
+    /// access within a workgroup. 1.0 = insensitive; MALI is very large.
+    pub divergence_penalty: f64,
+    /// Fraction of the divergence penalty removed by keeping threads of a
+    /// workgroup in lockstep with (gratuitous) barriers (Section VIII-c).
+    pub barrier_divergence_relief: f64,
+    /// Cost of one local-memory access (ns).
+    pub local_mem_cost: f64,
+    /// Cost of one global atomic RMW on a contended location (ns,
+    /// serialised throughput).
+    pub atomic_rmw_cost: f64,
+    /// Cost of one global atomic RMW on an uncontended location (ns).
+    pub atomic_uncontended_cost: f64,
+    /// Whether the OpenCL JIT already performs subgroup RMW combining
+    /// (paper Section VIII-b: Nvidia chips and HD5500).
+    pub jit_subgroup_combining: bool,
+    /// Per-element cost of a subgroup collective (reduce/scan) used by
+    /// manual cooperative conversion (ns).
+    pub sg_collective_cost: f64,
+    /// Cost of a workgroup barrier for a 128-thread workgroup (ns); scales
+    /// linearly with workgroup size.
+    pub wg_barrier_cost: f64,
+    /// Cost of a subgroup barrier (ns); 0 on lockstep hardware.
+    pub sg_barrier_cost: f64,
+    /// Per-resident-workgroup cost of the portable global barrier (ns).
+    pub global_barrier_cost_per_wg: f64,
+    /// Host-side kernel launch overhead (ns).
+    pub kernel_launch_cost: f64,
+    /// Host<->device copy overhead for a small control transfer (ns).
+    pub host_copy_cost: f64,
+    /// Device-side fixed cost per kernel invocation (ns).
+    pub kernel_fixed_cost: f64,
+}
+
+impl ChipProfile {
+    /// Starts building a custom chip from neutral defaults.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gpp_sim::chip::{ChipProfile, Vendor};
+    ///
+    /// let chip = ChipProfile::builder("TOY", Vendor::Amd)
+    ///     .num_cus(8)
+    ///     .subgroup_size(32)
+    ///     .kernel_launch_cost(10_000.0)
+    ///     .build();
+    /// assert_eq!(chip.name, "TOY");
+    /// ```
+    pub fn builder(name: &str, vendor: Vendor) -> ChipProfileBuilder {
+        ChipProfileBuilder {
+            chip: ChipProfile::neutral(name, vendor),
+        }
+    }
+
+    fn neutral(name: &str, vendor: Vendor) -> ChipProfile {
+        ChipProfile {
+            name: name.to_owned(),
+            vendor,
+            num_cus: 8,
+            subgroup_size: 32,
+            lockstep_subgroups: true,
+            max_threads_per_cu: 1024,
+            max_wgs_per_cu: 8,
+            throughput_threads: 2048,
+            alu_cost: 1.0,
+            global_mem_cost: 10.0,
+            divergence_penalty: 2.5,
+            barrier_divergence_relief: 0.15,
+            local_mem_cost: 2.0,
+            atomic_rmw_cost: 30.0,
+            atomic_uncontended_cost: 8.0,
+            jit_subgroup_combining: false,
+            sg_collective_cost: 1.0,
+            wg_barrier_cost: 40.0,
+            sg_barrier_cost: 0.0,
+            global_barrier_cost_per_wg: 150.0,
+            kernel_launch_cost: 20_000.0,
+            host_copy_cost: 15_000.0,
+            kernel_fixed_cost: 500.0,
+        }
+    }
+
+    /// Nvidia Quadro M4000 (Maxwell, 13 CUs, subgroup 32). Discrete; very
+    /// low launch/copy overhead; JIT performs subgroup RMW combining.
+    pub fn m4000() -> ChipProfile {
+        ChipProfile {
+            num_cus: 13,
+            subgroup_size: 32,
+            lockstep_subgroups: true,
+            max_threads_per_cu: 2048,
+            max_wgs_per_cu: 16,
+            throughput_threads: 4_096,
+            alu_cost: 0.9,
+            global_mem_cost: 10.0,
+            divergence_penalty: 3.0,
+            barrier_divergence_relief: 0.30,
+            local_mem_cost: 2.0,
+            atomic_rmw_cost: 32.0,
+            atomic_uncontended_cost: 8.0,
+            jit_subgroup_combining: true,
+            sg_collective_cost: 0.14,
+            wg_barrier_cost: 40.0,
+            sg_barrier_cost: 0.0,
+            global_barrier_cost_per_wg: 23.0,
+            kernel_launch_cost: 2_500.0,
+            host_copy_cost: 1_500.0,
+            kernel_fixed_cost: 500.0,
+            ..ChipProfile::neutral("M4000", Vendor::Nvidia)
+        }
+    }
+
+    /// Nvidia GTX 1080 (Pascal, 20 CUs, subgroup 32). Discrete; the
+    /// fastest chip of the study; JIT performs subgroup RMW combining.
+    pub fn gtx1080() -> ChipProfile {
+        ChipProfile {
+            num_cus: 20,
+            subgroup_size: 32,
+            lockstep_subgroups: true,
+            max_threads_per_cu: 2048,
+            max_wgs_per_cu: 16,
+            throughput_threads: 6_144,
+            alu_cost: 0.6,
+            global_mem_cost: 8.0,
+            divergence_penalty: 2.6,
+            barrier_divergence_relief: 0.32,
+            local_mem_cost: 1.6,
+            atomic_rmw_cost: 24.0,
+            atomic_uncontended_cost: 6.0,
+            jit_subgroup_combining: true,
+            sg_collective_cost: 0.10,
+            wg_barrier_cost: 32.0,
+            sg_barrier_cost: 0.0,
+            global_barrier_cost_per_wg: 25.0,
+            kernel_launch_cost: 2_000.0,
+            host_copy_cost: 1_200.0,
+            kernel_fixed_cost: 400.0,
+            ..ChipProfile::neutral("GTX1080", Vendor::Nvidia)
+        }
+    }
+
+    /// Intel HD 5500 (Broadwell GT2, 24 EUs, subgroup 16). Integrated;
+    /// high launch overhead; its JIT also combines subgroup RMWs.
+    pub fn hd5500() -> ChipProfile {
+        ChipProfile {
+            num_cus: 24,
+            subgroup_size: 16,
+            lockstep_subgroups: false,
+            max_threads_per_cu: 448,
+            max_wgs_per_cu: 3,
+            throughput_threads: 1_024,
+            alu_cost: 3.0,
+            global_mem_cost: 28.0,
+            divergence_penalty: 2.2,
+            barrier_divergence_relief: 0.35,
+            local_mem_cost: 5.2,
+            atomic_rmw_cost: 110.0,
+            atomic_uncontended_cost: 24.0,
+            jit_subgroup_combining: true,
+            sg_collective_cost: 3.2,
+            wg_barrier_cost: 70.0,
+            sg_barrier_cost: 30.0,
+            global_barrier_cost_per_wg: 40.0,
+            kernel_launch_cost: 7_000.0,
+            host_copy_cost: 3_000.0,
+            kernel_fixed_cost: 900.0,
+            ..ChipProfile::neutral("HD5500", Vendor::Intel)
+        }
+    }
+
+    /// Intel Iris 6100 (Broadwell GT3, 47 EUs, subgroup 16). Integrated;
+    /// high launch overhead; no JIT RMW combining, so manual `coop-cv`
+    /// pays off (paper Table X).
+    pub fn iris6100() -> ChipProfile {
+        ChipProfile {
+            num_cus: 47,
+            subgroup_size: 16,
+            lockstep_subgroups: false,
+            max_threads_per_cu: 448,
+            max_wgs_per_cu: 3,
+            throughput_threads: 2_048,
+            alu_cost: 2.6,
+            global_mem_cost: 26.0,
+            divergence_penalty: 2.2,
+            barrier_divergence_relief: 0.35,
+            local_mem_cost: 4.8,
+            atomic_rmw_cost: 120.0,
+            atomic_uncontended_cost: 22.0,
+            jit_subgroup_combining: false,
+            sg_collective_cost: 7.6,
+            wg_barrier_cost: 65.0,
+            sg_barrier_cost: 28.0,
+            global_barrier_cost_per_wg: 30.0,
+            kernel_launch_cost: 8_000.0,
+            host_copy_cost: 3_500.0,
+            kernel_fixed_cost: 900.0,
+            ..ChipProfile::neutral("IRIS", Vendor::Intel)
+        }
+    }
+
+    /// AMD Radeon R9 (28 CUs, subgroup 64). Discrete; no JIT combining, so
+    /// `coop-cv` yields the largest sg-cmb speedup of the study.
+    pub fn r9() -> ChipProfile {
+        ChipProfile {
+            num_cus: 28,
+            subgroup_size: 64,
+            lockstep_subgroups: true,
+            max_threads_per_cu: 2560,
+            max_wgs_per_cu: 16,
+            throughput_threads: 6_144,
+            alu_cost: 1.3,
+            global_mem_cost: 16.0,
+            divergence_penalty: 2.8,
+            barrier_divergence_relief: 0.30,
+            local_mem_cost: 3.2,
+            atomic_rmw_cost: 50.0,
+            atomic_uncontended_cost: 13.0,
+            jit_subgroup_combining: false,
+            sg_collective_cost: 1.6,
+            wg_barrier_cost: 80.0,
+            sg_barrier_cost: 0.0,
+            global_barrier_cost_per_wg: 20.0,
+            kernel_launch_cost: 9_000.0,
+            host_copy_cost: 4_000.0,
+            kernel_fixed_cost: 700.0,
+            ..ChipProfile::neutral("R9", Vendor::Amd)
+        }
+    }
+
+    /// ARM Mali-T628 (4 CUs, no subgroups — size 1). Mobile; extreme
+    /// sensitivity to intra-workgroup memory divergence (Section VIII-c)
+    /// and very high launch overhead.
+    pub fn mali() -> ChipProfile {
+        ChipProfile {
+            num_cus: 4,
+            subgroup_size: 1,
+            lockstep_subgroups: false,
+            max_threads_per_cu: 256,
+            max_wgs_per_cu: 2,
+            throughput_threads: 256,
+            alu_cost: 7.5,
+            global_mem_cost: 60.0,
+            divergence_penalty: 8.0,
+            barrier_divergence_relief: 0.97,
+            local_mem_cost: 50.0,
+            atomic_rmw_cost: 210.0,
+            atomic_uncontended_cost: 54.0,
+            jit_subgroup_combining: false,
+            sg_collective_cost: 6.0,
+            wg_barrier_cost: 270.0,
+            sg_barrier_cost: 0.0,
+            global_barrier_cost_per_wg: 500.0,
+            kernel_launch_cost: 14_000.0,
+            host_copy_cost: 6_000.0,
+            kernel_fixed_cost: 1_500.0,
+            ..ChipProfile::neutral("MALI", Vendor::Arm)
+        }
+    }
+
+    /// Largest workgroup size supported in this model (all study chips
+    /// support the study's two sizes, 128 and 256).
+    pub fn max_workgroup_size(&self) -> u32 {
+        self.max_threads_per_cu.min(256)
+    }
+
+    /// Number of workgroups of `wg_size` threads that can be resident on
+    /// the whole chip at once (the occupancy bound of Section IV-b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wg_size` is zero.
+    pub fn resident_workgroups(&self, wg_size: u32) -> u32 {
+        assert!(wg_size > 0, "workgroup size must be positive");
+        let by_threads = self.max_threads_per_cu / wg_size;
+        let per_cu = by_threads.min(self.max_wgs_per_cu).max(1);
+        per_cu * self.num_cus
+    }
+
+    /// Cost of one workgroup barrier for a workgroup of `wg_size` threads.
+    pub fn wg_barrier(&self, wg_size: u32) -> f64 {
+        self.wg_barrier_cost * (wg_size as f64 / 128.0)
+    }
+
+    /// Effective divergence multiplier (≥ 1) on scattered global accesses,
+    /// optionally relieved by barrier-separated execution
+    /// (`barrier_relief` = workgroup barriers keep threads converged).
+    pub fn divergence_factor(&self, barrier_relief: bool) -> f64 {
+        if barrier_relief {
+            1.0 + (self.divergence_penalty - 1.0) * (1.0 - self.barrier_divergence_relief)
+        } else {
+            self.divergence_penalty
+        }
+    }
+}
+
+/// Non-consuming builder for custom [`ChipProfile`]s (see
+/// [`ChipProfile::builder`]).
+#[derive(Debug, Clone)]
+pub struct ChipProfileBuilder {
+    chip: ChipProfile,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident : $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $field(mut self, value: $ty) -> Self {
+                self.chip.$field = value;
+                self
+            }
+        )*
+    };
+}
+
+impl ChipProfileBuilder {
+    builder_setters! {
+        /// Sets the number of compute units.
+        num_cus: u32,
+        /// Sets the subgroup size (1 disables subgroups).
+        subgroup_size: u32,
+        /// Sets whether subgroups execute in lockstep.
+        lockstep_subgroups: bool,
+        /// Sets the per-CU resident-thread limit.
+        max_threads_per_cu: u32,
+        /// Sets the per-CU resident-workgroup limit.
+        max_wgs_per_cu: u32,
+        /// Sets the chip-wide execution throughput ceiling (threads).
+        throughput_threads: u32,
+        /// Sets the scalar ALU cost (ns).
+        alu_cost: f64,
+        /// Sets the coalesced global-memory transaction cost (ns).
+        global_mem_cost: f64,
+        /// Sets the divergent-access multiplier (≥ 1).
+        divergence_penalty: f64,
+        /// Sets the fraction of divergence relieved by barriers.
+        barrier_divergence_relief: f64,
+        /// Sets the local-memory access cost (ns).
+        local_mem_cost: f64,
+        /// Sets the contended atomic RMW cost (ns).
+        atomic_rmw_cost: f64,
+        /// Sets the uncontended atomic RMW cost (ns).
+        atomic_uncontended_cost: f64,
+        /// Sets whether the JIT performs subgroup RMW combining.
+        jit_subgroup_combining: bool,
+        /// Sets the per-element subgroup collective cost (ns).
+        sg_collective_cost: f64,
+        /// Sets the 128-thread workgroup barrier cost (ns).
+        wg_barrier_cost: f64,
+        /// Sets the subgroup barrier cost (ns).
+        sg_barrier_cost: f64,
+        /// Sets the per-resident-workgroup global barrier cost (ns).
+        global_barrier_cost_per_wg: f64,
+        /// Sets the host-side kernel launch cost (ns).
+        kernel_launch_cost: f64,
+        /// Sets the small host<->device copy cost (ns).
+        host_copy_cost: f64,
+        /// Sets the device-side fixed per-kernel cost (ns).
+        kernel_fixed_cost: f64,
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (zero CUs, zero
+    /// subgroup size, divergence penalty below 1, or relief outside
+    /// `[0, 1]`).
+    pub fn build(self) -> ChipProfile {
+        let c = &self.chip;
+        assert!(c.num_cus > 0, "chip must have at least one CU");
+        assert!(c.subgroup_size > 0, "subgroup size must be at least 1");
+        assert!(
+            c.divergence_penalty >= 1.0,
+            "divergence penalty must be >= 1"
+        );
+        assert!(
+            (0.0..=1.0).contains(&c.barrier_divergence_relief),
+            "barrier divergence relief must be in [0, 1]"
+        );
+        assert!(
+            c.max_threads_per_cu >= 128,
+            "chips must support 128-thread workgroups"
+        );
+        self.chip
+    }
+}
+
+/// The six chips of the study, in the paper's Table I order:
+/// M4000, GTX1080, HD5500, IRIS, R9, MALI.
+pub fn study_chips() -> Vec<ChipProfile> {
+    vec![
+        ChipProfile::m4000(),
+        ChipProfile::gtx1080(),
+        ChipProfile::hd5500(),
+        ChipProfile::iris6100(),
+        ChipProfile::r9(),
+        ChipProfile::mali(),
+    ]
+}
+
+/// Looks up a study chip by its short name (case-insensitive).
+pub fn study_chip(name: &str) -> Option<ChipProfile> {
+    study_chips()
+        .into_iter()
+        .find(|c| c.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_chips_four_vendors() {
+        let chips = study_chips();
+        assert_eq!(chips.len(), 6);
+        let mut vendors: Vec<Vendor> = chips.iter().map(|c| c.vendor).collect();
+        vendors.sort();
+        vendors.dedup();
+        assert_eq!(vendors.len(), 4);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let chips = study_chips();
+        let mut names: Vec<&str> = chips.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(study_chip("mali").unwrap().subgroup_size, 1);
+        assert_eq!(study_chip("R9").unwrap().subgroup_size, 64);
+        assert!(study_chip("RTX9090").is_none());
+    }
+
+    #[test]
+    fn nvidia_has_lowest_launch_overhead() {
+        let chips = study_chips();
+        let nvidia_max = chips
+            .iter()
+            .filter(|c| c.vendor == Vendor::Nvidia)
+            .map(|c| c.kernel_launch_cost + c.host_copy_cost)
+            .fold(0.0f64, f64::max);
+        let others_min = chips
+            .iter()
+            .filter(|c| c.vendor != Vendor::Nvidia)
+            .map(|c| c.kernel_launch_cost + c.host_copy_cost)
+            .fold(f64::INFINITY, f64::min);
+        assert!(nvidia_max < others_min);
+    }
+
+    #[test]
+    fn mali_is_most_divergence_sensitive() {
+        let chips = study_chips();
+        let mali = study_chip("MALI").unwrap();
+        for c in &chips {
+            if c.name != "MALI" {
+                assert!(c.divergence_penalty < mali.divergence_penalty);
+            }
+        }
+    }
+
+    #[test]
+    fn resident_workgroups_respects_both_limits() {
+        let chip = ChipProfile::m4000();
+        // 2048 threads / 128 = 16, capped at max 16 workgroups -> 16 * 13.
+        assert_eq!(chip.resident_workgroups(128), 16 * 13);
+        // 2048 / 256 = 8 workgroups per CU.
+        assert_eq!(chip.resident_workgroups(256), 8 * 13);
+        let mali = ChipProfile::mali();
+        // 256 threads / 256 = 1 workgroup per CU.
+        assert_eq!(mali.resident_workgroups(256), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn resident_workgroups_rejects_zero() {
+        ChipProfile::m4000().resident_workgroups(0);
+    }
+
+    #[test]
+    fn wg_barrier_scales_with_size() {
+        let chip = ChipProfile::r9();
+        assert!((chip.wg_barrier(256) - 2.0 * chip.wg_barrier(128)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divergence_factor_bounds() {
+        for chip in study_chips() {
+            let relieved = chip.divergence_factor(true);
+            let raw = chip.divergence_factor(false);
+            assert!(relieved >= 1.0);
+            assert!(raw >= relieved);
+            assert!((raw - chip.divergence_penalty).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn builder_produces_custom_chip() {
+        let chip = ChipProfile::builder("TOY", Vendor::Intel)
+            .num_cus(2)
+            .subgroup_size(8)
+            .divergence_penalty(4.0)
+            .build();
+        assert_eq!(chip.num_cus, 2);
+        assert_eq!(chip.subgroup_size, 8);
+        assert_eq!(chip.vendor, Vendor::Intel);
+    }
+
+    #[test]
+    #[should_panic(expected = "divergence penalty")]
+    fn builder_rejects_sub_one_divergence() {
+        ChipProfile::builder("BAD", Vendor::Amd)
+            .divergence_penalty(0.5)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CU")]
+    fn builder_rejects_zero_cus() {
+        ChipProfile::builder("BAD", Vendor::Amd).num_cus(0).build();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let chip = ChipProfile::iris6100();
+        let json = serde_json::to_string(&chip).unwrap();
+        let back: ChipProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(chip, back);
+    }
+
+    #[test]
+    fn study_chip_table_matches_paper_table1() {
+        // Vendor / #CUs / subgroup size, paper Table I.
+        let expect = [
+            ("M4000", Vendor::Nvidia, 13, 32),
+            ("GTX1080", Vendor::Nvidia, 20, 32),
+            ("HD5500", Vendor::Intel, 24, 16),
+            ("IRIS", Vendor::Intel, 47, 16),
+            ("R9", Vendor::Amd, 28, 64),
+            ("MALI", Vendor::Arm, 4, 1),
+        ];
+        for ((name, vendor, cus, sg), chip) in expect.iter().zip(study_chips()) {
+            assert_eq!(chip.name, *name);
+            assert_eq!(chip.vendor, *vendor);
+            assert_eq!(chip.num_cus, *cus);
+            assert_eq!(chip.subgroup_size, *sg);
+        }
+    }
+}

@@ -1,0 +1,984 @@
+//! The abstract GPU machine: executes "compiled" graph-algorithm kernels
+//! under a chip profile and an optimisation configuration, producing
+//! modelled wall-clock time.
+//!
+//! # Model
+//!
+//! A kernel invocation processes a *frontier* of [`WorkItem`]s, one active
+//! node per (virtual) thread. Nodes are packed into workgroups of 128 or
+//! 256 threads ([`crate::opts::OptConfig::workgroup_size`]) and workgroups
+//! into subgroups of the chip's subgroup size. Per workgroup, the nested
+//! parallelism optimisations (paper Section V-B) partition nodes into
+//! three degree classes — `big` (≥ workgroup size), `mid` (≥ subgroup
+//! size) and `small` — and route each class to a scheme:
+//!
+//! - `wg`-scheme: `big` nodes are processed by the whole workgroup,
+//!   serialising the outer loop (leader election plus two workgroup
+//!   barriers per node);
+//! - `sg`-scheme: `mid` nodes (and `big` ones if `wg` is off) are
+//!   processed by their subgroup (two subgroup barriers per node);
+//! - `fg`-scheme: the remaining classes' edges are linearised across the
+//!   workgroup via an inspector/executor (prefix sum in local memory, one
+//!   workgroup barrier per round of 1 or 8 edges per thread);
+//! - otherwise a thread walks its node's edge list *serially*: subgroup
+//!   lanes idle until the longest lane finishes (SIMD divergence) and the
+//!   scattered per-edge accesses pay the chip's divergence penalty.
+//!
+//! Balanced schemes access edges in consecutive order, so they pay the
+//! coalesced memory cost. The `sg` scheme additionally brackets execution
+//! with barriers, which on divergence-sensitive chips (MALI) relieves part
+//! of the penalty on the *serial* work too — the surprising effect of
+//! paper Section VIII-c.
+//!
+//! Worklist pushes go through one global RMW per push unless combined:
+//! either manually (`coop-cv`, paying a subgroup-collective overhead per
+//! push) or transparently by the JIT on chips that support it
+//! (Section VIII-b).
+//!
+//! Kernel time is `max(total workgroup time normalised by occupancy,
+//! longest single workgroup)` plus the serialised worklist-RMW time, plus
+//! fixed device overhead. Iteration overhead (launch + small copy per
+//! kernel, or one launch plus a global barrier per kernel under
+//! `oitergb`) is accounted by [`Session`].
+//!
+//! # Aggregated evaluation
+//!
+//! The scheme routing above only depends on each node's degree class, so a
+//! frontier can be *pre-aggregated* per workgroup into [`ClassAgg`]s for a
+//! given (workgroup size, subgroup size) pair and then evaluated for any
+//! configuration in time proportional to the number of workgroups rather
+//! than nodes. [`Session::kernel`] aggregates on the fly;
+//! [`crate::trace`] records frontiers once and replays them cheaply
+//! across every chip and configuration of the study.
+
+use serde::{Deserialize, Serialize};
+
+use crate::barrier::GlobalBarrier;
+use crate::chip::ChipProfile;
+use crate::opts::{FgMode, OptConfig};
+
+/// One active node in a kernel invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkItem {
+    /// Inner-loop trip count: edges this node's thread must process.
+    pub degree: u32,
+    /// Worklist pushes this node performs (atomic RMWs on a shared
+    /// counter; combinable by `coop-cv`).
+    pub pushes: u32,
+}
+
+impl WorkItem {
+    /// Convenience constructor.
+    pub fn new(degree: u32, pushes: u32) -> Self {
+        WorkItem { degree, pushes }
+    }
+}
+
+/// Static per-edge/per-node operation counts of one kernel — what the
+/// graph-DSL compiler knows about the code it generated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Kernel name (for diagnostics).
+    pub name: String,
+    /// Scalar ALU operations per edge.
+    pub alu_per_edge: f64,
+    /// Scattered global reads per edge (divergence-sensitive).
+    pub reads_per_edge: f64,
+    /// Scattered global writes per edge (divergence-sensitive).
+    pub writes_per_edge: f64,
+    /// Uncontended global atomic RMWs per edge (e.g. `atomic_min` on a
+    /// neighbour's distance).
+    pub atomics_per_edge: f64,
+    /// Scalar ALU operations per node.
+    pub alu_per_node: f64,
+    /// Coalesced global reads per node (frontier/own-state loads).
+    pub reads_per_node: f64,
+    /// Coalesced global writes per node.
+    pub writes_per_node: f64,
+    /// Whether the kernel contains an irregular nested loop over edges.
+    /// The nested-parallelism schemes (`wg`/`sg`/`fg`) only instrument
+    /// such kernels; regular kernels (pointer jumping, sorting passes,
+    /// filters) always execute their items serially with no scheme
+    /// overhead.
+    pub irregular: bool,
+}
+
+impl KernelProfile {
+    /// A light frontier-advance kernel profile (BFS-like): one flag read
+    /// and level write per edge.
+    pub fn frontier(name: &str) -> Self {
+        KernelProfile {
+            name: name.to_owned(),
+            alu_per_edge: 4.0,
+            reads_per_edge: 1.5,
+            writes_per_edge: 0.5,
+            atomics_per_edge: 0.0,
+            alu_per_node: 6.0,
+            reads_per_node: 2.0,
+            writes_per_node: 1.0,
+            irregular: true,
+        }
+    }
+
+    /// Time to process one edge at the given divergence factor.
+    pub fn edge_cost(&self, chip: &ChipProfile, divergence: f64) -> f64 {
+        self.alu_per_edge * chip.alu_cost
+            + (self.reads_per_edge + self.writes_per_edge) * chip.global_mem_cost * divergence
+            + self.atomics_per_edge * chip.atomic_uncontended_cost
+    }
+
+    /// Fixed per-node time (coalesced accesses).
+    pub fn node_cost(&self, chip: &ChipProfile) -> f64 {
+        self.alu_per_node * chip.alu_cost
+            + (self.reads_per_node + self.writes_per_node) * chip.global_mem_cost
+    }
+}
+
+/// Per-workgroup aggregate of one degree class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassAgg {
+    /// Number of nodes in the class.
+    pub count: u32,
+    /// Total edges over the class.
+    pub edges: u64,
+    /// `Σ ceil(degree / workgroup_size)` — wg-scheme rounds.
+    pub rounds_wg: u64,
+    /// `Σ ceil(degree / subgroup_size)` — sg-scheme rounds.
+    pub rounds_sg: u64,
+    /// Maximum degree in the class.
+    pub max_degree: u32,
+}
+
+impl ClassAgg {
+    fn add(&mut self, degree: u32, wg_size: u32, sg_size: u32) {
+        self.count += 1;
+        self.edges += degree as u64;
+        self.rounds_wg += (degree as u64).div_ceil(wg_size as u64);
+        self.rounds_sg += (degree as u64).div_ceil(sg_size as u64);
+        self.max_degree = self.max_degree.max(degree);
+    }
+}
+
+/// Aggregates of one workgroup's worth of frontier items.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkgroupAgg {
+    /// Degree ≥ workgroup size.
+    pub big: ClassAgg,
+    /// Subgroup size ≤ degree < workgroup size.
+    pub mid: ClassAgg,
+    /// Degree < subgroup size.
+    pub small: ClassAgg,
+}
+
+/// A whole kernel invocation, pre-aggregated for one (workgroup size,
+/// subgroup size) pair.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CallAggregates {
+    /// Workgroup size the aggregation was built for.
+    pub wg_size: u32,
+    /// Subgroup size the aggregation was built for.
+    pub sg_size: u32,
+    /// One aggregate per workgroup of the launch.
+    pub workgroups: Vec<WorkgroupAgg>,
+    /// Total worklist pushes over the launch.
+    pub pushes: u64,
+}
+
+impl CallAggregates {
+    /// Aggregates `items` into workgroups of `wg_size` threads with
+    /// subgroups of `sg_size` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wg_size` or `sg_size` is zero.
+    pub fn from_items(items: &[WorkItem], wg_size: u32, sg_size: u32) -> Self {
+        assert!(wg_size > 0 && sg_size > 0, "sizes must be positive");
+        let mut workgroups = Vec::with_capacity(items.len().div_ceil(wg_size as usize));
+        let mut pushes = 0u64;
+        for chunk in items.chunks(wg_size as usize) {
+            let mut agg = WorkgroupAgg::default();
+            for item in chunk {
+                pushes += item.pushes as u64;
+                let d = item.degree;
+                if d >= wg_size {
+                    agg.big.add(d, wg_size, sg_size);
+                } else if d >= sg_size && sg_size > 1 {
+                    agg.mid.add(d, wg_size, sg_size);
+                } else {
+                    agg.small.add(d, wg_size, sg_size);
+                }
+            }
+            workgroups.push(agg);
+        }
+        CallAggregates {
+            wg_size,
+            sg_size,
+            workgroups,
+            pushes,
+        }
+    }
+}
+
+/// Aggregate statistics of one finished [`Session`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total modelled time in nanoseconds.
+    pub time_ns: f64,
+    /// Number of kernel invocations.
+    pub kernels: u64,
+    /// Number of host-side kernel launches (1 under `oitergb`).
+    pub launches: u64,
+    /// Number of global-barrier episodes (0 without `oitergb`).
+    pub global_barriers: u64,
+}
+
+/// The sink applications execute against: either a timing [`Session`] or
+/// a [`crate::trace::Recorder`].
+pub trait Executor {
+    /// Executes one kernel of the application's iteration loop.
+    fn kernel(&mut self, profile: &KernelProfile, items: &[WorkItem]);
+}
+
+/// The abstract GPU machine for one chip.
+///
+/// # Example
+///
+/// ```
+/// use gpp_sim::chip::ChipProfile;
+/// use gpp_sim::exec::{KernelProfile, Machine, WorkItem};
+/// use gpp_sim::opts::OptConfig;
+///
+/// let machine = Machine::new(ChipProfile::gtx1080());
+/// let mut session = machine.session(OptConfig::baseline());
+/// let frontier = vec![WorkItem::new(4, 2); 1000];
+/// session.kernel(&KernelProfile::frontier("bfs"), &frontier);
+/// let stats = session.finish();
+/// assert!(stats.time_ns > 0.0);
+/// assert_eq!(stats.kernels, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    chip: ChipProfile,
+}
+
+impl Machine {
+    /// Creates a machine for `chip`.
+    pub fn new(chip: ChipProfile) -> Self {
+        Machine { chip }
+    }
+
+    /// The chip this machine models.
+    pub fn chip(&self) -> &ChipProfile {
+        &self.chip
+    }
+
+    /// Starts an execution session (one application run) under `config`.
+    pub fn session(&self, config: OptConfig) -> Session<'_> {
+        let wg_size = config.workgroup_size().min(self.chip.max_workgroup_size());
+        let global_barrier = if config.oitergb {
+            Some(GlobalBarrier::discover(&self.chip, wg_size))
+        } else {
+            None
+        };
+        Session {
+            machine: self,
+            config,
+            wg_size,
+            global_barrier,
+            time_ns: 0.0,
+            kernels: 0,
+            launches: 0,
+            global_barriers: 0,
+        }
+    }
+}
+
+/// One application run on a [`Machine`]: a sequence of kernel invocations
+/// in an iterate-to-fixed-point loop, with iteration overhead accounted
+/// per the `oitergb` setting.
+#[derive(Debug)]
+pub struct Session<'m> {
+    machine: &'m Machine,
+    config: OptConfig,
+    wg_size: u32,
+    global_barrier: Option<GlobalBarrier>,
+    time_ns: f64,
+    kernels: u64,
+    launches: u64,
+    global_barriers: u64,
+}
+
+impl Session<'_> {
+    /// The optimisation configuration of this session.
+    pub fn config(&self) -> OptConfig {
+        self.config
+    }
+
+    /// The effective workgroup size (after clamping to the chip limit).
+    pub fn workgroup_size(&self) -> u32 {
+        self.wg_size
+    }
+
+    /// Modelled time accrued so far (ns).
+    pub fn elapsed_ns(&self) -> f64 {
+        self.time_ns
+    }
+
+    /// Executes one kernel over `items` and returns the time charged for
+    /// it (including iteration overhead).
+    ///
+    /// An empty frontier still pays iteration overhead — real
+    /// fixed-point loops launch the kernel that discovers emptiness.
+    pub fn kernel(&mut self, profile: &KernelProfile, items: &[WorkItem]) -> f64 {
+        let aggs =
+            CallAggregates::from_items(items, self.wg_size, self.machine.chip.subgroup_size.max(1));
+        self.kernel_aggregated(profile, &aggs)
+    }
+
+    /// Executes one kernel from pre-built aggregates (see
+    /// [`CallAggregates::from_items`] and [`crate::trace`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggs` was built for a different workgroup or subgroup
+    /// size than this session uses.
+    pub fn kernel_aggregated(&mut self, profile: &KernelProfile, aggs: &CallAggregates) -> f64 {
+        assert_eq!(
+            aggs.wg_size, self.wg_size,
+            "aggregation workgroup size mismatch"
+        );
+        assert_eq!(
+            aggs.sg_size,
+            self.machine.chip.subgroup_size.max(1),
+            "aggregation subgroup size mismatch"
+        );
+        let chip = &self.machine.chip;
+        let overhead = match &self.global_barrier {
+            Some(gb) => {
+                if self.kernels == 0 {
+                    // One real launch; the setup includes occupancy
+                    // discovery and the initial parameter copy.
+                    self.launches += 1;
+                    chip.kernel_launch_cost + chip.host_copy_cost + gb.setup_cost()
+                } else {
+                    self.global_barriers += 1;
+                    gb.barrier_cost()
+                }
+            }
+            None => {
+                // Every iteration: a launch plus a small copy (the host
+                // reads the "work left?" flag).
+                self.launches += 1;
+                chip.kernel_launch_cost + chip.host_copy_cost
+            }
+        };
+        let device = evaluate_kernel(chip, self.config, self.wg_size, profile, aggs);
+        self.kernels += 1;
+        let total = overhead + device;
+        self.time_ns += total;
+        total
+    }
+
+    /// Finishes the run and returns its statistics.
+    pub fn finish(self) -> RunStats {
+        RunStats {
+            time_ns: self.time_ns,
+            kernels: self.kernels,
+            launches: self.launches,
+            global_barriers: self.global_barriers,
+        }
+    }
+}
+
+impl Executor for Session<'_> {
+    fn kernel(&mut self, profile: &KernelProfile, items: &[WorkItem]) {
+        Session::kernel(self, profile, items);
+    }
+}
+
+/// Device-side time of one kernel invocation from aggregates. This is the
+/// single evaluation function shared by live sessions and trace replay.
+pub fn evaluate_kernel(
+    chip: &ChipProfile,
+    cfg: OptConfig,
+    wg_size: u32,
+    profile: &KernelProfile,
+    aggs: &CallAggregates,
+) -> f64 {
+    if aggs.workgroups.is_empty() {
+        return chip.kernel_fixed_cost;
+    }
+    let sg_size = chip.subgroup_size.max(1);
+    let n_subgroups = (wg_size / sg_size).max(1) as f64;
+
+    // The sg scheme brackets execution with barriers, keeping the
+    // workgroup converged; on divergence-sensitive chips this relieves
+    // part of the penalty on serial work too (Section VIII-c).
+    let serial_div = chip.divergence_factor(cfg.sg && profile.irregular);
+    let edge_balanced = profile.edge_cost(chip, 1.0);
+    let node_fixed = profile.node_cost(chip);
+    let wg_barrier = chip.wg_barrier(wg_size);
+    let sg_barrier = if chip.lockstep_subgroups {
+        0.0
+    } else {
+        chip.sg_barrier_cost
+    };
+    let (fg_on, fg_epi) = match cfg.fg {
+        FgMode::Off => (false, 1.0),
+        FgMode::Fg1 => (profile.irregular, 1.0),
+        FgMode::Fg8 => (profile.irregular, 8.0),
+    };
+    let fg_round_overhead = wg_barrier + (wg_size as f64).log2() * chip.local_mem_cost;
+    // Regular kernels have no nested loop for the schemes to rewrite.
+    let wg_on = cfg.wg && profile.irregular;
+    let sg_on = cfg.sg && sg_size > 1 && profile.irregular;
+    let sg_orchestration = 2.0 * sg_barrier + 2.0 * chip.local_mem_cost;
+    // One workgroup-wide ballot: barrier plus a local-memory reduction
+    // tree. The wg executor pays one per serialised node (leader
+    // election) and two to enter/exit the phase.
+    let wg_ballot = wg_barrier + (wg_size as f64).log2() * chip.local_mem_cost;
+
+    let mut total_busy = 0.0f64;
+    let mut max_wg_time = 0.0f64;
+
+    for wg in &aggs.workgroups {
+        // Route classes to schemes:
+        // big -> wg (if on) -> sg (if on) -> fg (if on) -> serial
+        // mid -> sg (if on) -> fg (if on) -> serial
+        // small -> fg (if on) -> serial
+        let mut wg_phase = 0.0f64;
+        let mut sg_work = 0.0f64;
+        let mut sg_max_single = 0.0f64;
+        let mut fg_edges = 0u64;
+        let mut fg_nodes = 0u64;
+        let mut serial_max = 0u32;
+        let mut serial_edges = 0u64;
+        let mut serial_count = 0u32;
+
+        let mut route = |class: &ClassAgg, start: Scheme| {
+            if class.count == 0 {
+                return;
+            }
+            match start {
+                Scheme::Wg if wg_on => {
+                    wg_phase +=
+                        class.count as f64 * wg_ballot + class.rounds_wg as f64 * edge_balanced;
+                }
+                Scheme::Wg | Scheme::Sg if sg_on => {
+                    sg_work += class.count as f64 * sg_orchestration
+                        + class.rounds_sg as f64 * edge_balanced;
+                    let single = sg_orchestration
+                        + (class.max_degree as u64).div_ceil(sg_size as u64) as f64 * edge_balanced;
+                    sg_max_single = sg_max_single.max(single);
+                }
+                _ if fg_on => {
+                    fg_edges += class.edges;
+                    fg_nodes += class.count as u64;
+                }
+                _ => {
+                    serial_max = serial_max.max(class.max_degree);
+                    serial_edges += class.edges;
+                    serial_count += class.count;
+                }
+            }
+        };
+        route(&wg.big, Scheme::Wg);
+        route(&wg.mid, Scheme::Sg);
+        route(&wg.small, Scheme::Fg);
+
+        // Divergence scales with intra-workgroup imbalance: lockstep lanes
+        // walking equal-length edge lists stay converged (a uniform-degree
+        // loop is nearly free of divergence), while skewed lists force the
+        // full penalty. A floor accounts for the irreducible scatter of
+        // neighbour indices.
+        let (edge_serial, simd_waste) = if serial_edges > 0 && serial_count > 0 {
+            let mean = serial_edges as f64 / serial_count as f64;
+            let ratio = serial_max as f64 / mean;
+            let imbalance = ((ratio - 1.0) / 3.0).clamp(0.25, 1.0);
+            // Divergent lanes also waste issue slots: while the longest
+            // lane runs, its subgroup's other lanes are masked out, so the
+            // effective throughput cost of a serial edge grows with the
+            // imbalance (bounded by the subgroup width; scalar chips like
+            // MALI waste nothing).
+            let waste = (0.5 * ratio).clamp(1.0, sg_size as f64);
+            (
+                profile.edge_cost(chip, 1.0 + (serial_div - 1.0) * imbalance),
+                waste,
+            )
+        } else {
+            (profile.edge_cost(chip, serial_div), 1.0)
+        };
+
+        // Critical path of the serial phase: lanes idle until the longest
+        // edge loop in the workgroup finishes.
+        let serial_phase = serial_max as f64 * edge_serial;
+        let sg_phase = if sg_work > 0.0 {
+            (sg_work / n_subgroups).max(sg_max_single)
+        } else {
+            0.0
+        };
+
+        // Inspector/executor: linearise the pooled edges across the
+        // workgroup, `fg_epi` edges per thread per round.
+        let mut fg_phase = 0.0f64;
+        if fg_on {
+            if fg_edges == 0 {
+                // An empty pool costs one cheap agreement barrier.
+                fg_phase += wg_barrier;
+            } else {
+                // Inspector writes each *contributing* node's range to
+                // local memory (amortised across the workgroup's
+                // threads); nodes without edges are filtered by a flag.
+                let contributing = fg_nodes.min(fg_edges) as f64;
+                fg_phase += contributing * 2.0 * chip.local_mem_cost / wg_size as f64;
+                // Full rounds stride `fg_epi` edges per thread; the tail
+                // round only walks the remaining edges (excess lanes are
+                // masked off).
+                let per_round = wg_size as f64 * fg_epi;
+                let full_rounds = (fg_edges as f64 / per_round).floor();
+                fg_phase += full_rounds * (fg_epi * edge_balanced + fg_round_overhead);
+                let tail_edges = fg_edges as f64 - full_rounds * per_round;
+                if tail_edges > 0.0 {
+                    fg_phase +=
+                        (tail_edges / wg_size as f64).ceil() * edge_balanced + fg_round_overhead;
+                }
+            }
+        }
+
+        // Scheme fixed overheads paid whether or not any node qualified:
+        // threads must agree the pools are empty.
+        let mut scheme_fixed = 0.0f64;
+        if wg_on {
+            scheme_fixed += 2.0 * wg_ballot;
+        }
+        if sg_on {
+            scheme_fixed += 2.0 * sg_barrier + 2.0 * chip.local_mem_cost;
+        }
+        if cfg.coop_cv && sg_size > 1 {
+            scheme_fixed += 2.0 * chip.local_mem_cost;
+        }
+
+        let wg_time = node_fixed + serial_phase + sg_phase + wg_phase + fg_phase + scheme_fixed;
+        max_wg_time = max_wg_time.max(wg_time);
+
+        // Busy work: what the workgroup's threads actually execute. The
+        // per-node prologue and scheme agreement run on every launched
+        // thread slot (idle slots of a partial workgroup included), the
+        // serial phase occupies one thread per edge, and the cooperative
+        // phases occupy the whole workgroup for their duration.
+        total_busy += (node_fixed + scheme_fixed) * wg_size as f64
+            + serial_edges as f64 * edge_serial * simd_waste
+            + sg_work * sg_size as f64
+            + (wg_phase + fg_phase) * wg_size as f64;
+    }
+
+    // The outlined megakernel of `oitergb` holds every kernel's registers
+    // and local-memory footprint live at once, costing some occupancy.
+    let occupancy_factor = if cfg.oitergb { 0.8 } else { 1.0 };
+    let resident_threads =
+        (chip.resident_workgroups(wg_size) as f64) * wg_size as f64 * occupancy_factor;
+    let capacity_threads = resident_threads.min(chip.throughput_threads as f64);
+    let compute = (total_busy / capacity_threads).max(max_wg_time);
+
+    chip.kernel_fixed_cost + compute + worklist_rmw_time(chip, cfg, aggs.pushes)
+}
+
+#[derive(Clone, Copy)]
+enum Scheme {
+    Wg,
+    Sg,
+    Fg,
+}
+
+/// Serialised time of worklist pushes: one hot RMW counter, optionally
+/// combined per subgroup (manually via coop-cv, or by the JIT).
+fn worklist_rmw_time(chip: &ChipProfile, cfg: OptConfig, pushes: u64) -> f64 {
+    if pushes == 0 {
+        return 0.0;
+    }
+    let pushes = pushes as f64;
+    let sg = chip.subgroup_size.max(1) as f64;
+    let combined_rmws = (pushes / sg).ceil() * chip.atomic_rmw_cost;
+    match (cfg.coop_cv, chip.jit_subgroup_combining) {
+        // Manual combining: combined RMWs plus the per-push collective
+        // overhead. On subgroup-size-1 chips the transformation is a
+        // semantically valid no-op (paper Section VI-A).
+        (true, _) if chip.subgroup_size <= 1 => pushes * chip.atomic_rmw_cost,
+        (true, _) => combined_rmws + pushes * chip.sg_collective_cost,
+        // JIT combines transparently at no orchestration cost.
+        (false, true) => combined_rmws,
+        // No combining at all: fully serialised.
+        (false, false) => pushes * chip.atomic_rmw_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::{study_chips, ChipProfile};
+    use crate::opts::{OptConfig, Optimization};
+
+    fn run_once(chip: ChipProfile, cfg: OptConfig, items: &[WorkItem]) -> f64 {
+        let m = Machine::new(chip);
+        let mut s = m.session(cfg);
+        Session::kernel(&mut s, &KernelProfile::frontier("k"), items);
+        s.finish().time_ns
+    }
+
+    fn uniform(n: usize, degree: u32) -> Vec<WorkItem> {
+        vec![WorkItem::new(degree, 0); n]
+    }
+
+    /// A frontier with one huge node and many tiny ones — the skewed
+    /// regime where load balancing matters.
+    fn skewed(n: usize, hub_degree: u32) -> Vec<WorkItem> {
+        let mut v = vec![WorkItem::new(2, 0); n];
+        v[0].degree = hub_degree;
+        v
+    }
+
+    #[test]
+    fn empty_frontier_costs_only_fixed_overhead() {
+        let chip = ChipProfile::gtx1080();
+        let expect = chip.kernel_launch_cost + chip.host_copy_cost + chip.kernel_fixed_cost;
+        let t = run_once(chip, OptConfig::baseline(), &[]);
+        assert!((t - expect).abs() < 1e-6, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn more_work_takes_longer() {
+        let chip = ChipProfile::r9();
+        let t_small = run_once(chip.clone(), OptConfig::baseline(), &uniform(1_000, 4));
+        let t_big = run_once(chip, OptConfig::baseline(), &uniform(100_000, 4));
+        assert!(t_big > t_small);
+    }
+
+    #[test]
+    fn higher_degree_takes_longer() {
+        let chip = ChipProfile::m4000();
+        let t4 = run_once(chip.clone(), OptConfig::baseline(), &uniform(10_000, 4));
+        let t16 = run_once(chip, OptConfig::baseline(), &uniform(10_000, 16));
+        assert!(t16 > t4);
+    }
+
+    #[test]
+    fn wg_scheme_tames_hub_nodes() {
+        let chip = ChipProfile::gtx1080();
+        let items = skewed(10_000, 50_000);
+        let base = run_once(chip.clone(), OptConfig::baseline(), &items);
+        let wg = run_once(chip, OptConfig::baseline().with(Optimization::Wg), &items);
+        assert!(
+            wg < base,
+            "wg {wg} should beat baseline {base} on skewed input"
+        );
+    }
+
+    #[test]
+    fn sg_scheme_tames_heavy_nodes_without_wg() {
+        let chip = ChipProfile::r9();
+        // With wg off, nodes above the workgroup size fall to the sg
+        // scheme, which splits their edge loops across the subgroup.
+        let mut items = vec![WorkItem::new(6, 0); 5_000];
+        for item in items.iter_mut().step_by(40) {
+            item.degree = 1_000;
+        }
+        let base = run_once(chip.clone(), OptConfig::baseline(), &items);
+        let sg = run_once(chip, OptConfig::baseline().with(Optimization::Sg), &items);
+        assert!(sg < base, "sg {sg} should beat baseline {base}");
+    }
+
+    #[test]
+    fn fg_beats_baseline_on_skew_and_fg8_amortises_barriers() {
+        let chip = ChipProfile::m4000();
+        let items = skewed(20_000, 10_000);
+        let base = run_once(chip.clone(), OptConfig::baseline(), &items);
+        let fg1 = run_once(
+            chip.clone(),
+            OptConfig::baseline().with(Optimization::Fg1),
+            &items,
+        );
+        let fg8 = run_once(chip, OptConfig::baseline().with(Optimization::Fg8), &items);
+        assert!(fg1 < base);
+        assert!(
+            fg8 < fg1,
+            "fg8 {fg8} should beat fg1 {fg1} (fewer barrier rounds)"
+        );
+    }
+
+    #[test]
+    fn balancing_uniform_low_degree_work_only_adds_overhead() {
+        let chip = ChipProfile::gtx1080();
+        let items = uniform(50_000, 3);
+        let base = run_once(chip.clone(), OptConfig::baseline(), &items);
+        let all = OptConfig::baseline()
+            .with(Optimization::Wg)
+            .with(Optimization::Sg)
+            .with(Optimization::Fg1);
+        let opt = run_once(chip, all, &items);
+        assert!(
+            opt > base,
+            "balancing flat work should cost, got {opt} vs {base}"
+        );
+    }
+
+    #[test]
+    fn coop_cv_helps_r9_hurts_nvidia() {
+        let items: Vec<WorkItem> = vec![WorkItem::new(1, 4); 30_000];
+        let cfg_cv = OptConfig::baseline().with(Optimization::CoopCv);
+        let r9_base = run_once(ChipProfile::r9(), OptConfig::baseline(), &items);
+        let r9_cv = run_once(ChipProfile::r9(), cfg_cv, &items);
+        assert!(
+            r9_cv < r9_base,
+            "coop-cv should help R9: {r9_cv} vs {r9_base}"
+        );
+        let nv_base = run_once(ChipProfile::gtx1080(), OptConfig::baseline(), &items);
+        let nv_cv = run_once(ChipProfile::gtx1080(), cfg_cv, &items);
+        assert!(
+            nv_cv > nv_base,
+            "coop-cv should hurt GTX1080 (JIT combines already)"
+        );
+    }
+
+    #[test]
+    fn coop_cv_is_noop_on_mali() {
+        let items: Vec<WorkItem> = vec![WorkItem::new(1, 4); 10_000];
+        let base = run_once(ChipProfile::mali(), OptConfig::baseline(), &items);
+        let cv = run_once(
+            ChipProfile::mali(),
+            OptConfig::baseline().with(Optimization::CoopCv),
+            &items,
+        );
+        assert!((base - cv).abs() < 1e-6, "subgroup size 1: {base} vs {cv}");
+    }
+
+    #[test]
+    fn oitergb_pays_off_with_many_short_kernels_on_high_overhead_chips() {
+        // 200 dependent iterations over a tiny frontier: the road-BFS
+        // regime of Section V-C.
+        for chip in [
+            ChipProfile::iris6100(),
+            ChipProfile::mali(),
+            ChipProfile::r9(),
+        ] {
+            let name = chip.name.clone();
+            let m = Machine::new(chip);
+            let run = |cfg: OptConfig| {
+                let mut s = m.session(cfg);
+                for _ in 0..200 {
+                    Session::kernel(&mut s, &KernelProfile::frontier("k"), &uniform(64, 3));
+                }
+                s.finish()
+            };
+            let base = run(OptConfig::baseline());
+            let outlined = run(OptConfig::baseline().with(Optimization::Oitergb));
+            assert!(
+                outlined.time_ns < base.time_ns,
+                "{name}: oitergb {} should beat {}",
+                outlined.time_ns,
+                base.time_ns
+            );
+            assert_eq!(outlined.launches, 1);
+            assert_eq!(outlined.global_barriers, 199);
+            assert_eq!(base.launches, 200);
+        }
+    }
+
+    #[test]
+    fn oitergb_hurts_nvidia() {
+        // On Nvidia the global barrier saves little over the cheap launch
+        // and the persistent megakernel costs occupancy, so once kernels
+        // carry real work the outlined loop loses. On the launch-bound
+        // extreme GTX1080 still loses; M4000 is a near-tie by design
+        // (paper Table IX reports effect size 0.47 for it).
+        for (chip, frontier) in [
+            (ChipProfile::m4000(), 60_000usize),
+            (ChipProfile::gtx1080(), 60_000),
+            (ChipProfile::gtx1080(), 64),
+        ] {
+            let name = chip.name.clone();
+            let m = Machine::new(chip);
+            let run = |cfg: OptConfig| {
+                let mut s = m.session(cfg);
+                for _ in 0..20 {
+                    Session::kernel(&mut s, &KernelProfile::frontier("k"), &uniform(frontier, 3));
+                }
+                s.finish().time_ns
+            };
+            let base = run(OptConfig::baseline());
+            let outlined = run(OptConfig::baseline().with(Optimization::Oitergb));
+            assert!(
+                outlined > base,
+                "{name} frontier {frontier}: oitergb should not pay off on Nvidia"
+            );
+        }
+    }
+
+    #[test]
+    fn sg_relieves_divergence_on_mali() {
+        // Serial-heavy, moderately skewed work below the subgroup/wg
+        // thresholds: sg cannot rebalance anything on MALI (subgroup size
+        // 1) yet still speeds it up via barrier-induced convergence.
+        let mut items = uniform(20_000, 8);
+        for (i, item) in items.iter_mut().enumerate() {
+            item.degree = 2 + (i % 16) as u32;
+        }
+        let base = run_once(ChipProfile::mali(), OptConfig::baseline(), &items);
+        let sg = run_once(
+            ChipProfile::mali(),
+            OptConfig::baseline().with(Optimization::Sg),
+            &items,
+        );
+        assert!(
+            sg < base,
+            "sg should relieve MALI divergence: {sg} vs {base}"
+        );
+    }
+
+    #[test]
+    fn sz256_alone_is_nearly_neutral_on_uniform_work() {
+        let items = uniform(60_000, 6);
+        let base = run_once(ChipProfile::r9(), OptConfig::baseline(), &items);
+        let big = run_once(
+            ChipProfile::r9(),
+            OptConfig::baseline().with(Optimization::Sz256),
+            &items,
+        );
+        assert!(
+            (big / base - 1.0).abs() < 0.1,
+            "sz256 alone: {big} vs {base}"
+        );
+    }
+
+    #[test]
+    fn sz256_amplifies_wg_scheme_ballot_costs() {
+        // Workgroup ballots scale with workgroup size, so the wg scheme's
+        // fixed overhead doubles at 256 threads — the paper's worst-ranked
+        // combinations are exactly wg + sz256 (Table III).
+        let items = uniform(60_000, 4);
+        for chip in [ChipProfile::mali(), ChipProfile::iris6100()] {
+            let name = chip.name.clone();
+            let wg = OptConfig::baseline().with(Optimization::Wg);
+            let t_wg = run_once(chip.clone(), wg, &items);
+            let t_wg_256 = run_once(chip, wg.with(Optimization::Sz256), &items);
+            assert!(t_wg_256 > t_wg, "{name}: wg+sz256 {t_wg_256} vs wg {t_wg}");
+        }
+    }
+
+    #[test]
+    fn throughput_ceiling_binds_for_large_launches() {
+        // Beyond the throughput ceiling, doubling the work doubles the
+        // time even though plenty of workgroups are resident.
+        let chip = ChipProfile::gtx1080();
+        let t1 = run_once(chip.clone(), OptConfig::baseline(), &uniform(100_000, 6));
+        let t2 = run_once(chip.clone(), OptConfig::baseline(), &uniform(200_000, 6));
+        let overhead = chip.kernel_launch_cost + chip.host_copy_cost + chip.kernel_fixed_cost;
+        let ratio = (t2 - overhead) / (t1 - overhead);
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn session_counts_kernels_and_launches() {
+        let m = Machine::new(ChipProfile::hd5500());
+        let mut s = m.session(OptConfig::baseline());
+        for _ in 0..5 {
+            Session::kernel(&mut s, &KernelProfile::frontier("k"), &uniform(10, 2));
+        }
+        let stats = s.finish();
+        assert_eq!(stats.kernels, 5);
+        assert_eq!(stats.launches, 5);
+        assert_eq!(stats.global_barriers, 0);
+    }
+
+    #[test]
+    fn elapsed_accumulates_monotonically() {
+        let m = Machine::new(ChipProfile::m4000());
+        let mut s = m.session(OptConfig::baseline());
+        let mut last = 0.0;
+        for _ in 0..3 {
+            Session::kernel(&mut s, &KernelProfile::frontier("k"), &uniform(100, 4));
+            assert!(s.elapsed_ns() > last);
+            last = s.elapsed_ns();
+        }
+    }
+
+    #[test]
+    fn kernel_time_is_deterministic() {
+        for chip in study_chips() {
+            let items = skewed(5_000, 3_000);
+            let cfg = OptConfig::from_index(37);
+            let a = run_once(chip.clone(), cfg, &items);
+            let b = run_once(chip, cfg, &items);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn all_configs_produce_finite_positive_times() {
+        let items = skewed(2_000, 500);
+        for chip in study_chips() {
+            for cfg in crate::opts::all_configs() {
+                let t = run_once(chip.clone(), cfg, &items);
+                assert!(t.is_finite() && t > 0.0, "{} {cfg}: {t}", chip.name);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_classify_by_degree() {
+        let items = [
+            WorkItem::new(200, 0),
+            WorkItem::new(50, 1),
+            WorkItem::new(3, 2),
+            WorkItem::new(130, 0),
+        ];
+        let aggs = CallAggregates::from_items(&items, 128, 32);
+        assert_eq!(aggs.workgroups.len(), 1);
+        let wg = &aggs.workgroups[0];
+        assert_eq!(wg.big.count, 2);
+        assert_eq!(wg.big.max_degree, 200);
+        assert_eq!(wg.big.edges, 330);
+        assert_eq!(wg.big.rounds_wg, 2 + 2); // ceil(200/128) + ceil(130/128)
+        assert_eq!(wg.mid.count, 1);
+        assert_eq!(wg.small.count, 1);
+        assert_eq!(aggs.pushes, 3);
+    }
+
+    #[test]
+    fn aggregates_with_subgroup_one_have_no_mid_class() {
+        let items = [WorkItem::new(50, 0), WorkItem::new(3, 0)];
+        let aggs = CallAggregates::from_items(&items, 128, 1);
+        let wg = &aggs.workgroups[0];
+        assert_eq!(wg.mid.count, 0);
+        assert_eq!(wg.small.count, 2);
+    }
+
+    #[test]
+    fn kernel_aggregated_matches_kernel() {
+        for chip in study_chips() {
+            let items = skewed(7_000, 900);
+            for cfg_idx in [0, 17, 42, 95] {
+                let cfg = OptConfig::from_index(cfg_idx);
+                let m = Machine::new(chip.clone());
+                let mut s1 = m.session(cfg);
+                let t1 = Session::kernel(&mut s1, &KernelProfile::frontier("k"), &items);
+                let mut s2 = m.session(cfg);
+                let aggs = CallAggregates::from_items(
+                    &items,
+                    s2.workgroup_size(),
+                    chip.subgroup_size.max(1),
+                );
+                let t2 = s2.kernel_aggregated(&KernelProfile::frontier("k"), &aggs);
+                assert_eq!(t1, t2, "{} cfg {cfg}", chip.name);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "workgroup size mismatch")]
+    fn kernel_aggregated_rejects_mismatched_sizes() {
+        let m = Machine::new(ChipProfile::r9());
+        let mut s = m.session(OptConfig::baseline());
+        let aggs = CallAggregates::from_items(&[WorkItem::new(1, 0)], 256, 64);
+        s.kernel_aggregated(&KernelProfile::frontier("k"), &aggs);
+    }
+}

@@ -1,0 +1,376 @@
+//! OpenCL 2.0 memory-consistency emulation (paper Section VI-A).
+//!
+//! The ARM and Nvidia chips of the study do not natively support the
+//! OpenCL 2.0 memory model; the paper emulated it — with inline PTX
+//! fences on Nvidia and best-effort OpenCL 1.x fences on ARM — and
+//! validated the emulation against an oracle. This module reproduces
+//! that artefact:
+//!
+//! - a tiny weak-memory machine with per-thread store buffers
+//!   ([`explore`] exhaustively enumerates its executions);
+//! - the three emulation levels of the paper
+//!   ([`AtomicSupport`]) and the *mapping* each uses to implement
+//!   acquire/release atomics ([`lower`]);
+//! - litmus tests ([`message_passing_violates`],
+//!   [`store_buffering_weak_outcome`]) showing the
+//!   mappings are sound — and that the unfenced mapping is **not**,
+//!   which is exactly why the emulation is required.
+//!
+//! The machine models buffered stores with ARM-like weak ordering: a
+//! store enters its thread's buffer and drains to shared memory at any
+//! later point, *in any order* (stores to different locations may
+//! reorder); loads forward from the youngest same-location entry of the
+//! local buffer first. A fence drains the issuing thread's buffer. This
+//! is weak enough to exhibit both the message-passing and the
+//! store-buffering anomalies, and strong enough to make the fenced
+//! mappings correct — sufficient for the orderings graph worklists rely
+//! on.
+
+use std::collections::BTreeSet;
+
+/// Memory locations are small integers.
+pub type Loc = usize;
+
+/// Thread-local registers are small integers.
+pub type Reg = usize;
+
+/// One instruction of the litmus machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Buffered store of a constant.
+    Store(Loc, u32),
+    /// Load into a register (forwards from the own store buffer).
+    Load(Reg, Loc),
+    /// Full fence: drains the issuing thread's store buffer.
+    Fence,
+}
+
+/// How a chip provides OpenCL 2.0 atomics (paper Section VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicSupport {
+    /// Native OpenCL 2.0 memory-model support (AMD, Intel).
+    Native,
+    /// Emulated with inline PTX memory fences (Nvidia).
+    InlinePtx,
+    /// Best-effort emulation with OpenCL 1.x fences (ARM).
+    BestEffortFences,
+    /// A deliberately broken mapping that omits the fences — used to
+    /// demonstrate why the emulation is necessary.
+    UnfencedBroken,
+}
+
+/// A release store / acquire load pair at the OpenCL source level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicOp {
+    /// `atomic_store_explicit(loc, val, memory_order_release)`.
+    StoreRelease(Loc, u32),
+    /// `atomic_load_explicit(loc, memory_order_acquire)` into a register.
+    LoadAcquire(Reg, Loc),
+    /// Plain non-atomic store.
+    PlainStore(Loc, u32),
+    /// Plain non-atomic load.
+    PlainLoad(Reg, Loc),
+}
+
+/// Lowers one source-level operation to machine instructions under the
+/// given support level. The fenced mappings bracket atomics with the
+/// fences the respective platform requires; the broken mapping lowers
+/// atomics to plain accesses.
+pub fn lower(op: AtomicOp, support: AtomicSupport) -> Vec<Op> {
+    let fenced = !matches!(support, AtomicSupport::UnfencedBroken);
+    match op {
+        AtomicOp::StoreRelease(loc, val) => {
+            if fenced {
+                // Release: everything before must be visible first.
+                vec![Op::Fence, Op::Store(loc, val), Op::Fence]
+            } else {
+                vec![Op::Store(loc, val)]
+            }
+        }
+        AtomicOp::LoadAcquire(reg, loc) => {
+            if fenced {
+                // Acquire: nothing after may hoist above the load.
+                vec![Op::Load(reg, loc), Op::Fence]
+            } else {
+                vec![Op::Load(reg, loc)]
+            }
+        }
+        AtomicOp::PlainStore(loc, val) => vec![Op::Store(loc, val)],
+        AtomicOp::PlainLoad(reg, loc) => vec![Op::Load(reg, loc)],
+    }
+}
+
+/// Lowers a whole thread.
+pub fn lower_thread(ops: &[AtomicOp], support: AtomicSupport) -> Vec<Op> {
+    ops.iter().flat_map(|&op| lower(op, support)).collect()
+}
+
+/// Number of memory locations in litmus configurations.
+const LOCS: usize = 4;
+/// Number of registers per thread.
+const REGS: usize = 4;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct ThreadState {
+    pc: usize,
+    buffer: Vec<(Loc, u32)>,
+    regs: [u32; REGS],
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MachineState {
+    memory: [u32; LOCS],
+    threads: Vec<ThreadState>,
+}
+
+/// Exhaustively explores every execution of a two-thread program and
+/// returns the set of final register files `(t0.regs, t1.regs)`.
+///
+/// All memory starts at zero. At each step any thread may either execute
+/// its next instruction or drain the oldest entry of its store buffer;
+/// terminal states require empty buffers.
+///
+/// # Panics
+///
+/// Panics if a program references a location or register out of range.
+pub fn explore(t0: &[Op], t1: &[Op]) -> BTreeSet<([u32; REGS], [u32; REGS])> {
+    let programs = [t0, t1];
+    for p in programs {
+        for op in p {
+            match *op {
+                Op::Store(l, _) => assert!(l < LOCS, "location {l} out of range"),
+                Op::Load(r, l) => {
+                    assert!(l < LOCS, "location {l} out of range");
+                    assert!(r < REGS, "register {r} out of range");
+                }
+                Op::Fence => {}
+            }
+        }
+    }
+    let start = MachineState {
+        memory: [0; LOCS],
+        threads: vec![
+            ThreadState {
+                pc: 0,
+                buffer: Vec::new(),
+                regs: [0; REGS],
+            },
+            ThreadState {
+                pc: 0,
+                buffer: Vec::new(),
+                regs: [0; REGS],
+            },
+        ],
+    };
+    let mut outcomes = BTreeSet::new();
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![start];
+    while let Some(state) = stack.pop() {
+        if !seen.insert(state.clone()) {
+            continue;
+        }
+        let done = (0..2).all(|t| {
+            state.threads[t].pc >= programs[t].len() && state.threads[t].buffer.is_empty()
+        });
+        if done {
+            outcomes.insert((state.threads[0].regs, state.threads[1].regs));
+            continue;
+        }
+        #[allow(clippy::needless_range_loop)] // t indexes both programs and threads
+        for t in 0..2 {
+            // Option A: drain any buffered store (weak ordering: stores
+            // to different locations may become visible out of order;
+            // same-location stores keep their relative order).
+            for i in 0..state.threads[t].buffer.len() {
+                let loc = state.threads[t].buffer[i].0;
+                let is_oldest_to_loc = state.threads[t].buffer[..i].iter().all(|&(l, _)| l != loc);
+                if !is_oldest_to_loc {
+                    continue;
+                }
+                let mut next = state.clone();
+                let (loc, val) = next.threads[t].buffer.remove(i);
+                next.memory[loc] = val;
+                stack.push(next);
+            }
+            // Option B: execute the next instruction.
+            let pc = state.threads[t].pc;
+            if pc < programs[t].len() {
+                match programs[t][pc] {
+                    Op::Store(loc, val) => {
+                        let mut next = state.clone();
+                        next.threads[t].buffer.push((loc, val));
+                        next.threads[t].pc += 1;
+                        stack.push(next);
+                    }
+                    Op::Load(reg, loc) => {
+                        let mut next = state.clone();
+                        // Forward the youngest buffered store to the
+                        // same location, if any.
+                        let value = next.threads[t]
+                            .buffer
+                            .iter()
+                            .rev()
+                            .find(|(l, _)| *l == loc)
+                            .map(|&(_, v)| v)
+                            .unwrap_or(next.memory[loc]);
+                        next.threads[t].regs[reg] = value;
+                        next.threads[t].pc += 1;
+                        stack.push(next);
+                    }
+                    Op::Fence => {
+                        // A fence only executes with an empty buffer;
+                        // otherwise the thread must drain first.
+                        if state.threads[t].buffer.is_empty() {
+                            let mut next = state.clone();
+                            next.threads[t].pc += 1;
+                            stack.push(next);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    outcomes
+}
+
+/// The message-passing litmus test: thread 0 writes data then sets a
+/// flag with release semantics; thread 1 reads the flag with acquire
+/// semantics, then the data. Returns `true` iff the *stale-data* outcome
+/// (flag seen set, data seen zero) is reachable under the given support
+/// level — i.e. iff the mapping is broken.
+pub fn message_passing_violates(support: AtomicSupport) -> bool {
+    const DATA: Loc = 0;
+    const FLAG: Loc = 1;
+    let t0 = lower_thread(
+        &[
+            AtomicOp::PlainStore(DATA, 42),
+            AtomicOp::StoreRelease(FLAG, 1),
+        ],
+        support,
+    );
+    let t1 = lower_thread(
+        &[AtomicOp::LoadAcquire(0, FLAG), AtomicOp::PlainLoad(1, DATA)],
+        support,
+    );
+    explore(&t0, &t1)
+        .into_iter()
+        .any(|(_, r1)| r1[0] == 1 && r1[1] == 0)
+}
+
+/// The store-buffering litmus test: both threads store to their own
+/// location then load the other's. Returns `true` iff the weak outcome
+/// `r0 == 0 && r1 == 0` is reachable.
+pub fn store_buffering_weak_outcome(support: AtomicSupport) -> bool {
+    const X: Loc = 0;
+    const Y: Loc = 1;
+    let t0 = lower_thread(
+        &[AtomicOp::StoreRelease(X, 1), AtomicOp::LoadAcquire(0, Y)],
+        support,
+    );
+    let t1 = lower_thread(
+        &[AtomicOp::StoreRelease(Y, 1), AtomicOp::LoadAcquire(0, X)],
+        support,
+    );
+    explore(&t0, &t1)
+        .into_iter()
+        .any(|(r0, r1)| r0[0] == 0 && r1[0] == 0)
+}
+
+/// The emulation level each study chip uses (paper Section VI-A).
+pub fn chip_support(chip_name: &str) -> AtomicSupport {
+    match chip_name {
+        "M4000" | "GTX1080" => AtomicSupport::InlinePtx,
+        "MALI" => AtomicSupport::BestEffortFences,
+        _ => AtomicSupport::Native,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::study_chips;
+
+    #[test]
+    fn plain_machine_exhibits_store_buffer_reordering() {
+        // The raw machine without fences must show the MP anomaly —
+        // otherwise the litmus harness would prove nothing.
+        assert!(message_passing_violates(AtomicSupport::UnfencedBroken));
+        assert!(store_buffering_weak_outcome(AtomicSupport::UnfencedBroken));
+    }
+
+    #[test]
+    fn every_real_mapping_forbids_stale_message_passing() {
+        for support in [
+            AtomicSupport::Native,
+            AtomicSupport::InlinePtx,
+            AtomicSupport::BestEffortFences,
+        ] {
+            assert!(
+                !message_passing_violates(support),
+                "{support:?} must order data before flag"
+            );
+        }
+    }
+
+    #[test]
+    fn fenced_mappings_forbid_the_sb_weak_outcome() {
+        for support in [
+            AtomicSupport::Native,
+            AtomicSupport::InlinePtx,
+            AtomicSupport::BestEffortFences,
+        ] {
+            assert!(!store_buffering_weak_outcome(support), "{support:?}");
+        }
+    }
+
+    #[test]
+    fn every_study_chip_has_a_sound_mapping() {
+        for chip in study_chips() {
+            let support = chip_support(&chip.name);
+            assert!(
+                !message_passing_violates(support),
+                "{}: worklist publication would be racy",
+                chip.name
+            );
+        }
+    }
+
+    #[test]
+    fn lowering_shapes_match_the_platform_recipes() {
+        let rel = lower(AtomicOp::StoreRelease(0, 1), AtomicSupport::InlinePtx);
+        assert_eq!(rel, vec![Op::Fence, Op::Store(0, 1), Op::Fence]);
+        let acq = lower(AtomicOp::LoadAcquire(0, 1), AtomicSupport::BestEffortFences);
+        assert_eq!(acq, vec![Op::Load(0, 1), Op::Fence]);
+        let broken = lower(AtomicOp::StoreRelease(0, 1), AtomicSupport::UnfencedBroken);
+        assert_eq!(broken, vec![Op::Store(0, 1)]);
+    }
+
+    #[test]
+    fn explore_finds_all_sequential_outcomes() {
+        // A trivially racy pair: both store different values to the same
+        // location, then read it. Final register must be one of the two
+        // stores, and both interleavings must be found.
+        let t0 = [Op::Store(0, 1), Op::Load(0, 0)];
+        let t1 = [Op::Store(0, 2), Op::Load(0, 0)];
+        let outcomes = explore(&t0, &t1);
+        // Own-store forwarding: each thread reads at least its own value.
+        assert!(outcomes.iter().all(|(r0, r1)| r0[0] != 0 && r1[0] != 0));
+        assert!(
+            outcomes.len() >= 3,
+            "expected several interleavings, got {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn loads_forward_from_the_youngest_buffered_store() {
+        let t0 = [Op::Store(0, 1), Op::Store(0, 2), Op::Load(0, 0)];
+        let outcomes = explore(&t0, &[]);
+        assert!(outcomes.iter().all(|(r0, _)| r0[0] == 2), "{outcomes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explore_rejects_bad_locations() {
+        explore(&[Op::Store(99, 1)], &[]);
+    }
+}

@@ -1,0 +1,246 @@
+//! The three microbenchmarks of paper Section VIII, expressed against the
+//! chip model: kernel-launch utilisation (Fig. 5), subgroup atomic-RMW
+//! combining `sg-cmb` (Table X), and intra-workgroup memory divergence
+//! `m-divg` (Table X).
+
+use crate::chip::ChipProfile;
+
+/// Default number of kernel launches in the launch-overhead benchmark
+/// (paper: 10000).
+pub const LAUNCHES: u32 = 10_000;
+
+/// Default number of atomic fetch-and-add invocations in `sg-cmb`
+/// (paper: 20000).
+pub const SG_CMB_N: u32 = 20_000;
+
+/// Strided accesses per loop round in `m-divg`.
+pub const M_DIVG_ACCESSES_PER_ROUND: u32 = 64;
+
+/// Default loop rounds in `m-divg`.
+pub const M_DIVG_ROUNDS: u32 = 4_096;
+
+/// GPU utilisation when launching `launches` constant-time kernels of
+/// duration `kernel_ns`, interleaved with a one-integer device-to-host
+/// copy — the Fig. 5 experiment. Returns a fraction in `(0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `kernel_ns` is not positive or `launches` is zero.
+///
+/// # Example
+///
+/// ```
+/// use gpp_sim::chip::ChipProfile;
+/// use gpp_sim::microbench::utilisation;
+///
+/// // Nvidia's low launch overhead yields higher utilisation at equal
+/// // kernel duration.
+/// let nv = utilisation(&ChipProfile::gtx1080(), 50_000.0, 10_000);
+/// let arm = utilisation(&ChipProfile::mali(), 50_000.0, 10_000);
+/// assert!(nv > arm);
+/// ```
+pub fn utilisation(chip: &ChipProfile, kernel_ns: f64, launches: u32) -> f64 {
+    assert!(kernel_ns > 0.0, "kernel duration must be positive");
+    assert!(launches > 0, "need at least one launch");
+    let busy = launches as f64 * kernel_ns;
+    let total = launches as f64 * (kernel_ns + chip.kernel_launch_cost + chip.host_copy_cost);
+    busy / total
+}
+
+/// Result of the `sg-cmb` microbenchmark on one chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgCmbResult {
+    /// Time of `n` plain atomic fetch-and-adds on one location (ns).
+    pub base_ns: f64,
+    /// Time after manually combining all atomics in a subgroup (ns).
+    pub combined_ns: f64,
+}
+
+impl SgCmbResult {
+    /// Speedup of the combined version over the plain version.
+    pub fn speedup(&self) -> f64 {
+        self.base_ns / self.combined_ns
+    }
+}
+
+/// Runs the `sg-cmb` microbenchmark: `n` atomic fetch-and-add invocations
+/// on a single memory location, plain vs. manually subgroup-combined
+/// (paper Section VIII-b, Table X).
+///
+/// On chips whose JIT already combines subgroup RMWs (Nvidia, HD5500) the
+/// plain version is itself combined, so manual combining only adds
+/// overhead; on subgroup-size-1 chips (MALI) combining is a no-op.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn sg_cmb(chip: &ChipProfile, n: u32) -> SgCmbResult {
+    assert!(n > 0, "need at least one atomic");
+    let n = n as f64;
+    let sg = chip.subgroup_size.max(1) as f64;
+    let combined_rmws = (n / sg).ceil() * chip.atomic_rmw_cost;
+    let base_ns = if chip.jit_subgroup_combining {
+        combined_rmws
+    } else {
+        n * chip.atomic_rmw_cost
+    };
+    let combined_ns = if chip.subgroup_size <= 1 {
+        base_ns
+    } else {
+        combined_rmws + n * chip.sg_collective_cost
+    };
+    SgCmbResult {
+        base_ns,
+        combined_ns,
+    }
+}
+
+/// Result of the `m-divg` microbenchmark on one chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MDivgResult {
+    /// Time of the strided-access loop without the gratuitous barrier (ns).
+    pub no_barrier_ns: f64,
+    /// Time with a gratuitous workgroup barrier in the loop (ns).
+    pub barrier_ns: f64,
+}
+
+impl MDivgResult {
+    /// Speedup of the barrier version over the barrier-free version
+    /// (> 1 when the chip benefits from forced convergence).
+    pub fn speedup(&self) -> f64 {
+        self.no_barrier_ns / self.barrier_ns
+    }
+}
+
+/// Runs the `m-divg` microbenchmark: a loop of strided global accesses,
+/// with and without a gratuitous workgroup barrier per round (paper
+/// Section VIII-c, Table X). The barrier keeps threads of the workgroup
+/// within one round of each other, relieving memory divergence.
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero.
+pub fn m_divg(chip: &ChipProfile, rounds: u32) -> MDivgResult {
+    assert!(rounds > 0, "need at least one round");
+    let rounds = rounds as f64;
+    let per_round_mem = M_DIVG_ACCESSES_PER_ROUND as f64 * chip.global_mem_cost;
+    let no_barrier_ns = rounds * per_round_mem * chip.divergence_factor(false);
+    let barrier_ns = rounds * (per_round_mem * chip.divergence_factor(true) + chip.wg_barrier(128));
+    MDivgResult {
+        no_barrier_ns,
+        barrier_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::{study_chip, study_chips};
+
+    #[test]
+    fn utilisation_in_unit_interval_and_monotone_in_kernel_time() {
+        for chip in study_chips() {
+            let u_short = utilisation(&chip, 1_000.0, LAUNCHES);
+            let u_long = utilisation(&chip, 1_000_000.0, LAUNCHES);
+            assert!(u_short > 0.0 && u_short < 1.0);
+            assert!(u_long > u_short, "{}", chip.name);
+        }
+    }
+
+    #[test]
+    fn nvidia_utilisation_dominates_at_all_kernel_times() {
+        // Fig. 5: Nvidia chips have the highest utilisation curves.
+        let nvidia = [study_chip("M4000").unwrap(), study_chip("GTX1080").unwrap()];
+        let others: Vec<_> = study_chips()
+            .into_iter()
+            .filter(|c| !["M4000", "GTX1080"].contains(&c.name.as_str()))
+            .collect();
+        for k in [5_000.0, 20_000.0, 100_000.0, 400_000.0] {
+            let nv_min = nvidia
+                .iter()
+                .map(|c| utilisation(c, k, LAUNCHES))
+                .fold(1.0, f64::min);
+            let other_max = others
+                .iter()
+                .map(|c| utilisation(c, k, LAUNCHES))
+                .fold(0.0, f64::max);
+            assert!(nv_min > other_max, "kernel {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn utilisation_rejects_zero_kernel_time() {
+        utilisation(&study_chip("R9").unwrap(), 0.0, 10);
+    }
+
+    #[test]
+    fn sg_cmb_speedups_match_paper_shape() {
+        // Table X: large on R9 (~22x) and IRIS (~8x); ~1 or below
+        // elsewhere.
+        let r9 = sg_cmb(&study_chip("R9").unwrap(), SG_CMB_N).speedup();
+        assert!(r9 > 15.0 && r9 < 40.0, "R9 sg-cmb speedup {r9}");
+        let iris = sg_cmb(&study_chip("IRIS").unwrap(), SG_CMB_N).speedup();
+        assert!(iris > 5.0 && iris < 12.0, "IRIS sg-cmb speedup {iris}");
+        for name in ["M4000", "GTX1080", "HD5500"] {
+            let s = sg_cmb(&study_chip(name).unwrap(), SG_CMB_N).speedup();
+            assert!(s <= 1.0, "{name} sg-cmb should not speed up, got {s}");
+            assert!(s > 0.4, "{name} sg-cmb slowdown too extreme: {s}");
+        }
+        let mali = sg_cmb(&study_chip("MALI").unwrap(), SG_CMB_N).speedup();
+        assert!(
+            (mali - 1.0).abs() < 1e-9,
+            "MALI sg-cmb must be a no-op, got {mali}"
+        );
+    }
+
+    #[test]
+    fn sg_cmb_combined_fraction_of_subgroup_size() {
+        // Paper: the speedup is a fraction of the subgroup size.
+        let r9 = study_chip("R9").unwrap();
+        let s = sg_cmb(&r9, SG_CMB_N).speedup();
+        assert!(s < r9.subgroup_size as f64);
+    }
+
+    #[test]
+    fn m_divg_mali_is_the_outlier() {
+        // Table X: all chips benefit, MALI by ~6.45x.
+        let mut best = ("", 0.0f64);
+        for chip in study_chips() {
+            let s = m_divg(&chip, M_DIVG_ROUNDS).speedup();
+            assert!(
+                s >= 0.95,
+                "{}: m-divg {s} should not significantly hurt",
+                chip.name
+            );
+            if s > best.1 {
+                best = (Box::leak(chip.name.clone().into_boxed_str()), s);
+            }
+        }
+        assert_eq!(best.0, "MALI");
+        assert!(
+            best.1 > 4.0 && best.1 < 9.0,
+            "MALI m-divg speedup {}",
+            best.1
+        );
+    }
+
+    #[test]
+    fn m_divg_other_chips_modest() {
+        for name in ["M4000", "GTX1080", "HD5500", "IRIS", "R9"] {
+            let s = m_divg(&study_chip(name).unwrap(), M_DIVG_ROUNDS).speedup();
+            assert!(s < 2.0, "{name}: m-divg speedup {s} should be modest");
+        }
+    }
+
+    #[test]
+    fn results_scale_linearly_with_inputs() {
+        let chip = study_chip("IRIS").unwrap();
+        let a = sg_cmb(&chip, 10_000);
+        let b = sg_cmb(&chip, 20_000);
+        assert!((b.base_ns / a.base_ns - 2.0).abs() < 0.01);
+        let c = m_divg(&chip, 100);
+        let d = m_divg(&chip, 200);
+        assert!((d.no_barrier_ns / c.no_barrier_ns - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,464 @@
+//! The optimisation space of the study (paper Section V).
+//!
+//! Six optimisation axes are modelled, exactly as in the paper:
+//!
+//! - `coop-cv` — cooperative conversion: combine worklist-push atomic RMWs
+//!   within a subgroup into one RMW (Section V-A);
+//! - `wg` / `sg` / `fg` — nested-parallelism load balancing at workgroup,
+//!   subgroup, and fine-grained granularity; `fg` takes a
+//!   one-edge-per-iteration (`fg1`) or eight-edge (`fg8`) variant
+//!   (Section V-B);
+//! - `oitergb` — iteration outlining using a portable global barrier
+//!   (Section V-C);
+//! - `sz256` — workgroup size 256 instead of the default 128 (Section V-D).
+//!
+//! `coop-cv`, `wg`, `sg`, `oitergb` and `sz256` are independent booleans;
+//! `fg` is three-valued. The full space therefore has
+//! `2^5 × 3 = 96` configurations: the baseline plus the paper's "95
+//! optimisation combinations".
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The fine-grained load-balancing mode (paper `fg1` / `fg8`).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum FgMode {
+    /// Fine-grained balancing disabled.
+    #[default]
+    Off,
+    /// One edge processed per inspector/executor iteration.
+    Fg1,
+    /// Eight edges processed per inspector/executor iteration.
+    Fg8,
+}
+
+/// The binary view of the optimisation space used by the statistical
+/// analysis: `fg1` and `fg8` are treated as two mutually exclusive binary
+/// optimisations, exactly as in the paper (Section III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Optimization {
+    /// Cooperative conversion of worklist-push RMWs.
+    CoopCv,
+    /// Workgroup-level nested parallelism.
+    Wg,
+    /// Subgroup-level nested parallelism.
+    Sg,
+    /// Fine-grained nested parallelism, one edge per iteration.
+    Fg1,
+    /// Fine-grained nested parallelism, eight edges per iteration.
+    Fg8,
+    /// Iteration outlining with a portable global barrier.
+    Oitergb,
+    /// Workgroup size 256 (default is 128).
+    Sz256,
+}
+
+impl Optimization {
+    /// All seven binary optimisations, in the paper's naming order.
+    pub const ALL: [Optimization; 7] = [
+        Optimization::CoopCv,
+        Optimization::Wg,
+        Optimization::Sg,
+        Optimization::Fg1,
+        Optimization::Fg8,
+        Optimization::Oitergb,
+        Optimization::Sz256,
+    ];
+
+    /// The paper's sans-serif name for this optimisation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Optimization::CoopCv => "coop-cv",
+            Optimization::Wg => "wg",
+            Optimization::Sg => "sg",
+            Optimization::Fg1 => "fg",
+            Optimization::Fg8 => "fg8",
+            Optimization::Oitergb => "oitergb",
+            Optimization::Sz256 => "sz256",
+        }
+    }
+
+    /// Parses a paper-style optimisation name.
+    pub fn parse(name: &str) -> Option<Optimization> {
+        Optimization::ALL.into_iter().find(|o| o.name() == name)
+    }
+}
+
+impl fmt::Display for Optimization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing optimisation names fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOptError {
+    token: String,
+}
+
+impl fmt::Display for ParseOptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown optimisation `{}`", self.token)
+    }
+}
+
+impl std::error::Error for ParseOptError {}
+
+impl std::str::FromStr for Optimization {
+    type Err = ParseOptError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Optimization::parse(s).ok_or_else(|| ParseOptError {
+            token: s.to_owned(),
+        })
+    }
+}
+
+impl std::str::FromStr for OptConfig {
+    type Err = ParseOptError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        OptConfig::parse(s).ok_or_else(|| ParseOptError {
+            token: s.to_owned(),
+        })
+    }
+}
+
+/// One point in the 96-configuration optimisation space.
+///
+/// # Example
+///
+/// ```
+/// use gpp_sim::opts::{OptConfig, Optimization};
+///
+/// let cfg = OptConfig::baseline().with(Optimization::Sg).with(Optimization::Fg8);
+/// assert_eq!(cfg.to_string(), "sg, fg8");
+/// assert_eq!(cfg.workgroup_size(), 128);
+/// assert!(cfg.enables(Optimization::Fg8));
+/// assert!(!cfg.enables(Optimization::Fg1)); // fg1 and fg8 are exclusive
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct OptConfig {
+    /// Cooperative conversion enabled.
+    pub coop_cv: bool,
+    /// Workgroup-level load balancing enabled.
+    pub wg: bool,
+    /// Subgroup-level load balancing enabled.
+    pub sg: bool,
+    /// Fine-grained load balancing mode.
+    pub fg: FgMode,
+    /// Iteration outlining enabled.
+    pub oitergb: bool,
+    /// Workgroup size 256 (otherwise 128).
+    pub sz256: bool,
+}
+
+/// Number of points in the optimisation space (baseline + 95 combinations).
+pub const NUM_CONFIGS: usize = 96;
+
+impl OptConfig {
+    /// The baseline configuration: every optimisation disabled.
+    pub fn baseline() -> Self {
+        OptConfig::default()
+    }
+
+    /// Whether this is the baseline (no optimisations).
+    pub fn is_baseline(&self) -> bool {
+        *self == OptConfig::default()
+    }
+
+    /// The workgroup size implied by `sz256` (paper Section V-D).
+    pub fn workgroup_size(&self) -> u32 {
+        if self.sz256 {
+            256
+        } else {
+            128
+        }
+    }
+
+    /// Whether the given binary optimisation is enabled.
+    pub fn enables(&self, opt: Optimization) -> bool {
+        match opt {
+            Optimization::CoopCv => self.coop_cv,
+            Optimization::Wg => self.wg,
+            Optimization::Sg => self.sg,
+            Optimization::Fg1 => self.fg == FgMode::Fg1,
+            Optimization::Fg8 => self.fg == FgMode::Fg8,
+            Optimization::Oitergb => self.oitergb,
+            Optimization::Sz256 => self.sz256,
+        }
+    }
+
+    /// Returns a copy with `opt` enabled. Enabling `fg1` turns off `fg8`
+    /// and vice versa (they are mutually exclusive).
+    #[must_use]
+    pub fn with(mut self, opt: Optimization) -> Self {
+        match opt {
+            Optimization::CoopCv => self.coop_cv = true,
+            Optimization::Wg => self.wg = true,
+            Optimization::Sg => self.sg = true,
+            Optimization::Fg1 => self.fg = FgMode::Fg1,
+            Optimization::Fg8 => self.fg = FgMode::Fg8,
+            Optimization::Oitergb => self.oitergb = true,
+            Optimization::Sz256 => self.sz256 = true,
+        }
+        self
+    }
+
+    /// Returns a copy with `opt` disabled — the "mirror setting" of
+    /// Algorithm 1 line 12. Disabling `fg1` or `fg8` sets `fg` off.
+    #[must_use]
+    pub fn without(mut self, opt: Optimization) -> Self {
+        match opt {
+            Optimization::CoopCv => self.coop_cv = false,
+            Optimization::Wg => self.wg = false,
+            Optimization::Sg => self.sg = false,
+            Optimization::Fg1 | Optimization::Fg8 => self.fg = FgMode::Off,
+            Optimization::Oitergb => self.oitergb = false,
+            Optimization::Sz256 => self.sz256 = false,
+        }
+        self
+    }
+
+    /// Builds a configuration from a set of binary optimisations.
+    ///
+    /// Later entries win if both `fg1` and `fg8` are given.
+    pub fn from_opts<I: IntoIterator<Item = Optimization>>(opts: I) -> Self {
+        opts.into_iter()
+            .fold(OptConfig::baseline(), OptConfig::with)
+    }
+
+    /// The binary optimisations enabled in this configuration, in
+    /// [`Optimization::ALL`] order.
+    pub fn enabled_opts(&self) -> Vec<Optimization> {
+        Optimization::ALL
+            .into_iter()
+            .filter(|&o| self.enables(o))
+            .collect()
+    }
+
+    /// The dense index of this configuration in [`all_configs`]
+    /// (`0 == baseline`).
+    pub fn index(&self) -> usize {
+        let fg = match self.fg {
+            FgMode::Off => 0,
+            FgMode::Fg1 => 1,
+            FgMode::Fg8 => 2,
+        };
+        (((((fg * 2) + usize::from(self.coop_cv)) * 2 + usize::from(self.wg)) * 2
+            + usize::from(self.sg))
+            * 2
+            + usize::from(self.oitergb))
+            * 2
+            + usize::from(self.sz256)
+    }
+
+    /// Inverse of [`OptConfig::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_CONFIGS`.
+    pub fn from_index(index: usize) -> Self {
+        assert!(index < NUM_CONFIGS, "config index {index} out of range");
+        let sz256 = index % 2 == 1;
+        let index = index / 2;
+        let oitergb = index % 2 == 1;
+        let index = index / 2;
+        let sg = index % 2 == 1;
+        let index = index / 2;
+        let wg = index % 2 == 1;
+        let index = index / 2;
+        let coop_cv = index % 2 == 1;
+        let fg = match index / 2 {
+            0 => FgMode::Off,
+            1 => FgMode::Fg1,
+            _ => FgMode::Fg8,
+        };
+        OptConfig {
+            coop_cv,
+            wg,
+            sg,
+            fg,
+            oitergb,
+            sz256,
+        }
+    }
+
+    /// Parses a comma-separated list of paper-style names
+    /// (e.g. `"sg, fg8, oitergb"`); the empty string (or `"baseline"`)
+    /// is the baseline.
+    pub fn parse(text: &str) -> Option<Self> {
+        let text = text.trim();
+        if text.is_empty() || text == "baseline" {
+            return Some(OptConfig::baseline());
+        }
+        let mut cfg = OptConfig::baseline();
+        for tok in text.split(',') {
+            cfg = cfg.with(Optimization::parse(tok.trim())?);
+        }
+        Some(cfg)
+    }
+}
+
+impl fmt::Display for OptConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_baseline() {
+            return f.write_str("baseline");
+        }
+        let names: Vec<&str> = self.enabled_opts().iter().map(|o| o.name()).collect();
+        f.write_str(&names.join(", "))
+    }
+}
+
+/// All 96 configurations (baseline first), in [`OptConfig::index`] order.
+pub fn all_configs() -> Vec<OptConfig> {
+    (0..NUM_CONFIGS).map(OptConfig::from_index).collect()
+}
+
+/// All configurations in which the given binary optimisation is enabled —
+/// `ALL_OPT_SETTINGS(opt)` from Algorithm 1 (line 11). There are 48 such
+/// settings for the five boolean optimisations and 32 for `fg1`/`fg8`.
+pub fn settings_enabling(opt: Optimization) -> Vec<OptConfig> {
+    all_configs()
+        .into_iter()
+        .filter(|c| c.enables(opt))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn space_has_96_distinct_points() {
+        let configs = all_configs();
+        assert_eq!(configs.len(), 96);
+        let set: HashSet<OptConfig> = configs.iter().copied().collect();
+        assert_eq!(set.len(), 96);
+    }
+
+    #[test]
+    fn exactly_one_baseline_and_95_optimised() {
+        let configs = all_configs();
+        assert_eq!(configs.iter().filter(|c| c.is_baseline()).count(), 1);
+        assert_eq!(configs.iter().filter(|c| !c.is_baseline()).count(), 95);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, cfg) in all_configs().into_iter().enumerate() {
+            assert_eq!(cfg.index(), i);
+            assert_eq!(OptConfig::from_index(i), cfg);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_rejects_out_of_range() {
+        OptConfig::from_index(96);
+    }
+
+    #[test]
+    fn fg_modes_are_exclusive() {
+        let cfg = OptConfig::baseline()
+            .with(Optimization::Fg1)
+            .with(Optimization::Fg8);
+        assert!(cfg.enables(Optimization::Fg8));
+        assert!(!cfg.enables(Optimization::Fg1));
+        let cfg = cfg.with(Optimization::Fg1);
+        assert!(cfg.enables(Optimization::Fg1));
+        assert!(!cfg.enables(Optimization::Fg8));
+    }
+
+    #[test]
+    fn without_is_mirror_setting() {
+        for opt in Optimization::ALL {
+            for cfg in settings_enabling(opt) {
+                let mirror = cfg.without(opt);
+                assert!(!mirror.enables(opt));
+                // The mirror differs only in `opt`.
+                for other in Optimization::ALL {
+                    if other != opt {
+                        assert_eq!(
+                            cfg.enables(other),
+                            mirror.enables(other),
+                            "{cfg} vs {mirror}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn settings_enabling_counts() {
+        assert_eq!(settings_enabling(Optimization::Sg).len(), 48);
+        assert_eq!(settings_enabling(Optimization::Fg1).len(), 32);
+        assert_eq!(settings_enabling(Optimization::Fg8).len(), 32);
+    }
+
+    #[test]
+    fn workgroup_sizes() {
+        assert_eq!(OptConfig::baseline().workgroup_size(), 128);
+        assert_eq!(
+            OptConfig::baseline()
+                .with(Optimization::Sz256)
+                .workgroup_size(),
+            256
+        );
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for cfg in all_configs() {
+            let text = cfg.to_string();
+            assert_eq!(OptConfig::parse(&text), Some(cfg), "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_names() {
+        assert_eq!(OptConfig::parse("sg, turbo"), None);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let cfg = OptConfig::from_opts([Optimization::Wg, Optimization::Fg8]);
+        assert_eq!(cfg.to_string(), "wg, fg8");
+        assert_eq!(OptConfig::baseline().to_string(), "baseline");
+    }
+
+    #[test]
+    fn from_opts_builds_expected_config() {
+        let cfg = OptConfig::from_opts([Optimization::Sz256, Optimization::Oitergb]);
+        assert!(cfg.sz256 && cfg.oitergb && !cfg.wg && !cfg.sg && !cfg.coop_cv);
+        assert_eq!(cfg.fg, FgMode::Off);
+    }
+
+    #[test]
+    fn from_str_conforms() {
+        use std::str::FromStr;
+        assert_eq!(Optimization::from_str("fg8"), Ok(Optimization::Fg8));
+        assert!(Optimization::from_str("warp").is_err());
+        assert_eq!(
+            "sg, fg8".parse::<OptConfig>().unwrap().to_string(),
+            "sg, fg8"
+        );
+        let err = "sg, warp".parse::<OptConfig>().unwrap_err();
+        assert!(err.to_string().contains("sg, warp"));
+    }
+
+    #[test]
+    fn optimization_parse_names() {
+        for opt in Optimization::ALL {
+            assert_eq!(Optimization::parse(opt.name()), Some(opt));
+        }
+        assert_eq!(Optimization::parse("nope"), None);
+    }
+}

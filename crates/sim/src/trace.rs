@@ -1,0 +1,232 @@
+//! Record-once, replay-everywhere execution traces.
+//!
+//! The kernel sequence an application executes — which frontiers it
+//! processes, with which degrees and worklist pushes — depends only on the
+//! application and its input graph, *not* on the chip or the optimisation
+//! configuration (the optimisations of the study are semantics-preserving
+//! program transformations). The study exploits this: each (application,
+//! input) pair is executed once against a [`Recorder`], and the recorded
+//! [`Trace`] is then replayed against every chip × configuration cell,
+//! which only re-prices the same work.
+//!
+//! Replay cost is further reduced by pre-aggregating each recorded
+//! frontier per (workgroup size, subgroup size) pair — see
+//! [`crate::exec::CallAggregates`] — so that one replay costs time
+//! proportional to the number of workgroups, not nodes.
+//!
+//! # Example
+//!
+//! ```
+//! use gpp_sim::chip::ChipProfile;
+//! use gpp_sim::exec::{Executor, KernelProfile, Machine, WorkItem};
+//! use gpp_sim::opts::OptConfig;
+//! use gpp_sim::trace::{CompiledTrace, Recorder};
+//!
+//! let mut rec = Recorder::new();
+//! rec.kernel(&KernelProfile::frontier("bfs"), &[WorkItem::new(5, 2); 100]);
+//! let mut compiled = CompiledTrace::new(rec.into_trace());
+//!
+//! let machine = Machine::new(ChipProfile::r9());
+//! let stats = compiled.replay(&machine, OptConfig::baseline());
+//! assert_eq!(stats.kernels, 1);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::exec::{CallAggregates, Executor, KernelProfile, Machine, RunStats, WorkItem};
+use crate::opts::OptConfig;
+
+/// One recorded kernel invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCall {
+    /// The kernel's operation-count profile.
+    pub profile: KernelProfile,
+    /// The frontier it processed.
+    pub items: Vec<WorkItem>,
+}
+
+/// A recorded application run: the exact sequence of kernel invocations
+/// with their frontiers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    calls: Vec<TraceCall>,
+}
+
+impl Trace {
+    /// The recorded kernel invocations, in execution order.
+    pub fn calls(&self) -> &[TraceCall] {
+        &self.calls
+    }
+
+    /// Number of recorded kernel invocations.
+    pub fn num_kernels(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Total work items over all invocations.
+    pub fn num_items(&self) -> usize {
+        self.calls.iter().map(|c| c.items.len()).sum()
+    }
+
+    /// Total edges over all invocations.
+    pub fn num_edges(&self) -> u64 {
+        self.calls
+            .iter()
+            .map(|c| c.items.iter().map(|i| i.degree as u64).sum::<u64>())
+            .sum()
+    }
+}
+
+/// An [`Executor`] that records instead of timing.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    trace: Trace,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Consumes the recorder, returning the recorded trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl Executor for Recorder {
+    fn kernel(&mut self, profile: &KernelProfile, items: &[WorkItem]) {
+        self.trace.calls.push(TraceCall {
+            profile: profile.clone(),
+            items: items.to_vec(),
+        });
+    }
+}
+
+/// A trace plus its lazily built per-(workgroup size, subgroup size)
+/// aggregations, ready for cheap replay on any chip and configuration.
+#[derive(Debug, Clone)]
+pub struct CompiledTrace {
+    trace: Trace,
+    // Keyed by (wg_size, sg_size); one CallAggregates per trace call.
+    compiled: HashMap<(u32, u32), Vec<CallAggregates>>,
+}
+
+impl CompiledTrace {
+    /// Wraps a trace for replay.
+    pub fn new(trace: Trace) -> Self {
+        CompiledTrace {
+            trace,
+            compiled: HashMap::new(),
+        }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Replays the trace on `machine` under `config`, returning the same
+    /// statistics a live [`crate::exec::Session`] would produce.
+    ///
+    /// The first replay for a given (workgroup size, subgroup size) pair
+    /// builds the aggregation; subsequent replays reuse it.
+    pub fn replay(&mut self, machine: &Machine, config: OptConfig) -> RunStats {
+        let mut session = machine.session(config);
+        let key = (
+            session.workgroup_size(),
+            machine.chip().subgroup_size.max(1),
+        );
+        if !self.compiled.contains_key(&key) {
+            let aggs = self
+                .trace
+                .calls
+                .iter()
+                .map(|c| CallAggregates::from_items(&c.items, key.0, key.1))
+                .collect();
+            self.compiled.insert(key, aggs);
+        }
+        let aggs = &self.compiled[&key];
+        for (call, agg) in self.trace.calls.iter().zip(aggs.iter()) {
+            session.kernel_aggregated(&call.profile, agg);
+        }
+        session.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::{study_chips, ChipProfile};
+    use crate::exec::Session;
+    use crate::opts::all_configs;
+
+    fn sample_trace() -> Trace {
+        let mut rec = Recorder::new();
+        let profile = KernelProfile::frontier("bfs");
+        for iter in 0..10u32 {
+            let items: Vec<WorkItem> = (0..500)
+                .map(|i| WorkItem::new(1 + (i * iter) % 97, (i % 3 == 0) as u32))
+                .collect();
+            rec.kernel(&profile, &items);
+        }
+        rec.into_trace()
+    }
+
+    #[test]
+    fn recorder_captures_calls_in_order() {
+        let trace = sample_trace();
+        assert_eq!(trace.num_kernels(), 10);
+        assert_eq!(trace.num_items(), 5_000);
+        assert!(trace.num_edges() > 0);
+        assert_eq!(trace.calls()[0].items.len(), 500);
+    }
+
+    #[test]
+    fn replay_matches_live_session_on_all_chips_and_configs() {
+        let trace = sample_trace();
+        for chip in study_chips() {
+            let machine = Machine::new(chip.clone());
+            let mut compiled = CompiledTrace::new(trace.clone());
+            for cfg in all_configs().into_iter().step_by(7) {
+                let mut live = machine.session(cfg);
+                for call in trace.calls() {
+                    Session::kernel(&mut live, &call.profile, &call.items);
+                }
+                let live_stats = live.finish();
+                let replay_stats = compiled.replay(&machine, cfg);
+                assert_eq!(live_stats, replay_stats, "{} {cfg}", chip.name);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_repeatable() {
+        let mut compiled = CompiledTrace::new(sample_trace());
+        let machine = Machine::new(ChipProfile::mali());
+        let a = compiled.replay(&machine, OptConfig::baseline());
+        let b = compiled.replay(&machine, OptConfig::baseline());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_trace_replays_to_zero_kernels() {
+        let mut compiled = CompiledTrace::new(Trace::default());
+        let machine = Machine::new(ChipProfile::m4000());
+        let stats = compiled.replay(&machine, OptConfig::baseline());
+        assert_eq!(stats.kernels, 0);
+        assert_eq!(stats.time_ns, 0.0);
+    }
+
+    #[test]
+    fn compilation_is_cached_per_geometry() {
+        let mut compiled = CompiledTrace::new(sample_trace());
+        let m1 = Machine::new(ChipProfile::m4000()); // sg 32
+        let m2 = Machine::new(ChipProfile::r9()); // sg 64
+        compiled.replay(&m1, OptConfig::baseline());
+        compiled.replay(&m2, OptConfig::baseline());
+        compiled.replay(&m1, OptConfig::from_index(1)); // sz256 -> new wg size
+        assert_eq!(compiled.compiled.len(), 3);
+    }
+}

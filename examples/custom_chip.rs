@@ -1,0 +1,104 @@
+//! Extending the study to a new device: define a custom chip profile
+//! with the builder, run applications on it, and use the analysis to
+//! derive an optimisation configuration specialised to it.
+//!
+//! The hypothetical chip below is an integrated GPU with slow atomics,
+//! no JIT RMW combining, and very high launch overhead — the analysis
+//! should recommend both `coop-cv` and `oitergb` for it.
+//!
+//! ```sh
+//! cargo run --release --example custom_chip
+//! ```
+
+use gpp::apps::app::validate;
+use gpp::apps::apps::all_applications;
+use gpp::apps::inputs::{study_inputs, StudyScale};
+use gpp::core::report::Table;
+use gpp::core::stats::{mann_whitney_u, median};
+use gpp::sim::chip::{ChipProfile, Vendor};
+use gpp::sim::exec::Machine;
+use gpp::sim::opts::{settings_enabling, OptConfig, Optimization};
+use gpp::sim::trace::{CompiledTrace, Recorder};
+
+fn main() {
+    let chip = ChipProfile::builder("NEWCHIP", Vendor::Intel)
+        .num_cus(16)
+        .subgroup_size(16)
+        .lockstep_subgroups(false)
+        .atomic_rmw_cost(150.0)
+        .jit_subgroup_combining(false)
+        .sg_collective_cost(4.0)
+        .kernel_launch_cost(25_000.0)
+        .host_copy_cost(12_000.0)
+        .build();
+    println!(
+        "custom chip: {} ({} CUs, subgroup {})\n",
+        chip.name, chip.num_cus, chip.subgroup_size
+    );
+    let machine = Machine::new(chip);
+
+    // Collect one trace per (application, input) and price every
+    // configuration on the new chip.
+    let inputs = study_inputs(StudyScale::Small, 11);
+    let apps = all_applications();
+    let mut timings: Vec<Vec<f64>> = Vec::new(); // [test][config]
+    for input in &inputs {
+        for app in &apps {
+            let mut rec = Recorder::new();
+            let out = app.run(&input.graph, &mut rec);
+            validate(&input.graph, &out)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", app.name(), input.name));
+            let mut compiled = CompiledTrace::new(rec.into_trace());
+            let times: Vec<f64> = (0..gpp::sim::opts::NUM_CONFIGS)
+                .map(|i| compiled.replay(&machine, OptConfig::from_index(i)).time_ns)
+                .collect();
+            timings.push(times);
+        }
+    }
+
+    // A single-chip variant of Algorithm 1: for each optimisation,
+    // compare each enabling configuration with its mirror across all
+    // tests (no repetition noise here, so every non-trivial difference
+    // counts as a sample).
+    println!("per-optimisation analysis on {}:\n", machine.chip().name);
+    let mut table = Table::new(["Optimisation", "Verdict", "p-value", "Effect size"]);
+    let mut recommended = OptConfig::baseline();
+    for opt in Optimization::ALL {
+        let mut a = Vec::new();
+        for os in settings_enabling(opt) {
+            let mirror = os.without(opt);
+            for times in &timings {
+                let (t_on, t_off) = (times[os.index()], times[mirror.index()]);
+                if (t_on / t_off - 1.0).abs() > 0.02 {
+                    a.push(t_on / t_off);
+                }
+            }
+        }
+        let b = vec![1.0; a.len()];
+        let verdict = match mann_whitney_u(&a, &b) {
+            Some(r) if r.p_value < 0.05 && median(&a) < 1.0 => {
+                recommended = recommended.with(opt);
+                table.row([
+                    opt.name().to_string(),
+                    "enable".to_string(),
+                    format!("{:.3}", r.p_value),
+                    format!("{:.2}", r.effect_size),
+                ]);
+                continue;
+            }
+            Some(r) => format!("skip (p={:.3}, effect {:.2})", r.p_value, r.effect_size),
+            None => "skip (no evidence)".to_string(),
+        };
+        table.row([
+            opt.name().to_string(),
+            verdict,
+            String::new(),
+            String::new(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "recommended configuration for {}: {recommended}",
+        machine.chip().name
+    );
+}

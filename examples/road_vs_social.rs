@@ -1,0 +1,72 @@
+//! The input dimension: the same application on a road network and a
+//! social network wants different optimisations (paper Section VI-C).
+//!
+//! Road networks have huge diameters and tiny frontiers, so runtime is
+//! dominated by kernel-launch overhead and `oitergb` wins; social
+//! networks have skewed degrees, so load balancing (`fg8`) wins.
+//!
+//! ```sh
+//! cargo run --release --example road_vs_social
+//! ```
+
+use gpp::apps::app::Application;
+use gpp::apps::apps::bfs::BfsWl;
+use gpp::core::report::Table;
+use gpp::graph::properties;
+use gpp::graph::{generators, Graph};
+use gpp::sim::chip::ChipProfile;
+use gpp::sim::exec::Machine;
+use gpp::sim::opts::{OptConfig, Optimization};
+
+fn run_ns(machine: &Machine, graph: &Graph, cfg: OptConfig) -> f64 {
+    let mut session = machine.session(cfg);
+    BfsWl.run(graph, &mut session);
+    session.finish().time_ns
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let road = generators::road_grid(64, 64, 5)?;
+    let social = generators::rmat(12, 8, 5)?;
+    for (name, g) in [("road", &road), ("social", &social)] {
+        let stats = properties::degree_stats(g);
+        println!(
+            "{name}: {} nodes, diameter ~{}, degree cv {:.2}, classified as {}",
+            g.num_nodes(),
+            properties::estimate_diameter(g),
+            stats.cv,
+            properties::classify(g)
+        );
+    }
+
+    let machine = Machine::new(ChipProfile::r9());
+    println!(
+        "\nBFS (worklist) on {}: speedup over baseline\n",
+        machine.chip().name
+    );
+    let mut t = Table::new(["Configuration", "road", "social"]);
+    for (name, cfg) in [
+        ("oitergb", OptConfig::baseline().with(Optimization::Oitergb)),
+        ("fg8", OptConfig::baseline().with(Optimization::Fg8)),
+        ("coop-cv", OptConfig::baseline().with(Optimization::CoopCv)),
+        (
+            "oitergb, fg8, coop-cv",
+            OptConfig::from_opts([
+                Optimization::Oitergb,
+                Optimization::Fg8,
+                Optimization::CoopCv,
+            ]),
+        ),
+    ] {
+        let mut row = vec![name.to_string()];
+        for g in [&road, &social] {
+            let base = run_ns(&machine, g, OptConfig::baseline());
+            let with = run_ns(&machine, g, cfg);
+            row.push(format!("{:.2}x", base / with));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+    println!("oitergb carries the road input (launch-bound, ~hundreds of tiny");
+    println!("kernels); fg8 carries the social input (one skewed kernel per level).");
+    Ok(())
+}

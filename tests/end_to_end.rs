@@ -1,0 +1,106 @@
+//! Cross-crate integration: every application computes correct results on
+//! every study input, timing sessions agree with trace replay, and the
+//! dataset pipeline is deterministic and serialisable.
+
+use gpp::apps::app::validate;
+use gpp::apps::apps::all_applications;
+use gpp::apps::inputs::{study_inputs, StudyScale};
+use gpp::apps::study::{run_study, Dataset, StudyConfig};
+use gpp::sim::chip::study_chips;
+use gpp::sim::exec::Machine;
+use gpp::sim::opts::{all_configs, OptConfig};
+use gpp::sim::trace::{CompiledTrace, Recorder};
+
+#[test]
+fn every_application_is_correct_on_every_study_input() {
+    for input in study_inputs(StudyScale::Small, 99) {
+        for app in all_applications() {
+            let mut rec = Recorder::new();
+            let out = app.run(&input.graph, &mut rec);
+            validate(&input.graph, &out)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", app.name(), input.name));
+            assert!(
+                rec.into_trace().num_kernels() > 0,
+                "{} recorded no kernels",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn timed_sessions_agree_with_trace_replay() {
+    let inputs = study_inputs(StudyScale::Tiny, 5);
+    let graph = &inputs[1].graph; // social
+    for app in all_applications().into_iter().take(6) {
+        let mut rec = Recorder::new();
+        app.run(graph, &mut rec);
+        let mut compiled = CompiledTrace::new(rec.into_trace());
+        for chip in study_chips() {
+            let machine = Machine::new(chip);
+            for idx in [0usize, 33, 95] {
+                let cfg = OptConfig::from_index(idx);
+                let mut session = machine.session(cfg);
+                app.run(graph, &mut session);
+                let live = session.finish();
+                let replayed = compiled.replay(&machine, cfg);
+                assert_eq!(
+                    live,
+                    replayed,
+                    "{} on {} cfg {cfg}",
+                    app.name(),
+                    machine.chip().name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn application_results_do_not_depend_on_the_executor() {
+    let inputs = study_inputs(StudyScale::Tiny, 5);
+    let machine = Machine::new(study_chips().remove(4)); // R9
+    for input in &inputs {
+        for app in all_applications() {
+            let mut rec = Recorder::new();
+            let out_recorded = app.run(&input.graph, &mut rec);
+            let mut session = machine.session(OptConfig::baseline());
+            let out_timed = app.run(&input.graph, &mut session);
+            assert_eq!(out_recorded, out_timed, "{} on {}", app.name(), input.name);
+        }
+    }
+}
+
+#[test]
+fn study_dataset_round_trips_and_is_deterministic() {
+    let cfg = StudyConfig::tiny();
+    let a = run_study(&cfg);
+    let b = run_study(&cfg);
+    assert_eq!(a, b, "study must be a pure function of its configuration");
+
+    let dir = std::env::temp_dir().join(format!("gpp-e2e-{}", std::process::id()));
+    let path = dir.join("ds.json");
+    a.save_json(&path).expect("save");
+    let back = Dataset::load_json(&path).expect("load");
+    assert_eq!(a, back);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_configuration_prices_every_cell_positively() {
+    let ds = run_study(&StudyConfig::tiny());
+    assert_eq!(all_configs().len(), 96);
+    for cell in &ds.cells {
+        for (idx, runs) in cell.times.iter().enumerate() {
+            for &t in runs {
+                assert!(
+                    t.is_finite() && t > 0.0,
+                    "{}/{}/{} config {idx}: {t}",
+                    cell.app,
+                    cell.input,
+                    cell.chip
+                );
+            }
+        }
+    }
+}

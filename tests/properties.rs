@@ -1,0 +1,183 @@
+//! Property-based tests spanning the workspace: graph invariants,
+//! application correctness on arbitrary graphs, cost-model sanity, and
+//! statistical invariances.
+
+use gpp::apps::app::validate;
+use gpp::apps::apps::all_applications;
+use gpp::core::stats::{geomean, mann_whitney_u, median};
+use gpp::graph::{properties, GraphBuilder, NodeId};
+use gpp::sim::chip::study_chips;
+use gpp::sim::exec::{CallAggregates, KernelProfile, Machine, Session, WorkItem};
+use gpp::sim::opts::OptConfig;
+use proptest::prelude::*;
+
+/// An arbitrary undirected weighted graph as (node count, edge list).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId, u32)>)> {
+    (2usize..60).prop_flat_map(|n| {
+        let edges =
+            proptest::collection::vec((0..n as NodeId, 0..n as NodeId, 1u32..50), 0..(n * 3));
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(NodeId, NodeId, u32)]) -> gpp::graph::Graph {
+    let mut b = GraphBuilder::new(n);
+    b.undirected();
+    for &(u, v, w) in edges {
+        b.weighted_edge(u, v, w);
+    }
+    b.build().expect("in-bounds edges")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSR invariants hold for any edge list.
+    #[test]
+    fn csr_invariants((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        prop_assert_eq!(g.num_nodes(), n);
+        let mut total = 0;
+        for u in g.nodes() {
+            let nbrs = g.neighbors(u);
+            total += nbrs.len();
+            // Sorted, deduplicated, in-bounds, no self loops.
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(nbrs.iter().all(|&v| (v as usize) < n && v != u));
+            // Undirected symmetry with equal weights.
+            for (v, w) in g.out_edges(u) {
+                prop_assert_eq!(g.edge_weight(v, u), Some(w));
+            }
+        }
+        prop_assert_eq!(total, g.num_edges());
+    }
+
+    /// BFS levels form a valid distance labelling.
+    #[test]
+    fn bfs_levels_are_consistent((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let levels = properties::bfs_levels(&g, 0);
+        prop_assert_eq!(levels[0], 0);
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                let (lu, lv) = (levels[u as usize], levels[v as usize]);
+                // Neighbours differ by at most one level, and
+                // reachability is symmetric along edges.
+                prop_assert_eq!(lu == u32::MAX, lv == u32::MAX);
+                if lu != u32::MAX {
+                    prop_assert!(lu.abs_diff(lv) <= 1, "levels {lu} and {lv} adjacent");
+                }
+            }
+        }
+    }
+
+    /// Dijkstra distances satisfy the triangle inequality along edges and
+    /// lower-bound BFS levels (hop counts) times the min weight.
+    #[test]
+    fn dijkstra_relaxed_everywhere((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let dist = properties::dijkstra(&g, 0);
+        prop_assert_eq!(dist[0], 0);
+        for u in g.nodes() {
+            if dist[u as usize] == u64::MAX {
+                continue;
+            }
+            for (v, w) in g.out_edges(u) {
+                prop_assert!(dist[v as usize] <= dist[u as usize] + w as u64);
+            }
+        }
+    }
+
+    /// Every application validates against its reference on arbitrary
+    /// undirected graphs.
+    #[test]
+    fn applications_are_correct_on_arbitrary_graphs((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        for app in all_applications() {
+            let mut rec = gpp::sim::trace::Recorder::new();
+            let out = app.run(&g, &mut rec);
+            if let Err(e) = validate(&g, &out) {
+                return Err(TestCaseError::fail(format!("{}: {e}", app.name())));
+            }
+        }
+    }
+
+    /// The cost model never produces non-positive or non-finite times,
+    /// for any chip, any configuration, and any frontier.
+    #[test]
+    fn cost_model_is_total(
+        items in proptest::collection::vec((0u32..5_000, 0u32..8), 0..600),
+        cfg_idx in 0usize..96,
+        chip_idx in 0usize..6,
+    ) {
+        let items: Vec<WorkItem> =
+            items.into_iter().map(|(d, p)| WorkItem::new(d, p)).collect();
+        let chip = study_chips().remove(chip_idx);
+        let machine = Machine::new(chip);
+        let mut session = machine.session(OptConfig::from_index(cfg_idx));
+        let t = Session::kernel(&mut session, &KernelProfile::frontier("prop"), &items);
+        prop_assert!(t.is_finite() && t > 0.0);
+    }
+
+    /// Aggregation partitions items exactly: class counts and edges sum
+    /// to the input totals for any geometry.
+    #[test]
+    fn aggregation_is_a_partition(
+        items in proptest::collection::vec((0u32..10_000, 0u32..4), 1..800),
+        ws in prop_oneof![Just(128u32), Just(256u32)],
+        sg in prop_oneof![Just(1u32), Just(16u32), Just(32u32), Just(64u32)],
+    ) {
+        let items: Vec<WorkItem> =
+            items.into_iter().map(|(d, p)| WorkItem::new(d, p)).collect();
+        let aggs = CallAggregates::from_items(&items, ws, sg);
+        let count: u32 = aggs
+            .workgroups
+            .iter()
+            .map(|w| w.big.count + w.mid.count + w.small.count)
+            .sum();
+        let edges: u64 =
+            aggs.workgroups.iter().map(|w| w.big.edges + w.mid.edges + w.small.edges).sum();
+        prop_assert_eq!(count as usize, items.len());
+        prop_assert_eq!(edges, items.iter().map(|i| i.degree as u64).sum::<u64>());
+        prop_assert_eq!(aggs.pushes, items.iter().map(|i| i.pushes as u64).sum::<u64>());
+        // Class boundaries are respected.
+        for w in &aggs.workgroups {
+            prop_assert!(w.big.count == 0 || w.big.max_degree >= ws);
+            prop_assert!(w.mid.max_degree < ws);
+            prop_assert!(sg == 1 || w.small.max_degree < sg);
+        }
+    }
+
+    /// MWU invariances: scale-free in magnitudes, antisymmetric effect
+    /// size, and p-values in [0, 1].
+    #[test]
+    fn mwu_invariances(
+        a in proptest::collection::vec(0.01f64..10.0, 3..40),
+        b in proptest::collection::vec(0.01f64..10.0, 3..40),
+        scale in 1.0f64..1000.0,
+    ) {
+        let r1 = mann_whitney_u(&a, &b).expect("non-empty");
+        prop_assert!((0.0..=1.0).contains(&r1.p_value));
+        prop_assert!((0.0..=1.0).contains(&r1.effect_size));
+        // Order-preserving transformations leave the ranks unchanged.
+        let a2: Vec<f64> = a.iter().map(|x| x * scale).collect();
+        let b2: Vec<f64> = b.iter().map(|x| x * scale).collect();
+        let r2 = mann_whitney_u(&a2, &b2).expect("non-empty");
+        prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+        prop_assert!((r1.effect_size - r2.effect_size).abs() < 1e-9);
+        // Swapping the samples mirrors the effect size.
+        let r3 = mann_whitney_u(&b, &a).expect("non-empty");
+        prop_assert!((r1.effect_size + r3.effect_size - 1.0).abs() < 1e-9);
+    }
+
+    /// Median and geomean bounds.
+    #[test]
+    fn summary_statistics_bounds(values in proptest::collection::vec(0.001f64..100.0, 1..50)) {
+        let m = median(&values);
+        prop_assert!(values.contains(&m));
+        let g = geomean(&values);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= min * 0.999 && g <= max * 1.001);
+    }
+}
