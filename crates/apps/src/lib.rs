@@ -10,6 +10,8 @@
 //! - [`kernels`] — the kernel operation-count profiles the applications
 //!   are compiled to;
 //! - [`inputs`] — the three study inputs (road / social / random);
+//! - [`par`] — the scoped-thread parallel map the grid runner fans out
+//!   with;
 //! - [`study`] — the grid runner producing the [`study::Dataset`]
 //!   consumed by `gpp-core`'s portability analysis.
 //!
@@ -44,6 +46,7 @@ pub mod app;
 pub mod apps;
 pub mod inputs;
 pub mod kernels;
+pub mod par;
 pub mod study;
 
 pub use app::{AppOutput, Application, Problem};

@@ -1,0 +1,108 @@
+//! Minimal work-stealing-free parallel map over a slice, built on
+//! [`std::thread::scope`].
+//!
+//! The study grid only needs one primitive: apply a pure function to
+//! every element of a slice and collect the results *in input order*.
+//! Workers pull indices from a shared atomic counter (dynamic
+//! scheduling, so uneven items — big traces, slow chips — balance out)
+//! and results are scattered back to their input slots, so the output is
+//! independent of scheduling. No external runtime dependency is needed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on up to `threads` worker threads, returning
+/// the results in input order.
+///
+/// `f` receives `(index, &item)`. With `threads <= 1` (or a single
+/// item) the map runs inline on the caller's thread — the closure
+/// executes on exactly the same items in the same per-item way either
+/// way, so results never depend on the thread count.
+///
+/// # Panics
+///
+/// If `f` panics for any item, the panic is propagated to the caller
+/// with its original payload (after the remaining workers finish).
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (next, f) = (&next, &f);
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index processed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [0, 1, 2, 7, 64] {
+            assert_eq!(par_map(&items, threads, |_, &x| x * x), expect);
+        }
+    }
+
+    #[test]
+    fn indices_match_items() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, 4, |i, &x| (i, x));
+        assert!(out.iter().all(|&(i, x)| i == x));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map(&[] as &[u32], 8, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom 3")]
+    fn worker_panics_propagate_with_payload() {
+        let items: Vec<usize> = (0..16).collect();
+        par_map(&items, 4, |_, &x| {
+            if x == 3 {
+                panic!("boom {x}");
+            }
+            x
+        });
+    }
+}

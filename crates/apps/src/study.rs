@@ -6,9 +6,21 @@
 //! `runs` noisy timings for each of the 96 configurations — the paper's
 //! 306-tuple, ~88k-measurement dataset (Section VI-D), regenerated
 //! deterministically from a seed.
+//!
+//! # Concurrency
+//!
+//! The grid is embarrassingly parallel and [`run_study_on`] exploits
+//! that: trace collection fans out over (input, application) pairs and
+//! pricing fans out over (trace, chip) cells, both via
+//! [`crate::par::par_map`]. Timing noise is seeded per (cell,
+//! configuration, run), so the result is a pure function of
+//! [`StudyConfig`] regardless of thread count — a parallel study is
+//! byte-identical to a single-threaded one.
 
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
+use std::sync::OnceLock;
 
 use gpp_graph::rng::Rng64;
 use gpp_sim::chip::study_chips;
@@ -20,6 +32,7 @@ use serde::{Deserialize, Serialize};
 use crate::app::validate;
 use crate::apps::all_applications;
 use crate::inputs::{study_inputs, study_inputs_extended, StudyScale};
+use crate::par::par_map;
 
 /// Parameters of a study run.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +51,11 @@ pub struct StudyConfig {
     /// Use the extended input set (two graphs per class) instead of the
     /// paper's one-per-class minimum.
     pub extended_inputs: bool,
+    /// Worker threads for the grid. `0` (the default) picks the
+    /// `GPP_STUDY_THREADS` environment variable if set, otherwise the
+    /// machine's available parallelism; `1` forces a serial run. The
+    /// dataset does not depend on this value.
+    pub threads: usize,
 }
 
 impl Default for StudyConfig {
@@ -49,6 +67,7 @@ impl Default for StudyConfig {
             noise_sigma: 0.015,
             validate: true,
             extended_inputs: false,
+            threads: 0,
         }
     }
 }
@@ -69,10 +88,35 @@ impl StudyConfig {
             ..StudyConfig::default()
         }
     }
+
+    /// The worker-thread count a study run will actually use.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Ok(v) = std::env::var("GPP_STUDY_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Memoized per-cell statistics: per-configuration medians and the
+/// best-configuration index, computed once on first use.
+#[derive(Debug, Clone)]
+struct CellCache {
+    medians: Vec<f64>,
+    best: usize,
 }
 
 /// One (application, input, chip) tuple's timings.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Cell {
     /// Application name.
     pub app: String,
@@ -83,9 +127,59 @@ pub struct Cell {
     /// `times[config_index][run]`, nanoseconds;
     /// `config_index` follows [`OptConfig::index`].
     pub times: Vec<Vec<f64>>,
+    // Lazily built; never serialised or compared.
+    #[serde(skip)]
+    cache: OnceLock<CellCache>,
+}
+
+impl PartialEq for Cell {
+    fn eq(&self, other: &Self) -> bool {
+        self.app == other.app
+            && self.input == other.input
+            && self.chip == other.chip
+            && self.times == other.times
+    }
 }
 
 impl Cell {
+    /// Builds a cell from its timings.
+    pub fn new(app: String, input: String, chip: String, times: Vec<Vec<f64>>) -> Self {
+        Cell {
+            app,
+            input,
+            chip,
+            times,
+            cache: OnceLock::new(),
+        }
+    }
+
+    fn cache(&self) -> &CellCache {
+        self.cache.get_or_init(|| {
+            let medians: Vec<f64> = self
+                .times
+                .iter()
+                .map(|runs| {
+                    let mut v = runs.clone();
+                    let mid = v.len() / 2;
+                    let (_, m, _) = v.select_nth_unstable_by(mid, |a, b| {
+                        a.partial_cmp(b).expect("times are finite")
+                    });
+                    *m
+                })
+                .collect();
+            // `min_by` keeps the *last* minimum on ties, matching the
+            // historical `(0..NUM_CONFIGS).min_by(...)` scan exactly.
+            let best = (0..medians.len())
+                .min_by(|&a, &b| {
+                    medians[a]
+                        .partial_cmp(&medians[b])
+                        .expect("times are finite")
+                })
+                .expect("non-empty configuration space");
+            CellCache { medians, best }
+        })
+    }
+
     /// The runs for one configuration.
     ///
     /// # Panics
@@ -95,29 +189,25 @@ impl Cell {
         &self.times[config.index()]
     }
 
-    /// Median runtime for one configuration.
+    /// Median runtime for one configuration (memoized).
     ///
     /// # Panics
     ///
     /// Panics if `config` is out of range.
     pub fn median(&self, config: OptConfig) -> f64 {
-        let mut v = self.times[config.index()].clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
-        v[v.len() / 2]
+        self.cache().medians[config.index()]
+    }
+
+    /// Median runtimes for all configurations, indexed by
+    /// [`OptConfig::index`] (memoized).
+    pub fn medians(&self) -> &[f64] {
+        &self.cache().medians
     }
 
     /// The configuration with the smallest median runtime — the oracle
     /// choice for this cell.
     pub fn best_config(&self) -> OptConfig {
-        let best = (0..NUM_CONFIGS)
-            .min_by(|&a, &b| {
-                let (ca, cb) = (OptConfig::from_index(a), OptConfig::from_index(b));
-                self.median(ca)
-                    .partial_cmp(&self.median(cb))
-                    .expect("times are finite")
-            })
-            .expect("non-empty configuration space");
-        OptConfig::from_index(best)
+        OptConfig::from_index(self.cache().best)
     }
 
     /// Speedup of `config` over the baseline (medians; > 1 is faster).
@@ -127,7 +217,7 @@ impl Cell {
 }
 
 /// The full study dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dataset {
     /// Application names, in registry order.
     pub apps: Vec<String>,
@@ -140,14 +230,64 @@ pub struct Dataset {
     /// One cell per (application, input, chip), iteration order
     /// input-major, then application, then chip.
     pub cells: Vec<Cell>,
+    // (app, input, chip) -> cells index; lazily built, never serialised.
+    #[serde(skip)]
+    index: OnceLock<HashMap<String, usize>>,
+}
+
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.apps == other.apps
+            && self.inputs == other.inputs
+            && self.chips == other.chips
+            && self.runs == other.runs
+            && self.cells == other.cells
+    }
 }
 
 impl Dataset {
+    /// Builds a dataset from its parts.
+    pub fn new(
+        apps: Vec<String>,
+        inputs: Vec<String>,
+        chips: Vec<String>,
+        runs: usize,
+        cells: Vec<Cell>,
+    ) -> Self {
+        Dataset {
+            apps,
+            inputs,
+            chips,
+            runs,
+            cells,
+            index: OnceLock::new(),
+        }
+    }
+
+    fn key(app: &str, input: &str, chip: &str) -> String {
+        format!("{app}\0{input}\0{chip}")
+    }
+
+    fn index(&self) -> &HashMap<String, usize> {
+        self.index.get_or_init(|| {
+            let mut map = HashMap::with_capacity(self.cells.len());
+            for (i, c) in self.cells.iter().enumerate() {
+                // First match wins, like a linear scan would.
+                map.entry(Self::key(&c.app, &c.input, &c.chip)).or_insert(i);
+            }
+            map
+        })
+    }
+
+    /// The position of one cell in [`Dataset::cells`], via the prebuilt
+    /// index (O(1) after the first lookup).
+    pub fn cell_index(&self, app: &str, input: &str, chip: &str) -> Option<usize> {
+        self.index().get(&Self::key(app, input, chip)).copied()
+    }
+
     /// Looks up one cell.
     pub fn cell(&self, app: &str, input: &str, chip: &str) -> Option<&Cell> {
-        self.cells
-            .iter()
-            .find(|c| c.app == app && c.input == input && c.chip == chip)
+        self.cell_index(app, input, chip).map(|i| &self.cells[i])
     }
 
     /// All cells restricted by optional dimension filters.
@@ -195,9 +335,10 @@ impl Dataset {
 /// Each (application, input) pair is executed once against a trace
 /// recorder — validating the computed result against the sequential
 /// references when `config.validate` is set — and the trace is then
-/// replayed on every chip under all 96 configurations. Timing noise is
-/// log-normal, seeded per (cell, configuration, run), so the dataset is a
-/// pure function of `config`.
+/// replayed on every chip under all 96 configurations in one batched
+/// traversal per geometry. Timing noise is log-normal, seeded per (cell,
+/// configuration, run), so the dataset is a pure function of `config`
+/// regardless of `config.threads`.
 ///
 /// # Panics
 ///
@@ -231,52 +372,70 @@ pub fn run_study_on(config: &StudyConfig, chips: &[gpp_sim::chip::ChipProfile]) 
     let apps = all_applications();
     let chips = chips.to_vec();
     let machines: Vec<Machine> = chips.iter().cloned().map(Machine::new).collect();
+    let threads = config.effective_threads();
 
-    let mut cells = Vec::with_capacity(inputs.len() * apps.len() * chips.len());
-    for input in &inputs {
-        for app in &apps {
-            let mut recorder = Recorder::new();
-            let output = app.run(&input.graph, &mut recorder);
-            if config.validate {
-                if let Err(e) = validate(&input.graph, &output) {
-                    panic!("{} on {}: {e}", app.name(), input.name);
-                }
-            }
-            let mut compiled = CompiledTrace::new(recorder.into_trace());
-            for machine in &machines {
-                let mut times = Vec::with_capacity(NUM_CONFIGS);
-                for idx in 0..NUM_CONFIGS {
-                    let cfg = OptConfig::from_index(idx);
-                    let base = compiled.replay(machine, cfg).time_ns;
-                    let mut rng = noise_rng(
-                        config.seed,
-                        app.name(),
-                        &input.name,
-                        &machine.chip().name,
-                        idx,
-                    );
-                    let runs: Vec<f64> = (0..config.runs)
-                        .map(|_| base * rng.next_log_normal(0.0, config.noise_sigma))
-                        .collect();
-                    times.push(runs);
-                }
-                cells.push(Cell {
-                    app: app.name().to_owned(),
-                    input: input.name.clone(),
-                    chip: machine.chip().name.clone(),
-                    times,
-                });
+    // Phase 1: one trace per (input, application) pair, input-major.
+    // Precompiling here builds every geometry's aggregation up front, so
+    // phase 2 replays never touch the compile cache's write lock.
+    let pairs: Vec<(usize, usize)> = (0..inputs.len())
+        .flat_map(|i| (0..apps.len()).map(move |a| (i, a)))
+        .collect();
+    let traces: Vec<CompiledTrace> = par_map(&pairs, threads, |_, &(i, a)| {
+        let (input, app) = (&inputs[i], &apps[a]);
+        let mut recorder = Recorder::new();
+        let output = app.run(&input.graph, &mut recorder);
+        if config.validate {
+            if let Err(e) = validate(&input.graph, &output) {
+                panic!("{} on {}: {e}", app.name(), input.name);
             }
         }
-    }
+        let compiled = CompiledTrace::new(recorder.into_trace());
+        for machine in &machines {
+            compiled.precompile(machine);
+        }
+        compiled
+    });
 
-    Dataset {
-        apps: apps.iter().map(|a| a.name().to_owned()).collect(),
-        inputs: inputs.iter().map(|i| i.name.clone()).collect(),
-        chips: chips.iter().map(|c| c.name.clone()).collect(),
-        runs: config.runs,
+    // Phase 2: price each (trace, chip) cell — all 96 configurations in
+    // one traversal — and apply the seeded noise. Cell order matches the
+    // historical serial loop: input-major, then application, then chip.
+    let cell_ids: Vec<(usize, usize)> = (0..pairs.len())
+        .flat_map(|p| (0..machines.len()).map(move |m| (p, m)))
+        .collect();
+    let cells: Vec<Cell> = par_map(&cell_ids, threads, |_, &(p, m)| {
+        let (i, a) = pairs[p];
+        let machine = &machines[m];
+        let priced = traces[p].replay_all_configs(machine);
+        let times: Vec<Vec<f64>> = (0..NUM_CONFIGS)
+            .map(|idx| {
+                let base = priced[idx].time_ns;
+                let mut rng = noise_rng(
+                    config.seed,
+                    apps[a].name(),
+                    &inputs[i].name,
+                    &machine.chip().name,
+                    idx,
+                );
+                (0..config.runs)
+                    .map(|_| base * rng.next_log_normal(0.0, config.noise_sigma))
+                    .collect()
+            })
+            .collect();
+        Cell::new(
+            apps[a].name().to_owned(),
+            inputs[i].name.clone(),
+            machine.chip().name.clone(),
+            times,
+        )
+    });
+
+    Dataset::new(
+        apps.iter().map(|a| a.name().to_owned()).collect(),
+        inputs.iter().map(|i| i.name.clone()).collect(),
+        chips.iter().map(|c| c.name.clone()).collect(),
+        config.runs,
         cells,
-    }
+    )
 }
 
 /// Derives the per-(cell, configuration) noise stream.
@@ -342,6 +501,24 @@ mod tests {
     }
 
     #[test]
+    fn parallel_study_matches_single_threaded_exactly() {
+        let serial = run_study(&StudyConfig {
+            threads: 1,
+            ..StudyConfig::tiny()
+        });
+        let parallel = run_study(&StudyConfig {
+            threads: 4,
+            ..StudyConfig::tiny()
+        });
+        assert_eq!(serial, parallel);
+        // Byte-identical, not just structurally equal.
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+    }
+
+    #[test]
     fn different_seed_changes_times_not_shape() {
         let a = run_study(&StudyConfig::tiny());
         let b = run_study(&StudyConfig {
@@ -360,6 +537,38 @@ mod tests {
         let runs = cell.runs(OptConfig::baseline());
         assert!(runs.contains(&m));
         assert!(ds.cell("bfs-wl", "road", "NOPE").is_none());
+    }
+
+    #[test]
+    fn cell_index_agrees_with_linear_scan() {
+        let ds = tiny_dataset();
+        for (i, cell) in ds.cells.iter().enumerate() {
+            assert_eq!(ds.cell_index(&cell.app, &cell.input, &cell.chip), Some(i));
+        }
+        assert_eq!(ds.cell_index("bfs-wl", "road", "NOPE"), None);
+    }
+
+    #[test]
+    fn memoized_medians_match_naive_sort() {
+        let ds = tiny_dataset();
+        for cell in ds.cells.iter().take(12) {
+            for (idx, runs) in cell.times.iter().enumerate() {
+                let mut v = runs.clone();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let naive = v[v.len() / 2];
+                assert_eq!(cell.median(OptConfig::from_index(idx)), naive);
+                assert_eq!(cell.medians()[idx], naive);
+            }
+        }
+    }
+
+    #[test]
+    fn best_config_ties_resolve_like_a_linear_min_scan() {
+        // Constant times: every configuration ties, and `min_by` keeps
+        // the last minimum — the memoized best must do the same.
+        let times = vec![vec![1.0, 1.0, 1.0]; NUM_CONFIGS];
+        let cell = Cell::new("a".into(), "i".into(), "c".into(), times);
+        assert_eq!(cell.best_config(), OptConfig::from_index(NUM_CONFIGS - 1));
     }
 
     #[test]

@@ -69,10 +69,10 @@ fn bench_replay(c: &mut Criterion) {
         let items = frontier(2_000 + (i as usize * 37) % 500, i % 2 == 0);
         rec.kernel(&profile, &items);
     }
-    let mut compiled = CompiledTrace::new(rec.into_trace());
+    let compiled = CompiledTrace::new(rec.into_trace());
     let machine = Machine::new(ChipProfile::iris6100());
     // Warm the aggregation cache so the bench measures pure replay.
-    compiled.replay(&machine, OptConfig::baseline());
+    compiled.precompile(&machine);
     c.bench_function("replay_50_kernels", |b| {
         let mut idx = 0usize;
         b.iter(|| {
@@ -81,6 +81,11 @@ fn bench_replay(c: &mut Criterion) {
                 .replay(&machine, OptConfig::from_index(idx))
                 .time_ns
         });
+    });
+    // The batched path prices all 96 configurations per iteration; its
+    // per-config cost should come out far below one individual replay.
+    c.bench_function("replay_50_kernels_batched_96_configs", |b| {
+        b.iter(|| compiled.replay_all_configs(black_box(&machine)));
     });
 }
 

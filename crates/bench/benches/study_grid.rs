@@ -1,0 +1,144 @@
+//! The study-grid bench: serial vs parallel grid collection and
+//! individual vs batched 96-configuration cell pricing.
+//!
+//! Criterion groups measure the small-scale grid (fast enough to
+//! sample repeatedly). After the criterion run, a one-shot baseline of
+//! the *full-scale* study — serial wall-clock vs parallel wall-clock,
+//! plus a serial-equals-parallel dataset check — is written to
+//! `BENCH_study.json` at the repository root. Set `GPP_BENCH_SCALE` to
+//! `small`/`tiny` for a quicker baseline.
+//!
+//! ```sh
+//! cargo bench --bench study_grid
+//! ```
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use gpp_apps::apps::all_applications;
+use gpp_apps::inputs::{study_inputs, StudyScale};
+use gpp_apps::study::{run_study, StudyConfig};
+use gpp_sim::chip::study_chips;
+use gpp_sim::exec::Machine;
+use gpp_sim::opts::all_configs;
+use gpp_sim::trace::{CompiledTrace, Recorder};
+
+fn small(threads: usize) -> StudyConfig {
+    StudyConfig {
+        threads,
+        ..StudyConfig::small()
+    }
+}
+
+fn bench_study_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study_grid");
+    group.sample_size(10);
+    group.bench_function("small_serial", |b| b.iter(|| run_study(&small(1))));
+    group.bench_function("small_parallel", |b| b.iter(|| run_study(&small(0))));
+    group.finish();
+}
+
+fn bench_cell_pricing(c: &mut Criterion) {
+    // One (application, input) trace on one chip: price all 96
+    // configurations by individual replays vs one batched traversal.
+    let inputs = study_inputs(StudyScale::Small, 0x9a7e_2019);
+    let input = &inputs[0];
+    let apps = all_applications();
+    let app = &apps[0];
+    let mut rec = Recorder::new();
+    app.run(&input.graph, &mut rec);
+    let compiled = CompiledTrace::new(rec.into_trace());
+    let machine = Machine::new(study_chips().remove(0));
+    compiled.precompile(&machine);
+
+    let mut group = c.benchmark_group("cell_pricing_96_configs");
+    group.bench_function("individual_replays", |b| {
+        b.iter(|| {
+            all_configs()
+                .into_iter()
+                .map(|cfg| compiled.replay(&machine, cfg).time_ns)
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("batched_replay", |b| {
+        b.iter(|| {
+            compiled
+                .replay_all_configs(&machine)
+                .iter()
+                .map(|s| s.time_ns)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+/// Times one serial and one parallel full run, checks they agree
+/// exactly, and writes the `BENCH_study.json` baseline.
+fn write_baseline() {
+    let scale = std::env::var("GPP_BENCH_SCALE").unwrap_or_else(|_| "full".to_owned());
+    let cfg = match scale.as_str() {
+        "tiny" => StudyConfig::tiny(),
+        "small" => StudyConfig::small(),
+        _ => StudyConfig::default(),
+    };
+    let threads = cfg.effective_threads();
+    eprintln!("[study_grid baseline: {scale} scale, serial vs {threads} threads]");
+
+    let t = Instant::now();
+    let serial = run_study(&StudyConfig { threads: 1, ..cfg });
+    let serial_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let parallel = run_study(&StudyConfig { threads: 0, ..cfg });
+    let parallel_seconds = t.elapsed().as_secs_f64();
+    let identical = serial == parallel;
+
+    let baseline = serde_json::json!({
+        "bench": "study_grid",
+        "scale": scale,
+        "grid": {
+            "apps": serial.apps.len(),
+            "inputs": serial.inputs.len(),
+            "chips": serial.chips.len(),
+            "configs": 96,
+            "runs": serial.runs,
+        },
+        "threads": threads,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "parallel_identical_to_serial": identical,
+        "regenerate": "cargo bench --bench study_grid",
+    });
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_study.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&baseline).expect("serialise baseline"),
+    )
+    .expect("write BENCH_study.json");
+    eprintln!(
+        "[wrote {}: serial {serial_seconds:.2}s, parallel {parallel_seconds:.2}s, {:.2}x]",
+        path.display(),
+        serial_seconds / parallel_seconds
+    );
+    assert!(identical, "parallel dataset must equal the serial dataset");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_study_grid, bench_cell_pricing
+}
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    // `cargo test --benches` smoke-runs bench binaries with `--test`;
+    // skip the expensive baseline there.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    write_baseline();
+}

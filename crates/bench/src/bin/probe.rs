@@ -18,7 +18,7 @@ fn main() {
         for app in &apps {
             let mut rec = Recorder::new();
             app.run(&input.graph, &mut rec);
-            let mut compiled = CompiledTrace::new(rec.into_trace());
+            let compiled = CompiledTrace::new(rec.into_trace());
             print!("{:>9} {:>7}: ", app.name(), input.name);
             for chip in study_chips() {
                 let m = Machine::new(chip.clone());

@@ -60,7 +60,7 @@ fn help(out: &mut dyn Write) -> Result<(), String> {
         "gpp — quantifying performance portability of graph applications on (simulated) GPUs\n\n\
          commands:\n  \
          chips                       the six study chips (Table I)\n  \
-         study [--scale S] [--seed N] [--out FILE] [--chips FILE]\n                              run the full grid and save the dataset\n  \
+         study [--scale S] [--seed N] [--threads N] [--out FILE] [--chips FILE]\n                              run the full grid and save the dataset\n  \
          export-chips FILE           write the six study chip models as JSON\n  \
          analyze [--data FILE]       strategy spectrum (Figs 3 and 4)\n  \
          chip-function [--data FILE] per-chip recommendations (Table IX)\n  \
@@ -130,6 +130,7 @@ fn study(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         scale: parse_scale(args)?,
         seed: args.num("seed", StudyConfig::default().seed)?,
         runs: args.num("runs", 3usize)?,
+        threads: args.num("threads", 0usize)?,
         ..StudyConfig::default()
     };
     let started = std::time::Instant::now();

@@ -43,14 +43,13 @@ impl<'d> DatasetStats<'d> {
                 NUM_CONFIGS,
                 "cell is missing configurations"
             );
-            let m: Vec<f64> = cell.times.iter().map(|runs| median(runs)).collect();
+            // Medians and best-config come from the cell's own memoized
+            // cache — same upper-median and last-minimum-on-ties
+            // semantics as the historical clone-and-sort scan.
+            medians.push(cell.medians().to_vec());
             let c: Vec<Ci95> = cell.times.iter().map(|runs| ci95(runs)).collect();
-            let best_idx = (0..NUM_CONFIGS)
-                .min_by(|&a, &b| m[a].partial_cmp(&m[b]).expect("finite medians"))
-                .expect("non-empty configuration space");
-            medians.push(m);
             cis.push(c);
-            best.push(OptConfig::from_index(best_idx));
+            best.push(cell.best_config());
         }
         DatasetStats {
             dataset,
@@ -91,12 +90,10 @@ impl<'d> DatasetStats<'d> {
         self.median_of(cell, OptConfig::baseline()) / self.median_of(cell, config)
     }
 
-    /// Index of the cell for an (application, input, chip) tuple.
+    /// Index of the cell for an (application, input, chip) tuple
+    /// (O(1) via the dataset's prebuilt index).
     pub fn cell_index(&self, app: &str, input: &str, chip: &str) -> Option<usize> {
-        self.dataset
-            .cells
-            .iter()
-            .position(|c| c.app == app && c.input == input && c.chip == chip)
+        self.dataset.cell_index(app, input, chip)
     }
 
     /// Indices of all cells matching the given dimension filters.

@@ -85,18 +85,18 @@ pub fn subsample_sensitivity(
             let mut order: Vec<usize> = (0..tests.len()).collect();
             rng.shuffle(&mut order);
             let kept: Vec<&(String, String)> = order[..keep].iter().map(|&i| &tests[i]).collect();
-            let sub = Dataset {
-                apps: dataset.apps.clone(),
-                inputs: dataset.inputs.clone(),
-                chips: dataset.chips.clone(),
-                runs: dataset.runs,
-                cells: dataset
+            let sub = Dataset::new(
+                dataset.apps.clone(),
+                dataset.inputs.clone(),
+                dataset.chips.clone(),
+                dataset.runs,
+                dataset
                     .cells
                     .iter()
                     .filter(|c| kept.iter().any(|(a, i)| c.app == *a && c.input == *i))
                     .cloned()
                     .collect(),
-            };
+            );
             let sub_stats = DatasetStats::new(&sub);
             let sub_fn = chip_function(&sub_stats);
 

@@ -51,6 +51,8 @@
 //! [`crate::trace`] records frontiers once and replays them cheaply
 //! across every chip and configuration of the study.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
 use crate::barrier::GlobalBarrier;
@@ -408,13 +410,131 @@ pub fn evaluate_kernel(
     if aggs.workgroups.is_empty() {
         return chip.kernel_fixed_cost;
     }
+    let pass = device_pass(chip, wg_size, profile, aggs, cfg.wg, cfg.sg, cfg.fg, cfg.coop_cv);
+    finish_kernel(chip, cfg, wg_size, &pass, aggs.pushes)
+}
+
+/// Prices one kernel invocation under *all* of `configs` in a single walk
+/// of the aggregates, hoisting config-invariant work out of the
+/// configuration loop: configurations whose device-side behaviour is
+/// provably identical (same scheme routing, divergence regime, and
+/// fine-grained mode) share one [`device_pass`], and only the cheap O(1)
+/// occupancy/worklist assembly runs per configuration.
+///
+/// Returns one device time per entry of `configs`, each bit-identical to
+/// the corresponding [`evaluate_kernel`] call.
+///
+/// # Panics
+///
+/// Panics if `aggs` was built for a different geometry than `wg_size`, or
+/// if any configuration implies a different effective workgroup size.
+pub fn evaluate_kernel_batch(
+    chip: &ChipProfile,
+    wg_size: u32,
+    profile: &KernelProfile,
+    aggs: &CallAggregates,
+    configs: &[OptConfig],
+) -> Vec<f64> {
+    assert_eq!(
+        aggs.wg_size, wg_size,
+        "aggregation workgroup size mismatch"
+    );
+    assert_eq!(
+        aggs.sg_size,
+        chip.subgroup_size.max(1),
+        "aggregation subgroup size mismatch"
+    );
+    if aggs.workgroups.is_empty() {
+        return vec![chip.kernel_fixed_cost; configs.len()];
+    }
+    let sg_size = chip.subgroup_size.max(1);
+    // Dedup configurations into distinct device passes. The pass depends
+    // only on (wg, sg, fg, coop-cv) — and for regular kernels the three
+    // nested-parallelism axes are dead, so whole swathes of the space
+    // collapse onto one pass. `oitergb`/`sz256` never enter the pass:
+    // `oitergb` only scales occupancy and `sz256` is fixed by `wg_size`.
+    let mut slots: HashMap<(bool, bool, FgMode, bool), usize> = HashMap::new();
+    let mut passes: Vec<DevicePass> = Vec::new();
+    let results = configs
+        .iter()
+        .map(|cfg| {
+            assert_eq!(
+                cfg.workgroup_size().min(chip.max_workgroup_size()),
+                wg_size,
+                "configuration implies a different workgroup size"
+            );
+            let key = if profile.irregular {
+                (cfg.wg, cfg.sg, cfg.fg, cfg.coop_cv && sg_size > 1)
+            } else {
+                (false, false, FgMode::Off, cfg.coop_cv && sg_size > 1)
+            };
+            let slot = *slots.entry(key).or_insert_with(|| {
+                passes.push(device_pass(
+                    chip, wg_size, profile, aggs, key.0, key.1, key.2, key.3,
+                ));
+                passes.len() - 1
+            });
+            (*cfg, slot)
+        })
+        .collect::<Vec<_>>();
+    results
+        .into_iter()
+        .map(|(cfg, slot)| finish_kernel(chip, cfg, wg_size, &passes[slot], aggs.pushes))
+        .collect()
+}
+
+/// The config-dependent tail of kernel evaluation: occupancy-normalised
+/// compute time plus fixed and worklist costs. O(1) per configuration.
+fn finish_kernel(
+    chip: &ChipProfile,
+    cfg: OptConfig,
+    wg_size: u32,
+    pass: &DevicePass,
+    pushes: u64,
+) -> f64 {
+    // The outlined megakernel of `oitergb` holds every kernel's registers
+    // and local-memory footprint live at once, costing some occupancy.
+    let occupancy_factor = if cfg.oitergb { 0.8 } else { 1.0 };
+    let resident_threads =
+        (chip.resident_workgroups(wg_size) as f64) * wg_size as f64 * occupancy_factor;
+    let capacity_threads = resident_threads.min(chip.throughput_threads as f64);
+    let compute = (pass.total_busy / capacity_threads).max(pass.max_wg_time);
+
+    chip.kernel_fixed_cost + compute + worklist_rmw_time(chip, cfg, pushes)
+}
+
+/// Result of walking one invocation's workgroups under one effective
+/// scheme setting: total thread-busy work and the longest single
+/// workgroup (the critical path).
+#[derive(Debug, Clone, Copy)]
+struct DevicePass {
+    total_busy: f64,
+    max_wg_time: f64,
+}
+
+/// Walks the per-workgroup aggregates once for one effective setting of
+/// the device-side optimisation axes (`cfg_wg`, `cfg_sg`, `cfg_fg`,
+/// `cfg_coop_cv` — the raw configuration booleans; regular-kernel and
+/// subgroup-size gating happens inside, exactly as the pre-batching
+/// evaluator did). This is the O(#workgroups) hot loop of replay.
+#[allow(clippy::too_many_arguments)]
+fn device_pass(
+    chip: &ChipProfile,
+    wg_size: u32,
+    profile: &KernelProfile,
+    aggs: &CallAggregates,
+    cfg_wg: bool,
+    cfg_sg: bool,
+    cfg_fg: FgMode,
+    cfg_coop_cv: bool,
+) -> DevicePass {
     let sg_size = chip.subgroup_size.max(1);
     let n_subgroups = (wg_size / sg_size).max(1) as f64;
 
     // The sg scheme brackets execution with barriers, keeping the
     // workgroup converged; on divergence-sensitive chips this relieves
     // part of the penalty on serial work too (Section VIII-c).
-    let serial_div = chip.divergence_factor(cfg.sg && profile.irregular);
+    let serial_div = chip.divergence_factor(cfg_sg && profile.irregular);
     let edge_balanced = profile.edge_cost(chip, 1.0);
     let node_fixed = profile.node_cost(chip);
     let wg_barrier = chip.wg_barrier(wg_size);
@@ -423,15 +543,15 @@ pub fn evaluate_kernel(
     } else {
         chip.sg_barrier_cost
     };
-    let (fg_on, fg_epi) = match cfg.fg {
+    let (fg_on, fg_epi) = match cfg_fg {
         FgMode::Off => (false, 1.0),
         FgMode::Fg1 => (profile.irregular, 1.0),
         FgMode::Fg8 => (profile.irregular, 8.0),
     };
     let fg_round_overhead = wg_barrier + (wg_size as f64).log2() * chip.local_mem_cost;
     // Regular kernels have no nested loop for the schemes to rewrite.
-    let wg_on = cfg.wg && profile.irregular;
-    let sg_on = cfg.sg && sg_size > 1 && profile.irregular;
+    let wg_on = cfg_wg && profile.irregular;
+    let sg_on = cfg_sg && sg_size > 1 && profile.irregular;
     let sg_orchestration = 2.0 * sg_barrier + 2.0 * chip.local_mem_cost;
     // One workgroup-wide ballot: barrier plus a local-memory reduction
     // tree. The wg executor pays one per serialised node (leader
@@ -554,7 +674,7 @@ pub fn evaluate_kernel(
         if sg_on {
             scheme_fixed += 2.0 * sg_barrier + 2.0 * chip.local_mem_cost;
         }
-        if cfg.coop_cv && sg_size > 1 {
+        if cfg_coop_cv && sg_size > 1 {
             scheme_fixed += 2.0 * chip.local_mem_cost;
         }
 
@@ -572,15 +692,10 @@ pub fn evaluate_kernel(
             + (wg_phase + fg_phase) * wg_size as f64;
     }
 
-    // The outlined megakernel of `oitergb` holds every kernel's registers
-    // and local-memory footprint live at once, costing some occupancy.
-    let occupancy_factor = if cfg.oitergb { 0.8 } else { 1.0 };
-    let resident_threads =
-        (chip.resident_workgroups(wg_size) as f64) * wg_size as f64 * occupancy_factor;
-    let capacity_threads = resident_threads.min(chip.throughput_threads as f64);
-    let compute = (total_busy / capacity_threads).max(max_wg_time);
-
-    chip.kernel_fixed_cost + compute + worklist_rmw_time(chip, cfg, aggs.pushes)
+    DevicePass {
+        total_busy,
+        max_wg_time,
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -971,6 +1086,50 @@ mod tests {
                 assert_eq!(t1, t2, "{} cfg {cfg}", chip.name);
             }
         }
+    }
+
+    #[test]
+    fn batch_evaluation_is_bit_identical_to_individual() {
+        // The batched evaluator must agree bit-for-bit with 96 individual
+        // evaluations, for irregular and regular kernels alike, on every
+        // study chip and both workgroup sizes.
+        let items = skewed(5_000, 3_000);
+        let mut regular = KernelProfile::frontier("filter");
+        regular.irregular = false;
+        for chip in study_chips() {
+            for profile in [KernelProfile::frontier("k"), regular.clone()] {
+                for wg_size in [128u32, 256] {
+                    let wg_size = wg_size.min(chip.max_workgroup_size());
+                    let aggs =
+                        CallAggregates::from_items(&items, wg_size, chip.subgroup_size.max(1));
+                    let configs: Vec<OptConfig> = crate::opts::all_configs()
+                        .into_iter()
+                        .filter(|c| c.workgroup_size().min(chip.max_workgroup_size()) == wg_size)
+                        .collect();
+                    let batch = evaluate_kernel_batch(&chip, wg_size, &profile, &aggs, &configs);
+                    for (cfg, t) in configs.iter().zip(&batch) {
+                        let single = evaluate_kernel(&chip, *cfg, wg_size, &profile, &aggs);
+                        assert_eq!(
+                            single, *t,
+                            "{} {cfg} wg={wg_size} {}",
+                            chip.name, profile.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_evaluation_handles_empty_frontier() {
+        let chip = ChipProfile::gtx1080();
+        let aggs = CallAggregates::from_items(&[], 128, chip.subgroup_size.max(1));
+        let configs: Vec<OptConfig> = crate::opts::all_configs()
+            .into_iter()
+            .filter(|c| c.workgroup_size() == 128)
+            .collect();
+        let batch = evaluate_kernel_batch(&chip, 128, &KernelProfile::frontier("k"), &aggs, &configs);
+        assert!(batch.iter().all(|&t| t == chip.kernel_fixed_cost));
     }
 
     #[test]

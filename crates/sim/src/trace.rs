@@ -12,7 +12,12 @@
 //! Replay cost is further reduced by pre-aggregating each recorded
 //! frontier per (workgroup size, subgroup size) pair — see
 //! [`crate::exec::CallAggregates`] — so that one replay costs time
-//! proportional to the number of workgroups, not nodes.
+//! proportional to the number of workgroups, not nodes. The aggregation
+//! cache is internally synchronised, so replay takes `&self` and one
+//! compiled trace can be priced from many threads at once; call
+//! [`CompiledTrace::precompile`] first to build the aggregations outside
+//! the parallel section. [`CompiledTrace::replay_all_configs`] prices the
+//! whole configuration space in a single traversal per geometry.
 //!
 //! # Example
 //!
@@ -24,17 +29,25 @@
 //!
 //! let mut rec = Recorder::new();
 //! rec.kernel(&KernelProfile::frontier("bfs"), &[WorkItem::new(5, 2); 100]);
-//! let mut compiled = CompiledTrace::new(rec.into_trace());
+//! let compiled = CompiledTrace::new(rec.into_trace());
 //!
 //! let machine = Machine::new(ChipProfile::r9());
 //! let stats = compiled.replay(&machine, OptConfig::baseline());
 //! assert_eq!(stats.kernels, 1);
+//!
+//! // One traversal prices every configuration of the study space.
+//! let all = compiled.replay_all_configs(&machine);
+//! assert_eq!(all[OptConfig::baseline().index()], stats);
 //! ```
 
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
-use crate::exec::{CallAggregates, Executor, KernelProfile, Machine, RunStats, WorkItem};
-use crate::opts::OptConfig;
+use crate::barrier::GlobalBarrier;
+use crate::exec::{
+    evaluate_kernel_batch, CallAggregates, Executor, KernelProfile, Machine, RunStats, WorkItem,
+};
+use crate::opts::{all_configs, OptConfig, NUM_CONFIGS};
 
 /// One recorded kernel invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,11 +119,28 @@ impl Executor for Recorder {
 
 /// A trace plus its lazily built per-(workgroup size, subgroup size)
 /// aggregations, ready for cheap replay on any chip and configuration.
-#[derive(Debug, Clone)]
+///
+/// The aggregation cache lives behind an [`RwLock`], so replay methods
+/// take `&self` and the same compiled trace can be shared across threads
+/// (`CompiledTrace` is `Sync`). Aggregations are built at most once per
+/// geometry; concurrent replays for an already-built geometry only take
+/// the read lock.
+#[derive(Debug)]
 pub struct CompiledTrace {
     trace: Trace,
     // Keyed by (wg_size, sg_size); one CallAggregates per trace call.
-    compiled: HashMap<(u32, u32), Vec<CallAggregates>>,
+    // Arc lets a replay keep using an aggregation without holding the
+    // lock while other threads insert new geometries.
+    compiled: RwLock<HashMap<(u32, u32), Arc<Vec<CallAggregates>>>>,
+}
+
+impl Clone for CompiledTrace {
+    fn clone(&self) -> Self {
+        CompiledTrace {
+            trace: self.trace.clone(),
+            compiled: RwLock::new(self.compiled.read().unwrap().clone()),
+        }
+    }
 }
 
 impl CompiledTrace {
@@ -118,7 +148,7 @@ impl CompiledTrace {
     pub fn new(trace: Trace) -> Self {
         CompiledTrace {
             trace,
-            compiled: HashMap::new(),
+            compiled: RwLock::new(HashMap::new()),
         }
     }
 
@@ -127,31 +157,124 @@ impl CompiledTrace {
         &self.trace
     }
 
+    /// The aggregation for one geometry, building and caching it on first
+    /// use.
+    fn aggregates(&self, wg_size: u32, sg_size: u32) -> Arc<Vec<CallAggregates>> {
+        let key = (wg_size, sg_size);
+        if let Some(aggs) = self.compiled.read().unwrap().get(&key) {
+            return Arc::clone(aggs);
+        }
+        // Built outside the lock: aggregation is the expensive part, and
+        // a racing thread building the same geometry produces an
+        // identical value, so either insert is fine.
+        let built: Arc<Vec<CallAggregates>> = Arc::new(
+            self.trace
+                .calls
+                .iter()
+                .map(|c| CallAggregates::from_items(&c.items, wg_size, sg_size))
+                .collect(),
+        );
+        let mut map = self.compiled.write().unwrap();
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
+    /// Builds the aggregations for every geometry `machine`'s chip can
+    /// use (both workgroup sizes, clamped to the chip limit), so later
+    /// replays never take the write lock. Idempotent.
+    pub fn precompile(&self, machine: &Machine) {
+        let chip = machine.chip();
+        let sg_size = chip.subgroup_size.max(1);
+        for wg_size in [128u32, 256] {
+            self.aggregates(wg_size.min(chip.max_workgroup_size()), sg_size);
+        }
+    }
+
+    /// Number of distinct geometries aggregated so far.
+    pub fn num_compiled_geometries(&self) -> usize {
+        self.compiled.read().unwrap().len()
+    }
+
     /// Replays the trace on `machine` under `config`, returning the same
     /// statistics a live [`crate::exec::Session`] would produce.
     ///
     /// The first replay for a given (workgroup size, subgroup size) pair
     /// builds the aggregation; subsequent replays reuse it.
-    pub fn replay(&mut self, machine: &Machine, config: OptConfig) -> RunStats {
+    pub fn replay(&self, machine: &Machine, config: OptConfig) -> RunStats {
         let mut session = machine.session(config);
-        let key = (
+        let aggs = self.aggregates(
             session.workgroup_size(),
             machine.chip().subgroup_size.max(1),
         );
-        if !self.compiled.contains_key(&key) {
-            let aggs = self
-                .trace
-                .calls
-                .iter()
-                .map(|c| CallAggregates::from_items(&c.items, key.0, key.1))
-                .collect();
-            self.compiled.insert(key, aggs);
-        }
-        let aggs = &self.compiled[&key];
         for (call, agg) in self.trace.calls.iter().zip(aggs.iter()) {
             session.kernel_aggregated(&call.profile, agg);
         }
         session.finish()
+    }
+
+    /// Replays the trace under *every* configuration of the study space
+    /// in one traversal per geometry, returning statistics indexed by
+    /// [`OptConfig::index`]. Each entry is bit-identical to the
+    /// corresponding [`CompiledTrace::replay`] call: the device-side
+    /// times come from [`evaluate_kernel_batch`] (which dedups
+    /// configurations into shared device passes) and the per-kernel
+    /// iteration overhead is accounted call-by-call exactly as a live
+    /// session does.
+    pub fn replay_all_configs(&self, machine: &Machine) -> Vec<RunStats> {
+        let chip = machine.chip();
+        let sg_size = chip.subgroup_size.max(1);
+        let empty = RunStats {
+            time_ns: 0.0,
+            kernels: 0,
+            launches: 0,
+            global_barriers: 0,
+        };
+        let mut out = vec![empty; NUM_CONFIGS];
+        // Group configurations by effective workgroup size: each group
+        // shares one aggregation and one batched evaluation per call.
+        let mut groups: Vec<(u32, Vec<OptConfig>)> = Vec::new();
+        for cfg in all_configs() {
+            let wg_size = cfg.workgroup_size().min(chip.max_workgroup_size());
+            match groups.iter_mut().find(|(g, _)| *g == wg_size) {
+                Some((_, v)) => v.push(cfg),
+                None => groups.push((wg_size, vec![cfg])),
+            }
+        }
+        for (wg_size, configs) in &groups {
+            let aggs = self.aggregates(*wg_size, sg_size);
+            // One barrier discovery per oitergb configuration, as
+            // Machine::session does once per replay.
+            let barriers: Vec<Option<GlobalBarrier>> = configs
+                .iter()
+                .map(|c| c.oitergb.then(|| GlobalBarrier::discover(chip, *wg_size)))
+                .collect();
+            for (call, agg) in self.trace.calls.iter().zip(aggs.iter()) {
+                let device = evaluate_kernel_batch(chip, *wg_size, &call.profile, agg, configs);
+                for ((cfg, dev), gb) in configs.iter().zip(&device).zip(&barriers) {
+                    let acc = &mut out[cfg.index()];
+                    // Mirror Session::kernel_aggregated's overhead
+                    // accounting exactly (first-kernel setup vs barrier
+                    // under oitergb; launch + copy otherwise).
+                    let overhead = match gb {
+                        Some(gb) => {
+                            if acc.kernels == 0 {
+                                acc.launches += 1;
+                                chip.kernel_launch_cost + chip.host_copy_cost + gb.setup_cost()
+                            } else {
+                                acc.global_barriers += 1;
+                                gb.barrier_cost()
+                            }
+                        }
+                        None => {
+                            acc.launches += 1;
+                            chip.kernel_launch_cost + chip.host_copy_cost
+                        }
+                    };
+                    acc.kernels += 1;
+                    acc.time_ns += overhead + dev;
+                }
+            }
+        }
+        out
     }
 }
 
@@ -160,7 +283,6 @@ mod tests {
     use super::*;
     use crate::chip::{study_chips, ChipProfile};
     use crate::exec::Session;
-    use crate::opts::all_configs;
 
     fn sample_trace() -> Trace {
         let mut rec = Recorder::new();
@@ -188,7 +310,7 @@ mod tests {
         let trace = sample_trace();
         for chip in study_chips() {
             let machine = Machine::new(chip.clone());
-            let mut compiled = CompiledTrace::new(trace.clone());
+            let compiled = CompiledTrace::new(trace.clone());
             for cfg in all_configs().into_iter().step_by(7) {
                 let mut live = machine.session(cfg);
                 for call in trace.calls() {
@@ -203,7 +325,7 @@ mod tests {
 
     #[test]
     fn replay_is_repeatable() {
-        let mut compiled = CompiledTrace::new(sample_trace());
+        let compiled = CompiledTrace::new(sample_trace());
         let machine = Machine::new(ChipProfile::mali());
         let a = compiled.replay(&machine, OptConfig::baseline());
         let b = compiled.replay(&machine, OptConfig::baseline());
@@ -212,7 +334,7 @@ mod tests {
 
     #[test]
     fn empty_trace_replays_to_zero_kernels() {
-        let mut compiled = CompiledTrace::new(Trace::default());
+        let compiled = CompiledTrace::new(Trace::default());
         let machine = Machine::new(ChipProfile::m4000());
         let stats = compiled.replay(&machine, OptConfig::baseline());
         assert_eq!(stats.kernels, 0);
@@ -221,12 +343,68 @@ mod tests {
 
     #[test]
     fn compilation_is_cached_per_geometry() {
-        let mut compiled = CompiledTrace::new(sample_trace());
+        let compiled = CompiledTrace::new(sample_trace());
         let m1 = Machine::new(ChipProfile::m4000()); // sg 32
         let m2 = Machine::new(ChipProfile::r9()); // sg 64
         compiled.replay(&m1, OptConfig::baseline());
         compiled.replay(&m2, OptConfig::baseline());
         compiled.replay(&m1, OptConfig::from_index(1)); // sz256 -> new wg size
-        assert_eq!(compiled.compiled.len(), 3);
+        assert_eq!(compiled.num_compiled_geometries(), 3);
+    }
+
+    #[test]
+    fn precompile_covers_all_geometries_of_a_chip() {
+        let compiled = CompiledTrace::new(sample_trace());
+        let machine = Machine::new(ChipProfile::gtx1080());
+        compiled.precompile(&machine);
+        assert_eq!(compiled.num_compiled_geometries(), 2); // wg 128 and 256
+        compiled.precompile(&machine); // idempotent
+        assert_eq!(compiled.num_compiled_geometries(), 2);
+    }
+
+    #[test]
+    fn replay_all_configs_matches_individual_replays_on_every_study_chip() {
+        let trace = sample_trace();
+        for chip in study_chips() {
+            let machine = Machine::new(chip.clone());
+            let compiled = CompiledTrace::new(trace.clone());
+            let all = compiled.replay_all_configs(&machine);
+            assert_eq!(all.len(), NUM_CONFIGS);
+            for cfg in all_configs() {
+                let single = compiled.replay(&machine, cfg);
+                assert_eq!(all[cfg.index()], single, "{} {cfg}", chip.name);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_all_configs_on_empty_trace() {
+        let compiled = CompiledTrace::new(Trace::default());
+        let machine = Machine::new(ChipProfile::iris6100());
+        for stats in compiled.replay_all_configs(&machine) {
+            assert_eq!(stats.kernels, 0);
+            assert_eq!(stats.time_ns, 0.0);
+        }
+    }
+
+    #[test]
+    fn shared_replay_across_threads_is_deterministic() {
+        let compiled = CompiledTrace::new(sample_trace());
+        let machine = Machine::new(ChipProfile::hd5500());
+        let serial: Vec<RunStats> = all_configs()
+            .into_iter()
+            .map(|cfg| compiled.replay(&machine, cfg))
+            .collect();
+        let parallel: Vec<RunStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = all_configs()
+                .into_iter()
+                .map(|cfg| {
+                    let (compiled, machine) = (&compiled, &machine);
+                    scope.spawn(move || compiled.replay(machine, cfg))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(serial, parallel);
     }
 }

@@ -48,9 +48,12 @@ fn main() {
             let out = app.run(&input.graph, &mut rec);
             validate(&input.graph, &out)
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", app.name(), input.name));
-            let mut compiled = CompiledTrace::new(rec.into_trace());
-            let times: Vec<f64> = (0..gpp::sim::opts::NUM_CONFIGS)
-                .map(|i| compiled.replay(&machine, OptConfig::from_index(i)).time_ns)
+            let compiled = CompiledTrace::new(rec.into_trace());
+            // One batched traversal prices all 96 configurations.
+            let times: Vec<f64> = compiled
+                .replay_all_configs(&machine)
+                .iter()
+                .map(|s| s.time_ns)
                 .collect();
             timings.push(times);
         }

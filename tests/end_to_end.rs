@@ -35,7 +35,7 @@ fn timed_sessions_agree_with_trace_replay() {
     for app in all_applications().into_iter().take(6) {
         let mut rec = Recorder::new();
         app.run(graph, &mut rec);
-        let mut compiled = CompiledTrace::new(rec.into_trace());
+        let compiled = CompiledTrace::new(rec.into_trace());
         for chip in study_chips() {
             let machine = Machine::new(chip);
             for idx in [0usize, 33, 95] {
@@ -84,6 +84,46 @@ fn study_dataset_round_trips_and_is_deterministic() {
     let back = Dataset::load_json(&path).expect("load");
     assert_eq!(a, back);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parallel_study_is_byte_identical_to_serial_at_small_scale() {
+    let serial = run_study(&StudyConfig {
+        threads: 1,
+        ..StudyConfig::small()
+    });
+    let parallel = run_study(&StudyConfig {
+        threads: 0, // auto: all available cores
+        ..StudyConfig::small()
+    });
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serialise"),
+        serde_json::to_string(&parallel).expect("serialise"),
+        "parallel study must be byte-identical to the serial one"
+    );
+}
+
+#[test]
+fn batched_replay_matches_individual_replays_on_an_application_trace() {
+    let inputs = study_inputs(StudyScale::Tiny, 5);
+    let graph = &inputs[0].graph; // road
+    let apps = all_applications();
+    let app = &apps[0];
+    let mut rec = Recorder::new();
+    app.run(graph, &mut rec);
+    let compiled = CompiledTrace::new(rec.into_trace());
+    for chip in study_chips() {
+        let machine = Machine::new(chip);
+        let batched = compiled.replay_all_configs(&machine);
+        for cfg in all_configs() {
+            assert_eq!(
+                batched[cfg.index()],
+                compiled.replay(&machine, cfg),
+                "{} cfg {cfg}",
+                machine.chip().name
+            );
+        }
+    }
 }
 
 #[test]
