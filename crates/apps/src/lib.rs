@@ -52,4 +52,4 @@ pub mod study;
 pub use app::{AppOutput, Application, Problem};
 pub use apps::{all_applications, application};
 pub use inputs::{study_inputs, study_inputs_extended, StudyInput, StudyScale};
-pub use study::{run_study, run_study_on, Cell, Dataset, StudyConfig};
+pub use study::{run_study, run_study_on, run_study_traced, Cell, Dataset, StudyConfig};

@@ -12,10 +12,12 @@
 //! The grid is embarrassingly parallel and [`run_study_on`] exploits
 //! that: trace collection fans out over (input, application) pairs and
 //! pricing fans out over (trace, chip) cells, both via
-//! [`crate::par::par_map`]. Timing noise is seeded per (cell,
+//! [`crate::par::par_map_traced`]. Timing noise is seeded per (cell,
 //! configuration, run), so the result is a pure function of
 //! [`StudyConfig`] regardless of thread count — a parallel study is
-//! byte-identical to a single-threaded one.
+//! byte-identical to a single-threaded one. [`run_study_traced`]
+//! additionally emits pipeline spans and counters through a
+//! [`gpp_obs::Tracer`]; tracing never changes the dataset.
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
@@ -27,12 +29,13 @@ use gpp_sim::chip::study_chips;
 use gpp_sim::exec::Machine;
 use gpp_sim::opts::{OptConfig, NUM_CONFIGS};
 use gpp_sim::trace::{CompiledTrace, Recorder};
+use gpp_obs::Tracer;
 use serde::{Deserialize, Serialize};
 
 use crate::app::validate;
 use crate::apps::all_applications;
 use crate::inputs::{study_inputs, study_inputs_extended, StudyScale};
-use crate::par::par_map;
+use crate::par::par_map_traced;
 
 /// Parameters of a study run.
 #[derive(Debug, Clone, Copy)]
@@ -154,19 +157,8 @@ impl Cell {
     }
 
     fn cache(&self) -> &CellCache {
-        self.cache.get_or_init(|| {
-            let medians: Vec<f64> = self
-                .times
-                .iter()
-                .map(|runs| {
-                    let mut v = runs.clone();
-                    let mid = v.len() / 2;
-                    let (_, m, _) = v.select_nth_unstable_by(mid, |a, b| {
-                        a.partial_cmp(b).expect("times are finite")
-                    });
-                    *m
-                })
-                .collect();
+        let cache = self.cache.get_or_init(|| {
+            let medians: Vec<f64> = self.times.iter().map(|runs| median_of(runs)).collect();
             // `min_by` keeps the *last* minimum on ties, matching the
             // historical `(0..NUM_CONFIGS).min_by(...)` scan exactly.
             let best = (0..medians.len())
@@ -177,7 +169,28 @@ impl Cell {
                 })
                 .expect("non-empty configuration space");
             CellCache { medians, best }
-        })
+        });
+        // The cache is serde-skipped and only sound while `times` is
+        // frozen; mutate through `times_mut` (which invalidates it), not
+        // the public field.
+        debug_assert!(
+            cache.medians.len() == self.times.len()
+                && self
+                    .times
+                    .first()
+                    .is_none_or(|runs| cache.medians[0] == median_of(runs)),
+            "stale Cell cache: `times` mutated after memoization; use times_mut()"
+        );
+        cache
+    }
+
+    /// Mutable access to the timings, invalidating the memoized
+    /// statistics so later [`Cell::median`]/[`Cell::best_config`] calls
+    /// recompute from the new values. Always mutate through this rather
+    /// than the public `times` field once statistics have been read.
+    pub fn times_mut(&mut self) -> &mut Vec<Vec<f64>> {
+        self.cache = OnceLock::new();
+        &mut self.times
     }
 
     /// The runs for one configuration.
@@ -269,14 +282,35 @@ impl Dataset {
     }
 
     fn index(&self) -> &HashMap<String, usize> {
-        self.index.get_or_init(|| {
+        let index = self.index.get_or_init(|| {
             let mut map = HashMap::with_capacity(self.cells.len());
             for (i, c) in self.cells.iter().enumerate() {
                 // First match wins, like a linear scan would.
                 map.entry(Self::key(&c.app, &c.input, &c.chip)).or_insert(i);
             }
             map
-        })
+        });
+        // The index is serde-skipped and only sound while `cells` is
+        // frozen; mutate through `cells_mut` (which invalidates it), not
+        // the public field.
+        debug_assert!(
+            index.len() <= self.cells.len()
+                && self
+                    .cells
+                    .last()
+                    .is_none_or(|c| index.contains_key(&Self::key(&c.app, &c.input, &c.chip))),
+            "stale Dataset index: `cells` mutated after memoization; use cells_mut()"
+        );
+        index
+    }
+
+    /// Mutable access to the cells, invalidating the memoized lookup
+    /// index so later [`Dataset::cell`]/[`Dataset::cell_index`] calls
+    /// rebuild it. Always mutate through this rather than the public
+    /// `cells` field once a lookup has been made.
+    pub fn cells_mut(&mut self) -> &mut Vec<Cell> {
+        self.index = OnceLock::new();
+        &mut self.cells
     }
 
     /// The position of one cell in [`Dataset::cells`], via the prebuilt
@@ -356,6 +390,27 @@ pub fn run_study(config: &StudyConfig) -> Dataset {
 /// Panics as [`run_study`] does, or if `chips` is empty or contains
 /// duplicate names.
 pub fn run_study_on(config: &StudyConfig, chips: &[gpp_sim::chip::ChipProfile]) -> Dataset {
+    run_study_traced(config, chips, &Tracer::disabled())
+}
+
+/// [`run_study_on`] with pipeline tracing: emits a `study` span over the
+/// whole run, a `phase` span per pipeline phase (`collect-traces`,
+/// `price-cells`), a `trace`/`cell` span per work item, per-worker
+/// `busy-ns` counters, and one `traces-compiled`/`cells-priced` counter
+/// increment per item, all through `tracer`.
+///
+/// With a disabled tracer this *is* [`run_study_on`] — no timestamps are
+/// taken and no labels are formatted. The dataset is byte-identical with
+/// tracing on or off, at any thread count.
+///
+/// # Panics
+///
+/// Panics as [`run_study_on`] does.
+pub fn run_study_traced(
+    config: &StudyConfig,
+    chips: &[gpp_sim::chip::ChipProfile],
+    tracer: &Tracer,
+) -> Dataset {
     assert!(config.runs > 0, "need at least one run per measurement");
     assert!(!chips.is_empty(), "need at least one chip");
     {
@@ -373,6 +428,7 @@ pub fn run_study_on(config: &StudyConfig, chips: &[gpp_sim::chip::ChipProfile]) 
     let chips = chips.to_vec();
     let machines: Vec<Machine> = chips.iter().cloned().map(Machine::new).collect();
     let threads = config.effective_threads();
+    let _study_span = tracer.span("study");
 
     // Phase 1: one trace per (input, application) pair, input-major.
     // Precompiling here builds every geometry's aggregation up front, so
@@ -380,21 +436,29 @@ pub fn run_study_on(config: &StudyConfig, chips: &[gpp_sim::chip::ChipProfile]) 
     let pairs: Vec<(usize, usize)> = (0..inputs.len())
         .flat_map(|i| (0..apps.len()).map(move |a| (i, a)))
         .collect();
-    let traces: Vec<CompiledTrace> = par_map(&pairs, threads, |_, &(i, a)| {
-        let (input, app) = (&inputs[i], &apps[a]);
-        let mut recorder = Recorder::new();
-        let output = app.run(&input.graph, &mut recorder);
-        if config.validate {
-            if let Err(e) = validate(&input.graph, &output) {
-                panic!("{} on {}: {e}", app.name(), input.name);
+    let traces: Vec<CompiledTrace> = {
+        let _phase = tracer.span_detail("phase", Some("collect-traces".to_owned()));
+        par_map_traced(&pairs, threads, tracer, "collect-traces", |_, &(i, a)| {
+            let (input, app) = (&inputs[i], &apps[a]);
+            // Expensive label formatting only when someone is listening.
+            let _item = tracer
+                .is_enabled()
+                .then(|| tracer.span_detail("trace", Some(format!("{}/{}", app.name(), input.name))));
+            let mut recorder = Recorder::new();
+            let output = app.run(&input.graph, &mut recorder);
+            if config.validate {
+                if let Err(e) = validate(&input.graph, &output) {
+                    panic!("{} on {}: {e}", app.name(), input.name);
+                }
             }
-        }
-        let compiled = CompiledTrace::new(recorder.into_trace());
-        for machine in &machines {
-            compiled.precompile(machine);
-        }
-        compiled
-    });
+            let compiled = CompiledTrace::new(recorder.into_trace());
+            for machine in &machines {
+                compiled.precompile(machine);
+            }
+            tracer.counter("traces-compiled", None, 1.0);
+            compiled
+        })
+    };
 
     // Phase 2: price each (trace, chip) cell — all 96 configurations in
     // one traversal — and apply the seeded noise. Cell order matches the
@@ -402,32 +466,47 @@ pub fn run_study_on(config: &StudyConfig, chips: &[gpp_sim::chip::ChipProfile]) 
     let cell_ids: Vec<(usize, usize)> = (0..pairs.len())
         .flat_map(|p| (0..machines.len()).map(move |m| (p, m)))
         .collect();
-    let cells: Vec<Cell> = par_map(&cell_ids, threads, |_, &(p, m)| {
-        let (i, a) = pairs[p];
-        let machine = &machines[m];
-        let priced = traces[p].replay_all_configs(machine);
-        let times: Vec<Vec<f64>> = (0..NUM_CONFIGS)
-            .map(|idx| {
-                let base = priced[idx].time_ns;
-                let mut rng = noise_rng(
-                    config.seed,
-                    apps[a].name(),
-                    &inputs[i].name,
-                    &machine.chip().name,
-                    idx,
-                );
-                (0..config.runs)
-                    .map(|_| base * rng.next_log_normal(0.0, config.noise_sigma))
-                    .collect()
-            })
-            .collect();
-        Cell::new(
-            apps[a].name().to_owned(),
-            inputs[i].name.clone(),
-            machine.chip().name.clone(),
-            times,
-        )
-    });
+    let cells: Vec<Cell> = {
+        let _phase = tracer.span_detail("phase", Some("price-cells".to_owned()));
+        par_map_traced(&cell_ids, threads, tracer, "price-cells", |_, &(p, m)| {
+            let (i, a) = pairs[p];
+            let machine = &machines[m];
+            let _item = tracer.is_enabled().then(|| {
+                tracer.span_detail(
+                    "cell",
+                    Some(format!(
+                        "{}/{}/{}",
+                        apps[a].name(),
+                        inputs[i].name,
+                        machine.chip().name
+                    )),
+                )
+            });
+            let priced = traces[p].replay_all_configs(machine);
+            let times: Vec<Vec<f64>> = (0..NUM_CONFIGS)
+                .map(|idx| {
+                    let base = priced[idx].time_ns;
+                    let mut rng = noise_rng(
+                        config.seed,
+                        apps[a].name(),
+                        &inputs[i].name,
+                        &machine.chip().name,
+                        idx,
+                    );
+                    (0..config.runs)
+                        .map(|_| base * rng.next_log_normal(0.0, config.noise_sigma))
+                        .collect()
+                })
+                .collect();
+            tracer.counter("cells-priced", None, 1.0);
+            Cell::new(
+                apps[a].name().to_owned(),
+                inputs[i].name.clone(),
+                machine.chip().name.clone(),
+                times,
+            )
+        })
+    };
 
     Dataset::new(
         apps.iter().map(|a| a.name().to_owned()).collect(),
@@ -436,6 +515,15 @@ pub fn run_study_on(config: &StudyConfig, chips: &[gpp_sim::chip::ChipProfile]) 
         config.runs,
         cells,
     )
+}
+
+/// Median of one configuration's runs (selection, not a full sort).
+fn median_of(runs: &[f64]) -> f64 {
+    let mut v = runs.to_vec();
+    let mid = v.len() / 2;
+    let (_, m, _) =
+        v.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("times are finite"));
+    *m
 }
 
 /// Derives the per-(cell, configuration) noise stream.
@@ -623,5 +711,74 @@ mod tests {
             runs: 0,
             ..StudyConfig::tiny()
         });
+    }
+
+    #[test]
+    fn traced_study_is_byte_identical_to_untraced() {
+        use gpp_obs::MemorySink;
+        use std::sync::Arc;
+        let plain = run_study(&StudyConfig::tiny());
+        let sink = Arc::new(MemorySink::new());
+        let tracer = gpp_obs::Tracer::new(sink.clone());
+        let traced = run_study_traced(&StudyConfig::tiny(), &study_chips(), &tracer);
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&traced).unwrap()
+        );
+        let events = sink.take();
+        let compiled: f64 = events
+            .iter()
+            .filter(|e| e.name == "traces-compiled")
+            .filter_map(|e| e.value)
+            .sum();
+        let priced: f64 = events
+            .iter()
+            .filter(|e| e.name == "cells-priced")
+            .filter_map(|e| e.value)
+            .sum();
+        assert_eq!(compiled, (17 * 3) as f64);
+        assert_eq!(priced, (17 * 3 * 6) as f64);
+        // Every per-item span carries its work-item label.
+        assert!(events
+            .iter()
+            .any(|e| e.name == "cell" && e.detail.as_deref() == Some("bfs-wl/road/MALI")));
+    }
+
+    #[test]
+    fn times_mut_invalidates_memoized_stats() {
+        let times = vec![vec![2.0, 2.0, 2.0]; NUM_CONFIGS];
+        let mut cell = Cell::new("a".into(), "i".into(), "c".into(), times);
+        assert_eq!(cell.median(OptConfig::baseline()), 2.0);
+        cell.times_mut()[OptConfig::baseline().index()] = vec![5.0, 5.0, 5.0];
+        assert_eq!(cell.median(OptConfig::baseline()), 5.0);
+    }
+
+    #[test]
+    fn cells_mut_invalidates_index() {
+        let mut ds = tiny_dataset();
+        assert!(ds.cell("bfs-wl", "road", "MALI").is_some());
+        ds.cells_mut().retain(|c| c.chip != "MALI");
+        assert!(ds.cell("bfs-wl", "road", "MALI").is_none());
+        assert!(ds.cell("bfs-wl", "road", "R9").is_some());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale Cell cache")]
+    fn stale_cell_cache_read_is_detected_in_debug() {
+        let mut cell = Cell::new("a".into(), "i".into(), "c".into(), vec![vec![1.0]; 4]);
+        let _ = cell.medians(); // populate the memo
+        cell.times.push(vec![9.0]); // direct field mutation: cache now stale
+        let _ = cell.medians();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale Dataset index")]
+    fn stale_dataset_index_read_is_detected_in_debug() {
+        let mut ds = tiny_dataset();
+        let _ = ds.cell_index("bfs-wl", "road", "MALI"); // populate the memo
+        ds.cells.truncate(1); // direct field mutation: index now stale
+        let _ = ds.cell_index("bfs-wl", "road", "MALI");
     }
 }

@@ -1,23 +1,26 @@
-//! The study-grid bench: serial vs parallel grid collection and
-//! individual vs batched 96-configuration cell pricing.
+//! The study-grid bench: serial vs parallel grid collection, individual
+//! vs batched 96-configuration cell pricing, and the instrumentation
+//! overhead of pipeline tracing.
 //!
 //! Criterion groups measure the small-scale grid (fast enough to
 //! sample repeatedly). After the criterion run, a one-shot baseline of
 //! the *full-scale* study — serial wall-clock vs parallel wall-clock,
-//! plus a serial-equals-parallel dataset check — is written to
-//! `BENCH_study.json` at the repository root. Set `GPP_BENCH_SCALE` to
-//! `small`/`tiny` for a quicker baseline.
+//! plus a serial-equals-parallel dataset check and the traced-run
+//! overhead — is written to `BENCH_study.json` at the repository root.
+//! Set `GPP_BENCH_SCALE` to `small`/`tiny` for a quicker baseline.
 //!
 //! ```sh
 //! cargo bench --bench study_grid
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, Criterion};
 use gpp_apps::apps::all_applications;
 use gpp_apps::inputs::{study_inputs, StudyScale};
-use gpp_apps::study::{run_study, StudyConfig};
+use gpp_apps::study::{run_study, run_study_traced, StudyConfig};
+use gpp_obs::{MemorySink, NullSink, Tracer};
 use gpp_sim::chip::study_chips;
 use gpp_sim::exec::Machine;
 use gpp_sim::opts::all_configs;
@@ -35,6 +38,30 @@ fn bench_study_grid(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("small_serial", |b| b.iter(|| run_study(&small(1))));
     group.bench_function("small_parallel", |b| b.iter(|| run_study(&small(0))));
+    group.finish();
+}
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    // What the observability layer costs: a disabled tracer (the
+    // default path, which must be free), a null sink (pays event
+    // construction and timestamps but discards them), and an in-memory
+    // sink (pays buffering too).
+    let chips = study_chips();
+    let mut group = c.benchmark_group("study_tracing_overhead");
+    group.sample_size(10);
+    group.bench_function("tracer_disabled", |b| {
+        b.iter(|| run_study_traced(&small(0), &chips, &Tracer::disabled()))
+    });
+    group.bench_function("null_sink", |b| {
+        b.iter(|| run_study_traced(&small(0), &chips, &Tracer::new(Arc::new(NullSink))))
+    });
+    group.bench_function("memory_sink", |b| {
+        b.iter(|| {
+            let sink = Arc::new(MemorySink::new());
+            let ds = run_study_traced(&small(0), &chips, &Tracer::new(sink.clone()));
+            (ds, sink.take().len())
+        })
+    });
     group.finish();
 }
 
@@ -92,6 +119,17 @@ fn write_baseline() {
     let parallel_seconds = t.elapsed().as_secs_f64();
     let identical = serial == parallel;
 
+    // Instrumentation overhead: the same parallel run with every span
+    // and counter recorded (and discarded by a null sink).
+    let t = Instant::now();
+    let traced = run_study_traced(
+        &StudyConfig { threads: 0, ..cfg },
+        &study_chips(),
+        &Tracer::new(Arc::new(NullSink)),
+    );
+    let traced_seconds = t.elapsed().as_secs_f64();
+    let traced_identical = traced == parallel;
+
     let baseline = serde_json::json!({
         "bench": "study_grid",
         "scale": scale,
@@ -107,6 +145,9 @@ fn write_baseline() {
         "parallel_seconds": parallel_seconds,
         "speedup": serial_seconds / parallel_seconds,
         "parallel_identical_to_serial": identical,
+        "traced_seconds": traced_seconds,
+        "tracing_overhead_fraction": traced_seconds / parallel_seconds - 1.0,
+        "traced_identical_to_untraced": traced_identical,
         "regenerate": "cargo bench --bench study_grid",
     });
     let path =
@@ -117,11 +158,15 @@ fn write_baseline() {
     )
     .expect("write BENCH_study.json");
     eprintln!(
-        "[wrote {}: serial {serial_seconds:.2}s, parallel {parallel_seconds:.2}s, {:.2}x]",
+        "[wrote {}: serial {serial_seconds:.2}s, parallel {parallel_seconds:.2}s, {:.2}x, traced {traced_seconds:.2}s]",
         path.display(),
         serial_seconds / parallel_seconds
     );
     assert!(identical, "parallel dataset must equal the serial dataset");
+    assert!(
+        traced_identical,
+        "traced dataset must equal the untraced dataset"
+    );
 }
 
 criterion_group! {
@@ -129,7 +174,7 @@ criterion_group! {
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(5));
-    targets = bench_study_grid, bench_cell_pricing
+    targets = bench_study_grid, bench_cell_pricing, bench_tracing_overhead
 }
 
 fn main() {

@@ -3,8 +3,9 @@
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use gpp_apps::study::{run_study, run_study_on, Dataset, StudyConfig};
+use gpp_apps::study::{run_study, run_study_traced, Dataset, StudyConfig};
 use gpp_apps::StudyScale;
 use gpp_core::analysis::{DatasetStats, Decision};
 use gpp_core::report::{percent, ratio, Table};
@@ -14,10 +15,13 @@ use gpp_core::{
 };
 use gpp_graph::{io as graph_io, properties};
 use gpp_irgl::{codegen, interp, parser, programs, transform};
+use gpp_obs::{CostBreakdown, FileSink, MemorySink, TeeSink, TraceSummary, Tracer};
 use gpp_sim::chip::{study_chip, study_chips, ChipProfile};
 use gpp_sim::exec::Machine;
+use gpp_sim::memmodel::chip_support;
 use gpp_sim::microbench::{m_divg, sg_cmb, utilisation, LAUNCHES, M_DIVG_ROUNDS, SG_CMB_N};
 use gpp_sim::opts::OptConfig;
+use gpp_sim::trace::{CompiledTrace, Recorder};
 
 use crate::args::Args;
 
@@ -31,6 +35,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     match args.command.as_str() {
         "chips" => chips(out),
         "study" => study(args, out),
+        "explain" => explain(args, out),
         "analyze" => analyze(args, out),
         "chip-function" => chip_function_cmd(args, out),
         "heatmap" => heatmap_cmd(args, out),
@@ -60,7 +65,8 @@ fn help(out: &mut dyn Write) -> Result<(), String> {
         "gpp — quantifying performance portability of graph applications on (simulated) GPUs\n\n\
          commands:\n  \
          chips                       the six study chips (Table I)\n  \
-         study [--scale S] [--seed N] [--threads N] [--out FILE] [--chips FILE]\n                              run the full grid and save the dataset\n  \
+         study [--scale S] [--seed N] [--threads N] [--out FILE] [--chips FILE] [--trace-out FILE]\n                              run the full grid and save the dataset; --trace-out\n                              streams pipeline spans/counters as JSONL and prints a summary\n  \
+         explain [--app A] [--input I] [--chip C] [--opts OPTS] [--scale S]\n                              per-mechanism cost attribution of one priced cell per chip\n  \
          export-chips FILE           write the six study chip models as JSON\n  \
          analyze [--data FILE]       strategy spectrum (Figs 3 and 4)\n  \
          chip-function [--data FILE] per-chip recommendations (Table IX)\n  \
@@ -133,9 +139,20 @@ fn study(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         threads: args.num("threads", 0usize)?,
         ..StudyConfig::default()
     };
+    // With --trace-out, events stream to the file as JSONL and are also
+    // kept in memory for the end-of-run summary. The dataset itself is
+    // byte-identical with tracing on or off.
+    let memory = Arc::new(MemorySink::new());
+    let tracer = match args.opt("trace-out") {
+        None => Tracer::disabled(),
+        Some(path) => {
+            let file = FileSink::create(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+            Tracer::new(Arc::new(TeeSink::new(vec![memory.clone(), Arc::new(file)])))
+        }
+    };
     let started = std::time::Instant::now();
     let ds = match args.opt("chips") {
-        None => run_study(&cfg),
+        None => run_study_traced(&cfg, &study_chips(), &tracer),
         Some(file) => {
             let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
             let chips: Vec<ChipProfile> =
@@ -143,9 +160,10 @@ fn study(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             if chips.is_empty() {
                 return Err(format!("{file}: chip list is empty"));
             }
-            run_study_on(&cfg, &chips)
+            run_study_traced(&cfg, &chips, &tracer)
         }
     };
+    tracer.flush();
     let path = args
         .opt("out")
         .map(PathBuf::from)
@@ -161,7 +179,112 @@ fn study(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             started.elapsed(),
             path.display()
         ),
-    )
+    )?;
+    if tracer.is_enabled() {
+        let summary = TraceSummary::from_events(&memory.take());
+        w(
+            out,
+            format!(
+                "pipeline: {} traces compiled, {} cells priced in {:.1} ms wall",
+                summary.traces_compiled,
+                summary.cells_priced,
+                summary.total_wall_ns / 1e6
+            ),
+        )?;
+        let mut t = Table::new(["Phase", "Wall (ms)", "Workers", "Busy"]);
+        for p in &summary.phases {
+            t.row([
+                p.name.clone(),
+                format!("{:.1}", p.wall_ns / 1e6),
+                p.workers.to_string(),
+                percent(p.busy_frac),
+            ]);
+        }
+        w(out, &t)?;
+        w(out, "slowest cells:")?;
+        for (label, ns) in &summary.slowest_cells {
+            w(out, format!("  {:>10.2} ms  {label}", ns / 1e6))?;
+        }
+        if let Some(trace_path) = args.opt("trace-out") {
+            w(out, format!("trace written to {trace_path}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Per-mechanism cost attribution: record one application trace, replay
+/// it on each chip under one configuration, and tabulate where the
+/// modelled nanoseconds go (Table VI's narrative, made quantitative).
+fn explain(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let app_name = args.opt("app").unwrap_or("bfs-wl");
+    let input_name = args.opt("input").unwrap_or("road");
+    let scale = match args.opt("scale") {
+        None => StudyScale::Small,
+        Some(_) => parse_scale(args)?,
+    };
+    let seed = args.num("seed", StudyConfig::default().seed)?;
+    let cfg = config_opt(args)?;
+    let chips = match args.opt("chip") {
+        None => study_chips(),
+        Some(name) => vec![study_chip(name).ok_or_else(|| format!("unknown chip `{name}`"))?],
+    };
+    let app = gpp_apps::application(app_name)
+        .ok_or_else(|| format!("unknown application `{app_name}`"))?;
+    let inputs = gpp_apps::study_inputs(scale, seed);
+    let input = inputs
+        .iter()
+        .find(|i| i.name == input_name)
+        .ok_or_else(|| format!("unknown input `{input_name}` (road | social | random)"))?;
+    let mut recorder = Recorder::new();
+    app.run(&input.graph, &mut recorder);
+    let compiled = CompiledTrace::new(recorder.into_trace());
+    let priced: Vec<(ChipProfile, f64, CostBreakdown)> = chips
+        .iter()
+        .map(|chip| {
+            let machine = Machine::new(chip.clone());
+            let (stats, breakdown) = compiled.replay_explained(&machine, cfg);
+            (chip.clone(), stats.time_ns, breakdown)
+        })
+        .collect();
+    w(
+        out,
+        format!(
+            "cost attribution for {app_name} on {input_name} ({} nodes) under `{cfg}` — modelled us (share)",
+            input.graph.num_nodes()
+        ),
+    )?;
+    let mut headers = vec!["Component".to_string()];
+    headers.extend(priced.iter().map(|(c, _, _)| c.name.clone()));
+    let mut t = Table::new(headers);
+    for (label, _) in CostBreakdown::default().components() {
+        let mut row = vec![label.to_string()];
+        for (_, _, b) in &priced {
+            let v = b
+                .components()
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map_or(0.0, |&(_, v)| v);
+            row.push(format!("{:.1} ({})", v / 1_000.0, percent(b.share(label))));
+        }
+        t.row(row);
+    }
+    let mut row = vec!["total".to_string()];
+    for (_, time_ns, breakdown) in &priced {
+        debug_assert!(
+            (breakdown.total() - time_ns).abs() <= 1e-9 * time_ns.abs(),
+            "attribution must sum to the priced total"
+        );
+        row.push(format!("{:.1}", time_ns / 1_000.0));
+    }
+    t.row(row);
+    w(out, &t)?;
+    for (chip, _, _) in &priced {
+        w(
+            out,
+            format!("{:>8}: {}", chip.name, chip_support(&chip.name).label()),
+        )?;
+    }
+    Ok(())
 }
 
 fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
@@ -675,5 +798,75 @@ mod tests {
         assert!(run_cmd("study --scale gigantic")
             .unwrap_err()
             .contains("gigantic"));
+    }
+
+    #[test]
+    fn explain_prints_attribution_for_all_chips() {
+        let text = run_cmd("explain --scale tiny").unwrap();
+        for chip in ["M4000", "GTX1080", "HD5500", "IRIS", "R9", "MALI"] {
+            assert!(text.contains(chip), "missing {chip}:\n{text}");
+        }
+        for label in [
+            "launch",
+            "copy",
+            "compute",
+            "divergence",
+            "atomics",
+            "barrier",
+            "occupancy tail",
+            "worklist",
+            "total",
+        ] {
+            assert!(text.contains(label), "missing {label}:\n{text}");
+        }
+        // Per-chip memory-model notes ride along.
+        assert!(text.contains("best-effort OpenCL 1.x fences"), "{text}");
+    }
+
+    #[test]
+    fn explain_accepts_chip_and_opts_filters() {
+        let text = run_cmd("explain --scale tiny --chip MALI --opts oitergb").unwrap();
+        assert!(text.contains("MALI"), "{text}");
+        assert!(!text.contains("GTX1080"), "{text}");
+        assert!(text.contains("oitergb"), "{text}");
+    }
+
+    #[test]
+    fn explain_rejects_unknown_names() {
+        assert!(run_cmd("explain --scale tiny --app nonesuch")
+            .unwrap_err()
+            .contains("nonesuch"));
+        assert!(run_cmd("explain --scale tiny --chip RTX")
+            .unwrap_err()
+            .contains("RTX"));
+        assert!(run_cmd("explain --scale tiny --input lattice")
+            .unwrap_err()
+            .contains("lattice"));
+    }
+
+    #[test]
+    fn study_trace_out_writes_parseable_jsonl_and_summary() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.jsonl");
+        let ds_path = dir.join("ds.json");
+        let text = run_cmd(&format!(
+            "study --scale tiny --threads 4 --trace-out {} --out {}",
+            trace_path.display(),
+            ds_path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("306 cells"), "{text}");
+        assert!(text.contains("cells priced"), "{text}");
+        assert!(text.contains("collect-traces"), "{text}");
+        assert!(text.contains("price-cells"), "{text}");
+        assert!(text.contains("slowest cells:"), "{text}");
+        let content = std::fs::read_to_string(&trace_path).unwrap();
+        let events: Vec<gpp_obs::TraceEvent> = content
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("each line is one TraceEvent"))
+            .collect();
+        assert!(!events.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

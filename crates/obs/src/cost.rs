@@ -1,0 +1,163 @@
+//! Per-mechanism cost attribution.
+//!
+//! The simulator prices a kernel (and ultimately a whole run) as one
+//! `f64` of nanoseconds. [`CostBreakdown`] splits that scalar into the
+//! mechanisms the paper's Table VI reasons about, under the invariant
+//! that [`CostBreakdown::total`] equals the scalar within floating
+//! point round-off. Producers in `gpp-sim` are responsible for keeping
+//! the invariant; consumers (the `explain` CLI command, tests) may rely
+//! on it to 1e-9 relative error.
+
+use serde::{Deserialize, Serialize};
+
+/// A per-mechanism split of a priced timing, in nanoseconds.
+///
+/// Each field attributes part of the total to one cost mechanism of
+/// the abstract GPU model. The components are additive:
+/// [`CostBreakdown::total`] reconstructs the scalar timing the
+/// simulator reports alongside this breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Kernel-launch overhead paid on every host-driven launch.
+    pub launch: f64,
+    /// Host⇄device copy overhead paid alongside each launch.
+    pub copy: f64,
+    /// Balanced compute: ALU plus memory traffic at full convergence,
+    /// including the per-kernel fixed cost.
+    pub compute: f64,
+    /// Divergence penalty: serial-scheme time in excess of the
+    /// converged (balanced) cost of the same edges.
+    pub divergence: f64,
+    /// Atomic read-modify-write traffic inside kernels (per-edge
+    /// atomics) and in global-barrier setup.
+    pub atomics: f64,
+    /// Barrier costs: workgroup/subgroup barriers, ballot and
+    /// orchestration overhead, and global-barrier waits.
+    pub barrier: f64,
+    /// Occupancy tail: the gap between the critical-path workgroup and
+    /// throughput-limited execution (straggler time the device spends
+    /// underutilised).
+    pub occupancy_tail: f64,
+    /// Worklist push overhead (atomic queue appends, subgroup
+    /// combining collectives).
+    pub worklist: f64,
+}
+
+impl CostBreakdown {
+    /// Sum of all components — reconstructs the scalar timing.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.launch
+            + self.copy
+            + self.compute
+            + self.divergence
+            + self.atomics
+            + self.barrier
+            + self.occupancy_tail
+            + self.worklist
+    }
+
+    /// The components as `(label, value)` pairs in render order.
+    #[must_use]
+    pub fn components(&self) -> [(&'static str, f64); 8] {
+        [
+            ("launch", self.launch),
+            ("copy", self.copy),
+            ("compute", self.compute),
+            ("divergence", self.divergence),
+            ("atomics", self.atomics),
+            ("barrier", self.barrier),
+            ("occupancy tail", self.occupancy_tail),
+            ("worklist", self.worklist),
+        ]
+    }
+
+    /// Adds every component of `other` into `self`.
+    pub fn absorb(&mut self, other: &CostBreakdown) {
+        self.launch += other.launch;
+        self.copy += other.copy;
+        self.compute += other.compute;
+        self.divergence += other.divergence;
+        self.atomics += other.atomics;
+        self.barrier += other.barrier;
+        self.occupancy_tail += other.occupancy_tail;
+        self.worklist += other.worklist;
+    }
+
+    /// Fraction of the total attributed to `component` (a label from
+    /// [`CostBreakdown::components`]). Returns 0 when the total is
+    /// zero or the label is unknown.
+    #[must_use]
+    pub fn share(&self, component: &str) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.components()
+            .iter()
+            .find(|(label, _)| *label == component)
+            .map_or(0.0, |(_, v)| v / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_all_components() {
+        let b = CostBreakdown {
+            launch: 1.0,
+            copy: 2.0,
+            compute: 3.0,
+            divergence: 4.0,
+            atomics: 5.0,
+            barrier: 6.0,
+            occupancy_tail: 7.0,
+            worklist: 8.0,
+        };
+        assert_eq!(b.total(), 36.0);
+        assert_eq!(b.components().iter().map(|(_, v)| v).sum::<f64>(), 36.0);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = CostBreakdown {
+            launch: 1.0,
+            ..CostBreakdown::default()
+        };
+        let b = CostBreakdown {
+            launch: 2.0,
+            worklist: 3.0,
+            ..CostBreakdown::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.launch, 3.0);
+        assert_eq!(a.worklist, 3.0);
+        assert_eq!(a.total(), 6.0);
+    }
+
+    #[test]
+    fn share_is_component_over_total() {
+        let b = CostBreakdown {
+            launch: 3.0,
+            compute: 1.0,
+            ..CostBreakdown::default()
+        };
+        assert!((b.share("launch") - 0.75).abs() < 1e-12);
+        assert_eq!(b.share("nonsense"), 0.0);
+        assert_eq!(CostBreakdown::default().share("launch"), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let b = CostBreakdown {
+            launch: 1.5,
+            atomics: 2.5,
+            ..CostBreakdown::default()
+        };
+        let json = serde_json::to_string(&b).unwrap();
+        let back: CostBreakdown = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

@@ -1,0 +1,27 @@
+//! `gpp-obs`: the observability layer for the portability simulator.
+//!
+//! Two halves, both zero-cost when disabled:
+//!
+//! * [`cost`] — [`CostBreakdown`], a per-mechanism attribution of every
+//!   nanosecond the simulator prices (launch, copy, compute, divergence,
+//!   atomics, barriers, occupancy tail, worklist overhead). The invariant
+//!   the rest of the workspace upholds is that the components sum to the
+//!   scalar `time_ns` the pricing path already returns, within floating
+//!   point round-off (1e-9 relative).
+//! * [`tracing`] — span/counter instrumentation over the study pipeline:
+//!   a pluggable [`TraceSink`] (JSONL file, in-memory for tests), a
+//!   cheaply cloneable [`Tracer`] handle that compiles to no-ops when no
+//!   sink is attached, and a [`TraceSummary`] that renders the
+//!   end-of-run report (phase wall-clock, thread busy %, slowest cells).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod tracing;
+
+pub use cost::CostBreakdown;
+pub use tracing::{
+    EventKind, FileSink, MemorySink, NullSink, Span, TeeSink, TraceEvent, TraceSink, TraceSummary,
+    Tracer,
+};

@@ -1,0 +1,508 @@
+//! Pipeline tracing: spans, counters, pluggable sinks, and the
+//! end-of-run summary.
+//!
+//! A [`Tracer`] is a cheaply cloneable handle. When constructed with
+//! [`Tracer::disabled`] (or [`Tracer::default`]) every operation is a
+//! no-op — no timestamps are taken, no allocations happen — so
+//! instrumented code pays nothing in the common untraced case. When a
+//! [`TraceSink`] is attached, spans and counters become
+//! [`TraceEvent`]s with monotonic nanosecond timestamps (relative to
+//! the tracer's construction), a process-global sequence number, and a
+//! small per-thread id.
+//!
+//! Sinks: [`MemorySink`] buffers events for tests and summaries,
+//! [`FileSink`] streams JSONL (one serialised [`TraceEvent`] per
+//! line), [`TeeSink`] fans out to several sinks, [`NullSink`] discards.
+//!
+//! Event conventions used by the study pipeline (and consumed by
+//! [`TraceSummary`]):
+//!
+//! * span `"study"` — the whole run;
+//! * span `"phase"` with detail = phase label — one per pipeline phase;
+//! * span `"trace"` / `"cell"` with detail = work-item label — one per
+//!   application trace collected / per grid cell priced;
+//! * counter `"busy-ns"` with detail = phase label — per-worker busy
+//!   time inside a parallel phase;
+//! * counters `"traces-compiled"` / `"cells-priced"` — one increment
+//!   per completed work item.
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of occurrence a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EventKind {
+    /// A span opened (`value` is absent).
+    SpanStart,
+    /// A span closed (`value` is the elapsed nanoseconds).
+    SpanEnd,
+    /// A counter increment (`value` is the amount).
+    Counter,
+}
+
+/// One trace record: a span boundary or a counter increment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Process-global sequence number (total order of emission).
+    pub seq: u64,
+    /// Monotonic timestamp in nanoseconds since the tracer was created.
+    pub ts_ns: u64,
+    /// Small dense id of the emitting thread.
+    pub thread: u64,
+    /// Span boundary or counter.
+    pub kind: EventKind,
+    /// Event name (e.g. `"phase"`, `"cell"`, `"busy-ns"`).
+    pub name: String,
+    /// Optional qualifier (phase label, cell label, …).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub detail: Option<String>,
+    /// Elapsed nanoseconds for [`EventKind::SpanEnd`], amount for
+    /// [`EventKind::Counter`].
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub value: Option<f64>,
+}
+
+/// Where trace events go. Implementations must tolerate concurrent
+/// [`TraceSink::record`] calls from many threads.
+pub trait TraceSink: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: TraceEvent);
+    /// Flushes any buffered output; the default does nothing.
+    fn flush(&self) {}
+}
+
+/// A sink that discards every event (useful for overhead benches).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// An in-memory sink for tests and end-of-run summaries.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy of all events recorded so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace buffer poisoned").clone()
+    }
+
+    /// Drains and returns all events recorded so far.
+    #[must_use]
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("trace buffer poisoned"))
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("trace buffer poisoned").push(event);
+    }
+}
+
+/// A sink that appends one JSON object per line (JSONL) to a file.
+pub struct FileSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl FileSink {
+    /// Creates (truncating) `path` and returns a sink writing to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be created.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl TraceSink for FileSink {
+    fn record(&self, event: TraceEvent) {
+        let line = serde_json::to_string(&event).expect("trace events always serialise");
+        let mut out = self.out.lock().expect("trace file poisoned");
+        // A failed write surfaces on flush; dropping events silently
+        // here would be worse than a delayed error.
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("trace file poisoned").flush();
+    }
+}
+
+/// Fans every event out to several sinks in order.
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl TeeSink {
+    /// Creates a tee over `sinks`.
+    #[must_use]
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&self, event: TraceEvent) {
+        for sink in &self.sinks {
+            sink.record(event.clone());
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+struct TracerInner {
+    sink: Arc<dyn TraceSink>,
+    epoch: Instant,
+    seq: AtomicU64,
+}
+
+/// A cheaply cloneable tracing handle.
+///
+/// The default (disabled) tracer carries no sink and every call is a
+/// no-op; instrument unconditionally and let callers decide whether to
+/// attach a sink. Guard only *expensive label construction* (e.g.
+/// `format!`) behind [`Tracer::is_enabled`].
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// A tracer that records into `sink`.
+    #[must_use]
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Self {
+            inner: Some(Arc::new(TracerInner {
+                sink,
+                epoch: Instant::now(),
+                seq: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// A tracer where every operation is a no-op.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether a sink is attached. Use to skip building expensive
+    /// labels when tracing is off.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn emit(&self, kind: EventKind, name: &str, detail: Option<&str>, value: Option<f64>) {
+        if let Some(inner) = &self.inner {
+            let event = TraceEvent {
+                seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+                ts_ns: inner.epoch.elapsed().as_nanos() as u64,
+                thread: current_thread_id(),
+                kind,
+                name: name.to_owned(),
+                detail: detail.map(str::to_owned),
+                value,
+            };
+            inner.sink.record(event);
+        }
+    }
+
+    /// Records a counter increment of `value` under `name`/`detail`.
+    pub fn counter(&self, name: &str, detail: Option<&str>, value: f64) {
+        self.emit(EventKind::Counter, name, detail, Some(value));
+    }
+
+    /// Opens a span named `name`; it closes (emitting the elapsed
+    /// time) when the returned guard drops.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Span {
+        self.span_detail(name, None)
+    }
+
+    /// Opens a span with a detail label (phase name, cell label, …).
+    #[must_use]
+    pub fn span_detail(&self, name: &str, detail: Option<String>) -> Span {
+        if self.inner.is_none() {
+            return Span {
+                tracer: Tracer::disabled(),
+                name: String::new(),
+                detail: None,
+                start: None,
+            };
+        }
+        self.emit(EventKind::SpanStart, name, detail.as_deref(), None);
+        Span {
+            tracer: self.clone(),
+            name: name.to_owned(),
+            detail,
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Flushes the attached sink, if any.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+/// RAII guard for an open span; emits [`EventKind::SpanEnd`] with the
+/// elapsed nanoseconds when dropped.
+pub struct Span {
+    tracer: Tracer,
+    name: String,
+    detail: Option<String>,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.tracer.emit(
+                EventKind::SpanEnd,
+                &self.name,
+                self.detail.as_deref(),
+                Some(start.elapsed().as_nanos() as f64),
+            );
+        }
+    }
+}
+
+/// Wall-clock and utilisation for one pipeline phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSummary {
+    /// The phase label (the `detail` of its `"phase"` span).
+    pub name: String,
+    /// Wall-clock nanoseconds the phase took.
+    pub wall_ns: f64,
+    /// Worker threads that reported busy time in this phase.
+    pub workers: usize,
+    /// Mean worker utilisation in `[0, 1]`: total busy time divided by
+    /// `wall_ns × workers`. Zero when no busy counters were reported.
+    pub busy_frac: f64,
+}
+
+/// Aggregated view of one traced run, built from recorded events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Wall-clock nanoseconds of the `"study"` span (0 if absent).
+    pub total_wall_ns: f64,
+    /// Per-phase wall clock and utilisation, in completion order.
+    pub phases: Vec<PhaseSummary>,
+    /// Total `"traces-compiled"` counter increments.
+    pub traces_compiled: f64,
+    /// Total `"cells-priced"` counter increments.
+    pub cells_priced: f64,
+    /// The slowest `"cell"` spans as `(label, elapsed_ns)`, slowest
+    /// first, at most five.
+    pub slowest_cells: Vec<(String, f64)>,
+}
+
+impl TraceSummary {
+    /// Builds a summary from recorded events (order-insensitive apart
+    /// from phase listing, which follows span-end order).
+    #[must_use]
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut summary = TraceSummary::default();
+        let mut cells: Vec<(String, f64)> = Vec::new();
+        // (phase label, total busy ns, distinct reporting threads)
+        let mut busy: Vec<(String, f64, Vec<u64>)> = Vec::new();
+        for e in events {
+            match e.kind {
+                EventKind::SpanEnd => {
+                    let elapsed = e.value.unwrap_or(0.0);
+                    match e.name.as_str() {
+                        "study" => summary.total_wall_ns = elapsed,
+                        "phase" => summary.phases.push(PhaseSummary {
+                            name: e.detail.clone().unwrap_or_default(),
+                            wall_ns: elapsed,
+                            workers: 0,
+                            busy_frac: 0.0,
+                        }),
+                        "cell" => {
+                            cells.push((e.detail.clone().unwrap_or_default(), elapsed));
+                        }
+                        _ => {}
+                    }
+                }
+                EventKind::Counter => {
+                    let v = e.value.unwrap_or(0.0);
+                    match e.name.as_str() {
+                        "traces-compiled" => summary.traces_compiled += v,
+                        "cells-priced" => summary.cells_priced += v,
+                        "busy-ns" => {
+                            let label = e.detail.clone().unwrap_or_default();
+                            let entry = busy.iter_mut().find(|(l, _, _)| *l == label);
+                            match entry {
+                                Some((_, total, threads)) => {
+                                    *total += v;
+                                    if !threads.contains(&e.thread) {
+                                        threads.push(e.thread);
+                                    }
+                                }
+                                None => busy.push((label, v, vec![e.thread])),
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                EventKind::SpanStart => {}
+            }
+        }
+        for phase in &mut summary.phases {
+            if let Some((_, total, threads)) =
+                busy.iter().find(|(l, _, _)| *l == phase.name)
+            {
+                phase.workers = threads.len();
+                if phase.wall_ns > 0.0 && !threads.is_empty() {
+                    phase.busy_frac = total / (phase.wall_ns * threads.len() as f64);
+                }
+            }
+        }
+        cells.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        cells.truncate(5);
+        summary.slowest_cells = cells;
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.counter("cells-priced", None, 1.0);
+        let _span = t.span("study");
+        t.flush();
+    }
+
+    #[test]
+    fn events_carry_monotonic_seq_and_values() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Tracer::new(sink.clone());
+        {
+            let _s = t.span_detail("phase", Some("price-cells".to_owned()));
+            t.counter("cells-priced", None, 1.0);
+        }
+        let events = sink.take();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::SpanStart);
+        assert_eq!(events[1].kind, EventKind::Counter);
+        assert_eq!(events[2].kind, EventKind::SpanEnd);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(events[2].detail.as_deref(), Some("price-cells"));
+        assert!(events[2].value.unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn trace_event_json_round_trips() {
+        let e = TraceEvent {
+            seq: 7,
+            ts_ns: 123,
+            thread: 2,
+            kind: EventKind::SpanEnd,
+            name: "phase".to_owned(),
+            detail: Some("collect-traces".to_owned()),
+            value: Some(42.0),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"span_end\""));
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+        // Absent options are omitted from the JSON entirely.
+        let bare = TraceEvent {
+            detail: None,
+            value: None,
+            kind: EventKind::SpanStart,
+            ..e
+        };
+        let json = serde_json::to_string(&bare).unwrap();
+        assert!(!json.contains("detail"));
+        assert!(!json.contains("value"));
+    }
+
+    #[test]
+    fn tee_sink_duplicates_events() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let t = Tracer::new(Arc::new(TeeSink::new(vec![a.clone(), b.clone()])));
+        t.counter("cells-priced", None, 2.0);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events().len(), 1);
+    }
+
+    #[test]
+    fn summary_aggregates_phases_cells_and_counters() {
+        let mk = |seq, thread, kind, name: &str, detail: Option<&str>, value| TraceEvent {
+            seq,
+            ts_ns: seq,
+            thread,
+            kind,
+            name: name.to_owned(),
+            detail: detail.map(str::to_owned),
+            value,
+        };
+        let events = vec![
+            mk(0, 0, EventKind::SpanStart, "study", None, None),
+            mk(1, 0, EventKind::SpanStart, "phase", Some("price-cells"), None),
+            mk(2, 1, EventKind::SpanEnd, "cell", Some("bfs/road/MALI"), Some(90.0)),
+            mk(3, 1, EventKind::Counter, "cells-priced", None, Some(1.0)),
+            mk(4, 2, EventKind::SpanEnd, "cell", Some("bfs/road/R9"), Some(10.0)),
+            mk(5, 2, EventKind::Counter, "cells-priced", None, Some(1.0)),
+            mk(6, 1, EventKind::Counter, "busy-ns", Some("price-cells"), Some(90.0)),
+            mk(7, 2, EventKind::Counter, "busy-ns", Some("price-cells"), Some(10.0)),
+            mk(8, 0, EventKind::SpanEnd, "phase", Some("price-cells"), Some(100.0)),
+            mk(9, 0, EventKind::SpanEnd, "study", None, Some(100.0)),
+        ];
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.total_wall_ns, 100.0);
+        assert_eq!(s.cells_priced, 2.0);
+        assert_eq!(s.phases.len(), 1);
+        assert_eq!(s.phases[0].workers, 2);
+        assert!((s.phases[0].busy_frac - 0.5).abs() < 1e-12);
+        assert_eq!(s.slowest_cells[0].0, "bfs/road/MALI");
+        assert_eq!(s.slowest_cells[0].1, 90.0);
+    }
+}

@@ -33,6 +33,7 @@ pub struct GlobalBarrier {
     resident_wgs: u32,
     wg_size: u32,
     setup_cost: f64,
+    setup_atomic_cost: f64,
     barrier_cost: f64,
 }
 
@@ -61,6 +62,7 @@ impl GlobalBarrier {
             resident_wgs: resident,
             wg_size,
             setup_cost,
+            setup_atomic_cost: (resident as f64 + 1.0) * chip.atomic_rmw_cost,
             barrier_cost,
         }
     }
@@ -78,6 +80,14 @@ impl GlobalBarrier {
     /// One-time cost of discovery and environment setup (ns).
     pub fn setup_cost(&self) -> f64 {
         self.setup_cost
+    }
+
+    /// The atomic-RMW share of [`GlobalBarrier::setup_cost`]: one RMW
+    /// per candidate workgroup plus the master's closing RMW. Used by
+    /// cost attribution to book discovery atomics separately from the
+    /// polling/fence traffic (which attribution books as barrier time).
+    pub fn setup_atomic_cost(&self) -> f64 {
+        self.setup_atomic_cost
     }
 
     /// Cost of one global barrier episode (ns).
@@ -173,6 +183,21 @@ mod tests {
         // R9 keeps two orders of magnitude more workgroups resident, so its
         // barrier episodes are more expensive than MALI's.
         assert!(big.barrier_cost() > small.barrier_cost());
+    }
+
+    #[test]
+    fn setup_atomic_share_is_within_setup_cost() {
+        for chip in study_chips() {
+            for ws in [128, 256] {
+                let gb = GlobalBarrier::discover(&chip, ws);
+                let atomics = gb.setup_atomic_cost();
+                assert!(atomics > 0.0, "{}", chip.name);
+                assert!(atomics < gb.setup_cost(), "{}", chip.name);
+                // One RMW per candidate workgroup plus the master's close.
+                let expect = (gb.resident_workgroups() as f64 + 1.0) * chip.atomic_rmw_cost;
+                assert_eq!(atomics, expect, "{}", chip.name);
+            }
+        }
     }
 
     #[test]

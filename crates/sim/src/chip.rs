@@ -351,6 +351,15 @@ impl ChipProfile {
         self.wg_barrier_cost * (wg_size as f64 / 128.0)
     }
 
+    /// Host-side overhead of one iteration without `oitergb`: a kernel
+    /// launch plus the small control copy. This is the quantity the
+    /// launch-bound chips of the study pay per fixed-point iteration,
+    /// and the `launch` + `copy` attribution of one iteration's
+    /// [`gpp_obs::CostBreakdown`].
+    pub fn launch_copy_overhead(&self) -> f64 {
+        self.kernel_launch_cost + self.host_copy_cost
+    }
+
     /// Effective divergence multiplier (≥ 1) on scattered global accesses,
     /// optionally relieved by barrier-separated execution
     /// (`barrier_relief` = workgroup barriers keep threads converged).
@@ -511,12 +520,12 @@ mod tests {
         let nvidia_max = chips
             .iter()
             .filter(|c| c.vendor == Vendor::Nvidia)
-            .map(|c| c.kernel_launch_cost + c.host_copy_cost)
+            .map(ChipProfile::launch_copy_overhead)
             .fold(0.0f64, f64::max);
         let others_min = chips
             .iter()
             .filter(|c| c.vendor != Vendor::Nvidia)
-            .map(|c| c.kernel_launch_cost + c.host_copy_cost)
+            .map(ChipProfile::launch_copy_overhead)
             .fold(f64::INFINITY, f64::min);
         assert!(nvidia_max < others_min);
     }

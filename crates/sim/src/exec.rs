@@ -53,6 +53,7 @@
 
 use std::collections::HashMap;
 
+use gpp_obs::CostBreakdown;
 use serde::{Deserialize, Serialize};
 
 use crate::barrier::GlobalBarrier;
@@ -236,6 +237,9 @@ pub struct RunStats {
 
 /// The sink applications execute against: either a timing [`Session`] or
 /// a [`crate::trace::Recorder`].
+///
+/// Sessions started with [`Machine::session_explained`] additionally
+/// attribute every nanosecond to a [`CostBreakdown`] mechanism.
 pub trait Executor {
     /// Executes one kernel of the application's iteration loop.
     fn kernel(&mut self, profile: &KernelProfile, items: &[WorkItem]);
@@ -291,7 +295,18 @@ impl Machine {
             kernels: 0,
             launches: 0,
             global_barriers: 0,
+            breakdown: None,
         }
+    }
+
+    /// Starts a session that additionally accumulates a per-mechanism
+    /// [`CostBreakdown`] alongside the scalar timing. The scalar path
+    /// is bit-identical to [`Machine::session`]; retrieve the
+    /// breakdown with [`Session::finish_explained`].
+    pub fn session_explained(&self, config: OptConfig) -> Session<'_> {
+        let mut session = self.session(config);
+        session.breakdown = Some(CostBreakdown::default());
+        session
     }
 }
 
@@ -308,6 +323,7 @@ pub struct Session<'m> {
     kernels: u64,
     launches: u64,
     global_barriers: u64,
+    breakdown: Option<CostBreakdown>,
 }
 
 impl Session<'_> {
@@ -361,9 +377,19 @@ impl Session<'_> {
                     // One real launch; the setup includes occupancy
                     // discovery and the initial parameter copy.
                     self.launches += 1;
+                    if let Some(b) = &mut self.breakdown {
+                        b.launch += chip.kernel_launch_cost;
+                        b.copy += chip.host_copy_cost;
+                        let atomics = gb.setup_atomic_cost();
+                        b.atomics += atomics;
+                        b.barrier += gb.setup_cost() - atomics;
+                    }
                     chip.kernel_launch_cost + chip.host_copy_cost + gb.setup_cost()
                 } else {
                     self.global_barriers += 1;
+                    if let Some(b) = &mut self.breakdown {
+                        b.barrier += gb.barrier_cost();
+                    }
                     gb.barrier_cost()
                 }
             }
@@ -371,14 +397,33 @@ impl Session<'_> {
                 // Every iteration: a launch plus a small copy (the host
                 // reads the "work left?" flag).
                 self.launches += 1;
+                if let Some(b) = &mut self.breakdown {
+                    b.launch += chip.kernel_launch_cost;
+                    b.copy += chip.host_copy_cost;
+                }
                 chip.kernel_launch_cost + chip.host_copy_cost
             }
         };
-        let device = evaluate_kernel(chip, self.config, self.wg_size, profile, aggs);
+        let device = if self.breakdown.is_some() {
+            let (device, device_breakdown) =
+                evaluate_kernel_explained(chip, self.config, self.wg_size, profile, aggs);
+            if let Some(b) = &mut self.breakdown {
+                b.absorb(&device_breakdown);
+            }
+            device
+        } else {
+            evaluate_kernel(chip, self.config, self.wg_size, profile, aggs)
+        };
         self.kernels += 1;
         let total = overhead + device;
         self.time_ns += total;
         total
+    }
+
+    /// The cost breakdown accumulated so far, if this session was
+    /// started with [`Machine::session_explained`].
+    pub fn breakdown(&self) -> Option<&CostBreakdown> {
+        self.breakdown.as_ref()
     }
 
     /// Finishes the run and returns its statistics.
@@ -389,6 +434,28 @@ impl Session<'_> {
             launches: self.launches,
             global_barriers: self.global_barriers,
         }
+    }
+
+    /// Finishes an explained run, returning the statistics plus the
+    /// accumulated per-mechanism breakdown. The breakdown's
+    /// [`CostBreakdown::total`] equals `time_ns` within floating-point
+    /// round-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was not started with
+    /// [`Machine::session_explained`].
+    pub fn finish_explained(self) -> (RunStats, CostBreakdown) {
+        let breakdown = self
+            .breakdown
+            .expect("session was not started with session_explained");
+        let stats = RunStats {
+            time_ns: self.time_ns,
+            kernels: self.kernels,
+            launches: self.launches,
+            global_barriers: self.global_barriers,
+        };
+        (stats, breakdown)
     }
 }
 
@@ -410,8 +477,36 @@ pub fn evaluate_kernel(
     if aggs.workgroups.is_empty() {
         return chip.kernel_fixed_cost;
     }
-    let pass = device_pass(chip, wg_size, profile, aggs, cfg.wg, cfg.sg, cfg.fg, cfg.coop_cv);
+    let (pass, _) =
+        device_pass::<false>(chip, wg_size, profile, aggs, cfg.wg, cfg.sg, cfg.fg, cfg.coop_cv);
     finish_kernel(chip, cfg, wg_size, &pass, aggs.pushes)
+}
+
+/// Like [`evaluate_kernel`], but additionally attributes the returned
+/// scalar to cost mechanisms. The scalar is bit-identical to
+/// [`evaluate_kernel`] (the attribution accumulators never feed back
+/// into the timing arithmetic), and the breakdown's
+/// [`CostBreakdown::total`] equals it within floating-point round-off
+/// (well inside 1e-9 relative).
+pub fn evaluate_kernel_explained(
+    chip: &ChipProfile,
+    cfg: OptConfig,
+    wg_size: u32,
+    profile: &KernelProfile,
+    aggs: &CallAggregates,
+) -> (f64, CostBreakdown) {
+    if aggs.workgroups.is_empty() {
+        return (
+            chip.kernel_fixed_cost,
+            CostBreakdown {
+                compute: chip.kernel_fixed_cost,
+                ..CostBreakdown::default()
+            },
+        );
+    }
+    let (pass, buckets) =
+        device_pass::<true>(chip, wg_size, profile, aggs, cfg.wg, cfg.sg, cfg.fg, cfg.coop_cv);
+    finish_kernel_explained(chip, cfg, wg_size, &pass, &buckets, aggs.pushes)
 }
 
 /// Prices one kernel invocation under *all* of `configs` in a single walk
@@ -469,7 +564,75 @@ pub fn evaluate_kernel_batch(
                 (false, false, FgMode::Off, cfg.coop_cv && sg_size > 1)
             };
             let slot = *slots.entry(key).or_insert_with(|| {
-                passes.push(device_pass(
+                passes.push(
+                    device_pass::<false>(
+                        chip, wg_size, profile, aggs, key.0, key.1, key.2, key.3,
+                    )
+                    .0,
+                );
+                passes.len() - 1
+            });
+            (*cfg, slot)
+        })
+        .collect::<Vec<_>>();
+    results
+        .into_iter()
+        .map(|(cfg, slot)| finish_kernel(chip, cfg, wg_size, &passes[slot], aggs.pushes))
+        .collect()
+}
+
+/// Like [`evaluate_kernel_batch`], but each configuration's device time
+/// comes with its per-mechanism [`CostBreakdown`]. The scalars are
+/// bit-identical to [`evaluate_kernel_batch`] (and hence to individual
+/// [`evaluate_kernel`] calls).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`evaluate_kernel_batch`].
+pub fn evaluate_kernel_batch_explained(
+    chip: &ChipProfile,
+    wg_size: u32,
+    profile: &KernelProfile,
+    aggs: &CallAggregates,
+    configs: &[OptConfig],
+) -> Vec<(f64, CostBreakdown)> {
+    assert_eq!(
+        aggs.wg_size, wg_size,
+        "aggregation workgroup size mismatch"
+    );
+    assert_eq!(
+        aggs.sg_size,
+        chip.subgroup_size.max(1),
+        "aggregation subgroup size mismatch"
+    );
+    if aggs.workgroups.is_empty() {
+        let empty = (
+            chip.kernel_fixed_cost,
+            CostBreakdown {
+                compute: chip.kernel_fixed_cost,
+                ..CostBreakdown::default()
+            },
+        );
+        return vec![empty; configs.len()];
+    }
+    let sg_size = chip.subgroup_size.max(1);
+    let mut slots: HashMap<(bool, bool, FgMode, bool), usize> = HashMap::new();
+    let mut passes: Vec<(DevicePass, PassBuckets)> = Vec::new();
+    let results = configs
+        .iter()
+        .map(|cfg| {
+            assert_eq!(
+                cfg.workgroup_size().min(chip.max_workgroup_size()),
+                wg_size,
+                "configuration implies a different workgroup size"
+            );
+            let key = if profile.irregular {
+                (cfg.wg, cfg.sg, cfg.fg, cfg.coop_cv && sg_size > 1)
+            } else {
+                (false, false, FgMode::Off, cfg.coop_cv && sg_size > 1)
+            };
+            let slot = *slots.entry(key).or_insert_with(|| {
+                passes.push(device_pass::<true>(
                     chip, wg_size, profile, aggs, key.0, key.1, key.2, key.3,
                 ));
                 passes.len() - 1
@@ -479,7 +642,10 @@ pub fn evaluate_kernel_batch(
         .collect::<Vec<_>>();
     results
         .into_iter()
-        .map(|(cfg, slot)| finish_kernel(chip, cfg, wg_size, &passes[slot], aggs.pushes))
+        .map(|(cfg, slot)| {
+            let (pass, buckets) = &passes[slot];
+            finish_kernel_explained(chip, cfg, wg_size, pass, buckets, aggs.pushes)
+        })
         .collect()
 }
 
@@ -503,6 +669,47 @@ fn finish_kernel(
     chip.kernel_fixed_cost + compute + worklist_rmw_time(chip, cfg, pushes)
 }
 
+/// The explained counterpart of [`finish_kernel`]: returns the same
+/// scalar (computed by calling [`finish_kernel`] itself, so it is
+/// bit-identical) plus its attribution.
+///
+/// The busy-work buckets sum to `pass.total_busy` algebraically, so
+/// rescaling them by `throughput_time / Σbuckets` attributes the
+/// throughput-limited time exactly; any excess of the critical-path
+/// workgroup over throughput-limited execution is the occupancy tail.
+fn finish_kernel_explained(
+    chip: &ChipProfile,
+    cfg: OptConfig,
+    wg_size: u32,
+    pass: &DevicePass,
+    buckets: &PassBuckets,
+    pushes: u64,
+) -> (f64, CostBreakdown) {
+    let total = finish_kernel(chip, cfg, wg_size, pass, pushes);
+    let occupancy_factor = if cfg.oitergb { 0.8 } else { 1.0 };
+    let resident_threads =
+        (chip.resident_workgroups(wg_size) as f64) * wg_size as f64 * occupancy_factor;
+    let capacity_threads = resident_threads.min(chip.throughput_threads as f64);
+    let throughput_time = pass.total_busy / capacity_threads;
+    let compute = throughput_time.max(pass.max_wg_time);
+    let busy_sum = buckets.base + buckets.divergence + buckets.atomic + buckets.barrier;
+    let scale = if busy_sum > 0.0 {
+        throughput_time / busy_sum
+    } else {
+        0.0
+    };
+    let breakdown = CostBreakdown {
+        compute: chip.kernel_fixed_cost + buckets.base * scale,
+        divergence: buckets.divergence * scale,
+        atomics: buckets.atomic * scale,
+        barrier: buckets.barrier * scale,
+        occupancy_tail: compute - throughput_time,
+        worklist: worklist_rmw_time(chip, cfg, pushes),
+        ..CostBreakdown::default()
+    };
+    (total, breakdown)
+}
+
 /// Result of walking one invocation's workgroups under one effective
 /// scheme setting: total thread-busy work and the longest single
 /// workgroup (the critical path).
@@ -512,13 +719,38 @@ struct DevicePass {
     max_wg_time: f64,
 }
 
+/// Attribution of [`DevicePass::total_busy`] to cost mechanisms, only
+/// populated when [`device_pass`] runs with `EXPLAIN = true`. The four
+/// buckets sum to `total_busy` (algebraically; floating-point
+/// round-off aside):
+///
+/// * `base` — per-node prologues plus every edge's converged ALU and
+///   memory cost, regardless of which scheme executed it;
+/// * `divergence` — serial-scheme time in excess of the converged cost
+///   of the same edges (divergence penalty and masked-lane waste);
+/// * `atomic` — the per-edge atomic-RMW share of edge work;
+/// * `barrier` — scheme orchestration: ballots, subgroup/workgroup
+///   barriers, inspector bookkeeping, and fixed scheme agreement.
+#[derive(Debug, Clone, Copy, Default)]
+struct PassBuckets {
+    base: f64,
+    divergence: f64,
+    atomic: f64,
+    barrier: f64,
+}
+
 /// Walks the per-workgroup aggregates once for one effective setting of
 /// the device-side optimisation axes (`cfg_wg`, `cfg_sg`, `cfg_fg`,
 /// `cfg_coop_cv` — the raw configuration booleans; regular-kernel and
 /// subgroup-size gating happens inside, exactly as the pre-batching
 /// evaluator did). This is the O(#workgroups) hot loop of replay.
+///
+/// With `EXPLAIN = false` the attribution accumulators compile out and
+/// the returned [`PassBuckets`] is all zeros; the timing arithmetic is
+/// byte-for-byte the same either way, so `EXPLAIN = true` never
+/// perturbs the scalar result.
 #[allow(clippy::too_many_arguments)]
-fn device_pass(
+fn device_pass<const EXPLAIN: bool>(
     chip: &ChipProfile,
     wg_size: u32,
     profile: &KernelProfile,
@@ -527,7 +759,7 @@ fn device_pass(
     cfg_sg: bool,
     cfg_fg: FgMode,
     cfg_coop_cv: bool,
-) -> DevicePass {
+) -> (DevicePass, PassBuckets) {
     let sg_size = chip.subgroup_size.max(1);
     let n_subgroups = (wg_size / sg_size).max(1) as f64;
 
@@ -557,9 +789,14 @@ fn device_pass(
     // tree. The wg executor pays one per serialised node (leader
     // election) and two to enter/exit the phase.
     let wg_ballot = wg_barrier + (wg_size as f64).log2() * chip.local_mem_cost;
+    // Attribution constants: the atomic share of one converged edge and
+    // the remaining (ALU + memory) share.
+    let e_atomic = profile.atomics_per_edge * chip.atomic_uncontended_cost;
+    let e_flat = edge_balanced - e_atomic;
 
     let mut total_busy = 0.0f64;
     let mut max_wg_time = 0.0f64;
+    let mut buckets = PassBuckets::default();
 
     for wg in &aggs.workgroups {
         // Route classes to schemes:
@@ -574,6 +811,13 @@ fn device_pass(
         let mut serial_max = 0u32;
         let mut serial_edges = 0u64;
         let mut serial_count = 0u32;
+        // EXPLAIN only: balanced edge-equivalents priced at
+        // `edge_balanced` inside each cooperative phase, so the
+        // phases' orchestration remainder can be attributed to the
+        // barrier bucket.
+        let mut wg_units = 0u64;
+        let mut sg_units = 0u64;
+        let mut fg_units = 0.0f64;
 
         let mut route = |class: &ClassAgg, start: Scheme| {
             if class.count == 0 {
@@ -583,6 +827,9 @@ fn device_pass(
                 Scheme::Wg if wg_on => {
                     wg_phase +=
                         class.count as f64 * wg_ballot + class.rounds_wg as f64 * edge_balanced;
+                    if EXPLAIN {
+                        wg_units += class.rounds_wg;
+                    }
                 }
                 Scheme::Wg | Scheme::Sg if sg_on => {
                     sg_work += class.count as f64 * sg_orchestration
@@ -590,6 +837,9 @@ fn device_pass(
                     let single = sg_orchestration
                         + (class.max_degree as u64).div_ceil(sg_size as u64) as f64 * edge_balanced;
                     sg_max_single = sg_max_single.max(single);
+                    if EXPLAIN {
+                        sg_units += class.rounds_sg;
+                    }
                 }
                 _ if fg_on => {
                     fg_edges += class.edges;
@@ -657,10 +907,16 @@ fn device_pass(
                 let per_round = wg_size as f64 * fg_epi;
                 let full_rounds = (fg_edges as f64 / per_round).floor();
                 fg_phase += full_rounds * (fg_epi * edge_balanced + fg_round_overhead);
+                if EXPLAIN {
+                    fg_units += full_rounds * fg_epi;
+                }
                 let tail_edges = fg_edges as f64 - full_rounds * per_round;
                 if tail_edges > 0.0 {
-                    fg_phase +=
-                        (tail_edges / wg_size as f64).ceil() * edge_balanced + fg_round_overhead;
+                    let tail_rounds = (tail_edges / wg_size as f64).ceil();
+                    fg_phase += tail_rounds * edge_balanced + fg_round_overhead;
+                    if EXPLAIN {
+                        fg_units += tail_rounds;
+                    }
                 }
             }
         }
@@ -690,12 +946,37 @@ fn device_pass(
             + serial_edges as f64 * edge_serial * simd_waste
             + sg_work * sg_size as f64
             + (wg_phase + fg_phase) * wg_size as f64;
+
+        if EXPLAIN {
+            // Split this workgroup's busy contribution into buckets.
+            // `units` counts cooperative edge-equivalents weighted by
+            // the thread width each occupies, so
+            // `units * edge_balanced` is exactly the balanced-edge part
+            // of the cooperative phases' busy time; what remains of
+            // each phase is orchestration. Serial edges occupy one
+            // thread each; their excess over the converged cost is the
+            // divergence bucket.
+            let serial = serial_edges as f64;
+            let units = (wg_units as f64 + fg_units) * wg_size as f64
+                + sg_units as f64 * sg_size as f64;
+            let edge_units = units + serial;
+            buckets.base += node_fixed * wg_size as f64 + edge_units * e_flat;
+            buckets.atomic += edge_units * e_atomic;
+            buckets.divergence += serial * edge_serial * simd_waste - serial * edge_balanced;
+            buckets.barrier += scheme_fixed * wg_size as f64
+                + (wg_phase - wg_units as f64 * edge_balanced) * wg_size as f64
+                + (sg_work - sg_units as f64 * edge_balanced) * sg_size as f64
+                + (fg_phase - fg_units * edge_balanced) * wg_size as f64;
+        }
     }
 
-    DevicePass {
-        total_busy,
-        max_wg_time,
-    }
+    (
+        DevicePass {
+            total_busy,
+            max_wg_time,
+        },
+        buckets,
+    )
 }
 
 #[derive(Clone, Copy)]
@@ -1130,6 +1411,100 @@ mod tests {
             .collect();
         let batch = evaluate_kernel_batch(&chip, 128, &KernelProfile::frontier("k"), &aggs, &configs);
         assert!(batch.iter().all(|&t| t == chip.kernel_fixed_cost));
+    }
+
+    #[test]
+    fn explained_kernel_is_bit_identical_and_sums_to_total() {
+        let items = skewed(5_000, 3_000);
+        let mut regular = KernelProfile::frontier("filter");
+        regular.irregular = false;
+        for chip in study_chips() {
+            for profile in [KernelProfile::frontier("k"), regular.clone()] {
+                for cfg in crate::opts::all_configs() {
+                    let wg_size = cfg.workgroup_size().min(chip.max_workgroup_size());
+                    let aggs =
+                        CallAggregates::from_items(&items, wg_size, chip.subgroup_size.max(1));
+                    let plain = evaluate_kernel(&chip, cfg, wg_size, &profile, &aggs);
+                    let (explained, b) =
+                        evaluate_kernel_explained(&chip, cfg, wg_size, &profile, &aggs);
+                    assert_eq!(plain, explained, "{} {cfg} {}", chip.name, profile.name);
+                    let rel = (b.total() - plain).abs() / plain;
+                    assert!(
+                        rel < 1e-9,
+                        "{} {cfg} {}: breakdown {} vs scalar {plain}",
+                        chip.name,
+                        profile.name,
+                        b.total()
+                    );
+                    // Components are non-negative up to round-off of the
+                    // orchestration remainders.
+                    assert!(
+                        b.components().iter().all(|&(_, v)| v >= -1e-9 * plain),
+                        "{} {cfg}: negative component in {b:?}",
+                        chip.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explained_batch_matches_plain_batch() {
+        let items = skewed(5_000, 3_000);
+        let profile = KernelProfile::frontier("k");
+        for chip in study_chips() {
+            for wg_size in [128u32, 256] {
+                let wg_size = wg_size.min(chip.max_workgroup_size());
+                let aggs = CallAggregates::from_items(&items, wg_size, chip.subgroup_size.max(1));
+                let configs: Vec<OptConfig> = crate::opts::all_configs()
+                    .into_iter()
+                    .filter(|c| c.workgroup_size().min(chip.max_workgroup_size()) == wg_size)
+                    .collect();
+                let plain = evaluate_kernel_batch(&chip, wg_size, &profile, &aggs, &configs);
+                let explained =
+                    evaluate_kernel_batch_explained(&chip, wg_size, &profile, &aggs, &configs);
+                for ((t, (te, b)), cfg) in plain.iter().zip(&explained).zip(&configs) {
+                    assert_eq!(t, te, "{} {cfg}", chip.name);
+                    let rel = (b.total() - t).abs() / t;
+                    assert!(rel < 1e-9, "{} {cfg}: {} vs {t}", chip.name, b.total());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explained_session_matches_plain_session() {
+        let items = skewed(4_000, 1_000);
+        for chip in study_chips() {
+            for cfg in [
+                OptConfig::baseline(),
+                OptConfig::baseline().with(Optimization::Oitergb),
+                OptConfig::from_index(95),
+            ] {
+                let m = Machine::new(chip.clone());
+                let run = |mut s: Session<'_>| {
+                    for _ in 0..4 {
+                        Session::kernel(&mut s, &KernelProfile::frontier("k"), &items);
+                    }
+                    s
+                };
+                let plain = run(m.session(cfg)).finish();
+                let (stats, b) = run(m.session_explained(cfg)).finish_explained();
+                assert_eq!(plain, stats, "{} {cfg}", chip.name);
+                let rel = (b.total() - stats.time_ns).abs() / stats.time_ns;
+                assert!(
+                    rel < 1e-9,
+                    "{} {cfg}: breakdown {} vs time {}",
+                    chip.name,
+                    b.total(),
+                    stats.time_ns
+                );
+                if cfg.oitergb {
+                    assert!(b.barrier > 0.0, "{}: oitergb must book barrier time", chip.name);
+                }
+                assert!(b.launch > 0.0 && b.copy > 0.0);
+            }
+        }
     }
 
     #[test]

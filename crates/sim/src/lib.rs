@@ -52,6 +52,10 @@ pub mod opts;
 pub mod trace;
 
 pub use chip::{study_chip, study_chips, ChipProfile, Vendor};
-pub use exec::{Executor, KernelProfile, Machine, RunStats, Session, WorkItem};
+pub use exec::{
+    evaluate_kernel, evaluate_kernel_batch, evaluate_kernel_batch_explained,
+    evaluate_kernel_explained, Executor, KernelProfile, Machine, RunStats, Session, WorkItem,
+};
+pub use gpp_obs::CostBreakdown;
 pub use opts::{all_configs, FgMode, OptConfig, Optimization};
 pub use trace::{CompiledTrace, Recorder, Trace};

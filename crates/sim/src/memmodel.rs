@@ -276,6 +276,19 @@ pub fn store_buffering_weak_outcome(support: AtomicSupport) -> bool {
         .any(|(r0, r1)| r0[0] == 0 && r1[0] == 0)
 }
 
+impl AtomicSupport {
+    /// A short human-readable description of the emulation level, used
+    /// by the `explain` command alongside the cost attribution.
+    pub fn label(self) -> &'static str {
+        match self {
+            AtomicSupport::Native => "native OpenCL 2.0 atomics",
+            AtomicSupport::InlinePtx => "emulated via inline PTX fences",
+            AtomicSupport::BestEffortFences => "best-effort OpenCL 1.x fences",
+            AtomicSupport::UnfencedBroken => "unfenced (broken; demo only)",
+        }
+    }
+}
+
 /// The emulation level each study chip uses (paper Section VI-A).
 pub fn chip_support(chip_name: &str) -> AtomicSupport {
     match chip_name {
@@ -332,6 +345,23 @@ mod tests {
                 "{}: worklist publication would be racy",
                 chip.name
             );
+        }
+    }
+
+    #[test]
+    fn support_labels_are_distinct_and_nonempty() {
+        let labels: Vec<&str> = [
+            AtomicSupport::Native,
+            AtomicSupport::InlinePtx,
+            AtomicSupport::BestEffortFences,
+            AtomicSupport::UnfencedBroken,
+        ]
+        .iter()
+        .map(|s| s.label())
+        .collect();
+        assert!(labels.iter().all(|l| !l.is_empty()));
+        for (i, a) in labels.iter().enumerate() {
+            assert!(labels[i + 1..].iter().all(|b| b != a), "duplicate {a}");
         }
     }
 

@@ -43,9 +43,12 @@
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
+use gpp_obs::CostBreakdown;
+
 use crate::barrier::GlobalBarrier;
 use crate::exec::{
-    evaluate_kernel_batch, CallAggregates, Executor, KernelProfile, Machine, RunStats, WorkItem,
+    evaluate_kernel_batch, evaluate_kernel_batch_explained, CallAggregates, Executor,
+    KernelProfile, Machine, RunStats, WorkItem,
 };
 use crate::opts::{all_configs, OptConfig, NUM_CONFIGS};
 
@@ -211,6 +214,23 @@ impl CompiledTrace {
         session.finish()
     }
 
+    /// Like [`CompiledTrace::replay`], but additionally returns the
+    /// per-mechanism [`CostBreakdown`] of the whole run. The statistics
+    /// are bit-identical to [`CompiledTrace::replay`], and the
+    /// breakdown's [`CostBreakdown::total`] equals `time_ns` within
+    /// floating-point round-off.
+    pub fn replay_explained(&self, machine: &Machine, config: OptConfig) -> (RunStats, CostBreakdown) {
+        let mut session = machine.session_explained(config);
+        let aggs = self.aggregates(
+            session.workgroup_size(),
+            machine.chip().subgroup_size.max(1),
+        );
+        for (call, agg) in self.trace.calls.iter().zip(aggs.iter()) {
+            session.kernel_aggregated(&call.profile, agg);
+        }
+        session.finish_explained()
+    }
+
     /// Replays the trace under *every* configuration of the study space
     /// in one traversal per geometry, returning statistics indexed by
     /// [`OptConfig::index`]. Each entry is bit-identical to the
@@ -269,6 +289,80 @@ impl CompiledTrace {
                             chip.kernel_launch_cost + chip.host_copy_cost
                         }
                     };
+                    acc.kernels += 1;
+                    acc.time_ns += overhead + dev;
+                }
+            }
+        }
+        out
+    }
+
+    /// Like [`CompiledTrace::replay_all_configs`], but each
+    /// configuration's statistics come with the run-level
+    /// [`CostBreakdown`]. The statistics are bit-identical to
+    /// [`CompiledTrace::replay_all_configs`] (and hence to individual
+    /// replays), and every breakdown sums to its `time_ns` within
+    /// floating-point round-off.
+    pub fn replay_all_configs_explained(
+        &self,
+        machine: &Machine,
+    ) -> Vec<(RunStats, CostBreakdown)> {
+        let chip = machine.chip();
+        let sg_size = chip.subgroup_size.max(1);
+        let empty = RunStats {
+            time_ns: 0.0,
+            kernels: 0,
+            launches: 0,
+            global_barriers: 0,
+        };
+        let mut out = vec![(empty, CostBreakdown::default()); NUM_CONFIGS];
+        let mut groups: Vec<(u32, Vec<OptConfig>)> = Vec::new();
+        for cfg in all_configs() {
+            let wg_size = cfg.workgroup_size().min(chip.max_workgroup_size());
+            match groups.iter_mut().find(|(g, _)| *g == wg_size) {
+                Some((_, v)) => v.push(cfg),
+                None => groups.push((wg_size, vec![cfg])),
+            }
+        }
+        for (wg_size, configs) in &groups {
+            let aggs = self.aggregates(*wg_size, sg_size);
+            let barriers: Vec<Option<GlobalBarrier>> = configs
+                .iter()
+                .map(|c| c.oitergb.then(|| GlobalBarrier::discover(chip, *wg_size)))
+                .collect();
+            for (call, agg) in self.trace.calls.iter().zip(aggs.iter()) {
+                let device =
+                    evaluate_kernel_batch_explained(chip, *wg_size, &call.profile, agg, configs);
+                for ((cfg, (dev, dev_breakdown)), gb) in
+                    configs.iter().zip(&device).zip(&barriers)
+                {
+                    let (acc, breakdown) = &mut out[cfg.index()];
+                    // Mirror Session::kernel_aggregated's overhead
+                    // accounting and attribution exactly.
+                    let overhead = match gb {
+                        Some(gb) => {
+                            if acc.kernels == 0 {
+                                acc.launches += 1;
+                                breakdown.launch += chip.kernel_launch_cost;
+                                breakdown.copy += chip.host_copy_cost;
+                                let atomics = gb.setup_atomic_cost();
+                                breakdown.atomics += atomics;
+                                breakdown.barrier += gb.setup_cost() - atomics;
+                                chip.kernel_launch_cost + chip.host_copy_cost + gb.setup_cost()
+                            } else {
+                                acc.global_barriers += 1;
+                                breakdown.barrier += gb.barrier_cost();
+                                gb.barrier_cost()
+                            }
+                        }
+                        None => {
+                            acc.launches += 1;
+                            breakdown.launch += chip.kernel_launch_cost;
+                            breakdown.copy += chip.host_copy_cost;
+                            chip.kernel_launch_cost + chip.host_copy_cost
+                        }
+                    };
+                    breakdown.absorb(dev_breakdown);
                     acc.kernels += 1;
                     acc.time_ns += overhead + dev;
                 }
@@ -373,6 +467,59 @@ mod tests {
             for cfg in all_configs() {
                 let single = compiled.replay(&machine, cfg);
                 assert_eq!(all[cfg.index()], single, "{} {cfg}", chip.name);
+            }
+        }
+    }
+
+    #[test]
+    fn explained_replay_is_bit_identical_and_sums_to_total() {
+        let trace = sample_trace();
+        for chip in study_chips() {
+            let machine = Machine::new(chip.clone());
+            let compiled = CompiledTrace::new(trace.clone());
+            for cfg in all_configs().into_iter().step_by(11) {
+                let plain = compiled.replay(&machine, cfg);
+                let (stats, b) = compiled.replay_explained(&machine, cfg);
+                assert_eq!(plain, stats, "{} {cfg}", chip.name);
+                let rel = (b.total() - stats.time_ns).abs() / stats.time_ns;
+                assert!(
+                    rel < 1e-9,
+                    "{} {cfg}: breakdown {} vs {}",
+                    chip.name,
+                    b.total(),
+                    stats.time_ns
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn explained_batch_replay_matches_plain_and_explained_individual() {
+        let trace = sample_trace();
+        for chip in study_chips() {
+            let machine = Machine::new(chip.clone());
+            let compiled = CompiledTrace::new(trace.clone());
+            let plain = compiled.replay_all_configs(&machine);
+            let explained = compiled.replay_all_configs_explained(&machine);
+            assert_eq!(explained.len(), NUM_CONFIGS);
+            for cfg in all_configs() {
+                let (stats, b) = &explained[cfg.index()];
+                assert_eq!(plain[cfg.index()], *stats, "{} {cfg}", chip.name);
+                let rel = (b.total() - stats.time_ns).abs() / stats.time_ns;
+                assert!(
+                    rel < 1e-9,
+                    "{} {cfg}: breakdown {} vs {}",
+                    chip.name,
+                    b.total(),
+                    stats.time_ns
+                );
+            }
+            // Spot-check against the individually-explained path too.
+            for cfg in all_configs().into_iter().step_by(17) {
+                let (stats, b) = compiled.replay_explained(&machine, cfg);
+                let (batch_stats, batch_b) = &explained[cfg.index()];
+                assert_eq!(stats, *batch_stats, "{} {cfg}", chip.name);
+                assert_eq!(b, *batch_b, "{} {cfg}", chip.name);
             }
         }
     }
