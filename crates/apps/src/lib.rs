@@ -11,7 +11,8 @@
 //!   are compiled to;
 //! - [`inputs`] — the three study inputs (road / social / random);
 //! - [`par`] — the scoped-thread parallel map the grid runner fans out
-//!   with;
+//!   with (re-exported from the `gpp-par` utility crate, which also
+//!   serves `gpp-core`'s analysis pipeline);
 //! - [`study`] — the grid runner producing the [`study::Dataset`]
 //!   consumed by `gpp-core`'s portability analysis.
 //!

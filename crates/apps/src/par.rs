@@ -1,209 +1,24 @@
-//! Minimal work-stealing-free parallel map over a slice, built on
-//! [`std::thread::scope`].
+//! Re-export of the scoped-thread parallel map, which now lives in the
+//! [`gpp_par`] utility crate so that `gpp-core`'s analysis pipeline can
+//! use the same primitive without inverting the workspace crate DAG.
 //!
-//! The study grid only needs one primitive: apply a pure function to
-//! every element of a slice and collect the results *in input order*.
-//! Workers pull indices from a shared atomic counter (dynamic
-//! scheduling, so uneven items — big traces, slow chips — balance out)
-//! and results are scattered back to their input slots, so the output is
-//! independent of scheduling. No external runtime dependency is needed.
+//! Historical callers keep working through this path: the study grid
+//! fans out with `gpp_apps::par::par_map_traced`, exactly as before the
+//! extraction. See [`gpp_par`] for the semantics (input-order results,
+//! dynamic scheduling, panic propagation, per-worker `busy-ns`
+//! counters when traced).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
-
-use gpp_obs::Tracer;
-
-/// Maps `f` over `items` on up to `threads` worker threads, returning
-/// the results in input order.
-///
-/// `f` receives `(index, &item)`. With `threads <= 1` (or a single
-/// item) the map runs inline on the caller's thread — the closure
-/// executes on exactly the same items in the same per-item way either
-/// way, so results never depend on the thread count.
-///
-/// # Panics
-///
-/// If `f` panics for any item, the panic is propagated to the caller
-/// with its original payload (after the remaining workers finish).
-pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let threads = threads.clamp(1, items.len().max(1));
-    if threads == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let (next, f) = (&next, &f);
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        out.push((i, f(i, &items[i])));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(v) => v,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    for (i, r) in per_worker.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index processed exactly once"))
-        .collect()
-}
-
-/// [`par_map`] with per-worker busy-time instrumentation: each worker
-/// emits one `busy-ns` counter (detail = `label`) totalling the time it
-/// spent inside `f`, so a [`gpp_obs::TraceSummary`] can report thread
-/// utilisation for the phase.
-///
-/// With a disabled tracer this delegates to [`par_map`] directly —
-/// no timestamps are taken and no overhead is paid. The output is the
-/// results in input order either way, exactly as [`par_map`] returns
-/// them, and `f` is applied to the same items in the same per-item way
-/// regardless of tracing or thread count.
-///
-/// # Panics
-///
-/// Propagates panics from `f` exactly as [`par_map`] does.
-pub fn par_map_traced<T, R, F>(
-    items: &[T],
-    threads: usize,
-    tracer: &Tracer,
-    label: &str,
-    f: F,
-) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    if !tracer.is_enabled() {
-        return par_map(items, threads, f);
-    }
-    let threads = threads.clamp(1, items.len().max(1));
-    if threads == 1 {
-        let start = Instant::now();
-        let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-        tracer.counter("busy-ns", Some(label), start.elapsed().as_nanos() as f64);
-        return out;
-    }
-    let next = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let (next, f, tracer) = (&next, &f, tracer);
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut busy_ns = 0u128;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        let start = Instant::now();
-                        out.push((i, f(i, &items[i])));
-                        busy_ns += start.elapsed().as_nanos();
-                    }
-                    tracer.counter("busy-ns", Some(label), busy_ns as f64);
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(v) => v,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    for (i, r) in per_worker.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index processed exactly once"))
-        .collect()
-}
+pub use gpp_par::{effective_threads, par_map, par_map_traced};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpp_obs::MemorySink;
-    use std::sync::Arc;
 
     #[test]
-    fn results_are_in_input_order() {
-        let items: Vec<u64> = (0..1000).collect();
-        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
-        for threads in [0, 1, 2, 7, 64] {
-            assert_eq!(par_map(&items, threads, |_, &x| x * x), expect);
-        }
-    }
-
-    #[test]
-    fn indices_match_items() {
-        let items: Vec<usize> = (0..257).collect();
-        let out = par_map(&items, 4, |i, &x| (i, x));
-        assert!(out.iter().all(|&(i, x)| i == x));
-    }
-
-    #[test]
-    fn empty_input_yields_empty_output() {
-        let out: Vec<u32> = par_map(&[] as &[u32], 8, |_, &x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn traced_map_matches_untraced_and_reports_busy_counters() {
-        let items: Vec<u64> = (0..500).collect();
-        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
-        for threads in [1, 4] {
-            let sink = Arc::new(MemorySink::new());
-            let tracer = Tracer::new(sink.clone());
-            let out = par_map_traced(&items, threads, &tracer, "triple", |_, &x| x * 3);
-            assert_eq!(out, expect);
-            let events = sink.take();
-            assert_eq!(events.len(), threads, "one busy counter per worker");
-            assert!(events
-                .iter()
-                .all(|e| e.name == "busy-ns" && e.detail.as_deref() == Some("triple")));
-        }
-        // Disabled tracer: pure delegation, no events anywhere.
-        let out = par_map_traced(&items, 4, &Tracer::disabled(), "triple", |_, &x| x * 3);
-        assert_eq!(out, expect);
-    }
-
-    #[test]
-    #[should_panic(expected = "boom 3")]
-    fn worker_panics_propagate_with_payload() {
-        let items: Vec<usize> = (0..16).collect();
-        par_map(&items, 4, |_, &x| {
-            if x == 3 {
-                panic!("boom {x}");
-            }
-            x
-        });
+    fn reexported_map_works_through_the_historical_path() {
+        let items: Vec<u64> = (0..64).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x + 1).collect();
+        assert_eq!(par_map(&items, 4, |_, &x| x + 1), expect);
+        assert!(effective_threads(2) == 2);
     }
 }

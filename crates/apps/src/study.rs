@@ -92,21 +92,10 @@ impl StudyConfig {
         }
     }
 
-    /// The worker-thread count a study run will actually use.
+    /// The worker-thread count a study run will actually use
+    /// (see [`gpp_par::effective_threads`]).
     pub fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            return self.threads;
-        }
-        if let Ok(v) = std::env::var("GPP_STUDY_THREADS") {
-            if let Ok(n) = v.parse::<usize>() {
-                if n > 0 {
-                    return n;
-                }
-            }
-        }
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+        crate::par::effective_threads(self.threads)
     }
 }
 

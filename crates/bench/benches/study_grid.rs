@@ -1,16 +1,20 @@
 //! The study-grid bench: serial vs parallel grid collection, individual
-//! vs batched 96-configuration cell pricing, and the instrumentation
-//! overhead of pipeline tracing.
+//! vs batched 96-configuration cell pricing, the instrumentation
+//! overhead of pipeline tracing, and the serial vs parallel analysis
+//! pipeline (strategy spectrum and sensitivity sweep).
 //!
 //! Criterion groups measure the small-scale grid (fast enough to
 //! sample repeatedly). After the criterion run, a one-shot baseline of
-//! the *full-scale* study — serial wall-clock vs parallel wall-clock,
-//! plus a serial-equals-parallel dataset check and the traced-run
-//! overhead — is written to `BENCH_study.json` at the repository root.
-//! Set `GPP_BENCH_SCALE` to `small`/`tiny` for a quicker baseline.
+//! the *full-scale* study — serial wall-clock vs parallel wall-clock
+//! for both grid collection and the analysis pipeline, plus
+//! byte-identity checks and the traced-run overhead — is written to
+//! `BENCH_study.json` at the repository root. Set `GPP_BENCH_SCALE` to
+//! `small`/`tiny` for a quicker baseline, or pass `--smoke` to skip
+//! criterion and write a tiny-scale baseline under `target/`.
 //!
 //! ```sh
 //! cargo bench --bench study_grid
+//! cargo bench --bench study_grid -- --smoke   # fast end-to-end check
 //! ```
 
 use std::sync::Arc;
@@ -20,6 +24,12 @@ use criterion::{criterion_group, Criterion};
 use gpp_apps::apps::all_applications;
 use gpp_apps::inputs::{study_inputs, StudyScale};
 use gpp_apps::study::{run_study, run_study_traced, StudyConfig};
+use gpp_core::analysis::DatasetStats;
+use gpp_core::predict::leave_one_out_par;
+use gpp_core::sensitivity::{subsample_sensitivity, subsample_sensitivity_par};
+use gpp_core::strategy::{
+    build_assignment, build_assignment_par, chip_function_par, Strategy,
+};
 use gpp_obs::{MemorySink, NullSink, Tracer};
 use gpp_sim::chip::study_chips;
 use gpp_sim::exec::Machine;
@@ -99,11 +109,52 @@ fn bench_cell_pricing(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_analysis_pipeline(c: &mut Criterion) {
+    // The analysis layer alone, on a dataset collected once up front:
+    // the full strategy spectrum and a sensitivity sweep, serial vs
+    // fanned out. Outputs are byte-identical; only wall-clock differs.
+    let ds = run_study(&StudyConfig::tiny());
+    let stats = DatasetStats::new(&ds);
+    let threads = StudyConfig::tiny().effective_threads();
+    let disabled = Tracer::disabled();
+    let mut group = c.benchmark_group("analysis_pipeline");
+    group.sample_size(10);
+    group.bench_function("spectrum_serial", |b| {
+        b.iter(|| {
+            Strategy::ALL
+                .into_iter()
+                .map(|s| build_assignment(&stats, s).configs().len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("spectrum_parallel", |b| {
+        b.iter(|| {
+            Strategy::ALL
+                .into_iter()
+                .map(|s| build_assignment_par(&stats, s, threads, &disabled).configs().len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("sensitivity_serial", |b| {
+        b.iter(|| subsample_sensitivity(&ds, &[0.5], 2, 7))
+    });
+    group.bench_function("sensitivity_parallel", |b| {
+        b.iter(|| subsample_sensitivity_par(&ds, &[0.5], 2, 7, threads, &disabled))
+    });
+    group.finish();
+}
+
 /// Times one serial and one parallel full run, checks they agree
 /// exactly, and writes the `BENCH_study.json` baseline.
 fn write_baseline() {
     let scale = std::env::var("GPP_BENCH_SCALE").unwrap_or_else(|_| "full".to_owned());
-    let cfg = match scale.as_str() {
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_study.json");
+    write_baseline_to(&scale, &path);
+}
+
+fn write_baseline_to(scale: &str, path: &std::path::Path) {
+    let cfg = match scale {
         "tiny" => StudyConfig::tiny(),
         "small" => StudyConfig::small(),
         _ => StudyConfig::default(),
@@ -130,6 +181,36 @@ fn write_baseline() {
     let traced_seconds = t.elapsed().as_secs_f64();
     let traced_identical = traced == parallel;
 
+    // The analysis pipeline over the collected dataset: strategy
+    // spectrum, chip function, leave-one-out prediction, and the
+    // sensitivity sweep, at one thread vs the fan-out width.
+    let stats = DatasetStats::new(&serial);
+    let disabled = Tracer::disabled();
+    let run_analysis = |threads: usize| {
+        let spectrum: Vec<_> = Strategy::ALL
+            .into_iter()
+            .map(|s| build_assignment_par(&stats, s, threads, &disabled))
+            .collect();
+        let chips = chip_function_par(&stats, threads, &disabled);
+        let prediction = leave_one_out_par(&stats, 8, threads, &disabled);
+        let sweep = subsample_sensitivity_par(&serial, &[0.5, 0.25], 3, 0x5eed, threads, &disabled);
+        (spectrum, chips, prediction, sweep)
+    };
+    let t = Instant::now();
+    let analysis_serial = run_analysis(1);
+    let analysis_serial_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let analysis_parallel = run_analysis(threads);
+    let analysis_parallel_seconds = t.elapsed().as_secs_f64();
+    let analysis_identical = analysis_serial
+        .0
+        .iter()
+        .zip(&analysis_parallel.0)
+        .all(|(a, b)| a.configs() == b.configs() && a.partitions() == b.partitions())
+        && analysis_serial.1 == analysis_parallel.1
+        && analysis_serial.2 == analysis_parallel.2
+        && analysis_serial.3 == analysis_parallel.3;
+
     let baseline = serde_json::json!({
         "bench": "study_grid",
         "scale": scale,
@@ -148,17 +229,22 @@ fn write_baseline() {
         "traced_seconds": traced_seconds,
         "tracing_overhead_fraction": traced_seconds / parallel_seconds - 1.0,
         "traced_identical_to_untraced": traced_identical,
+        "analysis_serial_seconds": analysis_serial_seconds,
+        "analysis_parallel_seconds": analysis_parallel_seconds,
+        "analysis_speedup": analysis_serial_seconds / analysis_parallel_seconds,
+        "analysis_identical_to_serial": analysis_identical,
         "regenerate": "cargo bench --bench study_grid",
     });
-    let path =
-        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_study.json");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create baseline directory");
+    }
     std::fs::write(
-        &path,
+        path,
         serde_json::to_string_pretty(&baseline).expect("serialise baseline"),
     )
-    .expect("write BENCH_study.json");
+    .expect("write study baseline");
     eprintln!(
-        "[wrote {}: serial {serial_seconds:.2}s, parallel {parallel_seconds:.2}s, {:.2}x, traced {traced_seconds:.2}s]",
+        "[wrote {}: serial {serial_seconds:.2}s, parallel {parallel_seconds:.2}s, {:.2}x, traced {traced_seconds:.2}s, analysis {analysis_serial_seconds:.2}s -> {analysis_parallel_seconds:.2}s]",
         path.display(),
         serial_seconds / parallel_seconds
     );
@@ -167,6 +253,10 @@ fn write_baseline() {
         traced_identical,
         "traced dataset must equal the untraced dataset"
     );
+    assert!(
+        analysis_identical,
+        "parallel analysis must equal the serial analysis"
+    );
 }
 
 criterion_group! {
@@ -174,10 +264,22 @@ criterion_group! {
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(5));
-    targets = bench_study_grid, bench_cell_pricing, bench_tracing_overhead
+    targets = bench_study_grid, bench_cell_pricing, bench_tracing_overhead,
+        bench_analysis_pipeline
 }
 
 fn main() {
+    // `--smoke` bypasses criterion entirely and writes a tiny-scale
+    // baseline to target/ (so it never clobbers the committed
+    // full-scale numbers): a fast CI check that the whole harness —
+    // grid collection, tracing, analysis pipeline, identity asserts,
+    // JSON writer — still works end to end.
+    if std::env::args().any(|a| a == "--smoke") {
+        let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/BENCH_study.smoke.json");
+        write_baseline_to("tiny", &path);
+        return;
+    }
     benches();
     Criterion::default().configure_from_args().final_summary();
     // `cargo test --benches` smoke-runs bench binaries with `--test`;

@@ -9,9 +9,10 @@ use gpp_apps::study::{run_study, run_study_traced, Dataset, StudyConfig};
 use gpp_apps::StudyScale;
 use gpp_core::analysis::{DatasetStats, Decision};
 use gpp_core::report::{percent, ratio, Table};
-use gpp_core::strategy::{build_assignment, chip_function, Strategy};
+use gpp_core::strategy::{build_assignment_par, chip_function_par, Strategy};
 use gpp_core::{
-    evaluate_assignment, extremes, heatmap, leave_one_out, ranking, subsample_sensitivity,
+    evaluate_assignment, extremes, heatmap, leave_one_out_par, ranking,
+    subsample_sensitivity_par,
 };
 use gpp_graph::{io as graph_io, properties};
 use gpp_irgl::{codegen, interp, parser, programs, transform};
@@ -68,8 +69,8 @@ fn help(out: &mut dyn Write) -> Result<(), String> {
          study [--scale S] [--seed N] [--threads N] [--out FILE] [--chips FILE] [--trace-out FILE]\n                              run the full grid and save the dataset; --trace-out\n                              streams pipeline spans/counters as JSONL and prints a summary\n  \
          explain [--app A] [--input I] [--chip C] [--opts OPTS] [--scale S]\n                              per-mechanism cost attribution of one priced cell per chip\n  \
          export-chips FILE           write the six study chip models as JSON\n  \
-         analyze [--data FILE]       strategy spectrum (Figs 3 and 4)\n  \
-         chip-function [--data FILE] per-chip recommendations (Table IX)\n  \
+         analyze [--data FILE] [--threads N]\n                              strategy spectrum (Figs 3 and 4)\n  \
+         chip-function [--data FILE] [--threads N]\n                              per-chip recommendations (Table IX)\n  \
          heatmap [--data FILE]       cross-chip portability (Fig 1)\n  \
          ranking [--data FILE]       global configuration ranking (Table III)\n  \
          extremes [--data FILE]      per-chip extremes (Table II)\n  \
@@ -78,9 +79,12 @@ fn help(out: &mut dyn Write) -> Result<(), String> {
          codegen PROGRAM [--opts \"sg, fg8\"]\n                              compile a built-in DSL program and print its OpenCL\n  \
          compile FILE [--opts OPTS]  compile a .irgl source file and print its OpenCL\n  \
          run-dsl FILE [--input I] [--chip C] [--opts OPTS]\n                              execute a .irgl program on a simulated chip\n  \
-         sensitivity [--data FILE]   sample-size sensitivity sweep (Section IX-b)\n  \
-         predict [--data FILE] [--probes K]\n                              leave-one-out predictive model (Section IX-b)\n  \
-         export-csv [--data FILE] [--out FILE]\n                              dataset medians as CSV",
+         sensitivity [--data FILE] [--trials N] [--threads N]\n                              sample-size sensitivity sweep (Section IX-b)\n  \
+         predict [--data FILE] [--probes K] [--threads N]\n                              leave-one-out predictive model (Section IX-b)\n  \
+         export-csv [--data FILE] [--out FILE]\n                              dataset medians as CSV\n\n\
+         --threads 0 (the default) resolves via GPP_STUDY_THREADS, then the\n\
+         machine's parallelism; analysis output is byte-identical at any\n\
+         thread count",
     )
 }
 
@@ -96,6 +100,14 @@ fn parse_scale(args: &Args) -> Result<StudyScale, String> {
 /// Default dataset cache location shared with the bench regenerators.
 fn default_data_path() -> PathBuf {
     PathBuf::from("target/study/dataset.json")
+}
+
+/// Resolves the analysis worker count: `--threads N` taken literally
+/// when positive, otherwise the `GPP_STUDY_THREADS` environment
+/// variable, otherwise the machine's available parallelism. The
+/// analysis output is byte-identical at any thread count.
+fn analysis_threads(args: &Args) -> Result<usize, String> {
+    Ok(gpp_par::effective_threads(args.num("threads", 0usize)?))
 }
 
 fn load_dataset(args: &Args) -> Result<Dataset, String> {
@@ -289,6 +301,7 @@ fn explain(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 
 fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let ds = load_dataset(args)?;
+    let threads = analysis_threads(args)?;
     let stats = DatasetStats::new(&ds);
     let mut t = Table::new([
         "Strategy",
@@ -299,7 +312,7 @@ fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         "GM vs baseline",
     ]);
     for s in Strategy::ALL {
-        let a = build_assignment(&stats, s);
+        let a = build_assignment_par(&stats, s, threads, &Tracer::disabled());
         let e = evaluate_assignment(&stats, &a);
         t.row([
             e.strategy.clone(),
@@ -315,8 +328,9 @@ fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 
 fn chip_function_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let ds = load_dataset(args)?;
+    let threads = analysis_threads(args)?;
     let stats = DatasetStats::new(&ds);
-    let table = chip_function(&stats);
+    let table = chip_function_par(&stats, threads, &Tracer::disabled());
     let mut headers = vec!["Optimisation".to_string()];
     headers.extend(table.iter().map(|(c, _)| c.clone()));
     let mut t = Table::new(headers);
@@ -526,11 +540,14 @@ fn run_dsl(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 
 fn sensitivity_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let ds = load_dataset(args)?;
-    let report = subsample_sensitivity(
+    let threads = analysis_threads(args)?;
+    let report = subsample_sensitivity_par(
         &ds,
         &[1.0, 0.5, 0.25, 0.1],
         args.num("trials", 5usize)?,
         0x5eed,
+        threads,
+        &Tracer::disabled(),
     );
     let mut t = Table::new(["Fraction", "Tests", "Verdict agreement", "Config agreement"]);
     for p in &report.points {
@@ -563,12 +580,13 @@ fn export_chips(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 
 fn predict_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let ds = load_dataset(args)?;
+    let threads = analysis_threads(args)?;
     let stats = DatasetStats::new(&ds);
     let k: usize = args.num("probes", 8usize)?;
     if k == 0 {
         return Err("--probes must be at least 1".into());
     }
-    let e = leave_one_out(&stats, k);
+    let e = leave_one_out_par(&stats, k, threads, &Tracer::disabled());
     w(
         out,
         format!(
@@ -753,6 +771,26 @@ mod tests {
         assert!(text.contains("MALI"));
         let text = run_cmd(&format!("export-csv --data {}", path.display())).unwrap();
         assert!(text.contains("app,input,chip,config,median_ns"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analysis_commands_accept_threads_and_match_serial_output() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-threads-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds_path = dir.join("ds.json");
+        run_cmd(&format!("study --scale tiny --out {}", ds_path.display())).unwrap();
+        for cmd in [
+            "analyze",
+            "chip-function",
+            "predict --probes 4",
+            "sensitivity --trials 1",
+        ] {
+            let serial =
+                run_cmd(&format!("{cmd} --data {} --threads 1", ds_path.display())).unwrap();
+            let par = run_cmd(&format!("{cmd} --data {} --threads 4", ds_path.display())).unwrap();
+            assert_eq!(serial, par, "{cmd} output must not depend on --threads");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

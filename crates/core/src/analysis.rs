@@ -10,21 +10,62 @@
 //! the Mann–Whitney U test finds `A` stochastically different from `B`
 //! (`p < 0.05`) *and* the median of `A` shows a speedup.
 
+use std::ops::Range;
+use std::sync::OnceLock;
+
 use gpp_apps::study::Dataset;
 use gpp_sim::opts::{settings_enabling, OptConfig, Optimization, NUM_CONFIGS};
 use serde::{Deserialize, Serialize};
 
-use crate::stats::{ci95, mann_whitney_u, median, Ci95};
+use crate::stats::{ci95, mwu_into, Ci95, MwuScratch};
+
+/// The flattened comparison table of the binary optimisation space: for
+/// every optimisation, in [`Optimization::ALL`] order, each
+/// configuration enabling it paired with its *mirror* (the same
+/// configuration with the optimisation cleared), in
+/// [`settings_enabling`] order. Built once per process. Both the
+/// per-cell memo table and the partition analysis walk this one table,
+/// which is what keeps the memoized evidence in exactly the order the
+/// historical nested loops pushed it.
+#[derive(Debug)]
+struct ComparisonPairs {
+    /// All (enabling setting, mirror) pairs, optimisation-major.
+    pairs: Vec<(OptConfig, OptConfig)>,
+    /// Sub-range of `pairs` belonging to each optimisation, indexed in
+    /// [`Optimization::ALL`] order.
+    ranges: Vec<Range<usize>>,
+}
+
+fn comparison_pairs() -> &'static ComparisonPairs {
+    static PAIRS: OnceLock<ComparisonPairs> = OnceLock::new();
+    PAIRS.get_or_init(|| {
+        let mut pairs = Vec::new();
+        let mut ranges = Vec::with_capacity(Optimization::ALL.len());
+        for opt in Optimization::ALL {
+            let start = pairs.len();
+            for os in settings_enabling(opt) {
+                pairs.push((os, os.without(opt)));
+            }
+            ranges.push(start..pairs.len());
+        }
+        ComparisonPairs { pairs, ranges }
+    })
+}
 
 /// Precomputed per-cell, per-configuration statistics over a dataset:
-/// medians and 95% confidence intervals, plus the oracle (fastest)
-/// configuration per cell. Everything downstream works through this view.
+/// medians and 95% confidence intervals, the oracle (fastest)
+/// configuration per cell, and the memoized Algorithm 1 evidence for
+/// every (cell, comparison pair). Everything downstream works through
+/// this view.
 #[derive(Debug, Clone)]
 pub struct DatasetStats<'d> {
     dataset: &'d Dataset,
     medians: Vec<Vec<f64>>,
     cis: Vec<Vec<Ci95>>,
     best: Vec<OptConfig>,
+    /// Cell-major memo over [`comparison_pairs`]: `Some(ratio)` when
+    /// the pair differs significantly on the cell, `None` otherwise.
+    evidence: Vec<Option<f64>>,
 }
 
 impl<'d> DatasetStats<'d> {
@@ -51,12 +92,50 @@ impl<'d> DatasetStats<'d> {
             cis.push(c);
             best.push(cell.best_config());
         }
+        // Memoize the Algorithm 1 evidence: for every cell and every
+        // (setting, mirror) pair, the significance verdict and — when
+        // significant — the normalised runtime, computed once here
+        // instead of on every partition query.
+        let table = comparison_pairs();
+        let mut evidence = Vec::with_capacity(dataset.cells.len() * table.pairs.len());
+        for (med_row, ci_row) in medians.iter().zip(&cis) {
+            for &(os, mirror) in &table.pairs {
+                let (ca, cb) = (ci_row[os.index()], ci_row[mirror.index()]);
+                let sig = ca.hi < cb.lo || cb.hi < ca.lo;
+                evidence.push(sig.then(|| med_row[os.index()] / med_row[mirror.index()]));
+            }
+        }
         DatasetStats {
             dataset,
             medians,
             cis,
             best,
+            evidence,
         }
+    }
+
+    /// Number of (enabling setting, mirror) comparison pairs in the
+    /// memo table: 48 per five optimisations plus 32 for each of the
+    /// two mutually exclusive fine-grained variants, 304 in total.
+    pub fn num_comparison_pairs(&self) -> usize {
+        comparison_pairs().pairs.len()
+    }
+
+    /// The `pair`-th memoized comparison — a configuration enabling an
+    /// optimisation and its mirror with that optimisation cleared — in
+    /// [`Optimization::ALL`]-major, [`settings_enabling`]-minor order.
+    pub fn comparison_pair(&self, pair: usize) -> (OptConfig, OptConfig) {
+        comparison_pairs().pairs[pair]
+    }
+
+    /// Memoized Algorithm 1 evidence for one (cell, pair): the
+    /// normalised runtime `t(setting) / t(mirror)` when the two
+    /// configurations differ significantly on the cell, `None`
+    /// otherwise. Agrees with [`DatasetStats::significant`] and
+    /// [`DatasetStats::median_of`] by construction, but costs one table
+    /// load per query instead of two interval comparisons and a divide.
+    pub fn evidence(&self, cell: usize, pair: usize) -> Option<f64> {
+        self.evidence[cell * comparison_pairs().pairs.len() + pair]
     }
 
     /// The underlying dataset.
@@ -151,40 +230,90 @@ pub struct OptDecision {
 /// decide (MWU cannot approach `p < 0.05` on smaller samples anyway).
 pub const MIN_SAMPLES: usize = 5;
 
+/// Reusable buffers for [`opts_for_partition_with`]: the significant
+/// evidence sample, its all-ones reference, a median workspace, and the
+/// Mann–Whitney rank buffer. One instance serves any number of
+/// partition analyses; each buffer grows to the largest partition seen,
+/// after which queries allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisScratch {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    med: Vec<f64>,
+    mwu: MwuScratch,
+}
+
+/// Upper median through a reusable buffer — the same value as
+/// [`crate::stats::median`] without its allocation, and quickselect
+/// instead of a full sort.
+fn upper_median(values: &[f64], buf: &mut Vec<f64>) -> f64 {
+    debug_assert!(!values.is_empty(), "median of empty sample");
+    buf.clear();
+    buf.extend_from_slice(values);
+    let mid = buf.len() / 2;
+    let (_, m, _) = buf.select_nth_unstable_by(mid, |x, y| {
+        x.partial_cmp(y).expect("median requires non-NaN values")
+    });
+    *m
+}
+
 /// `OPTS_FOR_PARTITION` of Algorithm 1: analyses every optimisation over
 /// the given cells and returns the recommended configuration together
 /// with the per-optimisation detail.
 ///
 /// If both `fg1` and `fg8` win, the one with the stronger effect size is
 /// kept (they are mutually exclusive).
+///
+/// Allocates a fresh [`AnalysisScratch`] per call; loops analysing many
+/// partitions should hold one and call [`opts_for_partition_with`].
 pub fn opts_for_partition(stats: &DatasetStats<'_>, cells: &[usize]) -> PartitionAnalysis {
+    opts_for_partition_with(stats, cells, &mut AnalysisScratch::default())
+}
+
+/// [`opts_for_partition`] with caller-supplied scratch buffers: the same
+/// analysis, bit for bit, but the inner loop reads the memoized
+/// per-cell evidence table and performs zero allocation.
+///
+/// The evidence sample is assembled pair-major then cell-minor — the
+/// exact push order of the historical nested loops over
+/// [`settings_enabling`] — so the Mann–Whitney input, and with it every
+/// p-value and effect size, is byte-identical to the unmemoized
+/// computation.
+pub fn opts_for_partition_with(
+    stats: &DatasetStats<'_>,
+    cells: &[usize],
+    scratch: &mut AnalysisScratch,
+) -> PartitionAnalysis {
+    let table = comparison_pairs();
     let mut decisions = Vec::with_capacity(Optimization::ALL.len());
-    for opt in Optimization::ALL {
-        let mut a = Vec::new();
-        for os in settings_enabling(opt) {
-            let mirror = os.without(opt);
+    for (pos, opt) in Optimization::ALL.into_iter().enumerate() {
+        scratch.a.clear();
+        for pair in table.ranges[pos].clone() {
             for &cell in cells {
-                if stats.significant(cell, os, mirror) {
-                    a.push(stats.median_of(cell, os) / stats.median_of(cell, mirror));
+                if let Some(ratio) = stats.evidence(cell, pair) {
+                    scratch.a.push(ratio);
                 }
             }
         }
-        let b = vec![1.0f64; a.len()];
-        let decision = if a.len() < MIN_SAMPLES {
+        let samples = scratch.a.len();
+        scratch.b.clear();
+        scratch.b.resize(samples, 1.0f64);
+        let decision = if samples < MIN_SAMPLES {
             OptDecision {
                 opt,
                 decision: Decision::Inconclusive,
                 p_value: 1.0,
-                effect_size: if a.is_empty() {
+                effect_size: if samples == 0 {
                     0.5
                 } else {
-                    mann_whitney_u(&a, &b).map_or(0.5, |r| r.effect_size)
+                    mwu_into(&scratch.a, &scratch.b, &mut scratch.mwu)
+                        .map_or(0.5, |r| r.effect_size)
                 },
-                samples: a.len(),
+                samples,
             }
         } else {
-            let r = mann_whitney_u(&a, &b).expect("non-empty samples");
-            let enable = r.p_value < 0.05 && median(&a) < 1.0;
+            let r = mwu_into(&scratch.a, &scratch.b, &mut scratch.mwu).expect("non-empty samples");
+            let enable = r.p_value < 0.05 && upper_median(&scratch.a, &mut scratch.med) < 1.0;
             OptDecision {
                 opt,
                 decision: if enable {
@@ -194,7 +323,7 @@ pub fn opts_for_partition(stats: &DatasetStats<'_>, cells: &[usize]) -> Partitio
                 },
                 p_value: r.p_value,
                 effect_size: r.effect_size,
-                samples: a.len(),
+                samples,
             }
         };
         decisions.push(decision);
@@ -350,5 +479,54 @@ mod tests {
         let all: Vec<usize> = (0..stats.num_cells()).collect();
         let analysis = opts_for_partition(&stats, &all);
         assert_eq!(analysis.decision(Optimization::Sg).opt, Optimization::Sg);
+    }
+
+    #[test]
+    fn evidence_memo_agrees_with_fresh_computation() {
+        let ds = tiny();
+        let stats = DatasetStats::new(&ds);
+        let pairs = stats.num_comparison_pairs();
+        assert_eq!(pairs, 5 * 48 + 2 * 32);
+        for cell in (0..stats.num_cells()).step_by(7) {
+            for pair in (0..pairs).step_by(5) {
+                let (os, mirror) = stats.comparison_pair(pair);
+                let fresh = stats
+                    .significant(cell, os, mirror)
+                    .then(|| stats.median_of(cell, os) / stats.median_of(cell, mirror));
+                assert_eq!(stats.evidence(cell, pair), fresh, "cell {cell} pair {pair}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_pairs_mirror_their_optimisation() {
+        let ds = tiny();
+        let stats = DatasetStats::new(&ds);
+        for pair in 0..stats.num_comparison_pairs() {
+            let (os, mirror) = stats.comparison_pair(pair);
+            // The two configurations differ in exactly one optimisation,
+            // enabled on the setting side and cleared on the mirror.
+            let differing: Vec<Optimization> = Optimization::ALL
+                .into_iter()
+                .filter(|&o| os.enables(o) != mirror.enables(o))
+                .collect();
+            assert_eq!(differing.len(), 1, "{os:?} vs {mirror:?}");
+            assert!(os.enables(differing[0]) && !mirror.enables(differing[0]));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_scratch() {
+        let ds = tiny();
+        let stats = DatasetStats::new(&ds);
+        let mut scratch = AnalysisScratch::default();
+        for chip in &ds.chips {
+            let cells = stats.select_indices(None, None, Some(chip));
+            let reused = opts_for_partition_with(&stats, &cells, &mut scratch);
+            assert_eq!(reused, opts_for_partition(&stats, &cells), "{chip}");
+        }
+        // An empty partition after large ones must still be clean.
+        let empty = opts_for_partition_with(&stats, &[], &mut scratch);
+        assert_eq!(empty, opts_for_partition(&stats, &[]));
     }
 }

@@ -9,7 +9,17 @@
 //!   from statistically significant evidence only;
 //! - [`strategy`] — the Table V strategy functions, from `baseline` to
 //!   `oracle`, resolved against a dataset;
+//! - [`predict`] / [`sensitivity`] — the future-work studies (probe
+//!   prediction, sample-size sensitivity);
 //! - [`evaluation`] — Figures 1–4 and Tables II–IV/IX computations;
+//!
+//! The expensive passes (`build_assignment`, `chip_function`,
+//! `leave_one_out`, `subsample_sensitivity`) all have `*_par` variants
+//! that fan partitions, chips, held-out cells, or trials out over
+//! `gpp-par` worker threads. Results are scattered back in input order
+//! and all floating-point folds keep their serial order, so every
+//! `*_par` output is byte-identical to its serial counterpart at any
+//! thread count.
 //! - [`report`] — plain-text table rendering for the regenerators.
 //!
 //! # Example
@@ -39,12 +49,23 @@ pub mod sensitivity;
 pub mod stats;
 pub mod strategy;
 
-pub use analysis::{opts_for_partition, DatasetStats, Decision, OptDecision, PartitionAnalysis};
+pub use analysis::{
+    opts_for_partition, opts_for_partition_with, AnalysisScratch, DatasetStats, Decision,
+    OptDecision, PartitionAnalysis,
+};
 pub use evaluation::{
     classify, evaluate_assignment, extremes, heatmap, improvable, max_geomean_config,
     per_chip_outcomes, ranking, top_speedup_opts, Heatmap, Outcome, RankedConfig,
     StrategyEvaluation,
 };
-pub use predict::{leave_one_out, predict_config, probe_set, PredictionEvaluation};
-pub use sensitivity::{subsample_sensitivity, SensitivityPoint, SensitivityReport};
-pub use strategy::{build_assignment, chip_function, Assignment, PartitionKey, Strategy};
+pub use predict::{
+    leave_one_out, leave_one_out_par, predict_config, probe_set, PredictionEvaluation,
+};
+pub use sensitivity::{
+    subsample_sensitivity, subsample_sensitivity_par, SensitivityPoint, SensitivityReport,
+};
+pub use stats::{mann_whitney_u, mwu_into, MwuResult, MwuScratch};
+pub use strategy::{
+    build_assignment, build_assignment_par, chip_function, chip_function_on, chip_function_par,
+    Assignment, PartitionKey, Strategy,
+};

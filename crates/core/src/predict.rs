@@ -11,6 +11,8 @@
 //! pair, so evaluation is leakage-free) and recommends that neighbour's
 //! oracle configuration.
 
+use gpp_obs::Tracer;
+use gpp_par::par_map_traced;
 use gpp_sim::opts::{all_configs, OptConfig, Optimization};
 use serde::{Deserialize, Serialize};
 
@@ -122,25 +124,55 @@ pub struct PredictionEvaluation {
 
 /// Runs leave-one-out prediction for every cell with a `k`-probe set.
 ///
+/// Serial convenience wrapper over [`leave_one_out_par`] with one worker
+/// and no tracing.
+///
 /// # Panics
 ///
 /// Panics if the dataset is empty or `k` is zero.
 pub fn leave_one_out(stats: &DatasetStats<'_>, k: usize) -> PredictionEvaluation {
+    leave_one_out_par(stats, k, 1, &Tracer::disabled())
+}
+
+/// [`leave_one_out`] with an explicit worker-thread count and tracer:
+/// the held-out cells are predicted concurrently, and the per-cell
+/// outcomes are folded in cell order, so the evaluation — including the
+/// order-sensitive geomean accumulation — is byte-identical to the
+/// serial one at any thread count.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or `k` is zero.
+pub fn leave_one_out_par(
+    stats: &DatasetStats<'_>,
+    k: usize,
+    threads: usize,
+    tracer: &Tracer,
+) -> PredictionEvaluation {
     let probes = probe_set(k);
     let n = stats.num_cells();
     assert!(n > 0, "dataset must not be empty");
+    let _phase = tracer.span_detail("phase", Some("leave-one-out".to_owned()));
+    let cells: Vec<usize> = (0..n).collect();
+    let per_cell: Vec<(f64, bool, bool)> =
+        par_map_traced(&cells, threads, tracer, "leave-one-out", {
+            let probes = &probes;
+            move |_, &cell| {
+                let predicted = predict_config(stats, cell, probes);
+                let t_pred = stats.median_of(cell, predicted);
+                let t_oracle = stats.median_of(cell, stats.best_config(cell));
+                let t_base = stats.median_of(cell, OptConfig::baseline());
+                (t_pred / t_oracle, t_pred / t_oracle < 1.05, t_pred < t_base)
+            }
+        });
     let mut ratios = Vec::with_capacity(n);
     let (mut near, mut beats) = (0usize, 0usize);
-    for cell in 0..n {
-        let predicted = predict_config(stats, cell, &probes);
-        let t_pred = stats.median_of(cell, predicted);
-        let t_oracle = stats.median_of(cell, stats.best_config(cell));
-        let t_base = stats.median_of(cell, OptConfig::baseline());
-        ratios.push(t_pred / t_oracle);
-        if t_pred / t_oracle < 1.05 {
+    for &(vs_oracle, is_near, beats_base) in &per_cell {
+        ratios.push(vs_oracle);
+        if is_near {
             near += 1;
         }
-        if t_pred < t_base {
+        if beats_base {
             beats += 1;
         }
     }
@@ -213,6 +245,15 @@ mod tests {
             many.geomean_vs_oracle <= few.geomean_vs_oracle * 1.25,
             "{few:?} vs {many:?}"
         );
+    }
+
+    #[test]
+    fn parallel_leave_one_out_matches_serial_byte_for_byte() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = crate::analysis::DatasetStats::new(&ds);
+        let serial = leave_one_out(&stats, 4);
+        let par = leave_one_out_par(&stats, 4, 4, &Tracer::disabled());
+        assert_eq!(serial, par);
     }
 
     #[test]

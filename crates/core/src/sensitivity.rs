@@ -9,11 +9,13 @@
 
 use gpp_apps::study::Dataset;
 use gpp_graph::rng::Rng64;
+use gpp_obs::Tracer;
+use gpp_par::par_map_traced;
 use gpp_sim::opts::Optimization;
 use serde::{Deserialize, Serialize};
 
-use crate::analysis::{DatasetStats, Decision};
-use crate::strategy::chip_function;
+use crate::analysis::{AnalysisScratch, DatasetStats, Decision};
+use crate::strategy::{chip_function_on, chip_function_par};
 
 /// Agreement of one subsampled analysis with the full analysis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,6 +51,9 @@ pub struct SensitivityReport {
 /// per-chip analysis is rerun on each, and verdict/config agreement with
 /// the full-dataset analysis is averaged.
 ///
+/// Serial convenience wrapper over [`subsample_sensitivity_par`] with
+/// one worker and no tracing.
+///
 /// # Panics
 ///
 /// Panics if `trials` is zero, a fraction is outside `(0, 1]`, or the
@@ -59,10 +64,38 @@ pub fn subsample_sensitivity(
     trials: usize,
     seed: u64,
 ) -> SensitivityReport {
+    subsample_sensitivity_par(dataset, fractions, trials, seed, 1, &Tracer::disabled())
+}
+
+/// [`subsample_sensitivity`] with an explicit worker-thread count and
+/// tracer.
+///
+/// Determinism: every trial's subsample is drawn up front on the
+/// caller's thread, consuming the seeded generator in the exact order
+/// the historical serial loop did; the trials then fan out and their
+/// agreement scores are folded back in trial order, preserving the f64
+/// summation order. Each trial re-analyses its subsample through the
+/// full dataset's memoized evidence tables (a cell-subset view via
+/// [`chip_function_on`]) rather than rebuilding a [`DatasetStats`]: the
+/// kept cells carry identical timings either way, so the verdicts — and
+/// the whole report — are byte-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero, a fraction is outside `(0, 1]`, or the
+/// dataset is empty.
+pub fn subsample_sensitivity_par(
+    dataset: &Dataset,
+    fractions: &[f64],
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    tracer: &Tracer,
+) -> SensitivityReport {
     assert!(trials > 0, "need at least one trial");
     assert!(!dataset.cells.is_empty(), "dataset must not be empty");
     let full_stats = DatasetStats::new(dataset);
-    let full = chip_function(&full_stats);
+    let full = chip_function_par(&full_stats, threads, tracer);
 
     // The unit of subsampling is one (application, input) test.
     let mut tests: Vec<(String, String)> = Vec::new();
@@ -72,33 +105,42 @@ pub fn subsample_sensitivity(
         }
     }
 
+    // Pre-draw every trial's kept cell set serially.
     let mut rng = Rng64::new(seed ^ 0x5e5e_11fe);
-    let mut points = Vec::with_capacity(fractions.len());
+    let mut keeps = Vec::with_capacity(fractions.len());
+    let mut trial_cells: Vec<Vec<usize>> = Vec::with_capacity(fractions.len() * trials);
     for &fraction in fractions {
         assert!(
             fraction > 0.0 && fraction <= 1.0,
             "fraction {fraction} out of range"
         );
         let keep = ((tests.len() as f64 * fraction).round() as usize).clamp(1, tests.len());
-        let (mut agree_sum, mut config_sum, mut inconclusive_sum) = (0.0f64, 0.0f64, 0.0f64);
+        keeps.push(keep);
         for _ in 0..trials {
             let mut order: Vec<usize> = (0..tests.len()).collect();
             rng.shuffle(&mut order);
             let kept: Vec<&(String, String)> = order[..keep].iter().map(|&i| &tests[i]).collect();
-            let sub = Dataset::new(
-                dataset.apps.clone(),
-                dataset.inputs.clone(),
-                dataset.chips.clone(),
-                dataset.runs,
+            trial_cells.push(
                 dataset
                     .cells
                     .iter()
-                    .filter(|c| kept.iter().any(|(a, i)| c.app == *a && c.input == *i))
-                    .cloned()
+                    .enumerate()
+                    .filter(|(_, c)| kept.iter().any(|(a, i)| c.app == *a && c.input == *i))
+                    .map(|(i, _)| i)
                     .collect(),
             );
-            let sub_stats = DatasetStats::new(&sub);
-            let sub_fn = chip_function(&sub_stats);
+        }
+    }
+
+    let _phase = tracer.span_detail("phase", Some("sensitivity-trials".to_owned()));
+    let per_trial: Vec<(f64, f64, f64)> = par_map_traced(
+        &trial_cells,
+        threads,
+        tracer,
+        "sensitivity-trials",
+        |_, cells| {
+            let mut scratch = AnalysisScratch::default();
+            let sub_fn = chip_function_on(&full_stats, cells, &mut scratch);
 
             let (mut agree, mut total, mut inconclusive) = (0usize, 0usize, 0usize);
             let mut configs_match = 0usize;
@@ -118,13 +160,25 @@ pub fn subsample_sensitivity(
                     configs_match += 1;
                 }
             }
-            agree_sum += agree as f64 / total as f64;
-            config_sum += configs_match as f64 / full.len() as f64;
-            inconclusive_sum += inconclusive as f64 / total as f64;
+            (
+                agree as f64 / total as f64,
+                configs_match as f64 / full.len() as f64,
+                inconclusive as f64 / total as f64,
+            )
+        },
+    );
+
+    let mut points = Vec::with_capacity(fractions.len());
+    for (fi, &fraction) in fractions.iter().enumerate() {
+        let (mut agree_sum, mut config_sum, mut inconclusive_sum) = (0.0f64, 0.0f64, 0.0f64);
+        for (agree, config, inconclusive) in per_trial.iter().skip(fi * trials).take(trials) {
+            agree_sum += agree;
+            config_sum += config;
+            inconclusive_sum += inconclusive;
         }
         points.push(SensitivityPoint {
             fraction,
-            tests_kept: keep,
+            tests_kept: keeps[fi],
             decision_agreement: agree_sum / trials as f64,
             config_agreement: config_sum / trials as f64,
             inconclusive: inconclusive_sum / trials as f64,
@@ -178,6 +232,14 @@ mod tests {
         let a = subsample_sensitivity(&ds, &[0.3], 2, 5);
         let b = subsample_sensitivity(&ds, &[0.3], 2, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_byte_for_byte() {
+        let ds = tiny();
+        let serial = subsample_sensitivity(&ds, &[0.5, 0.2], 3, 9);
+        let par = subsample_sensitivity_par(&ds, &[0.5, 0.2], 3, 9, 4, &Tracer::disabled());
+        assert_eq!(serial, par);
     }
 
     #[test]

@@ -102,22 +102,46 @@ pub struct MwuResult {
     pub effect_size: f64,
 }
 
+/// Reusable pooled-sample buffer for [`mwu_into`]. One instance can
+/// serve any number of tests: it grows to the largest pooled sample seen
+/// and is reused thereafter, so steady-state calls allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct MwuScratch {
+    /// Pooled values tagged with membership (`true` = first sample).
+    pooled: Vec<(f64, bool)>,
+}
+
 /// Runs the two-sided Mann–Whitney U test on two samples.
 ///
 /// Returns `None` when either sample is empty or when every value is tied
 /// (zero rank variance), in which case no decision can be made.
+///
+/// This is the allocating convenience wrapper around [`mwu_into`]; hot
+/// loops should hold an [`MwuScratch`] and call [`mwu_into`] directly.
 pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MwuResult> {
+    mwu_into(a, b, &mut MwuScratch::default())
+}
+
+/// [`mann_whitney_u`] with a caller-supplied rank buffer: bit-identical
+/// results, zero allocation once the scratch has grown to the largest
+/// pooled sample it sees.
+///
+/// The pooled buffer is sorted with an unstable sort. Entries compare by
+/// value only, and every quantity derived from a tie group — the group's
+/// average rank, the number of first-sample members, the tie-correction
+/// term — is invariant under permutation within the group, so the result
+/// matches the stable-sorted reference bit for bit.
+pub fn mwu_into(a: &[f64], b: &[f64], scratch: &mut MwuScratch) -> Option<MwuResult> {
     let (n1, n2) = (a.len(), b.len());
     if n1 == 0 || n2 == 0 {
         return None;
     }
     // Rank the pooled sample, averaging ranks over ties.
-    let mut pooled: Vec<(f64, usize)> = a
-        .iter()
-        .map(|&v| (v, 0usize))
-        .chain(b.iter().map(|&v| (v, 1usize)))
-        .collect();
-    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("MWU requires non-NaN values"));
+    let pooled = &mut scratch.pooled;
+    pooled.clear();
+    pooled.extend(a.iter().map(|&v| (v, true)));
+    pooled.extend(b.iter().map(|&v| (v, false)));
+    pooled.sort_unstable_by(|x, y| x.0.partial_cmp(&y.0).expect("MWU requires non-NaN values"));
 
     let n = pooled.len();
     let mut rank_sum_a = 0.0f64;
@@ -132,7 +156,7 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MwuResult> {
         // Average rank of the tie group (1-based ranks).
         let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
         for entry in &pooled[i..=j] {
-            if entry.1 == 0 {
+            if entry.1 {
                 rank_sum_a += avg_rank;
             }
         }
@@ -313,5 +337,119 @@ mod tests {
     fn mwu_effect_size_counts_ties_half() {
         let r = mann_whitney_u(&[1.0], &[1.0]).unwrap();
         assert!((r.effect_size - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mwu_scratch_reuse_across_growing_and_shrinking_samples() {
+        let mut scratch = MwuScratch::default();
+        let big: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let small = [0.4, 0.8];
+        let ones = vec![1.0; 50];
+        // Large call grows the buffer; the small call after it must not
+        // see stale entries.
+        let first = mwu_into(&big, &ones, &mut scratch);
+        assert_eq!(first, mann_whitney_u(&big, &ones));
+        let second = mwu_into(&small, &ones[..2], &mut scratch);
+        assert_eq!(second, mann_whitney_u(&small, &ones[..2]));
+    }
+
+    /// The historical allocating implementation (stable sort, fresh
+    /// `Vec` per call), kept verbatim as the reference the scratch-based
+    /// rewrite is property-tested against.
+    fn mwu_reference(a: &[f64], b: &[f64]) -> Option<MwuResult> {
+        let (n1, n2) = (a.len(), b.len());
+        if n1 == 0 || n2 == 0 {
+            return None;
+        }
+        let mut pooled: Vec<(f64, usize)> = a
+            .iter()
+            .map(|&v| (v, 0usize))
+            .chain(b.iter().map(|&v| (v, 1usize)))
+            .collect();
+        pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("non-NaN"));
+        let n = pooled.len();
+        let mut rank_sum_a = 0.0f64;
+        let mut tie_term = 0.0f64;
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+                j += 1;
+            }
+            let tie_len = (j - i + 1) as f64;
+            let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+            for entry in &pooled[i..=j] {
+                if entry.1 == 0 {
+                    rank_sum_a += avg_rank;
+                }
+            }
+            if tie_len > 1.0 {
+                tie_term += tie_len * tie_len * tie_len - tie_len;
+            }
+            i = j + 1;
+        }
+        let (n1f, n2f, nf) = (n1 as f64, n2 as f64, n as f64);
+        let u1 = rank_sum_a - n1f * (n1f + 1.0) / 2.0;
+        let mean_u = n1f * n2f / 2.0;
+        let var_u = if nf > 1.0 {
+            (n1f * n2f / 12.0) * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)))
+        } else {
+            0.0
+        };
+        let effect_size = 1.0 - u1 / (n1f * n2f);
+        if var_u <= 0.0 {
+            return Some(MwuResult {
+                u: u1,
+                p_value: 1.0,
+                effect_size,
+            });
+        }
+        let diff = u1 - mean_u;
+        let z = (diff.abs() - 0.5).max(0.0) / var_u.sqrt();
+        let p_value = 2.0 * (1.0 - standard_normal_cdf(z));
+        Some(MwuResult {
+            u: u1,
+            p_value: p_value.clamp(0.0, 1.0),
+            effect_size,
+        })
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn exact_match(a: &[f64], b: &[f64]) -> Result<(), TestCaseError> {
+            let expect = mwu_reference(a, b);
+            let mut scratch = MwuScratch::default();
+            prop_assert_eq!(mwu_into(a, b, &mut scratch), expect);
+            // A second call on the now-grown scratch must agree too.
+            prop_assert_eq!(mwu_into(a, b, &mut scratch), expect);
+            prop_assert_eq!(mann_whitney_u(a, b), expect);
+            Ok(())
+        }
+
+        proptest! {
+            /// Tie-heavy inputs: values drawn from eight levels, so most
+            /// pooled entries fall into multi-member tie groups. Sample
+            /// sizes start at 1, covering single-element inputs.
+            #[test]
+            fn mwu_into_matches_reference_on_tie_heavy_samples(
+                a in proptest::collection::vec(0u8..8, 1..40),
+                b in proptest::collection::vec(0u8..8, 1..40),
+            ) {
+                let a: Vec<f64> = a.into_iter().map(|v| f64::from(v) * 0.25).collect();
+                let b: Vec<f64> = b.into_iter().map(|v| f64::from(v) * 0.25).collect();
+                exact_match(&a, &b)?;
+            }
+
+            /// Mostly-distinct continuous inputs.
+            #[test]
+            fn mwu_into_matches_reference_on_continuous_samples(
+                a in proptest::collection::vec(0.01f64..10.0, 1..60),
+                b in proptest::collection::vec(0.01f64..10.0, 1..60),
+            ) {
+                exact_match(&a, &b)?;
+            }
+        }
     }
 }

@@ -5,10 +5,14 @@
 
 use std::collections::HashMap;
 
+use gpp_obs::Tracer;
+use gpp_par::par_map_traced;
 use gpp_sim::opts::OptConfig;
 use serde::{Deserialize, Serialize};
 
-use crate::analysis::{opts_for_partition, DatasetStats, PartitionAnalysis};
+use crate::analysis::{
+    opts_for_partition, opts_for_partition_with, AnalysisScratch, DatasetStats, PartitionAnalysis,
+};
 
 /// The ten strategies of the study (Table V's nine functions plus the
 /// measured oracle).
@@ -143,7 +147,27 @@ impl Assignment {
 /// Resolves `strategy` against the dataset: partitions the cells by the
 /// specialised dimensions, runs Algorithm 1 on each partition, and maps
 /// every cell to its partition's configuration.
+///
+/// Serial convenience wrapper over [`build_assignment_par`] with one
+/// worker and no tracing.
 pub fn build_assignment(stats: &DatasetStats<'_>, strategy: Strategy) -> Assignment {
+    build_assignment_par(stats, strategy, 1, &Tracer::disabled())
+}
+
+/// [`build_assignment`] with an explicit worker-thread count and tracer.
+///
+/// Partitions are analysed concurrently, but every result is scattered
+/// back to its partition's slot in the deterministic sorted key order,
+/// so the assignment is byte-identical to the serial one at any thread
+/// count. When `tracer` is enabled, the fan-out appears as one `phase`
+/// span (detail `analyze:<strategy>`) with matching per-worker `busy-ns`
+/// counters.
+pub fn build_assignment_par(
+    stats: &DatasetStats<'_>,
+    strategy: Strategy,
+    threads: usize,
+    tracer: &Tracer,
+) -> Assignment {
     let dataset = stats.dataset();
     let n = stats.num_cells();
     match strategy {
@@ -170,12 +194,15 @@ pub fn build_assignment(stats: &DatasetStats<'_>, strategy: Strategy) -> Assignm
             }
             let mut keys: Vec<PartitionKey> = groups.keys().cloned().collect();
             keys.sort_by_key(|k| (k.chip.clone(), k.app.clone(), k.input.clone()));
+            let label = format!("analyze:{}", strategy.name());
+            let _phase = tracer.span_detail("phase", Some(label.clone()));
+            let analyses = par_map_traced(&keys, threads, tracer, &label, |_, key| {
+                opts_for_partition(stats, &groups[key])
+            });
             let mut configs = vec![OptConfig::baseline(); n];
             let mut partitions = Vec::with_capacity(keys.len());
-            for key in keys {
-                let cells = &groups[&key];
-                let analysis = opts_for_partition(stats, cells);
-                for &i in cells {
+            for (key, analysis) in keys.into_iter().zip(analyses) {
+                for &i in &groups[&key] {
                     configs[i] = analysis.config;
                 }
                 partitions.push((key, analysis));
@@ -191,14 +218,54 @@ pub fn build_assignment(stats: &DatasetStats<'_>, strategy: Strategy) -> Assignm
 
 /// The per-chip `chip` function with its Table IX detail: one partition
 /// analysis per chip, in dataset chip order.
+///
+/// Serial convenience wrapper over [`chip_function_par`].
 pub fn chip_function(stats: &DatasetStats<'_>) -> Vec<(String, PartitionAnalysis)> {
-    stats
-        .dataset()
-        .chips
+    chip_function_par(stats, 1, &Tracer::disabled())
+}
+
+/// [`chip_function`] with an explicit worker-thread count and tracer:
+/// chips are analysed concurrently and collected in dataset chip order,
+/// so the table is byte-identical to the serial one at any thread count.
+pub fn chip_function_par(
+    stats: &DatasetStats<'_>,
+    threads: usize,
+    tracer: &Tracer,
+) -> Vec<(String, PartitionAnalysis)> {
+    let chips = &stats.dataset().chips;
+    let _phase = tracer.span_detail("phase", Some("chip-function".to_owned()));
+    let analyses = par_map_traced(chips, threads, tracer, "chip-function", |_, chip| {
+        let cells = stats.select_indices(None, None, Some(chip));
+        opts_for_partition(stats, &cells)
+    });
+    chips.iter().cloned().zip(analyses).collect()
+}
+
+/// The per-chip `chip` function restricted to a subset of cells: the
+/// cell-subset view the sensitivity sweep analyses each subsample
+/// through, borrowing the full dataset's memo tables instead of
+/// rebuilding a [`DatasetStats`] per trial.
+///
+/// `cells` must be given in dataset order. Each chip's partition is then
+/// the subsequence of `cells` on that chip — exactly the cell list a
+/// dataset rebuilt from those cells would hand to the analysis, so the
+/// verdicts are byte-identical to the rebuild.
+pub fn chip_function_on(
+    stats: &DatasetStats<'_>,
+    cells: &[usize],
+    scratch: &mut AnalysisScratch,
+) -> Vec<(String, PartitionAnalysis)> {
+    let ds = stats.dataset();
+    let mut chip_cells: Vec<usize> = Vec::new();
+    ds.chips
         .iter()
         .map(|chip| {
-            let cells = stats.select_indices(None, None, Some(chip));
-            (chip.clone(), opts_for_partition(stats, &cells))
+            chip_cells.clear();
+            chip_cells.extend(cells.iter().copied().filter(|&i| ds.cells[i].chip == *chip));
+            (
+                chip.clone(),
+                opts_for_partition_with(stats, &chip_cells, scratch),
+            )
         })
         .collect()
 }
@@ -282,6 +349,30 @@ mod tests {
         let cells = stats.select_indices(Some("bfs-wl"), Some("road"), None);
         let first = a.config(cells[0]);
         assert!(cells.iter().all(|&i| a.config(i) == first));
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_byte_for_byte() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = DatasetStats::new(&ds);
+        for strategy in [Strategy::Global, Strategy::Chip, Strategy::AppInput] {
+            let serial = build_assignment(&stats, strategy);
+            let par = build_assignment_par(&stats, strategy, 4, &Tracer::disabled());
+            assert_eq!(serial.configs(), par.configs(), "{strategy}");
+            assert_eq!(serial.partitions(), par.partitions(), "{strategy}");
+        }
+    }
+
+    #[test]
+    fn chip_function_on_full_subset_matches_chip_function() {
+        let ds = run_study(&StudyConfig::tiny());
+        let stats = DatasetStats::new(&ds);
+        let all: Vec<usize> = (0..stats.num_cells()).collect();
+        let mut scratch = AnalysisScratch::default();
+        assert_eq!(
+            chip_function_on(&stats, &all, &mut scratch),
+            chip_function(&stats)
+        );
     }
 
     #[test]

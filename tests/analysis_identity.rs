@@ -1,0 +1,128 @@
+//! Byte-identity of the parallel analysis pipeline: every `*_par`
+//! entry point, at several thread counts, must reproduce the serial
+//! output exactly — same configurations, same p-values, same f64 bits —
+//! and the memoized significance table must agree with fresh,
+//! unmemoized computation. These are the invariants that let the study
+//! regenerators fan out without changing a single reported number.
+
+use gpp::apps::study::{run_study, StudyConfig};
+use gpp::core::analysis::DatasetStats;
+use gpp::core::predict::{leave_one_out, leave_one_out_par};
+use gpp::core::sensitivity::{subsample_sensitivity, subsample_sensitivity_par};
+use gpp::core::strategy::{
+    build_assignment, build_assignment_par, chip_function, chip_function_par, Strategy,
+};
+use gpp::obs::Tracer;
+
+fn tiny() -> gpp::apps::study::Dataset {
+    run_study(&StudyConfig::tiny())
+}
+
+#[test]
+fn strategy_spectrum_is_identical_at_any_thread_count() {
+    let ds = tiny();
+    let stats = DatasetStats::new(&ds);
+    for strategy in Strategy::ALL {
+        let serial = build_assignment(&stats, strategy);
+        for threads in [2, 4, 16] {
+            let par = build_assignment_par(&stats, strategy, threads, &Tracer::disabled());
+            assert_eq!(
+                serial.configs(),
+                par.configs(),
+                "{strategy} configs @ {threads} threads"
+            );
+            // PartitionAnalysis is PartialEq over raw f64 p-values and
+            // effect sizes: equality here means bit-identical stats.
+            assert_eq!(
+                serial.partitions(),
+                par.partitions(),
+                "{strategy} partitions @ {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn chip_function_is_identical_at_any_thread_count() {
+    let ds = tiny();
+    let stats = DatasetStats::new(&ds);
+    let serial = chip_function(&stats);
+    for threads in [2, 4, 16] {
+        assert_eq!(
+            serial,
+            chip_function_par(&stats, threads, &Tracer::disabled()),
+            "@ {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn leave_one_out_is_identical_at_any_thread_count() {
+    let ds = tiny();
+    let stats = DatasetStats::new(&ds);
+    for k in [2, 8] {
+        let serial = leave_one_out(&stats, k);
+        for threads in [2, 4] {
+            assert_eq!(
+                serial,
+                leave_one_out_par(&stats, k, threads, &Tracer::disabled()),
+                "k={k} @ {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn sensitivity_sweep_is_identical_at_any_thread_count() {
+    let ds = tiny();
+    let fractions = [1.0, 0.4, 0.15];
+    let serial = subsample_sensitivity(&ds, &fractions, 3, 42);
+    for threads in [2, 4] {
+        let par = subsample_sensitivity_par(&ds, &fractions, 3, 42, threads, &Tracer::disabled());
+        assert_eq!(serial, par, "@ {threads} threads");
+    }
+}
+
+#[test]
+fn memoized_significance_agrees_with_fresh_computation() {
+    let ds = tiny();
+    let stats = DatasetStats::new(&ds);
+    let pairs = stats.num_comparison_pairs();
+    assert_eq!(pairs, 5 * 48 + 2 * 32);
+    // Sample (cell, pair) triples across the table; the memo must
+    // reproduce the unmemoized significant() + median ratio exactly.
+    for cell in (0..stats.num_cells()).step_by(11) {
+        for pair in (0..pairs).step_by(7) {
+            let (setting, mirror) = stats.comparison_pair(pair);
+            let fresh = stats
+                .significant(cell, setting, mirror)
+                .then(|| stats.median_of(cell, setting) / stats.median_of(cell, mirror));
+            assert_eq!(
+                stats.evidence(cell, pair),
+                fresh,
+                "cell {cell}, pair {pair} ({setting:?} vs {mirror:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn traced_parallel_analysis_still_matches_serial() {
+    // Tracing must observe, never perturb: a traced parallel spectrum
+    // equals the untraced serial one.
+    let ds = tiny();
+    let stats = DatasetStats::new(&ds);
+    let sink = std::sync::Arc::new(gpp::obs::MemorySink::new());
+    let tracer = Tracer::new(sink.clone());
+    let serial = build_assignment(&stats, Strategy::Chip);
+    let traced = build_assignment_par(&stats, Strategy::Chip, 4, &tracer);
+    assert_eq!(serial.configs(), traced.configs());
+    assert_eq!(serial.partitions(), traced.partitions());
+    let events = sink.take();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.detail.as_deref() == Some("analyze:chip")),
+        "phase span and busy counters should carry the strategy label"
+    );
+}
