@@ -42,14 +42,16 @@ impl Application for BfsTp {
         let mut levels = vec![UNSET; n];
         levels[0] = 0;
         let mut current = 0u32;
+        // One item buffer for the whole run: the executor copies what it
+        // needs out of the borrowed slice, so each level reuses the
+        // allocation instead of collecting a fresh vector.
+        let mut items: Vec<WorkItem> = Vec::with_capacity(n);
         loop {
-            let items: Vec<WorkItem> = graph
-                .nodes()
-                .map(|u| {
-                    let active = levels[u as usize] == current;
-                    WorkItem::new(if active { graph.degree(u) as u32 } else { 0 }, 0)
-                })
-                .collect();
+            items.clear();
+            items.extend(graph.nodes().map(|u| {
+                let active = levels[u as usize] == current;
+                WorkItem::new(if active { graph.degree(u) as u32 } else { 0 }, 0)
+            }));
             exec.kernel(&profile, &items);
             let mut changed = false;
             for u in graph.nodes() {
@@ -95,10 +97,15 @@ impl Application for BfsWl {
         let mut levels = vec![UNSET; n];
         levels[0] = 0;
         let mut frontier: Vec<NodeId> = vec![0];
+        let mut next: Vec<NodeId> = Vec::new();
+        let mut items: Vec<WorkItem> = Vec::new();
         let mut level = 0u32;
+        // Double-buffered frontier and a reused item vector: no per-level
+        // allocations once the buffers reach their high-water mark.
         while !frontier.is_empty() {
-            let mut items = Vec::with_capacity(frontier.len());
-            let mut next = Vec::new();
+            items.clear();
+            items.reserve(frontier.len());
+            next.clear();
             for &u in &frontier {
                 let mut pushes = 0u32;
                 for &v in graph.neighbors(u) {
@@ -111,7 +118,7 @@ impl Application for BfsWl {
                 items.push(WorkItem::new(graph.degree(u) as u32, pushes));
             }
             exec.kernel(&profile, &items);
-            frontier = next;
+            std::mem::swap(&mut frontier, &mut next);
             level += 1;
         }
         AppOutput::Levels(levels)
@@ -140,12 +147,18 @@ impl Application for BfsAtm {
         levels[0] = 0;
         let mut expanded = vec![false; n];
         let mut frontier: Vec<NodeId> = vec![0];
+        let mut next: Vec<NodeId> = Vec::new();
+        let mut items: Vec<WorkItem> = Vec::new();
+        let mut snapshot: Vec<u32> = Vec::new();
         let mut level = 0u32;
         while !frontier.is_empty() {
             // Snapshot: all threads of a level see the same "visited" state.
-            let snapshot = levels.clone();
-            let mut items = Vec::with_capacity(frontier.len());
-            let mut next = Vec::new();
+            // Reuses the snapshot buffer via clone_from instead of cloning a
+            // fresh vector each level.
+            snapshot.clone_from(&levels);
+            items.clear();
+            items.reserve(frontier.len());
+            next.clear();
             for &u in &frontier {
                 if expanded[u as usize] {
                     // Stale duplicate: pays node overhead, expands nothing.
@@ -164,7 +177,7 @@ impl Application for BfsAtm {
                 items.push(WorkItem::new(graph.degree(u) as u32, pushes));
             }
             exec.kernel(&profile, &items);
-            frontier = next;
+            std::mem::swap(&mut frontier, &mut next);
             level += 1;
         }
         AppOutput::Levels(levels)
@@ -192,33 +205,31 @@ impl Application for BfsHyb {
         let mut levels = vec![UNSET; n];
         levels[0] = 0;
         let mut frontier: Vec<NodeId> = vec![0];
+        let mut next: Vec<NodeId> = Vec::new();
+        let mut items: Vec<WorkItem> = Vec::new();
+        let mut in_frontier = vec![false; n];
         let mut level = 0u32;
         while !frontier.is_empty() {
             let dense = frontier.len() > n / 20;
-            let mut next = Vec::new();
+            items.clear();
+            next.clear();
             if dense {
-                let in_frontier: Vec<bool> = {
-                    let mut f = vec![false; n];
-                    for &u in &frontier {
-                        f[u as usize] = true;
-                    }
-                    f
-                };
-                let items: Vec<WorkItem> = graph
-                    .nodes()
-                    .map(|u| {
-                        WorkItem::new(
-                            if in_frontier[u as usize] {
-                                graph.degree(u) as u32
-                            } else {
-                                0
-                            },
-                            0,
-                        )
-                    })
-                    .collect();
+                for &u in &frontier {
+                    in_frontier[u as usize] = true;
+                }
+                items.extend(graph.nodes().map(|u| {
+                    WorkItem::new(
+                        if in_frontier[u as usize] {
+                            graph.degree(u) as u32
+                        } else {
+                            0
+                        },
+                        0,
+                    )
+                }));
                 exec.kernel(&tp_profile, &items);
                 for &u in &frontier {
+                    in_frontier[u as usize] = false;
                     for &v in graph.neighbors(u) {
                         if levels[v as usize] == UNSET {
                             levels[v as usize] = level + 1;
@@ -227,7 +238,7 @@ impl Application for BfsHyb {
                     }
                 }
             } else {
-                let mut items = Vec::with_capacity(frontier.len());
+                items.reserve(frontier.len());
                 for &u in &frontier {
                     let mut pushes = 0u32;
                     for &v in graph.neighbors(u) {
@@ -241,7 +252,7 @@ impl Application for BfsHyb {
                 }
                 exec.kernel(&wl_profile, &items);
             }
-            frontier = next;
+            std::mem::swap(&mut frontier, &mut next);
             level += 1;
         }
         AppOutput::Levels(levels)
@@ -270,12 +281,18 @@ impl Application for BfsDd {
         let mut levels = vec![UNSET; n];
         levels[0] = 0;
         let mut frontier: Vec<NodeId> = vec![0];
+        let mut next: Vec<NodeId> = Vec::new();
+        let mut items: Vec<WorkItem> = Vec::new();
+        let mut raw: Vec<NodeId> = Vec::new();
+        let mut snapshot: Vec<u32> = Vec::new();
+        let mut seen = vec![false; n];
         let mut level = 0u32;
         while !frontier.is_empty() {
             // Phase 1: expand, admitting duplicates into the raw list.
-            let snapshot = levels.clone();
-            let mut items = Vec::with_capacity(frontier.len());
-            let mut raw = Vec::new();
+            snapshot.clone_from(&levels);
+            items.clear();
+            items.reserve(frontier.len());
+            raw.clear();
             for &u in &frontier {
                 let mut pushes = 0u32;
                 for &v in graph.neighbors(u) {
@@ -289,24 +306,27 @@ impl Application for BfsDd {
             }
             exec.kernel(&expand_profile, &items);
 
-            // Phase 2: filter the raw list down to unique nodes.
-            let mut seen = vec![false; n];
-            let mut next = Vec::with_capacity(raw.len());
-            let filter_items: Vec<WorkItem> = raw
-                .iter()
-                .map(|&v| {
-                    if seen[v as usize] {
-                        WorkItem::new(0, 0)
-                    } else {
-                        seen[v as usize] = true;
-                        next.push(v);
-                        WorkItem::new(0, 1)
-                    }
-                })
-                .collect();
-            exec.kernel(&filter_profile, &filter_items);
+            // Phase 2: filter the raw list down to unique nodes. The item
+            // buffer is reused for the filter kernel too; `seen` is reset
+            // lazily from `next` after the pass instead of reallocated.
+            next.clear();
+            items.clear();
+            items.reserve(raw.len());
+            for &v in &raw {
+                items.push(if seen[v as usize] {
+                    WorkItem::new(0, 0)
+                } else {
+                    seen[v as usize] = true;
+                    next.push(v);
+                    WorkItem::new(0, 1)
+                });
+            }
+            exec.kernel(&filter_profile, &items);
+            for &v in &next {
+                seen[v as usize] = false;
+            }
 
-            frontier = next;
+            std::mem::swap(&mut frontier, &mut next);
             level += 1;
         }
         AppOutput::Levels(levels)
@@ -403,9 +423,8 @@ mod tests {
     fn pushes(rec: &Recorder) -> u64 {
         rec.clone()
             .into_trace()
-            .calls()
+            .items()
             .iter()
-            .flat_map(|c| c.items.iter())
             .map(|i| i.pushes as u64)
             .sum()
     }

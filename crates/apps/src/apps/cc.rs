@@ -29,26 +29,27 @@ impl Application for CcLp {
         let n = graph.num_nodes();
         let mut labels: Vec<NodeId> = (0..n as NodeId).collect();
         let mut changed = vec![true; n];
+        let mut next_changed = vec![false; n];
+        let mut items: Vec<WorkItem> = Vec::with_capacity(n);
+        let mut snapshot: Vec<NodeId> = Vec::new();
         loop {
-            let items: Vec<WorkItem> = graph
-                .nodes()
-                .map(|u| {
-                    WorkItem::new(
-                        if changed[u as usize] {
-                            graph.degree(u) as u32
-                        } else {
-                            0
-                        },
-                        0,
-                    )
-                })
-                .collect();
+            items.clear();
+            items.extend(graph.nodes().map(|u| {
+                WorkItem::new(
+                    if changed[u as usize] {
+                        graph.degree(u) as u32
+                    } else {
+                        0
+                    },
+                    0,
+                )
+            }));
             exec.kernel(&profile, &items);
             // Level-synchronous: a GPU kernel reads the labels written by
             // the *previous* iteration, so the minimum advances one hop
             // per kernel.
-            let snapshot = labels.clone();
-            let mut next_changed = vec![false; n];
+            snapshot.clone_from(&labels);
+            next_changed.fill(false);
             let mut any = false;
             for u in graph.nodes() {
                 if !changed[u as usize] {
@@ -66,7 +67,7 @@ impl Application for CcLp {
             if !any {
                 break;
             }
-            changed = next_changed;
+            std::mem::swap(&mut changed, &mut next_changed);
         }
         AppOutput::Labels(labels)
     }
@@ -101,13 +102,17 @@ impl Application for CcSv {
         let jump_profile = kernels::pointer_jump("cc_sv_jump");
         let n = graph.num_nodes();
         let mut parent: Vec<NodeId> = (0..n as NodeId).collect();
+        // The hook work is topology-driven and identical every round, and
+        // the jump work is always one unit per node: build each item
+        // vector once and replay it.
+        let hook_items: Vec<WorkItem> = graph
+            .nodes()
+            .map(|u| WorkItem::new(graph.degree(u) as u32, 0))
+            .collect();
+        let jump_items: Vec<WorkItem> = (0..n).map(|_| WorkItem::new(1, 0)).collect();
         loop {
             // Hook kernel: every node scans its edges, hooking roots.
-            let items: Vec<WorkItem> = graph
-                .nodes()
-                .map(|u| WorkItem::new(graph.degree(u) as u32, 0))
-                .collect();
-            exec.kernel(&hook_profile, &items);
+            exec.kernel(&hook_profile, &hook_items);
             let mut hooked = false;
             for u in graph.nodes() {
                 for &v in graph.neighbors(u) {
@@ -121,7 +126,6 @@ impl Application for CcSv {
             }
             // Pointer-jumping kernels until the forest is flat.
             loop {
-                let jump_items: Vec<WorkItem> = (0..n).map(|_| WorkItem::new(1, 0)).collect();
                 exec.kernel(&jump_profile, &jump_items);
                 let mut moved = false;
                 for v in 0..n {

@@ -39,11 +39,13 @@ impl Application for PrPull {
         let n = graph.num_nodes();
         let mut rank = vec![1.0 / n as f64; n];
         let mut next = vec![0.0f64; n];
+        // Topology-driven: every iteration launches the same item vector,
+        // so build it once and replay it.
+        let items: Vec<WorkItem> = graph
+            .nodes()
+            .map(|u| WorkItem::new(graph.degree(u) as u32, 0))
+            .collect();
         for _ in 0..pagerank::MAX_ITERS {
-            let items: Vec<WorkItem> = graph
-                .nodes()
-                .map(|u| WorkItem::new(graph.degree(u) as u32, 0))
-                .collect();
             exec.kernel(&profile, &items);
             let base = iteration_base(graph, &rank);
             for slot in next.iter_mut() {
@@ -87,11 +89,12 @@ impl Application for PrPush {
         let n = graph.num_nodes();
         let mut rank = vec![1.0 / n as f64; n];
         let mut next = vec![0.0f64; n];
+        // Same reuse as pr-pull: the scatter work is topology-driven.
+        let items: Vec<WorkItem> = graph
+            .nodes()
+            .map(|u| WorkItem::new(graph.degree(u) as u32, 0))
+            .collect();
         for _ in 0..pagerank::MAX_ITERS {
-            let items: Vec<WorkItem> = graph
-                .nodes()
-                .map(|u| WorkItem::new(graph.degree(u) as u32, 0))
-                .collect();
             exec.kernel(&profile, &items);
             let base = iteration_base(graph, &rank);
             for slot in next.iter_mut() {
@@ -143,9 +146,10 @@ impl Application for PrWl {
         // incoming shares.
         let mut propagated = vec![0.0f64; n];
         let mut contrib = vec![0.0f64; n];
+        let mut items: Vec<WorkItem> = Vec::new();
         for _ in 0..pagerank::MAX_ITERS {
             // Active set: nodes whose rank drifted since last propagation.
-            let mut items = Vec::new();
+            items.clear();
             let mut active_any = false;
             for u in graph.nodes() {
                 let drift = (rank[u as usize] - propagated[u as usize]).abs();
@@ -238,7 +242,7 @@ mod tests {
         let trace = rec.into_trace();
         let first = trace
             .calls()
-            .first()
+            .next()
             .expect("at least one kernel")
             .items
             .len();

@@ -29,25 +29,26 @@ impl Application for SsspBf {
         dist[0] = 0;
         let mut changed = vec![false; n];
         changed[0] = true;
+        let mut next_changed = vec![false; n];
+        let mut items: Vec<WorkItem> = Vec::with_capacity(n);
+        let mut snapshot: Vec<u64> = Vec::new();
         loop {
-            let items: Vec<WorkItem> = graph
-                .nodes()
-                .map(|u| {
-                    WorkItem::new(
-                        if changed[u as usize] {
-                            graph.degree(u) as u32
-                        } else {
-                            0
-                        },
-                        0,
-                    )
-                })
-                .collect();
+            items.clear();
+            items.extend(graph.nodes().map(|u| {
+                WorkItem::new(
+                    if changed[u as usize] {
+                        graph.degree(u) as u32
+                    } else {
+                        0
+                    },
+                    0,
+                )
+            }));
             exec.kernel(&profile, &items);
             // Level-synchronous: relax against the distances of the
             // previous iteration, as the GPU kernel would.
-            let snapshot = dist.clone();
-            let mut next_changed = vec![false; n];
+            snapshot.clone_from(&dist);
+            next_changed.fill(false);
             let mut any = false;
             for u in graph.nodes() {
                 if !changed[u as usize] {
@@ -66,7 +67,7 @@ impl Application for SsspBf {
             if !any {
                 break;
             }
-            changed = next_changed;
+            std::mem::swap(&mut changed, &mut next_changed);
         }
         AppOutput::Distances(dist)
     }
@@ -96,10 +97,13 @@ impl Application for SsspWl {
         let mut dist = vec![u64::MAX; n];
         dist[0] = 0;
         let mut frontier: Vec<NodeId> = vec![0];
+        let mut next: Vec<NodeId> = Vec::new();
+        let mut items: Vec<WorkItem> = Vec::new();
         let mut in_next = vec![false; n];
         while !frontier.is_empty() {
-            let mut items = Vec::with_capacity(frontier.len());
-            let mut next = Vec::new();
+            items.clear();
+            items.reserve(frontier.len());
+            next.clear();
             for &u in &frontier {
                 let du = dist[u as usize];
                 let mut pushes = 0u32;
@@ -120,7 +124,7 @@ impl Application for SsspWl {
             for &v in &next {
                 in_next[v as usize] = false;
             }
-            frontier = next;
+            std::mem::swap(&mut frontier, &mut next);
         }
         AppOutput::Distances(dist)
     }

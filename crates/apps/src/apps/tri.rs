@@ -149,7 +149,7 @@ mod tests {
         let mut rec = Recorder::new();
         Tri.run(&g, &mut rec);
         let trace = rec.into_trace();
-        let items = &trace.calls()[1].items;
+        let items = trace.call(1).items;
         let max = items.iter().map(|i| i.degree as u64).max().unwrap();
         let mean = items.iter().map(|i| i.degree as u64).sum::<u64>() / items.len() as u64;
         assert!(max > 10 * mean.max(1), "max {max} mean {mean}");

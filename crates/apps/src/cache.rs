@@ -1,0 +1,217 @@
+//! Persistent on-disk cache of recorded traces.
+//!
+//! Recording a trace — running an application over its input graph and
+//! validating the output — is the only part of the study that cannot be
+//! replayed cheaply, yet it is a pure function of (application, input).
+//! A [`TraceCache`] persists each recorded [`Trace`] as JSON in a
+//! directory, keyed by a content hash of the application name, the
+//! input specification (name, scale, generation seed, and the generated
+//! graph's shape), and [`RECORDER_VERSION`], so repeated studies and
+//! CLI invocations skip the `collect-traces` phase entirely (`gpp study
+//! --trace-cache DIR`).
+//!
+//! Cache keys deliberately cover everything a trace depends on:
+//!
+//! * a different application, input, scale, or seed hashes to a
+//!   different key, so distinct traces can never collide on a file;
+//! * bumping [`RECORDER_VERSION`] (any change to the trace format or
+//!   recording semantics) invalidates every existing entry;
+//! * the generated graph's node and edge counts are mixed in as a guard
+//!   against generator drift — if the same (name, scale, seed) ever
+//!   produces a different graph, stale entries miss instead of
+//!   replaying the wrong work.
+//!
+//! Entries that fail to load (missing, truncated, or written by an
+//! incompatible serde layout) are treated as misses; [`TraceCache::store`]
+//! is best-effort and atomic (write to a temporary file, then rename),
+//! so concurrent study workers and crashed runs never leave a corrupt
+//! entry behind. The JSON round-trip is exact — `serde_json`'s
+//! `float_roundtrip` feature is enabled workspace-wide — so a dataset
+//! priced from cached traces is byte-identical to a cold run.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gpp_sim::trace::{Trace, RECORDER_VERSION};
+
+use crate::inputs::{StudyInput, StudyScale};
+
+/// A directory of serialized traces, keyed by trace content hash.
+#[derive(Debug, Clone)]
+pub struct TraceCache {
+    dir: PathBuf,
+}
+
+impl TraceCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure to create the directory.
+    pub fn new(dir: &Path) -> io::Result<TraceCache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(TraceCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content key of one (application, input) trace: an FNV-1a hash
+    /// over the application name, input name, scale, generation seed,
+    /// graph shape, and [`RECORDER_VERSION`].
+    pub fn key(app: &str, input: &StudyInput, scale: StudyScale, seed: u64) -> u64 {
+        let scale_tag: u8 = match scale {
+            StudyScale::Full => 0,
+            StudyScale::Small => 1,
+            StudyScale::Tiny => 2,
+        };
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for byte in app
+            .bytes()
+            .chain([0])
+            .chain(input.name.bytes())
+            .chain([0, scale_tag])
+            .chain(seed.to_le_bytes())
+            .chain((input.graph.num_nodes() as u64).to_le_bytes())
+            .chain((input.graph.num_edges() as u64).to_le_bytes())
+            .chain(RECORDER_VERSION.to_le_bytes())
+        {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// The on-disk path of one entry. The human-readable prefix is for
+    /// directory listings; the hash alone keys the entry.
+    pub fn entry_path(&self, app: &str, input: &StudyInput, scale: StudyScale, seed: u64) -> PathBuf {
+        let key = Self::key(app, input, scale, seed);
+        self.dir
+            .join(format!("{app}-{}-{key:016x}.trace.json", input.name))
+    }
+
+    /// Loads the cached trace for one (application, input) pair, or
+    /// `None` on any miss — absent, unreadable, or undeserialisable
+    /// entries all count as misses.
+    pub fn load(
+        &self,
+        app: &str,
+        input: &StudyInput,
+        scale: StudyScale,
+        seed: u64,
+    ) -> Option<Trace> {
+        let text = std::fs::read_to_string(self.entry_path(app, input, scale, seed)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Stores one recorded trace, atomically (temporary file + rename)
+    /// so concurrent workers and interrupted runs never leave a partial
+    /// entry. Best-effort: returns whether the entry was written, and
+    /// never fails the study over a read-only or full cache directory.
+    pub fn store(
+        &self,
+        app: &str,
+        input: &StudyInput,
+        scale: StudyScale,
+        seed: u64,
+        trace: &Trace,
+    ) -> bool {
+        // A process-wide counter keeps concurrent stores (and re-stores
+        // of the same key) from colliding on the temporary name.
+        static TMP_SERIAL: AtomicU64 = AtomicU64::new(0);
+        let Ok(json) = serde_json::to_string(trace) else {
+            return false;
+        };
+        let path = self.entry_path(app, input, scale, seed);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TMP_SERIAL.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, json).is_err() {
+            return false;
+        }
+        let renamed = std::fs::rename(&tmp, &path).is_ok();
+        if !renamed {
+            std::fs::remove_file(&tmp).ok();
+        }
+        renamed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::all_applications;
+    use crate::inputs::study_inputs;
+    use gpp_sim::exec::Executor as _;
+    use gpp_sim::trace::Recorder;
+
+    fn temp_cache(tag: &str) -> TraceCache {
+        let dir = std::env::temp_dir().join(format!("gpp-trace-cache-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        TraceCache::new(&dir).expect("create cache dir")
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let cache = temp_cache("round-trip");
+        let inputs = study_inputs(StudyScale::Tiny, 7);
+        let input = &inputs[0];
+        let apps = all_applications();
+        let app = &apps[0];
+        let mut rec = Recorder::new();
+        app.run(&input.graph, &mut rec);
+        let trace = rec.into_trace();
+
+        assert!(cache.load(app.name(), input, StudyScale::Tiny, 7).is_none());
+        assert!(cache.store(app.name(), input, StudyScale::Tiny, 7, &trace));
+        let back = cache
+            .load(app.name(), input, StudyScale::Tiny, 7)
+            .expect("hit after store");
+        assert_eq!(trace, back);
+        // Exact at the byte level too, not just structurally.
+        assert_eq!(
+            serde_json::to_string(&trace).unwrap(),
+            serde_json::to_string(&back).unwrap()
+        );
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn keys_separate_every_dimension() {
+        let inputs = study_inputs(StudyScale::Tiny, 7);
+        let other_seed = study_inputs(StudyScale::Tiny, 8);
+        let small = study_inputs(StudyScale::Small, 7);
+        let base = TraceCache::key("bfs-wl", &inputs[0], StudyScale::Tiny, 7);
+        assert_ne!(base, TraceCache::key("bfs-td", &inputs[0], StudyScale::Tiny, 7));
+        assert_ne!(base, TraceCache::key("bfs-wl", &inputs[1], StudyScale::Tiny, 7));
+        assert_ne!(base, TraceCache::key("bfs-wl", &other_seed[0], StudyScale::Tiny, 8));
+        assert_ne!(base, TraceCache::key("bfs-wl", &small[0], StudyScale::Small, 7));
+        // Deterministic across calls.
+        assert_eq!(base, TraceCache::key("bfs-wl", &inputs[0], StudyScale::Tiny, 7));
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let cache = temp_cache("corrupt");
+        let inputs = study_inputs(StudyScale::Tiny, 7);
+        let input = &inputs[0];
+        let mut rec = Recorder::new();
+        rec.kernel(
+            &gpp_sim::exec::KernelProfile::frontier("k"),
+            &[gpp_sim::exec::WorkItem::new(3, 1)],
+        );
+        let trace = rec.into_trace();
+        assert!(cache.store("bfs-wl", input, StudyScale::Tiny, 7, &trace));
+        let path = cache.entry_path("bfs-wl", input, StudyScale::Tiny, 7);
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(cache.load("bfs-wl", input, StudyScale::Tiny, 7).is_none());
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+}

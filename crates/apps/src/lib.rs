@@ -9,6 +9,8 @@
 //!   PR ×3, SSSP ×2, TRI ×1;
 //! - [`kernels`] — the kernel operation-count profiles the applications
 //!   are compiled to;
+//! - [`cache`] — the persistent on-disk trace cache (`gpp study
+//!   --trace-cache`);
 //! - [`inputs`] — the three study inputs (road / social / random);
 //! - [`par`] — the scoped-thread parallel map the grid runner fans out
 //!   with (re-exported from the `gpp-par` utility crate, which also
@@ -45,6 +47,7 @@
 
 pub mod app;
 pub mod apps;
+pub mod cache;
 pub mod inputs;
 pub mod kernels;
 pub mod par;
@@ -52,5 +55,8 @@ pub mod study;
 
 pub use app::{AppOutput, Application, Problem};
 pub use apps::{all_applications, application};
+pub use cache::TraceCache;
 pub use inputs::{study_inputs, study_inputs_extended, StudyInput, StudyScale};
-pub use study::{run_study, run_study_on, run_study_traced, Cell, Dataset, StudyConfig};
+pub use study::{
+    run_study, run_study_cached, run_study_on, run_study_traced, Cell, Dataset, StudyConfig,
+};

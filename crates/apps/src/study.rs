@@ -18,6 +18,8 @@
 //! byte-identical to a single-threaded one. [`run_study_traced`]
 //! additionally emits pipeline spans and counters through a
 //! [`gpp_obs::Tracer`]; tracing never changes the dataset.
+//! [`run_study_cached`] adds a persistent [`TraceCache`], so a warm run
+//! skips the `collect-traces` phase entirely — still byte-identical.
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
@@ -34,6 +36,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::app::validate;
 use crate::apps::all_applications;
+use crate::cache::TraceCache;
 use crate::inputs::{study_inputs, study_inputs_extended, StudyScale};
 use crate::par::par_map_traced;
 
@@ -400,6 +403,30 @@ pub fn run_study_traced(
     chips: &[gpp_sim::chip::ChipProfile],
     tracer: &Tracer,
 ) -> Dataset {
+    run_study_cached(config, chips, tracer, None)
+}
+
+/// [`run_study_traced`] with a persistent [`TraceCache`]: each
+/// (application, input) trace is looked up in `cache` before being
+/// recorded, and freshly recorded traces are stored back. On a warm
+/// cache the `collect-traces` phase runs no application at all — the
+/// `traces-compiled` counter stays at zero and only `trace-cache-hits`
+/// increments. The dataset is byte-identical with or without a cache
+/// (cold or warm): the on-disk JSON round-trip is exact.
+///
+/// Cache hits skip output validation (`config.validate`) along with the
+/// run that would produce the output — a cached trace was validated
+/// when it was recorded.
+///
+/// # Panics
+///
+/// Panics as [`run_study_on`] does.
+pub fn run_study_cached(
+    config: &StudyConfig,
+    chips: &[gpp_sim::chip::ChipProfile],
+    tracer: &Tracer,
+    cache: Option<&TraceCache>,
+) -> Dataset {
     assert!(config.runs > 0, "need at least one run per measurement");
     assert!(!chips.is_empty(), "need at least one chip");
     {
@@ -419,9 +446,11 @@ pub fn run_study_traced(
     let threads = config.effective_threads();
     let _study_span = tracer.span("study");
 
-    // Phase 1: one trace per (input, application) pair, input-major.
-    // Precompiling here builds every geometry's aggregation up front, so
-    // phase 2 replays never touch the compile cache's write lock.
+    // Phase 1: one trace per (input, application) pair, input-major —
+    // loaded from the cache when possible, recorded (and stored back)
+    // otherwise. Precompiling here builds every geometry's aggregation
+    // up front in one pass over the trace arena, so phase 2 replays
+    // never build.
     let pairs: Vec<(usize, usize)> = (0..inputs.len())
         .flat_map(|i| (0..apps.len()).map(move |a| (i, a)))
         .collect();
@@ -433,18 +462,31 @@ pub fn run_study_traced(
             let _item = tracer
                 .is_enabled()
                 .then(|| tracer.span_detail("trace", Some(format!("{}/{}", app.name(), input.name))));
-            let mut recorder = Recorder::new();
-            let output = app.run(&input.graph, &mut recorder);
-            if config.validate {
-                if let Err(e) = validate(&input.graph, &output) {
-                    panic!("{} on {}: {e}", app.name(), input.name);
+            let cached = cache.and_then(|c| c.load(app.name(), input, config.scale, config.seed));
+            let trace = match cached {
+                Some(trace) => {
+                    tracer.counter("trace-cache-hits", None, 1.0);
+                    trace
                 }
-            }
-            let compiled = CompiledTrace::new(recorder.into_trace());
-            for machine in &machines {
-                compiled.precompile(machine);
-            }
-            tracer.counter("traces-compiled", None, 1.0);
+                None => {
+                    let mut recorder = Recorder::new();
+                    let output = app.run(&input.graph, &mut recorder);
+                    if config.validate {
+                        if let Err(e) = validate(&input.graph, &output) {
+                            panic!("{} on {}: {e}", app.name(), input.name);
+                        }
+                    }
+                    let trace = recorder.into_trace();
+                    if let Some(c) = cache {
+                        tracer.counter("trace-cache-misses", None, 1.0);
+                        c.store(app.name(), input, config.scale, config.seed, &trace);
+                    }
+                    tracer.counter("traces-compiled", None, 1.0);
+                    trace
+                }
+            };
+            let compiled = CompiledTrace::new(trace);
+            compiled.precompile_all(&machines);
             compiled
         })
     };
@@ -731,6 +773,60 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.name == "cell" && e.detail.as_deref() == Some("bfs-wl/road/MALI")));
+    }
+
+    #[test]
+    fn cached_study_is_byte_identical_and_warm_runs_skip_collection() {
+        use gpp_obs::MemorySink;
+        use std::sync::Arc;
+        let total = |events: &[gpp_obs::TraceEvent], name: &str| -> f64 {
+            events
+                .iter()
+                .filter(|e| e.name == name)
+                .filter_map(|e| e.value)
+                .sum()
+        };
+        let dir = std::env::temp_dir().join(format!("gpp-study-cache-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = TraceCache::new(&dir).unwrap();
+        let plain = run_study(&StudyConfig::tiny());
+
+        // Cold: every trace is a miss, recorded and stored.
+        let sink = Arc::new(MemorySink::new());
+        let cold = run_study_cached(
+            &StudyConfig::tiny(),
+            &study_chips(),
+            &Tracer::new(sink.clone()),
+            Some(&cache),
+        );
+        let events = sink.take();
+        assert_eq!(total(&events, "trace-cache-hits"), 0.0);
+        assert_eq!(total(&events, "trace-cache-misses"), (17 * 3) as f64);
+        assert_eq!(total(&events, "traces-compiled"), (17 * 3) as f64);
+
+        // Warm (and parallel): every trace is a hit, nothing is
+        // recorded — the collect-traces phase runs no application.
+        let sink = Arc::new(MemorySink::new());
+        let warm = run_study_cached(
+            &StudyConfig {
+                threads: 4,
+                ..StudyConfig::tiny()
+            },
+            &study_chips(),
+            &Tracer::new(sink.clone()),
+            Some(&cache),
+        );
+        let events = sink.take();
+        assert_eq!(total(&events, "trace-cache-hits"), (17 * 3) as f64);
+        assert_eq!(total(&events, "trace-cache-misses"), 0.0);
+        assert_eq!(total(&events, "traces-compiled"), 0.0);
+
+        // Cacheless, cold-cache, and warm-cache datasets are all
+        // byte-identical.
+        let baseline = serde_json::to_string(&plain).unwrap();
+        assert_eq!(baseline, serde_json::to_string(&cold).unwrap());
+        assert_eq!(baseline, serde_json::to_string(&warm).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -22,8 +22,9 @@ use std::time::Instant;
 
 use criterion::{criterion_group, Criterion};
 use gpp_apps::apps::all_applications;
+use gpp_apps::cache::TraceCache;
 use gpp_apps::inputs::{study_inputs, StudyScale};
-use gpp_apps::study::{run_study, run_study_traced, StudyConfig};
+use gpp_apps::study::{run_study, run_study_cached, run_study_traced, StudyConfig};
 use gpp_core::analysis::DatasetStats;
 use gpp_core::predict::leave_one_out_par;
 use gpp_core::sensitivity::{subsample_sensitivity, subsample_sensitivity_par};
@@ -32,9 +33,9 @@ use gpp_core::strategy::{
 };
 use gpp_obs::{MemorySink, NullSink, Tracer};
 use gpp_sim::chip::study_chips;
-use gpp_sim::exec::Machine;
+use gpp_sim::exec::{CallAggregates, Machine};
 use gpp_sim::opts::all_configs;
-use gpp_sim::trace::{CompiledTrace, Recorder};
+use gpp_sim::trace::{geometry_groups, CompiledTrace, Recorder};
 
 fn small(threads: usize) -> StudyConfig {
     StudyConfig {
@@ -211,6 +212,84 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         && analysis_serial.2 == analysis_parallel.2
         && analysis_serial.3 == analysis_parallel.3;
 
+    // Trace-substrate metrics: arena compactness, the single-pass
+    // multi-geometry aggregation win, and the persistent cache's
+    // warm-run wall-clock.
+    let inputs = study_inputs(cfg.scale, cfg.seed);
+    let mut traces = Vec::new();
+    for app in all_applications() {
+        for input in &inputs {
+            let mut rec = Recorder::new();
+            app.run(&input.graph, &mut rec);
+            traces.push(rec.into_trace());
+        }
+    }
+    let total_items: usize = traces.iter().map(|t| t.num_items()).sum();
+    let total_bytes: usize = traces.iter().map(|t| t.arena_bytes()).sum();
+    let trace_arena_bytes_per_item = total_bytes as f64 / total_items.max(1) as f64;
+
+    // The union of (workgroup, subgroup) geometries the study chips
+    // price: the single-pass builder walks each frontier once for all
+    // of them, the reference builder once per geometry.
+    let mut geometries: Vec<(u32, u32)> = Vec::new();
+    for chip in study_chips() {
+        for (wg, _) in geometry_groups(&chip) {
+            let g = (wg, chip.subgroup_size);
+            if !geometries.contains(&g) {
+                geometries.push(g);
+            }
+        }
+    }
+    let t = Instant::now();
+    for trace in &traces {
+        for call in trace.calls() {
+            for &(wg, sg) in &geometries {
+                std::hint::black_box(CallAggregates::from_items(call.items, wg, sg));
+            }
+        }
+    }
+    let per_geometry_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for trace in &traces {
+        for call in trace.calls() {
+            std::hint::black_box(CallAggregates::from_items_multi(call.items, &geometries));
+        }
+    }
+    let single_pass_seconds = t.elapsed().as_secs_f64();
+
+    // Cold run fills the cache under target/, warm run replays it; the
+    // warm run must compile zero traces and reproduce the dataset
+    // byte for byte.
+    let cache_dir =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-trace-cache");
+    std::fs::remove_dir_all(&cache_dir).ok();
+    let cache = TraceCache::new(&cache_dir).expect("create bench trace cache");
+    let chips = study_chips();
+    let t = Instant::now();
+    let cold = run_study_cached(
+        &StudyConfig { threads: 0, ..cfg },
+        &chips,
+        &Tracer::disabled(),
+        Some(&cache),
+    );
+    let trace_cache_cold_seconds = t.elapsed().as_secs_f64();
+    let sink = Arc::new(MemorySink::new());
+    let t = Instant::now();
+    let warm = run_study_cached(
+        &StudyConfig { threads: 0, ..cfg },
+        &chips,
+        &Tracer::new(sink.clone()),
+        Some(&cache),
+    );
+    let trace_cache_hit_seconds = t.elapsed().as_secs_f64();
+    let warm_compiled: f64 = sink
+        .take()
+        .iter()
+        .filter(|e| e.name == "traces-compiled")
+        .filter_map(|e| e.value)
+        .sum();
+    let cache_identical = cold == parallel && warm == parallel;
+
     let baseline = serde_json::json!({
         "bench": "study_grid",
         "scale": scale,
@@ -233,6 +312,11 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         "analysis_parallel_seconds": analysis_parallel_seconds,
         "analysis_speedup": analysis_serial_seconds / analysis_parallel_seconds,
         "analysis_identical_to_serial": analysis_identical,
+        "trace_arena_bytes_per_item": trace_arena_bytes_per_item,
+        "aggregation_single_pass_speedup": per_geometry_seconds / single_pass_seconds,
+        "trace_cache_cold_seconds": trace_cache_cold_seconds,
+        "trace_cache_hit_seconds": trace_cache_hit_seconds,
+        "trace_cache_identical_to_uncached": cache_identical,
         "regenerate": "cargo bench --bench study_grid",
     });
     if let Some(parent) = path.parent() {
@@ -256,6 +340,11 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
     assert!(
         analysis_identical,
         "parallel analysis must equal the serial analysis"
+    );
+    assert_eq!(warm_compiled, 0.0, "warm cache run must compile no traces");
+    assert!(
+        cache_identical,
+        "cached datasets must equal the uncached dataset"
     );
 }
 

@@ -5,7 +5,8 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use gpp_apps::study::{run_study, run_study_traced, Dataset, StudyConfig};
+use gpp_apps::cache::TraceCache;
+use gpp_apps::study::{run_study, run_study_cached, Dataset, StudyConfig};
 use gpp_apps::StudyScale;
 use gpp_core::analysis::{DatasetStats, Decision};
 use gpp_core::report::{percent, ratio, Table};
@@ -66,7 +67,7 @@ fn help(out: &mut dyn Write) -> Result<(), String> {
         "gpp — quantifying performance portability of graph applications on (simulated) GPUs\n\n\
          commands:\n  \
          chips                       the six study chips (Table I)\n  \
-         study [--scale S] [--seed N] [--threads N] [--out FILE] [--chips FILE] [--trace-out FILE]\n                              run the full grid and save the dataset; --trace-out\n                              streams pipeline spans/counters as JSONL and prints a summary\n  \
+         study [--scale S] [--seed N] [--threads N] [--out FILE] [--chips FILE] [--trace-out FILE] [--trace-cache DIR]\n                              run the full grid and save the dataset; --trace-out\n                              streams pipeline spans/counters as JSONL and prints a summary;\n                              --trace-cache persists recorded traces so warm runs skip\n                              the collect-traces phase (delete DIR to invalidate)\n  \
          explain [--app A] [--input I] [--chip C] [--opts OPTS] [--scale S]\n                              per-mechanism cost attribution of one priced cell per chip\n  \
          export-chips FILE           write the six study chip models as JSON\n  \
          analyze [--data FILE] [--threads N]\n                              strategy spectrum (Figs 3 and 4)\n  \
@@ -162,9 +163,18 @@ fn study(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             Tracer::new(Arc::new(TeeSink::new(vec![memory.clone(), Arc::new(file)])))
         }
     };
+    // With --trace-cache, recorded traces persist across invocations; a
+    // warm cache skips the collect-traces phase (same dataset, byte for
+    // byte). Deleting the directory invalidates the cache.
+    let cache = match args.opt("trace-cache") {
+        None => None,
+        Some(dir) => {
+            Some(TraceCache::new(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?)
+        }
+    };
     let started = std::time::Instant::now();
     let ds = match args.opt("chips") {
-        None => run_study_traced(&cfg, &study_chips(), &tracer),
+        None => run_study_cached(&cfg, &study_chips(), &tracer, cache.as_ref()),
         Some(file) => {
             let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
             let chips: Vec<ChipProfile> =
@@ -172,7 +182,7 @@ fn study(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             if chips.is_empty() {
                 return Err(format!("{file}: chip list is empty"));
             }
-            run_study_traced(&cfg, &chips, &tracer)
+            run_study_cached(&cfg, &chips, &tracer, cache.as_ref())
         }
     };
     tracer.flush();
@@ -203,6 +213,15 @@ fn study(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                 summary.total_wall_ns / 1e6
             ),
         )?;
+        if cache.is_some() {
+            w(
+                out,
+                format!(
+                    "trace cache: {} hits, {} misses",
+                    summary.trace_cache_hits, summary.trace_cache_misses
+                ),
+            )?;
+        }
         let mut t = Table::new(["Phase", "Wall (ms)", "Workers", "Busy"]);
         for p in &summary.phases {
             t.row([
@@ -813,6 +832,39 @@ mod tests {
         ))
         .unwrap();
         assert!(text.contains("102 cells"), "{text}"); // 17 apps x 3 inputs x 2 chips
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn study_trace_cache_warm_run_is_identical_and_skips_collection() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache_dir = dir.join("trace-cache");
+        let (cold_path, warm_path, plain_path) =
+            (dir.join("cold.json"), dir.join("warm.json"), dir.join("plain.json"));
+        run_cmd(&format!("study --scale tiny --out {}", plain_path.display())).unwrap();
+        let trace_out = dir.join("warm-trace.jsonl");
+        run_cmd(&format!(
+            "study --scale tiny --trace-cache {} --out {}",
+            cache_dir.display(),
+            cold_path.display()
+        ))
+        .unwrap();
+        // The cache directory now holds one entry per (app, input) pair.
+        assert_eq!(std::fs::read_dir(&cache_dir).unwrap().count(), 17 * 3);
+        let text = run_cmd(&format!(
+            "study --scale tiny --trace-cache {} --trace-out {} --out {}",
+            cache_dir.display(),
+            trace_out.display(),
+            warm_path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("trace cache: 51 hits, 0 misses"), "{text}");
+        assert!(text.contains("0 traces compiled"), "{text}");
+        // Cacheless, cold, and warm datasets are byte-identical.
+        let plain = std::fs::read(&plain_path).unwrap();
+        assert_eq!(plain, std::fs::read(&cold_path).unwrap());
+        assert_eq!(plain, std::fs::read(&warm_path).unwrap());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -437,7 +437,7 @@ mod tests {
         execute(&bfs_program(), &g, &mut rec).unwrap();
         let trace = rec.into_trace();
         // First kernel: only the hub (node 0) is active, walking 19 edges.
-        let first = &trace.calls()[0];
+        let first = trace.call(0);
         assert_eq!(first.items.len(), 20);
         assert_eq!(first.items[0].degree, 19);
         assert!(first.items[1..].iter().all(|i| i.degree == 0));

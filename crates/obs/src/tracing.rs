@@ -24,7 +24,10 @@
 //! * counter `"busy-ns"` with detail = phase label — per-worker busy
 //!   time inside a parallel phase;
 //! * counters `"traces-compiled"` / `"cells-priced"` — one increment
-//!   per completed work item.
+//!   per completed work item;
+//! * counters `"trace-cache-hits"` / `"trace-cache-misses"` — one
+//!   increment per persistent-trace-cache lookup (a hit skips the
+//!   recording that would otherwise increment `"traces-compiled"`).
 
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
@@ -332,6 +335,10 @@ pub struct TraceSummary {
     pub traces_compiled: f64,
     /// Total `"cells-priced"` counter increments.
     pub cells_priced: f64,
+    /// Total `"trace-cache-hits"` counter increments.
+    pub trace_cache_hits: f64,
+    /// Total `"trace-cache-misses"` counter increments.
+    pub trace_cache_misses: f64,
     /// The slowest `"cell"` spans as `(label, elapsed_ns)`, slowest
     /// first, at most five.
     pub slowest_cells: Vec<(String, f64)>,
@@ -369,6 +376,8 @@ impl TraceSummary {
                     match e.name.as_str() {
                         "traces-compiled" => summary.traces_compiled += v,
                         "cells-priced" => summary.cells_priced += v,
+                        "trace-cache-hits" => summary.trace_cache_hits += v,
+                        "trace-cache-misses" => summary.trace_cache_misses += v,
                         "busy-ns" => {
                             let label = e.detail.clone().unwrap_or_default();
                             let entry = busy.iter_mut().find(|(l, _, _)| *l == label);
@@ -495,10 +504,14 @@ mod tests {
             mk(7, 2, EventKind::Counter, "busy-ns", Some("price-cells"), Some(10.0)),
             mk(8, 0, EventKind::SpanEnd, "phase", Some("price-cells"), Some(100.0)),
             mk(9, 0, EventKind::SpanEnd, "study", None, Some(100.0)),
+            mk(10, 1, EventKind::Counter, "trace-cache-hits", None, Some(3.0)),
+            mk(11, 2, EventKind::Counter, "trace-cache-misses", None, Some(1.0)),
         ];
         let s = TraceSummary::from_events(&events);
         assert_eq!(s.total_wall_ns, 100.0);
         assert_eq!(s.cells_priced, 2.0);
+        assert_eq!(s.trace_cache_hits, 3.0);
+        assert_eq!(s.trace_cache_misses, 1.0);
         assert_eq!(s.phases.len(), 1);
         assert_eq!(s.phases[0].workers, 2);
         assert!((s.phases[0].busy_frac - 0.5).abs() < 1e-12);

@@ -220,6 +220,69 @@ impl CallAggregates {
             pushes,
         }
     }
+
+    /// Aggregates `items` for several geometries in a *single* traversal,
+    /// returning one [`CallAggregates`] per entry of `geometries` (in
+    /// order). Every field update is an integer operation applied in the
+    /// same per-item order as [`CallAggregates::from_items`], so each
+    /// result is bit-identical to the per-geometry builder — the
+    /// replay-identity property tests assert exactly that.
+    ///
+    /// This is what makes a chip set's aggregation cost O(items) instead
+    /// of O(items × geometries): the item arena is streamed once and all
+    /// geometry tables are written side by side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometry's workgroup or subgroup size is zero.
+    pub fn from_items_multi(items: &[WorkItem], geometries: &[(u32, u32)]) -> Vec<Self> {
+        // Per geometry: the output under construction, the current
+        // (partial) workgroup aggregate, and how many items it holds.
+        let mut states: Vec<(CallAggregates, WorkgroupAgg, u32)> = geometries
+            .iter()
+            .map(|&(wg_size, sg_size)| {
+                assert!(wg_size > 0 && sg_size > 0, "sizes must be positive");
+                let out = CallAggregates {
+                    wg_size,
+                    sg_size,
+                    workgroups: Vec::with_capacity(items.len().div_ceil(wg_size as usize)),
+                    pushes: 0,
+                };
+                (out, WorkgroupAgg::default(), 0u32)
+            })
+            .collect();
+        let mut pushes = 0u64;
+        for item in items {
+            pushes += item.pushes as u64;
+            let d = item.degree;
+            for (out, agg, filled) in &mut states {
+                if *filled == out.wg_size {
+                    out.workgroups.push(*agg);
+                    *agg = WorkgroupAgg::default();
+                    *filled = 0;
+                }
+                let (wg_size, sg_size) = (out.wg_size, out.sg_size);
+                if d >= wg_size {
+                    agg.big.add(d, wg_size, sg_size);
+                } else if d >= sg_size && sg_size > 1 {
+                    agg.mid.add(d, wg_size, sg_size);
+                } else {
+                    agg.small.add(d, wg_size, sg_size);
+                }
+                *filled += 1;
+            }
+        }
+        states
+            .into_iter()
+            .map(|(mut out, agg, filled)| {
+                if filled > 0 {
+                    out.workgroups.push(agg);
+                }
+                out.pushes = pushes;
+                out
+            })
+            .collect()
+    }
 }
 
 /// Aggregate statistics of one finished [`Session`].
@@ -1031,6 +1094,39 @@ mod tests {
         let mut v = vec![WorkItem::new(2, 0); n];
         v[0].degree = hub_degree;
         v
+    }
+
+    #[test]
+    fn multi_geometry_aggregation_matches_per_geometry_builder() {
+        let items: Vec<WorkItem> = (0..1_237)
+            .map(|i| WorkItem::new((i * 31) % 401, (i % 5 == 0) as u32))
+            .collect();
+        // Every study-chip geometry plus a few degenerate ones, with
+        // duplicates: the single pass must reproduce each bit-for-bit.
+        let geometries = [
+            (128, 32),
+            (256, 32),
+            (128, 16),
+            (256, 16),
+            (128, 64),
+            (256, 64),
+            (128, 1),
+            (256, 1),
+            (128, 32),
+            (1, 1),
+            (7, 3),
+        ];
+        let multi = CallAggregates::from_items_multi(&items, &geometries);
+        assert_eq!(multi.len(), geometries.len());
+        for (&(wg_size, sg_size), got) in geometries.iter().zip(&multi) {
+            let want = CallAggregates::from_items(&items, wg_size, sg_size);
+            assert_eq!(*got, want, "geometry ({wg_size}, {sg_size})");
+        }
+        // Empty frontier: one empty table per geometry.
+        for agg in CallAggregates::from_items_multi(&[], &geometries) {
+            assert!(agg.workgroups.is_empty());
+            assert_eq!(agg.pushes, 0);
+        }
     }
 
     #[test]

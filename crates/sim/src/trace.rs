@@ -9,15 +9,30 @@
 //! [`Trace`] is then replayed against every chip × configuration cell,
 //! which only re-prices the same work.
 //!
+//! # Storage layout
+//!
+//! A trace is stored structure-of-arrays: one contiguous [`WorkItem`]
+//! arena shared by every recorded call, a small table of interned
+//! [`KernelProfile`]s (one per distinct kernel name), and a per-call
+//! record holding a profile id plus an `(start, len)` range into the
+//! arena. Recording `k` calls therefore costs one amortised arena
+//! allocation rather than `k` heap vectors and `k` profile clones, and a
+//! whole trace serialises compactly for the persistent trace cache (see
+//! `RECORDER_VERSION`). [`Trace::call`] and [`Trace::calls`] present the
+//! familiar per-call view as cheap borrows into the arena.
+//!
 //! Replay cost is further reduced by pre-aggregating each recorded
 //! frontier per (workgroup size, subgroup size) pair — see
-//! [`crate::exec::CallAggregates`] — so that one replay costs time
-//! proportional to the number of workgroups, not nodes. The aggregation
-//! cache is internally synchronised, so replay takes `&self` and one
-//! compiled trace can be priced from many threads at once; call
-//! [`CompiledTrace::precompile`] first to build the aggregations outside
-//! the parallel section. [`CompiledTrace::replay_all_configs`] prices the
-//! whole configuration space in a single traversal per geometry.
+//! [`crate::exec::CallAggregates`]. Aggregations for *all* geometries a
+//! chip set needs are built in a single pass over the arena
+//! ([`crate::exec::CallAggregates::from_items_multi`]), so aggregation
+//! cost is O(items), not O(items × geometries). Each geometry lives in a
+//! [`OnceLock`] slot, so it is built exactly once no matter how many
+//! threads race to replay it; call [`CompiledTrace::precompile`] (or
+//! [`CompiledTrace::precompile_all`] for a whole chip set) first to build
+//! the aggregations outside the parallel section.
+//! [`CompiledTrace::replay_all_configs`] prices the whole configuration
+//! space in a single traversal per geometry.
 //!
 //! # Example
 //!
@@ -41,37 +56,88 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use gpp_obs::CostBreakdown;
+use serde::{Deserialize, Serialize};
 
 use crate::barrier::GlobalBarrier;
+use crate::chip::ChipProfile;
 use crate::exec::{
     evaluate_kernel_batch, evaluate_kernel_batch_explained, CallAggregates, Executor,
     KernelProfile, Machine, RunStats, WorkItem,
 };
 use crate::opts::{all_configs, OptConfig, NUM_CONFIGS};
 
-/// One recorded kernel invocation.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TraceCall {
+/// Version stamp of the recorded trace format and recording semantics.
+///
+/// Any change to the arena layout, the interning rules, or what a
+/// [`Recorder`] captures per call must bump this constant; persistent
+/// trace caches key on it, so stale on-disk traces are invalidated
+/// rather than silently replayed.
+pub const RECORDER_VERSION: u32 = 2;
+
+/// One recorded call: an interned profile id plus the `(start, len)`
+/// range of its frontier in the shared item arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct CallRecord {
+    profile: u32,
+    start: usize,
+    len: usize,
+}
+
+/// A borrowed view of one recorded kernel invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceCall<'a> {
     /// The kernel's operation-count profile.
-    pub profile: KernelProfile,
-    /// The frontier it processed.
-    pub items: Vec<WorkItem>,
+    pub profile: &'a KernelProfile,
+    /// The frontier it processed (a slice of the trace's item arena).
+    pub items: &'a [WorkItem],
 }
 
 /// A recorded application run: the exact sequence of kernel invocations
-/// with their frontiers.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// with their frontiers, stored structure-of-arrays (see the module
+/// docs).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
-    calls: Vec<TraceCall>,
+    /// Every call's frontier, back to back.
+    items: Vec<WorkItem>,
+    /// Per-call profile id and arena range, in execution order.
+    calls: Vec<CallRecord>,
+    /// Interned profiles; `CallRecord::profile` indexes this table.
+    profiles: Vec<KernelProfile>,
 }
 
 impl Trace {
+    /// The `i`-th recorded kernel invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_kernels()`.
+    pub fn call(&self, i: usize) -> TraceCall<'_> {
+        let c = &self.calls[i];
+        TraceCall {
+            profile: &self.profiles[c.profile as usize],
+            items: &self.items[c.start..c.start + c.len],
+        }
+    }
+
     /// The recorded kernel invocations, in execution order.
-    pub fn calls(&self) -> &[TraceCall] {
-        &self.calls
+    pub fn calls(&self) -> impl ExactSizeIterator<Item = TraceCall<'_>> + '_ {
+        self.calls.iter().map(|c| TraceCall {
+            profile: &self.profiles[c.profile as usize],
+            items: &self.items[c.start..c.start + c.len],
+        })
+    }
+
+    /// The whole item arena: every call's frontier, back to back.
+    pub fn items(&self) -> &[WorkItem] {
+        &self.items
+    }
+
+    /// The interned kernel profiles, one per distinct kernel name.
+    pub fn profiles(&self) -> &[KernelProfile] {
+        &self.profiles
     }
 
     /// Number of recorded kernel invocations.
@@ -79,24 +145,33 @@ impl Trace {
         self.calls.len()
     }
 
-    /// Total work items over all invocations.
+    /// Total work items over all invocations (O(1): the arena length).
     pub fn num_items(&self) -> usize {
-        self.calls.iter().map(|c| c.items.len()).sum()
+        self.items.len()
     }
 
     /// Total edges over all invocations.
     pub fn num_edges(&self) -> u64 {
-        self.calls
-            .iter()
-            .map(|c| c.items.iter().map(|i| i.degree as u64).sum::<u64>())
-            .sum()
+        self.items.iter().map(|i| i.degree as u64).sum()
+    }
+
+    /// Bytes held by the item arena (capacity, not length): the dominant
+    /// memory cost of a trace, reported per item by the bench harness.
+    pub fn arena_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<WorkItem>()
     }
 }
 
 /// An [`Executor`] that records instead of timing.
+///
+/// Frontiers append into one shared arena and profiles are interned by
+/// kernel name, so recording is one amortised allocation per call; see
+/// the module docs for the layout.
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     trace: Trace,
+    // Kernel name -> index into trace.profiles.
+    interned: HashMap<String, u32>,
 }
 
 impl Recorder {
@@ -113,35 +188,107 @@ impl Recorder {
 
 impl Executor for Recorder {
     fn kernel(&mut self, profile: &KernelProfile, items: &[WorkItem]) {
-        self.trace.calls.push(TraceCall {
-            profile: profile.clone(),
-            items: items.to_vec(),
+        let id = match self.interned.get(&profile.name) {
+            Some(&id) => {
+                // Interning merges calls by name; two kernels sharing a
+                // name but differing structurally would silently collapse
+                // into one profile, so that is a recording bug.
+                debug_assert_eq!(
+                    &self.trace.profiles[id as usize], profile,
+                    "kernel {:?} re-recorded with a structurally different profile",
+                    profile.name
+                );
+                id
+            }
+            None => {
+                let id = u32::try_from(self.trace.profiles.len()).expect("< 2^32 distinct kernels");
+                self.trace.profiles.push(profile.clone());
+                self.interned.insert(profile.name.clone(), id);
+                id
+            }
+        };
+        let start = self.trace.items.len();
+        self.trace.items.extend_from_slice(items);
+        self.trace.calls.push(CallRecord {
+            profile: id,
+            start,
+            len: items.len(),
         });
     }
 }
 
+/// Groups the study's configuration space by the *effective* workgroup
+/// size on `chip` (requested size clamped to the chip limit). Each group
+/// shares one aggregation geometry and one batched evaluation per call.
+///
+/// This is the single source of truth for which geometries a chip needs:
+/// [`CompiledTrace::replay_all_configs`],
+/// [`CompiledTrace::replay_all_configs_explained`] and
+/// [`CompiledTrace::precompile`] all derive their workgroup sizes from
+/// it, so they can never drift apart.
+pub fn geometry_groups(chip: &ChipProfile) -> Vec<(u32, Vec<OptConfig>)> {
+    let mut groups: Vec<(u32, Vec<OptConfig>)> = Vec::new();
+    for cfg in all_configs() {
+        let wg_size = cfg.workgroup_size().min(chip.max_workgroup_size());
+        match groups.iter_mut().find(|(g, _)| *g == wg_size) {
+            Some((_, v)) => v.push(cfg),
+            None => groups.push((wg_size, vec![cfg])),
+        }
+    }
+    groups
+}
+
+/// The (workgroup size, subgroup size) pairs `chip` uses, in group order.
+fn chip_geometries(chip: &ChipProfile) -> Vec<(u32, u32)> {
+    let sg_size = chip.subgroup_size.max(1);
+    geometry_groups(chip)
+        .iter()
+        .map(|(wg_size, _)| (*wg_size, sg_size))
+        .collect()
+}
+
+// One geometry's aggregation slot. The OnceLock guarantees the (now
+// single-pass, hence larger) build happens exactly once per geometry even
+// when replays race; the Arc around the value lets a replay keep using an
+// aggregation without holding the map lock.
+type GeometrySlot = Arc<OnceLock<Arc<Vec<CallAggregates>>>>;
+
 /// A trace plus its lazily built per-(workgroup size, subgroup size)
 /// aggregations, ready for cheap replay on any chip and configuration.
 ///
-/// The aggregation cache lives behind an [`RwLock`], so replay methods
-/// take `&self` and the same compiled trace can be shared across threads
-/// (`CompiledTrace` is `Sync`). Aggregations are built at most once per
-/// geometry; concurrent replays for an already-built geometry only take
-/// the read lock.
+/// The aggregation cache is a map of [`OnceLock`] slots behind an
+/// [`RwLock`], so replay methods take `&self` and the same compiled trace
+/// can be shared across threads (`CompiledTrace` is `Sync`). Each
+/// geometry is built exactly once — racing threads block on the slot's
+/// `OnceLock` instead of duplicating the build — and replays for an
+/// already-built geometry only take the read lock.
 #[derive(Debug)]
 pub struct CompiledTrace {
     trace: Trace,
     // Keyed by (wg_size, sg_size); one CallAggregates per trace call.
-    // Arc lets a replay keep using an aggregation without holding the
-    // lock while other threads insert new geometries.
-    compiled: RwLock<HashMap<(u32, u32), Arc<Vec<CallAggregates>>>>,
+    compiled: RwLock<HashMap<(u32, u32), GeometrySlot>>,
 }
 
 impl Clone for CompiledTrace {
     fn clone(&self) -> Self {
+        // Deep-clone only the *built* geometries: an empty slot in the
+        // clone would share build-exactly-once state with the original.
+        let compiled = self
+            .compiled
+            .read()
+            .unwrap()
+            .iter()
+            .filter_map(|(key, slot)| {
+                slot.get().map(|aggs| {
+                    let fresh: GeometrySlot = Arc::default();
+                    fresh.set(Arc::clone(aggs)).expect("fresh slot is empty");
+                    (*key, fresh)
+                })
+            })
+            .collect();
         CompiledTrace {
             trace: self.trace.clone(),
-            compiled: RwLock::new(self.compiled.read().unwrap().clone()),
+            compiled: RwLock::new(compiled),
         }
     }
 }
@@ -160,41 +307,100 @@ impl CompiledTrace {
         &self.trace
     }
 
-    /// The aggregation for one geometry, building and caching it on first
-    /// use.
-    fn aggregates(&self, wg_size: u32, sg_size: u32) -> Arc<Vec<CallAggregates>> {
-        let key = (wg_size, sg_size);
-        if let Some(aggs) = self.compiled.read().unwrap().get(&key) {
-            return Arc::clone(aggs);
+    /// The [`OnceLock`] slot for one geometry, inserting an empty slot
+    /// under the write lock if the geometry is new.
+    fn slot(&self, key: (u32, u32)) -> GeometrySlot {
+        if let Some(slot) = self.compiled.read().unwrap().get(&key) {
+            return Arc::clone(slot);
         }
-        // Built outside the lock: aggregation is the expensive part, and
-        // a racing thread building the same geometry produces an
-        // identical value, so either insert is fine.
-        let built: Arc<Vec<CallAggregates>> = Arc::new(
-            self.trace
-                .calls
-                .iter()
-                .map(|c| CallAggregates::from_items(&c.items, wg_size, sg_size))
-                .collect(),
-        );
-        let mut map = self.compiled.write().unwrap();
-        Arc::clone(map.entry(key).or_insert(built))
+        Arc::clone(self.compiled.write().unwrap().entry(key).or_default())
+    }
+
+    /// Builds the per-call aggregations for several geometries in one
+    /// pass over the item arena.
+    fn build_geometries(&self, keys: &[(u32, u32)]) -> Vec<Vec<CallAggregates>> {
+        let mut out: Vec<Vec<CallAggregates>> = keys
+            .iter()
+            .map(|_| Vec::with_capacity(self.trace.num_kernels()))
+            .collect();
+        for call in self.trace.calls() {
+            let built = CallAggregates::from_items_multi(call.items, keys);
+            for (per_geometry, agg) in out.iter_mut().zip(built) {
+                per_geometry.push(agg);
+            }
+        }
+        out
+    }
+
+    /// The aggregation for one geometry, building and caching it on first
+    /// use. Concurrent callers for the same geometry build it once.
+    fn aggregates(&self, wg_size: u32, sg_size: u32) -> Arc<Vec<CallAggregates>> {
+        let slot = self.slot((wg_size, sg_size));
+        let aggs = slot.get_or_init(|| {
+            let [aggs] = <[_; 1]>::try_from(self.build_geometries(&[(wg_size, sg_size)]))
+                .expect("one geometry in, one out");
+            Arc::new(aggs)
+        });
+        Arc::clone(aggs)
+    }
+
+    /// Builds every not-yet-built geometry in `keys` with a *single* pass
+    /// over the item arena, however many geometries are missing.
+    fn build_missing(&self, keys: &[(u32, u32)]) {
+        let mut missing: Vec<((u32, u32), GeometrySlot)> = Vec::new();
+        for &key in keys {
+            if missing.iter().any(|(k, _)| *k == key) {
+                continue;
+            }
+            let slot = self.slot(key);
+            if slot.get().is_none() {
+                missing.push((key, slot));
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        let missing_keys: Vec<(u32, u32)> = missing.iter().map(|(k, _)| *k).collect();
+        let built = self.build_geometries(&missing_keys);
+        for ((_, slot), aggs) in missing.iter().zip(built) {
+            // A racing aggregates() call may have won the slot meanwhile;
+            // its value is identical, so losing the race is harmless.
+            let _ = slot.set(Arc::new(aggs));
+        }
     }
 
     /// Builds the aggregations for every geometry `machine`'s chip can
-    /// use (both workgroup sizes, clamped to the chip limit), so later
-    /// replays never take the write lock. Idempotent.
+    /// use (the distinct effective workgroup sizes of
+    /// [`geometry_groups`]), so later replays never build. All of the
+    /// chip's geometries are aggregated in one pass over the item arena.
+    /// Idempotent.
     pub fn precompile(&self, machine: &Machine) {
-        let chip = machine.chip();
-        let sg_size = chip.subgroup_size.max(1);
-        for wg_size in [128u32, 256] {
-            self.aggregates(wg_size.min(chip.max_workgroup_size()), sg_size);
+        self.build_missing(&chip_geometries(machine.chip()));
+    }
+
+    /// [`CompiledTrace::precompile`] for a whole chip set: every
+    /// geometry any of `machines` needs, still one pass over the item
+    /// arena for all of them together. Idempotent.
+    pub fn precompile_all(&self, machines: &[Machine]) {
+        let mut keys: Vec<(u32, u32)> = Vec::new();
+        for machine in machines {
+            for key in chip_geometries(machine.chip()) {
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            }
         }
+        self.build_missing(&keys);
     }
 
     /// Number of distinct geometries aggregated so far.
     pub fn num_compiled_geometries(&self) -> usize {
-        self.compiled.read().unwrap().len()
+        self.compiled
+            .read()
+            .unwrap()
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
     }
 
     /// Replays the trace on `machine` under `config`, returning the same
@@ -208,8 +414,8 @@ impl CompiledTrace {
             session.workgroup_size(),
             machine.chip().subgroup_size.max(1),
         );
-        for (call, agg) in self.trace.calls.iter().zip(aggs.iter()) {
-            session.kernel_aggregated(&call.profile, agg);
+        for (call, agg) in self.trace.calls().zip(aggs.iter()) {
+            session.kernel_aggregated(call.profile, agg);
         }
         session.finish()
     }
@@ -225,8 +431,8 @@ impl CompiledTrace {
             session.workgroup_size(),
             machine.chip().subgroup_size.max(1),
         );
-        for (call, agg) in self.trace.calls.iter().zip(aggs.iter()) {
-            session.kernel_aggregated(&call.profile, agg);
+        for (call, agg) in self.trace.calls().zip(aggs.iter()) {
+            session.kernel_aggregated(call.profile, agg);
         }
         session.finish_explained()
     }
@@ -249,17 +455,7 @@ impl CompiledTrace {
             global_barriers: 0,
         };
         let mut out = vec![empty; NUM_CONFIGS];
-        // Group configurations by effective workgroup size: each group
-        // shares one aggregation and one batched evaluation per call.
-        let mut groups: Vec<(u32, Vec<OptConfig>)> = Vec::new();
-        for cfg in all_configs() {
-            let wg_size = cfg.workgroup_size().min(chip.max_workgroup_size());
-            match groups.iter_mut().find(|(g, _)| *g == wg_size) {
-                Some((_, v)) => v.push(cfg),
-                None => groups.push((wg_size, vec![cfg])),
-            }
-        }
-        for (wg_size, configs) in &groups {
+        for (wg_size, configs) in &geometry_groups(chip) {
             let aggs = self.aggregates(*wg_size, sg_size);
             // One barrier discovery per oitergb configuration, as
             // Machine::session does once per replay.
@@ -267,8 +463,8 @@ impl CompiledTrace {
                 .iter()
                 .map(|c| c.oitergb.then(|| GlobalBarrier::discover(chip, *wg_size)))
                 .collect();
-            for (call, agg) in self.trace.calls.iter().zip(aggs.iter()) {
-                let device = evaluate_kernel_batch(chip, *wg_size, &call.profile, agg, configs);
+            for (call, agg) in self.trace.calls().zip(aggs.iter()) {
+                let device = evaluate_kernel_batch(chip, *wg_size, call.profile, agg, configs);
                 for ((cfg, dev), gb) in configs.iter().zip(&device).zip(&barriers) {
                     let acc = &mut out[cfg.index()];
                     // Mirror Session::kernel_aggregated's overhead
@@ -316,23 +512,15 @@ impl CompiledTrace {
             global_barriers: 0,
         };
         let mut out = vec![(empty, CostBreakdown::default()); NUM_CONFIGS];
-        let mut groups: Vec<(u32, Vec<OptConfig>)> = Vec::new();
-        for cfg in all_configs() {
-            let wg_size = cfg.workgroup_size().min(chip.max_workgroup_size());
-            match groups.iter_mut().find(|(g, _)| *g == wg_size) {
-                Some((_, v)) => v.push(cfg),
-                None => groups.push((wg_size, vec![cfg])),
-            }
-        }
-        for (wg_size, configs) in &groups {
+        for (wg_size, configs) in &geometry_groups(chip) {
             let aggs = self.aggregates(*wg_size, sg_size);
             let barriers: Vec<Option<GlobalBarrier>> = configs
                 .iter()
                 .map(|c| c.oitergb.then(|| GlobalBarrier::discover(chip, *wg_size)))
                 .collect();
-            for (call, agg) in self.trace.calls.iter().zip(aggs.iter()) {
+            for (call, agg) in self.trace.calls().zip(aggs.iter()) {
                 let device =
-                    evaluate_kernel_batch_explained(chip, *wg_size, &call.profile, agg, configs);
+                    evaluate_kernel_batch_explained(chip, *wg_size, call.profile, agg, configs);
                 for ((cfg, (dev, dev_breakdown)), gb) in
                     configs.iter().zip(&device).zip(&barriers)
                 {
@@ -396,7 +584,52 @@ mod tests {
         assert_eq!(trace.num_kernels(), 10);
         assert_eq!(trace.num_items(), 5_000);
         assert!(trace.num_edges() > 0);
-        assert_eq!(trace.calls()[0].items.len(), 500);
+        assert_eq!(trace.call(0).items.len(), 500);
+        assert_eq!(trace.calls().len(), 10);
+        assert_eq!(trace.calls().last().unwrap().items.len(), 500);
+    }
+
+    #[test]
+    fn recorder_interns_profiles_by_name() {
+        let trace = sample_trace();
+        // Ten calls of the same kernel intern to a single profile...
+        assert_eq!(trace.profiles().len(), 1);
+        // ...into one contiguous arena covering every call.
+        assert_eq!(trace.items().len(), 5_000);
+        for (i, call) in trace.calls().enumerate() {
+            assert!(std::ptr::eq(call.profile, &trace.profiles()[0]));
+            assert_eq!(call.items, &trace.items()[i * 500..(i + 1) * 500]);
+        }
+
+        let mut rec = Recorder::new();
+        rec.kernel(&KernelProfile::frontier("a"), &[WorkItem::new(1, 0)]);
+        rec.kernel(&KernelProfile::frontier("b"), &[WorkItem::new(2, 0)]);
+        rec.kernel(&KernelProfile::frontier("a"), &[WorkItem::new(3, 0)]);
+        let trace = rec.into_trace();
+        assert_eq!(trace.profiles().len(), 2);
+        assert_eq!(trace.call(0).profile.name, "a");
+        assert_eq!(trace.call(2).profile.name, "a");
+        assert!(std::ptr::eq(trace.call(0).profile, trace.call(2).profile));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "structurally different profile")]
+    fn interning_rejects_same_name_different_structure() {
+        let mut rec = Recorder::new();
+        rec.kernel(&KernelProfile::frontier("bfs"), &[WorkItem::new(1, 0)]);
+        let mut other = KernelProfile::frontier("bfs");
+        other.alu_per_edge += 1.0;
+        rec.kernel(&other, &[WorkItem::new(1, 0)]);
+    }
+
+    #[test]
+    fn trace_serde_round_trips_exactly() {
+        let trace = sample_trace();
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(trace, back);
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
     }
 
     #[test]
@@ -408,7 +641,7 @@ mod tests {
             for cfg in all_configs().into_iter().step_by(7) {
                 let mut live = machine.session(cfg);
                 for call in trace.calls() {
-                    Session::kernel(&mut live, &call.profile, &call.items);
+                    Session::kernel(&mut live, call.profile, call.items);
                 }
                 let live_stats = live.finish();
                 let replay_stats = compiled.replay(&machine, cfg);
@@ -454,6 +687,87 @@ mod tests {
         assert_eq!(compiled.num_compiled_geometries(), 2); // wg 128 and 256
         compiled.precompile(&machine); // idempotent
         assert_eq!(compiled.num_compiled_geometries(), 2);
+    }
+
+    #[test]
+    fn geometry_groups_cover_all_configs_exactly_once() {
+        for chip in study_chips() {
+            let groups = geometry_groups(&chip);
+            let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+            assert_eq!(total, NUM_CONFIGS, "{}", chip.name);
+            for (wg_size, configs) in &groups {
+                assert!(*wg_size <= chip.max_workgroup_size());
+                for cfg in configs {
+                    assert_eq!(
+                        *wg_size,
+                        cfg.workgroup_size().min(chip.max_workgroup_size())
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn precompile_builds_the_same_geometries_replay_uses() {
+        // The drift bug the shared helper removes: precompile must cover
+        // exactly what replay_all_configs will ask for — no more, no
+        // fewer — on every study chip.
+        let trace = sample_trace();
+        for chip in study_chips() {
+            let machine = Machine::new(chip.clone());
+            let compiled = CompiledTrace::new(trace.clone());
+            compiled.precompile(&machine);
+            let precompiled = compiled.num_compiled_geometries();
+            assert_eq!(precompiled, geometry_groups(&chip).len(), "{}", chip.name);
+            compiled.replay_all_configs(&machine);
+            assert_eq!(
+                compiled.num_compiled_geometries(),
+                precompiled,
+                "replay built geometries precompile missed on {}",
+                chip.name
+            );
+        }
+    }
+
+    #[test]
+    fn precompile_all_is_one_arena_pass_for_a_chip_set() {
+        let trace = sample_trace();
+        let machines: Vec<Machine> = study_chips().into_iter().map(Machine::new).collect();
+        let compiled = CompiledTrace::new(trace.clone());
+        compiled.precompile_all(&machines);
+        let per_chip = CompiledTrace::new(trace);
+        for machine in &machines {
+            per_chip.precompile(machine);
+        }
+        assert_eq!(
+            compiled.num_compiled_geometries(),
+            per_chip.num_compiled_geometries()
+        );
+        // And the aggregations themselves are identical.
+        for machine in &machines {
+            assert_eq!(
+                compiled.replay_all_configs(machine),
+                per_chip.replay_all_configs(machine),
+                "{}",
+                machine.chip().name
+            );
+        }
+    }
+
+    #[test]
+    fn clone_carries_built_geometries() {
+        let compiled = CompiledTrace::new(sample_trace());
+        let machine = Machine::new(ChipProfile::r9());
+        compiled.precompile(&machine);
+        let cloned = compiled.clone();
+        assert_eq!(
+            cloned.num_compiled_geometries(),
+            compiled.num_compiled_geometries()
+        );
+        assert_eq!(
+            cloned.replay(&machine, OptConfig::baseline()),
+            compiled.replay(&machine, OptConfig::baseline())
+        );
     }
 
     #[test]

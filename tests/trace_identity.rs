@@ -1,0 +1,182 @@
+//! Byte-identity of the compact trace substrate: the single-pass
+//! multi-geometry aggregation builder, the arena-backed batch replay,
+//! and the persistent trace cache must each reproduce the simple
+//! reference paths exactly — same integer aggregates, same f64 bits in
+//! every priced number. These are the invariants that let the study
+//! share one arena pass across six chips and skip warm-run collection
+//! without changing a single reported time.
+
+use gpp::apps::inputs::{study_inputs, StudyScale};
+use gpp::apps::study::{run_study, run_study_cached, StudyConfig};
+use gpp::apps::{all_applications, TraceCache};
+use gpp::graph::generators;
+use gpp::obs::{MemorySink, TraceEvent, Tracer};
+use gpp::sim::chip::study_chips;
+use gpp::sim::exec::{CallAggregates, Machine, WorkItem};
+use gpp::sim::opts::{all_configs, NUM_CONFIGS};
+use gpp::sim::trace::{geometry_groups, CompiledTrace, Recorder};
+use proptest::prelude::*;
+
+/// The (workgroup, subgroup) geometries the six study chips actually
+/// price, plus degenerate shapes (scalar chips, tiny workgroups).
+fn study_geometries() -> Vec<(u32, u32)> {
+    let mut geometries: Vec<(u32, u32)> = study_chips()
+        .iter()
+        .flat_map(|chip| {
+            geometry_groups(chip)
+                .into_iter()
+                .map(|(wg, _)| (wg, chip.subgroup_size))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    geometries.extend([(1, 1), (2, 1), (7, 3), (256, 256)]);
+    geometries
+}
+
+proptest! {
+    /// The single-pass builder is item-for-item identical to running
+    /// the per-geometry reference builder once per geometry.
+    #[test]
+    fn single_pass_aggregation_matches_reference(
+        raw in prop::collection::vec((0u32..2048, 0u32..16), 0..600)
+    ) {
+        let items: Vec<WorkItem> =
+            raw.iter().map(|&(d, p)| WorkItem::new(d, p)).collect();
+        let geometries = study_geometries();
+        let multi = CallAggregates::from_items_multi(&items, &geometries);
+        prop_assert_eq!(multi.len(), geometries.len());
+        for (agg, &(wg, sg)) in multi.iter().zip(&geometries) {
+            prop_assert_eq!(agg, &CallAggregates::from_items(&items, wg, sg));
+        }
+    }
+}
+
+#[test]
+fn batch_replay_matches_individual_replays_and_live_sessions() {
+    // One real recorded trace, replayed on every study chip: the batch
+    // path (one arena pass per geometry group) must equal both the
+    // individual replay path and a live session run of the app.
+    let graph = generators::rmat(8, 6, 7).unwrap();
+    let app = gpp::apps::application("bfs-wl").unwrap();
+    let mut rec = Recorder::new();
+    app.run(&graph, &mut rec);
+    let compiled = CompiledTrace::new(rec.into_trace());
+
+    for chip in study_chips() {
+        let machine = Machine::new(chip.clone());
+        let batch = compiled.replay_all_configs(&machine);
+        assert_eq!(batch.len(), NUM_CONFIGS, "{}", chip.name);
+        for (config, stats) in all_configs().into_iter().zip(&batch) {
+            let single = compiled.replay(&machine, config);
+            assert_eq!(
+                &single, stats,
+                "batch vs single replay: {} {config:?}",
+                chip.name
+            );
+            assert_eq!(
+                single.time_ns.to_bits(),
+                stats.time_ns.to_bits(),
+                "batch vs single replay bits: {} {config:?}",
+                chip.name
+            );
+            let mut session = machine.session(config);
+            app.run(&graph, &mut session);
+            assert_eq!(
+                &session.finish(),
+                stats,
+                "batch replay vs live session: {} {config:?}",
+                chip.name
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_round_trip_is_byte_identical_for_every_app() {
+    let dir = std::env::temp_dir().join(format!(
+        "gpp-trace-identity-cache-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let cache = TraceCache::new(&dir).unwrap();
+    let scale = StudyScale::Tiny;
+    let seed = 42;
+    let inputs = study_inputs(scale, seed);
+    for app in all_applications() {
+        for input in &inputs {
+            let mut rec = Recorder::new();
+            app.run(&input.graph, &mut rec);
+            let trace = rec.into_trace();
+            assert!(cache.store(app.name(), input, scale, seed, &trace));
+            let loaded = cache
+                .load(app.name(), input, scale, seed)
+                .unwrap_or_else(|| panic!("{} on {} missing", app.name(), input.name));
+            assert_eq!(trace, loaded, "{} on {}", app.name(), input.name);
+            assert_eq!(
+                serde_json::to_string(&trace).unwrap(),
+                serde_json::to_string(&loaded).unwrap(),
+                "{} on {}",
+                app.name(),
+                input.name
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn counter_total(events: &[TraceEvent], name: &str) -> f64 {
+    events
+        .iter()
+        .filter(|e| e.name == name)
+        .filter_map(|e| e.value)
+        .sum()
+}
+
+#[test]
+fn warm_cached_study_is_byte_identical_at_one_and_four_threads() {
+    let dir = std::env::temp_dir().join(format!(
+        "gpp-trace-identity-study-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let cache = TraceCache::new(&dir).unwrap();
+    let chips = study_chips();
+    let baseline = serde_json::to_string(&run_study(&StudyConfig::tiny())).unwrap();
+
+    // Cold run fills the cache; it must not perturb the dataset.
+    let cold = run_study_cached(
+        &StudyConfig::tiny(),
+        &chips,
+        &Tracer::disabled(),
+        Some(&cache),
+    );
+    assert_eq!(baseline, serde_json::to_string(&cold).unwrap());
+
+    // Warm runs skip collection entirely at any thread count and still
+    // reproduce the dataset byte for byte.
+    for threads in [1, 4] {
+        let sink = std::sync::Arc::new(MemorySink::new());
+        let warm = run_study_cached(
+            &StudyConfig {
+                threads,
+                ..StudyConfig::tiny()
+            },
+            &chips,
+            &Tracer::new(sink.clone()),
+            Some(&cache),
+        );
+        let events = sink.take();
+        assert_eq!(
+            counter_total(&events, "trace-cache-hits"),
+            (17 * 3) as f64,
+            "@ {threads} threads"
+        );
+        assert_eq!(counter_total(&events, "traces-compiled"), 0.0, "@ {threads} threads");
+        assert_eq!(
+            baseline,
+            serde_json::to_string(&warm).unwrap(),
+            "@ {threads} threads"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
