@@ -1,0 +1,208 @@
+//! DSL-backed study applications: the seven `gpp_irgl::programs` wrapped
+//! as [`Application`]s, executed through the bytecode VM with a
+//! compile-once-run-many discipline.
+//!
+//! Each [`DslApp`] lowers its program to a
+//! [`CompiledProgram`] exactly once per study (a [`OnceLock`], shared
+//! across inputs and across the grid runner's worker threads) and then
+//! drives a fresh [`KernelVm`] per run. With `GPP_IRGL_AST=1` the run
+//! goes through the tree-walking oracle instead — results and recorded
+//! traces are bit-identical either way, so the study dataset does not
+//! depend on the executor.
+//!
+//! These applications are *opt-in*: [`crate::study::StudyConfig`] has a
+//! `dsl_programs` flag (off by default, `gpp study --dsl`) that appends
+//! them to the 17 handwritten applications, leaving the default dataset
+//! untouched.
+
+use std::sync::OnceLock;
+
+use gpp_graph::{Graph, NodeId};
+use gpp_irgl::bytecode::{CompiledProgram, KernelVm};
+use gpp_irgl::{interp, programs, Program};
+use gpp_sim::exec::Executor;
+
+use crate::app::{AppOutput, Application, Problem};
+
+/// How a program's output field maps onto an [`AppOutput`] for
+/// validation against the sequential references.
+#[derive(Debug, Clone, Copy)]
+enum OutputKind {
+    /// Hop levels; `f64::INFINITY` becomes `u32::MAX` (unreachable).
+    Levels,
+    /// Weighted distances; `f64::INFINITY` becomes `u64::MAX`.
+    Distances,
+    /// Component labels (minimum node id in the component).
+    Labels,
+    /// PageRank scores, used as-is.
+    Ranks,
+    /// MIS membership: state `1.0` means selected.
+    Independent,
+}
+
+/// One DSL program adapted to the [`Application`] interface.
+pub struct DslApp {
+    name: &'static str,
+    problem: Problem,
+    kind: OutputKind,
+    program: Program,
+    compiled: OnceLock<CompiledProgram>,
+}
+
+impl DslApp {
+    fn new(name: &'static str, problem: Problem, kind: OutputKind, program: Program) -> Self {
+        DslApp {
+            name,
+            problem,
+            kind,
+            program,
+            compiled: OnceLock::new(),
+        }
+    }
+
+    /// The wrapped DSL program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+impl Application for DslApp {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn problem(&self) -> Problem {
+        self.problem
+    }
+
+    fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
+        let result = if interp::ast_requested() {
+            interp::execute_ast(&self.program, graph, exec)
+        } else {
+            let compiled = self.compiled.get_or_init(|| {
+                CompiledProgram::compile(&self.program).expect("built-in DSL programs are valid")
+            });
+            KernelVm::new().run(compiled, graph, exec)
+        }
+        .unwrap_or_else(|e| panic!("{}: {e}", self.name));
+        let out = result.output(&self.program);
+        match self.kind {
+            OutputKind::Levels => AppOutput::Levels(
+                out.iter()
+                    .map(|&x| if x.is_finite() { x as u32 } else { u32::MAX })
+                    .collect(),
+            ),
+            OutputKind::Distances => AppOutput::Distances(
+                out.iter()
+                    .map(|&x| if x.is_finite() { x as u64 } else { u64::MAX })
+                    .collect(),
+            ),
+            OutputKind::Labels => AppOutput::Labels(out.iter().map(|&x| x as NodeId).collect()),
+            OutputKind::Ranks => AppOutput::Ranks(out.to_vec()),
+            OutputKind::Independent => {
+                AppOutput::Independent(out.iter().map(|&x| x == 1.0).collect())
+            }
+        }
+    }
+}
+
+/// The seven DSL programs as study applications (`dsl-` name prefix so
+/// they never collide with the handwritten registry).
+pub fn dsl_applications() -> Vec<Box<dyn Application>> {
+    vec![
+        Box::new(DslApp::new(
+            "dsl-bfs-tp",
+            Problem::Bfs,
+            OutputKind::Levels,
+            programs::bfs_topology(),
+        )),
+        Box::new(DslApp::new(
+            "dsl-bfs-wl",
+            Problem::Bfs,
+            OutputKind::Levels,
+            programs::bfs_worklist(),
+        )),
+        Box::new(DslApp::new(
+            "dsl-sssp-bf",
+            Problem::Sssp,
+            OutputKind::Distances,
+            programs::sssp_bellman(),
+        )),
+        Box::new(DslApp::new(
+            "dsl-sssp-wl",
+            Problem::Sssp,
+            OutputKind::Distances,
+            programs::sssp_worklist(),
+        )),
+        Box::new(DslApp::new(
+            "dsl-cc-lp",
+            Problem::Cc,
+            OutputKind::Labels,
+            programs::cc_label_prop(),
+        )),
+        Box::new(DslApp::new(
+            "dsl-pr-pull",
+            Problem::Pr,
+            OutputKind::Ranks,
+            programs::pr_pull(),
+        )),
+        Box::new(DslApp::new(
+            "dsl-mis-luby",
+            Problem::Mis,
+            OutputKind::Independent,
+            programs::mis_luby(),
+        )),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::validate;
+    use crate::inputs::{study_inputs, StudyScale};
+    use gpp_sim::trace::Recorder;
+
+    #[test]
+    fn registry_has_seven_uniquely_named_apps() {
+        let apps = dsl_applications();
+        assert_eq!(apps.len(), 7);
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+        assert!(names.iter().all(|n| n.starts_with("dsl-")));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn dsl_outputs_validate_against_references_on_study_inputs() {
+        for input in study_inputs(StudyScale::Tiny, 0x9a7e_2019) {
+            for app in dsl_applications() {
+                let mut rec = Recorder::new();
+                let output = app.run(&input.graph, &mut rec);
+                validate(&input.graph, &output)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", app.name(), input.name));
+                assert!(rec.into_trace().num_kernels() > 0, "{}", app.name());
+            }
+        }
+    }
+
+    #[test]
+    fn compile_once_run_many_yields_identical_traces() {
+        let inputs = study_inputs(StudyScale::Tiny, 7);
+        for app in dsl_applications() {
+            // Same DslApp instance across inputs: the second and third
+            // runs reuse the cached CompiledProgram.
+            let mut first = Vec::new();
+            for input in &inputs {
+                let mut rec = Recorder::new();
+                app.run(&input.graph, &mut rec);
+                first.push(rec.into_trace());
+            }
+            for (input, trace) in inputs.iter().zip(&first) {
+                let mut rec = Recorder::new();
+                app.run(&input.graph, &mut rec);
+                assert_eq!(&rec.into_trace(), trace, "{}", app.name());
+            }
+        }
+    }
+}

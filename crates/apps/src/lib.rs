@@ -11,6 +11,8 @@
 //!   are compiled to;
 //! - [`cache`] — the persistent on-disk trace cache (`gpp study
 //!   --trace-cache`);
+//! - [`dsl`] — the seven `gpp_irgl` DSL programs as opt-in study
+//!   applications, bytecode-compiled once per study (`gpp study --dsl`);
 //! - [`inputs`] — the three study inputs (road / social / random);
 //! - [`par`] — the scoped-thread parallel map the grid runner fans out
 //!   with (re-exported from the `gpp-par` utility crate, which also
@@ -48,6 +50,7 @@
 pub mod app;
 pub mod apps;
 pub mod cache;
+pub mod dsl;
 pub mod inputs;
 pub mod kernels;
 pub mod par;
@@ -56,6 +59,7 @@ pub mod study;
 pub use app::{AppOutput, Application, Problem};
 pub use apps::{all_applications, application};
 pub use cache::TraceCache;
+pub use dsl::{dsl_applications, DslApp};
 pub use inputs::{study_inputs, study_inputs_extended, StudyInput, StudyScale};
 pub use study::{
     run_study, run_study_cached, run_study_on, run_study_traced, Cell, Dataset, StudyConfig,

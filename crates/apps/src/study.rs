@@ -62,6 +62,11 @@ pub struct StudyConfig {
     /// machine's available parallelism; `1` forces a serial run. The
     /// dataset does not depend on this value.
     pub threads: usize,
+    /// Append the seven DSL programs ([`crate::dsl::dsl_applications`],
+    /// bytecode-compiled once per study) to the 17 handwritten
+    /// applications. Off by default, so the standard dataset is
+    /// unchanged.
+    pub dsl_programs: bool,
 }
 
 impl Default for StudyConfig {
@@ -74,6 +79,7 @@ impl Default for StudyConfig {
             validate: true,
             extended_inputs: false,
             threads: 0,
+            dsl_programs: false,
         }
     }
 }
@@ -440,7 +446,12 @@ pub fn run_study_cached(
     } else {
         study_inputs(config.scale, config.seed)
     };
-    let apps = all_applications();
+    let mut apps = all_applications();
+    if config.dsl_programs {
+        // Each DslApp compiles its program to bytecode exactly once —
+        // the OnceLock is shared across inputs and worker threads.
+        apps.extend(crate::dsl::dsl_applications());
+    }
     let chips = chips.to_vec();
     let machines: Vec<Machine> = chips.iter().cloned().map(Machine::new).collect();
     let threads = config.effective_threads();
@@ -599,6 +610,28 @@ mod tests {
                 .iter()
                 .flatten()
                 .all(|&t| t.is_finite() && t > 0.0));
+        }
+    }
+
+    #[test]
+    fn dsl_programs_extend_the_grid_deterministically() {
+        let cfg = StudyConfig {
+            dsl_programs: true,
+            ..StudyConfig::tiny()
+        };
+        let ds = run_study(&cfg);
+        assert_eq!(ds.apps.len(), 17 + 7);
+        assert_eq!(ds.cells.len(), 24 * 3 * 6);
+        assert!(ds.apps.iter().filter(|a| a.starts_with("dsl-")).count() == 7);
+        assert!(ds.cell("dsl-bfs-wl", "road", "MALI").is_some());
+        // Deterministic, including in parallel.
+        let again = run_study(&StudyConfig { threads: 4, ..cfg });
+        assert_eq!(ds, again);
+        // The handwritten prefix of the grid is untouched by the flag.
+        let plain = run_study(&StudyConfig::tiny());
+        assert_eq!(&ds.apps[..17], &plain.apps[..]);
+        for cell in &plain.cells {
+            assert_eq!(ds.cell(&cell.app, &cell.input, &cell.chip), Some(cell));
         }
     }
 

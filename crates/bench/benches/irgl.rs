@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpp_graph::generators;
-use gpp_irgl::{codegen, interp, parser, printer, programs, transform};
+use gpp_irgl::{bytecode, codegen, interp, parser, printer, programs, transform};
 use gpp_sim::opts::{OptConfig, Optimization};
 use gpp_sim::trace::Recorder;
 use std::hint::black_box;
@@ -62,11 +62,26 @@ fn bench_interpret(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_bytecode_compile(c: &mut Criterion) {
+    // Kernel lowering alone (validate + compile, no execution): the
+    // one-time cost a study run pays per program before the VM takes
+    // over.
+    let all = programs::all();
+    c.bench_function("irgl_bytecode_compile_all", |b| {
+        b.iter(|| {
+            all.iter()
+                .map(|p| bytecode::CompiledProgram::compile(black_box(p)).expect("valid"))
+                .map(|c| c.kernels().iter().map(|k| k.num_ops()).sum::<usize>())
+                .sum::<usize>()
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_parse, bench_codegen, bench_interpret
+    targets = bench_parse, bench_codegen, bench_interpret, bench_bytecode_compile
 }
 criterion_main!(benches);

@@ -17,6 +17,7 @@
 //! cargo bench --bench study_grid -- --smoke   # fast end-to-end check
 //! ```
 
+use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -31,6 +32,9 @@ use gpp_core::sensitivity::{subsample_sensitivity, subsample_sensitivity_par};
 use gpp_core::strategy::{
     build_assignment, build_assignment_par, chip_function_par, Strategy,
 };
+use gpp_graph::generators;
+use gpp_irgl::bytecode::{CompiledProgram, KernelVm};
+use gpp_irgl::{interp, programs};
 use gpp_obs::{MemorySink, NullSink, Tracer};
 use gpp_sim::chip::study_chips;
 use gpp_sim::exec::{CallAggregates, Machine};
@@ -145,6 +149,59 @@ fn bench_analysis_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_interp_vs_bytecode(c: &mut Criterion) {
+    // Cold-path trace collection through the DSL: the tree-walking
+    // oracle, the bytecode VM on a precompiled program (the steady
+    // state of a study run, where each program compiles once), and the
+    // VM including compilation (the true cold cost of a single run).
+    let graph = generators::rmat(9, 6, 3).expect("valid");
+    let mut group = c.benchmark_group("interp_vs_bytecode");
+    group.sample_size(20);
+    for program in programs::all() {
+        let compiled = CompiledProgram::compile(&program).expect("valid");
+        group.bench_with_input(
+            criterion::BenchmarkId::new("ast_tree_walker", &program.name),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let mut rec = Recorder::new();
+                    interp::execute_ast(black_box(program), black_box(&graph), &mut rec)
+                        .expect("runs")
+                        .iterations
+                });
+            },
+        );
+        group.bench_with_input(
+            criterion::BenchmarkId::new("bytecode_precompiled", &program.name),
+            &compiled,
+            |b, compiled| {
+                let mut vm = KernelVm::new();
+                b.iter(|| {
+                    let mut rec = Recorder::new();
+                    vm.run(black_box(compiled), black_box(&graph), &mut rec)
+                        .expect("runs")
+                        .iterations
+                });
+            },
+        );
+        group.bench_with_input(
+            criterion::BenchmarkId::new("bytecode_with_compile", &program.name),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let mut rec = Recorder::new();
+                    let compiled = CompiledProgram::compile(black_box(program)).expect("valid");
+                    KernelVm::new()
+                        .run(&compiled, black_box(&graph), &mut rec)
+                        .expect("runs")
+                        .iterations
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Times one serial and one parallel full run, checks they agree
 /// exactly, and writes the `BENCH_study.json` baseline.
 fn write_baseline() {
@@ -217,6 +274,7 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
     // warm-run wall-clock.
     let inputs = study_inputs(cfg.scale, cfg.seed);
     let mut traces = Vec::new();
+    let t = Instant::now();
     for app in all_applications() {
         for input in &inputs {
             let mut rec = Recorder::new();
@@ -224,6 +282,7 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
             traces.push(rec.into_trace());
         }
     }
+    let collect_traces_cold_seconds = t.elapsed().as_secs_f64();
     let total_items: usize = traces.iter().map(|t| t.num_items()).sum();
     let total_bytes: usize = traces.iter().map(|t| t.arena_bytes()).sum();
     let trace_arena_bytes_per_item = total_bytes as f64 / total_items.max(1) as f64;
@@ -256,6 +315,32 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         }
     }
     let single_pass_seconds = t.elapsed().as_secs_f64();
+
+    // DSL executor A/B over the study inputs: the tree-walking oracle
+    // vs the bytecode VM in its study configuration (each program
+    // compiled once, one VM's scratch buffers reused across runs).
+    let dsl = programs::all();
+    let t = Instant::now();
+    for program in &dsl {
+        for input in &inputs {
+            let mut rec = Recorder::new();
+            black_box(interp::execute_ast(program, &input.graph, &mut rec).expect("runs"));
+        }
+    }
+    let dsl_ast_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let compiled_dsl: Vec<CompiledProgram> = dsl
+        .iter()
+        .map(|p| CompiledProgram::compile(p).expect("valid"))
+        .collect();
+    let mut vm = KernelVm::new();
+    for compiled in &compiled_dsl {
+        for input in &inputs {
+            let mut rec = Recorder::new();
+            black_box(vm.run(compiled, &input.graph, &mut rec).expect("runs"));
+        }
+    }
+    let dsl_bytecode_seconds = t.elapsed().as_secs_f64();
 
     // Cold run fills the cache under target/, warm run replays it; the
     // warm run must compile zero traces and reproduce the dataset
@@ -314,6 +399,8 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         "analysis_identical_to_serial": analysis_identical,
         "trace_arena_bytes_per_item": trace_arena_bytes_per_item,
         "aggregation_single_pass_speedup": per_geometry_seconds / single_pass_seconds,
+        "collect_traces_cold_seconds": collect_traces_cold_seconds,
+        "bytecode_speedup": dsl_ast_seconds / dsl_bytecode_seconds,
         "trace_cache_cold_seconds": trace_cache_cold_seconds,
         "trace_cache_hit_seconds": trace_cache_hit_seconds,
         "trace_cache_identical_to_uncached": cache_identical,
@@ -354,7 +441,7 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(5));
     targets = bench_study_grid, bench_cell_pricing, bench_tracing_overhead,
-        bench_analysis_pipeline
+        bench_analysis_pipeline, bench_interp_vs_bytecode
 }
 
 fn main() {

@@ -67,7 +67,7 @@ fn help(out: &mut dyn Write) -> Result<(), String> {
         "gpp — quantifying performance portability of graph applications on (simulated) GPUs\n\n\
          commands:\n  \
          chips                       the six study chips (Table I)\n  \
-         study [--scale S] [--seed N] [--threads N] [--out FILE] [--chips FILE] [--trace-out FILE] [--trace-cache DIR]\n                              run the full grid and save the dataset; --trace-out\n                              streams pipeline spans/counters as JSONL and prints a summary;\n                              --trace-cache persists recorded traces so warm runs skip\n                              the collect-traces phase (delete DIR to invalidate)\n  \
+         study [--scale S] [--seed N] [--threads N] [--out FILE] [--chips FILE] [--trace-out FILE] [--trace-cache DIR] [--dsl]\n                              run the full grid and save the dataset; --trace-out\n                              streams pipeline spans/counters as JSONL and prints a summary;\n                              --trace-cache persists recorded traces so warm runs skip\n                              the collect-traces phase (delete DIR to invalidate);\n                              --dsl appends the seven bytecode-compiled DSL programs\n  \
          explain [--app A] [--input I] [--chip C] [--opts OPTS] [--scale S]\n                              per-mechanism cost attribution of one priced cell per chip\n  \
          export-chips FILE           write the six study chip models as JSON\n  \
          analyze [--data FILE] [--threads N]\n                              strategy spectrum (Figs 3 and 4)\n  \
@@ -79,7 +79,7 @@ fn help(out: &mut dyn Write) -> Result<(), String> {
          classify FILE               classify an edge-list graph into road/social/random\n  \
          codegen PROGRAM [--opts \"sg, fg8\"]\n                              compile a built-in DSL program and print its OpenCL\n  \
          compile FILE [--opts OPTS]  compile a .irgl source file and print its OpenCL\n  \
-         run-dsl FILE [--input I] [--chip C] [--opts OPTS]\n                              execute a .irgl program on a simulated chip\n  \
+         run-dsl FILE [--input I] [--chip C] [--opts OPTS] [--ast]\n                              execute a .irgl program on a simulated chip; --ast\n                              forces the tree-walking interpreter instead of the\n                              bytecode VM (also: GPP_IRGL_AST=1)\n  \
          sensitivity [--data FILE] [--trials N] [--threads N]\n                              sample-size sensitivity sweep (Section IX-b)\n  \
          predict [--data FILE] [--probes K] [--threads N]\n                              leave-one-out predictive model (Section IX-b)\n  \
          export-csv [--data FILE] [--out FILE]\n                              dataset medians as CSV\n\n\
@@ -150,6 +150,7 @@ fn study(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         seed: args.num("seed", StudyConfig::default().seed)?,
         runs: args.num("runs", 3usize)?,
         threads: args.num("threads", 0usize)?,
+        dsl_programs: args.flag("dsl"),
         ..StudyConfig::default()
     };
     // With --trace-out, events stream to the file as JSONL and are also
@@ -533,8 +534,15 @@ fn run_dsl(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         .ok_or_else(|| format!("unknown input `{input_name}` (road | social | random)"))?;
     let machine = Machine::new(chip);
     let mut session = machine.session(cfg);
-    let result = interp::execute(&program, &input.graph, &mut session)
-        .map_err(|e| format!("execution failed: {e}"))?;
+    // --ast runs the tree-walking oracle; the default is the bytecode
+    // VM. Both produce identical results and kernel reports.
+    let run = if args.flag("ast") {
+        interp::execute_ast
+    } else {
+        interp::execute
+    };
+    let result =
+        run(&program, &input.graph, &mut session).map_err(|e| format!("execution failed: {e}"))?;
     let stats = session.finish();
     let output = result.output(&program);
     let finite = output.iter().filter(|v| v.is_finite()).count();
@@ -790,6 +798,36 @@ mod tests {
         assert!(text.contains("MALI"));
         let text = run_cmd(&format!("export-csv --data {}", path.display())).unwrap();
         assert!(text.contains("app,input,chip,config,median_ns"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_dsl_ast_flag_matches_bytecode_output() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-irgl4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hops.irgl");
+        let src = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/data/hops.irgl"),
+        )
+        .unwrap();
+        std::fs::write(&path, src).unwrap();
+        let vm = run_cmd(&format!("run-dsl {} --input road", path.display())).unwrap();
+        let ast = run_cmd(&format!("run-dsl {} --input road --ast", path.display())).unwrap();
+        assert_eq!(vm, ast, "--ast must not change results or timings");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn study_dsl_flag_extends_the_grid() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-dsl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        let text =
+            run_cmd(&format!("study --scale tiny --dsl --out {}", path.display())).unwrap();
+        assert!(text.contains("432 cells"), "{text}"); // 24 apps x 3 x 6
+        let ds = Dataset::load_json(&path).unwrap();
+        assert_eq!(ds.apps.len(), 24);
+        assert!(ds.apps.iter().any(|a| a == "dsl-mis-luby"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

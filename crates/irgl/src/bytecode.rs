@@ -1,0 +1,966 @@
+//! Bytecode compilation of validated DSL programs: a flat,
+//! register-based op stream executed by [`KernelVm`].
+//!
+//! The tree-walking interpreter in [`crate::interp`] re-dispatches a
+//! `Box<Expr>` tree on every node × edge × iteration — the dominant
+//! cold-run cost of study trace collection. This module makes the same
+//! move the paper's pipeline makes (IrGL kernels are compiled to OpenCL
+//! once, then launched many times): pay compilation once per program,
+//! then execute a tight loop over a flat instruction stream.
+//!
+//! # Lowering
+//!
+//! [`CompiledProgram::compile`] validates the program, then lowers each
+//! kernel:
+//!
+//! - **Registers, not names.** Locals occupy registers `0..locals`;
+//!   expression temporaries are stack-allocated above them (operand
+//!   registers are released as soon as the consuming op is emitted, so
+//!   register pressure equals expression depth). Field and global ids
+//!   are resolved to dense `u16` indices at compile time.
+//! - **`If` becomes relative jumps.** The condition is evaluated into a
+//!   register, then [`Op::JumpIfZero`] skips the then-block (plus an
+//!   unconditional [`Op::Jump`] over the else-block when present). All
+//!   jumps are forward `skip` counts — the stream has no back-edges.
+//! - **`ForEachEdge` becomes a segment.** The loop body is compiled into
+//!   a separate edge-level op stream referenced by [`Op::EdgeLoop`].
+//!   The VM's inner loop iterates CSR edges with plain `(nbr, weight)`
+//!   values — no `Option<Edge>` branch per expression and no recursion.
+//!
+//! Kernel profiles are derived from the *original* kernel AST (same
+//! [`crate::profile::derive_profile`] call as the tree-walker), and the
+//! VM mirrors the interpreter's driver loops launch for launch, so the
+//! recorded [`WorkItem`] streams — and therefore traces, cache keys and
+//! the downstream dataset — are bit-identical to the AST path.
+
+use gpp_graph::{Graph, NodeId};
+use gpp_sim::exec::{Executor, KernelProfile, WorkItem};
+
+use crate::ast::{
+    BinOp, Domain, Driver, Expr, FieldInit, Kernel, Program, Ref, Stmt, UnaryOp,
+};
+use crate::interp::{
+    apply_binary, apply_unary, hash2, init_field, seed_worklist, Execution,
+};
+use crate::profile::derive_profile;
+use crate::validate::{validate, IrglError};
+
+/// One register-machine instruction.
+///
+/// `dst`/`src`/`a`/`b` index the VM's `f64` register file; `field` and
+/// `global` index the program's field and global tables. `nbr` selects
+/// the edge's neighbour instead of the owning node (only ever true
+/// inside edge segments — guaranteed by validation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// `regs[dst] = val`.
+    Const {
+        /// Destination register.
+        dst: u16,
+        /// Immediate value.
+        val: f64,
+    },
+    /// `regs[dst] = id(node | nbr)`.
+    NodeId {
+        /// Destination register.
+        dst: u16,
+        /// Read the neighbour instead of the owning node.
+        nbr: bool,
+    },
+    /// `regs[dst] = degree(node | nbr)`.
+    Degree {
+        /// Destination register.
+        dst: u16,
+        /// Read the neighbour instead of the owning node.
+        nbr: bool,
+    },
+    /// `regs[dst] = fields[field][node | nbr]`.
+    Field {
+        /// Destination register.
+        dst: u16,
+        /// Field table index.
+        field: u16,
+        /// Read the neighbour instead of the owning node.
+        nbr: bool,
+    },
+    /// `regs[dst] = weight` of the current edge (edge segments only).
+    EdgeWeight {
+        /// Destination register.
+        dst: u16,
+    },
+    /// `regs[dst] = driver iteration`.
+    Iter {
+        /// Destination register.
+        dst: u16,
+    },
+    /// `regs[dst] = number of nodes in the graph`.
+    NumNodes {
+        /// Destination register.
+        dst: u16,
+    },
+    /// `regs[dst] = globals[global]`.
+    Global {
+        /// Destination register.
+        dst: u16,
+        /// Global table index.
+        global: u16,
+    },
+    /// `regs[dst] = regs[src]`.
+    Copy {
+        /// Destination register.
+        dst: u16,
+        /// Source register.
+        src: u16,
+    },
+    /// `regs[dst] = op(regs[src])`.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Destination register.
+        dst: u16,
+        /// Operand register.
+        src: u16,
+    },
+    /// `regs[dst] = op(regs[a], regs[b])`.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Destination register.
+        dst: u16,
+        /// Left operand register.
+        a: u16,
+        /// Right operand register.
+        b: u16,
+    },
+    /// `regs[dst] = hash2(regs[a] as u64, regs[b] as u64)`.
+    Hash {
+        /// Destination register.
+        dst: u16,
+        /// Left operand register.
+        a: u16,
+        /// Right operand register.
+        b: u16,
+    },
+    /// `fields[field][node | nbr] = regs[src]`.
+    Store {
+        /// Field table index.
+        field: u16,
+        /// Value register.
+        src: u16,
+        /// Write the neighbour instead of the owning node.
+        nbr: bool,
+    },
+    /// `fields[field][node | nbr] = min(current, regs[src])`.
+    AtomicMin {
+        /// Field table index.
+        field: u16,
+        /// Value register.
+        src: u16,
+        /// Write the neighbour instead of the owning node.
+        nbr: bool,
+    },
+    /// `fields[field][node | nbr] += regs[src]`.
+    AtomicAdd {
+        /// Field table index.
+        field: u16,
+        /// Value register.
+        src: u16,
+        /// Write the neighbour instead of the owning node.
+        nbr: bool,
+    },
+    /// `globals[global] += regs[src]`.
+    GlobalAdd {
+        /// Global table index.
+        global: u16,
+        /// Value register.
+        src: u16,
+    },
+    /// Push node (or neighbour) onto the next worklist, deduplicated
+    /// per round via the `in_next` bitmap.
+    Push {
+        /// Push the neighbour instead of the owning node.
+        nbr: bool,
+    },
+    /// Raise the driver's fixed-point flag.
+    MarkChanged,
+    /// Skip the next `skip` ops when `regs[src] == 0.0`.
+    JumpIfZero {
+        /// Condition register.
+        src: u16,
+        /// Forward skip count.
+        skip: u32,
+    },
+    /// Skip the next `skip` ops unconditionally.
+    Jump {
+        /// Forward skip count.
+        skip: u32,
+    },
+    /// Run edge segment `seg` once per outgoing CSR edge of the owning
+    /// node (node-level streams only — validation rejects nesting).
+    EdgeLoop {
+        /// Index into the kernel's edge-segment table.
+        seg: u16,
+    },
+}
+
+/// A kernel lowered to flat op streams plus its derived cost profile.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    name: String,
+    domain: Domain,
+    locals: u16,
+    regs: usize,
+    node_code: Vec<Op>,
+    edge_code: Vec<Vec<Op>>,
+    profile: KernelProfile,
+}
+
+impl CompiledKernel {
+    /// Kernel name (as reported to the executor via its profile).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cost profile, identical to the tree-walker's
+    /// [`derive_profile`] output for the same kernel.
+    pub fn profile(&self) -> &KernelProfile {
+        &self.profile
+    }
+
+    /// Register-file size this kernel needs (locals + peak temporaries).
+    pub fn registers(&self) -> usize {
+        self.regs
+    }
+
+    /// The node-level op stream.
+    pub fn node_ops(&self) -> &[Op] {
+        &self.node_code
+    }
+
+    /// The edge-level segments referenced by [`Op::EdgeLoop`].
+    pub fn edge_segments(&self) -> &[Vec<Op>] {
+        &self.edge_code
+    }
+
+    /// Total ops across the node stream and all edge segments.
+    pub fn num_ops(&self) -> usize {
+        self.node_code.len() + self.edge_code.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// A validated program lowered to bytecode: compile once with
+/// [`CompiledProgram::compile`], then run many times via
+/// [`KernelVm::run`] (or the one-shot [`run_compiled`]).
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    name: String,
+    field_inits: Vec<FieldInit>,
+    global_inits: Vec<f64>,
+    kernels: Vec<CompiledKernel>,
+    driver: Driver,
+    output: usize,
+}
+
+impl CompiledProgram {
+    /// Validates `program` and lowers every kernel to bytecode.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same validation errors [`crate::validate::validate`]
+    /// would; compilation itself cannot fail on a validated program.
+    pub fn compile(program: &Program) -> Result<Self, IrglError> {
+        validate(program)?;
+        let kernels = program.kernels.iter().map(compile_kernel).collect();
+        Ok(CompiledProgram {
+            name: program.name.clone(),
+            field_inits: program.fields.iter().map(|d| d.init).collect(),
+            global_inits: program.globals.iter().map(|g| g.init).collect(),
+            kernels,
+            driver: program.driver.clone(),
+            output: program.output,
+        })
+    }
+
+    /// Program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compiled kernels, in declaration order.
+    pub fn kernels(&self) -> &[CompiledKernel] {
+        &self.kernels
+    }
+
+    /// Index of the output field (for [`Execution::output`]).
+    pub fn output_field(&self) -> usize {
+        self.output
+    }
+}
+
+/// Runs a compiled program with a fresh [`KernelVm`]. Callers executing
+/// the same program repeatedly should keep a `KernelVm` and call
+/// [`KernelVm::run`] to reuse its scratch buffers.
+///
+/// # Errors
+///
+/// Returns [`IrglError::IterationBoundExceeded`] if a fixed-point driver
+/// fails to converge within its bound.
+pub fn run_compiled(
+    compiled: &CompiledProgram,
+    graph: &Graph,
+    exec: &mut dyn Executor,
+) -> Result<Execution, IrglError> {
+    KernelVm::new().run(compiled, graph, exec)
+}
+
+// ---------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------
+
+/// Per-kernel lowering state: a bump pointer for expression temporaries
+/// (reset at every statement — temps never outlive the statement that
+/// created them) and the edge-segment table under construction.
+struct KernelCompiler {
+    base: u16,
+    tmp: u16,
+    max_regs: u16,
+    edge_code: Vec<Vec<Op>>,
+}
+
+fn compile_kernel(kernel: &Kernel) -> CompiledKernel {
+    let locals = u16::try_from(kernel.locals).expect("local count fits u16");
+    let mut c = KernelCompiler {
+        base: locals,
+        tmp: locals,
+        max_regs: locals,
+        edge_code: Vec::new(),
+    };
+    let node_code = c.compile_block(&kernel.body);
+    CompiledKernel {
+        name: kernel.name.clone(),
+        domain: kernel.domain,
+        locals,
+        regs: c.max_regs as usize,
+        node_code,
+        edge_code: c.edge_code,
+        // Derived from the unlowered AST — exactly what the tree-walker
+        // reports, so recorded traces intern identical profiles.
+        profile: derive_profile(kernel, &kernel.name),
+    }
+}
+
+fn idx(i: usize) -> u16 {
+    u16::try_from(i).expect("table index fits u16")
+}
+
+fn is_nbr(r: Ref) -> bool {
+    r == Ref::Nbr
+}
+
+impl KernelCompiler {
+    fn compile_block(&mut self, stmts: &[Stmt]) -> Vec<Op> {
+        let mut code = Vec::new();
+        for stmt in stmts {
+            self.compile_stmt(stmt, &mut code);
+        }
+        code
+    }
+
+    fn compile_stmt(&mut self, stmt: &Stmt, code: &mut Vec<Op>) {
+        self.tmp = self.base;
+        match stmt {
+            Stmt::Let(local, expr) => {
+                self.eval_into(expr, idx(*local), code);
+            }
+            Stmt::If { cond, then, els } => {
+                let c = self.eval(cond, code);
+                // The jump tests `c` before any nested statement runs,
+                // so the branch bodies are free to reuse its register.
+                let jz_at = code.len();
+                code.push(Op::JumpIfZero { src: c, skip: 0 });
+                for s in then {
+                    self.compile_stmt(s, code);
+                }
+                if els.is_empty() {
+                    let skip = (code.len() - jz_at - 1) as u32;
+                    code[jz_at] = Op::JumpIfZero { src: c, skip };
+                } else {
+                    let j_at = code.len();
+                    code.push(Op::Jump { skip: 0 });
+                    let skip = (code.len() - jz_at - 1) as u32;
+                    code[jz_at] = Op::JumpIfZero { src: c, skip };
+                    for s in els {
+                        self.compile_stmt(s, code);
+                    }
+                    let skip = (code.len() - j_at - 1) as u32;
+                    code[j_at] = Op::Jump { skip };
+                }
+            }
+            Stmt::Store {
+                field,
+                target,
+                value,
+            } => {
+                let src = self.eval(value, code);
+                code.push(Op::Store {
+                    field: idx(*field),
+                    src,
+                    nbr: is_nbr(*target),
+                });
+            }
+            Stmt::AtomicMin {
+                field,
+                target,
+                value,
+            } => {
+                let src = self.eval(value, code);
+                code.push(Op::AtomicMin {
+                    field: idx(*field),
+                    src,
+                    nbr: is_nbr(*target),
+                });
+            }
+            Stmt::AtomicAdd {
+                field,
+                target,
+                value,
+            } => {
+                let src = self.eval(value, code);
+                code.push(Op::AtomicAdd {
+                    field: idx(*field),
+                    src,
+                    nbr: is_nbr(*target),
+                });
+            }
+            Stmt::ForEachEdge(body) => {
+                let seg_code = self.compile_block(body);
+                let seg = idx(self.edge_code.len());
+                self.edge_code.push(seg_code);
+                code.push(Op::EdgeLoop { seg });
+            }
+            Stmt::Push(target) => {
+                code.push(Op::Push {
+                    nbr: is_nbr(*target),
+                });
+            }
+            Stmt::MarkChanged => code.push(Op::MarkChanged),
+            Stmt::GlobalAdd(global, value) => {
+                let src = self.eval(value, code);
+                code.push(Op::GlobalAdd {
+                    global: idx(*global),
+                    src,
+                });
+            }
+        }
+    }
+
+    /// Evaluates `expr` into some register and returns it. Locals are
+    /// returned in place (expressions cannot write locals), everything
+    /// else lands in a fresh temporary.
+    fn eval(&mut self, expr: &Expr, code: &mut Vec<Op>) -> u16 {
+        if let Expr::Local(local) = expr {
+            return idx(*local);
+        }
+        let dst = self.alloc();
+        self.eval_into(expr, dst, code);
+        dst
+    }
+
+    fn alloc(&mut self) -> u16 {
+        let r = self.tmp;
+        self.tmp += 1;
+        self.max_regs = self.max_regs.max(self.tmp);
+        r
+    }
+
+    fn eval_into(&mut self, expr: &Expr, dst: u16, code: &mut Vec<Op>) {
+        match expr {
+            Expr::Const(c) => code.push(Op::Const { dst, val: *c }),
+            Expr::NodeId(r) => code.push(Op::NodeId {
+                dst,
+                nbr: is_nbr(*r),
+            }),
+            Expr::Degree(r) => code.push(Op::Degree {
+                dst,
+                nbr: is_nbr(*r),
+            }),
+            Expr::Field(field, r) => code.push(Op::Field {
+                dst,
+                field: idx(*field),
+                nbr: is_nbr(*r),
+            }),
+            Expr::EdgeWeight => code.push(Op::EdgeWeight { dst }),
+            Expr::Iter => code.push(Op::Iter { dst }),
+            Expr::NumNodes => code.push(Op::NumNodes { dst }),
+            Expr::Local(local) => code.push(Op::Copy {
+                dst,
+                src: idx(*local),
+            }),
+            Expr::Global(global) => code.push(Op::Global {
+                dst,
+                global: idx(*global),
+            }),
+            Expr::Unary(op, a) => {
+                let save = self.tmp;
+                let src = self.eval(a, code);
+                self.tmp = save;
+                code.push(Op::Unary { op: *op, dst, src });
+            }
+            Expr::Binary(op, a, b) => {
+                let save = self.tmp;
+                let ra = self.eval(a, code);
+                let rb = self.eval(b, code);
+                self.tmp = save;
+                code.push(Op::Binary {
+                    op: *op,
+                    dst,
+                    a: ra,
+                    b: rb,
+                });
+            }
+            Expr::Hash(a, b) => {
+                let save = self.tmp;
+                let ra = self.eval(a, code);
+                let rb = self.eval(b, code);
+                self.tmp = save;
+                code.push(Op::Hash { dst, a: ra, b: rb });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Virtual machine
+// ---------------------------------------------------------------------
+
+/// The register-machine executor. Owns every scratch buffer — register
+/// file, per-launch [`WorkItem`] vector, worklists and the `in_next`
+/// dedup bitmap — so repeated [`KernelVm::run`] calls allocate nothing
+/// beyond the result's field vectors.
+#[derive(Debug, Default)]
+pub struct KernelVm {
+    regs: Vec<f64>,
+    items: Vec<WorkItem>,
+    worklist: Vec<NodeId>,
+    next_worklist: Vec<NodeId>,
+    in_next: Vec<bool>,
+}
+
+/// Mutable program state shared by every op handler during one run.
+struct Ctx<'a> {
+    graph: &'a Graph,
+    fields: &'a mut Vec<Vec<f64>>,
+    globals: &'a mut Vec<f64>,
+    regs: &'a mut Vec<f64>,
+    next_worklist: &'a mut Vec<NodeId>,
+    in_next: &'a mut Vec<bool>,
+    iter: u32,
+    changed: bool,
+}
+
+impl KernelVm {
+    /// A VM with empty scratch buffers (grown on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Executes `compiled` on `graph`, reporting every kernel launch to
+    /// `exec`. Mirrors [`crate::interp::execute_ast`] launch for launch:
+    /// results and recorded [`WorkItem`] streams are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrglError::IterationBoundExceeded`] if a fixed-point
+    /// driver fails to converge within its bound.
+    pub fn run(
+        &mut self,
+        compiled: &CompiledProgram,
+        graph: &Graph,
+        exec: &mut dyn Executor,
+    ) -> Result<Execution, IrglError> {
+        let n = graph.num_nodes();
+        let mut fields: Vec<Vec<f64>> = compiled
+            .field_inits
+            .iter()
+            .map(|&init| init_field(init, n))
+            .collect();
+        let mut globals: Vec<f64> = compiled.global_inits.clone();
+
+        // A previous run that errored out mid-loop may have left stale
+        // worklist entries or raised dedup flags; start clean.
+        self.items.clear();
+        self.worklist.clear();
+        self.next_worklist.clear();
+        self.in_next.clear();
+
+        let KernelVm {
+            regs,
+            items,
+            worklist,
+            next_worklist,
+            in_next,
+        } = self;
+        let mut ctx = Ctx {
+            graph,
+            fields: &mut fields,
+            globals: &mut globals,
+            regs,
+            next_worklist,
+            in_next,
+            iter: 0,
+            changed: false,
+        };
+
+        let mut iterations = 0u32;
+        let mut kernels = 0u32;
+        match &compiled.driver {
+            Driver::UntilFixpoint {
+                kernels: seq,
+                max_iters,
+            } => loop {
+                if iterations >= *max_iters {
+                    return Err(IrglError::IterationBoundExceeded {
+                        program: compiled.name.clone(),
+                        bound: *max_iters,
+                    });
+                }
+                ctx.begin_iteration(&compiled.global_inits, iterations);
+                for &k in seq {
+                    let kernel = &compiled.kernels[k];
+                    debug_assert_eq!(kernel.domain, Domain::AllNodes);
+                    items.clear();
+                    for u in graph.nodes() {
+                        run_node(&mut ctx, kernel, u, items);
+                    }
+                    exec.kernel(&kernel.profile, items);
+                    kernels += 1;
+                }
+                iterations += 1;
+                if !ctx.changed {
+                    break;
+                }
+            },
+            Driver::Fixed {
+                kernels: seq,
+                iters,
+            } => {
+                for iter in 0..*iters {
+                    ctx.begin_iteration(&compiled.global_inits, iter);
+                    for &k in seq {
+                        let kernel = &compiled.kernels[k];
+                        debug_assert_eq!(kernel.domain, Domain::AllNodes);
+                        items.clear();
+                        for u in graph.nodes() {
+                            run_node(&mut ctx, kernel, u, items);
+                        }
+                        exec.kernel(&kernel.profile, items);
+                        kernels += 1;
+                    }
+                    iterations += 1;
+                }
+            }
+            Driver::WorklistLoop {
+                init,
+                kernel,
+                max_iters,
+            } => {
+                let kernel = &compiled.kernels[*kernel];
+                debug_assert_eq!(kernel.domain, Domain::Worklist);
+                worklist.extend_from_slice(&seed_worklist(*init, graph));
+                ctx.in_next.resize(n, false);
+                while !worklist.is_empty() {
+                    if iterations >= *max_iters {
+                        return Err(IrglError::IterationBoundExceeded {
+                            program: compiled.name.clone(),
+                            bound: *max_iters,
+                        });
+                    }
+                    ctx.begin_iteration(&compiled.global_inits, iterations);
+                    items.clear();
+                    for &u in worklist.iter() {
+                        run_node(&mut ctx, kernel, u, items);
+                    }
+                    exec.kernel(&kernel.profile, items);
+                    kernels += 1;
+                    // Clear-by-drain: swap in the pushed nodes and lower
+                    // exactly their dedup flags — no O(n) reset per level.
+                    std::mem::swap(worklist, ctx.next_worklist);
+                    ctx.next_worklist.clear();
+                    for &v in worklist.iter() {
+                        ctx.in_next[v as usize] = false;
+                    }
+                    iterations += 1;
+                }
+            }
+        }
+        Ok(Execution {
+            fields,
+            globals,
+            iterations,
+            kernels,
+        })
+    }
+}
+
+impl Ctx<'_> {
+    /// Same per-iteration reset as the tree-walker: stamp the iteration
+    /// counter, lower the fixed-point flag, restore global initials.
+    fn begin_iteration(&mut self, global_inits: &[f64], iter: u32) {
+        self.iter = iter;
+        self.changed = false;
+        self.globals.copy_from_slice(global_inits);
+    }
+}
+
+/// Runs one kernel over one node: zeroes the local registers, walks the
+/// node-level stream (expanding edge loops inline), and records the
+/// resulting [`WorkItem`].
+fn run_node(ctx: &mut Ctx<'_>, kernel: &CompiledKernel, u: NodeId, items: &mut Vec<WorkItem>) {
+    if ctx.regs.len() < kernel.regs {
+        ctx.regs.resize(kernel.regs, 0.0);
+    }
+    for r in &mut ctx.regs[..kernel.locals as usize] {
+        *r = 0.0;
+    }
+    let mut trips = 0u32;
+    let mut pushes = 0u32;
+    let code = &kernel.node_code;
+    let mut pc = 0usize;
+    while pc < code.len() {
+        match code[pc] {
+            Op::EdgeLoop { seg } => {
+                let seg_code = &kernel.edge_code[seg as usize];
+                for (nbr, weight) in ctx.graph.out_edges(u) {
+                    trips += 1;
+                    run_edge_segment(ctx, seg_code, u, nbr, weight, &mut pushes);
+                }
+                pc += 1;
+            }
+            op => pc += 1 + step(ctx, op, u, 0, 0, &mut pushes),
+        }
+    }
+    items.push(WorkItem::new(trips, pushes));
+}
+
+/// Runs one edge segment for a single `(u, nbr, weight)` edge — a flat
+/// loop over scalar ops, no recursion, no `Option` in sight.
+fn run_edge_segment(
+    ctx: &mut Ctx<'_>,
+    code: &[Op],
+    u: NodeId,
+    nbr: NodeId,
+    weight: u32,
+    pushes: &mut u32,
+) {
+    let mut pc = 0usize;
+    while pc < code.len() {
+        pc += 1 + step(ctx, code[pc], u, nbr, weight, pushes);
+    }
+}
+
+#[inline]
+fn pick(u: NodeId, nbr: NodeId, use_nbr: bool) -> NodeId {
+    if use_nbr {
+        nbr
+    } else {
+        u
+    }
+}
+
+/// Executes one scalar op and returns how many following ops to skip
+/// (non-zero only for jumps).
+#[inline]
+fn step(ctx: &mut Ctx<'_>, op: Op, u: NodeId, nbr: NodeId, weight: u32, pushes: &mut u32) -> usize {
+    match op {
+        Op::Const { dst, val } => ctx.regs[dst as usize] = val,
+        Op::NodeId { dst, nbr: use_nbr } => {
+            ctx.regs[dst as usize] = pick(u, nbr, use_nbr) as f64;
+        }
+        Op::Degree { dst, nbr: use_nbr } => {
+            ctx.regs[dst as usize] = ctx.graph.degree(pick(u, nbr, use_nbr)) as f64;
+        }
+        Op::Field {
+            dst,
+            field,
+            nbr: use_nbr,
+        } => {
+            ctx.regs[dst as usize] = ctx.fields[field as usize][pick(u, nbr, use_nbr) as usize];
+        }
+        Op::EdgeWeight { dst } => ctx.regs[dst as usize] = weight as f64,
+        Op::Iter { dst } => ctx.regs[dst as usize] = ctx.iter as f64,
+        Op::NumNodes { dst } => ctx.regs[dst as usize] = ctx.graph.num_nodes() as f64,
+        Op::Global { dst, global } => ctx.regs[dst as usize] = ctx.globals[global as usize],
+        Op::Copy { dst, src } => ctx.regs[dst as usize] = ctx.regs[src as usize],
+        Op::Unary { op, dst, src } => {
+            ctx.regs[dst as usize] = apply_unary(op, ctx.regs[src as usize]);
+        }
+        Op::Binary { op, dst, a, b } => {
+            ctx.regs[dst as usize] = apply_binary(op, ctx.regs[a as usize], ctx.regs[b as usize]);
+        }
+        Op::Hash { dst, a, b } => {
+            ctx.regs[dst as usize] =
+                hash2(ctx.regs[a as usize] as u64, ctx.regs[b as usize] as u64) as f64;
+        }
+        Op::Store {
+            field,
+            src,
+            nbr: use_nbr,
+        } => {
+            let v = ctx.regs[src as usize];
+            ctx.fields[field as usize][pick(u, nbr, use_nbr) as usize] = v;
+        }
+        Op::AtomicMin {
+            field,
+            src,
+            nbr: use_nbr,
+        } => {
+            let v = ctx.regs[src as usize];
+            let slot = &mut ctx.fields[field as usize][pick(u, nbr, use_nbr) as usize];
+            if v < *slot {
+                *slot = v;
+            }
+        }
+        Op::AtomicAdd {
+            field,
+            src,
+            nbr: use_nbr,
+        } => {
+            let v = ctx.regs[src as usize];
+            ctx.fields[field as usize][pick(u, nbr, use_nbr) as usize] += v;
+        }
+        Op::GlobalAdd { global, src } => {
+            ctx.globals[global as usize] += ctx.regs[src as usize];
+        }
+        Op::Push { nbr: use_nbr } => {
+            let v = pick(u, nbr, use_nbr);
+            if !ctx.in_next[v as usize] {
+                ctx.in_next[v as usize] = true;
+                ctx.next_worklist.push(v);
+                *pushes += 1;
+            }
+        }
+        Op::MarkChanged => ctx.changed = true,
+        Op::JumpIfZero { src, skip } => {
+            if ctx.regs[src as usize] == 0.0 {
+                return skip as usize;
+            }
+        }
+        Op::Jump { skip } => return skip as usize,
+        Op::EdgeLoop { .. } => {
+            unreachable!("edge loops are expanded by the node-level walker")
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{execute_ast, Execution};
+    use crate::programs;
+    use gpp_graph::generators;
+    use gpp_sim::trace::Recorder;
+
+    fn ast_run(p: &Program, g: &Graph) -> (Result<Execution, IrglError>, gpp_sim::trace::Trace) {
+        let mut rec = Recorder::new();
+        let r = execute_ast(p, g, &mut rec);
+        (r, rec.into_trace())
+    }
+
+    fn vm_run(p: &Program, g: &Graph) -> (Result<Execution, IrglError>, gpp_sim::trace::Trace) {
+        let mut rec = Recorder::new();
+        let compiled = CompiledProgram::compile(p).unwrap();
+        let r = KernelVm::new().run(&compiled, g, &mut rec);
+        (r, rec.into_trace())
+    }
+
+    #[test]
+    fn all_builtin_programs_match_the_ast_oracle() {
+        let graphs = vec![
+            generators::road_grid(8, 8, 3).unwrap(),
+            generators::rmat(7, 6, 42).unwrap(),
+            generators::star(33).unwrap(),
+            generators::path(1).unwrap(),
+            Graph::from_csr(vec![0], vec![], vec![], true).unwrap(),
+        ];
+        for p in programs::all() {
+            for g in &graphs {
+                let (ast, ast_trace) = ast_run(&p, g);
+                let (vm, vm_trace) = vm_run(&p, g);
+                assert_eq!(ast, vm, "{} execution diverged", p.name);
+                assert_eq!(ast_trace, vm_trace, "{} trace diverged", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn if_lowering_produces_forward_jumps_only() {
+        for p in programs::all() {
+            let compiled = CompiledProgram::compile(&p).unwrap();
+            for k in compiled.kernels() {
+                let streams =
+                    std::iter::once(k.node_ops()).chain(k.edge_segments().iter().map(Vec::as_slice));
+                for code in streams {
+                    for (at, op) in code.iter().enumerate() {
+                        let skip = match op {
+                            Op::Jump { skip } | Op::JumpIfZero { skip, .. } => *skip as usize,
+                            _ => continue,
+                        };
+                        assert!(at + 1 + skip <= code.len(), "jump past end in {}", k.name());
+                    }
+                }
+                assert!(k.num_ops() > 0, "{} compiled to nothing", k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_match_tree_walker_derivation() {
+        for p in programs::all() {
+            let compiled = CompiledProgram::compile(&p).unwrap();
+            for (k, ck) in p.kernels.iter().zip(compiled.kernels()) {
+                assert_eq!(ck.profile(), &derive_profile(k, &k.name));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_segments_are_split_out_of_node_streams() {
+        let p = programs::bfs_worklist();
+        let compiled = CompiledProgram::compile(&p).unwrap();
+        let k = &compiled.kernels()[0];
+        assert_eq!(k.edge_segments().len(), 1);
+        assert!(k.node_ops().iter().any(|op| matches!(op, Op::EdgeLoop { .. })));
+        assert!(!k
+            .edge_segments()[0]
+            .iter()
+            .any(|op| matches!(op, Op::EdgeLoop { .. })));
+    }
+
+    #[test]
+    fn vm_scratch_reuse_is_clean_across_runs() {
+        let g1 = generators::rmat(6, 5, 7).unwrap();
+        let g2 = generators::road_grid(5, 5, 1).unwrap();
+        let mut vm = KernelVm::new();
+        for p in programs::all() {
+            let compiled = CompiledProgram::compile(&p).unwrap();
+            // Interleave graphs of different sizes through one VM; each
+            // run must match a fresh VM bit for bit.
+            for g in [&g1, &g2, &g1] {
+                let mut rec_reused = Recorder::new();
+                let reused = vm.run(&compiled, g, &mut rec_reused);
+                let (fresh, fresh_trace) = vm_run(&p, g);
+                assert_eq!(reused.unwrap(), fresh.unwrap(), "{}", p.name);
+                assert_eq!(rec_reused.into_trace(), fresh_trace, "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn compile_rejects_invalid_programs_like_validate() {
+        let mut p = programs::bfs_topology();
+        p.output = 99;
+        let err = CompiledProgram::compile(&p).unwrap_err();
+        assert_eq!(err, validate(&p).unwrap_err());
+    }
+}

@@ -4,6 +4,18 @@
 //! [`gpp_sim::exec::Executor`] (a timing session or a trace
 //! recorder).
 //!
+//! # Two executors, one semantics
+//!
+//! [`execute`] is the front door. By default it lowers the program to
+//! flat bytecode once ([`crate::bytecode::CompiledProgram`]) and drives
+//! it with the register VM ([`crate::bytecode::KernelVm`]) — the fast
+//! path for cold-run trace collection. [`execute_ast`] is the original
+//! recursive tree-walker, kept alive as the differential-testing oracle;
+//! setting the `GPP_IRGL_AST=1` environment variable routes [`execute`]
+//! through it for A/B timing. Both executors are bit-identical: same
+//! [`Execution`], same kernel launches, same recorded
+//! [`WorkItem`] streams.
+//!
 //! # Semantics
 //!
 //! Kernels are data-parallel but the interpreter processes nodes in id
@@ -17,7 +29,8 @@ use gpp_graph::{Graph, NodeId};
 use gpp_sim::exec::{Executor, KernelProfile, WorkItem};
 
 use crate::ast::{
-    BinOp, Domain, Driver, Expr, FieldInit, Kernel, Program, Ref, Stmt, UnaryOp, WorklistInit,
+    BinOp, Domain, Driver, Expr, FieldInit, GlobalDecl, Kernel, Program, Ref, Stmt, UnaryOp,
+    WorklistInit,
 };
 use crate::profile::derive_profile;
 use crate::validate::{validate, IrglError};
@@ -42,7 +55,22 @@ impl Execution {
     }
 }
 
+/// Whether the `GPP_IRGL_AST` environment variable requests the
+/// tree-walking oracle instead of the default bytecode executor
+/// (any value except `0` or empty selects the AST path).
+pub fn ast_requested() -> bool {
+    std::env::var_os("GPP_IRGL_AST").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Executes `program` on `graph`, reporting kernels to `exec`.
+///
+/// Compiles the program to bytecode and runs the register VM (see
+/// [`crate::bytecode`]); set `GPP_IRGL_AST=1` to route through the
+/// tree-walking oracle [`execute_ast`] instead. Results and recorded
+/// [`WorkItem`] streams are bit-identical either way. Callers running
+/// the same program many times should compile once with
+/// [`crate::bytecode::CompiledProgram::compile`] and reuse a
+/// [`crate::bytecode::KernelVm`].
 ///
 /// # Errors
 ///
@@ -54,9 +82,29 @@ pub fn execute(
     graph: &Graph,
     exec: &mut dyn Executor,
 ) -> Result<Execution, IrglError> {
+    if ast_requested() {
+        return execute_ast(program, graph, exec);
+    }
+    let compiled = crate::bytecode::CompiledProgram::compile(program)?;
+    crate::bytecode::run_compiled(&compiled, graph, exec)
+}
+
+/// [`execute`] via the recursive AST tree-walker — the differential
+/// oracle for the bytecode executor.
+///
+/// # Errors
+///
+/// Returns validation errors, or
+/// [`IrglError::IterationBoundExceeded`] if a fixed-point driver fails to
+/// converge within its bound.
+pub fn execute_ast(
+    program: &Program,
+    graph: &Graph,
+    exec: &mut dyn Executor,
+) -> Result<Execution, IrglError> {
     validate(program)?;
     let n = graph.num_nodes();
-    let mut fields: Vec<Vec<f64>> = program
+    let fields: Vec<Vec<f64>> = program
         .fields
         .iter()
         .map(|decl| init_field(decl.init, n))
@@ -66,14 +114,12 @@ pub fn execute(
         .iter()
         .map(|k| derive_profile(k, &k.name))
         .collect();
-    let mut globals: Vec<f64> = program.globals.iter().map(|g| g.init).collect();
-    let reset_globals = |globals: &mut Vec<f64>| {
-        globals
-            .iter_mut()
-            .zip(&program.globals)
-            .for_each(|(v, g)| *v = g.init)
-    };
+    let globals: Vec<f64> = program.globals.iter().map(|g| g.init).collect();
 
+    // One state for the whole run: the item vector, locals, worklist and
+    // dedup bitmap are allocated once and reused across every launch and
+    // driver iteration.
+    let mut state = KernelState::new(graph, fields, globals);
     let mut iterations = 0u32;
     let mut kernels = 0u32;
     match &program.driver {
@@ -87,18 +133,16 @@ pub fn execute(
                     bound: *max_iters,
                 });
             }
-            reset_globals(&mut globals);
-            let mut changed = false;
+            state.begin_iteration(&program.globals, iterations);
             for &k in seq {
                 let kernel = &program.kernels[k];
-                let mut state = KernelState::new(graph, &mut fields, &mut globals, iterations);
+                state.items.clear();
                 run_all_nodes(kernel, &mut state);
-                changed |= state.changed;
                 exec.kernel(&profiles[k], &state.items);
                 kernels += 1;
             }
             iterations += 1;
-            if !changed {
+            if !state.changed {
                 break;
             }
         },
@@ -107,10 +151,10 @@ pub fn execute(
             iters,
         } => {
             for iter in 0..*iters {
-                reset_globals(&mut globals);
+                state.begin_iteration(&program.globals, iter);
                 for &k in seq {
                     let kernel = &program.kernels[k];
-                    let mut state = KernelState::new(graph, &mut fields, &mut globals, iter);
+                    state.items.clear();
                     run_all_nodes(kernel, &mut state);
                     exec.kernel(&profiles[k], &state.items);
                     kernels += 1;
@@ -123,10 +167,8 @@ pub fn execute(
             kernel,
             max_iters,
         } => {
-            let mut worklist: Vec<NodeId> = match init {
-                WorklistInit::Source => vec![0],
-                WorklistInit::AllNodes => graph.nodes().collect(),
-            };
+            let mut worklist: Vec<NodeId> = seed_worklist(*init, graph);
+            state.in_next.resize(n, false);
             while !worklist.is_empty() {
                 if iterations >= *max_iters {
                     return Err(IrglError::IterationBoundExceeded {
@@ -134,29 +176,46 @@ pub fn execute(
                         bound: *max_iters,
                     });
                 }
-                reset_globals(&mut globals);
+                state.begin_iteration(&program.globals, iterations);
                 let k = &program.kernels[*kernel];
-                let mut state = KernelState::new(graph, &mut fields, &mut globals, iterations);
-                state.in_next = vec![false; n];
+                state.items.clear();
                 for &u in &worklist {
                     state.run_node(k, u);
                 }
                 exec.kernel(&profiles[*kernel], &state.items);
                 kernels += 1;
-                worklist = std::mem::take(&mut state.next_worklist);
+                // Swap in the pushed nodes and clear their dedup flags by
+                // draining the new worklist — no `vec![false; n]` per
+                // level; only the entries actually pushed are touched.
+                std::mem::swap(&mut worklist, &mut state.next_worklist);
+                state.next_worklist.clear();
+                for &v in &worklist {
+                    state.in_next[v as usize] = false;
+                }
                 iterations += 1;
             }
         }
     }
     Ok(Execution {
-        fields,
-        globals,
+        fields: state.fields,
+        globals: state.globals,
         iterations,
         kernels,
     })
 }
 
-fn init_field(init: FieldInit, n: usize) -> Vec<f64> {
+/// The initial worklist of a [`Driver::WorklistLoop`]. An empty graph
+/// has no source node to seed, so `Source` yields an empty worklist
+/// instead of the out-of-bounds node 0.
+pub(crate) fn seed_worklist(init: WorklistInit, graph: &Graph) -> Vec<NodeId> {
+    match init {
+        WorklistInit::Source if graph.num_nodes() == 0 => Vec::new(),
+        WorklistInit::Source => vec![0],
+        WorklistInit::AllNodes => graph.nodes().collect(),
+    }
+}
+
+pub(crate) fn init_field(init: FieldInit, n: usize) -> Vec<f64> {
     match init {
         FieldInit::Const(c) => vec![c; n],
         FieldInit::NodeId => (0..n).map(|i| i as f64).collect(),
@@ -172,11 +231,41 @@ fn init_field(init: FieldInit, n: usize) -> Vec<f64> {
     }
 }
 
-/// Per-launch interpreter state.
+/// Applies a unary operator — shared by both executors so they cannot
+/// drift.
+pub(crate) fn apply_unary(op: UnaryOp, a: f64) -> f64 {
+    match op {
+        UnaryOp::Not => f64::from(a == 0.0),
+        UnaryOp::Neg => -a,
+        UnaryOp::Floor => a.floor(),
+    }
+}
+
+/// Applies a binary operator — shared by both executors so they cannot
+/// drift. `And`/`Or` are eager (both operands already evaluated), like
+/// the generated OpenCL's branch-free select.
+pub(crate) fn apply_binary(op: BinOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        BinOp::Lt => f64::from(a < b),
+        BinOp::Le => f64::from(a <= b),
+        BinOp::Eq => f64::from(a == b),
+        BinOp::Ne => f64::from(a != b),
+        BinOp::And => f64::from(a != 0.0 && b != 0.0),
+        BinOp::Or => f64::from(a != 0.0 || b != 0.0),
+    }
+}
+
+/// Tree-walker state, persistent across all launches of one execution.
 struct KernelState<'a> {
     graph: &'a Graph,
-    fields: &'a mut Vec<Vec<f64>>,
-    globals: &'a mut Vec<f64>,
+    fields: Vec<Vec<f64>>,
+    globals: Vec<f64>,
     iter: u32,
     changed: bool,
     items: Vec<WorkItem>,
@@ -193,23 +282,30 @@ struct Edge {
 }
 
 impl<'a> KernelState<'a> {
-    fn new(
-        graph: &'a Graph,
-        fields: &'a mut Vec<Vec<f64>>,
-        globals: &'a mut Vec<f64>,
-        iter: u32,
-    ) -> Self {
+    fn new(graph: &'a Graph, fields: Vec<Vec<f64>>, globals: Vec<f64>) -> Self {
         KernelState {
             graph,
             fields,
             globals,
-            iter,
+            iter: 0,
             changed: false,
             items: Vec::new(),
             next_worklist: Vec::new(),
             in_next: Vec::new(),
             locals: Vec::new(),
         }
+    }
+
+    /// Starts a driver iteration: stamps the iteration counter, lowers
+    /// the fixed-point flag, and resets every global to its declared
+    /// initial value.
+    fn begin_iteration(&mut self, decls: &[GlobalDecl], iter: u32) {
+        self.iter = iter;
+        self.changed = false;
+        self.globals
+            .iter_mut()
+            .zip(decls)
+            .for_each(|(v, g)| *v = g.init);
     }
 
     fn run_node(&mut self, kernel: &Kernel, u: NodeId) {
@@ -314,30 +410,9 @@ impl<'a> KernelState<'a> {
             Expr::NumNodes => self.graph.num_nodes() as f64,
             Expr::Local(local) => self.locals[*local],
             Expr::Global(global) => self.globals[*global],
-            Expr::Unary(op, a) => {
-                let a = self.eval(a, u, edge);
-                match op {
-                    UnaryOp::Not => f64::from(a == 0.0),
-                    UnaryOp::Neg => -a,
-                    UnaryOp::Floor => a.floor(),
-                }
-            }
+            Expr::Unary(op, a) => apply_unary(*op, self.eval(a, u, edge)),
             Expr::Binary(op, a, b) => {
-                let (a, b) = (self.eval(a, u, edge), self.eval(b, u, edge));
-                match op {
-                    BinOp::Add => a + b,
-                    BinOp::Sub => a - b,
-                    BinOp::Mul => a * b,
-                    BinOp::Div => a / b,
-                    BinOp::Min => a.min(b),
-                    BinOp::Max => a.max(b),
-                    BinOp::Lt => f64::from(a < b),
-                    BinOp::Le => f64::from(a <= b),
-                    BinOp::Eq => f64::from(a == b),
-                    BinOp::Ne => f64::from(a != b),
-                    BinOp::And => f64::from(a != 0.0 && b != 0.0),
-                    BinOp::Or => f64::from(a != 0.0 || b != 0.0),
-                }
+                apply_binary(*op, self.eval(a, u, edge), self.eval(b, u, edge))
             }
             Expr::Hash(a, b) => {
                 let (a, b) = (self.eval(a, u, edge), self.eval(b, u, edge));
@@ -355,7 +430,7 @@ fn run_all_nodes(kernel: &Kernel, state: &mut KernelState<'_>) {
 }
 
 /// Deterministic 32-bit hash of two integers (SplitMix64 finaliser).
-fn hash2(a: u64, b: u64) -> u32 {
+pub(crate) fn hash2(a: u64, b: u64) -> u32 {
     let mut z = a
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(b.rotate_left(31));
@@ -413,6 +488,10 @@ mod tests {
         }
     }
 
+    fn worklist_bfs() -> Program {
+        crate::programs::bfs_worklist()
+    }
+
     #[test]
     fn bfs_program_computes_reference_levels() {
         let g = generators::road_grid(9, 9, 2).unwrap();
@@ -450,12 +529,14 @@ mod tests {
             *max_iters = 2;
         }
         let g = generators::path(30).unwrap();
-        let mut rec = Recorder::new();
-        let err = execute(&p, &g, &mut rec).unwrap_err();
-        assert!(matches!(
-            err,
-            IrglError::IterationBoundExceeded { bound: 2, .. }
-        ));
+        for run in [execute, execute_ast] {
+            let mut rec = Recorder::new();
+            let err = run(&p, &g, &mut rec).unwrap_err();
+            assert!(matches!(
+                err,
+                IrglError::IterationBoundExceeded { bound: 2, .. }
+            ));
+        }
     }
 
     #[test]
@@ -470,6 +551,44 @@ mod tests {
         let result = execute(&p, &g, &mut rec).unwrap();
         assert_eq!(result.iterations, 7);
         assert_eq!(result.kernels, 7);
+    }
+
+    #[test]
+    fn ast_oracle_matches_bytecode_on_bfs() {
+        let g = generators::road_grid(7, 9, 5).unwrap();
+        for p in [bfs_program(), worklist_bfs()] {
+            let mut rec_ast = Recorder::new();
+            let ast = execute_ast(&p, &g, &mut rec_ast).unwrap();
+            let mut rec_vm = Recorder::new();
+            let compiled = crate::bytecode::CompiledProgram::compile(&p).unwrap();
+            let vm = crate::bytecode::run_compiled(&compiled, &g, &mut rec_vm).unwrap();
+            assert_eq!(ast, vm, "{}", p.name);
+            assert_eq!(rec_ast.into_trace(), rec_vm.into_trace(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn worklist_source_on_empty_graph_runs_zero_iterations() {
+        // Regression: `Source` used to seed node 0 unconditionally and
+        // index out of bounds on a zero-node graph.
+        let g = gpp_graph::Graph::from_csr(vec![0], vec![], vec![], true).unwrap();
+        for run in [execute, execute_ast] {
+            let mut rec = Recorder::new();
+            let result = run(&worklist_bfs(), &g, &mut rec).unwrap();
+            assert_eq!(result.iterations, 0);
+            assert_eq!(result.kernels, 0);
+            assert!(result.output(&worklist_bfs()).is_empty());
+            assert_eq!(rec.into_trace().num_kernels(), 0);
+        }
+    }
+
+    #[test]
+    fn worklist_source_on_single_node_graph_runs_one_round() {
+        let g = generators::path(1).unwrap();
+        let mut rec = Recorder::new();
+        let result = execute(&worklist_bfs(), &g, &mut rec).unwrap();
+        assert_eq!(result.iterations, 1);
+        assert_eq!(result.output(&worklist_bfs()), &[0.0]);
     }
 
     #[test]

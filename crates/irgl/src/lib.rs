@@ -20,6 +20,10 @@
 //!   round-trips through [`ast::Program`];
 //! - [`interp`] — the runtime: executes programs over real graphs,
 //!   computing results while driving a timing session or trace recorder;
+//! - [`bytecode`] — the compiled runtime: lowers validated kernels to a
+//!   flat register-machine op stream and runs them with reusable scratch
+//!   buffers, bit-identical to the tree-walker (which remains as the
+//!   `GPP_IRGL_AST=1` differential oracle);
 //! - [`programs`] — seven applications written in the DSL, validated
 //!   against the sequential references.
 //!
@@ -54,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod bytecode;
 pub mod codegen;
 pub mod fold;
 pub mod interp;
@@ -65,8 +70,9 @@ pub mod transform;
 pub mod validate;
 
 pub use ast::{Driver, Expr, Kernel, Program, Stmt};
+pub use bytecode::{run_compiled, CompiledProgram, KernelVm};
 pub use fold::fold_program;
-pub use interp::{execute, Execution};
+pub use interp::{execute, execute_ast, Execution};
 pub use parser::{parse, ParseError};
 pub use printer::to_source;
 pub use transform::{plan, CompilationPlan};

@@ -1,0 +1,33 @@
+//! `GPP_IRGL_AST=1` must flip the DSL executor back to the tree-walking
+//! oracle *without changing a single byte of the study dataset*. This
+//! test mutates the process environment, so it lives in its own
+//! integration-test binary (its own process) and must not share a file
+//! with any other test that reads `GPP_IRGL_AST`.
+
+use gpp::apps::{run_study, StudyConfig};
+
+#[test]
+fn ast_fallback_produces_a_byte_identical_dsl_study() {
+    let config = StudyConfig {
+        dsl_programs: true,
+        threads: 2,
+        ..StudyConfig::tiny()
+    };
+
+    std::env::set_var("GPP_IRGL_AST", "1");
+    let ast = serde_json::to_string(&run_study(&config)).unwrap();
+
+    std::env::remove_var("GPP_IRGL_AST");
+    let bytecode = serde_json::to_string(&run_study(&config)).unwrap();
+
+    assert_eq!(ast, bytecode, "AST oracle and bytecode VM diverged");
+
+    // An explicit "0" (and the empty string) mean "stay on bytecode".
+    std::env::set_var("GPP_IRGL_AST", "0");
+    assert!(!gpp::irgl::interp::ast_requested());
+    std::env::set_var("GPP_IRGL_AST", "");
+    assert!(!gpp::irgl::interp::ast_requested());
+    std::env::set_var("GPP_IRGL_AST", "1");
+    assert!(gpp::irgl::interp::ast_requested());
+    std::env::remove_var("GPP_IRGL_AST");
+}

@@ -1,0 +1,403 @@
+//! Differential testing of the bytecode register VM against the AST
+//! tree-walking oracle: for every DSL program — the seven built-ins on
+//! the study inputs, plus randomly generated valid programs over random
+//! small graphs in all three driver forms — both executors must produce
+//! bit-identical [`Execution`] state and bit-identical recorded traces
+//! (same kernel launches, same per-node `WorkItem` streams). This is the
+//! invariant that keeps cached traces and the study dataset unchanged by
+//! the compilation layer.
+
+use gpp::graph::{generators, Graph, GraphBuilder};
+use gpp::irgl::ast::{
+    BinOp, Domain, Driver, Expr, FieldDecl, FieldInit, GlobalDecl, Kernel, Program, Ref, Stmt,
+    UnaryOp, WorklistInit,
+};
+use gpp::irgl::bytecode::{CompiledProgram, KernelVm};
+use gpp::irgl::interp::{execute_ast, Execution};
+use gpp::irgl::validate::IrglError;
+use gpp::irgl::programs;
+use gpp::sim::trace::{Recorder, Trace};
+use proptest::prelude::*;
+use proptest::strategy::Union;
+
+type RunResult = (Result<Execution, IrglError>, Trace);
+
+fn run_ast(program: &Program, graph: &Graph) -> RunResult {
+    let mut rec = Recorder::new();
+    let result = execute_ast(program, graph, &mut rec);
+    (result, rec.into_trace())
+}
+
+fn run_vm(program: &Program, graph: &Graph) -> RunResult {
+    let mut rec = Recorder::new();
+    let result = CompiledProgram::compile(program)
+        .and_then(|compiled| KernelVm::new().run(&compiled, graph, &mut rec));
+    (result, rec.into_trace())
+}
+
+/// Bit-level equality: `f64::to_bits` so NaN == NaN and -0.0 != 0.0 —
+/// stricter than `PartialEq` on [`Execution`].
+fn assert_identical(name: &str, ast: &RunResult, vm: &RunResult) {
+    match (&ast.0, &vm.0) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.iterations, b.iterations, "{name}: iterations");
+            assert_eq!(a.kernels, b.kernels, "{name}: kernel launches");
+            assert_eq!(bits(&a.globals), bits(&b.globals), "{name}: globals");
+            assert_eq!(a.fields.len(), b.fields.len(), "{name}: field count");
+            for (i, (fa, fb)) in a.fields.iter().zip(&b.fields).enumerate() {
+                assert_eq!(bits(fa), bits(fb), "{name}: field {i}");
+            }
+        }
+        (Err(a), Err(b)) => assert_eq!(a, b, "{name}: errors"),
+        (a, b) => panic!("{name}: one executor failed: ast={a:?} vm={b:?}"),
+    }
+    assert_eq!(ast.1, vm.1, "{name}: recorded traces");
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn corner_graphs() -> Vec<Graph> {
+    vec![
+        Graph::from_csr(vec![0], vec![], vec![], true).unwrap(),
+        generators::path(1).unwrap(),
+        generators::path(13).unwrap(),
+        generators::star(21).unwrap(),
+        generators::cycle(9).unwrap(),
+        generators::road_grid(6, 7, 4).unwrap(),
+        generators::rmat(7, 6, 11).unwrap(),
+    ]
+}
+
+#[test]
+fn builtin_programs_are_bit_identical_on_study_and_corner_graphs() {
+    let mut graphs = corner_graphs();
+    for input in gpp::apps::study_inputs(gpp::apps::StudyScale::Tiny, 0x9a7e_2019) {
+        graphs.push(input.graph.clone());
+    }
+    for program in programs::all() {
+        for graph in &graphs {
+            assert_identical(
+                &program.name,
+                &run_ast(&program, graph),
+                &run_vm(&program, graph),
+            );
+        }
+    }
+}
+
+#[test]
+fn iteration_bound_errors_are_identical_including_partial_traces() {
+    // Truncate every built-in's iteration budget: whatever each
+    // executor does — error after two rounds, or converge early (the
+    // atomic_min programs can cascade along ascending node ids within
+    // a single sequential launch) — it must do identically, down to
+    // the partially recorded trace.
+    let graph = generators::road_grid(9, 9, 2).unwrap();
+    let mut errors = 0;
+    for mut program in programs::all() {
+        match &mut program.driver {
+            Driver::UntilFixpoint { max_iters, .. } | Driver::WorklistLoop { max_iters, .. } => {
+                *max_iters = 2;
+            }
+            Driver::Fixed { .. } => continue,
+        }
+        let ast = run_ast(&program, &graph);
+        errors += usize::from(ast.0.is_err());
+        assert_identical(&program.name, &ast, &run_vm(&program, &graph));
+    }
+    // The level-by-level programs (BFS both ways, worklist SSSP, Luby
+    // MIS) cannot finish a 16-diameter grid in two rounds.
+    assert!(errors >= 4, "expected several bound errors, got {errors}");
+}
+
+// -------------------------------------------------------------------
+// Random-program differential suite
+// -------------------------------------------------------------------
+
+/// What ids the generated statements may reference.
+#[derive(Debug, Clone, Copy)]
+struct Shape {
+    fields: usize,
+    globals: usize,
+    locals: usize,
+    in_edge: bool,
+    worklist: bool,
+}
+
+fn arb_ref(in_edge: bool) -> BoxedStrategy<Ref> {
+    if in_edge {
+        prop_oneof![Just(Ref::Node), Just(Ref::Nbr)].boxed()
+    } else {
+        Just(Ref::Node).boxed()
+    }
+}
+
+fn arb_unop() -> impl Strategy<Value = UnaryOp> {
+    prop_oneof![Just(UnaryOp::Not), Just(UnaryOp::Neg), Just(UnaryOp::Floor)]
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Min),
+        Just(BinOp::Max),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn arb_expr(s: Shape) -> BoxedStrategy<Expr> {
+    let mut leaves: Vec<BoxedStrategy<Expr>> = vec![
+        // Include 0/1 often (branch conditions) and a NaN source (0/0 is
+        // reachable via Div anyway; keep constants finite here).
+        prop_oneof![Just(0.0), Just(1.0), Just(2.0), -4.0f64..4.0]
+            .prop_map(Expr::Const)
+            .boxed(),
+        arb_ref(s.in_edge).prop_map(Expr::NodeId).boxed(),
+        arb_ref(s.in_edge).prop_map(Expr::Degree).boxed(),
+        (0..s.fields, arb_ref(s.in_edge))
+            .prop_map(|(f, r)| Expr::Field(f, r))
+            .boxed(),
+        Just(Expr::Iter).boxed(),
+        Just(Expr::NumNodes).boxed(),
+    ];
+    if s.in_edge {
+        leaves.push(Just(Expr::EdgeWeight).boxed());
+    }
+    if s.locals > 0 {
+        leaves.push((0..s.locals).prop_map(Expr::Local).boxed());
+    }
+    if s.globals > 0 {
+        leaves.push((0..s.globals).prop_map(Expr::Global).boxed());
+    }
+    Union::new(leaves)
+        .prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                (arb_unop(), inner.clone()).prop_map(|(op, a)| Expr::Unary(op, Box::new(a))),
+                (arb_binop(), inner.clone(), inner.clone())
+                    .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
+                (inner.clone(), inner).prop_map(|(a, b)| Expr::Hash(Box::new(a), Box::new(b))),
+            ]
+        })
+        .boxed()
+}
+
+fn arb_block(s: Shape, depth: u32, max_len: usize) -> BoxedStrategy<Vec<Stmt>> {
+    prop::collection::vec(arb_stmt(s, depth), 0..=max_len).boxed()
+}
+
+fn arb_stmt(s: Shape, depth: u32) -> BoxedStrategy<Stmt> {
+    let mut opts: Vec<BoxedStrategy<Stmt>> = vec![
+        (0..s.fields, arb_ref(s.in_edge), arb_expr(s))
+            .prop_map(|(field, target, value)| Stmt::Store {
+                field,
+                target,
+                value,
+            })
+            .boxed(),
+        (0..s.fields, arb_ref(s.in_edge), arb_expr(s))
+            .prop_map(|(field, target, value)| Stmt::AtomicMin {
+                field,
+                target,
+                value,
+            })
+            .boxed(),
+        (0..s.fields, arb_ref(s.in_edge), arb_expr(s))
+            .prop_map(|(field, target, value)| Stmt::AtomicAdd {
+                field,
+                target,
+                value,
+            })
+            .boxed(),
+        Just(Stmt::MarkChanged).boxed(),
+    ];
+    if s.locals > 0 {
+        opts.push(
+            (0..s.locals, arb_expr(s))
+                .prop_map(|(l, e)| Stmt::Let(l, e))
+                .boxed(),
+        );
+    }
+    if s.globals > 0 {
+        opts.push(
+            (0..s.globals, arb_expr(s))
+                .prop_map(|(g, e)| Stmt::GlobalAdd(g, e))
+                .boxed(),
+        );
+    }
+    if s.worklist {
+        opts.push(arb_ref(s.in_edge).prop_map(Stmt::Push).boxed());
+    }
+    if depth > 0 {
+        opts.push(
+            (arb_expr(s), arb_block(s, depth - 1, 2), arb_block(s, depth - 1, 2))
+                .prop_map(|(cond, then, els)| Stmt::If { cond, then, els })
+                .boxed(),
+        );
+        if !s.in_edge {
+            let edge_shape = Shape { in_edge: true, ..s };
+            opts.push(
+                arb_block(edge_shape, depth - 1, 3)
+                    .prop_map(Stmt::ForEachEdge)
+                    .boxed(),
+            );
+        }
+    }
+    Union::new(opts).boxed()
+}
+
+fn arb_field_init() -> impl Strategy<Value = FieldInit> {
+    prop_oneof![
+        (-2.0f64..3.0).prop_map(FieldInit::Const),
+        Just(FieldInit::NodeId),
+        Just(FieldInit::Infinity),
+        Just(FieldInit::OneOverN),
+        (-1.0f64..4.0).prop_map(FieldInit::SourceElse),
+    ]
+}
+
+/// A random *valid* program: every id in range, `Nbr`/`EdgeWeight` only
+/// inside edge loops, `Push` only under a worklist driver, domains
+/// matching the driver, non-zero iteration bounds. Non-convergent
+/// programs are fine — both executors must then fail identically.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (1usize..=3, 0usize..=2, 0usize..=2, 0u8..3).prop_flat_map(|(nf, ng, nl, drv)| {
+        let worklist = drv == 2;
+        let shape = Shape {
+            fields: nf,
+            globals: ng,
+            locals: nl,
+            in_edge: false,
+            worklist,
+        };
+        let num_kernels = if worklist { 1usize..=1 } else { 1usize..=2 };
+        let max_iters = match drv {
+            0 => 2u32..=6,   // UntilFixpoint
+            1 => 1u32..=3,   // Fixed
+            _ => 3u32..=8,   // WorklistLoop
+        };
+        (
+            prop::collection::vec(arb_field_init(), nf),
+            prop::collection::vec(-2.0f64..2.0, ng),
+            prop::collection::vec(arb_block(shape, 2, 3), num_kernels),
+            max_iters,
+            prop_oneof![Just(WorklistInit::Source), Just(WorklistInit::AllNodes)],
+            0..nf,
+        )
+            .prop_map(
+                move |(field_inits, global_inits, bodies, max_iters, init, output)| {
+                    let fields = field_inits
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, init)| FieldDecl {
+                            name: format!("f{i}"),
+                            init,
+                        })
+                        .collect();
+                    let globals = global_inits
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, init)| GlobalDecl {
+                            name: format!("g{i}"),
+                            init,
+                        })
+                        .collect();
+                    let domain = if worklist {
+                        Domain::Worklist
+                    } else {
+                        Domain::AllNodes
+                    };
+                    let kernels: Vec<Kernel> = bodies
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, body)| Kernel {
+                            name: format!("k{i}"),
+                            domain,
+                            locals: nl,
+                            body,
+                        })
+                        .collect();
+                    let ids: Vec<usize> = (0..kernels.len()).collect();
+                    let driver = match drv {
+                        0 => Driver::UntilFixpoint {
+                            kernels: ids,
+                            max_iters,
+                        },
+                        1 => Driver::Fixed {
+                            kernels: ids,
+                            iters: max_iters,
+                        },
+                        _ => Driver::WorklistLoop {
+                            init,
+                            kernel: 0,
+                            max_iters,
+                        },
+                    };
+                    Program {
+                        name: "prop".into(),
+                        fields,
+                        globals,
+                        kernels,
+                        driver,
+                        output,
+                    }
+                },
+            )
+    })
+}
+
+/// Small random graphs, empty graph included; self-loops are dropped by
+/// the builder, node ids always in range.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop_oneof![
+        1 => Just(Graph::from_csr(vec![0], vec![], vec![], true).unwrap()),
+        7 => (1usize..=10).prop_flat_map(|n| {
+            (
+                prop::collection::vec((0..n as u32, 0..n as u32, 1u32..=4), 0..=2 * n),
+                any::<bool>(),
+            )
+                .prop_map(move |(edges, directed)| {
+                    let mut b = GraphBuilder::new(n);
+                    if !directed {
+                        b.undirected();
+                    }
+                    for (u, v, w) in edges {
+                        b.weighted_edge(u, v, w);
+                    }
+                    b.build().expect("ids are in range and n > 0")
+                })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn random_programs_are_bit_identical(program in arb_program(), graph in arb_graph()) {
+        prop_assert!(gpp::irgl::validate_program(&program).is_ok());
+        assert_identical("random", &run_ast(&program, &graph), &run_vm(&program, &graph));
+    }
+
+    #[test]
+    fn vm_reuse_matches_fresh_vm(program in arb_program(), g1 in arb_graph(), g2 in arb_graph()) {
+        // One VM across two different graphs (scratch buffers reused,
+        // possibly after an iteration-bound error) must match fresh VMs.
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let mut vm = KernelVm::new();
+        for g in [&g1, &g2, &g1] {
+            let mut rec = Recorder::new();
+            let reused = (vm.run(&compiled, g, &mut rec), rec.into_trace());
+            assert_identical("reuse", &run_vm(&program, g), &reused);
+        }
+    }
+}
