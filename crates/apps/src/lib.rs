@@ -18,7 +18,10 @@
 //!   with (re-exported from the `gpp-par` utility crate, which also
 //!   serves `gpp-core`'s analysis pipeline);
 //! - [`study`] — the grid runner producing the [`study::Dataset`]
-//!   consumed by `gpp-core`'s portability analysis.
+//!   consumed by `gpp-core`'s portability analysis;
+//! - [`sweep`] — the parametric chip sweep: replay the trace arena
+//!   against a synthetic chip cloud, chip-major, one traversal per
+//!   geometry family (`gpp sweep`).
 //!
 //! # Example
 //!
@@ -55,6 +58,7 @@ pub mod inputs;
 pub mod kernels;
 pub mod par;
 pub mod study;
+pub mod sweep;
 
 pub use app::{AppOutput, Application, Problem};
 pub use apps::{all_applications, application};
@@ -64,3 +68,4 @@ pub use inputs::{study_inputs, study_inputs_extended, StudyInput, StudyScale};
 pub use study::{
     run_study, run_study_cached, run_study_on, run_study_traced, Cell, Dataset, StudyConfig,
 };
+pub use sweep::{run_sweep, run_sweep_cached, ChipSweep, SweepConfig};

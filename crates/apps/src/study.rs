@@ -157,7 +157,7 @@ impl Cell {
     fn cache(&self) -> &CellCache {
         let cache = self.cache.get_or_init(|| {
             let medians: Vec<f64> = self.times.iter().map(|runs| median_of(runs)).collect();
-            // `min_by` keeps the *last* minimum on ties, matching the
+            // `min_by` keeps the *first* minimum on ties, matching the
             // historical `(0..NUM_CONFIGS).min_by(...)` scan exactly.
             let best = (0..medians.len())
                 .min_by(|&a, &b| {
@@ -717,10 +717,18 @@ mod tests {
     #[test]
     fn best_config_ties_resolve_like_a_linear_min_scan() {
         // Constant times: every configuration ties, and `min_by` keeps
-        // the last minimum — the memoized best must do the same.
+        // the first minimum — the memoized best must do the same.
         let times = vec![vec![1.0, 1.0, 1.0]; NUM_CONFIGS];
         let cell = Cell::new("a".into(), "i".into(), "c".into(), times);
-        assert_eq!(cell.best_config(), OptConfig::from_index(NUM_CONFIGS - 1));
+        assert_eq!(cell.best_config(), OptConfig::from_index(0));
+
+        // A tie below the rest resolves to its first member, exactly
+        // like a linear `min_by` scan over the medians.
+        let mut times = vec![vec![2.0, 2.0, 2.0]; NUM_CONFIGS];
+        times[17] = vec![1.0, 1.0, 1.0];
+        times[63] = vec![1.0, 1.0, 1.0];
+        let cell = Cell::new("a".into(), "i".into(), "c".into(), times);
+        assert_eq!(cell.best_config(), OptConfig::from_index(17));
     }
 
     #[test]

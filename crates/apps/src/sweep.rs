@@ -1,0 +1,335 @@
+//! The parametric chip sweep: price a cloud of synthetic chips against
+//! the cached trace arena in one chip-major traversal per geometry.
+//!
+//! A sweep answers the question Table VI can only gesture at with six
+//! GPUs: *which hardware mechanism flips each optimisation from win to
+//! loss?* It records one trace per (application, input) pair — exactly
+//! the study's phase 1 — then partitions the chip cloud into
+//! [`ChipBatch`] geometry families and replays every trace against every
+//! batch with [`CompiledTrace::replay_all_configs_many_chips`], walking
+//! each aggregate table once per batch instead of once per chip.
+//!
+//! The per-chip effect of an optimisation `o` is summarised as the mean
+//! log runtime ratio over all (application, input) pairs and all
+//! configurations enabling `o` (the paper's `ALL_OPT_SETTINGS`):
+//! `mean ln(t[cfg] / t[cfg.without(o)])` — negative means the
+//! optimisation wins on that chip. No timing noise is applied: a sweep
+//! is a pure function of its configuration and chip set, so batched and
+//! per-chip (`oracle`) runs serialise byte-identically.
+
+use gpp_sim::chip::{ChipBatch, ChipProfile};
+use gpp_sim::exec::Machine;
+use gpp_sim::opts::{settings_enabling, Optimization};
+use gpp_sim::trace::{CompiledTrace, Recorder};
+use serde::{Deserialize, Serialize};
+
+use crate::app::validate;
+use crate::apps::all_applications;
+use crate::cache::TraceCache;
+use crate::inputs::{study_inputs, StudyScale};
+use crate::par::par_map;
+
+/// Parameters of a chip sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Input scale for trace collection.
+    pub scale: StudyScale,
+    /// Seed for input generation (the pricing itself is noiseless).
+    pub seed: u64,
+    /// Worker threads (0 = auto, as [`crate::study::StudyConfig`]).
+    pub threads: usize,
+    /// Validate application outputs while collecting traces.
+    pub validate: bool,
+    /// Price chips one at a time through the chip-at-a-time oracle path
+    /// instead of the chip-major batch path. The result is bit-identical
+    /// — this flag exists so CI can `cmp` the two outputs.
+    pub per_chip: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            scale: StudyScale::Small,
+            seed: 0x9a7e_2019,
+            threads: 0,
+            validate: true,
+            per_chip: false,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A minimal configuration for unit tests and CI smoke runs.
+    pub fn tiny() -> Self {
+        SweepConfig {
+            scale: StudyScale::Tiny,
+            ..SweepConfig::default()
+        }
+    }
+}
+
+/// The result of a chip sweep: per-chip, per-optimisation mean log
+/// runtime ratios over the whole (application, input) grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipSweep {
+    /// Chip names, in input order.
+    pub chips: Vec<String>,
+    /// Optimisation names, in [`Optimization::ALL`] order.
+    pub opts: Vec<String>,
+    /// `log_ratios[chip][opt]` — mean `ln(t[cfg] / t[cfg without opt])`
+    /// over all pairs and enabling configurations; negative is a win.
+    pub log_ratios: Vec<Vec<f64>>,
+    /// Per optimisation, the fraction of chips where it wins
+    /// (`log_ratio < 0`).
+    pub win_fraction: Vec<f64>,
+    /// Number of (application, input) pairs priced.
+    pub pairs: usize,
+}
+
+/// For each optimisation, the `(with, without)` configuration index
+/// pairs its mean ranges over — computed once per sweep.
+fn opt_probes() -> Vec<(Optimization, Vec<(usize, usize)>)> {
+    Optimization::ALL
+        .into_iter()
+        .map(|opt| {
+            let pairs = settings_enabling(opt)
+                .into_iter()
+                .map(|cfg| (cfg.index(), cfg.without(opt).index()))
+                .collect();
+            (opt, pairs)
+        })
+        .collect()
+}
+
+/// One (pair, chip)'s mean log ratio per optimisation, from that chip's
+/// 96 per-configuration times.
+fn pair_opt_means(
+    times: &[gpp_sim::exec::RunStats],
+    probes: &[(Optimization, Vec<(usize, usize)>)],
+) -> Vec<f64> {
+    probes
+        .iter()
+        .map(|(_, idx)| {
+            let mut sum = 0.0;
+            for &(with, without) in idx {
+                sum += (times[with].time_ns / times[without].time_ns).ln();
+            }
+            sum / idx.len() as f64
+        })
+        .collect()
+}
+
+/// Runs a sweep of `chips` over the study applications and inputs.
+///
+/// # Panics
+///
+/// Panics if `chips` is empty, any chip fails
+/// [`ChipProfile::validate`], or (with `config.validate`) an application
+/// produces an incorrect result.
+pub fn run_sweep(config: &SweepConfig, chips: &[ChipProfile]) -> ChipSweep {
+    run_sweep_cached(config, chips, None)
+}
+
+/// [`run_sweep`] with a persistent [`TraceCache`], sharing traces with
+/// `gpp study --trace-cache` runs at the same scale and seed. The sweep
+/// is byte-identical with or without a cache.
+///
+/// # Panics
+///
+/// Panics as [`run_sweep`] does.
+pub fn run_sweep_cached(
+    config: &SweepConfig,
+    chips: &[ChipProfile],
+    cache: Option<&TraceCache>,
+) -> ChipSweep {
+    assert!(!chips.is_empty(), "need at least one chip to sweep");
+    let inputs = study_inputs(config.scale, config.seed);
+    let apps = all_applications();
+    let threads = crate::par::effective_threads(config.threads);
+
+    // Geometry families; a representative machine per family is enough
+    // to precompile every aggregation either replay path will touch.
+    let batches = ChipBatch::partition(chips);
+    let reps: Vec<Machine> = batches
+        .iter()
+        .map(|b| Machine::new(b.chips()[0].clone()))
+        .collect();
+
+    // Phase 1: one trace per (input, application) pair, input-major —
+    // the same arena the study replays, loaded from the cache when one
+    // is supplied.
+    let pairs: Vec<(usize, usize)> = (0..inputs.len())
+        .flat_map(|i| (0..apps.len()).map(move |a| (i, a)))
+        .collect();
+    let traces: Vec<CompiledTrace> = par_map(&pairs, threads, |_, &(i, a)| {
+        let (input, app) = (&inputs[i], &apps[a]);
+        let cached = cache.and_then(|c| c.load(app.name(), input, config.scale, config.seed));
+        let trace = match cached {
+            Some(trace) => trace,
+            None => {
+                let mut recorder = Recorder::new();
+                let output = app.run(&input.graph, &mut recorder);
+                if config.validate {
+                    if let Err(e) = validate(&input.graph, &output) {
+                        panic!("{} on {}: {e}", app.name(), input.name);
+                    }
+                }
+                let trace = recorder.into_trace();
+                if let Some(c) = cache {
+                    c.store(app.name(), input, config.scale, config.seed, &trace);
+                }
+                trace
+            }
+        };
+        let compiled = CompiledTrace::new(trace);
+        compiled.precompile_all(&reps);
+        compiled
+    });
+
+    // Phase 2: price each (pair, batch) task — every chip in the batch
+    // in one traversal per geometry, or one chip at a time when
+    // `per_chip` asks for the oracle path. Both paths produce
+    // bit-identical times, and the fold below runs in the same task
+    // order either way, so the two sweeps serialise byte-identically.
+    let probes = opt_probes();
+    let tasks: Vec<(usize, usize)> = (0..pairs.len())
+        .flat_map(|p| (0..batches.len()).map(move |b| (p, b)))
+        .collect();
+    let priced: Vec<Vec<Vec<f64>>> = par_map(&tasks, threads, |_, &(p, b)| {
+        let batch = &batches[b];
+        if config.per_chip {
+            batch
+                .chips()
+                .iter()
+                .map(|chip| {
+                    let stats = traces[p].replay_all_configs(&Machine::new(chip.clone()));
+                    pair_opt_means(&stats, &probes)
+                })
+                .collect()
+        } else {
+            traces[p]
+                .replay_all_configs_many_chips(batch)
+                .iter()
+                .map(|stats| pair_opt_means(stats, &probes))
+                .collect()
+        }
+    });
+
+    // Scatter batch-local rows back to input chip order and average over
+    // pairs (task order is pair-major, so each chip's fold visits pairs
+    // in ascending order regardless of thread count).
+    let n_opts = probes.len();
+    let mut log_ratios = vec![vec![0.0f64; n_opts]; chips.len()];
+    for (&(_, b), rows) in tasks.iter().zip(&priced) {
+        for (&chip_idx, row) in batches[b].source_indices().iter().zip(rows) {
+            for (acc, &v) in log_ratios[chip_idx].iter_mut().zip(row) {
+                *acc += v;
+            }
+        }
+    }
+    let n_pairs = pairs.len() as f64;
+    for row in &mut log_ratios {
+        for v in row.iter_mut() {
+            *v /= n_pairs;
+        }
+    }
+
+    let win_fraction = (0..n_opts)
+        .map(|k| {
+            let wins = log_ratios.iter().filter(|row| row[k] < 0.0).count();
+            wins as f64 / chips.len() as f64
+        })
+        .collect();
+
+    ChipSweep {
+        chips: chips.iter().map(|c| c.name.clone()).collect(),
+        opts: probes.iter().map(|(o, _)| o.name().to_owned()).collect(),
+        log_ratios,
+        win_fraction,
+        pairs: pairs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_sim::chip::{latin_hypercube_chips, study_chips};
+
+    fn sweep_chips() -> Vec<ChipProfile> {
+        let mut chips = study_chips();
+        chips.extend(latin_hypercube_chips(6, 7));
+        chips
+    }
+
+    #[test]
+    fn sweep_has_full_shape_and_finite_ratios() {
+        let chips = sweep_chips();
+        let sweep = run_sweep(&SweepConfig::tiny(), &chips);
+        assert_eq!(sweep.chips.len(), chips.len());
+        assert_eq!(sweep.opts.len(), Optimization::ALL.len());
+        assert_eq!(sweep.pairs, 17 * 3);
+        assert_eq!(sweep.log_ratios.len(), chips.len());
+        for row in &sweep.log_ratios {
+            assert_eq!(row.len(), sweep.opts.len());
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+        assert!(sweep
+            .win_fraction
+            .iter()
+            .all(|&f| (0.0..=1.0).contains(&f)));
+    }
+
+    #[test]
+    fn batched_sweep_is_byte_identical_to_per_chip_oracle() {
+        let chips = sweep_chips();
+        let cfg = SweepConfig::tiny();
+        let batched = run_sweep(&cfg, &chips);
+        let oracle = run_sweep(
+            &SweepConfig {
+                per_chip: true,
+                threads: 4,
+                ..cfg
+            },
+            &chips,
+        );
+        assert_eq!(batched, oracle);
+        assert_eq!(
+            serde_json::to_string(&batched).unwrap(),
+            serde_json::to_string(&oracle).unwrap()
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let chips = study_chips();
+        let a = run_sweep(&SweepConfig::tiny(), &chips);
+        let b = run_sweep(
+            &SweepConfig {
+                threads: 3,
+                ..SweepConfig::tiny()
+            },
+            &chips,
+        );
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn oitergb_wins_on_launch_heavy_chips() {
+        // The sweep must reproduce the paper's central mechanism: on
+        // MALI (huge launch cost, tiny occupancy) iteration outlining
+        // wins; its mean log ratio is negative.
+        let chips = study_chips();
+        let sweep = run_sweep(&SweepConfig::tiny(), &chips);
+        let mali = sweep.chips.iter().position(|c| c == "MALI").unwrap();
+        let oitergb = sweep.opts.iter().position(|o| o == "oitergb").unwrap();
+        assert!(
+            sweep.log_ratios[mali][oitergb] < 0.0,
+            "oitergb on MALI: {}",
+            sweep.log_ratios[mali][oitergb]
+        );
+    }
+}

@@ -36,8 +36,8 @@ use gpp_graph::generators;
 use gpp_irgl::bytecode::{CompiledProgram, KernelVm};
 use gpp_irgl::{interp, programs};
 use gpp_obs::{MemorySink, NullSink, Tracer};
-use gpp_sim::chip::study_chips;
-use gpp_sim::exec::{CallAggregates, Machine};
+use gpp_sim::chip::{latin_hypercube_chips, study_chips, ChipBatch};
+use gpp_sim::exec::{CallAggregates, Machine, RunStats};
 use gpp_sim::opts::all_configs;
 use gpp_sim::trace::{geometry_groups, CompiledTrace, Recorder};
 
@@ -145,6 +145,57 @@ fn bench_analysis_pipeline(c: &mut Criterion) {
     });
     group.bench_function("sensitivity_parallel", |b| {
         b.iter(|| subsample_sensitivity_par(&ds, &[0.5], 2, 7, threads, &disabled))
+    });
+    group.finish();
+}
+
+fn bench_chip_sweep(c: &mut Criterion) {
+    // Pricing a synthetic chip cloud against one compiled trace: the
+    // per-chip oracle loop vs the chip-major batched traversal. Both
+    // produce bit-identical times; only the walk count differs.
+    let inputs = study_inputs(StudyScale::Tiny, 0x9a7e_2019);
+    let apps = all_applications();
+    let mut rec = Recorder::new();
+    apps[0].run(&inputs[0].graph, &mut rec);
+    let compiled = CompiledTrace::new(rec.into_trace());
+    let cloud = latin_hypercube_chips(96, 0x9a7e_2019);
+    let batches = ChipBatch::partition(&cloud);
+    let reps: Vec<Machine> = batches
+        .iter()
+        .map(|b| Machine::new(b.chips()[0].clone()))
+        .collect();
+    compiled.precompile_all(&reps);
+
+    let mut group = c.benchmark_group("chip_sweep");
+    group.sample_size(10);
+    group.bench_function("per_chip_loop", |b| {
+        b.iter(|| {
+            cloud
+                .iter()
+                .map(|chip| {
+                    compiled
+                        .replay_all_configs(&Machine::new(chip.clone()))
+                        .iter()
+                        .map(|s| s.time_ns)
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("chip_major_batched", |b| {
+        b.iter(|| {
+            batches
+                .iter()
+                .map(|batch| {
+                    compiled
+                        .replay_all_configs_many_chips(batch)
+                        .iter()
+                        .flatten()
+                        .map(|s| s.time_ns)
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+        })
     });
     group.finish();
 }
@@ -292,8 +343,8 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
     // of them, the reference builder once per geometry.
     let mut geometries: Vec<(u32, u32)> = Vec::new();
     for chip in study_chips() {
-        for (wg, _) in geometry_groups(&chip) {
-            let g = (wg, chip.subgroup_size);
+        for (wg, _) in geometry_groups(&chip).iter() {
+            let g = (*wg, chip.subgroup_size);
             if !geometries.contains(&g) {
                 geometries.push(g);
             }
@@ -375,6 +426,48 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         .sum();
     let cache_identical = cold == parallel && warm == parallel;
 
+    // Chip-major batched pricing: a 1,000-chip latin-hypercube cloud
+    // against one compiled trace (tiny scale, so the number isolates the
+    // traversal structure, not the input size) — the per-chip oracle
+    // loop vs one chip-major traversal per geometry family. The times
+    // must agree bit for bit; the speedup is the headline number of the
+    // `gpp sweep` fast path.
+    let sweep_inputs = study_inputs(StudyScale::Tiny, cfg.seed);
+    let sweep_trace = {
+        let mut rec = Recorder::new();
+        all_applications()[0].run(&sweep_inputs[0].graph, &mut rec);
+        CompiledTrace::new(rec.into_trace())
+    };
+    let cloud = latin_hypercube_chips(1_000, 0x9a7e_2019);
+    let cloud_batches = ChipBatch::partition(&cloud);
+    let reps: Vec<Machine> = cloud_batches
+        .iter()
+        .map(|b| Machine::new(b.chips()[0].clone()))
+        .collect();
+    sweep_trace.precompile_all(&reps);
+    let t = Instant::now();
+    let cloud_per_chip: Vec<Vec<RunStats>> = cloud
+        .iter()
+        .map(|chip| sweep_trace.replay_all_configs(&Machine::new(chip.clone())))
+        .collect();
+    let chip_sweep_per_chip_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut cloud_batched: Vec<Vec<RunStats>> = vec![Vec::new(); cloud.len()];
+    for batch in &cloud_batches {
+        let priced = sweep_trace.replay_all_configs_many_chips(batch);
+        for (&idx, stats) in batch.source_indices().iter().zip(priced) {
+            cloud_batched[idx] = stats;
+        }
+    }
+    let chip_sweep_batched_seconds = t.elapsed().as_secs_f64();
+    let chip_batch_identical = cloud_per_chip.iter().zip(&cloud_batched).all(|(a, b)| {
+        a.iter()
+            .zip(b)
+            .all(|(x, y)| x.time_ns.to_bits() == y.time_ns.to_bits())
+    });
+    let chip_sweep_chips_per_second = cloud.len() as f64 / chip_sweep_batched_seconds;
+    let chip_batch_speedup = chip_sweep_per_chip_seconds / chip_sweep_batched_seconds;
+
     let baseline = serde_json::json!({
         "bench": "study_grid",
         "scale": scale,
@@ -404,7 +497,14 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         "trace_cache_cold_seconds": trace_cache_cold_seconds,
         "trace_cache_hit_seconds": trace_cache_hit_seconds,
         "trace_cache_identical_to_uncached": cache_identical,
-        "regenerate": "cargo bench --bench study_grid",
+        "chip_sweep_chips": cloud.len(),
+        "chip_sweep_geometry_families": cloud_batches.len(),
+        "chip_sweep_per_chip_seconds": chip_sweep_per_chip_seconds,
+        "chip_sweep_batched_seconds": chip_sweep_batched_seconds,
+        "chip_sweep_chips_per_second": chip_sweep_chips_per_second,
+        "chip_batch_speedup": chip_batch_speedup,
+        "chip_batch_identical_to_per_chip": chip_batch_identical,
+        "regenerate": "cargo bench --bench study_grid (criterion groups: study_grid, cell_pricing_96_configs, study_tracing_overhead, analysis_pipeline, chip_sweep, interp_vs_bytecode; then writes this baseline)",
     });
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).expect("create baseline directory");
@@ -433,6 +533,15 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         cache_identical,
         "cached datasets must equal the uncached dataset"
     );
+    assert!(
+        chip_batch_identical,
+        "chip-major batched pricing must be bit-identical to the per-chip loop"
+    );
+    eprintln!(
+        "[chip sweep: {} chips in {} families, per-chip {chip_sweep_per_chip_seconds:.2}s, batched {chip_sweep_batched_seconds:.2}s, {chip_batch_speedup:.1}x, {chip_sweep_chips_per_second:.0} chips/s]",
+        cloud.len(),
+        cloud_batches.len()
+    );
 }
 
 criterion_group! {
@@ -441,7 +550,7 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(5));
     targets = bench_study_grid, bench_cell_pricing, bench_tracing_overhead,
-        bench_analysis_pipeline, bench_interp_vs_bytecode
+        bench_analysis_pipeline, bench_chip_sweep, bench_interp_vs_bytecode
 }
 
 fn main() {

@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use gpp_apps::cache::TraceCache;
 use gpp_apps::study::{run_study, run_study_cached, Dataset, StudyConfig};
+use gpp_apps::sweep::{run_sweep_cached, SweepConfig};
 use gpp_apps::StudyScale;
 use gpp_core::analysis::{DatasetStats, Decision};
 use gpp_core::report::{percent, ratio, Table};
@@ -18,7 +19,7 @@ use gpp_core::{
 use gpp_graph::{io as graph_io, properties};
 use gpp_irgl::{codegen, interp, parser, programs, transform};
 use gpp_obs::{CostBreakdown, FileSink, MemorySink, TeeSink, TraceSummary, Tracer};
-use gpp_sim::chip::{study_chip, study_chips, ChipProfile};
+use gpp_sim::chip::{latin_hypercube_chips, study_chip, study_chips, ChipProfile};
 use gpp_sim::exec::Machine;
 use gpp_sim::memmodel::chip_support;
 use gpp_sim::microbench::{m_divg, sg_cmb, utilisation, LAUNCHES, M_DIVG_ROUNDS, SG_CMB_N};
@@ -49,6 +50,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         "compile" => compile_cmd(args, out),
         "run-dsl" => run_dsl(args, out),
         "sensitivity" => sensitivity_cmd(args, out),
+        "sweep" => sweep_cmd(args, out),
         "predict" => predict_cmd(args, out),
         "export-csv" => export_csv(args, out),
         "export-chips" => export_chips(args, out),
@@ -81,6 +83,7 @@ fn help(out: &mut dyn Write) -> Result<(), String> {
          compile FILE [--opts OPTS]  compile a .irgl source file and print its OpenCL\n  \
          run-dsl FILE [--input I] [--chip C] [--opts OPTS] [--ast]\n                              execute a .irgl program on a simulated chip; --ast\n                              forces the tree-walking interpreter instead of the\n                              bytecode VM (also: GPP_IRGL_AST=1)\n  \
          sensitivity [--data FILE] [--trials N] [--threads N]\n                              sample-size sensitivity sweep (Section IX-b)\n  \
+         sweep [--chips N] [--chips-file FILE] [--scale S] [--seed N] [--threads N] [--out FILE] [--emit-chips FILE] [--trace-cache DIR] [--per-chip] [--smoke]\n                              price a latin-hypercube chip cloud chip-major against the\n                              trace arena and invert the win/loss boundaries; --chips-file\n                              sweeps an explicit JSON chip list instead; --per-chip forces\n                              the chip-at-a-time oracle (byte-identical output, for CI);\n                              --smoke is a tiny-scale CI preset\n  \
          predict [--data FILE] [--probes K] [--threads N]\n                              leave-one-out predictive model (Section IX-b)\n  \
          export-csv [--data FILE] [--out FILE]\n                              dataset medians as CSV\n\n\
          --threads 0 (the default) resolves via GPP_STUDY_THREADS, then the\n\
@@ -652,6 +655,79 @@ fn export_csv(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     }
 }
 
+/// Parametric chip sweep: generate (or load) a chip cloud, price it
+/// chip-major against the trace arena, and invert the per-optimisation
+/// win/loss boundaries against the chip axes. The printed report and the
+/// `--out` JSON contain no timings or timestamps, so a batched run and a
+/// `--per-chip` oracle run produce byte-identical output — CI `cmp`s
+/// the two files.
+fn sweep_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let smoke = args.flag("smoke");
+    let scale = match args.opt("scale") {
+        Some(_) => parse_scale(args)?,
+        None if smoke => StudyScale::Tiny,
+        None => StudyScale::Small,
+    };
+    let cfg = SweepConfig {
+        scale,
+        seed: args.num("seed", SweepConfig::default().seed)?,
+        threads: args.num("threads", 0usize)?,
+        per_chip: args.flag("per-chip"),
+        ..SweepConfig::default()
+    };
+    let chips: Vec<ChipProfile> = match args.opt("chips-file") {
+        Some(file) => {
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let chips: Vec<ChipProfile> =
+                serde_json::from_str(&text).map_err(|e| format!("{file}: {e}"))?;
+            if chips.is_empty() {
+                return Err(format!("{file}: chip list is empty"));
+            }
+            for (i, chip) in chips.iter().enumerate() {
+                chip.validate()
+                    .map_err(|e| format!("{file}: chip {i}: {e}"))?;
+            }
+            chips
+        }
+        None => {
+            let n: usize = args.num("chips", if smoke { 32 } else { 512 })?;
+            if n < 2 {
+                return Err("--chips must be at least 2".into());
+            }
+            latin_hypercube_chips(n, cfg.seed)
+        }
+    };
+    if let Some(file) = args.opt("emit-chips") {
+        let text = serde_json::to_string_pretty(&chips).map_err(|e| e.to_string())?;
+        std::fs::write(file, text).map_err(|e| format!("{file}: {e}"))?;
+    }
+    let cache = match args.opt("trace-cache") {
+        None => None,
+        Some(dir) => Some(TraceCache::new(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?),
+    };
+    let sweep = run_sweep_cached(&cfg, &chips, cache.as_ref());
+    let report = gpp_core::invert_sweep(&chips, &sweep.opts, &sweep.log_ratios);
+    w(
+        out,
+        format!(
+            "swept {} chips x 96 configurations over {} (app, input) pairs",
+            sweep.chips.len(),
+            sweep.pairs
+        ),
+    )?;
+    w(out, gpp_core::sweep_table(&report))?;
+    if let Some(path) = args.opt("out") {
+        let json = serde_json::json!({ "sweep": &sweep, "report": &report });
+        let text = serde_json::to_string_pretty(&json).map_err(|e| e.to_string())?;
+        if let Some(dir) = Path::new(path).parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{path}: {e}"))?;
+        }
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        w(out, format!("saved to {path}"))?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -673,9 +749,100 @@ mod tests {
             "microbench",
             "codegen",
             "sensitivity",
+            "sweep",
         ] {
             assert!(text.contains(cmd), "missing {cmd}");
         }
+    }
+
+    #[test]
+    fn sweep_smoke_is_byte_identical_batched_and_per_chip() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let batched = dir.join("batched.json");
+        let oracle = dir.join("oracle.json");
+        let stdout_a = run_cmd(&format!(
+            "sweep --smoke --chips 4 --threads 2 --out {}",
+            batched.display()
+        ))
+        .unwrap();
+        let stdout_b = run_cmd(&format!(
+            "sweep --smoke --chips 4 --threads 2 --per-chip --out {}",
+            oracle.display()
+        ))
+        .unwrap();
+        assert!(stdout_a.contains("swept 4 chips"));
+        assert_eq!(stdout_a, stdout_b);
+        let a = std::fs::read(&batched).unwrap();
+        let b = std::fs::read(&oracle).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "batched and per-chip sweep outputs must match");
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.contains("log_ratios"));
+        assert!(text.contains("top_axes"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_accepts_an_explicit_chips_file() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-sweep-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("chips.json");
+        std::fs::write(
+            &file,
+            serde_json::to_string_pretty(&study_chips()).unwrap(),
+        )
+        .unwrap();
+        let text = run_cmd(&format!(
+            "sweep --smoke --threads 2 --chips-file {}",
+            file.display()
+        ))
+        .unwrap();
+        assert!(text.contains("swept 6 chips"));
+        assert!(text.contains("oitergb"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_rejects_invalid_chips_file() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-sweep-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("bad.json");
+        let mut bad = study_chips();
+        bad[0].alu_cost = -1.0;
+        std::fs::write(&file, serde_json::to_string(&bad).unwrap()).unwrap();
+        let err = run_cmd(&format!("sweep --smoke --chips-file {}", file.display())).unwrap_err();
+        assert!(err.contains("chip 0"), "{err}");
+        assert!(err.contains("alu_cost"), "{err}");
+
+        std::fs::write(&file, "[]").unwrap();
+        let err = run_cmd(&format!("sweep --smoke --chips-file {}", file.display())).unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_emit_chips_round_trips() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-sweep-emit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("cloud.json");
+        run_cmd(&format!(
+            "sweep --smoke --chips 3 --threads 2 --emit-chips {}",
+            file.display()
+        ))
+        .unwrap();
+        let text = std::fs::read_to_string(&file).unwrap();
+        let cloud: Vec<ChipProfile> = serde_json::from_str(&text).unwrap();
+        assert_eq!(cloud.len(), 3);
+        assert!(cloud.iter().all(|c| c.validate().is_ok()));
+        // The emitted cloud feeds straight back through --chips-file.
+        let again = run_cmd(&format!(
+            "sweep --smoke --threads 2 --chips-file {}",
+            file.display()
+        ))
+        .unwrap();
+        assert!(again.contains("swept 3 chips"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

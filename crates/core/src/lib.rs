@@ -12,6 +12,8 @@
 //! - [`predict`] / [`sensitivity`] — the future-work studies (probe
 //!   prediction, sample-size sensitivity);
 //! - [`evaluation`] — Figures 1–4 and Tables II–IV/IX computations;
+//! - [`sweep`] — mechanism inversion over a parametric chip sweep:
+//!   per-optimisation win/loss boundaries against the chip axes;
 //!
 //! The expensive passes (`build_assignment`, `chip_function`,
 //! `leave_one_out`, `subsample_sensitivity`) all have `*_par` variants
@@ -48,6 +50,7 @@ pub mod report;
 pub mod sensitivity;
 pub mod stats;
 pub mod strategy;
+pub mod sweep;
 
 pub use analysis::{
     opts_for_partition, opts_for_partition_with, AnalysisScratch, DatasetStats, Decision,
@@ -69,3 +72,4 @@ pub use strategy::{
     build_assignment, build_assignment_par, chip_function, chip_function_on, chip_function_par,
     Assignment, PartitionKey, Strategy,
 };
+pub use sweep::{chip_features, invert_sweep, sweep_table, OptBoundary, SweepReport};

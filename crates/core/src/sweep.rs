@@ -1,0 +1,425 @@
+//! Mechanism inversion over a parametric chip sweep: which chip axes
+//! flip each optimisation from win to loss?
+//!
+//! Table VI of the paper explains the six study GPUs' flips by
+//! inspection; six points cannot separate correlated mechanisms. A
+//! [`gpp_apps::sweep`] run prices thousands of synthetic chips instead,
+//! and this module inverts that grid: for each optimisation it fits
+//!
+//! 1. a ridge least-squares model of the mean log runtime ratio against
+//!    the z-scored chip axes (continuous effect size), and
+//! 2. a logistic win/loss boundary (sign of the ratio) via iteratively
+//!    reweighted least squares,
+//!
+//! both on the same feature matrix ([`chip_features`]: cost axes in log
+//! space, geometry axes, and the two JIT/lockstep indicators). The
+//! logistic coefficients rank the axes by how strongly they drive the
+//! sign flip; the report lists the top axes per optimisation. Every fit
+//! is a fixed-iteration, fixed-order floating-point computation — the
+//! report is a pure function of its inputs.
+
+use gpp_sim::chip::ChipProfile;
+use serde::{Deserialize, Serialize};
+
+use crate::report::Table;
+
+/// Names of the chip feature axes, in [`chip_features`] order.
+pub const FEATURE_NAMES: [&str; 16] = [
+    "ln alu_cost",
+    "ln global_mem_cost",
+    "divergence_penalty",
+    "barrier_divergence_relief",
+    "ln local_mem_cost",
+    "ln atomic_rmw_cost",
+    "ln atomic_uncontended_cost",
+    "ln sg_collective_cost",
+    "ln wg_barrier_cost",
+    "sg_barrier_cost",
+    "ln global_barrier_cost_per_wg",
+    "ln launch+copy_cost",
+    "ln subgroup_size",
+    "ln max_threads_per_cu",
+    "ln occupancy (cus*threads)",
+    "jit_subgroup_combining",
+];
+
+/// The feature vector of one chip: cost axes in natural-log space (they
+/// were generated log-uniformly), linear axes as-is, booleans as 0/1.
+pub fn chip_features(chip: &ChipProfile) -> Vec<f64> {
+    vec![
+        chip.alu_cost.ln(),
+        chip.global_mem_cost.ln(),
+        chip.divergence_penalty,
+        chip.barrier_divergence_relief,
+        chip.local_mem_cost.ln(),
+        chip.atomic_rmw_cost.ln(),
+        chip.atomic_uncontended_cost.ln(),
+        chip.sg_collective_cost.ln(),
+        chip.wg_barrier_cost.ln(),
+        chip.sg_barrier_cost,
+        chip.global_barrier_cost_per_wg.ln(),
+        (chip.kernel_launch_cost + chip.host_copy_cost).ln(),
+        f64::from(chip.subgroup_size.max(1)).ln(),
+        f64::from(chip.max_threads_per_cu).ln(),
+        (f64::from(chip.num_cus) * f64::from(chip.throughput_threads)).ln(),
+        f64::from(u8::from(chip.jit_subgroup_combining)),
+    ]
+}
+
+/// The fitted win/loss boundary of one optimisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptBoundary {
+    /// Optimisation name.
+    pub opt: String,
+    /// Fraction of swept chips where the optimisation wins.
+    pub win_rate: f64,
+    /// Mean log runtime ratio over all swept chips (negative = wins on
+    /// the average chip).
+    pub mean_log_ratio: f64,
+    /// Ridge least-squares coefficients on the z-scored axes
+    /// ([`FEATURE_NAMES`] order).
+    pub ls_coefs: Vec<f64>,
+    /// Least-squares intercept.
+    pub ls_intercept: f64,
+    /// Coefficient of determination of the least-squares fit.
+    pub r2: f64,
+    /// Logistic (win = 1) coefficients on the z-scored axes.
+    pub logit_coefs: Vec<f64>,
+    /// Logistic intercept.
+    pub logit_intercept: f64,
+    /// Training accuracy of the logistic boundary.
+    pub accuracy: f64,
+    /// The axes that most strongly drive the sign flip, strongest
+    /// first (by absolute logistic coefficient).
+    pub top_axes: Vec<String>,
+}
+
+/// The full inversion report over a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Feature axis names, in coefficient order.
+    pub features: Vec<String>,
+    /// Number of chips the fits were trained on.
+    pub chips: usize,
+    /// One fitted boundary per optimisation, in sweep order.
+    pub boundaries: Vec<OptBoundary>,
+}
+
+/// Solves `a x = b` (dense, square) by Gaussian elimination with
+/// partial pivoting. `a` is row-major and consumed.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty system");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        assert!(
+            diag.abs() > 1e-12,
+            "singular system despite ridge term (column {col})"
+        );
+        for row in col + 1..n {
+            let f = a[row][col] / diag;
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    x
+}
+
+/// Ridge least squares of `y` against `x` (rows = chips, first column is
+/// the intercept). Returns the coefficient vector.
+fn ridge_ls(x: &[Vec<f64>], y: &[f64], lambda: f64) -> Vec<f64> {
+    let d = x[0].len();
+    let mut xtx = vec![vec![0.0; d]; d];
+    let mut xty = vec![0.0; d];
+    for (row, &yi) in x.iter().zip(y) {
+        for i in 0..d {
+            for j in 0..d {
+                xtx[i][j] += row[i] * row[j];
+            }
+            xty[i] += row[i] * yi;
+        }
+    }
+    for (i, row) in xtx.iter_mut().enumerate() {
+        row[i] += lambda;
+    }
+    solve(xtx, xty)
+}
+
+/// Logistic regression of binary `y` against `x` by IRLS with a ridge
+/// term — a fixed 25 iterations, so the result is deterministic even
+/// when the classes are separable.
+fn logistic_irls(x: &[Vec<f64>], y: &[f64], lambda: f64) -> Vec<f64> {
+    let d = x[0].len();
+    let mut beta = vec![0.0; d];
+    for _ in 0..25 {
+        let mut xtwx = vec![vec![0.0; d]; d];
+        let mut xtwz = vec![0.0; d];
+        for (row, &yi) in x.iter().zip(y) {
+            let eta: f64 = row
+                .iter()
+                .zip(&beta)
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+                .clamp(-30.0, 30.0);
+            let p = 1.0 / (1.0 + (-eta).exp());
+            let w = (p * (1.0 - p)).max(1e-6);
+            let z = eta + (yi - p) / w;
+            for i in 0..d {
+                for j in 0..d {
+                    xtwx[i][j] += w * row[i] * row[j];
+                }
+                xtwz[i] += w * row[i] * z;
+            }
+        }
+        for (i, row) in xtwx.iter_mut().enumerate() {
+            row[i] += lambda;
+        }
+        beta = solve(xtwx, xtwz);
+    }
+    beta
+}
+
+/// Inverts a sweep: fits per-optimisation win/loss boundaries against
+/// the chip axes. `log_ratios[chip][opt]` is
+/// [`gpp_apps::sweep::ChipSweep::log_ratios`]; `chips` must be the
+/// profiles the sweep priced, in the same order.
+///
+/// # Panics
+///
+/// Panics if the dimensions disagree or fewer than two chips are given
+/// (a boundary needs at least two points).
+pub fn invert_sweep(chips: &[ChipProfile], opts: &[String], log_ratios: &[Vec<f64>]) -> SweepReport {
+    assert!(chips.len() >= 2, "need at least two chips to fit a boundary");
+    assert_eq!(chips.len(), log_ratios.len(), "one ratio row per chip");
+    for row in log_ratios {
+        assert_eq!(row.len(), opts.len(), "one ratio per optimisation");
+    }
+
+    // z-score the raw features; constant columns (e.g. every chip has
+    // JIT combining) get unit scale so their coefficient is simply 0.
+    let raw: Vec<Vec<f64>> = chips.iter().map(chip_features).collect();
+    let d = FEATURE_NAMES.len();
+    let n = chips.len() as f64;
+    let mut mean = vec![0.0; d];
+    for row in &raw {
+        for (m, v) in mean.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut sd = vec![0.0; d];
+    for row in &raw {
+        for ((s, v), m) in sd.iter_mut().zip(row).zip(&mean) {
+            *s += (v - m) * (v - m);
+        }
+    }
+    for s in &mut sd {
+        *s = (*s / n).sqrt();
+        if *s == 0.0 {
+            *s = 1.0;
+        }
+    }
+    // Design matrix with a leading intercept column.
+    let x: Vec<Vec<f64>> = raw
+        .iter()
+        .map(|row| {
+            std::iter::once(1.0)
+                .chain(
+                    row.iter()
+                        .zip(&mean)
+                        .zip(&sd)
+                        .map(|((v, m), s)| (v - m) / s),
+                )
+                .collect()
+        })
+        .collect();
+
+    let boundaries = opts
+        .iter()
+        .enumerate()
+        .map(|(k, opt)| {
+            let y_ls: Vec<f64> = log_ratios.iter().map(|row| row[k]).collect();
+            let y_bin: Vec<f64> = y_ls.iter().map(|&v| f64::from(u8::from(v < 0.0))).collect();
+            let wins = y_bin.iter().sum::<f64>();
+            let mean_y = y_ls.iter().sum::<f64>() / n;
+
+            let ls = ridge_ls(&x, &y_ls, 1e-6);
+            let sst: f64 = y_ls.iter().map(|v| (v - mean_y) * (v - mean_y)).sum();
+            let ssr: f64 = x
+                .iter()
+                .zip(&y_ls)
+                .map(|(row, &yi)| {
+                    let pred: f64 = row.iter().zip(&ls).map(|(a, b)| a * b).sum();
+                    (yi - pred) * (yi - pred)
+                })
+                .sum();
+            let r2 = if sst > 0.0 { 1.0 - ssr / sst } else { 0.0 };
+
+            let logit = logistic_irls(&x, &y_bin, 1e-3);
+            let correct = x
+                .iter()
+                .zip(&y_bin)
+                .filter(|(row, &yi)| {
+                    let eta: f64 = row.iter().zip(&logit).map(|(a, b)| a * b).sum();
+                    (eta > 0.0) == (yi > 0.5)
+                })
+                .count();
+
+            let mut order: Vec<usize> = (0..d).collect();
+            order.sort_by(|&a, &b| {
+                logit[b + 1]
+                    .abs()
+                    .total_cmp(&logit[a + 1].abs())
+                    .then(a.cmp(&b))
+            });
+            let top_axes = order
+                .iter()
+                .take(3)
+                .map(|&i| FEATURE_NAMES[i].to_owned())
+                .collect();
+
+            OptBoundary {
+                opt: opt.clone(),
+                win_rate: wins / n,
+                mean_log_ratio: mean_y,
+                ls_coefs: ls[1..].to_vec(),
+                ls_intercept: ls[0],
+                r2,
+                logit_coefs: logit[1..].to_vec(),
+                logit_intercept: logit[0],
+                accuracy: correct as f64 / n,
+                top_axes,
+            }
+        })
+        .collect();
+
+    SweepReport {
+        features: FEATURE_NAMES.iter().map(|&s| s.to_owned()).collect(),
+        chips: chips.len(),
+        boundaries,
+    }
+}
+
+/// Renders an inversion report as a plain-text table: one row per
+/// optimisation with its win rate, mean effect, fit quality, and the
+/// axes that drive its sign flip.
+pub fn sweep_table(report: &SweepReport) -> Table {
+    let mut table = Table::new(["opt", "win%", "mean ln ratio", "r2", "acc", "top axes"]);
+    for b in &report.boundaries {
+        table.row([
+            b.opt.clone(),
+            format!("{:.1}", b.win_rate * 100.0),
+            format!("{:+.4}", b.mean_log_ratio),
+            format!("{:.3}", b.r2),
+            format!("{:.3}", b.accuracy),
+            b.top_axes.join(", "),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_sim::chip::{latin_hypercube_chips, study_chips};
+
+    /// A synthetic sweep whose sign structure is known exactly: opt 0
+    /// wins iff ln(launch+copy) is above its mean, opt 1 always loses.
+    fn synthetic(chips: &[ChipProfile]) -> (Vec<String>, Vec<Vec<f64>>) {
+        let launch: Vec<f64> = chips
+            .iter()
+            .map(|c| (c.kernel_launch_cost + c.host_copy_cost).ln())
+            .collect();
+        let mid = launch.iter().sum::<f64>() / launch.len() as f64;
+        let ratios = launch
+            .iter()
+            .map(|&l| vec![mid - l, 0.25])
+            .collect();
+        (vec!["oitergb".into(), "wg".into()], ratios)
+    }
+
+    #[test]
+    fn inversion_recovers_a_planted_axis() {
+        let chips = latin_hypercube_chips(64, 11);
+        let (opts, ratios) = synthetic(&chips);
+        let report = invert_sweep(&chips, &opts, &ratios);
+        assert_eq!(report.chips, 64);
+        assert_eq!(report.boundaries.len(), 2);
+
+        let b = &report.boundaries[0];
+        assert!(b.win_rate > 0.2 && b.win_rate < 0.8);
+        // The planted axis dominates both fits.
+        assert_eq!(b.top_axes[0], "ln launch+copy_cost");
+        assert!(b.r2 > 0.95, "r2 = {}", b.r2);
+        assert!(b.accuracy > 0.9, "accuracy = {}", b.accuracy);
+
+        // An optimisation that always loses: win rate 0, trivially
+        // perfect boundary, flat least-squares fit.
+        let never = &report.boundaries[1];
+        assert_eq!(never.win_rate, 0.0);
+        assert_eq!(never.accuracy, 1.0);
+        assert!(never.mean_log_ratio > 0.0);
+    }
+
+    #[test]
+    fn inversion_is_deterministic() {
+        let chips = latin_hypercube_chips(32, 3);
+        let (opts, ratios) = synthetic(&chips);
+        let a = invert_sweep(&chips, &opts, &ratios);
+        let b = invert_sweep(&chips, &opts, &ratios);
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn constant_feature_columns_are_harmless() {
+        // The six study chips share several axis values; z-scoring must
+        // not divide by zero and coefficients must stay finite.
+        let chips = study_chips();
+        let (opts, ratios) = synthetic(&chips);
+        let report = invert_sweep(&chips, &opts, &ratios);
+        for b in &report.boundaries {
+            assert!(b.ls_coefs.iter().all(|v| v.is_finite()));
+            assert!(b.logit_coefs.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn table_renders_one_row_per_opt() {
+        let chips = latin_hypercube_chips(16, 5);
+        let (opts, ratios) = synthetic(&chips);
+        let report = invert_sweep(&chips, &opts, &ratios);
+        let table = sweep_table(&report);
+        assert_eq!(table.len(), 2);
+        assert!(table.render().contains("oitergb"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two chips")]
+    fn single_chip_sweep_rejected() {
+        let chips = study_chips();
+        invert_sweep(&chips[..1], &["wg".into()], &[vec![0.1]]);
+    }
+}

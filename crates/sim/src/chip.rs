@@ -370,6 +370,143 @@ impl ChipProfile {
             self.divergence_penalty
         }
     }
+
+    /// Checks the profile for parameters that would poison pricing:
+    /// zero geometry (`num_cus`, `subgroup_size`, occupancy limits),
+    /// non-finite or non-positive costs, a divergence penalty below 1, or
+    /// a barrier relief fraction outside `[0, 1]`. Every synthetic chip —
+    /// interpolated, latin-hypercube-sampled, or loaded from a
+    /// `--chips-file` JSON — goes through this before anything is priced,
+    /// so a NaN or negative cost can never silently corrupt a sweep.
+    ///
+    /// `sg_barrier_cost` alone may be exactly zero: subgroup barriers are
+    /// free on lockstep hardware (all the Nvidia/AMD study chips).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_cus == 0 {
+            return Err("chip must have at least one CU".into());
+        }
+        if self.subgroup_size == 0 {
+            return Err("subgroup size must be at least 1".into());
+        }
+        if !(self.divergence_penalty.is_finite() && self.divergence_penalty >= 1.0) {
+            return Err("divergence penalty must be >= 1".into());
+        }
+        if !(self.barrier_divergence_relief.is_finite()
+            && (0.0..=1.0).contains(&self.barrier_divergence_relief))
+        {
+            return Err("barrier divergence relief must be in [0, 1]".into());
+        }
+        if self.max_threads_per_cu < 128 {
+            return Err("chips must support 128-thread workgroups".into());
+        }
+        if self.max_wgs_per_cu == 0 {
+            return Err("max_wgs_per_cu must be at least 1".into());
+        }
+        if self.throughput_threads == 0 {
+            return Err("throughput_threads must be at least 1".into());
+        }
+        let positive = [
+            ("alu_cost", self.alu_cost),
+            ("global_mem_cost", self.global_mem_cost),
+            ("local_mem_cost", self.local_mem_cost),
+            ("atomic_rmw_cost", self.atomic_rmw_cost),
+            ("atomic_uncontended_cost", self.atomic_uncontended_cost),
+            ("sg_collective_cost", self.sg_collective_cost),
+            ("wg_barrier_cost", self.wg_barrier_cost),
+            ("global_barrier_cost_per_wg", self.global_barrier_cost_per_wg),
+            ("kernel_launch_cost", self.kernel_launch_cost),
+            ("host_copy_cost", self.host_copy_cost),
+            ("kernel_fixed_cost", self.kernel_fixed_cost),
+        ];
+        for (name, value) in positive {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(format!("{name} must be positive and finite (got {value})"));
+            }
+        }
+        if !(self.sg_barrier_cost.is_finite() && self.sg_barrier_cost >= 0.0) {
+            return Err(format!(
+                "sg_barrier_cost must be non-negative and finite (got {})",
+                self.sg_barrier_cost
+            ));
+        }
+        Ok(())
+    }
+
+    /// Linear interpolation between two chips at parameter `t ∈ [0, 1]`:
+    /// `t = 0` is `a`, `t = 1` is `b`. Continuous cost axes are lerped;
+    /// integer capacity axes (`num_cus`, `max_wgs_per_cu`,
+    /// `throughput_threads`) round the lerp; discrete mechanism switches
+    /// (`vendor`, `subgroup_size`, `max_threads_per_cu`,
+    /// `lockstep_subgroups`, `jit_subgroup_combining`) snap to the nearer
+    /// endpoint, because a "half-JIT-combining" chip or a fractional
+    /// subgroup width has no meaning in the cost model — and keeping
+    /// `subgroup_size`/`max_threads_per_cu` on endpoint values keeps
+    /// interpolated chips inside existing [`ChipBatch`] geometry families.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is outside `[0, 1]` or either endpoint fails
+    /// [`ChipProfile::validate`].
+    pub fn interpolate(a: &ChipProfile, b: &ChipProfile, t: f64) -> ChipProfile {
+        assert!(
+            t.is_finite() && (0.0..=1.0).contains(&t),
+            "interpolation parameter must be in [0, 1]"
+        );
+        let lerp = |x: f64, y: f64| x + (y - x) * t;
+        let lerp_u32 = |x: u32, y: u32| lerp(x as f64, y as f64).round() as u32;
+        let near_b = t >= 0.5;
+        let chip = ChipProfile {
+            name: format!("{}~{}@{t:.3}", a.name, b.name),
+            vendor: if near_b { b.vendor } else { a.vendor },
+            num_cus: lerp_u32(a.num_cus, b.num_cus).max(1),
+            subgroup_size: if near_b { b.subgroup_size } else { a.subgroup_size },
+            lockstep_subgroups: if near_b {
+                b.lockstep_subgroups
+            } else {
+                a.lockstep_subgroups
+            },
+            max_threads_per_cu: if near_b {
+                b.max_threads_per_cu
+            } else {
+                a.max_threads_per_cu
+            },
+            max_wgs_per_cu: lerp_u32(a.max_wgs_per_cu, b.max_wgs_per_cu).max(1),
+            throughput_threads: lerp_u32(a.throughput_threads, b.throughput_threads).max(1),
+            alu_cost: lerp(a.alu_cost, b.alu_cost),
+            global_mem_cost: lerp(a.global_mem_cost, b.global_mem_cost),
+            divergence_penalty: lerp(a.divergence_penalty, b.divergence_penalty),
+            barrier_divergence_relief: lerp(
+                a.barrier_divergence_relief,
+                b.barrier_divergence_relief,
+            ),
+            local_mem_cost: lerp(a.local_mem_cost, b.local_mem_cost),
+            atomic_rmw_cost: lerp(a.atomic_rmw_cost, b.atomic_rmw_cost),
+            atomic_uncontended_cost: lerp(a.atomic_uncontended_cost, b.atomic_uncontended_cost),
+            jit_subgroup_combining: if near_b {
+                b.jit_subgroup_combining
+            } else {
+                a.jit_subgroup_combining
+            },
+            sg_collective_cost: lerp(a.sg_collective_cost, b.sg_collective_cost),
+            wg_barrier_cost: lerp(a.wg_barrier_cost, b.wg_barrier_cost),
+            sg_barrier_cost: lerp(a.sg_barrier_cost, b.sg_barrier_cost),
+            global_barrier_cost_per_wg: lerp(
+                a.global_barrier_cost_per_wg,
+                b.global_barrier_cost_per_wg,
+            ),
+            kernel_launch_cost: lerp(a.kernel_launch_cost, b.kernel_launch_cost),
+            host_copy_cost: lerp(a.host_copy_cost, b.host_copy_cost),
+            kernel_fixed_cost: lerp(a.kernel_fixed_cost, b.kernel_fixed_cost),
+        };
+        if let Err(e) = chip.validate() {
+            panic!("interpolating valid chips must yield a valid chip: {e}");
+        }
+        chip
+    }
 }
 
 /// Non-consuming builder for custom [`ChipProfile`]s (see
@@ -441,26 +578,133 @@ impl ChipProfileBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is inconsistent (zero CUs, zero
-    /// subgroup size, divergence penalty below 1, or relief outside
-    /// `[0, 1]`).
+    /// Panics if the configuration fails [`ChipProfile::validate`]: zero
+    /// CUs, zero subgroup size, divergence penalty below 1, relief
+    /// outside `[0, 1]`, or any non-finite / non-positive cost parameter.
     pub fn build(self) -> ChipProfile {
-        let c = &self.chip;
-        assert!(c.num_cus > 0, "chip must have at least one CU");
-        assert!(c.subgroup_size > 0, "subgroup size must be at least 1");
-        assert!(
-            c.divergence_penalty >= 1.0,
-            "divergence penalty must be >= 1"
-        );
-        assert!(
-            (0.0..=1.0).contains(&c.barrier_divergence_relief),
-            "barrier divergence relief must be in [0, 1]"
-        );
-        assert!(
-            c.max_threads_per_cu >= 128,
-            "chips must support 128-thread workgroups"
-        );
+        if let Err(e) = self.chip.validate() {
+            panic!("{e}");
+        }
         self.chip
+    }
+}
+
+/// A group of chips sharing one *geometry family* — the same effective
+/// subgroup size and the same [`ChipProfile::max_workgroup_size`] — so
+/// that one walk of an aggregate table can price every chip in the group.
+///
+/// Frontier aggregation (how work items partition into
+/// workgroup/subgroup/serial classes) and the configuration grouping of
+/// `geometry_groups` depend only on those two values; chips agreeing on
+/// them share every per-row routing decision of the pricing pass and
+/// differ only in cost coefficients, which the chip-major evaluator keeps
+/// in struct-of-arrays form so its per-chip inner loop is branch-free.
+#[derive(Debug, Clone)]
+pub struct ChipBatch {
+    chips: Vec<ChipProfile>,
+    source: Vec<usize>,
+    sg_size: u32,
+    max_wg: u32,
+}
+
+impl ChipBatch {
+    /// Builds a batch from chips that already share a geometry family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is empty, any chip fails
+    /// [`ChipProfile::validate`], or the chips disagree on effective
+    /// subgroup size or maximum workgroup size (use
+    /// [`ChipBatch::partition`] for mixed sets).
+    pub fn new(chips: Vec<ChipProfile>) -> ChipBatch {
+        assert!(!chips.is_empty(), "a chip batch must contain at least one chip");
+        let key = Self::geometry_key(&chips[0]);
+        for chip in &chips {
+            if let Err(e) = chip.validate() {
+                panic!("chip {}: {e}", chip.name);
+            }
+            assert_eq!(
+                Self::geometry_key(chip),
+                key,
+                "chips in a batch must share subgroup size and maximum workgroup size"
+            );
+        }
+        let source = (0..chips.len()).collect();
+        ChipBatch {
+            chips,
+            source,
+            sg_size: key.0,
+            max_wg: key.1,
+        }
+    }
+
+    /// Partitions an arbitrary chip list into geometry-family batches,
+    /// preserving first-seen family order and input order within each
+    /// batch. [`ChipBatch::source_indices`] maps each batch entry back to
+    /// its index in `chips`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any chip fails [`ChipProfile::validate`].
+    pub fn partition(chips: &[ChipProfile]) -> Vec<ChipBatch> {
+        let mut batches: Vec<ChipBatch> = Vec::new();
+        for (i, chip) in chips.iter().enumerate() {
+            if let Err(e) = chip.validate() {
+                panic!("chip {}: {e}", chip.name);
+            }
+            let key = Self::geometry_key(chip);
+            match batches
+                .iter_mut()
+                .find(|b| (b.sg_size, b.max_wg) == key)
+            {
+                Some(batch) => {
+                    batch.chips.push(chip.clone());
+                    batch.source.push(i);
+                }
+                None => batches.push(ChipBatch {
+                    chips: vec![chip.clone()],
+                    source: vec![i],
+                    sg_size: key.0,
+                    max_wg: key.1,
+                }),
+            }
+        }
+        batches
+    }
+
+    fn geometry_key(chip: &ChipProfile) -> (u32, u32) {
+        (chip.subgroup_size.max(1), chip.max_workgroup_size())
+    }
+
+    /// The chips of the batch, in insertion order.
+    pub fn chips(&self) -> &[ChipProfile] {
+        &self.chips
+    }
+
+    /// For each batch entry, its index in the list
+    /// [`ChipBatch::partition`] was called with.
+    pub fn source_indices(&self) -> &[usize] {
+        &self.source
+    }
+
+    /// Effective subgroup size shared by every chip in the batch (≥ 1).
+    pub fn subgroup_size(&self) -> u32 {
+        self.sg_size
+    }
+
+    /// Maximum workgroup size shared by every chip in the batch.
+    pub fn max_workgroup_size(&self) -> u32 {
+        self.max_wg
+    }
+
+    /// Number of chips in the batch (always ≥ 1).
+    pub fn len(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Always false; provided for clippy's `len`/`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        self.chips.is_empty()
     }
 }
 
@@ -482,6 +726,110 @@ pub fn study_chip(name: &str) -> Option<ChipProfile> {
     study_chips()
         .into_iter()
         .find(|c| c.name.eq_ignore_ascii_case(name))
+}
+
+/// One stratified latin-hypercube column: a random permutation of the
+/// `n` strata, jittered uniformly within each stratum, all drawn from a
+/// dedicated fork of the parent stream so axes are independent.
+fn lhs_column(rng: &mut gpp_graph::rng::Rng64, stream: u64, n: usize) -> Vec<f64> {
+    let mut r = rng.fork(stream);
+    let mut strata: Vec<usize> = (0..n).collect();
+    r.shuffle(&mut strata);
+    strata
+        .into_iter()
+        .map(|s| (s as f64 + r.next_f64()) / n as f64)
+        .collect()
+}
+
+/// Deterministic latin-hypercube sample of `n` synthetic chips over the
+/// mechanism axes of the cost model. The same `(n, seed)` pair always
+/// yields the same cloud, independent of platform or thread count, so
+/// sweep outputs are reproducible end to end.
+///
+/// Continuous cost axes are stratified on a log scale spanning (and
+/// slightly widening) the range of the six study-chip calibrations, so
+/// the sweep can see a little beyond the observed hardware. The two
+/// geometry axes are *quantized*: `subgroup_size` is drawn from
+/// `{1, 8, 16, 32, 64}` and `max_threads_per_cu` from
+/// `{128, 256, 448, 1024, 2048, 2560}`. Continuous occupancy values in
+/// `(128, 256)` would each mint a fresh effective-workgroup-size family
+/// and shatter the cloud into singleton [`ChipBatch`]es; the quantized
+/// grid keeps any cloud within at most 10 geometry families.
+///
+/// Every generated profile passes [`ChipProfile::validate`].
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn latin_hypercube_chips(n: usize, seed: u64) -> Vec<ChipProfile> {
+    assert!(n > 0, "need at least one chip");
+    let mut rng = gpp_graph::rng::Rng64::new(seed ^ 0x6c68_735f_6368_6970); // "lhs_chip"
+    let log = |u: f64, lo: f64, hi: f64| (lo.ln() + (hi.ln() - lo.ln()) * u).exp();
+    let lin = |u: f64, lo: f64, hi: f64| lo + (hi - lo) * u;
+    let pick = |u: f64, k: usize| ((u * k as f64) as usize).min(k - 1);
+
+    let alu = lhs_column(&mut rng, 0, n);
+    let gmem = lhs_column(&mut rng, 1, n);
+    let penalty = lhs_column(&mut rng, 2, n);
+    let relief = lhs_column(&mut rng, 3, n);
+    let lmem = lhs_column(&mut rng, 4, n);
+    let rmw = lhs_column(&mut rng, 5, n);
+    let unc = lhs_column(&mut rng, 6, n);
+    let sgc = lhs_column(&mut rng, 7, n);
+    let wgb = lhs_column(&mut rng, 8, n);
+    let sgb = lhs_column(&mut rng, 9, n);
+    let gbpw = lhs_column(&mut rng, 10, n);
+    let launch = lhs_column(&mut rng, 11, n);
+    let copy = lhs_column(&mut rng, 12, n);
+    let fixed = lhs_column(&mut rng, 13, n);
+    let sg_size = lhs_column(&mut rng, 14, n);
+    let mtpc = lhs_column(&mut rng, 15, n);
+    let cus = lhs_column(&mut rng, 16, n);
+    let wgs_per_cu = lhs_column(&mut rng, 17, n);
+    let tthreads = lhs_column(&mut rng, 18, n);
+    let lockstep = lhs_column(&mut rng, 19, n);
+    let jit = lhs_column(&mut rng, 20, n);
+    let vendor = lhs_column(&mut rng, 21, n);
+
+    const SG_SIZES: [u32; 5] = [1, 8, 16, 32, 64];
+    const MTPC: [u32; 6] = [128, 256, 448, 1024, 2048, 2560];
+    const WGS_PER_CU: [u32; 5] = [2, 3, 4, 8, 16];
+    const TTHREADS: [u32; 6] = [256, 512, 1024, 2048, 4096, 6144];
+    const VENDORS: [Vendor; 4] = [Vendor::Nvidia, Vendor::Intel, Vendor::Amd, Vendor::Arm];
+
+    (0..n)
+        .map(|i| {
+            let chip = ChipProfile {
+                name: format!("LHS-{i:04}"),
+                vendor: VENDORS[pick(vendor[i], VENDORS.len())],
+                num_cus: lin(cus[i], 2.0, 64.0).round() as u32,
+                subgroup_size: SG_SIZES[pick(sg_size[i], SG_SIZES.len())],
+                lockstep_subgroups: lockstep[i] < 0.5,
+                max_threads_per_cu: MTPC[pick(mtpc[i], MTPC.len())],
+                max_wgs_per_cu: WGS_PER_CU[pick(wgs_per_cu[i], WGS_PER_CU.len())],
+                throughput_threads: TTHREADS[pick(tthreads[i], TTHREADS.len())],
+                alu_cost: log(alu[i], 0.5, 8.0),
+                global_mem_cost: log(gmem[i], 6.0, 64.0),
+                divergence_penalty: lin(penalty[i], 1.2, 8.5),
+                barrier_divergence_relief: lin(relief[i], 0.10, 0.97),
+                local_mem_cost: log(lmem[i], 1.0, 55.0),
+                atomic_rmw_cost: log(rmw[i], 20.0, 230.0),
+                atomic_uncontended_cost: log(unc[i], 5.0, 60.0),
+                jit_subgroup_combining: jit[i] < 0.5,
+                sg_collective_cost: log(sgc[i], 0.08, 8.0),
+                wg_barrier_cost: log(wgb[i], 28.0, 290.0),
+                sg_barrier_cost: lin(sgb[i], 0.0, 32.0),
+                global_barrier_cost_per_wg: log(gbpw[i], 18.0, 520.0),
+                kernel_launch_cost: log(launch[i], 1_800.0, 22_000.0),
+                host_copy_cost: log(copy[i], 1_000.0, 8_000.0),
+                kernel_fixed_cost: log(fixed[i], 300.0, 1_600.0),
+            };
+            if let Err(e) = chip.validate() {
+                panic!("latin-hypercube sample out of validated bounds: {e}");
+            }
+            chip
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -608,6 +956,160 @@ mod tests {
         let json = serde_json::to_string(&chip).unwrap();
         let back: ChipProfile = serde_json::from_str(&json).unwrap();
         assert_eq!(chip, back);
+    }
+
+    #[test]
+    fn all_study_chips_validate() {
+        for chip in study_chips() {
+            chip.validate().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alu_cost must be positive and finite")]
+    fn builder_rejects_nan_cost() {
+        ChipProfile::builder("BAD", Vendor::Amd)
+            .alu_cost(f64::NAN)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "global_mem_cost must be positive and finite")]
+    fn builder_rejects_negative_cost() {
+        ChipProfile::builder("BAD", Vendor::Amd)
+            .global_mem_cost(-3.0)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel_launch_cost must be positive and finite")]
+    fn builder_rejects_infinite_cost() {
+        ChipProfile::builder("BAD", Vendor::Amd)
+            .kernel_launch_cost(f64::INFINITY)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "sg_barrier_cost must be non-negative")]
+    fn builder_rejects_negative_sg_barrier() {
+        ChipProfile::builder("BAD", Vendor::Amd)
+            .sg_barrier_cost(-1.0)
+            .build();
+    }
+
+    #[test]
+    fn builder_accepts_zero_sg_barrier() {
+        // Lockstep hardware has free subgroup barriers; zero must stay legal.
+        let chip = ChipProfile::builder("OK", Vendor::Nvidia)
+            .sg_barrier_cost(0.0)
+            .build();
+        chip.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput_threads must be at least 1")]
+    fn builder_rejects_zero_throughput() {
+        ChipProfile::builder("BAD", Vendor::Amd)
+            .throughput_threads(0)
+            .build();
+    }
+
+    #[test]
+    fn interpolate_endpoints_match_inputs() {
+        let a = ChipProfile::m4000();
+        let b = ChipProfile::mali();
+        let at = ChipProfile::interpolate(&a, &b, 0.0);
+        let bt = ChipProfile::interpolate(&a, &b, 1.0);
+        assert_eq!(at.alu_cost, a.alu_cost);
+        assert_eq!(at.subgroup_size, a.subgroup_size);
+        assert_eq!(bt.alu_cost, b.alu_cost);
+        assert_eq!(bt.subgroup_size, b.subgroup_size);
+        assert_eq!(bt.vendor, Vendor::Arm);
+    }
+
+    #[test]
+    fn interpolate_midpoint_is_valid_and_blended() {
+        let a = ChipProfile::gtx1080();
+        let b = ChipProfile::iris6100();
+        let mid = ChipProfile::interpolate(&a, &b, 0.5);
+        mid.validate().unwrap();
+        assert!(mid.alu_cost > a.alu_cost && mid.alu_cost < b.alu_cost);
+        // Discrete switches snap to the nearer endpoint (t = 0.5 -> b).
+        assert_eq!(mid.subgroup_size, b.subgroup_size);
+        assert_eq!(mid.jit_subgroup_combining, b.jit_subgroup_combining);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn interpolate_rejects_out_of_range_t() {
+        let a = ChipProfile::m4000();
+        ChipProfile::interpolate(&a, &a, 1.5);
+    }
+
+    #[test]
+    fn latin_hypercube_is_deterministic_and_valid() {
+        let a = latin_hypercube_chips(64, 7);
+        let b = latin_hypercube_chips(64, 7);
+        assert_eq!(a, b);
+        for chip in &a {
+            chip.validate().unwrap();
+        }
+        // A different seed yields a different cloud.
+        let c = latin_hypercube_chips(64, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn latin_hypercube_stratifies_each_axis() {
+        // With n chips and n strata per axis, every stratum is hit exactly
+        // once: the sorted alu costs must interleave the log-scale grid.
+        let n = 32;
+        let chips = latin_hypercube_chips(n, 99);
+        let mut alu: Vec<f64> = chips.iter().map(|c| c.alu_cost).collect();
+        alu.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let (lo, hi) = (0.5f64.ln(), 8.0f64.ln());
+        for (k, v) in alu.iter().enumerate() {
+            let stratum = ((v.ln() - lo) / (hi - lo) * n as f64).floor() as usize;
+            assert_eq!(stratum, k, "stratum {k} sampled more than once");
+        }
+    }
+
+    #[test]
+    fn latin_hypercube_geometry_axes_are_quantized() {
+        let chips = latin_hypercube_chips(200, 3);
+        let batches = ChipBatch::partition(&chips);
+        assert!(
+            batches.len() <= 10,
+            "expected at most 10 geometry families, got {}",
+            batches.len()
+        );
+        for chip in &chips {
+            assert!([1, 8, 16, 32, 64].contains(&chip.subgroup_size));
+            assert!([128, 256, 448, 1024, 2048, 2560].contains(&chip.max_threads_per_cu));
+        }
+    }
+
+    #[test]
+    fn partition_groups_by_geometry_and_keeps_source_order() {
+        let chips = vec![
+            ChipProfile::m4000(),   // sg 32, max wg 256
+            ChipProfile::mali(),    // sg 1,  max wg 256
+            ChipProfile::gtx1080(), // sg 32, max wg 256
+        ];
+        let batches = ChipBatch::partition(&chips);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].source_indices(), &[0, 2]);
+        assert_eq!(batches[1].source_indices(), &[1]);
+        assert_eq!(batches[0].subgroup_size(), 32);
+        assert_eq!(batches[1].subgroup_size(), 1);
+        let total: usize = batches.iter().map(ChipBatch::len).sum();
+        assert_eq!(total, chips.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "share subgroup size")]
+    fn batch_new_rejects_mixed_geometries() {
+        ChipBatch::new(vec![ChipProfile::m4000(), ChipProfile::mali()]);
     }
 
     #[test]

@@ -57,7 +57,7 @@ use gpp_obs::CostBreakdown;
 use serde::{Deserialize, Serialize};
 
 use crate::barrier::GlobalBarrier;
-use crate::chip::ChipProfile;
+use crate::chip::{ChipBatch, ChipProfile};
 use crate::opts::{FgMode, OptConfig};
 
 /// One active node in a kernel invocation.
@@ -712,6 +712,371 @@ pub fn evaluate_kernel_batch_explained(
         .collect()
 }
 
+/// Chip-major counterpart of [`evaluate_kernel_batch`]: prices one kernel
+/// invocation under all of `configs` for *every* chip of a [`ChipBatch`]
+/// in a single walk of the aggregates per distinct device pass. Within a
+/// batch the per-row scheme routing depends only on the shared geometry
+/// (subgroup size, workgroup size) and the configuration flags, so the
+/// row walk records each row's routing once and an inner struct-of-arrays
+/// loop applies every chip's cost coefficients to it.
+///
+/// Returns a flat configuration-major vector: entry
+/// `cfg_idx * batch.len() + chip_idx` is the device time of
+/// `configs[cfg_idx]` on `batch.chips()[chip_idx]`, bit-identical
+/// (`f64::to_bits`) to the corresponding per-chip
+/// [`evaluate_kernel_batch`] result.
+///
+/// # Panics
+///
+/// Panics if `aggs` was built for a different geometry than
+/// `(wg_size, batch.subgroup_size())`, or if any configuration implies a
+/// different effective workgroup size for the batch.
+pub fn evaluate_kernel_batch_many_chips(
+    batch: &ChipBatch,
+    wg_size: u32,
+    profile: &KernelProfile,
+    aggs: &CallAggregates,
+    configs: &[OptConfig],
+) -> Vec<f64> {
+    let chips = batch.chips();
+    let n_chips = chips.len();
+    let sg_size = batch.subgroup_size();
+    assert_eq!(
+        aggs.wg_size, wg_size,
+        "aggregation workgroup size mismatch"
+    );
+    assert_eq!(
+        aggs.sg_size, sg_size,
+        "aggregation subgroup size mismatch"
+    );
+    if aggs.workgroups.is_empty() {
+        let mut out = Vec::with_capacity(configs.len() * n_chips);
+        for _ in configs {
+            out.extend(chips.iter().map(|chip| chip.kernel_fixed_cost));
+        }
+        return out;
+    }
+    let coeffs = BatchCoeffs::new(chips, wg_size, profile);
+    // Same pass dedup as the per-chip batch evaluator: every chip of the
+    // batch shares the (wg, sg, fg, coop-cv) pass key because the key
+    // only consults the shared subgroup size and the kernel's regularity.
+    let mut slots: HashMap<(bool, bool, FgMode, bool), usize> = HashMap::new();
+    let mut passes: Vec<Vec<DevicePass>> = Vec::new();
+    let keyed: Vec<usize> = configs
+        .iter()
+        .map(|cfg| {
+            assert_eq!(
+                cfg.workgroup_size().min(batch.max_workgroup_size()),
+                wg_size,
+                "configuration implies a different workgroup size"
+            );
+            let key = if profile.irregular {
+                (cfg.wg, cfg.sg, cfg.fg, cfg.coop_cv && sg_size > 1)
+            } else {
+                (false, false, FgMode::Off, cfg.coop_cv && sg_size > 1)
+            };
+            *slots.entry(key).or_insert_with(|| {
+                passes.push(device_pass_many_chips(
+                    &coeffs, sg_size, wg_size, profile, aggs, key.0, key.1, key.2, key.3,
+                ));
+                passes.len() - 1
+            })
+        })
+        .collect();
+    let mut out = Vec::with_capacity(configs.len() * n_chips);
+    for (cfg, &slot) in configs.iter().zip(&keyed) {
+        let pass = &passes[slot];
+        for (chip, dev) in chips.iter().zip(pass) {
+            out.push(finish_kernel(chip, *cfg, wg_size, dev, aggs.pushes));
+        }
+    }
+    out
+}
+
+/// Per-configuration slot routing for one geometry group: the unique
+/// [`SlotKey`]s of the group's configurations (first-seen order) and, per
+/// configuration, the index of its tail buffer (`slot * 2 + oitergb`).
+struct ClassSlots {
+    keys: Vec<SlotKey>,
+    cfg_tail: Vec<usize>,
+}
+
+impl ClassSlots {
+    fn new(configs: &[OptConfig], sg_size: u32, irregular: bool) -> ClassSlots {
+        let mut keys: Vec<SlotKey> = Vec::new();
+        let cfg_tail = configs
+            .iter()
+            .map(|cfg| {
+                let key = if irregular {
+                    (cfg.wg, cfg.sg, cfg.fg, cfg.coop_cv && sg_size > 1)
+                } else {
+                    (false, false, FgMode::Off, cfg.coop_cv && sg_size > 1)
+                };
+                let slot = keys.iter().position(|k| *k == key).unwrap_or_else(|| {
+                    keys.push(key);
+                    keys.len() - 1
+                });
+                slot * 2 + cfg.oitergb as usize
+            })
+            .collect();
+        ClassSlots { keys, cfg_tail }
+    }
+}
+
+/// Per interned kernel profile: the batch's cost coefficients and one
+/// [`PassPrelude`] per slot of the profile's class — everything about a
+/// kernel that does not depend on the frontier, built once per trace.
+struct ProfileCtx {
+    coeffs: BatchCoeffs,
+    preludes: Vec<PassPrelude>,
+}
+
+/// Reusable chip-major pricing state for one `(batch, geometry group)`
+/// pair of a trace replay. Everything a call evaluation needs that does
+/// not depend on the frontier is computed once and cached here:
+///
+/// - per-chip launch/barrier overheads and `kernel_fixed_cost`,
+/// - per-chip capacity (with and without the `oitergb` occupancy
+///   penalty), hoisted out of [`finish_kernel`]'s per-configuration
+///   loop,
+/// - per-profile [`BatchCoeffs`] and per-slot [`PassPrelude`]s, keyed by
+///   the trace's interned profile pointers,
+/// - the group's configuration → slot routing for both kernel classes.
+///
+/// [`BatchGroupPricer::accumulate_call`] then folds one call's prices
+/// into a flat configuration-major time accumulator using the exact
+/// per-call expression order of the chip-at-a-time replay, so the
+/// accumulated times are bit-identical to the oracle path while the per
+/// `(configuration, chip)` work shrinks to a handful of sequential
+/// array operations.
+pub(crate) struct BatchGroupPricer<'b> {
+    chips: &'b [ChipProfile],
+    wg_size: u32,
+    sg_size: u32,
+    /// `kernel_fixed_cost` per chip — the whole device time of an
+    /// empty-frontier call.
+    fixed: Vec<f64>,
+    /// `capacity_threads` per chip: `[0]` without and `[1]` with the
+    /// `oitergb` occupancy penalty, exactly as [`finish_kernel`] forms
+    /// them.
+    cap: [Vec<f64>; 2],
+    /// Per-launch host overhead (`kernel_launch_cost + host_copy_cost`).
+    launch: Vec<f64>,
+    /// First-call overhead under `oitergb` (launch + barrier setup).
+    setup: Vec<f64>,
+    /// Steady-state global-barrier overhead under `oitergb`.
+    bar: Vec<f64>,
+    /// Slot routing for `[regular, irregular]` kernels.
+    classes: [ClassSlots; 2],
+    /// Per configuration: worklist-combining selector (`coop_cv`).
+    cfg_rmw: Vec<usize>,
+    /// Pointer-keyed contexts for the trace's interned profiles. The
+    /// pointers are identity keys only and are never dereferenced.
+    profiles: Vec<(*const KernelProfile, ProfileCtx)>,
+    // Scratch buffers reused across calls.
+    busy: Vec<f64>,
+    maxwg: Vec<f64>,
+    tails: Vec<f64>,
+    rmw: [Vec<f64>; 2],
+}
+
+impl<'b> BatchGroupPricer<'b> {
+    /// Builds the pricer for one geometry group of `batch`'s replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `configs` implies a different effective
+    /// workgroup size for the batch.
+    pub(crate) fn new(
+        batch: &'b ChipBatch,
+        wg_size: u32,
+        configs: &[OptConfig],
+    ) -> BatchGroupPricer<'b> {
+        let chips = batch.chips();
+        let n = chips.len();
+        let sg_size = batch.subgroup_size();
+        for cfg in configs {
+            assert_eq!(
+                cfg.workgroup_size().min(batch.max_workgroup_size()),
+                wg_size,
+                "configuration implies a different workgroup size"
+            );
+        }
+        let capacity = |occupancy_factor: f64| -> Vec<f64> {
+            chips
+                .iter()
+                .map(|chip| {
+                    let resident = (chip.resident_workgroups(wg_size) as f64)
+                        * wg_size as f64
+                        * occupancy_factor;
+                    resident.min(chip.throughput_threads as f64)
+                })
+                .collect()
+        };
+        let launch: Vec<f64> = chips
+            .iter()
+            .map(|chip| chip.kernel_launch_cost + chip.host_copy_cost)
+            .collect();
+        let mut setup = Vec::with_capacity(n);
+        let mut bar = Vec::with_capacity(n);
+        for (chip, &l) in chips.iter().zip(&launch) {
+            let gb = GlobalBarrier::discover(chip, wg_size);
+            setup.push(l + gb.setup_cost());
+            bar.push(gb.barrier_cost());
+        }
+        BatchGroupPricer {
+            chips,
+            wg_size,
+            sg_size,
+            fixed: chips.iter().map(|chip| chip.kernel_fixed_cost).collect(),
+            cap: [capacity(1.0), capacity(0.8)],
+            launch,
+            setup,
+            bar,
+            classes: [
+                ClassSlots::new(configs, sg_size, false),
+                ClassSlots::new(configs, sg_size, true),
+            ],
+            cfg_rmw: configs.iter().map(|cfg| cfg.coop_cv as usize).collect(),
+            profiles: Vec::new(),
+            busy: vec![0.0; n],
+            maxwg: vec![0.0; n],
+            tails: Vec::new(),
+            rmw: [vec![0.0; n], vec![0.0; n]],
+        }
+    }
+
+    /// Adds one call's `overhead + device` term to the flat
+    /// configuration-major accumulator (`times[k * n_chips + c]`), in
+    /// the exact expression order of the per-chip replay: the device
+    /// time associates as `(kernel_fixed_cost + compute) + rmw` and the
+    /// per-call fold as `acc += overhead + device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggs` was built for a different geometry than the
+    /// pricer's.
+    pub(crate) fn accumulate_call(
+        &mut self,
+        call_idx: usize,
+        profile: &KernelProfile,
+        aggs: &CallAggregates,
+        configs: &[OptConfig],
+        times: &mut [f64],
+    ) {
+        assert_eq!(
+            aggs.wg_size, self.wg_size,
+            "aggregation workgroup size mismatch"
+        );
+        assert_eq!(
+            aggs.sg_size, self.sg_size,
+            "aggregation subgroup size mismatch"
+        );
+        let n = self.chips.len();
+
+        if aggs.workgroups.is_empty() {
+            // Empty frontier: the device time is exactly
+            // `kernel_fixed_cost`, as the per-chip evaluator's early
+            // return prices it.
+            for (k, cfg) in configs.iter().enumerate() {
+                let over = &self.overhead(cfg, call_idx)[..n];
+                let fixed = &self.fixed[..n];
+                let acc = &mut times[k * n..(k + 1) * n];
+                for ((acc, &over), &fixed) in acc.iter_mut().zip(over).zip(fixed) {
+                    *acc += over + fixed;
+                }
+            }
+            return;
+        }
+
+        let class = profile.irregular as usize;
+        let ctx_idx = self
+            .profiles
+            .iter()
+            .position(|(p, _)| std::ptr::eq(*p, profile))
+            .unwrap_or_else(|| {
+                let coeffs = BatchCoeffs::new(self.chips, self.wg_size, profile);
+                let preludes = self.classes[class]
+                    .keys
+                    .iter()
+                    .map(|&key| PassPrelude::new(&coeffs, profile, self.sg_size, self.wg_size, key))
+                    .collect();
+                self.profiles.push((
+                    profile as *const KernelProfile,
+                    ProfileCtx { coeffs, preludes },
+                ));
+                self.profiles.len() - 1
+            });
+
+        // One aggregate walk per slot; each walk feeds two tail buffers
+        // (without/with the oitergb occupancy penalty):
+        // `tail = kernel_fixed_cost + compute`, associated exactly as
+        // `finish_kernel`.
+        let n_slots = self.classes[class].keys.len();
+        if self.tails.len() < n_slots * 2 * n {
+            self.tails.resize(n_slots * 2 * n, 0.0);
+        }
+        let ctx = &self.profiles[ctx_idx].1;
+        for s in 0..n_slots {
+            device_pass_rows(
+                &ctx.coeffs,
+                &ctx.preludes[s],
+                self.sg_size,
+                self.wg_size,
+                aggs,
+                &mut self.busy,
+                &mut self.maxwg,
+            );
+            // Both occupancy variants read the same pass arrays; fill
+            // them in one bounds-check-free sweep.
+            let base = s * 2 * n;
+            let (t0, t1) = self.tails[base..base + 2 * n].split_at_mut(n);
+            let busy = &self.busy[..n];
+            let maxwg = &self.maxwg[..n];
+            let fixed = &self.fixed[..n];
+            let cap0 = &self.cap[0][..n];
+            let cap1 = &self.cap[1][..n];
+            for c in 0..n {
+                let (b, m, f) = (busy[c], maxwg[c], fixed[c]);
+                t0[c] = f + (b / cap0[c]).max(m);
+                t1[c] = f + (b / cap1[c]).max(m);
+            }
+        }
+        for (coop, dst) in self.rmw.iter_mut().enumerate() {
+            for (chip, r) in self.chips.iter().zip(dst.iter_mut()) {
+                *r = worklist_rmw_time(chip, coop == 1, aggs.pushes);
+            }
+        }
+
+        let slots = &self.classes[class];
+        for (k, cfg) in configs.iter().enumerate() {
+            let over = &self.overhead(cfg, call_idx)[..n];
+            let t = &self.tails[slots.cfg_tail[k] * n..(slots.cfg_tail[k] + 1) * n];
+            let r = &self.rmw[self.cfg_rmw[k]][..n];
+            let acc = &mut times[k * n..(k + 1) * n];
+            for (((acc, &over), &t), &r) in acc.iter_mut().zip(over).zip(t).zip(r) {
+                *acc += over + (t + r);
+            }
+        }
+    }
+
+    /// The per-chip host overhead of one call under `cfg`, mirroring
+    /// `Session::kernel_aggregated`'s accounting: launch + copy per
+    /// kernel, except under `oitergb` where only the first call launches
+    /// (with barrier setup) and later calls pay a global barrier.
+    fn overhead(&self, cfg: &OptConfig, call_idx: usize) -> &[f64] {
+        if cfg.oitergb {
+            if call_idx == 0 {
+                &self.setup
+            } else {
+                &self.bar
+            }
+        } else {
+            &self.launch
+        }
+    }
+}
+
 /// The config-dependent tail of kernel evaluation: occupancy-normalised
 /// compute time plus fixed and worklist costs. O(1) per configuration.
 fn finish_kernel(
@@ -729,7 +1094,7 @@ fn finish_kernel(
     let capacity_threads = resident_threads.min(chip.throughput_threads as f64);
     let compute = (pass.total_busy / capacity_threads).max(pass.max_wg_time);
 
-    chip.kernel_fixed_cost + compute + worklist_rmw_time(chip, cfg, pushes)
+    chip.kernel_fixed_cost + compute + worklist_rmw_time(chip, cfg.coop_cv, pushes)
 }
 
 /// The explained counterpart of [`finish_kernel`]: returns the same
@@ -767,7 +1132,7 @@ fn finish_kernel_explained(
         atomics: buckets.atomic * scale,
         barrier: buckets.barrier * scale,
         occupancy_tail: compute - throughput_time,
-        worklist: worklist_rmw_time(chip, cfg, pushes),
+        worklist: worklist_rmw_time(chip, cfg.coop_cv, pushes),
         ..CostBreakdown::default()
     };
     (total, breakdown)
@@ -1049,16 +1414,434 @@ enum Scheme {
     Fg,
 }
 
+/// Per-chip cost coefficients of one batch, one contiguous array per
+/// coefficient (struct-of-arrays), computed once per
+/// (batch, workgroup size, kernel profile). Each value reproduces the
+/// exact expression tree [`device_pass`] evaluates for a single chip —
+/// e.g. `edge_balanced[c]` is literally
+/// `(e_alu[c] + e_mem[c] * 1.0) + e_atom[c]`, the same left-associated
+/// sum as [`KernelProfile::edge_cost`] at divergence 1 — so the hoisting
+/// never changes a single bit of the result.
+struct BatchCoeffs {
+    /// `alu_per_edge * alu_cost`.
+    e_alu: Vec<f64>,
+    /// `(reads_per_edge + writes_per_edge) * global_mem_cost` — the
+    /// divergence-sensitive factor of the edge cost.
+    e_mem: Vec<f64>,
+    /// `atomics_per_edge * atomic_uncontended_cost`.
+    e_atom: Vec<f64>,
+    /// [`KernelProfile::edge_cost`] at divergence 1.
+    edge_balanced: Vec<f64>,
+    /// [`KernelProfile::node_cost`].
+    node_fixed: Vec<f64>,
+    /// [`ChipProfile::wg_barrier`] at the batch workgroup size.
+    wg_barrier: Vec<f64>,
+    /// Workgroup ballot: `wg_barrier + log2(wg) * local_mem_cost`. The
+    /// fine-grained round overhead is the same expression, so this array
+    /// serves both (they are bit-identical in `device_pass` too).
+    wg_ballot: Vec<f64>,
+    /// Effective subgroup barrier (0 on lockstep hardware).
+    sg_barrier: Vec<f64>,
+    /// `2 * sg_barrier + 2 * local_mem_cost`.
+    sg_orchestration: Vec<f64>,
+    /// `local_mem_cost`.
+    local_mem: Vec<f64>,
+    /// [`ChipProfile::divergence_factor`] without barrier relief.
+    div_raw: Vec<f64>,
+    /// [`ChipProfile::divergence_factor`] with barrier relief.
+    div_relieved: Vec<f64>,
+}
+
+impl BatchCoeffs {
+    fn new(chips: &[ChipProfile], wg_size: u32, profile: &KernelProfile) -> BatchCoeffs {
+        let n = chips.len();
+        let rw_edge = profile.reads_per_edge + profile.writes_per_edge;
+        let log2_wg = (wg_size as f64).log2();
+        let mut co = BatchCoeffs {
+            e_alu: Vec::with_capacity(n),
+            e_mem: Vec::with_capacity(n),
+            e_atom: Vec::with_capacity(n),
+            edge_balanced: Vec::with_capacity(n),
+            node_fixed: Vec::with_capacity(n),
+            wg_barrier: Vec::with_capacity(n),
+            wg_ballot: Vec::with_capacity(n),
+            sg_barrier: Vec::with_capacity(n),
+            sg_orchestration: Vec::with_capacity(n),
+            local_mem: Vec::with_capacity(n),
+            div_raw: Vec::with_capacity(n),
+            div_relieved: Vec::with_capacity(n),
+        };
+        for chip in chips {
+            let e_alu = profile.alu_per_edge * chip.alu_cost;
+            let e_mem = rw_edge * chip.global_mem_cost;
+            let e_atom = profile.atomics_per_edge * chip.atomic_uncontended_cost;
+            co.e_alu.push(e_alu);
+            co.e_mem.push(e_mem);
+            co.e_atom.push(e_atom);
+            co.edge_balanced.push(e_alu + e_mem * 1.0 + e_atom);
+            co.node_fixed.push(profile.node_cost(chip));
+            let wg_barrier = chip.wg_barrier(wg_size);
+            co.wg_barrier.push(wg_barrier);
+            co.wg_ballot.push(wg_barrier + log2_wg * chip.local_mem_cost);
+            let sg_barrier = if chip.lockstep_subgroups {
+                0.0
+            } else {
+                chip.sg_barrier_cost
+            };
+            co.sg_barrier.push(sg_barrier);
+            co.sg_orchestration
+                .push(2.0 * sg_barrier + 2.0 * chip.local_mem_cost);
+            co.local_mem.push(chip.local_mem_cost);
+            co.div_raw.push(chip.divergence_factor(false));
+            co.div_relieved.push(chip.divergence_factor(true));
+        }
+        co
+    }
+
+    fn len(&self) -> usize {
+        self.e_alu.len()
+    }
+}
+
+/// Chip-major [`device_pass`]: walks the per-workgroup aggregates *once*
+/// for one effective optimisation setting, pricing every chip of the
+/// batch per row. Per row the chip-independent part — scheme routing,
+/// serial imbalance statistics, fine-grained round counts — is computed
+/// exactly once; a branch-light inner loop then applies each chip's
+/// struct-of-arrays coefficients in the same expression order as
+/// [`device_pass`], so each chip's `DevicePass` is bit-identical to a
+/// per-chip walk. Routing is shareable because every routing decision
+/// reads only the class counts and the batch's shared subgroup size, and
+/// the sg phase keeps at most two entries in routing order (big before
+/// mid) so the float accumulation order is preserved too.
+#[allow(clippy::too_many_arguments)]
+fn device_pass_many_chips(
+    co: &BatchCoeffs,
+    sg_size: u32,
+    wg_size: u32,
+    profile: &KernelProfile,
+    aggs: &CallAggregates,
+    cfg_wg: bool,
+    cfg_sg: bool,
+    cfg_fg: FgMode,
+    cfg_coop_cv: bool,
+) -> Vec<DevicePass> {
+    let pre = PassPrelude::new(
+        co,
+        profile,
+        sg_size,
+        wg_size,
+        (cfg_wg, cfg_sg, cfg_fg, cfg_coop_cv),
+    );
+    let n = co.len();
+    let mut total_busy = vec![0.0f64; n];
+    let mut max_wg_time = vec![0.0f64; n];
+    device_pass_rows(
+        co,
+        &pre,
+        sg_size,
+        wg_size,
+        aggs,
+        &mut total_busy,
+        &mut max_wg_time,
+    );
+    total_busy
+        .into_iter()
+        .zip(max_wg_time)
+        .map(|(total_busy, max_wg_time)| DevicePass {
+            total_busy,
+            max_wg_time,
+        })
+        .collect()
+}
+
+/// A device pass's effective key: `(wg, sg, fg, coop-cv)` after applying
+/// the kernel's regularity and the batch's subgroup width. Configurations
+/// with equal keys share one walk of the aggregates.
+pub(crate) type SlotKey = (bool, bool, FgMode, bool);
+
+/// The row-independent half of [`device_pass_many_chips`]: the effective
+/// scheme flags plus the per-chip pass-level coefficient arrays (serial
+/// divergence factor, fixed scheme-agreement cost, its busy-work
+/// contribution, one full fine-grained round). A prelude depends only on
+/// the kernel profile, the batch geometry and the slot key — not on the
+/// frontier — so one prelude per (profile, slot) serves every call of a
+/// trace.
+struct PassPrelude {
+    wg_on: bool,
+    sg_on: bool,
+    fg_on: bool,
+    fg_epi: f64,
+    serial_div: Vec<f64>,
+    sd1: Vec<f64>,
+    scheme_fixed: Vec<f64>,
+    busy_fixed: Vec<f64>,
+    fg_full: Vec<f64>,
+}
+
+impl PassPrelude {
+    fn new(
+        co: &BatchCoeffs,
+        profile: &KernelProfile,
+        sg_size: u32,
+        wg_size: u32,
+        key: SlotKey,
+    ) -> PassPrelude {
+        let (cfg_wg, cfg_sg, cfg_fg, cfg_coop_cv) = key;
+        let n = co.len();
+        let relieved = cfg_sg && profile.irregular;
+        let (fg_on, fg_epi) = match cfg_fg {
+            FgMode::Off => (false, 1.0),
+            FgMode::Fg1 => (profile.irregular, 1.0),
+            FgMode::Fg8 => (profile.irregular, 8.0),
+        };
+        let wg_on = cfg_wg && profile.irregular;
+        let sg_on = cfg_sg && sg_size > 1 && profile.irregular;
+        let coop_on = cfg_coop_cv && sg_size > 1;
+        let wg_f = wg_size as f64;
+
+        let mut serial_div = Vec::with_capacity(n);
+        let mut sd1 = Vec::with_capacity(n);
+        let mut scheme_fixed = Vec::with_capacity(n);
+        let mut busy_fixed = Vec::with_capacity(n);
+        let mut fg_full = Vec::with_capacity(n);
+        for c in 0..n {
+            let sdv = if relieved {
+                co.div_relieved[c]
+            } else {
+                co.div_raw[c]
+            };
+            serial_div.push(sdv);
+            sd1.push(sdv - 1.0);
+            let mut fixed = 0.0f64;
+            if wg_on {
+                fixed += 2.0 * co.wg_ballot[c];
+            }
+            if sg_on {
+                fixed += 2.0 * co.sg_barrier[c] + 2.0 * co.local_mem[c];
+            }
+            if coop_on {
+                fixed += 2.0 * co.local_mem[c];
+            }
+            scheme_fixed.push(fixed);
+            busy_fixed.push((co.node_fixed[c] + fixed) * wg_f);
+            fg_full.push(fg_epi * co.edge_balanced[c] + co.wg_ballot[c]);
+        }
+        PassPrelude {
+            wg_on,
+            sg_on,
+            fg_on,
+            fg_epi,
+            serial_div,
+            sd1,
+            scheme_fixed,
+            busy_fixed,
+            fg_full,
+        }
+    }
+}
+
+/// The per-frontier half of [`device_pass_many_chips`]: walks the
+/// aggregate rows once, computing each row's chip-independent routing and
+/// statistics a single time and applying every chip's coefficients in the
+/// exact expression order of `device_pass`. Overwrites `total_busy` and
+/// `max_wg_time` (both `co.len()` long) with the pass results.
+fn device_pass_rows(
+    co: &BatchCoeffs,
+    pre: &PassPrelude,
+    sg_size: u32,
+    wg_size: u32,
+    aggs: &CallAggregates,
+    total_busy: &mut [f64],
+    max_wg_time: &mut [f64],
+) {
+    let n = co.len();
+    let n_subgroups = (wg_size / sg_size).max(1) as f64;
+    let PassPrelude {
+        wg_on,
+        sg_on,
+        fg_on,
+        fg_epi,
+        ref serial_div,
+        ref sd1,
+        ref scheme_fixed,
+        ref busy_fixed,
+        ref fg_full,
+    } = *pre;
+    let wg_f = wg_size as f64;
+    let sg_f = sg_size as f64;
+
+    // Equal-length slices so the per-chip loops below are free of bounds
+    // checks and open to vectorisation.
+    let serial_div = &serial_div[..n];
+    let sd1 = &sd1[..n];
+    let scheme_fixed = &scheme_fixed[..n];
+    let busy_fixed = &busy_fixed[..n];
+    let fg_full = &fg_full[..n];
+    let e_alu = &co.e_alu[..n];
+    let e_mem = &co.e_mem[..n];
+    let e_atom = &co.e_atom[..n];
+    let edge_balanced = &co.edge_balanced[..n];
+    let node_fixed = &co.node_fixed[..n];
+    let wg_barrier = &co.wg_barrier[..n];
+    let wg_ballot = &co.wg_ballot[..n];
+    let sg_orchestration = &co.sg_orchestration[..n];
+    let local_mem = &co.local_mem[..n];
+    let total_busy = &mut total_busy[..n];
+    let max_wg_time = &mut max_wg_time[..n];
+
+    total_busy.fill(0.0);
+    max_wg_time.fill(0.0);
+
+    for wg in &aggs.workgroups {
+        // --- Chip-independent routing, identical to `device_pass` ---
+        // At most one class (big) can reach the wg scheme; at most two
+        // (big, mid — in that order) can reach the sg scheme.
+        let mut wg_entry: Option<(f64, f64)> = None; // (count, rounds_wg)
+        let mut sg_entries = [(0.0f64, 0.0f64, 0.0f64); 2]; // (count, rounds_sg, ceil(max_deg/sg))
+        let mut n_sg = 0usize;
+        let mut fg_edges = 0u64;
+        let mut fg_nodes = 0u64;
+        let mut serial_max = 0u32;
+        let mut serial_edges = 0u64;
+        let mut serial_count = 0u32;
+        {
+            let mut route = |class: &ClassAgg, start: Scheme| {
+                if class.count == 0 {
+                    return;
+                }
+                match start {
+                    Scheme::Wg if wg_on => {
+                        wg_entry = Some((class.count as f64, class.rounds_wg as f64));
+                    }
+                    Scheme::Wg | Scheme::Sg if sg_on => {
+                        sg_entries[n_sg] = (
+                            class.count as f64,
+                            class.rounds_sg as f64,
+                            (class.max_degree as u64).div_ceil(sg_size as u64) as f64,
+                        );
+                        n_sg += 1;
+                    }
+                    _ if fg_on => {
+                        fg_edges += class.edges;
+                        fg_nodes += class.count as u64;
+                    }
+                    _ => {
+                        serial_max = serial_max.max(class.max_degree);
+                        serial_edges += class.edges;
+                        serial_count += class.count;
+                    }
+                }
+            };
+            route(&wg.big, Scheme::Wg);
+            route(&wg.mid, Scheme::Sg);
+            route(&wg.small, Scheme::Fg);
+        }
+
+        // Chip-independent serial statistics: the imbalance and SIMD-waste
+        // factors read only counts and the shared subgroup width.
+        let has_serial_stats = serial_edges > 0 && serial_count > 0;
+        let (imbalance, waste) = if has_serial_stats {
+            let mean = serial_edges as f64 / serial_count as f64;
+            let ratio = serial_max as f64 / mean;
+            (
+                ((ratio - 1.0) / 3.0).clamp(0.25, 1.0),
+                (0.5 * ratio).clamp(1.0, sg_f),
+            )
+        } else {
+            (0.0, 1.0)
+        };
+        let serial_max_f = serial_max as f64;
+        let serial_edges_f = serial_edges as f64;
+
+        // Chip-independent fine-grained pool statistics.
+        let (fg_contrib2, full_rounds, tail_rounds, has_tail) = if fg_on && fg_edges > 0 {
+            let contributing = fg_nodes.min(fg_edges) as f64;
+            let per_round = wg_f * fg_epi;
+            let full = (fg_edges as f64 / per_round).floor();
+            let tail_edges = fg_edges as f64 - full * per_round;
+            let tail = if tail_edges > 0.0 {
+                (tail_edges / wg_f).ceil()
+            } else {
+                0.0
+            };
+            (contributing * 2.0, full, tail, tail_edges > 0.0)
+        } else {
+            (0.0, 0.0, 0.0, false)
+        };
+
+        // --- Per-chip inner loop: pure coefficient application ---
+        let sg_entries = &sg_entries[..n_sg];
+        for c in 0..n {
+            let eb = edge_balanced[c];
+
+            let wg_phase = match wg_entry {
+                Some((count, rounds)) => count * wg_ballot[c] + rounds * eb,
+                None => 0.0,
+            };
+
+            let mut sg_work = 0.0f64;
+            let mut sg_max_single = 0.0f64;
+            for &(count, rounds, ceil_rounds) in sg_entries {
+                sg_work += count * sg_orchestration[c] + rounds * eb;
+                let single = sg_orchestration[c] + ceil_rounds * eb;
+                sg_max_single = sg_max_single.max(single);
+            }
+
+            // `edge_cost(chip, d)` with the per-chip factors split out:
+            // `(e_alu + e_mem * d) + e_atom`, associated exactly as the
+            // original method.
+            let (edge_serial, simd_waste) = if has_serial_stats {
+                (
+                    e_alu[c] + e_mem[c] * (1.0 + sd1[c] * imbalance) + e_atom[c],
+                    waste,
+                )
+            } else {
+                (e_alu[c] + e_mem[c] * serial_div[c] + e_atom[c], 1.0)
+            };
+
+            let serial_phase = serial_max_f * edge_serial;
+            let sg_phase = if sg_work > 0.0 {
+                (sg_work / n_subgroups).max(sg_max_single)
+            } else {
+                0.0
+            };
+
+            let mut fg_phase = 0.0f64;
+            if fg_on {
+                if fg_edges == 0 {
+                    fg_phase += wg_barrier[c];
+                } else {
+                    fg_phase += fg_contrib2 * local_mem[c] / wg_f;
+                    fg_phase += full_rounds * fg_full[c];
+                    if has_tail {
+                        fg_phase += tail_rounds * eb + wg_ballot[c];
+                    }
+                }
+            }
+
+            let wg_time =
+                node_fixed[c] + serial_phase + sg_phase + wg_phase + fg_phase + scheme_fixed[c];
+            max_wg_time[c] = max_wg_time[c].max(wg_time);
+
+            total_busy[c] += busy_fixed[c]
+                + serial_edges_f * edge_serial * simd_waste
+                + sg_work * sg_f
+                + (wg_phase + fg_phase) * wg_f;
+        }
+    }
+}
+
 /// Serialised time of worklist pushes: one hot RMW counter, optionally
 /// combined per subgroup (manually via coop-cv, or by the JIT).
-fn worklist_rmw_time(chip: &ChipProfile, cfg: OptConfig, pushes: u64) -> f64 {
+fn worklist_rmw_time(chip: &ChipProfile, coop_cv: bool, pushes: u64) -> f64 {
     if pushes == 0 {
         return 0.0;
     }
     let pushes = pushes as f64;
     let sg = chip.subgroup_size.max(1) as f64;
     let combined_rmws = (pushes / sg).ceil() * chip.atomic_rmw_cost;
-    match (cfg.coop_cv, chip.jit_subgroup_combining) {
+    match (coop_cv, chip.jit_subgroup_combining) {
         // Manual combining: combined RMWs plus the per-push collective
         // overhead. On subgroup-size-1 chips the transformation is a
         // semantically valid no-op (paper Section VI-A).
@@ -1510,6 +2293,75 @@ mod tests {
     }
 
     #[test]
+    fn many_chips_evaluation_is_bit_identical_to_per_chip_batch() {
+        // The chip-major evaluator must agree bit-for-bit with the
+        // per-chip batch evaluator for every chip of every geometry
+        // family, irregular and regular kernels alike — including a
+        // duplicate chip and interpolated blends.
+        let items = skewed(5_000, 3_000);
+        let mut regular = KernelProfile::frontier("filter");
+        regular.irregular = false;
+        let mut chips = study_chips();
+        chips.push(ChipProfile::m4000()); // duplicate in the same family
+        chips.push(ChipProfile::interpolate(
+            &ChipProfile::hd5500(),
+            &ChipProfile::iris6100(),
+            0.35,
+        ));
+        for batch in crate::chip::ChipBatch::partition(&chips) {
+            for profile in [KernelProfile::frontier("k"), regular.clone()] {
+                for wg_size in [128u32, 256] {
+                    let wg_size = wg_size.min(batch.max_workgroup_size());
+                    let aggs = CallAggregates::from_items(&items, wg_size, batch.subgroup_size());
+                    let configs: Vec<OptConfig> = crate::opts::all_configs()
+                        .into_iter()
+                        .filter(|c| c.workgroup_size().min(batch.max_workgroup_size()) == wg_size)
+                        .collect();
+                    let many =
+                        evaluate_kernel_batch_many_chips(&batch, wg_size, &profile, &aggs, &configs);
+                    assert_eq!(many.len(), configs.len() * batch.len());
+                    for (chip_idx, chip) in batch.chips().iter().enumerate() {
+                        let single =
+                            evaluate_kernel_batch(chip, wg_size, &profile, &aggs, &configs);
+                        for (cfg_idx, (cfg, s)) in configs.iter().zip(&single).enumerate() {
+                            let m = many[cfg_idx * batch.len() + chip_idx];
+                            assert_eq!(
+                                s.to_bits(),
+                                m.to_bits(),
+                                "{} {cfg} wg={wg_size} {}",
+                                chip.name,
+                                profile.name
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn many_chips_evaluation_handles_empty_frontier() {
+        let batch =
+            crate::chip::ChipBatch::new(vec![ChipProfile::m4000(), ChipProfile::gtx1080()]);
+        let aggs = CallAggregates::from_items(&[], 128, batch.subgroup_size());
+        let configs: Vec<OptConfig> = crate::opts::all_configs()
+            .into_iter()
+            .filter(|c| c.workgroup_size() == 128)
+            .collect();
+        let many = evaluate_kernel_batch_many_chips(
+            &batch,
+            128,
+            &KernelProfile::frontier("k"),
+            &aggs,
+            &configs,
+        );
+        for (i, &t) in many.iter().enumerate() {
+            let chip = &batch.chips()[i % batch.len()];
+            assert_eq!(t, chip.kernel_fixed_cost);
+        }
+    }
+
+    #[test]
     fn explained_kernel_is_bit_identical_and_sums_to_total() {
         let items = skewed(5_000, 3_000);
         let mut regular = KernelProfile::frontier("filter");
@@ -1578,14 +2430,14 @@ mod tests {
                 OptConfig::from_index(95),
             ] {
                 let m = Machine::new(chip.clone());
-                let run = |mut s: Session<'_>| {
+                fn run<'m>(mut s: Session<'m>, items: &[WorkItem]) -> Session<'m> {
                     for _ in 0..4 {
-                        Session::kernel(&mut s, &KernelProfile::frontier("k"), &items);
+                        Session::kernel(&mut s, &KernelProfile::frontier("k"), items);
                     }
                     s
-                };
-                let plain = run(m.session(cfg)).finish();
-                let (stats, b) = run(m.session_explained(cfg)).finish_explained();
+                }
+                let plain = run(m.session(cfg), &items).finish();
+                let (stats, b) = run(m.session_explained(cfg), &items).finish_explained();
                 assert_eq!(plain, stats, "{} {cfg}", chip.name);
                 let rel = (b.total() - stats.time_ns).abs() / stats.time_ns;
                 assert!(

@@ -51,10 +51,11 @@ pub mod microbench;
 pub mod opts;
 pub mod trace;
 
-pub use chip::{study_chip, study_chips, ChipProfile, Vendor};
+pub use chip::{latin_hypercube_chips, study_chip, study_chips, ChipBatch, ChipProfile, Vendor};
 pub use exec::{
     evaluate_kernel, evaluate_kernel_batch, evaluate_kernel_batch_explained,
-    evaluate_kernel_explained, Executor, KernelProfile, Machine, RunStats, Session, WorkItem,
+    evaluate_kernel_batch_many_chips, evaluate_kernel_explained, Executor, KernelProfile, Machine,
+    RunStats, Session, WorkItem,
 };
 pub use gpp_obs::CostBreakdown;
 pub use opts::{all_configs, FgMode, OptConfig, Optimization};

@@ -62,10 +62,10 @@ use gpp_obs::CostBreakdown;
 use serde::{Deserialize, Serialize};
 
 use crate::barrier::GlobalBarrier;
-use crate::chip::ChipProfile;
+use crate::chip::{ChipBatch, ChipProfile};
 use crate::exec::{
-    evaluate_kernel_batch, evaluate_kernel_batch_explained, CallAggregates, Executor,
-    KernelProfile, Machine, RunStats, WorkItem,
+    evaluate_kernel_batch, evaluate_kernel_batch_explained, BatchGroupPricer, CallAggregates,
+    Executor, KernelProfile, Machine, RunStats, WorkItem,
 };
 use crate::opts::{all_configs, OptConfig, NUM_CONFIGS};
 
@@ -226,16 +226,38 @@ impl Executor for Recorder {
 /// [`CompiledTrace::replay_all_configs_explained`] and
 /// [`CompiledTrace::precompile`] all derive their workgroup sizes from
 /// it, so they can never drift apart.
-pub fn geometry_groups(chip: &ChipProfile) -> Vec<(u32, Vec<OptConfig>)> {
+///
+/// The partition depends on the chip only through
+/// [`ChipProfile::max_workgroup_size`] (the sole input to the per-config
+/// clamp), so results are memoized process-wide under that key: a
+/// thousand-chip sweep builds each distinct grouping once instead of
+/// rebuilding a `Vec<(u32, Vec<OptConfig>)>` on every
+/// `replay_all_configs` call. The returned [`Arc`] shares the cached
+/// grouping; iterate it with `.iter()`.
+pub fn geometry_groups(chip: &ChipProfile) -> Arc<Vec<(u32, Vec<OptConfig>)>> {
+    static CACHE: OnceLock<RwLock<HashMap<u32, Arc<Vec<(u32, Vec<OptConfig>)>>>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+    let max_wg = chip.max_workgroup_size();
+    if let Some(groups) = cache.read().unwrap().get(&max_wg) {
+        return Arc::clone(groups);
+    }
     let mut groups: Vec<(u32, Vec<OptConfig>)> = Vec::new();
     for cfg in all_configs() {
-        let wg_size = cfg.workgroup_size().min(chip.max_workgroup_size());
+        let wg_size = cfg.workgroup_size().min(max_wg);
         match groups.iter_mut().find(|(g, _)| *g == wg_size) {
             Some((_, v)) => v.push(cfg),
             None => groups.push((wg_size, vec![cfg])),
         }
     }
-    groups
+    // A racing builder produced an identical value; either wins.
+    Arc::clone(
+        cache
+            .write()
+            .unwrap()
+            .entry(max_wg)
+            .or_insert_with(|| Arc::new(groups)),
+    )
 }
 
 /// The (workgroup size, subgroup size) pairs `chip` uses, in group order.
@@ -455,7 +477,7 @@ impl CompiledTrace {
             global_barriers: 0,
         };
         let mut out = vec![empty; NUM_CONFIGS];
-        for (wg_size, configs) in &geometry_groups(chip) {
+        for (wg_size, configs) in geometry_groups(chip).iter() {
             let aggs = self.aggregates(*wg_size, sg_size);
             // One barrier discovery per oitergb configuration, as
             // Machine::session does once per replay.
@@ -493,6 +515,65 @@ impl CompiledTrace {
         out
     }
 
+    /// Chip-major [`CompiledTrace::replay_all_configs`]: replays the
+    /// trace for *every* chip of a [`ChipBatch`] while walking each
+    /// geometry's aggregate tables only once, via a per-group
+    /// [`BatchGroupPricer`] that caches every frontier-independent term
+    /// (pass preludes and cost coefficients per interned kernel profile,
+    /// per-chip capacity and launch/barrier overheads) across the
+    /// trace's calls. Returns one [`OptConfig::index`]-indexed
+    /// statistics vector per chip, in batch order; every entry is
+    /// bit-identical (`f64::to_bits` on `time_ns`, equal integer
+    /// counters) to `self.replay_all_configs(&Machine::new(chip))` for
+    /// that chip.
+    ///
+    /// Device times accumulate call by call into a flat
+    /// configuration-major buffer in the oracle's exact expression
+    /// order; the integer counters are a closed-form function of the
+    /// call count (every call is one kernel; `oitergb` launches once and
+    /// pays a global barrier per later call, other configurations launch
+    /// per call) and so are filled in directly at scatter time.
+    pub fn replay_all_configs_many_chips(&self, batch: &ChipBatch) -> Vec<Vec<RunStats>> {
+        let chips = batch.chips();
+        let n_chips = chips.len();
+        let sg_size = batch.subgroup_size();
+        let empty = RunStats {
+            time_ns: 0.0,
+            kernels: 0,
+            launches: 0,
+            global_barriers: 0,
+        };
+        let mut out = vec![vec![empty; NUM_CONFIGS]; n_chips];
+        // All chips of a batch share max_workgroup_size, hence the same
+        // geometry grouping; any member stands for the batch.
+        for (wg_size, configs) in geometry_groups(&chips[0]).iter() {
+            let aggs = self.aggregates(*wg_size, sg_size);
+            let mut pricer = BatchGroupPricer::new(batch, *wg_size, configs);
+            let mut times = vec![0.0f64; configs.len() * n_chips];
+            for (call_idx, (call, agg)) in self.trace.calls().zip(aggs.iter()).enumerate() {
+                pricer.accumulate_call(call_idx, call.profile, agg, configs, &mut times);
+            }
+            let n_calls = aggs.len() as u64;
+            for (k, cfg) in configs.iter().enumerate() {
+                let (launches, global_barriers) = if cfg.oitergb {
+                    (u64::from(n_calls > 0), n_calls.saturating_sub(1))
+                } else {
+                    (n_calls, 0)
+                };
+                let idx = cfg.index();
+                for (c, stats) in out.iter_mut().enumerate() {
+                    stats[idx] = RunStats {
+                        time_ns: times[k * n_chips + c],
+                        kernels: n_calls,
+                        launches,
+                        global_barriers,
+                    };
+                }
+            }
+        }
+        out
+    }
+
     /// Like [`CompiledTrace::replay_all_configs`], but each
     /// configuration's statistics come with the run-level
     /// [`CostBreakdown`]. The statistics are bit-identical to
@@ -512,7 +593,7 @@ impl CompiledTrace {
             global_barriers: 0,
         };
         let mut out = vec![(empty, CostBreakdown::default()); NUM_CONFIGS];
-        for (wg_size, configs) in &geometry_groups(chip) {
+        for (wg_size, configs) in geometry_groups(chip).iter() {
             let aggs = self.aggregates(*wg_size, sg_size);
             let barriers: Vec<Option<GlobalBarrier>> = configs
                 .iter()
@@ -695,7 +776,7 @@ mod tests {
             let groups = geometry_groups(&chip);
             let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
             assert_eq!(total, NUM_CONFIGS, "{}", chip.name);
-            for (wg_size, configs) in &groups {
+            for (wg_size, configs) in groups.iter() {
                 assert!(*wg_size <= chip.max_workgroup_size());
                 for cfg in configs {
                     assert_eq!(
@@ -783,6 +864,70 @@ mod tests {
                 assert_eq!(all[cfg.index()], single, "{} {cfg}", chip.name);
             }
         }
+    }
+
+    #[test]
+    fn many_chips_replay_is_bit_identical_to_per_chip_replay() {
+        // Chip-major replay must agree bit-for-bit with the per-chip
+        // oracle on every chip of every geometry family, duplicates and
+        // interpolated blends included.
+        let trace = sample_trace();
+        let compiled = CompiledTrace::new(trace);
+        let mut chips = study_chips();
+        chips.push(ChipProfile::gtx1080()); // duplicate
+        chips.push(ChipProfile::interpolate(
+            &ChipProfile::m4000(),
+            &ChipProfile::gtx1080(),
+            0.5,
+        ));
+        for batch in ChipBatch::partition(&chips) {
+            let many = compiled.replay_all_configs_many_chips(&batch);
+            assert_eq!(many.len(), batch.len());
+            for (chip, stats) in batch.chips().iter().zip(&many) {
+                let single = compiled.replay_all_configs(&Machine::new(chip.clone()));
+                assert_eq!(stats.len(), single.len());
+                for (cfg, (m, s)) in all_configs().into_iter().zip(stats.iter().zip(&single)) {
+                    assert_eq!(
+                        m.time_ns.to_bits(),
+                        s.time_ns.to_bits(),
+                        "{} {cfg}",
+                        chip.name
+                    );
+                    assert_eq!(m.kernels, s.kernels, "{} {cfg}", chip.name);
+                    assert_eq!(m.launches, s.launches, "{} {cfg}", chip.name);
+                    assert_eq!(m.global_barriers, s.global_barriers, "{} {cfg}", chip.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn many_chips_replay_handles_single_chip_batches() {
+        let trace = sample_trace();
+        let compiled = CompiledTrace::new(trace);
+        let batch = ChipBatch::new(vec![ChipProfile::mali()]);
+        let many = compiled.replay_all_configs_many_chips(&batch);
+        let single = compiled.replay_all_configs(&Machine::new(ChipProfile::mali()));
+        assert_eq!(many.len(), 1);
+        assert_eq!(many[0], single);
+    }
+
+    #[test]
+    fn geometry_groups_are_memoized_per_effective_workgroup_size() {
+        // Same max_workgroup_size -> the same cached allocation; the
+        // grouping itself only depends on that clamp.
+        let a = geometry_groups(&ChipProfile::m4000());
+        let b = geometry_groups(&ChipProfile::gtx1080());
+        assert!(Arc::ptr_eq(&a, &b));
+        let mali = geometry_groups(&ChipProfile::mali());
+        assert!(Arc::ptr_eq(&a, &mali)); // MALI also clamps to 256
+        let narrow = geometry_groups(
+            &ChipProfile::builder("NARROW", crate::chip::Vendor::Arm)
+                .max_threads_per_cu(128)
+                .build(),
+        );
+        assert!(!Arc::ptr_eq(&a, &narrow));
+        assert_eq!(narrow.len(), 1, "128-thread chips have one geometry");
     }
 
     #[test]

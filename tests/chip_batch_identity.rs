@@ -1,0 +1,118 @@
+//! Bit-identity of chip-major batched pricing: for any batch of valid
+//! chips — latin-hypercube samples, study chips, interpolated blends,
+//! duplicates, singletons — `replay_all_configs_many_chips` must
+//! reproduce the chip-at-a-time `replay_all_configs` exactly, down to
+//! the last bit of every `f64` and every overhead counter. This is the
+//! invariant that lets `gpp sweep` price thousands of chips in one
+//! traversal per geometry while keeping the original path as its
+//! oracle. CI runs this binary in release mode as well: the identity
+//! must hold at every optimisation level.
+
+use proptest::prelude::*;
+
+use gpp::sim::chip::{latin_hypercube_chips, study_chips, ChipBatch, ChipProfile};
+use gpp::sim::exec::{Executor, KernelProfile, Machine, WorkItem};
+use gpp::sim::opts::NUM_CONFIGS;
+use gpp::sim::trace::{CompiledTrace, Recorder, Trace};
+
+/// A synthetic trace exercising every pricing path: skewed and uniform
+/// frontiers, worklist pushes, an irregular and a regular kernel, and
+/// an empty frontier.
+fn mixed_trace(calls: u32, items_per_call: usize) -> Trace {
+    let mut rec = Recorder::new();
+    let frontier = KernelProfile::frontier("bfs");
+    let mut filter = KernelProfile::frontier("filter");
+    filter.irregular = false;
+    for iter in 0..calls {
+        let items: Vec<WorkItem> = (0..items_per_call)
+            .map(|i| {
+                let degree = match i % 7 {
+                    0 => 1 + (i as u32 * (iter + 1)) % 2_000, // occasional hub
+                    _ => 1 + (i as u32 + iter) % 37,
+                };
+                WorkItem::new(degree, (i % 3 == 0) as u32)
+            })
+            .collect();
+        rec.kernel(&frontier, &items);
+        if iter % 2 == 0 {
+            rec.kernel(&filter, &items);
+        }
+        if iter % 4 == 1 {
+            rec.kernel(&frontier, &[]); // empty frontier
+        }
+    }
+    rec.into_trace()
+}
+
+/// Asserts batched replay of `chips` is bit-identical to the per-chip
+/// oracle on `trace`.
+fn assert_batch_matches_oracle(trace: &Trace, chips: &[ChipProfile]) {
+    let compiled = CompiledTrace::new(trace.clone());
+    for batch in ChipBatch::partition(chips) {
+        let many = compiled.replay_all_configs_many_chips(&batch);
+        assert_eq!(many.len(), batch.len());
+        for (chip, stats) in batch.chips().iter().zip(&many) {
+            let oracle = compiled.replay_all_configs(&Machine::new(chip.clone()));
+            assert_eq!(stats.len(), NUM_CONFIGS);
+            for (idx, (m, s)) in stats.iter().zip(&oracle).enumerate() {
+                assert_eq!(
+                    m.time_ns.to_bits(),
+                    s.time_ns.to_bits(),
+                    "{} config {idx}: batched {} vs oracle {}",
+                    chip.name,
+                    m.time_ns,
+                    s.time_ns
+                );
+                assert_eq!(m.kernels, s.kernels, "{} config {idx}", chip.name);
+                assert_eq!(m.launches, s.launches, "{} config {idx}", chip.name);
+                assert_eq!(
+                    m.global_barriers, s.global_barriers,
+                    "{} config {idx}",
+                    chip.name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random latin-hypercube clouds (random size and seed), with a
+    /// duplicated chip appended, against random trace shapes.
+    #[test]
+    fn batched_pricing_matches_oracle_on_random_clouds(
+        n in 2usize..24,
+        seed in 0u64..1_000,
+        calls in 1u32..6,
+        items in 1usize..400,
+    ) {
+        let mut chips = latin_hypercube_chips(n, seed);
+        chips.push(chips[n / 2].clone()); // duplicate chip in some batch
+        assert_batch_matches_oracle(&mixed_trace(calls, items), &chips);
+    }
+
+    /// Single-chip batches are the degenerate case: every chip alone.
+    #[test]
+    fn single_chip_batches_match_oracle(seed in 0u64..1_000) {
+        let chips = latin_hypercube_chips(3, seed);
+        let trace = mixed_trace(2, 120);
+        for chip in &chips {
+            assert_batch_matches_oracle(&trace, std::slice::from_ref(chip));
+        }
+    }
+}
+
+#[test]
+fn batched_pricing_matches_oracle_on_study_chips_and_blends() {
+    // The six paper chips, a duplicate, and interpolated blends —
+    // including endpoints t=0 and t=1 — across geometry families.
+    let mut chips = study_chips();
+    chips.push(ChipProfile::m4000());
+    for (t, name) in [(0.0, "A"), (0.35, "B"), (1.0, "C")] {
+        let mut blend = ChipProfile::interpolate(&chips[2], &chips[3], t);
+        blend.name = format!("BLEND-{name}");
+        chips.push(blend);
+    }
+    assert_batch_matches_oracle(&mixed_trace(5, 300), &chips);
+}

@@ -24,8 +24,8 @@ fn study_geometries() -> Vec<(u32, u32)> {
         .iter()
         .flat_map(|chip| {
             geometry_groups(chip)
-                .into_iter()
-                .map(|(wg, _)| (wg, chip.subgroup_size))
+                .iter()
+                .map(|(wg, _)| (*wg, chip.subgroup_size))
                 .collect::<Vec<_>>()
         })
         .collect();
