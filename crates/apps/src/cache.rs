@@ -33,6 +33,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use gpp_obs::metrics;
 use gpp_sim::trace::{Trace, RECORDER_VERSION};
 
 use crate::inputs::{StudyInput, StudyScale};
@@ -105,8 +106,17 @@ impl TraceCache {
         scale: StudyScale,
         seed: u64,
     ) -> Option<Trace> {
-        let text = std::fs::read_to_string(self.entry_path(app, input, scale, seed)).ok()?;
-        serde_json::from_str(&text).ok()
+        let loaded: Option<Trace> = std::fs::read_to_string(self.entry_path(app, input, scale, seed))
+            .ok()
+            .and_then(|text| {
+                metrics::counter("trace_cache.bytes_read", text.len() as u64);
+                serde_json::from_str(&text).ok()
+            });
+        match &loaded {
+            Some(_) => metrics::counter("trace_cache.hits", 1),
+            None => metrics::counter("trace_cache.misses", 1),
+        }
+        loaded
     }
 
     /// Stores one recorded trace, atomically (temporary file + rename)
@@ -127,6 +137,7 @@ impl TraceCache {
         let Ok(json) = serde_json::to_string(trace) else {
             return false;
         };
+        metrics::counter("trace_cache.bytes_written", json.len() as u64);
         let path = self.entry_path(app, input, scale, seed);
         let tmp = path.with_extension(format!(
             "tmp.{}.{}",

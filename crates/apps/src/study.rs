@@ -31,6 +31,7 @@ use gpp_sim::chip::study_chips;
 use gpp_sim::exec::Machine;
 use gpp_sim::opts::{OptConfig, NUM_CONFIGS};
 use gpp_sim::trace::{CompiledTrace, Recorder};
+use gpp_obs::metrics;
 use gpp_obs::Tracer;
 use serde::{Deserialize, Serialize};
 
@@ -441,21 +442,29 @@ pub fn run_study_cached(
         names.dedup();
         assert_eq!(names.len(), chips.len(), "chip names must be unique");
     }
-    let inputs = if config.extended_inputs {
-        study_inputs_extended(config.scale, config.seed)
-    } else {
-        study_inputs(config.scale, config.seed)
+    // The study span opens before input generation so the top-level
+    // phase spans (`generate-inputs`, `collect-traces`, `price-cells`,
+    // `finalize`) tile its wall time — `gpp profile` checks that the
+    // root is within a few percent of the sum of its phases.
+    let _study_span = tracer.span("study");
+    let (inputs, apps) = {
+        let _phase = tracer.span_detail("phase", Some("generate-inputs".to_owned()));
+        let inputs = if config.extended_inputs {
+            study_inputs_extended(config.scale, config.seed)
+        } else {
+            study_inputs(config.scale, config.seed)
+        };
+        let mut apps = all_applications();
+        if config.dsl_programs {
+            // Each DslApp compiles its program to bytecode exactly once —
+            // the OnceLock is shared across inputs and worker threads.
+            apps.extend(crate::dsl::dsl_applications());
+        }
+        (inputs, apps)
     };
-    let mut apps = all_applications();
-    if config.dsl_programs {
-        // Each DslApp compiles its program to bytecode exactly once —
-        // the OnceLock is shared across inputs and worker threads.
-        apps.extend(crate::dsl::dsl_applications());
-    }
     let chips = chips.to_vec();
     let machines: Vec<Machine> = chips.iter().cloned().map(Machine::new).collect();
     let threads = config.effective_threads();
-    let _study_span = tracer.span("study");
 
     // Phase 1: one trace per (input, application) pair, input-major —
     // loaded from the cache when possible, recorded (and stored back)
@@ -493,6 +502,7 @@ pub fn run_study_cached(
                         c.store(app.name(), input, config.scale, config.seed, &trace);
                     }
                     tracer.counter("traces-compiled", None, 1.0);
+                    metrics::counter("study.traces_compiled", 1);
                     trace
                 }
             };
@@ -524,6 +534,7 @@ pub fn run_study_cached(
                     )),
                 )
             });
+            let priced_at = metrics::start();
             let priced = traces[p].replay_all_configs(machine);
             let times: Vec<Vec<f64>> = (0..NUM_CONFIGS)
                 .map(|idx| {
@@ -541,6 +552,8 @@ pub fn run_study_cached(
                 })
                 .collect();
             tracer.counter("cells-priced", None, 1.0);
+            metrics::counter("study.cells_priced", 1);
+            metrics::observe_since("study.cell_price_ns", priced_at);
             Cell::new(
                 apps[a].name().to_owned(),
                 inputs[i].name.clone(),
@@ -550,6 +563,7 @@ pub fn run_study_cached(
         })
     };
 
+    let _finalize = tracer.span_detail("phase", Some("finalize".to_owned()));
     Dataset::new(
         apps.iter().map(|a| a.name().to_owned()).collect(),
         inputs.iter().map(|i| i.name.clone()).collect(),

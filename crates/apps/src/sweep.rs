@@ -17,6 +17,8 @@
 //! is a pure function of its configuration and chip set, so batched and
 //! per-chip (`oracle`) runs serialise byte-identically.
 
+use gpp_obs::metrics;
+use gpp_obs::Tracer;
 use gpp_sim::chip::{ChipBatch, ChipProfile};
 use gpp_sim::exec::Machine;
 use gpp_sim::opts::{settings_enabling, Optimization};
@@ -27,7 +29,7 @@ use crate::app::validate;
 use crate::apps::all_applications;
 use crate::cache::TraceCache;
 use crate::inputs::{study_inputs, StudyScale};
-use crate::par::par_map;
+use crate::par::par_map_traced;
 
 /// Parameters of a chip sweep.
 #[derive(Debug, Clone, Copy)]
@@ -142,9 +144,32 @@ pub fn run_sweep_cached(
     chips: &[ChipProfile],
     cache: Option<&TraceCache>,
 ) -> ChipSweep {
+    run_sweep_traced(config, chips, &Tracer::disabled(), cache)
+}
+
+/// [`run_sweep_cached`] with pipeline tracing: emits a `sweep` span
+/// over the whole run, a `phase` span per pipeline stage
+/// (`generate-inputs`, `collect-traces`, `price-batches`, `finalize`),
+/// and per-worker `busy-ns` counters, exactly following the study's
+/// span conventions so `gpp profile sweep` and [`gpp_obs::TraceSummary`]
+/// work unchanged. With a disabled tracer this *is*
+/// [`run_sweep_cached`]; the sweep is byte-identical either way.
+///
+/// # Panics
+///
+/// Panics as [`run_sweep`] does.
+pub fn run_sweep_traced(
+    config: &SweepConfig,
+    chips: &[ChipProfile],
+    tracer: &Tracer,
+    cache: Option<&TraceCache>,
+) -> ChipSweep {
     assert!(!chips.is_empty(), "need at least one chip to sweep");
-    let inputs = study_inputs(config.scale, config.seed);
-    let apps = all_applications();
+    let _sweep_span = tracer.span("sweep");
+    let (inputs, apps) = {
+        let _phase = tracer.span_detail("phase", Some("generate-inputs".to_owned()));
+        (study_inputs(config.scale, config.seed), all_applications())
+    };
     let threads = crate::par::effective_threads(config.threads);
 
     // Geometry families; a representative machine per family is enough
@@ -161,30 +186,33 @@ pub fn run_sweep_cached(
     let pairs: Vec<(usize, usize)> = (0..inputs.len())
         .flat_map(|i| (0..apps.len()).map(move |a| (i, a)))
         .collect();
-    let traces: Vec<CompiledTrace> = par_map(&pairs, threads, |_, &(i, a)| {
-        let (input, app) = (&inputs[i], &apps[a]);
-        let cached = cache.and_then(|c| c.load(app.name(), input, config.scale, config.seed));
-        let trace = match cached {
-            Some(trace) => trace,
-            None => {
-                let mut recorder = Recorder::new();
-                let output = app.run(&input.graph, &mut recorder);
-                if config.validate {
-                    if let Err(e) = validate(&input.graph, &output) {
-                        panic!("{} on {}: {e}", app.name(), input.name);
+    let traces: Vec<CompiledTrace> = {
+        let _phase = tracer.span_detail("phase", Some("collect-traces".to_owned()));
+        par_map_traced(&pairs, threads, tracer, "collect-traces", |_, &(i, a)| {
+            let (input, app) = (&inputs[i], &apps[a]);
+            let cached = cache.and_then(|c| c.load(app.name(), input, config.scale, config.seed));
+            let trace = match cached {
+                Some(trace) => trace,
+                None => {
+                    let mut recorder = Recorder::new();
+                    let output = app.run(&input.graph, &mut recorder);
+                    if config.validate {
+                        if let Err(e) = validate(&input.graph, &output) {
+                            panic!("{} on {}: {e}", app.name(), input.name);
+                        }
                     }
+                    let trace = recorder.into_trace();
+                    if let Some(c) = cache {
+                        c.store(app.name(), input, config.scale, config.seed, &trace);
+                    }
+                    trace
                 }
-                let trace = recorder.into_trace();
-                if let Some(c) = cache {
-                    c.store(app.name(), input, config.scale, config.seed, &trace);
-                }
-                trace
-            }
-        };
-        let compiled = CompiledTrace::new(trace);
-        compiled.precompile_all(&reps);
-        compiled
-    });
+            };
+            let compiled = CompiledTrace::new(trace);
+            compiled.precompile_all(&reps);
+            compiled
+        })
+    };
 
     // Phase 2: price each (pair, batch) task — every chip in the batch
     // in one traversal per geometry, or one chip at a time when
@@ -195,25 +223,31 @@ pub fn run_sweep_cached(
     let tasks: Vec<(usize, usize)> = (0..pairs.len())
         .flat_map(|p| (0..batches.len()).map(move |b| (p, b)))
         .collect();
-    let priced: Vec<Vec<Vec<f64>>> = par_map(&tasks, threads, |_, &(p, b)| {
-        let batch = &batches[b];
-        if config.per_chip {
-            batch
-                .chips()
-                .iter()
-                .map(|chip| {
-                    let stats = traces[p].replay_all_configs(&Machine::new(chip.clone()));
-                    pair_opt_means(&stats, &probes)
-                })
-                .collect()
-        } else {
-            traces[p]
-                .replay_all_configs_many_chips(batch)
-                .iter()
-                .map(|stats| pair_opt_means(stats, &probes))
-                .collect()
-        }
-    });
+    let priced: Vec<Vec<Vec<f64>>> = {
+        let _phase = tracer.span_detail("phase", Some("price-batches".to_owned()));
+        par_map_traced(&tasks, threads, tracer, "price-batches", |_, &(p, b)| {
+            let batch = &batches[b];
+            if config.per_chip {
+                batch
+                    .chips()
+                    .iter()
+                    .map(|chip| {
+                        let stats = traces[p].replay_all_configs(&Machine::new(chip.clone()));
+                        pair_opt_means(&stats, &probes)
+                    })
+                    .collect()
+            } else {
+                traces[p]
+                    .replay_all_configs_many_chips(batch)
+                    .iter()
+                    .map(|stats| pair_opt_means(stats, &probes))
+                    .collect()
+            }
+        })
+    };
+    metrics::counter("sweep.chips_priced", (chips.len() * pairs.len()) as u64);
+
+    let _finalize = tracer.span_detail("phase", Some("finalize".to_owned()));
 
     // Scatter batch-local rows back to input chip order and average over
     // pairs (task order is pair-major, so each chip's fold visits pairs
@@ -315,6 +349,42 @@ mod tests {
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&b).unwrap()
         );
+    }
+
+    #[test]
+    fn traced_sweep_is_byte_identical_to_untraced() {
+        use std::sync::Arc;
+        let chips = study_chips();
+        let plain = run_sweep(&SweepConfig::tiny(), &chips);
+        let sink = Arc::new(gpp_obs::MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        let traced = run_sweep_traced(
+            &SweepConfig {
+                threads: 4,
+                ..SweepConfig::tiny()
+            },
+            &chips,
+            &tracer,
+            None,
+        );
+        assert_eq!(plain, traced);
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&traced).unwrap()
+        );
+        let events = sink.take();
+        assert!(events.iter().any(|e| e.name == "sweep"));
+        for phase in ["generate-inputs", "collect-traces", "price-batches", "finalize"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.name == "phase" && e.detail.as_deref() == Some(phase)),
+                "missing phase span {phase}"
+            );
+        }
+        assert!(events
+            .iter()
+            .any(|e| e.name == "busy-ns" && e.detail.as_deref() == Some("price-batches")));
     }
 
     #[test]

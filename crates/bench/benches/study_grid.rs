@@ -35,7 +35,7 @@ use gpp_core::strategy::{
 use gpp_graph::generators;
 use gpp_irgl::bytecode::{CompiledProgram, KernelVm};
 use gpp_irgl::{interp, programs};
-use gpp_obs::{MemorySink, NullSink, Tracer};
+use gpp_obs::{metrics, MemorySink, NullSink, Tracer};
 use gpp_sim::chip::{latin_hypercube_chips, study_chips, ChipBatch};
 use gpp_sim::exec::{CallAggregates, Machine, RunStats};
 use gpp_sim::opts::all_configs;
@@ -76,6 +76,25 @@ fn bench_tracing_overhead(c: &mut Criterion) {
             let ds = run_study_traced(&small(0), &chips, &Tracer::new(sink.clone()));
             (ds, sink.take().len())
         })
+    });
+    group.finish();
+}
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    // What the metrics registry costs: the disabled fast path (one
+    // relaxed atomic load per call site, which must be effectively
+    // free) vs recording every pipeline counter and latency histogram
+    // into per-thread shards. The baseline writer turns the same
+    // comparison into the committed `metrics_overhead_fraction`.
+    let registry = metrics::global();
+    let mut group = c.benchmark_group("study_metrics_overhead");
+    group.sample_size(10);
+    group.bench_function("metrics_disabled", |b| b.iter(|| run_study(&small(0))));
+    group.bench_function("metrics_enabled", |b| {
+        registry.reset();
+        registry.set_enabled(true);
+        b.iter(|| run_study(&small(0)));
+        registry.set_enabled(false);
     });
     group.finish();
 }
@@ -290,6 +309,20 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
     let traced_seconds = t.elapsed().as_secs_f64();
     let traced_identical = traced == parallel;
 
+    // Metrics-registry overhead: the same parallel run with every
+    // pipeline counter, gauge, and latency histogram recorded into the
+    // process-wide registry. The budget is <2% over the plain run.
+    let registry = metrics::global();
+    registry.reset();
+    registry.set_enabled(true);
+    let t = Instant::now();
+    let metered = run_study(&StudyConfig { threads: 0, ..cfg });
+    let metrics_seconds = t.elapsed().as_secs_f64();
+    let metrics_snapshot = registry.snapshot();
+    registry.set_enabled(false);
+    let metrics_identical = metered == parallel;
+    let metrics_overhead_fraction = metrics_seconds / parallel_seconds - 1.0;
+
     // The analysis pipeline over the collected dataset: strategy
     // spectrum, chip function, leave-one-out prediction, and the
     // sensitivity sweep, at one thread vs the fan-out width.
@@ -486,6 +519,9 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         "traced_seconds": traced_seconds,
         "tracing_overhead_fraction": traced_seconds / parallel_seconds - 1.0,
         "traced_identical_to_untraced": traced_identical,
+        "metrics_seconds": metrics_seconds,
+        "metrics_overhead_fraction": metrics_overhead_fraction,
+        "metrics_identical_to_plain": metrics_identical,
         "analysis_serial_seconds": analysis_serial_seconds,
         "analysis_parallel_seconds": analysis_parallel_seconds,
         "analysis_speedup": analysis_serial_seconds / analysis_parallel_seconds,
@@ -504,7 +540,7 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         "chip_sweep_chips_per_second": chip_sweep_chips_per_second,
         "chip_batch_speedup": chip_batch_speedup,
         "chip_batch_identical_to_per_chip": chip_batch_identical,
-        "regenerate": "cargo bench --bench study_grid (criterion groups: study_grid, cell_pricing_96_configs, study_tracing_overhead, analysis_pipeline, chip_sweep, interp_vs_bytecode; then writes this baseline)",
+        "regenerate": "cargo bench --bench study_grid (criterion groups: study_grid, cell_pricing_96_configs, study_tracing_overhead, study_metrics_overhead, analysis_pipeline, chip_sweep, interp_vs_bytecode; then writes this baseline)",
     });
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).expect("create baseline directory");
@@ -523,6 +559,21 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
     assert!(
         traced_identical,
         "traced dataset must equal the untraced dataset"
+    );
+    assert!(
+        metrics_identical,
+        "metered dataset must equal the plain dataset"
+    );
+    assert_eq!(
+        metrics_snapshot.counters.get("study.cells_priced").copied(),
+        Some(metered.cells.len() as u64),
+        "metrics registry must see every priced cell exactly once"
+    );
+    eprintln!(
+        "[metrics: {metrics_seconds:.2}s metered ({:+.1}% vs plain), {} counters, {} histograms]",
+        metrics_overhead_fraction * 100.0,
+        metrics_snapshot.counters.len(),
+        metrics_snapshot.histograms.len()
     );
     assert!(
         analysis_identical,
@@ -550,7 +601,8 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(5));
     targets = bench_study_grid, bench_cell_pricing, bench_tracing_overhead,
-        bench_analysis_pipeline, bench_chip_sweep, bench_interp_vs_bytecode
+        bench_metrics_overhead, bench_analysis_pipeline, bench_chip_sweep,
+        bench_interp_vs_bytecode
 }
 
 fn main() {

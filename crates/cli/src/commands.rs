@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use gpp_apps::cache::TraceCache;
 use gpp_apps::study::{run_study, run_study_cached, Dataset, StudyConfig};
-use gpp_apps::sweep::{run_sweep_cached, SweepConfig};
+use gpp_apps::sweep::{run_sweep_cached, run_sweep_traced, SweepConfig};
 use gpp_apps::StudyScale;
 use gpp_core::analysis::{DatasetStats, Decision};
 use gpp_core::report::{percent, ratio, Table};
@@ -18,7 +18,11 @@ use gpp_core::{
 };
 use gpp_graph::{io as graph_io, properties};
 use gpp_irgl::{codegen, interp, parser, programs, transform};
-use gpp_obs::{CostBreakdown, FileSink, MemorySink, TeeSink, TraceSummary, Tracer};
+use gpp_obs::regress::{self, Direction};
+use gpp_obs::{
+    expose, metrics, CostBreakdown, FileSink, MemorySink, PhaseProfiler, TeeSink, TraceSummary,
+    Tracer,
+};
 use gpp_sim::chip::{latin_hypercube_chips, study_chip, study_chips, ChipProfile};
 use gpp_sim::exec::Machine;
 use gpp_sim::memmodel::chip_support;
@@ -51,6 +55,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         "run-dsl" => run_dsl(args, out),
         "sensitivity" => sensitivity_cmd(args, out),
         "sweep" => sweep_cmd(args, out),
+        "profile" => profile_cmd(args, out),
+        "bench-check" => bench_check(args, out),
         "predict" => predict_cmd(args, out),
         "export-csv" => export_csv(args, out),
         "export-chips" => export_chips(args, out),
@@ -69,7 +75,9 @@ fn help(out: &mut dyn Write) -> Result<(), String> {
         "gpp — quantifying performance portability of graph applications on (simulated) GPUs\n\n\
          commands:\n  \
          chips                       the six study chips (Table I)\n  \
-         study [--scale S] [--seed N] [--threads N] [--out FILE] [--chips FILE] [--trace-out FILE] [--trace-cache DIR] [--dsl]\n                              run the full grid and save the dataset; --trace-out\n                              streams pipeline spans/counters as JSONL and prints a summary;\n                              --trace-cache persists recorded traces so warm runs skip\n                              the collect-traces phase (delete DIR to invalidate);\n                              --dsl appends the seven bytecode-compiled DSL programs\n  \
+         study [--scale S] [--seed N] [--threads N] [--out FILE] [--chips FILE] [--trace-out FILE] [--trace-cache DIR] [--metrics-out FILE] [--dsl]\n                              run the full grid and save the dataset; --trace-out\n                              streams pipeline spans/counters as JSONL and prints a summary;\n                              --trace-cache persists recorded traces so warm runs skip\n                              the collect-traces phase (delete DIR to invalidate);\n                              --metrics-out snapshots the pipeline metrics registry\n                              (counters, gauges, latency histograms) as JSON;\n                              --dsl appends the seven bytecode-compiled DSL programs\n  \
+         profile [study|sweep] [--smoke] [--scale S] [--seed N] [--threads N] [--chips N] [--metrics-out FILE] [--prometheus-out FILE]\n                              run a workload under the phase profiler and print the\n                              nested phase tree (total/self wall, worker utilisation),\n                              throughput, and peak RSS; the workload's outputs are\n                              byte-identical to an unprofiled run\n  \
+         bench-check [--baseline FILE] [--current FILE] [--tolerance F] [--smoke]\n                              regression gate: compare a metrics snapshot against the\n                              checked-in bench baseline (default BENCH_study.json) and\n                              exit nonzero when a key regresses beyond the tolerance\n                              (default 0.25); --smoke only sanity-checks the baseline\n  \
          explain [--app A] [--input I] [--chip C] [--opts OPTS] [--scale S]\n                              per-mechanism cost attribution of one priced cell per chip\n  \
          export-chips FILE           write the six study chip models as JSON\n  \
          analyze [--data FILE] [--threads N]\n                              strategy spectrum (Figs 3 and 4)\n  \
@@ -156,16 +164,32 @@ fn study(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         dsl_programs: args.flag("dsl"),
         ..StudyConfig::default()
     };
+    // With --metrics-out, the process-wide metrics registry records the
+    // pipeline's counters, gauges, and latency histograms for the
+    // duration of the run and the snapshot lands in the given file.
+    // Like tracing, metrics only observe — the dataset is
+    // byte-identical either way.
+    let metrics_out = args.opt("metrics-out");
+    if metrics_out.is_some() {
+        metrics::global().reset();
+        metrics::global().set_enabled(true);
+    }
     // With --trace-out, events stream to the file as JSONL and are also
-    // kept in memory for the end-of-run summary. The dataset itself is
-    // byte-identical with tracing on or off.
+    // kept in memory for the end-of-run summary. A memory-only tracer
+    // rides along whenever a trace cache or a metrics snapshot is in
+    // play, so cache hit/miss totals are reported even without a trace
+    // sink configured. The dataset itself is byte-identical with
+    // tracing on or off.
     let memory = Arc::new(MemorySink::new());
     let tracer = match args.opt("trace-out") {
-        None => Tracer::disabled(),
         Some(path) => {
             let file = FileSink::create(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
             Tracer::new(Arc::new(TeeSink::new(vec![memory.clone(), Arc::new(file)])))
         }
+        None if args.opt("trace-cache").is_some() || metrics_out.is_some() => {
+            Tracer::new(memory.clone())
+        }
+        None => Tracer::disabled(),
     };
     // With --trace-cache, recorded traces persist across invocations; a
     // warm cache skips the collect-traces phase (same dataset, byte for
@@ -226,23 +250,48 @@ fn study(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                 ),
             )?;
         }
-        let mut t = Table::new(["Phase", "Wall (ms)", "Workers", "Busy"]);
-        for p in &summary.phases {
-            t.row([
-                p.name.clone(),
-                format!("{:.1}", p.wall_ns / 1e6),
-                p.workers.to_string(),
-                percent(p.busy_frac),
-            ]);
+        if metrics_out.is_some() {
+            for p in &summary.phases {
+                metrics::gauge(&format!("study.phase_seconds.{}", p.name), p.wall_ns / 1e9);
+            }
         }
-        w(out, &t)?;
-        w(out, "slowest cells:")?;
-        for (label, ns) in &summary.slowest_cells {
-            w(out, format!("  {:>10.2} ms  {label}", ns / 1e6))?;
+        // The full phase table and slowest-cell listing stay tied to an
+        // explicit trace sink; cache and metrics runs only get the two
+        // summary lines above.
+        if args.opt("trace-out").is_some() {
+            let mut t = Table::new(["Phase", "Wall (ms)", "Workers", "Busy"]);
+            for p in &summary.phases {
+                t.row([
+                    p.name.clone(),
+                    format!("{:.1}", p.wall_ns / 1e6),
+                    p.workers.to_string(),
+                    percent(p.busy_frac),
+                ]);
+            }
+            w(out, &t)?;
+            w(out, "slowest cells:")?;
+            for (label, ns) in &summary.slowest_cells {
+                w(out, format!("  {:>10.2} ms  {label}", ns / 1e6))?;
+            }
+            if let Some(trace_path) = args.opt("trace-out") {
+                w(out, format!("trace written to {trace_path}"))?;
+            }
         }
-        if let Some(trace_path) = args.opt("trace-out") {
-            w(out, format!("trace written to {trace_path}"))?;
-        }
+    }
+    if let Some(path) = metrics_out {
+        metrics::gauge("study.wall_seconds", started.elapsed().as_secs_f64());
+        let snapshot = metrics::global().snapshot();
+        metrics::global().set_enabled(false);
+        std::fs::write(path, snapshot.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        w(
+            out,
+            format!(
+                "metrics: {} counters, {} gauges, {} histograms written to {path}",
+                snapshot.counters.len(),
+                snapshot.gauges.len(),
+                snapshot.histograms.len()
+            ),
+        )?;
     }
     Ok(())
 }
@@ -313,13 +362,27 @@ fn explain(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     }
     t.row(row);
     w(out, &t)?;
+    let width = footer_width(priced.iter().map(|(c, _, _)| c.name.as_str()));
     for (chip, _, _) in &priced {
         w(
             out,
-            format!("{:>8}: {}", chip.name, chip_support(&chip.name).label()),
+            format!("{:>width$}: {}", chip.name, chip_support(&chip.name).label()),
         )?;
     }
     Ok(())
+}
+
+/// Width of the name column in per-chip footer lines: the longest name
+/// present (so long names stay aligned instead of overflowing a fixed
+/// field), floored at 8 to keep the historical alignment for the short
+/// study-chip names.
+fn footer_width<'a>(names: impl IntoIterator<Item = &'a str>) -> usize {
+    names
+        .into_iter()
+        .map(|n| n.chars().count())
+        .max()
+        .unwrap_or(0)
+        .max(8)
 }
 
 fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
@@ -371,8 +434,9 @@ fn chip_function_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         t.row(row);
     }
     w(out, &t)?;
+    let width = footer_width(table.iter().map(|(c, _)| c.as_str()));
     for (chip, analysis) in &table {
-        w(out, format!("{chip:>8}: {}", analysis.config))?;
+        w(out, format!("{chip:>width$}: {}", analysis.config))?;
     }
     Ok(())
 }
@@ -728,6 +792,225 @@ fn sweep_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// Self-profiling wrapper: run a study or sweep workload with the
+/// phase profiler and the metrics registry attached, then print the
+/// aggregated phase tree (total/self wall time, worker utilisation),
+/// throughput, and peak RSS. Profiling is pure observation — the
+/// workload's outputs are byte-identical to an unprofiled run — so
+/// this is the cheap way to answer "where does the pipeline spend its
+/// time" without re-plumbing any flags.
+fn profile_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let target = args
+        .positional
+        .first()
+        .map_or("study", String::as_str)
+        .to_owned();
+    if target != "study" && target != "sweep" {
+        return Err(format!("cannot profile `{target}` (study | sweep)"));
+    }
+    let smoke = args.flag("smoke");
+    let scale = match args.opt("scale") {
+        Some(_) => parse_scale(args)?,
+        None if smoke => StudyScale::Tiny,
+        None => StudyScale::Small,
+    };
+    let threads = args.num("threads", 0usize)?;
+    metrics::global().reset();
+    metrics::global().set_enabled(true);
+    let profiler = PhaseProfiler::new();
+    let tracer = profiler.tracer();
+    let started = std::time::Instant::now();
+    // (unit label, total count) pairs for the throughput lines.
+    let throughput: Vec<(&str, f64)> = match target.as_str() {
+        "study" => {
+            let cfg = StudyConfig {
+                scale,
+                seed: args.num("seed", StudyConfig::default().seed)?,
+                runs: args.num("runs", 3usize)?,
+                threads,
+                dsl_programs: args.flag("dsl"),
+                ..StudyConfig::default()
+            };
+            let ds = run_study_cached(&cfg, &study_chips(), &tracer, None);
+            vec![
+                ("cells", ds.cells.len() as f64),
+                ("configurations", (ds.cells.len() * 96) as f64),
+            ]
+        }
+        _ => {
+            let cfg = SweepConfig {
+                scale,
+                seed: args.num("seed", SweepConfig::default().seed)?,
+                threads,
+                per_chip: args.flag("per-chip"),
+                ..SweepConfig::default()
+            };
+            let n: usize = args.num("chips", if smoke { 32 } else { 512 })?;
+            if n < 2 {
+                return Err("--chips must be at least 2".into());
+            }
+            let sweep = run_sweep_traced(&cfg, &latin_hypercube_chips(n, cfg.seed), &tracer, None);
+            vec![
+                ("chips", sweep.chips.len() as f64),
+                (
+                    "chip-configs",
+                    (sweep.chips.len() * sweep.pairs * 96) as f64,
+                ),
+            ]
+        }
+    };
+    let wall = started.elapsed().as_secs_f64();
+    metrics::gauge(&format!("{target}.wall_seconds"), wall);
+    let snapshot = metrics::global().snapshot();
+    metrics::global().set_enabled(false);
+    let report = profiler.finish();
+    let mut t = Table::new(["Phase", "Total (ms)", "Self (ms)", "Count", "Workers", "Busy"]);
+    for root in &report.roots {
+        for (depth, node) in root.flattened() {
+            t.row([
+                format!("{}{}", "  ".repeat(depth), node.name),
+                format!("{:.1}", node.wall_ns / 1e6),
+                format!("{:.1}", node.self_ns / 1e6),
+                node.count.to_string(),
+                node.workers.to_string(),
+                percent(node.busy_frac),
+            ]);
+        }
+    }
+    w(out, &t)?;
+    // The top-level phases should tile the run span — coverage well
+    // below 100% means a stage is running uninstrumented.
+    for root in &report.roots {
+        w(
+            out,
+            format!(
+                "phase coverage of `{}`: {} of {:.1} ms wall",
+                root.name,
+                percent(root.children_wall_ns() / root.wall_ns.max(1.0)),
+                root.wall_ns / 1e6
+            ),
+        )?;
+    }
+    for (unit, count) in &throughput {
+        w(
+            out,
+            format!(
+                "throughput: {:.0} {unit}/s ({count:.0} {unit} in {wall:.2} s wall)",
+                count / wall.max(f64::MIN_POSITIVE)
+            ),
+        )?;
+    }
+    if let Some(rss) = report.peak_rss_bytes {
+        w(
+            out,
+            format!("peak rss: {:.1} MiB", rss as f64 / (1024.0 * 1024.0)),
+        )?;
+    }
+    if let Some(path) = args.opt("metrics-out") {
+        std::fs::write(path, snapshot.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        w(out, format!("metrics written to {path}"))?;
+    }
+    if let Some(path) = args.opt("prometheus-out") {
+        std::fs::write(path, expose::to_prometheus(&snapshot))
+            .map_err(|e| format!("{path}: {e}"))?;
+        w(out, format!("prometheus metrics written to {path}"))?;
+    }
+    Ok(())
+}
+
+/// Regression gate: compare a current metrics snapshot (or a
+/// regenerated bench baseline) against the checked-in baseline with a
+/// relative tolerance, and fail — nonzero process exit — when any
+/// shared key moves the wrong way beyond it. `--smoke` skips the
+/// comparison and only sanity-checks the baseline itself (numbers
+/// finite, identity invariants not recorded as false), which needs no
+/// fresh measurement and so can run on every CI push.
+fn bench_check(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let baseline_path = args.opt("baseline").unwrap_or("BENCH_study.json");
+    let text =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    if args.flag("smoke") {
+        let flat = regress::flatten(&baseline);
+        let mut problems = Vec::new();
+        for (key, value) in &flat {
+            if !value.is_finite() {
+                problems.push(format!("`{key}` is not finite ({value})"));
+            } else if key.contains("identical") && *value < 1.0 {
+                problems.push(format!("identity invariant `{key}` is recorded as false"));
+            } else if (key.ends_with("_seconds") || key.ends_with("_bytes")) && *value < 0.0 {
+                problems.push(format!("`{key}` is negative ({value})"));
+            }
+        }
+        if !problems.is_empty() {
+            return Err(format!(
+                "bench-check --smoke: {baseline_path}: {}",
+                problems.join("; ")
+            ));
+        }
+        return w(
+            out,
+            format!(
+                "bench-check --smoke: {} baseline fields sane in {baseline_path}",
+                flat.len()
+            ),
+        );
+    }
+    let current_path = args.opt("current").ok_or(
+        "usage: gpp bench-check --current FILE [--baseline FILE] [--tolerance F] (or --smoke)",
+    )?;
+    let text =
+        std::fs::read_to_string(current_path).map_err(|e| format!("{current_path}: {e}"))?;
+    let current: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{current_path}: {e}"))?;
+    let tolerance: f64 = args.num("tolerance", 0.25)?;
+    let comparison = regress::compare(&baseline, &current, tolerance);
+    if comparison.checks.is_empty() {
+        return Err(format!(
+            "bench-check: no comparable keys between {baseline_path} and {current_path}"
+        ));
+    }
+    let mut t = Table::new(["Key", "Baseline", "Current", "Change", "Status"]);
+    for c in &comparison.checks {
+        t.row([
+            c.key.clone(),
+            format!("{:.4}", c.baseline),
+            format!("{:.4}", c.current),
+            format!("{:+.1}%", c.change * 100.0),
+            match (c.regressed, c.direction) {
+                (true, _) => "REGRESSED".to_owned(),
+                (false, Direction::Informational) => "info".to_owned(),
+                (false, _) => "ok".to_owned(),
+            },
+        ]);
+    }
+    w(out, &t)?;
+    let regressions = comparison.regressions();
+    if regressions.is_empty() {
+        w(
+            out,
+            format!(
+                "bench-check: {} keys compared at {:.0}% tolerance, no regressions",
+                comparison.checks.len(),
+                tolerance * 100.0
+            ),
+        )
+    } else {
+        Err(format!(
+            "bench-check: {} of {} keys regressed beyond {:.0}% tolerance: {}",
+            regressions.len(),
+            comparison.checks.len(),
+            tolerance * 100.0,
+            regressions
+                .iter()
+                .map(|c| c.key.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -750,6 +1033,8 @@ mod tests {
             "codegen",
             "sensitivity",
             "sweep",
+            "profile",
+            "bench-check",
         ] {
             assert!(text.contains(cmd), "missing {cmd}");
         }
@@ -1137,6 +1422,196 @@ mod tests {
         assert!(run_cmd("explain --scale tiny --input lattice")
             .unwrap_err()
             .contains("lattice"));
+    }
+
+    /// Serialises tests that enable the process-wide metrics registry,
+    /// so they don't reset or disable it under each other. Other tests
+    /// may still record counters while the registry is enabled, which
+    /// is why the assertions below are monotone (`>=`), never exact.
+    static METRICS_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn study_reports_cache_hits_without_a_trace_sink() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-cache2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache_dir = dir.join("trace-cache");
+        let (cold_path, warm_path) = (dir.join("cold.json"), dir.join("warm.json"));
+        let cold = run_cmd(&format!(
+            "study --scale tiny --trace-cache {} --out {}",
+            cache_dir.display(),
+            cold_path.display()
+        ))
+        .unwrap();
+        // A cold run misses every (app, input) pair; the summary lines
+        // appear even though no --trace-out sink is configured, but the
+        // full phase table and slowest-cell listing stay gated on it.
+        assert!(cold.contains("trace cache: 0 hits, 51 misses"), "{cold}");
+        assert!(cold.contains("51 traces compiled"), "{cold}");
+        assert!(!cold.contains("slowest cells"), "{cold}");
+        assert!(!cold.contains("Phase"), "{cold}");
+        let warm = run_cmd(&format!(
+            "study --scale tiny --trace-cache {} --out {}",
+            cache_dir.display(),
+            warm_path.display()
+        ))
+        .unwrap();
+        assert!(warm.contains("trace cache: 51 hits, 0 misses"), "{warm}");
+        assert!(warm.contains("0 traces compiled"), "{warm}");
+        assert_eq!(
+            std::fs::read(&cold_path).unwrap(),
+            std::fs::read(&warm_path).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn study_metrics_out_writes_a_parseable_snapshot() {
+        let _guard = METRICS_TESTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = std::env::temp_dir().join(format!("gpp-cli-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (metrics_path, ds_path, plain_path) = (
+            dir.join("metrics.json"),
+            dir.join("ds.json"),
+            dir.join("plain.json"),
+        );
+        let text = run_cmd(&format!(
+            "study --scale tiny --threads 4 --metrics-out {} --out {}",
+            metrics_path.display(),
+            ds_path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("metrics:"), "{text}");
+        let snap = gpp_obs::MetricsSnapshot::from_json(
+            &std::fs::read_to_string(&metrics_path).unwrap(),
+        )
+        .unwrap();
+        assert!(*snap.counters.get("study.traces_compiled").unwrap() >= 51);
+        assert!(*snap.counters.get("study.cells_priced").unwrap() >= 306);
+        assert!(snap.counters.contains_key("replay.batched_traversals"));
+        assert!(*snap.gauges.get("study.wall_seconds").unwrap() > 0.0);
+        assert!(snap.gauges.contains_key("study.phase_seconds.price-cells"));
+        let hist = snap.histograms.get("study.cell_price_ns").unwrap();
+        assert!(hist.count >= 306, "histogram count {}", hist.count);
+        assert!(hist.p50 <= hist.p99);
+        // The instrumented dataset is byte-identical to a plain run.
+        run_cmd(&format!(
+            "study --scale tiny --threads 4 --out {}",
+            plain_path.display()
+        ))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&ds_path).unwrap(),
+            std::fs::read(&plain_path).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_study_smoke_prints_the_phase_tree() {
+        let _guard = METRICS_TESTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = std::env::temp_dir().join(format!("gpp-cli-profile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (json_path, prom_path) = (dir.join("metrics.json"), dir.join("metrics.prom"));
+        let text = run_cmd(&format!(
+            "profile study --smoke --threads 2 --metrics-out {} --prometheus-out {}",
+            json_path.display(),
+            prom_path.display()
+        ))
+        .unwrap();
+        for needle in [
+            "study",
+            "generate-inputs",
+            "collect-traces",
+            "price-cells",
+            "finalize",
+            "phase coverage of `study`",
+            "throughput:",
+            "cells/s",
+        ] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+        let snap = gpp_obs::MetricsSnapshot::from_json(
+            &std::fs::read_to_string(&json_path).unwrap(),
+        )
+        .unwrap();
+        assert!(*snap.counters.get("study.cells_priced").unwrap() >= 306);
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("# TYPE gpp_study_cells_priced counter"), "{prom}");
+        assert!(prom.contains("quantile=\"0.99\""), "{prom}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_sweep_smoke_prints_batch_phases() {
+        let _guard = METRICS_TESTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let text = run_cmd("profile sweep --smoke --chips 4 --threads 2").unwrap();
+        for needle in ["sweep", "price-batches", "collect-traces", "chip-configs"] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn profile_rejects_unknown_targets() {
+        let err = run_cmd("profile frobnicate").unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn bench_check_smoke_accepts_the_checked_in_baseline() {
+        let baseline =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_study.json");
+        let text = run_cmd(&format!(
+            "bench-check --smoke --baseline {}",
+            baseline.display()
+        ))
+        .unwrap();
+        assert!(text.contains("baseline fields sane"), "{text}");
+    }
+
+    #[test]
+    fn bench_check_gates_on_an_injected_regression() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-gate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (baseline, current) = (dir.join("baseline.json"), dir.join("current.json"));
+        // A metrics snapshot's study.wall_seconds aliases the bench
+        // baseline's parallel_seconds; an absurdly fast baseline makes
+        // any real run a regression.
+        std::fs::write(&baseline, r#"{"parallel_seconds": 1e-12}"#).unwrap();
+        std::fs::write(&current, r#"{"gauges": {"study.wall_seconds": 0.5}}"#).unwrap();
+        let err = run_cmd(&format!(
+            "bench-check --baseline {} --current {}",
+            baseline.display(),
+            current.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        assert!(err.contains("parallel_seconds"), "{err}");
+        // A faster-than-baseline run passes.
+        std::fs::write(&baseline, r#"{"parallel_seconds": 10.0}"#).unwrap();
+        let text = run_cmd(&format!(
+            "bench-check --baseline {} --current {}",
+            baseline.display(),
+            current.display()
+        ))
+        .unwrap();
+        assert!(text.contains("no regressions"), "{text}");
+        // Disjoint key sets are a configuration error, not a pass.
+        std::fs::write(&current, r#"{"unrelated": 1.0}"#).unwrap();
+        let err = run_cmd(&format!(
+            "bench-check --baseline {} --current {}",
+            baseline.display(),
+            current.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("no comparable keys"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn footer_width_tracks_the_longest_name() {
+        assert_eq!(footer_width(["R9", "MALI"]), 8);
+        assert_eq!(footer_width(["a-very-long-chip-name"]), 21);
+        assert_eq!(footer_width(std::iter::empty::<&str>()), 8);
     }
 
     #[test]

@@ -270,7 +270,12 @@ impl CompiledProgram {
     /// would; compilation itself cannot fail on a validated program.
     pub fn compile(program: &Program) -> Result<Self, IrglError> {
         validate(program)?;
-        let kernels = program.kernels.iter().map(compile_kernel).collect();
+        let kernels: Vec<CompiledKernel> = program.kernels.iter().map(compile_kernel).collect();
+        gpp_obs::metrics::counter("irgl.programs_compiled", 1);
+        gpp_obs::metrics::counter(
+            "irgl.bytecode_ops",
+            kernels.iter().map(|k| k.num_ops() as u64).sum(),
+        );
         Ok(CompiledProgram {
             name: program.name.clone(),
             field_inits: program.fields.iter().map(|d| d.init).collect(),
@@ -578,6 +583,7 @@ impl KernelVm {
         graph: &Graph,
         exec: &mut dyn Executor,
     ) -> Result<Execution, IrglError> {
+        gpp_obs::metrics::counter("irgl.vm_runs", 1);
         let n = graph.num_nodes();
         let mut fields: Vec<Vec<f64>> = compiled
             .field_inits

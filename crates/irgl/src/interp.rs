@@ -102,6 +102,7 @@ pub fn execute_ast(
     graph: &Graph,
     exec: &mut dyn Executor,
 ) -> Result<Execution, IrglError> {
+    gpp_obs::metrics::counter("irgl.ast_runs", 1);
     validate(program)?;
     let n = graph.num_nodes();
     let fields: Vec<Vec<f64>> = program

@@ -1,0 +1,116 @@
+//! Exposition: render a [`MetricsSnapshot`] in Prometheus text format.
+//!
+//! JSON exposition is [`MetricsSnapshot::to_json`]; this module adds
+//! the text format a future `gpp serve /metrics` endpoint (ROADMAP
+//! item 1) scrapes. Dotted metric names are sanitised to the
+//! Prometheus grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`) and prefixed with
+//! `gpp_`: `study.cells_priced` → `gpp_study_cells_priced`.
+//! Counters render as `counter`, gauges as `gauge`, and histograms as
+//! a Prometheus `summary` (`_count`, `_sum`, and `quantile`-labelled
+//! sample lines from the precomputed p50/p90/p99).
+
+use crate::snapshot::MetricsSnapshot;
+
+/// Sanitises a dotted metric name into a Prometheus identifier with
+/// the `gpp_` prefix.
+#[must_use]
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("gpp_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats a sample value the way Prometheus expects (no exponent for
+/// integral values, `Rust` default float formatting otherwise).
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the snapshot in Prometheus text exposition format
+/// (version 0.0.4), with `# TYPE` comments and a trailing newline.
+#[must_use]
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} counter\n"));
+        out.push_str(&format!("{pname} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} gauge\n"));
+        out.push_str(&format!("{pname} {}\n", fmt_value(*value)));
+    }
+    for (name, h) in &snapshot.histograms {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} summary\n"));
+        for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
+            out.push_str(&format!(
+                "{pname}{{quantile=\"{q}\"}} {}\n",
+                fmt_value(v)
+            ));
+        }
+        out.push_str(&format!("{pname}_sum {}\n", fmt_value(h.sum)));
+        out.push_str(&format!("{pname}_count {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::HistogramSnapshot;
+
+    #[test]
+    fn names_are_sanitised_and_prefixed() {
+        assert_eq!(prometheus_name("study.cells_priced"), "gpp_study_cells_priced");
+        assert_eq!(prometheus_name("trace-cache.hits"), "gpp_trace_cache_hits");
+        assert_eq!(prometheus_name("Irgl.VM runs"), "gpp_irgl_vm_runs");
+    }
+
+    #[test]
+    fn renders_all_three_kinds() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("study.cells_priced".into(), 306);
+        snap.gauges.insert("study.wall_seconds".into(), 1.5);
+        snap.histograms.insert(
+            "study.cell_price_ns".into(),
+            HistogramSnapshot {
+                count: 4,
+                sum: 100.0,
+                min: 10.0,
+                max: 40.0,
+                p50: 20.0,
+                p90: 38.0,
+                p99: 40.0,
+                buckets: vec![(4, 4)],
+            },
+        );
+        let text = to_prometheus(&snap);
+        assert!(text.contains("# TYPE gpp_study_cells_priced counter\n"));
+        assert!(text.contains("gpp_study_cells_priced 306\n"));
+        assert!(text.contains("# TYPE gpp_study_wall_seconds gauge\n"));
+        assert!(text.contains("gpp_study_wall_seconds 1.5\n"));
+        assert!(text.contains("# TYPE gpp_study_cell_price_ns summary\n"));
+        assert!(text.contains("gpp_study_cell_price_ns{quantile=\"0.5\"} 20\n"));
+        assert!(text.contains("gpp_study_cell_price_ns_sum 100\n"));
+        assert!(text.contains("gpp_study_cell_price_ns_count 4\n"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(to_prometheus(&MetricsSnapshot::default()), "");
+    }
+}

@@ -1,6 +1,9 @@
 //! `gpp-obs`: the observability layer for the portability simulator.
 //!
-//! Two halves, both zero-cost when disabled:
+//! All of it zero-cost (one branch or one relaxed atomic load) when
+//! disabled, and none of it feeds back into results — an instrumented
+//! run is byte-identical to a bare one, enforced by release-mode CI
+//! tests:
 //!
 //! * [`cost`] — [`CostBreakdown`], a per-mechanism attribution of every
 //!   nanosecond the simulator prices (launch, copy, compute, divergence,
@@ -13,14 +16,35 @@
 //!   cheaply cloneable [`Tracer`] handle that compiles to no-ops when no
 //!   sink is attached, and a [`TraceSummary`] that renders the
 //!   end-of-run report (phase wall-clock, thread busy %, slowest cells).
+//! * [`metrics`] — the process-wide [`MetricsRegistry`]: monotonic
+//!   counters, gauges, and log-bucketed histograms recorded into
+//!   per-thread shards and merged into a deterministic
+//!   [`MetricsSnapshot`] on demand.
+//! * [`profile`] — [`PhaseProfiler`], which folds a run's trace events
+//!   into a nested [`PhaseNode`] tree (total/self time, worker
+//!   utilisation, peak RSS) behind `gpp profile`.
+//! * [`expose`] — Prometheus text rendering of a snapshot (the future
+//!   `gpp serve /metrics` endpoint); JSON exposition lives on
+//!   [`MetricsSnapshot`] itself (`--metrics-out`).
+//! * [`regress`] — the `gpp bench-check` gate: flatten two JSON
+//!   documents of performance numbers and flag fields that moved the
+//!   wrong way beyond a tolerance.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod expose;
+pub mod metrics;
+pub mod profile;
+pub mod regress;
+pub mod snapshot;
 pub mod tracing;
 
 pub use cost::CostBreakdown;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use profile::{PhaseNode, PhaseProfiler, ProfileReport};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
 pub use tracing::{
     EventKind, FileSink, MemorySink, NullSink, Span, TeeSink, TraceEvent, TraceSink, TraceSummary,
     Tracer,

@@ -1,0 +1,544 @@
+//! Process-wide metrics: monotonic counters, gauges, and log-bucketed
+//! histograms, aggregated per thread and merged on snapshot.
+//!
+//! The registry is built for a pipeline whose results must stay
+//! byte-identical whether or not it is being observed:
+//!
+//! * **Disabled is (nearly) free.** Every recording call starts with one
+//!   relaxed atomic load; when the registry is disabled — the default —
+//!   nothing else happens: no locks, no allocation, no timestamps.
+//!   Instrument unconditionally and let the entry point decide.
+//! * **Recording never feeds back.** Metrics only observe; no pipeline
+//!   value is derived from them, so an instrumented run produces the
+//!   same dataset bit for bit (enforced by release-mode CI tests).
+//! * **Lock-light.** Each thread owns a private shard (a mutex that is
+//!   only ever contended by a snapshot), so workers never serialise on
+//!   a global lock while recording. [`MetricsRegistry::snapshot`] merges
+//!   all shards — including those of threads that have exited — into a
+//!   deterministic, sorted [`MetricsSnapshot`].
+//!
+//! Naming convention: dotted lower-case paths, `<subsystem>.<what>`
+//! (`study.cells_priced`, `trace_cache.bytes_read`,
+//! `replay.configs_priced`). Histogram values are nanoseconds unless the
+//! name says otherwise.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+/// Number of log₂ buckets a [`Histogram`] keeps. Bucket `i` covers
+/// values in `[2^i, 2^(i+1))` (bucket 0 also absorbs everything below
+/// 1), which spans from sub-nanosecond to ~584 years of nanoseconds.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram: exact count/sum/min/max plus 64 power-of-
+/// two buckets from which p50/p90/p99 are interpolated.
+///
+/// Bucketing is deterministic, so merging per-thread shards is exact:
+/// the merge of any partition of an observation stream equals the
+/// histogram of the whole stream (property-tested in `tests/`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index a value lands in.
+    fn bucket_of(value: f64) -> usize {
+        if value < 2.0 {
+            return 0;
+        }
+        (value.log2().floor() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one observation. Non-finite and negative values are
+    /// clamped to zero rather than dropped, so `count` always equals the
+    /// number of calls.
+    pub fn observe(&mut self, value: f64) {
+        let v = if value.is_finite() && value > 0.0 { value } else { 0.0 };
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds every observation of `other` into `self`. Exact: bucket
+    /// counts, count, and extrema combine losslessly (`sum` is a float
+    /// fold in shard order).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Interpolated quantile `q` in `[0, 1]`: the geometric midpoint of
+    /// the bucket where the cumulative count crosses `q * count`,
+    /// clamped to the observed `[min, max]`. Returns 0 for an empty
+    /// histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)); bucket 0 starts at 0.
+                let mid = if i == 0 {
+                    1.0
+                } else {
+                    2f64.powf(i as f64 + 0.5)
+                };
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Freezes the histogram into its serialisable snapshot form.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| (i as u32, n))
+                .collect(),
+        }
+    }
+}
+
+/// One thread's private slice of the registry. Recording locks only
+/// this shard's mutex, which no other recording thread ever touches —
+/// contention happens solely against a concurrent snapshot.
+#[derive(Debug, Default)]
+struct Shard {
+    inner: Mutex<ShardData>,
+}
+
+#[derive(Debug, Default)]
+struct ShardData {
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, f64>,
+    histograms: HashMap<String, Histogram>,
+}
+
+/// A process- or scope-wide metrics registry.
+///
+/// Obtain the process-wide instance with [`global()`]; independent
+/// instances (for tests) behave identically. All recording methods are
+/// no-ops while the registry is disabled.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    id: u64,
+    enabled: AtomicBool,
+    /// Every shard ever handed to a thread; kept alive here so data
+    /// from exited threads still merges into snapshots.
+    shards: Mutex<Vec<Arc<Shard>>>,
+    /// Bumped by [`MetricsRegistry::reset`] so stale thread-local shard
+    /// handles are discarded instead of resurrecting old data.
+    epoch: AtomicU64,
+}
+
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // (registry id, epoch) -> this thread's shard of that registry.
+    static LOCAL_SHARDS: RefCell<HashMap<(u64, u64), Arc<Shard>>> =
+        RefCell::new(HashMap::new());
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh, disabled registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry {
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+            enabled: AtomicBool::new(false),
+            shards: Mutex::new(Vec::new()),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Turns recording on or off. Disabled recording costs one relaxed
+    /// atomic load per call.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Discards all recorded data (across every thread). The enabled
+    /// flag is left as-is.
+    pub fn reset(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        self.shards.lock().expect("metrics shards poisoned").clear();
+    }
+
+    /// This thread's shard, creating and registering it on first use
+    /// (or after a [`MetricsRegistry::reset`]).
+    fn shard(&self) -> Arc<Shard> {
+        let key = (self.id, self.epoch.load(Ordering::Relaxed));
+        LOCAL_SHARDS.with(|cell| {
+            let mut map = cell.borrow_mut();
+            if let Some(shard) = map.get(&key) {
+                return Arc::clone(shard);
+            }
+            // Drop handles from earlier epochs of this registry.
+            map.retain(|&(id, _), _| id != self.id);
+            let shard = Arc::new(Shard::default());
+            self.shards
+                .lock()
+                .expect("metrics shards poisoned")
+                .push(Arc::clone(&shard));
+            map.insert(key, Arc::clone(&shard));
+            shard
+        })
+    }
+
+    /// Adds `delta` to the monotonic counter `name`.
+    pub fn counter(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let shard = self.shard();
+        let mut data = shard.inner.lock().expect("metrics shard poisoned");
+        match data.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                data.counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    /// Sets the gauge `name` on this thread. Snapshots merge gauges
+    /// across threads by **maximum** — the natural reading for
+    /// watermarks (peak RSS, worker counts); per-run scalars are simply
+    /// set once from one thread.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let shard = self.shard();
+        let mut data = shard.inner.lock().expect("metrics shard poisoned");
+        data.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Raises the gauge `name` to `value` if larger (watermark update).
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let shard = self.shard();
+        let mut data = shard.inner.lock().expect("metrics shard poisoned");
+        match data.gauges.get_mut(name) {
+            Some(v) => *v = v.max(value),
+            None => {
+                data.gauges.insert(name.to_owned(), value);
+            }
+        }
+    }
+
+    /// Records one observation into the histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let shard = self.shard();
+        let mut data = shard.inner.lock().expect("metrics shard poisoned");
+        data.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(value);
+    }
+
+    /// `Some(now)` when enabled, `None` when disabled — the idiom for
+    /// timing a section without paying for a timestamp when nobody is
+    /// listening:
+    ///
+    /// ```
+    /// let m = gpp_obs::metrics::global();
+    /// let t = m.start();
+    /// // ... work ...
+    /// m.observe_since("work.duration_ns", t);
+    /// ```
+    #[must_use]
+    pub fn start(&self) -> Option<Instant> {
+        self.is_enabled().then(Instant::now)
+    }
+
+    /// Completes a [`MetricsRegistry::start`] timing into histogram
+    /// `name` (nanoseconds). A `None` start is a no-op.
+    pub fn observe_since(&self, name: &str, start: Option<Instant>) {
+        if let Some(t) = start {
+            self.observe(name, t.elapsed().as_nanos() as f64);
+        }
+    }
+
+    /// Merges every thread's shard into one deterministic snapshot
+    /// (keys sorted; counters and bucket counts summed, gauges maxed,
+    /// histograms merged exactly).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let shards: Vec<Arc<Shard>> = self
+            .shards
+            .lock()
+            .expect("metrics shards poisoned")
+            .clone();
+        let mut snap = MetricsSnapshot::default();
+        let mut histograms: HashMap<String, Histogram> = HashMap::new();
+        for shard in shards {
+            let data = shard.inner.lock().expect("metrics shard poisoned");
+            for (k, v) in &data.counters {
+                *snap.counters.entry(k.clone()).or_insert(0) += v;
+            }
+            for (k, v) in &data.gauges {
+                let slot = snap.gauges.entry(k.clone()).or_insert(f64::NEG_INFINITY);
+                *slot = slot.max(*v);
+            }
+            for (k, h) in &data.histograms {
+                histograms
+                    .entry(k.clone())
+                    .or_default()
+                    .merge(h);
+            }
+        }
+        for (k, h) in histograms {
+            snap.histograms.insert(k, h.snapshot());
+        }
+        snap
+    }
+}
+
+/// The process-wide registry the pipeline crates record into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Whether the process-wide registry is recording.
+#[must_use]
+pub fn enabled() -> bool {
+    global().is_enabled()
+}
+
+/// Enables or disables the process-wide registry.
+pub fn set_enabled(on: bool) {
+    global().set_enabled(on);
+}
+
+/// Adds `delta` to a process-wide counter (no-op when disabled).
+pub fn counter(name: &str, delta: u64) {
+    global().counter(name, delta);
+}
+
+/// Sets a process-wide gauge (no-op when disabled).
+pub fn gauge(name: &str, value: f64) {
+    global().gauge(name, value);
+}
+
+/// Raises a process-wide gauge watermark (no-op when disabled).
+pub fn gauge_max(name: &str, value: f64) {
+    global().gauge_max(name, value);
+}
+
+/// Records into a process-wide histogram (no-op when disabled).
+pub fn observe(name: &str, value: f64) {
+    global().observe(name, value);
+}
+
+/// [`MetricsRegistry::start`] on the process-wide registry.
+#[must_use]
+pub fn start() -> Option<Instant> {
+    global().start()
+}
+
+/// [`MetricsRegistry::observe_since`] on the process-wide registry.
+pub fn observe_since(name: &str, started: Option<Instant>) {
+    global().observe_since(name, started);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = MetricsRegistry::new();
+        r.counter("a", 3);
+        r.gauge("g", 1.0);
+        r.observe("h", 5.0);
+        assert!(r.start().is_none());
+        let s = r.snapshot();
+        assert!(s.counters.is_empty() && s.gauges.is_empty() && s.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge_across_threads() {
+        let r = Arc::new(MetricsRegistry::new());
+        r.set_enabled(true);
+        r.counter("cells", 2);
+        r.counter("cells", 3);
+        let r2 = Arc::clone(&r);
+        std::thread::spawn(move || {
+            r2.counter("cells", 10);
+            r2.counter("traces", 1);
+        })
+        .join()
+        .unwrap();
+        let s = r.snapshot();
+        assert_eq!(s.counters["cells"], 15);
+        assert_eq!(s.counters["traces"], 1);
+    }
+
+    #[test]
+    fn gauges_merge_by_max() {
+        let r = Arc::new(MetricsRegistry::new());
+        r.set_enabled(true);
+        r.gauge("rss", 100.0);
+        let r2 = Arc::clone(&r);
+        std::thread::spawn(move || r2.gauge("rss", 250.0)).join().unwrap();
+        assert_eq!(r.snapshot().gauges["rss"], 250.0);
+        r.gauge_max("rss", 50.0); // lower watermark is ignored on merge
+        assert_eq!(r.snapshot().gauges["rss"], 250.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let mut h = Histogram::new();
+        for v in 1..=1000 {
+            h.observe(v as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        let (p50, p99) = (h.quantile(0.5), h.quantile(0.99));
+        assert!((1.0..=1000.0).contains(&p50));
+        assert!(p99 >= p50 && p99 <= 1000.0);
+        // Log-bucket interpolation: the medians land in the right octave.
+        assert!((256.0..=1024.0).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_stream() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [0.5, 3.0, 17.0, 1e6, 42.0] {
+            a.observe(v);
+            whole.observe(v);
+        }
+        for v in [9.0, 0.0, 1e12] {
+            b.observe(v);
+            whole.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), whole.snapshot());
+    }
+
+    #[test]
+    fn histogram_tolerates_non_finite_values() {
+        let mut h = Histogram::new();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(-3.0);
+        assert_eq!(h.count(), 3);
+        let s = h.snapshot();
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn reset_discards_data_from_all_threads() {
+        let r = Arc::new(MetricsRegistry::new());
+        r.set_enabled(true);
+        r.counter("x", 1);
+        let r2 = Arc::clone(&r);
+        std::thread::spawn(move || r2.counter("x", 1)).join().unwrap();
+        assert_eq!(r.snapshot().counters["x"], 2);
+        r.reset();
+        assert!(r.snapshot().counters.is_empty());
+        // The resetting thread records into a fresh shard afterwards.
+        r.counter("x", 5);
+        assert_eq!(r.snapshot().counters["x"], 5);
+    }
+
+    #[test]
+    fn registries_are_independent() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.set_enabled(true);
+        b.set_enabled(true);
+        a.counter("only-a", 1);
+        assert!(b.snapshot().counters.is_empty());
+        assert_eq!(a.snapshot().counters["only-a"], 1);
+    }
+
+    #[test]
+    fn observe_since_times_only_when_enabled() {
+        let r = MetricsRegistry::new();
+        r.observe_since("t", r.start()); // disabled: no-op
+        r.set_enabled(true);
+        let t = r.start();
+        assert!(t.is_some());
+        r.observe_since("t", t);
+        let s = r.snapshot();
+        assert_eq!(s.histograms["t"].count, 1);
+    }
+}

@@ -1,0 +1,408 @@
+//! Self-profiling: reconstruct a nested phase tree from trace events.
+//!
+//! The study pipeline already emits span events ([`crate::tracing`]) —
+//! `"study"` / `"sweep"` around a whole run, `"phase"` spans per
+//! pipeline stage, `"trace"` / `"cell"` spans per work item on worker
+//! threads, and `"busy-ns"` counters per worker per phase. A
+//! [`PhaseProfiler`] buffers those events in memory and, on
+//! [`PhaseProfiler::finish`], folds them into a [`PhaseNode`] tree:
+//! span nesting is recovered per thread (a worker's item span grafts
+//! under whichever phase was open when it started), sibling spans with
+//! the same label aggregate into one node (306 `"cell"` spans become a
+//! single `cell ×306` child), and each node carries total wall time,
+//! self time (wall minus children, floored at zero because parallel
+//! children legitimately oversubscribe their parent), and worker
+//! utilisation from the busy counters.
+//!
+//! Profiling is pure observation: the profiler hands out an ordinary
+//! [`Tracer`], so a profiled run is byte-identical to an unprofiled
+//! one by the same argument as every other sink.
+
+use std::sync::Arc;
+
+use crate::tracing::{EventKind, MemorySink, TraceEvent, TraceSummary, Tracer};
+
+/// One node of the aggregated phase tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseNode {
+    /// Node label: a `"phase"` span's detail (e.g. `collect-traces`),
+    /// or the span name itself for run roots and item spans.
+    pub name: String,
+    /// How many spans aggregated into this node.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all aggregated spans.
+    pub wall_ns: f64,
+    /// Wall time not covered by children: `max(0, wall − Σ child
+    /// wall)`. Zero when parallel children oversubscribe the parent.
+    pub self_ns: f64,
+    /// Worker threads that reported `"busy-ns"` for this phase label.
+    pub workers: usize,
+    /// Mean worker utilisation in `[0, 1]` (0 when unreported).
+    pub busy_frac: f64,
+    /// Child nodes, in order of first appearance.
+    pub children: Vec<PhaseNode>,
+}
+
+impl PhaseNode {
+    /// Sum of the immediate children's wall time.
+    #[must_use]
+    pub fn children_wall_ns(&self) -> f64 {
+        self.children.iter().map(|c| c.wall_ns).sum()
+    }
+
+    /// Depth-first `(depth, node)` flattening for table rendering.
+    #[must_use]
+    pub fn flattened(&self) -> Vec<(usize, &PhaseNode)> {
+        let mut out = Vec::new();
+        fn walk<'a>(node: &'a PhaseNode, depth: usize, out: &mut Vec<(usize, &'a PhaseNode)>) {
+            out.push((depth, node));
+            for child in &node.children {
+                walk(child, depth + 1, out);
+            }
+        }
+        walk(self, 0, &mut out);
+        out
+    }
+}
+
+/// A span being (re)constructed while walking the event stream.
+struct OpenSpan {
+    label: String,
+    thread: u64,
+    parent: Option<usize>,
+}
+
+/// What a span aggregates under: `"phase"` spans group by their detail
+/// label; everything else (run roots, per-item `"trace"`/`"cell"`
+/// spans) groups by span name so thousands of items fold into one node.
+fn span_label(name: &str, detail: Option<&str>) -> String {
+    match (name, detail) {
+        ("phase", Some(d)) => d.to_owned(),
+        _ => name.to_owned(),
+    }
+}
+
+/// Reconstructs the aggregated phase tree(s) from a recorded event
+/// stream. Returns one root per top-level span label (a study run has
+/// exactly one: `"study"`). Spans left open at the end of the stream
+/// are dropped.
+#[must_use]
+pub fn phase_tree(events: &[TraceEvent]) -> Vec<PhaseNode> {
+    // Pass 1: pair starts and ends, resolving each span's parent at
+    // start time — the enclosing span on the same thread if any,
+    // otherwise the innermost open span of the thread that opened the
+    // *outermost* still-open span (that is how a worker item lands
+    // under the main thread's current phase span rather than under a
+    // sibling worker's concurrent item span).
+    let mut spans: Vec<OpenSpan> = Vec::new();
+    let mut done: Vec<(usize, f64)> = Vec::new(); // (span idx, wall ns)
+    let mut stacks: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    let mut open: Vec<usize> = Vec::new(); // global, in start order
+
+    for e in events {
+        match e.kind {
+            EventKind::SpanStart => {
+                let same_thread = stacks.get(&e.thread).and_then(|s| s.last().copied());
+                let parent = same_thread.or_else(|| {
+                    let root_thread = open.first().map(|&i| spans[i].thread)?;
+                    stacks.get(&root_thread).and_then(|s| s.last().copied())
+                });
+                let stack = stacks.entry(e.thread).or_default();
+                let idx = spans.len();
+                spans.push(OpenSpan {
+                    label: span_label(&e.name, e.detail.as_deref()),
+                    thread: e.thread,
+                    parent,
+                });
+                stack.push(idx);
+                open.push(idx);
+            }
+            EventKind::SpanEnd => {
+                let label = span_label(&e.name, e.detail.as_deref());
+                let stack = stacks.entry(e.thread).or_default();
+                // Normally the top of this thread's stack; scan down to
+                // tolerate interleaved manual spans.
+                if let Some(pos) = stack.iter().rposition(|&i| spans[i].label == label) {
+                    let idx = stack.remove(pos);
+                    open.retain(|&i| i != idx);
+                    done.push((idx, e.value.unwrap_or(0.0)));
+                }
+            }
+            EventKind::Counter => {}
+        }
+    }
+
+    // Pass 2: aggregate completed spans into a label tree. Spans are
+    // inserted in completion order; children keep first-appearance
+    // order via the ordered Vec in each node.
+    let mut roots: Vec<PhaseNode> = Vec::new();
+    // Resolve a span's ancestor label path (root first).
+    let path_of = |idx: usize, spans: &[OpenSpan]| -> Vec<String> {
+        let mut path = Vec::new();
+        let mut cur = Some(idx);
+        while let Some(i) = cur {
+            path.push(spans[i].label.clone());
+            cur = spans[i].parent;
+        }
+        path.reverse();
+        path
+    };
+    for &(idx, wall) in &done {
+        let path = path_of(idx, &spans);
+        let mut level = &mut roots;
+        for (depth, label) in path.iter().enumerate() {
+            let pos = match level.iter().position(|n| n.name == *label) {
+                Some(p) => p,
+                None => {
+                    level.push(PhaseNode {
+                        name: label.clone(),
+                        count: 0,
+                        wall_ns: 0.0,
+                        self_ns: 0.0,
+                        workers: 0,
+                        busy_frac: 0.0,
+                        children: Vec::new(),
+                    });
+                    level.len() - 1
+                }
+            };
+            if depth + 1 == path.len() {
+                level[pos].count += 1;
+                level[pos].wall_ns += wall;
+            }
+            level = &mut level[pos].children;
+        }
+    }
+
+    // Pass 3: self time, plus worker utilisation from busy counters.
+    let mut busy: std::collections::HashMap<String, (f64, Vec<u64>)> =
+        std::collections::HashMap::new();
+    for e in events {
+        if e.kind == EventKind::Counter && e.name == "busy-ns" {
+            let label = e.detail.clone().unwrap_or_default();
+            let entry = busy.entry(label).or_insert((0.0, Vec::new()));
+            entry.0 += e.value.unwrap_or(0.0);
+            if !entry.1.contains(&e.thread) {
+                entry.1.push(e.thread);
+            }
+        }
+    }
+    fn finalize(
+        node: &mut PhaseNode,
+        busy: &std::collections::HashMap<String, (f64, Vec<u64>)>,
+    ) {
+        node.self_ns = (node.wall_ns - node.children_wall_ns()).max(0.0);
+        if let Some((total, threads)) = busy.get(&node.name) {
+            node.workers = threads.len();
+            if node.wall_ns > 0.0 && !threads.is_empty() {
+                node.busy_frac = total / (node.wall_ns * threads.len() as f64);
+            }
+        }
+        for child in &mut node.children {
+            finalize(child, busy);
+        }
+    }
+    for root in &mut roots {
+        finalize(root, &busy);
+    }
+    roots
+}
+
+/// Everything [`PhaseProfiler::finish`] learned about a run.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Aggregated phase tree roots (one per top-level span).
+    pub roots: Vec<PhaseNode>,
+    /// The flat [`TraceSummary`] over the same events (phase listing,
+    /// item counters, cache hits, slowest cells).
+    pub summary: TraceSummary,
+    /// Peak resident set size of this process in bytes, if the
+    /// platform exposes it (`/proc/self/status` `VmHWM`).
+    pub peak_rss_bytes: Option<u64>,
+    /// The raw events, for callers that want to re-analyse.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Buffers a run's trace events and folds them into a
+/// [`ProfileReport`].
+///
+/// ```
+/// use gpp_obs::profile::PhaseProfiler;
+///
+/// let profiler = PhaseProfiler::new();
+/// let tracer = profiler.tracer();
+/// {
+///     let _run = tracer.span("study");
+///     let _phase = tracer.span_detail("phase", Some("collect-traces".into()));
+/// }
+/// let report = profiler.finish();
+/// assert_eq!(report.roots[0].name, "study");
+/// assert_eq!(report.roots[0].children[0].name, "collect-traces");
+/// ```
+pub struct PhaseProfiler {
+    sink: Arc<MemorySink>,
+    tracer: Tracer,
+}
+
+impl Default for PhaseProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseProfiler {
+    /// A fresh profiler with an empty in-memory buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        PhaseProfiler { sink, tracer }
+    }
+
+    /// The tracer to thread through the instrumented run. Clones are
+    /// cheap and all feed the same buffer.
+    #[must_use]
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
+    /// Consumes the profiler and folds everything recorded so far.
+    #[must_use]
+    pub fn finish(self) -> ProfileReport {
+        let events = self.sink.take();
+        ProfileReport {
+            roots: phase_tree(&events),
+            summary: TraceSummary::from_events(&events),
+            peak_rss_bytes: peak_rss_bytes(),
+            events,
+        }
+    }
+}
+
+/// Peak resident set size (high-water mark) of the current process in
+/// bytes. Linux-only (`/proc/self/status` `VmHWM`); `None` elsewhere
+/// or on parse failure.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(
+        seq: u64,
+        thread: u64,
+        kind: EventKind,
+        name: &str,
+        detail: Option<&str>,
+        value: Option<f64>,
+    ) -> TraceEvent {
+        TraceEvent {
+            seq,
+            ts_ns: seq * 10,
+            thread,
+            kind,
+            name: name.to_owned(),
+            detail: detail.map(str::to_owned),
+            value,
+        }
+    }
+
+    #[test]
+    fn worker_item_spans_graft_under_the_open_phase() {
+        let events = vec![
+            mk(0, 0, EventKind::SpanStart, "study", None, None),
+            mk(1, 0, EventKind::SpanStart, "phase", Some("collect-traces"), None),
+            // Two worker threads, no local parents of their own.
+            mk(2, 1, EventKind::SpanStart, "trace", Some("bfs/road"), None),
+            mk(3, 2, EventKind::SpanStart, "trace", Some("sssp/road"), None),
+            mk(4, 1, EventKind::SpanEnd, "trace", Some("bfs/road"), Some(40.0)),
+            mk(5, 2, EventKind::SpanEnd, "trace", Some("sssp/road"), Some(60.0)),
+            mk(6, 1, EventKind::Counter, "busy-ns", Some("collect-traces"), Some(40.0)),
+            mk(7, 2, EventKind::Counter, "busy-ns", Some("collect-traces"), Some(60.0)),
+            mk(8, 0, EventKind::SpanEnd, "phase", Some("collect-traces"), Some(100.0)),
+            mk(9, 0, EventKind::SpanEnd, "study", None, Some(120.0)),
+        ];
+        let roots = phase_tree(&events);
+        assert_eq!(roots.len(), 1);
+        let study = &roots[0];
+        assert_eq!(study.name, "study");
+        assert_eq!(study.wall_ns, 120.0);
+        assert_eq!(study.self_ns, 20.0);
+        assert_eq!(study.children.len(), 1);
+        let phase = &study.children[0];
+        assert_eq!(phase.name, "collect-traces");
+        assert_eq!(phase.workers, 2);
+        assert!((phase.busy_frac - 0.5).abs() < 1e-12);
+        // Both item spans aggregate into one "trace" child.
+        assert_eq!(phase.children.len(), 1);
+        assert_eq!(phase.children[0].name, "trace");
+        assert_eq!(phase.children[0].count, 2);
+        assert_eq!(phase.children[0].wall_ns, 100.0);
+        // Parallel children covered the whole phase: no self time.
+        assert_eq!(phase.self_ns, 0.0);
+    }
+
+    #[test]
+    fn unclosed_spans_are_dropped() {
+        let events = vec![
+            mk(0, 0, EventKind::SpanStart, "study", None, None),
+            mk(1, 0, EventKind::SpanStart, "phase", Some("price-cells"), None),
+            mk(2, 0, EventKind::SpanEnd, "phase", Some("price-cells"), Some(5.0)),
+            // "study" never ends.
+        ];
+        let roots = phase_tree(&events);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "study");
+        assert_eq!(roots[0].wall_ns, 0.0);
+        assert_eq!(roots[0].count, 0);
+        assert_eq!(roots[0].children[0].wall_ns, 5.0);
+    }
+
+    #[test]
+    fn profiler_round_trip_produces_tree_and_summary() {
+        let profiler = PhaseProfiler::new();
+        let tracer = profiler.tracer();
+        {
+            let _study = tracer.span("study");
+            {
+                let _p = tracer.span_detail("phase", Some("collect-traces".into()));
+                tracer.counter("traces-compiled", None, 3.0);
+            }
+            {
+                let _p = tracer.span_detail("phase", Some("price-cells".into()));
+                tracer.counter("cells-priced", None, 7.0);
+            }
+        }
+        let report = profiler.finish();
+        assert_eq!(report.roots.len(), 1);
+        let root = &report.roots[0];
+        assert_eq!(root.name, "study");
+        let labels: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(labels, ["collect-traces", "price-cells"]);
+        assert!(root.wall_ns >= root.children_wall_ns());
+        assert_eq!(report.summary.traces_compiled, 3.0);
+        assert_eq!(report.summary.cells_priced, 7.0);
+        let flat = root.flattened();
+        assert_eq!(flat.len(), 3);
+        assert_eq!(flat[0].1.name, "study");
+        assert_eq!(flat[1], (1, &root.children[0]));
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        if let Some(bytes) = peak_rss_bytes() {
+            // A running test binary surely holds between 64 KiB and 1 TiB.
+            assert!(bytes > 64 * 1024, "peak rss {bytes}");
+            assert!(bytes < 1 << 40, "peak rss {bytes}");
+        }
+    }
+}

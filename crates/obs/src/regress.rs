@@ -1,0 +1,273 @@
+//! The `gpp bench-check` regression gate: compare two JSON documents
+//! of performance numbers — a fresh [`crate::snapshot::MetricsSnapshot`]
+//! or a `BENCH_study.json` baseline — and flag fields that got worse
+//! than a tolerance allows.
+//!
+//! Both documents are [`flatten`]ed to dotted numeric keys (booleans
+//! become 0/1, strings/arrays/nulls are dropped), keys are
+//! [`normalize_key`]-ed so a snapshot gauge like `study.wall_seconds`
+//! lines up with the bench baseline's `parallel_seconds`, and each key
+//! in the intersection is judged by a direction inferred from its
+//! name: times and overheads must not grow, speedups and throughputs
+//! must not shrink, `*identical*` booleans must not flip to false, and
+//! anything unrecognised is reported but never fails the gate.
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+
+/// Which way "better" points for a metric, inferred from its name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Times, overheads, sizes: regression when the value grows.
+    LowerIsBetter,
+    /// Speedups, throughputs, hit counts: regression when it shrinks.
+    HigherIsBetter,
+    /// Identity booleans: regression when a true flips to false
+    /// (tolerance does not apply).
+    MustHold,
+    /// Unrecognised: compared informationally, never a regression.
+    Informational,
+}
+
+/// Flattens a JSON document into dotted numeric keys. Numbers map to
+/// themselves, `true`/`false` to 1/0; strings, arrays, and nulls are
+/// dropped (a null bench field means "not measured on this machine").
+#[must_use]
+pub fn flatten(value: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    fn walk(prefix: &str, value: &Value, out: &mut BTreeMap<String, f64>) {
+        match value {
+            Value::Object(map) => {
+                for (k, v) in map {
+                    let key = if prefix.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{prefix}.{k}")
+                    };
+                    walk(&key, v, out);
+                }
+            }
+            Value::Number(n) => {
+                if let Some(f) = n.as_f64() {
+                    out.insert(prefix.to_owned(), f);
+                }
+            }
+            Value::Bool(b) => {
+                out.insert(prefix.to_owned(), f64::from(u8::from(*b)));
+            }
+            Value::Null | Value::String(_) | Value::Array(_) => {}
+        }
+    }
+    walk("", value, &mut out);
+    out
+}
+
+/// Canonicalises a flattened key so metrics snapshots and bench
+/// baselines describe the same quantity under the same name: the
+/// `counters.` / `gauges.` / `histograms.` section prefixes are
+/// stripped, and snapshot gauge names with a bench-field equivalent
+/// are aliased (`study.wall_seconds` → `parallel_seconds`).
+#[must_use]
+pub fn normalize_key(key: &str) -> String {
+    let k = key
+        .strip_prefix("counters.")
+        .or_else(|| key.strip_prefix("gauges."))
+        .or_else(|| key.strip_prefix("histograms."))
+        .unwrap_or(key);
+    match k {
+        "study.wall_seconds" => "parallel_seconds".to_owned(),
+        "study.metrics_overhead_fraction" => "metrics_overhead_fraction".to_owned(),
+        _ => k.to_owned(),
+    }
+}
+
+/// Infers the comparison direction from a (normalised) key name.
+#[must_use]
+pub fn direction_of(key: &str) -> Direction {
+    if key.contains("identical") {
+        Direction::MustHold
+    } else if key.contains("speedup") || key.contains("per_second") || key.ends_with("hits") {
+        Direction::HigherIsBetter
+    } else if key.ends_with("_seconds")
+        || key.contains("_seconds.")
+        || key.contains("_ns")
+        || key.contains("overhead")
+        || key.contains("bytes")
+    {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// One compared key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Normalised key.
+    pub key: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Inferred comparison direction.
+    pub direction: Direction,
+    /// Relative change `current / baseline − 1` (0 when the baseline
+    /// is 0).
+    pub change: f64,
+    /// Whether this key regressed beyond the tolerance.
+    pub regressed: bool,
+}
+
+/// The outcome of comparing `current` against `baseline`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Comparison {
+    /// Every key present (and numeric) in both documents, sorted.
+    pub checks: Vec<Check>,
+}
+
+impl Comparison {
+    /// The checks that regressed.
+    #[must_use]
+    pub fn regressions(&self) -> Vec<&Check> {
+        self.checks.iter().filter(|c| c.regressed).collect()
+    }
+
+    /// True when no key regressed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| !c.regressed)
+    }
+}
+
+/// Compares two flattened-and-normalised JSON documents. `tolerance`
+/// is the allowed relative slack in the bad direction (0.25 = a time
+/// may grow 25% before failing); identity booleans ignore it.
+#[must_use]
+pub fn compare(baseline: &Value, current: &Value, tolerance: f64) -> Comparison {
+    let normalise = |v: &Value| -> BTreeMap<String, f64> {
+        flatten(v)
+            .into_iter()
+            .map(|(k, val)| (normalize_key(&k), val))
+            .collect()
+    };
+    let base = normalise(baseline);
+    let cur = normalise(current);
+    let mut checks = Vec::new();
+    for (key, &b) in &base {
+        let Some(&c) = cur.get(key) else { continue };
+        let direction = direction_of(key);
+        let change = if b != 0.0 { c / b - 1.0 } else { 0.0 };
+        let regressed = match direction {
+            Direction::MustHold => b >= 1.0 && c < 1.0,
+            Direction::LowerIsBetter => {
+                b >= 0.0 && c > b * (1.0 + tolerance) && (c - b).abs() > f64::EPSILON
+            }
+            Direction::HigherIsBetter => b > 0.0 && c < b * (1.0 - tolerance),
+            Direction::Informational => false,
+        };
+        checks.push(Check {
+            key: key.clone(),
+            baseline: b,
+            current: c,
+            direction,
+            change,
+            regressed,
+        });
+    }
+    Comparison { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn flatten_handles_nesting_bools_and_nulls() {
+        let v = json!({
+            "a": 1.5,
+            "grid": {"apps": 17, "deep": {"x": true}},
+            "skip": null,
+            "name": "study_grid",
+            "arr": [1, 2]
+        });
+        let flat = flatten(&v);
+        assert_eq!(flat["a"], 1.5);
+        assert_eq!(flat["grid.apps"], 17.0);
+        assert_eq!(flat["grid.deep.x"], 1.0);
+        assert!(!flat.contains_key("skip"));
+        assert!(!flat.contains_key("name"));
+        assert!(!flat.contains_key("arr"));
+    }
+
+    #[test]
+    fn snapshot_gauges_alias_to_bench_fields() {
+        assert_eq!(normalize_key("gauges.study.wall_seconds"), "parallel_seconds");
+        assert_eq!(normalize_key("counters.study.cells_priced"), "study.cells_priced");
+        assert_eq!(normalize_key("parallel_seconds"), "parallel_seconds");
+    }
+
+    #[test]
+    fn directions_follow_key_names() {
+        assert_eq!(direction_of("parallel_seconds"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("metrics_overhead_fraction"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("trace_arena_bytes_per_item"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("speedup"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("trace_cache.hits"), Direction::HigherIsBetter);
+        assert_eq!(
+            direction_of("parallel_identical_to_serial"),
+            Direction::MustHold
+        );
+        assert_eq!(direction_of("grid.apps"), Direction::Informational);
+    }
+
+    #[test]
+    fn slower_time_beyond_tolerance_regresses() {
+        let base = json!({"parallel_seconds": 1.0, "speedup": 4.0});
+        let ok = json!({"parallel_seconds": 1.2, "speedup": 3.5});
+        let bad = json!({"parallel_seconds": 1.5, "speedup": 2.0});
+        assert!(compare(&base, &ok, 0.25).passed());
+        let cmp = compare(&base, &bad, 0.25);
+        assert!(!cmp.passed());
+        let keys: Vec<&str> = cmp.regressions().iter().map(|c| c.key.as_str()).collect();
+        assert_eq!(keys, ["parallel_seconds", "speedup"]);
+    }
+
+    #[test]
+    fn identity_flip_regresses_regardless_of_tolerance() {
+        let base = json!({"traced_identical_to_untraced": true});
+        let bad = json!({"traced_identical_to_untraced": false});
+        assert!(!compare(&base, &bad, 1e9).passed());
+        assert!(compare(&base, &base, 0.0).passed());
+        // A baseline of false can't be regressed from.
+        assert!(compare(&bad, &bad, 0.0).passed());
+    }
+
+    #[test]
+    fn null_and_missing_fields_are_skipped() {
+        let base = json!({"parallel_seconds": null, "serial_seconds": 2.0});
+        let cur = json!({"parallel_seconds": 99.0, "other": 1.0});
+        let cmp = compare(&base, &cur, 0.1);
+        assert!(cmp.checks.is_empty());
+        assert!(cmp.passed());
+    }
+
+    #[test]
+    fn injected_tiny_baseline_fails_the_gate() {
+        // The CI injected-regression step: a baseline claiming the study
+        // ran in a picosecond must flag any real wall time.
+        let base = json!({"parallel_seconds": 1e-12});
+        let snapshot = json!({"gauges": {"study.wall_seconds": 0.5}});
+        let cmp = compare(&base, &snapshot, 0.25);
+        assert_eq!(cmp.regressions().len(), 1);
+        assert_eq!(cmp.regressions()[0].key, "parallel_seconds");
+    }
+
+    #[test]
+    fn informational_keys_never_fail() {
+        let base = json!({"grid": {"apps": 17}});
+        let cur = json!({"grid": {"apps": 99}});
+        assert!(compare(&base, &cur, 0.0).passed());
+    }
+}

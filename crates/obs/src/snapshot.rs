@@ -1,0 +1,126 @@
+//! Frozen, serialisable views of a [`crate::metrics::MetricsRegistry`].
+//!
+//! A snapshot is the exchange format of the whole metrics subsystem:
+//! `--metrics-out` writes one as JSON, `gpp bench-check` flattens one
+//! to compare against `BENCH_study.json`, and the Prometheus renderer
+//! in [`crate::expose`] walks one to emit text format. Keys are sorted
+//! (`BTreeMap`), so a snapshot of a deterministic run serialises
+//! deterministically too.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A frozen histogram: exact aggregates plus the sparse non-empty
+/// log₂ buckets it was computed from.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (0 when empty).
+    pub min: f64,
+    /// Largest observed value (0 when empty).
+    pub max: f64,
+    /// Interpolated median.
+    pub p50: f64,
+    /// Interpolated 90th percentile.
+    pub p90: f64,
+    /// Interpolated 99th percentile.
+    pub p99: f64,
+    /// `(bucket index, count)` for every non-empty bucket; bucket `i`
+    /// covers `[2^i, 2^(i+1))` and bucket 0 also absorbs values below 1.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Everything a registry knew at one instant, merged across threads
+/// and sorted by name.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, summed across threads.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges, merged across threads by maximum.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms, merged exactly across threads.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serialises the snapshot as pretty-printed JSON (trailing
+    /// newline included, ready to write to `--metrics-out`).
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the snapshot contains only maps,
+    /// numbers, and strings.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("snapshot serialises");
+        s.push('\n');
+        s
+    }
+
+    /// Parses a snapshot previously written by
+    /// [`MetricsSnapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("study.cells_priced".into(), 306);
+        snap.gauges.insert("study.wall_seconds".into(), 1.25);
+        snap.histograms.insert(
+            "study.cell_price_ns".into(),
+            HistogramSnapshot {
+                count: 306,
+                sum: 1e9,
+                min: 1000.0,
+                max: 9e6,
+                p50: 2.5e6,
+                p90: 6e6,
+                p99: 8.5e6,
+                buckets: vec![(10, 4), (21, 302)],
+            },
+        );
+        let text = snap.to_json();
+        assert!(text.ends_with('\n'));
+        let back = MetricsSnapshot::from_json(&text).unwrap();
+        assert_eq!(back, snap);
+        assert!((back.histograms["study.cell_price_ns"].mean() - 1e9 / 306.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_snapshot_reports_empty() {
+        assert!(MetricsSnapshot::default().is_empty());
+    }
+}

@@ -21,6 +21,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use gpp_obs::metrics;
 use gpp_obs::Tracer;
 
 /// Resolves a requested worker-thread count the way the whole workspace
@@ -106,16 +107,29 @@ where
         .collect()
 }
 
+/// Emits one worker's busy time to every listening backend: a
+/// `busy-ns` trace counter (detail = `label`) for [`gpp_obs::TraceSummary`]
+/// / the phase profiler, and a `par.worker_busy_ns` histogram sample in
+/// the process-wide metrics registry.
+fn report_worker_busy(tracer: &Tracer, label: &str, busy_ns: f64) {
+    tracer.counter("busy-ns", Some(label), busy_ns);
+    metrics::observe("par.worker_busy_ns", busy_ns);
+}
+
 /// [`par_map`] with per-worker busy-time instrumentation: each worker
 /// emits one `busy-ns` counter (detail = `label`) totalling the time it
 /// spent inside `f`, so a [`gpp_obs::TraceSummary`] can report thread
-/// utilisation for the phase.
+/// utilisation for the phase. When the process-wide
+/// [`gpp_obs::metrics`] registry is enabled, the same busy times also
+/// land in the `par.worker_busy_ns` histogram, each fan-out counts its
+/// items into `par.tasks`, and `par.workers` records the widest pool
+/// used.
 ///
-/// With a disabled tracer this delegates to [`par_map`] directly —
-/// no timestamps are taken and no overhead is paid. The output is the
-/// results in input order either way, exactly as [`par_map`] returns
-/// them, and `f` is applied to the same items in the same per-item way
-/// regardless of tracing or thread count.
+/// With a disabled tracer and disabled metrics this delegates to
+/// [`par_map`] directly — no timestamps are taken and no overhead is
+/// paid. The output is the results in input order either way, exactly
+/// as [`par_map`] returns them, and `f` is applied to the same items in
+/// the same per-item way regardless of instrumentation or thread count.
 ///
 /// # Panics
 ///
@@ -132,14 +146,16 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    if !tracer.is_enabled() {
+    if !tracer.is_enabled() && !metrics::enabled() {
         return par_map(items, threads, f);
     }
     let threads = threads.clamp(1, items.len().max(1));
+    metrics::counter("par.tasks", items.len() as u64);
+    metrics::gauge_max("par.workers", threads as f64);
     if threads == 1 {
         let start = Instant::now();
         let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-        tracer.counter("busy-ns", Some(label), start.elapsed().as_nanos() as f64);
+        report_worker_busy(tracer, label, start.elapsed().as_nanos() as f64);
         return out;
     }
     let next = AtomicUsize::new(0);
@@ -159,7 +175,7 @@ where
                         out.push((i, f(i, &items[i])));
                         busy_ns += start.elapsed().as_nanos();
                     }
-                    tracer.counter("busy-ns", Some(label), busy_ns as f64);
+                    report_worker_busy(tracer, label, busy_ns as f64);
                     out
                 })
             })
@@ -228,6 +244,23 @@ mod tests {
         // Disabled tracer: pure delegation, no events anywhere.
         let out = par_map_traced(&items, 4, &Tracer::disabled(), "triple", |_, &x| x * 3);
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn metrics_enabled_map_records_busy_tasks_and_workers() {
+        // Uses the process-wide registry, so assert monotonically —
+        // other tests in this binary may record too.
+        let m = metrics::global();
+        m.set_enabled(true);
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x + 1).collect();
+        let out = par_map_traced(&items, 4, &Tracer::disabled(), "metrics-only", |_, &x| x + 1);
+        m.set_enabled(false);
+        assert_eq!(out, expect);
+        let snap = m.snapshot();
+        assert!(snap.counters["par.tasks"] >= 100);
+        assert!(snap.gauges["par.workers"] >= 4.0);
+        assert!(snap.histograms["par.worker_busy_ns"].count >= 1);
     }
 
     #[test]

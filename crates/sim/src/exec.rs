@@ -576,7 +576,7 @@ pub fn evaluate_kernel_explained(
 /// of the aggregates, hoisting config-invariant work out of the
 /// configuration loop: configurations whose device-side behaviour is
 /// provably identical (same scheme routing, divergence regime, and
-/// fine-grained mode) share one [`device_pass`], and only the cheap O(1)
+/// fine-grained mode) share one `device_pass`, and only the cheap O(1)
 /// occupancy/worklist assembly runs per configuration.
 ///
 /// Returns one device time per entry of `configs`, each bit-identical to

@@ -58,6 +58,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
+use gpp_obs::metrics;
 use gpp_obs::CostBreakdown;
 use serde::{Deserialize, Serialize};
 
@@ -341,6 +342,7 @@ impl CompiledTrace {
     /// Builds the per-call aggregations for several geometries in one
     /// pass over the item arena.
     fn build_geometries(&self, keys: &[(u32, u32)]) -> Vec<Vec<CallAggregates>> {
+        metrics::counter("replay.geometry_builds", keys.len() as u64);
         let mut out: Vec<Vec<CallAggregates>> = keys
             .iter()
             .map(|_| Vec::with_capacity(self.trace.num_kernels()))
@@ -431,6 +433,7 @@ impl CompiledTrace {
     /// The first replay for a given (workgroup size, subgroup size) pair
     /// builds the aggregation; subsequent replays reuse it.
     pub fn replay(&self, machine: &Machine, config: OptConfig) -> RunStats {
+        metrics::counter("replay.configs_priced", 1);
         let mut session = machine.session(config);
         let aggs = self.aggregates(
             session.workgroup_size(),
@@ -468,6 +471,8 @@ impl CompiledTrace {
     /// iteration overhead is accounted call-by-call exactly as a live
     /// session does.
     pub fn replay_all_configs(&self, machine: &Machine) -> Vec<RunStats> {
+        metrics::counter("replay.batched_traversals", 1);
+        metrics::counter("replay.configs_priced", NUM_CONFIGS as u64);
         let chip = machine.chip();
         let sg_size = chip.subgroup_size.max(1);
         let empty = RunStats {
@@ -518,7 +523,7 @@ impl CompiledTrace {
     /// Chip-major [`CompiledTrace::replay_all_configs`]: replays the
     /// trace for *every* chip of a [`ChipBatch`] while walking each
     /// geometry's aggregate tables only once, via a per-group
-    /// [`BatchGroupPricer`] that caches every frontier-independent term
+    /// `BatchGroupPricer` that caches every frontier-independent term
     /// (pass preludes and cost coefficients per interned kernel profile,
     /// per-chip capacity and launch/barrier overheads) across the
     /// trace's calls. Returns one [`OptConfig::index`]-indexed
@@ -536,6 +541,8 @@ impl CompiledTrace {
     pub fn replay_all_configs_many_chips(&self, batch: &ChipBatch) -> Vec<Vec<RunStats>> {
         let chips = batch.chips();
         let n_chips = chips.len();
+        metrics::counter("replay.chip_batches", 1);
+        metrics::counter("replay.configs_priced", (NUM_CONFIGS * n_chips) as u64);
         let sg_size = batch.subgroup_size();
         let empty = RunStats {
             time_ns: 0.0,

@@ -1,0 +1,149 @@
+//! Byte-identity and structural invariants of the metrics &
+//! self-profiling substrate: a fully instrumented study run — global
+//! metrics registry recording, phase profiler buffering every span —
+//! must produce a dataset identical to an uninstrumented run, the
+//! per-thread histogram shards must merge exactly into the
+//! single-stream reference, and the reconstructed phase tree must tile
+//! the run: the root's wall time within 5% of the sum of its top-level
+//! phases. CI runs this file in release mode, where any
+//! instrumentation feedback would actually show.
+
+use std::sync::Mutex;
+
+use gpp::apps::study::{run_study, run_study_cached, StudyConfig};
+use gpp::obs::metrics;
+use gpp::obs::{Histogram, PhaseProfiler};
+use gpp::sim::chip::study_chips;
+use proptest::prelude::*;
+
+/// Serialises the tests that flip the process-wide registry, so one
+/// test's reset/disable can't race another's assertions. Poison is
+/// ignored: a failed test should not cascade into the others.
+static GLOBAL_METRICS: Mutex<()> = Mutex::new(());
+
+fn tiny_at(threads: usize) -> StudyConfig {
+    StudyConfig {
+        threads,
+        ..StudyConfig::tiny()
+    }
+}
+
+#[test]
+fn fully_instrumented_study_is_byte_identical_to_plain() {
+    let _guard = GLOBAL_METRICS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let plain = serde_json::to_string(&run_study(&tiny_at(4))).unwrap();
+
+    // Everything on at once: global metrics registry plus a phase
+    // profiler buffering every span and counter, at four workers.
+    metrics::global().reset();
+    metrics::set_enabled(true);
+    let profiler = PhaseProfiler::new();
+    let tracer = profiler.tracer();
+    let instrumented = run_study_cached(&tiny_at(4), &study_chips(), &tracer, None);
+    let snapshot = metrics::global().snapshot();
+    metrics::set_enabled(false);
+    let report = profiler.finish();
+
+    assert_eq!(
+        plain,
+        serde_json::to_string(&instrumented).unwrap(),
+        "instrumentation must not perturb the dataset"
+    );
+    // The registry saw the whole run: one count per priced cell, one
+    // histogram observation per pricing, every trace compiled.
+    let cells = instrumented.cells.len() as u64;
+    assert_eq!(
+        snapshot.counters.get("study.cells_priced").copied(),
+        Some(cells)
+    );
+    assert_eq!(
+        snapshot.counters.get("study.traces_compiled").copied(),
+        Some(17 * 3)
+    );
+    let hist = snapshot
+        .histograms
+        .get("study.cell_price_ns")
+        .expect("cell pricing histogram");
+    assert_eq!(hist.count, cells);
+    assert!(hist.min <= hist.p50 && hist.p50 <= hist.p99 && hist.p99 <= hist.max);
+    // And the profiler saw the same run from the span side.
+    assert_eq!(report.summary.cells_priced, cells as f64);
+    assert!(report.peak_rss_bytes.is_some());
+}
+
+#[test]
+fn phase_tree_root_wall_is_within_5_percent_of_top_level_phases() {
+    let _guard = GLOBAL_METRICS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let profiler = PhaseProfiler::new();
+    let tracer = profiler.tracer();
+    run_study_cached(&tiny_at(4), &study_chips(), &tracer, None);
+    let report = profiler.finish();
+    let root = report
+        .roots
+        .iter()
+        .find(|r| r.name == "study")
+        .expect("study root span");
+    for phase in ["generate-inputs", "collect-traces", "price-cells", "finalize"] {
+        assert!(
+            root.children.iter().any(|c| c.name == phase),
+            "missing top-level phase {phase}"
+        );
+    }
+    let covered = root.children_wall_ns() / root.wall_ns;
+    assert!(
+        (0.95..=1.05).contains(&covered),
+        "top-level phases cover {covered:.3} of the study span \
+         ({:.1} of {:.1} ms) — a stage is running uninstrumented",
+        root.children_wall_ns() / 1e6,
+        root.wall_ns / 1e6
+    );
+}
+
+proptest! {
+    /// Merging per-thread shards is exact: any partition of an
+    /// observation stream over eight shards merges into precisely the
+    /// histogram of the whole stream. Integer-valued observations keep
+    /// the `sum` fold order-independent, so the full snapshot —
+    /// buckets, count, sum, extrema, quantiles — compares equal.
+    #[test]
+    fn histogram_shard_merge_matches_single_stream(
+        observed in prop::collection::vec((0u8..8, 0u32..u32::MAX), 0..500)
+    ) {
+        let mut reference = Histogram::new();
+        let mut shards = vec![Histogram::new(); 8];
+        for &(shard, value) in &observed {
+            reference.observe(f64::from(value));
+            shards[usize::from(shard)].observe(f64::from(value));
+        }
+        let mut merged = Histogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        prop_assert_eq!(merged.snapshot(), reference.snapshot());
+    }
+
+    /// Merge order doesn't matter either: folding the shards in
+    /// reverse produces the same snapshot.
+    #[test]
+    fn histogram_merge_is_order_independent(
+        observed in prop::collection::vec((0u8..8, 0u32..u32::MAX), 0..500)
+    ) {
+        let mut shards = vec![Histogram::new(); 8];
+        for &(shard, value) in &observed {
+            shards[usize::from(shard)].observe(f64::from(value));
+        }
+        let mut forward = Histogram::new();
+        for shard in &shards {
+            forward.merge(shard);
+        }
+        let mut reverse = Histogram::new();
+        for shard in shards.iter().rev() {
+            reverse.merge(shard);
+        }
+        prop_assert_eq!(forward.snapshot(), reverse.snapshot());
+    }
+}
