@@ -1,18 +1,23 @@
-//! Re-export of the scoped-thread parallel map, which now lives in the
-//! [`gpp_par`] utility crate so that `gpp-core`'s analysis pipeline can
-//! use the same primitive without inverting the workspace crate DAG.
+//! Re-export of the parallel maps, which now live in the [`gpp_par`]
+//! executor crate so that `gpp-core`'s analysis pipeline can use the
+//! same primitives without inverting the workspace crate DAG.
 //!
-//! Historical callers keep working through this path: the study grid
-//! fans out with `gpp_apps::par::par_map_traced`, exactly as before the
-//! extraction. See [`gpp_par`] for the semantics (input-order results,
-//! dynamic scheduling, panic propagation, per-worker `busy-ns`
-//! counters when traced).
+//! Historical callers keep working through this path: borrowed fan-outs
+//! use `gpp_apps::par::par_map_traced` (per-call scoped threads),
+//! exactly as before the extraction, while the study/sweep hot phases
+//! go through `par_map_pooled_traced` — the persistent process-wide
+//! worker pool. See [`gpp_par`] for the semantics (input-order results,
+//! chunked dynamic scheduling, cooperative nesting, panic propagation,
+//! per-worker `busy-ns` counters when traced).
 
-pub use gpp_par::{effective_threads, par_map, par_map_traced};
+pub use gpp_par::{
+    effective_threads, par_map, par_map_pooled, par_map_pooled_traced, par_map_traced,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn reexported_map_works_through_the_historical_path() {
@@ -20,5 +25,12 @@ mod tests {
         let expect: Vec<u64> = items.iter().map(|x| x + 1).collect();
         assert_eq!(par_map(&items, 4, |_, &x| x + 1), expect);
         assert!(effective_threads(2) == 2);
+    }
+
+    #[test]
+    fn reexported_pooled_map_matches_scoped() {
+        let items: Arc<Vec<u64>> = Arc::new((0..64).collect());
+        let expect = par_map(&items, 4, |_, &x| x + 1);
+        assert_eq!(par_map_pooled(&items, 4, |_, &x| x + 1), expect);
     }
 }

@@ -12,7 +12,9 @@
 //! The grid is embarrassingly parallel and [`run_study_on`] exploits
 //! that: trace collection fans out over (input, application) pairs and
 //! pricing fans out over (trace, chip) cells, both via
-//! [`crate::par::par_map_traced`]. Timing noise is seeded per (cell,
+//! [`crate::par::par_map_pooled_traced`] — the persistent worker pool,
+//! so a study's many fan-outs share one set of long-lived threads
+//! instead of re-spawning per phase. Timing noise is seeded per (cell,
 //! configuration, run), so the result is a pure function of
 //! [`StudyConfig`] regardless of thread count — a parallel study is
 //! byte-identical to a single-threaded one. [`run_study_traced`]
@@ -24,7 +26,7 @@
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use gpp_graph::rng::Rng64;
 use gpp_sim::chip::study_chips;
@@ -39,7 +41,7 @@ use crate::app::validate;
 use crate::apps::all_applications;
 use crate::cache::TraceCache;
 use crate::inputs::{study_inputs, study_inputs_extended, StudyScale};
-use crate::par::par_map_traced;
+use crate::par::par_map_pooled_traced;
 
 /// Parameters of a study run.
 #[derive(Debug, Clone, Copy)]
@@ -462,8 +464,14 @@ pub fn run_study_cached(
         }
         (inputs, apps)
     };
+    // The fan-out state lives in `Arc`s so both phases can run on the
+    // persistent worker pool (pooled jobs must be `'static`).
+    let config = *config;
+    let inputs = Arc::new(inputs);
+    let apps = Arc::new(apps);
     let chips = chips.to_vec();
-    let machines: Vec<Machine> = chips.iter().cloned().map(Machine::new).collect();
+    let machines: Arc<Vec<Machine>> =
+        Arc::new(chips.iter().cloned().map(Machine::new).collect());
     let threads = config.effective_threads();
 
     // Phase 1: one trace per (input, application) pair, input-major —
@@ -471,12 +479,21 @@ pub fn run_study_cached(
     // otherwise. Precompiling here builds every geometry's aggregation
     // up front in one pass over the trace arena, so phase 2 replays
     // never build.
-    let pairs: Vec<(usize, usize)> = (0..inputs.len())
-        .flat_map(|i| (0..apps.len()).map(move |a| (i, a)))
-        .collect();
-    let traces: Vec<CompiledTrace> = {
+    let pairs: Arc<Vec<(usize, usize)>> = Arc::new(
+        (0..inputs.len())
+            .flat_map(|i| (0..apps.len()).map(move |a| (i, a)))
+            .collect(),
+    );
+    let traces: Arc<Vec<CompiledTrace>> = {
         let _phase = tracer.span_detail("phase", Some("collect-traces".to_owned()));
-        par_map_traced(&pairs, threads, tracer, "collect-traces", |_, &(i, a)| {
+        let inputs = Arc::clone(&inputs);
+        let apps = Arc::clone(&apps);
+        let machines = Arc::clone(&machines);
+        let cache = cache.cloned();
+        let job_tracer = tracer.clone();
+        let traces = par_map_pooled_traced(&pairs, threads, tracer, "collect-traces", move |_, &(i, a)| {
+            let tracer = &job_tracer;
+            let cache = cache.as_ref();
             let (input, app) = (&inputs[i], &apps[a]);
             // Expensive label formatting only when someone is listening.
             let _item = tracer
@@ -509,18 +526,28 @@ pub fn run_study_cached(
             let compiled = CompiledTrace::new(trace);
             compiled.precompile_all(&machines);
             compiled
-        })
+        });
+        Arc::new(traces)
     };
 
     // Phase 2: price each (trace, chip) cell — all 96 configurations in
     // one traversal — and apply the seeded noise. Cell order matches the
     // historical serial loop: input-major, then application, then chip.
-    let cell_ids: Vec<(usize, usize)> = (0..pairs.len())
-        .flat_map(|p| (0..machines.len()).map(move |m| (p, m)))
-        .collect();
+    let cell_ids: Arc<Vec<(usize, usize)>> = Arc::new(
+        (0..pairs.len())
+            .flat_map(|p| (0..machines.len()).map(move |m| (p, m)))
+            .collect(),
+    );
     let cells: Vec<Cell> = {
         let _phase = tracer.span_detail("phase", Some("price-cells".to_owned()));
-        par_map_traced(&cell_ids, threads, tracer, "price-cells", |_, &(p, m)| {
+        let pairs = Arc::clone(&pairs);
+        let inputs = Arc::clone(&inputs);
+        let apps = Arc::clone(&apps);
+        let machines = Arc::clone(&machines);
+        let traces = Arc::clone(&traces);
+        let job_tracer = tracer.clone();
+        par_map_pooled_traced(&cell_ids, threads, tracer, "price-cells", move |_, &(p, m)| {
+            let tracer = &job_tracer;
             let (i, a) = pairs[p];
             let machine = &machines[m];
             let _item = tracer.is_enabled().then(|| {

@@ -17,6 +17,8 @@
 //! is a pure function of its configuration and chip set, so batched and
 //! per-chip (`oracle`) runs serialise byte-identically.
 
+use std::sync::Arc;
+
 use gpp_obs::metrics;
 use gpp_obs::Tracer;
 use gpp_sim::chip::{ChipBatch, ChipProfile};
@@ -29,7 +31,7 @@ use crate::app::validate;
 use crate::apps::all_applications;
 use crate::cache::TraceCache;
 use crate::inputs::{study_inputs, StudyScale};
-use crate::par::par_map_traced;
+use crate::par::par_map_pooled_traced;
 
 /// Parameters of a chip sweep.
 #[derive(Debug, Clone, Copy)]
@@ -170,25 +172,39 @@ pub fn run_sweep_traced(
         let _phase = tracer.span_detail("phase", Some("generate-inputs".to_owned()));
         (study_inputs(config.scale, config.seed), all_applications())
     };
+    // Arc-shared fan-out state: both phases run on the persistent
+    // worker pool, whose jobs must be `'static`.
+    let config = *config;
+    let inputs = Arc::new(inputs);
+    let apps = Arc::new(apps);
     let threads = crate::par::effective_threads(config.threads);
 
     // Geometry families; a representative machine per family is enough
     // to precompile every aggregation either replay path will touch.
-    let batches = ChipBatch::partition(chips);
-    let reps: Vec<Machine> = batches
-        .iter()
-        .map(|b| Machine::new(b.chips()[0].clone()))
-        .collect();
+    let batches = Arc::new(ChipBatch::partition(chips));
+    let reps: Arc<Vec<Machine>> = Arc::new(
+        batches
+            .iter()
+            .map(|b| Machine::new(b.chips()[0].clone()))
+            .collect(),
+    );
 
     // Phase 1: one trace per (input, application) pair, input-major —
     // the same arena the study replays, loaded from the cache when one
     // is supplied.
-    let pairs: Vec<(usize, usize)> = (0..inputs.len())
-        .flat_map(|i| (0..apps.len()).map(move |a| (i, a)))
-        .collect();
-    let traces: Vec<CompiledTrace> = {
+    let pairs: Arc<Vec<(usize, usize)>> = Arc::new(
+        (0..inputs.len())
+            .flat_map(|i| (0..apps.len()).map(move |a| (i, a)))
+            .collect(),
+    );
+    let traces: Arc<Vec<CompiledTrace>> = {
         let _phase = tracer.span_detail("phase", Some("collect-traces".to_owned()));
-        par_map_traced(&pairs, threads, tracer, "collect-traces", |_, &(i, a)| {
+        let inputs = Arc::clone(&inputs);
+        let apps = Arc::clone(&apps);
+        let reps = Arc::clone(&reps);
+        let cache = cache.cloned();
+        let traces = par_map_pooled_traced(&pairs, threads, tracer, "collect-traces", move |_, &(i, a)| {
+            let cache = cache.as_ref();
             let (input, app) = (&inputs[i], &apps[a]);
             let cached = cache.and_then(|c| c.load(app.name(), input, config.scale, config.seed));
             let trace = match cached {
@@ -211,7 +227,8 @@ pub fn run_sweep_traced(
             let compiled = CompiledTrace::new(trace);
             compiled.precompile_all(&reps);
             compiled
-        })
+        });
+        Arc::new(traces)
     };
 
     // Phase 2: price each (pair, batch) task — every chip in the batch
@@ -219,13 +236,18 @@ pub fn run_sweep_traced(
     // `per_chip` asks for the oracle path. Both paths produce
     // bit-identical times, and the fold below runs in the same task
     // order either way, so the two sweeps serialise byte-identically.
-    let probes = opt_probes();
-    let tasks: Vec<(usize, usize)> = (0..pairs.len())
-        .flat_map(|p| (0..batches.len()).map(move |b| (p, b)))
-        .collect();
+    let probes = Arc::new(opt_probes());
+    let tasks: Arc<Vec<(usize, usize)>> = Arc::new(
+        (0..pairs.len())
+            .flat_map(|p| (0..batches.len()).map(move |b| (p, b)))
+            .collect(),
+    );
     let priced: Vec<Vec<Vec<f64>>> = {
         let _phase = tracer.span_detail("phase", Some("price-batches".to_owned()));
-        par_map_traced(&tasks, threads, tracer, "price-batches", |_, &(p, b)| {
+        let batches = Arc::clone(&batches);
+        let traces = Arc::clone(&traces);
+        let probes = Arc::clone(&probes);
+        par_map_pooled_traced(&tasks, threads, tracer, "price-batches", move |_, &(p, b)| {
             let batch = &batches[b];
             if config.per_chip {
                 batch

@@ -1,7 +1,9 @@
 //! The study-grid bench: serial vs parallel grid collection, individual
 //! vs batched 96-configuration cell pricing, the instrumentation
-//! overhead of pipeline tracing, and the serial vs parallel analysis
-//! pipeline (strategy spectrum and sensitivity sweep).
+//! overhead of pipeline tracing, the serial vs parallel analysis
+//! pipeline (strategy spectrum and sensitivity sweep), and the
+//! executor itself — the persistent worker pool vs per-call scoped
+//! spawning on a many-small-calls workload.
 //!
 //! Criterion groups measure the small-scale grid (fast enough to
 //! sample repeatedly). After the criterion run, a one-shot baseline of
@@ -25,6 +27,7 @@ use criterion::{criterion_group, Criterion};
 use gpp_apps::apps::all_applications;
 use gpp_apps::cache::TraceCache;
 use gpp_apps::inputs::{study_inputs, StudyScale};
+use gpp_apps::par::{par_map, par_map_pooled};
 use gpp_apps::study::{run_study, run_study_cached, run_study_traced, StudyConfig};
 use gpp_core::analysis::DatasetStats;
 use gpp_core::predict::leave_one_out_par;
@@ -214,6 +217,42 @@ fn bench_chip_sweep(c: &mut Criterion) {
                         .sum::<f64>()
                 })
                 .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+/// The per-item map the executor benches apply: cheap, pure, and
+/// index-dependent, so the work itself is negligible next to scheduling
+/// and the outputs still detect any ordering mistake.
+fn par_bench_item(i: usize, x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .rotate_left((i % 63) as u32)
+}
+
+fn bench_par_overhead(c: &mut Criterion) {
+    // The executor itself, isolated: many small fan-outs (one per
+    // analysis table, pair, or portfolio candidate — the paper grid's
+    // 304-pair shape) where per-call thread spawning dominates real
+    // work. The pooled engine pays a queue push and a condvar wake per
+    // call; the scoped engine pays `threads - 1` OS-thread spawns.
+    let items: Arc<Vec<u64>> = Arc::new((0..304).collect());
+    let threads = 4;
+    // Spawn the pool's workers outside the timed region.
+    let _ = par_map_pooled(&items, threads, |i, &x| par_bench_item(i, x));
+    let mut group = c.benchmark_group("par_overhead");
+    group.bench_function("pooled_many_small_calls", |b| {
+        b.iter(|| {
+            par_map_pooled(&items, threads, |i, &x| par_bench_item(i, x))
+                .iter()
+                .fold(0u64, |acc, v| acc ^ v)
+        })
+    });
+    group.bench_function("scoped_many_small_calls", |b| {
+        b.iter(|| {
+            par_map(&items, threads, |i, &x| par_bench_item(i, x))
+                .iter()
+                .fold(0u64, |acc, v| acc ^ v)
         })
     });
     group.finish();
@@ -501,6 +540,32 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
     let chip_sweep_chips_per_second = cloud.len() as f64 / chip_sweep_batched_seconds;
     let chip_batch_speedup = chip_sweep_per_chip_seconds / chip_sweep_batched_seconds;
 
+    // Executor overhead on the many-small-calls regime (304 items per
+    // call — one paper-grid pair table per fan-out): the persistent
+    // pool vs per-call scoped spawning, identical outputs required.
+    let par_items: Arc<Vec<u64>> = Arc::new((0..304u64).collect());
+    let par_threads = threads.clamp(2, 8);
+    let par_calls = 400usize;
+    // Spawn the pool's workers outside the timed region.
+    let expect_par = par_map_pooled(&par_items, par_threads, |i, &x| par_bench_item(i, x));
+    let t = Instant::now();
+    for _ in 0..par_calls {
+        let out = par_map_pooled(&par_items, par_threads, |i, &x| par_bench_item(i, x));
+        black_box(&out);
+        assert_eq!(out, expect_par, "pooled map must be deterministic");
+    }
+    let par_pooled_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..par_calls {
+        let out = par_map(&par_items, par_threads, |i, &x| par_bench_item(i, x));
+        black_box(&out);
+        assert_eq!(out, expect_par, "scoped map must equal the pooled map");
+    }
+    let par_scoped_seconds = t.elapsed().as_secs_f64();
+    let pool_vs_scoped_speedup = par_scoped_seconds / par_pooled_seconds;
+    let par_small_item_ns_per_item =
+        par_pooled_seconds * 1e9 / (par_calls * par_items.len()) as f64;
+
     let baseline = serde_json::json!({
         "bench": "study_grid",
         "scale": scale,
@@ -540,7 +605,13 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         "chip_sweep_chips_per_second": chip_sweep_chips_per_second,
         "chip_batch_speedup": chip_batch_speedup,
         "chip_batch_identical_to_per_chip": chip_batch_identical,
-        "regenerate": "cargo bench --bench study_grid (criterion groups: study_grid, cell_pricing_96_configs, study_tracing_overhead, study_metrics_overhead, analysis_pipeline, chip_sweep, interp_vs_bytecode; then writes this baseline)",
+        "par_overhead_calls": par_calls,
+        "par_overhead_threads": par_threads,
+        "par_pooled_seconds": par_pooled_seconds,
+        "par_scoped_seconds": par_scoped_seconds,
+        "pool_vs_scoped_speedup": pool_vs_scoped_speedup,
+        "par_small_item_ns_per_item": par_small_item_ns_per_item,
+        "regenerate": "cargo bench --bench study_grid (criterion groups: study_grid, cell_pricing_96_configs, study_tracing_overhead, study_metrics_overhead, analysis_pipeline, chip_sweep, par_overhead, interp_vs_bytecode; then writes this baseline)",
     });
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).expect("create baseline directory");
@@ -593,6 +664,10 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         cloud.len(),
         cloud_batches.len()
     );
+    eprintln!(
+        "[par overhead: {par_calls} calls x {} items at {par_threads} threads, pooled {par_pooled_seconds:.3}s vs scoped {par_scoped_seconds:.3}s, {pool_vs_scoped_speedup:.2}x, {par_small_item_ns_per_item:.0} ns/item]",
+        par_items.len()
+    );
 }
 
 criterion_group! {
@@ -602,7 +677,7 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(5));
     targets = bench_study_grid, bench_cell_pricing, bench_tracing_overhead,
         bench_metrics_overhead, bench_analysis_pipeline, bench_chip_sweep,
-        bench_interp_vs_bytecode
+        bench_par_overhead, bench_interp_vs_bytecode
 }
 
 fn main() {

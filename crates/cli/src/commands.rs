@@ -94,9 +94,11 @@ fn help(out: &mut dyn Write) -> Result<(), String> {
          sweep [--chips N] [--chips-file FILE] [--scale S] [--seed N] [--threads N] [--out FILE] [--emit-chips FILE] [--trace-cache DIR] [--per-chip] [--smoke]\n                              price a latin-hypercube chip cloud chip-major against the\n                              trace arena and invert the win/loss boundaries; --chips-file\n                              sweeps an explicit JSON chip list instead; --per-chip forces\n                              the chip-at-a-time oracle (byte-identical output, for CI);\n                              --smoke is a tiny-scale CI preset\n  \
          predict [--data FILE] [--probes K] [--threads N]\n                              leave-one-out predictive model (Section IX-b)\n  \
          export-csv [--data FILE] [--out FILE]\n                              dataset medians as CSV\n\n\
-         --threads 0 (the default) resolves via GPP_STUDY_THREADS, then the\n\
-         machine's parallelism; analysis output is byte-identical at any\n\
-         thread count",
+         --threads 0 (the default) resolves via GPP_STUDY_THREADS (read\n\
+         once per process), then the machine's parallelism. N caps how many\n\
+         of the persistent worker pool's threads serve each fan-out — the\n\
+         pool is never torn down between phases — and all output is\n\
+         byte-identical at any thread count",
     )
 }
 
@@ -116,8 +118,11 @@ fn default_data_path() -> PathBuf {
 
 /// Resolves the analysis worker count: `--threads N` taken literally
 /// when positive, otherwise the `GPP_STUDY_THREADS` environment
-/// variable, otherwise the machine's available parallelism. The
-/// analysis output is byte-identical at any thread count.
+/// variable (parsed once per process and cached), otherwise the
+/// machine's available parallelism. The count caps the workers serving
+/// each fan-out — study/sweep phases draw them from `gpp-par`'s
+/// persistent pool — and the analysis output is byte-identical at any
+/// thread count.
 fn analysis_threads(args: &Args) -> Result<usize, String> {
     Ok(gpp_par::effective_threads(args.num("threads", 0usize)?))
 }

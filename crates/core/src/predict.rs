@@ -140,6 +140,11 @@ pub fn leave_one_out(stats: &DatasetStats<'_>, k: usize) -> PredictionEvaluation
 /// order-sensitive geomean accumulation — is byte-identical to the
 /// serial one at any thread count.
 ///
+/// Like the other analysis fan-outs, this one runs on `gpp-par`'s
+/// scoped engine (the closure borrows `stats`, which a persistent-pool
+/// job cannot); a call from inside another parallel worker runs inline
+/// via cooperative nesting, with identical results.
+///
 /// # Panics
 ///
 /// Panics if the dataset is empty or `k` is zero.

@@ -80,6 +80,11 @@ pub fn subsample_sensitivity(
 /// kept cells carry identical timings either way, so the verdicts — and
 /// the whole report — are byte-identical at any thread count.
 ///
+/// The trials fan out on `gpp-par`'s scoped engine (the closure borrows
+/// the memoized `full_stats`, so the persistent pool's `'static` jobs
+/// cannot carry it); issued from inside another parallel worker the
+/// fan-out runs inline — cooperative nesting, same report.
+///
 /// # Panics
 ///
 /// Panics if `trials` is zero, a fraction is outside `(0, 1]`, or the

@@ -162,6 +162,15 @@ pub fn build_assignment(stats: &DatasetStats<'_>, strategy: Strategy) -> Assignm
 /// count. When `tracer` is enabled, the fan-out appears as one `phase`
 /// span (detail `analyze:<strategy>`) with matching per-worker `busy-ns`
 /// counters.
+///
+/// The fan-out uses `gpp-par`'s *scoped* engine rather than the
+/// persistent pool: the closure borrows `stats` (which borrows the
+/// dataset), and under `forbid(unsafe_code)` only per-call scoped
+/// threads may touch non-`'static` borrows. A call arriving from
+/// inside a pooled or scoped worker (e.g. a future portfolio search
+/// fanning out whole analyses) runs inline on that worker —
+/// cooperative nesting keeps the machine from oversubscribing without
+/// changing any result.
 pub fn build_assignment_par(
     stats: &DatasetStats<'_>,
     strategy: Strategy,

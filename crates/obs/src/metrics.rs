@@ -21,6 +21,15 @@
 //! (`study.cells_priced`, `trace_cache.bytes_read`,
 //! `replay.configs_priced`). Histogram values are nanoseconds unless the
 //! name says otherwise.
+//!
+//! The `par.*` family attributes executor behaviour: `par.tasks` (items
+//! fanned out), `par.workers` (widest fan-out, gauge), `par.worker_busy_ns`
+//! (per-worker busy time, histogram), `par.chunks_claimed` (index-range
+//! claims — scheduling granularity), `par.pool_spawns` (persistent-pool
+//! threads created, once per thread per process), `par.wakeups`
+//! (condvar wakes of parked pool workers), and `par.nested_calls`
+//! (fan-outs issued from inside another parallel worker, served
+//! cooperatively instead of oversubscribing).
 
 use std::cell::RefCell;
 use std::collections::HashMap;

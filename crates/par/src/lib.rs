@@ -1,33 +1,79 @@
-//! Minimal work-stealing-free parallel map over a slice, built on
-//! [`std::thread::scope`].
+//! The workspace's parallel executor: a persistent worker pool for
+//! `'static` fan-outs plus a chunked scoped fallback for borrowed ones.
 //!
 //! Both the study grid (`gpp-apps`) and the statistical analysis
 //! (`gpp-core`) need the same single primitive: apply a pure function to
 //! every element of a slice and collect the results *in input order*.
-//! Workers pull indices from a shared atomic counter (dynamic
-//! scheduling, so uneven items — big traces, slow chips, large
-//! partitions — balance out) and results are scattered back to their
-//! input slots, so the output is independent of scheduling. No external
-//! runtime dependency is needed.
+//! Two engines provide it:
+//!
+//! * **The persistent pool** ([`par_map_pooled`] /
+//!   [`par_map_pooled_traced`], see [`pool`]): a process-wide set of
+//!   worker threads, spawned lazily on first use and parked on a condvar
+//!   between calls, that executes chunked map jobs from one shared
+//!   queue. Submitting a job costs a queue push and a wake-up instead of
+//!   `threads` OS-thread spawns, which is what makes many small
+//!   fan-outs (the per-cell analysis tables, a future `gpp serve`
+//!   worker pool) cheap. Jobs must be `'static`: the items live in an
+//!   [`Arc`] and the closure owns everything it captures.
+//! * **The scoped engine** ([`par_map`] / [`par_map_traced`]): for
+//!   closures that borrow from the caller's stack. Workers are spawned
+//!   per call with [`std::thread::scope`] — under
+//!   `#![forbid(unsafe_code)]` that is the only way a thread may touch
+//!   non-`'static` borrows, because the scope is what proves the
+//!   borrow outlives the worker. The engine still claims *chunks* of
+//!   the index space (not one item per atomic bump), the calling
+//!   thread participates as the last worker (so only `threads - 1`
+//!   threads are spawned), and per-chunk results are concatenated in
+//!   chunk order (no tagged-pair vector, no `Vec<Option<R>>` scatter).
+//!
+//! Scheduling never influences results: chunks tile the index space
+//! deterministically, each item is mapped exactly once by `f(i, &items[i])`,
+//! and chunk outputs are reassembled in index order, so every engine —
+//! inline, scoped, pooled, at any thread count — returns byte-identical
+//! output for a pure `f`.
+//!
+//! Nested calls are cooperative. A `par_map` issued from inside any
+//! parallel worker runs inline on that worker (its items are already
+//! one chunk of a wider fan-out; spawning again would oversubscribe),
+//! while a nested [`par_map_pooled`] submits to the same shared queue —
+//! idle pool workers help with the inner job, and the submitting worker
+//! drives it to completion itself, so progress never depends on pool
+//! capacity. Both are counted by the `par.nested_calls` metric.
 //!
 //! This crate sits below `gpp-apps` in the workspace DAG so that
 //! `gpp-core` (which `gpp-apps` does not depend on) can fan out its
 //! analysis passes without inverting any crate dependency. `gpp-apps`
-//! re-exports the map under its historical `gpp_apps::par` path.
+//! re-exports the maps under its historical `gpp_apps::par` path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
+
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use gpp_obs::metrics;
 use gpp_obs::Tracer;
 
+pub use pool::{par_map_pooled, par_map_pooled_traced, pool_workers_spawned};
+
+/// The `GPP_STUDY_THREADS` override, parsed from the environment exactly
+/// once per process (see [`effective_threads`]).
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
 /// Resolves a requested worker-thread count the way the whole workspace
 /// does: a positive request is taken literally, `0` falls back to the
 /// `GPP_STUDY_THREADS` environment variable if it parses to a positive
 /// number, and otherwise to the machine's available parallelism.
+///
+/// The environment variable is read **once** — the first `0` resolution
+/// parses it and caches the result for the life of the process, so a
+/// long-running server answers every call consistently and the hot path
+/// never touches the environment again. Changing `GPP_STUDY_THREADS`
+/// after that first read has no effect on the running process.
 ///
 /// The result is always at least 1. Callers that accept `--threads 0`
 /// (the CLI default) should resolve through this before handing the
@@ -37,16 +83,158 @@ pub fn effective_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    if let Ok(v) = std::env::var("GPP_STUDY_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
+    let env = *ENV_THREADS.get_or_init(|| {
+        std::env::var("GPP_STUDY_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    });
+    env.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+thread_local! {
+    /// Whether this thread is currently executing inside a gpp-par
+    /// worker context (a pool worker, a scoped worker, or a caller
+    /// participating in its own fan-out).
+    static IN_PAR_CONTEXT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII guard marking the current thread as a parallel worker; restores
+/// the previous state on drop so top-level calls issued later from the
+/// same (caller) thread fan out normally again.
+pub(crate) struct ParContextGuard {
+    prev: bool,
+}
+
+pub(crate) fn enter_par_context() -> ParContextGuard {
+    IN_PAR_CONTEXT.with(|c| {
+        let prev = c.get();
+        c.set(true);
+        ParContextGuard { prev }
+    })
+}
+
+impl Drop for ParContextGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_PAR_CONTEXT.with(|c| c.set(prev));
+    }
+}
+
+/// Whether the current thread is already inside a parallel worker — used
+/// to make nested fan-outs cooperative instead of oversubscribing.
+#[must_use]
+pub fn in_par_context() -> bool {
+    IN_PAR_CONTEXT.with(Cell::get)
+}
+
+/// Chunk size for claiming index ranges: roughly four chunks per worker,
+/// coarse enough to amortise the claim (one atomic or one lock per
+/// chunk instead of per item), fine enough that uneven items — big
+/// traces, slow chips, large partitions — still balance. Small inputs
+/// degrade to one item per claim, exactly the historical per-item
+/// dynamic schedule.
+pub(crate) fn chunk_size(len: usize, threads: usize) -> usize {
+    (len / (threads * 4).max(1)).max(1)
+}
+
+/// Reassembles per-chunk outputs into the input-order result vector.
+/// Chunks tile `0..len` disjointly, so sorting by start offset and
+/// concatenating is exact — no per-item tags, no `Option` unwrap pass.
+pub(crate) fn assemble<R>(len: usize, mut chunks: Vec<(usize, Vec<R>)>) -> Vec<R> {
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(len);
+    for (start, chunk) in chunks {
+        debug_assert_eq!(start, out.len(), "chunks must tile the index space");
+        out.extend(chunk);
+    }
+    debug_assert_eq!(out.len(), len, "every index mapped exactly once");
+    out
+}
+
+/// Maps every item inline on the current thread.
+pub(crate) fn map_inline<T, R, F>(items: &[T], f: &F) -> Vec<R>
+where
+    F: Fn(usize, &T) -> R,
+{
+    items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+}
+
+/// Emits one worker's busy time to every listening backend: a
+/// `busy-ns` trace counter (detail = `label`) for [`gpp_obs::TraceSummary`]
+/// / the phase profiler, and a `par.worker_busy_ns` histogram sample in
+/// the process-wide metrics registry.
+pub(crate) fn report_worker_busy(tracer: &Tracer, label: &str, busy_ns: f64) {
+    tracer.counter("busy-ns", Some(label), busy_ns);
+    metrics::observe("par.worker_busy_ns", busy_ns);
+}
+
+/// The scoped engine: `threads - 1` scoped workers plus the calling
+/// thread claim chunks from a shared atomic cursor and collect each
+/// chunk's results in order. Only called with `threads >= 2`.
+fn run_scoped<T, R, F>(
+    items: &[T],
+    threads: usize,
+    trace: Option<(&Tracer, &str)>,
+    f: &F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let len = items.len();
+    let chunk = chunk_size(len, threads);
+    let next = AtomicUsize::new(0);
+    let timed = trace.is_some();
+    // One worker body, run by every scoped thread and by the caller:
+    // claim a chunk, map it, keep the (start, results) pair. Every
+    // worker reports one busy-ns total when traced, even an idle one,
+    // so a traced fan-out always shows `threads` busy counters.
+    let run_worker = || {
+        let _guard = enter_par_context();
+        let mut chunks: Vec<(usize, Vec<R>)> = Vec::new();
+        let mut busy_ns = 0u128;
+        loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= len {
+                break;
+            }
+            let end = (start + chunk).min(len);
+            metrics::counter("par.chunks_claimed", 1);
+            let t0 = timed.then(Instant::now);
+            let mut out = Vec::with_capacity(end - start);
+            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                out.push(f(i, item));
+            }
+            if let Some(t0) = t0 {
+                busy_ns += t0.elapsed().as_nanos();
+            }
+            chunks.push((start, out));
+        }
+        if let Some((tracer, label)) = trace {
+            report_worker_busy(tracer, label, busy_ns as f64);
+        }
+        chunks
+    };
+    let collected: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..threads).map(|_| scope.spawn(run_worker)).collect();
+        // The caller participates before joining, so the fan-out always
+        // makes progress even if thread spawning is slow or denied.
+        let mut all = run_worker();
+        for h in handles {
+            match h.join() {
+                Ok(chunks) => all.extend(chunks),
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-    }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+        all
+    });
+    assemble(len, collected)
 }
 
 /// Maps `f` over `items` on up to `threads` worker threads, returning
@@ -55,7 +243,16 @@ pub fn effective_threads(requested: usize) -> usize {
 /// `f` receives `(index, &item)`. With `threads <= 1` (or a single
 /// item) the map runs inline on the caller's thread — the closure
 /// executes on exactly the same items in the same per-item way either
-/// way, so results never depend on the thread count.
+/// way, so results never depend on the thread count. A call issued from
+/// inside another parallel worker also runs inline (cooperative nested
+/// parallelism: the caller is already one lane of a wider fan-out), and
+/// is counted by the `par.nested_calls` metric.
+///
+/// Because `f` and `items` may borrow from the caller's stack, workers
+/// are scoped threads spawned per call (`threads - 1` of them — the
+/// caller is the last worker). Fan-outs whose state is shareable as
+/// `'static` should prefer [`par_map_pooled`], which reuses the
+/// persistent pool instead of spawning.
 ///
 /// # Panics
 ///
@@ -69,51 +266,13 @@ where
 {
     let threads = threads.clamp(1, items.len().max(1));
     if threads == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return map_inline(items, &f);
     }
-    let next = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let (next, f) = (&next, &f);
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        out.push((i, f(i, &items[i])));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(v) => v,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    for (i, r) in per_worker.into_iter().flatten() {
-        slots[i] = Some(r);
+    if in_par_context() {
+        metrics::counter("par.nested_calls", 1);
+        return map_inline(items, &f);
     }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index processed exactly once"))
-        .collect()
-}
-
-/// Emits one worker's busy time to every listening backend: a
-/// `busy-ns` trace counter (detail = `label`) for [`gpp_obs::TraceSummary`]
-/// / the phase profiler, and a `par.worker_busy_ns` histogram sample in
-/// the process-wide metrics registry.
-fn report_worker_busy(tracer: &Tracer, label: &str, busy_ns: f64) {
-    tracer.counter("busy-ns", Some(label), busy_ns);
-    metrics::observe("par.worker_busy_ns", busy_ns);
+    run_scoped(items, threads, None, &f)
 }
 
 /// [`par_map`] with per-worker busy-time instrumentation: each worker
@@ -122,8 +281,8 @@ fn report_worker_busy(tracer: &Tracer, label: &str, busy_ns: f64) {
 /// utilisation for the phase. When the process-wide
 /// [`gpp_obs::metrics`] registry is enabled, the same busy times also
 /// land in the `par.worker_busy_ns` histogram, each fan-out counts its
-/// items into `par.tasks`, and `par.workers` records the widest pool
-/// used.
+/// items into `par.tasks`, chunk claims into `par.chunks_claimed`, and
+/// `par.workers` records the widest fan-out used.
 ///
 /// With a disabled tracer and disabled metrics this delegates to
 /// [`par_map`] directly — no timestamps are taken and no overhead is
@@ -152,50 +311,17 @@ where
     let threads = threads.clamp(1, items.len().max(1));
     metrics::counter("par.tasks", items.len() as u64);
     metrics::gauge_max("par.workers", threads as f64);
-    if threads == 1 {
+    let nested = in_par_context();
+    if threads == 1 || nested {
+        if nested {
+            metrics::counter("par.nested_calls", 1);
+        }
         let start = Instant::now();
-        let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let out = map_inline(items, &f);
         report_worker_busy(tracer, label, start.elapsed().as_nanos() as f64);
         return out;
     }
-    let next = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let (next, f, tracer) = (&next, &f, tracer);
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut busy_ns = 0u128;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        let start = Instant::now();
-                        out.push((i, f(i, &items[i])));
-                        busy_ns += start.elapsed().as_nanos();
-                    }
-                    report_worker_busy(tracer, label, busy_ns as f64);
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(v) => v,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    for (i, r) in per_worker.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index processed exactly once"))
-        .collect()
+    run_scoped(items, threads, Some((tracer, label)), &f)
 }
 
 #[cfg(test)]
@@ -224,6 +350,42 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<u32> = par_map(&[] as &[u32], 8, |_, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunk_sizes_cover_all_shapes() {
+        // Tiny inputs degrade to per-item claiming; big ones amortise.
+        assert_eq!(chunk_size(3, 8), 1);
+        assert_eq!(chunk_size(0, 4), 1);
+        assert_eq!(chunk_size(1024, 4), 64);
+        // A chunked walk tiles the space exactly.
+        for (len, threads) in [(1usize, 2usize), (17, 4), (304, 8), (1000, 3)] {
+            let chunk = chunk_size(len, threads);
+            let covered: usize = (0..len).step_by(chunk).map(|s| (s + chunk).min(len) - s).sum();
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    fn assemble_restores_input_order() {
+        let chunks = vec![(4usize, vec![4, 5, 6]), (0, vec![0, 1]), (2, vec![2, 3])];
+        assert_eq!(assemble(7, chunks), vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline_on_a_worker() {
+        let outer: Vec<u64> = (0..16).collect();
+        let expect: Vec<u64> = outer.iter().map(|x| x * 10 + 45).collect();
+        let out = par_map(&outer, 4, |_, &x| {
+            let inner: Vec<u64> = (0..10).collect();
+            // Inside a scoped worker (or the participating caller) this
+            // must not spawn again; it runs inline and stays correct.
+            assert!(in_par_context());
+            let partial = par_map(&inner, 8, |_, &y| y);
+            x * 10 + partial.iter().sum::<u64>()
+        });
+        assert_eq!(out, expect);
+        assert!(!in_par_context(), "context flag is restored afterwards");
     }
 
     #[test]
@@ -259,6 +421,7 @@ mod tests {
         assert_eq!(out, expect);
         let snap = m.snapshot();
         assert!(snap.counters["par.tasks"] >= 100);
+        assert!(snap.counters["par.chunks_claimed"] >= 1);
         assert!(snap.gauges["par.workers"] >= 4.0);
         assert!(snap.histograms["par.worker_busy_ns"].count >= 1);
     }
@@ -279,7 +442,11 @@ mod tests {
     fn effective_threads_resolution() {
         assert_eq!(effective_threads(3), 3);
         assert_eq!(effective_threads(1), 1);
-        // 0 resolves to *something* positive (env var or machine width).
-        assert!(effective_threads(0) >= 1);
+        // 0 resolves to *something* positive (env var or machine width),
+        // and — because the parse is cached — to the same something every
+        // time.
+        let first = effective_threads(0);
+        assert!(first >= 1);
+        assert_eq!(effective_threads(0), first);
     }
 }

@@ -1,0 +1,526 @@
+//! The persistent worker pool: spawn once, park cheaply, schedule
+//! adaptively, stay observable.
+//!
+//! # Lifecycle
+//!
+//! One pool exists per process, behind a [`OnceLock`]. No thread is
+//! spawned until the first pooled fan-out asks for one; after that the
+//! pool grows monotonically to the widest `threads` request seen
+//! (capped at [`MAX_POOL_WORKERS`]) and is never torn down — idle
+//! workers park on a condvar, costing nothing until the next job wakes
+//! them. Per-call `threads` caps bound how many workers may *join a
+//! given job* (via participation tickets) without shrinking the pool.
+//! Each spawn increments the `par.pool_spawns` metric, each wake from
+//! the condvar increments `par.wakeups`.
+//!
+//! # Scheduling
+//!
+//! A job is one chunked map: a shared cursor over `0..items.len()` that
+//! participants advance by [`crate::chunk_size`]-sized ranges, with each
+//! chunk's results kept as an ordered `(start, Vec<R>)` run and
+//! reassembled by [`crate::assemble`]. The submitting thread always
+//! participates in its own job — correctness and termination never
+//! depend on pool capacity (a submitter alone finishes the job; if
+//! thread spawning fails entirely the pool degrades to inline
+//! execution). Workers scan the shared queue front-to-back and help the
+//! first job that still has unclaimed chunks and a free ticket.
+//!
+//! # Nested fan-out
+//!
+//! A pooled map submitted from *inside* a pool worker goes onto the
+//! same shared queue: idle siblings help with the inner job while the
+//! submitting worker drives it to completion. Termination is inductive
+//! — a submitter only blocks once every chunk of its job is claimed,
+//! and every claimed chunk is being executed by a thread that is
+//! itself making progress — so arbitrary nesting depth is safe as long
+//! as `f` terminates and does not block on events outside the pool.
+//!
+//! # Why jobs must be `'static`
+//!
+//! Under `#![forbid(unsafe_code)]` a long-lived thread may only touch
+//! `'static` data: nothing can prove to the type system that a borrow
+//! of a caller's stack outlives a worker that survives the call. Items
+//! therefore live in an [`Arc`] and the closure owns its captures;
+//! borrowed fan-outs take the scoped engine ([`crate::par_map`])
+//! instead, whose per-call `thread::scope` is exactly that proof.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+use gpp_obs::metrics;
+use gpp_obs::Tracer;
+
+use crate::{
+    assemble, chunk_size, enter_par_context, in_par_context, map_inline, report_worker_busy,
+};
+
+/// Hard ceiling on pool width, a backstop against absurd `--threads`
+/// values; the pool never spawns more workers than this.
+pub const MAX_POOL_WORKERS: usize = 256;
+
+/// What the queue and the workers see of a job: claim-and-run chunks
+/// (`help`), and report whether any chunk is still claimable
+/// (`wants_help`) so scans can skip finished or fully-ticketed jobs.
+trait Task: Send + Sync {
+    /// Runs chunks of this task on the current thread until none are
+    /// left to claim (or, for an external worker, until the ticket cap
+    /// rejects it).
+    fn help(&self, external: bool);
+    /// Whether an external worker could still be useful here.
+    fn wants_help(&self) -> bool;
+    /// Whether every chunk has been claimed (the queue can drop it).
+    fn drained(&self) -> bool;
+}
+
+/// Mutable state of one chunked map job, guarded by one mutex that is
+/// taken twice per *chunk* (claim and completion) — never per item.
+struct MapState<R> {
+    /// Next unclaimed index.
+    next: usize,
+    /// Chunks claimed but not yet completed.
+    in_flight: usize,
+    /// Completed chunks as (start, results) runs.
+    chunks: Vec<(usize, Vec<R>)>,
+    /// First panic payload observed in `f`, if any.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Set once a chunk panicked: no further chunks are claimed.
+    cancelled: bool,
+}
+
+/// One pooled fan-out: shared items, the map closure, and the chunk
+/// cursor / result / completion machinery.
+struct MapJob<T, R, F> {
+    items: Arc<Vec<T>>,
+    f: F,
+    chunk: usize,
+    state: Mutex<MapState<R>>,
+    /// Signalled when the job is drained and the last in-flight chunk
+    /// completes.
+    done: Condvar,
+    /// Remaining tickets for *external* participants (pool workers).
+    /// The submitter needs no ticket, so a call with `threads = n`
+    /// runs on at most `n` threads at once.
+    external_slots: AtomicUsize,
+    /// Busy-time instrumentation: tracer and phase label.
+    trace: Option<(Tracer, String)>,
+}
+
+impl<T, R, F> MapJob<T, R, F>
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    /// Blocks until the job is drained and no chunk is in flight.
+    fn wait_done(&self) {
+        let len = self.items.len();
+        let mut st = self.state.lock().expect("pool job state poisoned");
+        while st.in_flight > 0 || !(st.cancelled || st.next >= len) {
+            st = self.done.wait(st).expect("pool job state poisoned");
+        }
+    }
+
+    /// Takes the assembled output, or the first panic payload.
+    fn take_output(&self) -> Result<Vec<R>, Box<dyn Any + Send>> {
+        let mut st = self.state.lock().expect("pool job state poisoned");
+        if let Some(payload) = st.panic.take() {
+            return Err(payload);
+        }
+        let chunks = std::mem::take(&mut st.chunks);
+        Ok(assemble(self.items.len(), chunks))
+    }
+}
+
+impl<T, R, F> Task for MapJob<T, R, F>
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    fn help(&self, external: bool) {
+        if external {
+            // Acquire a participation ticket; give it back on the way
+            // out so a departing worker frees capacity mid-job (only
+            // relevant if it leaves early — normally departure means
+            // the job is drained anyway).
+            let got = self
+                .external_slots
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1));
+            if got.is_err() {
+                return;
+            }
+        }
+        let _guard = enter_par_context();
+        let len = self.items.len();
+        let timed = self.trace.is_some();
+        let mut busy_ns = 0u128;
+        let mut claimed_any = false;
+        loop {
+            let (start, end) = {
+                let mut st = self.state.lock().expect("pool job state poisoned");
+                if st.cancelled || st.next >= len {
+                    break;
+                }
+                let start = st.next;
+                let end = (start + self.chunk).min(len);
+                st.next = end;
+                st.in_flight += 1;
+                (start, end)
+            };
+            claimed_any = true;
+            metrics::counter("par.chunks_claimed", 1);
+            let t0 = timed.then(Instant::now);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mut out = Vec::with_capacity(end - start);
+                for i in start..end {
+                    out.push((self.f)(i, &self.items[i]));
+                }
+                out
+            }));
+            if let Some(t0) = t0 {
+                busy_ns += t0.elapsed().as_nanos();
+            }
+            let notify = {
+                let mut st = self.state.lock().expect("pool job state poisoned");
+                st.in_flight -= 1;
+                match result {
+                    Ok(out) => st.chunks.push((start, out)),
+                    Err(payload) => {
+                        st.cancelled = true;
+                        if st.panic.is_none() {
+                            st.panic = Some(payload);
+                        }
+                    }
+                }
+                st.in_flight == 0 && (st.cancelled || st.next >= len)
+            };
+            if notify {
+                self.done.notify_all();
+            }
+        }
+        if external {
+            self.external_slots.fetch_add(1, Ordering::AcqRel);
+        }
+        if (claimed_any || !external) && timed {
+            if let Some((tracer, label)) = &self.trace {
+                report_worker_busy(tracer, label, busy_ns as f64);
+            }
+        }
+    }
+
+    fn wants_help(&self) -> bool {
+        if self.external_slots.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        let st = self.state.lock().expect("pool job state poisoned");
+        !st.cancelled && st.next < self.items.len()
+    }
+
+    fn drained(&self) -> bool {
+        let st = self.state.lock().expect("pool job state poisoned");
+        st.cancelled || st.next >= self.items.len()
+    }
+}
+
+/// Shared pool state: the job queue, the parking condvar, and the count
+/// of spawned workers.
+struct PoolInner {
+    queue: Mutex<Vec<Arc<dyn Task>>>,
+    available: Condvar,
+    spawned: Mutex<usize>,
+}
+
+/// The process-wide persistent pool handle.
+pub(crate) struct Pool {
+    inner: Arc<PoolInner>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    pub(crate) fn global() -> &'static Pool {
+        POOL.get_or_init(|| Pool {
+            inner: Arc::new(PoolInner {
+                queue: Mutex::new(Vec::new()),
+                available: Condvar::new(),
+                spawned: Mutex::new(0),
+            }),
+        })
+    }
+
+    /// Grows the pool so at least `want` workers exist (bounded by
+    /// [`MAX_POOL_WORKERS`]). Spawn failure is tolerated: the submitter
+    /// always executes its own job, so a resource-starved process
+    /// degrades to fewer helpers, not to an error.
+    fn ensure_workers(&self, want: usize) {
+        let want = want.min(MAX_POOL_WORKERS);
+        let mut spawned = self.inner.spawned.lock().expect("pool spawn count poisoned");
+        while *spawned < want {
+            let inner = Arc::clone(&self.inner);
+            let build = std::thread::Builder::new()
+                .name(format!("gpp-par-{}", *spawned))
+                .spawn(move || worker_loop(&inner));
+            match build {
+                Ok(_) => {
+                    *spawned += 1;
+                    metrics::counter("par.pool_spawns", 1);
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Number of workers spawned so far (for tests and diagnostics).
+    pub(crate) fn workers_spawned(&self) -> usize {
+        *self.inner.spawned.lock().expect("pool spawn count poisoned")
+    }
+
+    /// Enqueues a job and wakes the pool. `width` is the call's
+    /// `threads` request; the pool grows towards `width - 1` helpers.
+    fn submit(&self, task: Arc<dyn Task>, width: usize) {
+        self.ensure_workers(width.saturating_sub(1));
+        {
+            let mut queue = self.inner.queue.lock().expect("pool queue poisoned");
+            queue.push(task);
+        }
+        self.inner.available.notify_all();
+    }
+
+    /// Drops finished jobs from the queue so their items/results free
+    /// promptly; called by the submitter after its job completes.
+    fn sweep(&self) {
+        let mut queue = self.inner.queue.lock().expect("pool queue poisoned");
+        queue.retain(|t| !t.drained());
+    }
+}
+
+/// What every pool worker runs forever: find a job that wants help,
+/// help until it is drained, park when the queue has nothing claimable.
+fn worker_loop(inner: &PoolInner) {
+    let _guard = enter_par_context();
+    loop {
+        let task: Arc<dyn Task> = {
+            let mut queue = inner.queue.lock().expect("pool queue poisoned");
+            loop {
+                queue.retain(|t| !t.drained());
+                if let Some(task) = queue.iter().find(|t| t.wants_help()) {
+                    break Arc::clone(task);
+                }
+                queue = inner.available.wait(queue).expect("pool queue poisoned");
+                metrics::counter("par.wakeups", 1);
+            }
+        };
+        task.help(true);
+    }
+}
+
+/// Number of pool workers spawned so far in this process. Exposed so
+/// tests can assert that repeated pooled calls reuse the pool instead
+/// of spawning per call.
+#[must_use]
+pub fn pool_workers_spawned() -> usize {
+    Pool::global().workers_spawned()
+}
+
+/// The pooled engine core shared by [`par_map_pooled`] and
+/// [`par_map_pooled_traced`]. `threads >= 2` and `len >= 2` here.
+fn run_pooled<T, R, F>(
+    items: &Arc<Vec<T>>,
+    threads: usize,
+    trace: Option<(Tracer, String)>,
+    f: F,
+) -> Vec<R>
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    if in_par_context() {
+        metrics::counter("par.nested_calls", 1);
+    }
+    let job = Arc::new(MapJob {
+        items: Arc::clone(items),
+        f,
+        chunk: chunk_size(items.len(), threads),
+        state: Mutex::new(MapState {
+            next: 0,
+            in_flight: 0,
+            chunks: Vec::new(),
+            panic: None,
+            cancelled: false,
+        }),
+        done: Condvar::new(),
+        external_slots: AtomicUsize::new(threads - 1),
+        trace,
+    });
+    let pool = Pool::global();
+    pool.submit(Arc::clone(&job) as Arc<dyn Task>, threads);
+    // The submitter drives its own job: by the time help() returns,
+    // every chunk is claimed; then wait for stragglers to finish theirs.
+    job.help(false);
+    job.wait_done();
+    pool.sweep();
+    match job.take_output() {
+        Ok(out) => out,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// [`crate::par_map`] over shared `'static` items, executed by the
+/// persistent worker pool instead of per-call scoped threads.
+///
+/// Results are returned in input order and are byte-identical to an
+/// inline map at any thread count: chunks tile the index space
+/// deterministically and each item is mapped exactly once by
+/// `f(i, &items[i])`. With `threads <= 1` (or fewer than two items) the
+/// map runs inline on the caller's thread and the pool is not touched.
+///
+/// The calling thread always participates, so the call completes even
+/// if every pool worker is busy (or none could be spawned). `threads`
+/// caps how many pool workers may join this particular call; it does
+/// not resize or tear down the pool. A nested call from inside a pool
+/// worker submits to the same shared queue — idle workers help, the
+/// submitter drives — so nested fan-outs compose without
+/// oversubscribing.
+///
+/// # Panics
+///
+/// If `f` panics for any item, no further chunks are claimed and the
+/// first panic payload is re-raised on the caller after in-flight
+/// chunks finish.
+pub fn par_map_pooled<T, R, F>(items: &Arc<Vec<T>>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return map_inline(items, &f);
+    }
+    run_pooled(items, threads, None, f)
+}
+
+/// [`par_map_pooled`] with the same busy-time instrumentation as
+/// [`crate::par_map_traced`]: every participant that did work emits one
+/// `busy-ns` counter (detail = `label`) and a `par.worker_busy_ns`
+/// histogram sample, the fan-out counts its items into `par.tasks`,
+/// and `par.workers` records the widest fan-out used. Because pool
+/// participation is dynamic, a traced pooled fan-out emits *up to*
+/// `threads` busy counters (at least one — the submitter's).
+///
+/// With a disabled tracer and disabled metrics this delegates to
+/// [`par_map_pooled`] directly. The output is byte-identical either
+/// way.
+///
+/// # Panics
+///
+/// Propagates panics from `f` exactly as [`par_map_pooled`] does.
+pub fn par_map_pooled_traced<T, R, F>(
+    items: &Arc<Vec<T>>,
+    threads: usize,
+    tracer: &Tracer,
+    label: &str,
+    f: F,
+) -> Vec<R>
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    if !tracer.is_enabled() && !metrics::enabled() {
+        return par_map_pooled(items, threads, f);
+    }
+    let threads = threads.clamp(1, items.len().max(1));
+    metrics::counter("par.tasks", items.len() as u64);
+    metrics::gauge_max("par.workers", threads as f64);
+    if threads == 1 {
+        let start = Instant::now();
+        let out = map_inline(items, &f);
+        report_worker_busy(tracer, label, start.elapsed().as_nanos() as f64);
+        return out;
+    }
+    run_pooled(
+        items,
+        threads,
+        Some((tracer.clone(), label.to_owned())),
+        f,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_obs::MemorySink;
+
+    #[test]
+    fn pooled_map_matches_inline_at_many_widths() {
+        let items: Arc<Vec<u64>> = Arc::new((0..1000).collect());
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [0, 1, 2, 3, 7, 64] {
+            assert_eq!(par_map_pooled(&items, threads, |_, &x| x * x), expect);
+        }
+    }
+
+    #[test]
+    fn pooled_indices_match_items() {
+        let items: Arc<Vec<usize>> = Arc::new((0..257).collect());
+        let out = par_map_pooled(&items, 4, |i, &x| (i, x));
+        assert!(out.iter().all(|&(i, x)| i == x));
+    }
+
+    #[test]
+    fn pooled_empty_and_singleton_inputs() {
+        let empty: Arc<Vec<u32>> = Arc::new(Vec::new());
+        let out: Vec<u32> = par_map_pooled(&empty, 8, |_, &x| x);
+        assert!(out.is_empty());
+        let one: Arc<Vec<u32>> = Arc::new(vec![9]);
+        assert_eq!(par_map_pooled(&one, 8, |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn pooled_traced_emits_busy_counters() {
+        let items: Arc<Vec<u64>> = Arc::new((0..500).collect());
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        let out = par_map_pooled_traced(&items, 4, &tracer, "triple", |_, &x| x * 3);
+        assert_eq!(out, expect);
+        let events = sink.take();
+        assert!(
+            !events.is_empty() && events.len() <= 4,
+            "between one and `threads` busy counters, got {}",
+            events.len()
+        );
+        assert!(events
+            .iter()
+            .all(|e| e.name == "busy-ns" && e.detail.as_deref() == Some("triple")));
+    }
+
+    #[test]
+    #[should_panic(expected = "pooled boom 7")]
+    fn pooled_panics_propagate_with_payload() {
+        let items: Arc<Vec<usize>> = Arc::new((0..64).collect());
+        par_map_pooled(&items, 4, |_, &x| {
+            if x == 7 {
+                panic!("pooled boom {x}");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn pool_is_reused_and_bounded() {
+        let items: Arc<Vec<u64>> = Arc::new((0..64).collect());
+        for _ in 0..32 {
+            let _ = par_map_pooled(&items, 4, |_, &x| x + 1);
+        }
+        assert!(
+            pool_workers_spawned() <= MAX_POOL_WORKERS,
+            "pool never exceeds its ceiling"
+        );
+    }
+}

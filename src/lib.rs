@@ -3,11 +3,12 @@
 //! Re-exports the workspace crates so examples and integration tests can
 //! use a single dependency. See the individual crates for details:
 //! [`gpp_graph`], [`gpp_sim`], [`gpp_apps`], [`gpp_irgl`], [`gpp_core`],
-//! [`gpp_obs`].
+//! [`gpp_obs`], [`gpp_par`].
 
 pub use gpp_apps as apps;
 pub use gpp_core as core;
 pub use gpp_graph as graph;
 pub use gpp_irgl as irgl;
 pub use gpp_obs as obs;
+pub use gpp_par as par;
 pub use gpp_sim as sim;

@@ -1,0 +1,190 @@
+//! The persistent executor's contract, end to end: pooled fan-outs
+//! must propagate panics, compose when nested, reuse one process-wide
+//! pool across many calls, match the inline map bit for bit for any
+//! shape, and leave the study and sweep datasets byte-identical at any
+//! thread count. Run in release mode in CI — optimisation must not
+//! perturb a single bit.
+
+use std::sync::Arc;
+
+use gpp::apps::study::{run_study, Dataset, StudyConfig};
+use gpp::apps::sweep::{run_sweep, ChipSweep, SweepConfig};
+use gpp::par::{par_map, par_map_pooled, pool_workers_spawned};
+use gpp::sim::chip::{latin_hypercube_chips, study_chips};
+use proptest::prelude::*;
+
+fn item_fn(i: usize, x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i as u64).rotate_left(17)
+}
+
+#[test]
+fn pooled_panic_reaches_the_submitter_with_its_payload() {
+    let items: Arc<Vec<usize>> = Arc::new((0..128).collect());
+    let caught = std::panic::catch_unwind(|| {
+        par_map_pooled(&items, 4, |_, &x| {
+            if x == 77 {
+                panic!("pooled failure on item {x}");
+            }
+            x
+        })
+    })
+    .expect_err("the worker panic must propagate");
+    let message = caught
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| caught.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+        .expect("panic payload is a message");
+    assert_eq!(message, "pooled failure on item 77");
+}
+
+#[test]
+fn nested_pooled_fanouts_compose_to_depth_two_and_three() {
+    // Outer fan-out over 8 items; each worker submits an inner pooled
+    // fan-out to the same shared queue, and each inner item submits a
+    // third level. All levels stay in input order and match the serial
+    // expectation exactly.
+    let outer: Arc<Vec<u64>> = Arc::new((0..8).collect());
+    let expect: Vec<u64> = outer
+        .iter()
+        .map(|&x| {
+            (0..16)
+                .map(|y: u64| (0..4).map(|z: u64| x * 100 + y * 10 + z).sum::<u64>())
+                .sum::<u64>()
+        })
+        .collect();
+    let got = par_map_pooled(&outer, 4, |_, &x| {
+        let inner: Arc<Vec<u64>> = Arc::new((0..16).collect());
+        par_map_pooled(&inner, 4, move |_, &y| {
+            let deepest: Arc<Vec<u64>> = Arc::new((0..4).collect());
+            par_map_pooled(&deepest, 2, move |_, &z| x * 100 + y * 10 + z)
+                .iter()
+                .sum::<u64>()
+        })
+        .iter()
+        .sum::<u64>()
+    });
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn pool_is_reused_across_a_hundred_sequential_calls() {
+    let items: Arc<Vec<u64>> = Arc::new((0..512).collect());
+    let expect: Vec<u64> = items.iter().enumerate().map(|(i, &x)| item_fn(i, x)).collect();
+    for _ in 0..120 {
+        assert_eq!(par_map_pooled(&items, 4, |i, &x| item_fn(i, x)), expect);
+    }
+    // 120 calls at width 4 would have spawned hundreds of threads under
+    // a per-call executor; the persistent pool spawns each worker once
+    // per process, no matter how many calls (or tests) it serves.
+    assert!(
+        pool_workers_spawned() < 100,
+        "pool spawned {} workers — per-call spawning has crept back in",
+        pool_workers_spawned()
+    );
+}
+
+proptest! {
+    /// Pooled output equals the inline map for arbitrary item counts and
+    /// thread counts — including zero items, more threads than items,
+    /// and thread counts above the pool's width.
+    #[test]
+    fn pooled_matches_inline_for_any_shape(
+        len in 0usize..300,
+        threads in 0usize..24,
+        seed in any::<u64>()
+    ) {
+        let items: Arc<Vec<u64>> = Arc::new(
+            (0..len as u64).map(|v| v.wrapping_mul(seed | 1)).collect()
+        );
+        let inline: Vec<u64> = items.iter().enumerate().map(|(i, &x)| item_fn(i, x)).collect();
+        let pooled = par_map_pooled(&items, threads, |i, &x| item_fn(i, x));
+        prop_assert_eq!(&pooled, &inline);
+        // And the scoped engine agrees with both.
+        let scoped = par_map(&items, threads, |i, &x| item_fn(i, x));
+        prop_assert_eq!(&scoped, &inline);
+    }
+}
+
+/// Bit-exact dataset comparison: every timing compared via `to_bits`,
+/// so `-0.0 == 0.0` or NaN quirks can never mask a divergence.
+fn assert_datasets_bit_identical(a: &Dataset, b: &Dataset, what: &str) {
+    assert_eq!(a.apps, b.apps, "{what}: apps");
+    assert_eq!(a.inputs, b.inputs, "{what}: inputs");
+    assert_eq!(a.chips, b.chips, "{what}: chips");
+    assert_eq!(a.runs, b.runs, "{what}: runs");
+    assert_eq!(a.cells.len(), b.cells.len(), "{what}: cell count");
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(ca.app, cb.app, "{what}: cell app");
+        assert_eq!(ca.input, cb.input, "{what}: cell input");
+        assert_eq!(ca.chip, cb.chip, "{what}: cell chip");
+        assert_eq!(ca.times.len(), cb.times.len(), "{what}: config count");
+        for (ta, tb) in ca.times.iter().zip(&cb.times) {
+            assert_eq!(ta.len(), tb.len(), "{what}: run count");
+            for (va, vb) in ta.iter().zip(tb) {
+                assert_eq!(
+                    va.to_bits(),
+                    vb.to_bits(),
+                    "{what}: {}/{}/{} diverges",
+                    ca.app,
+                    ca.input,
+                    ca.chip
+                );
+            }
+        }
+    }
+}
+
+fn assert_sweeps_bit_identical(a: &ChipSweep, b: &ChipSweep, what: &str) {
+    assert_eq!(a.chips, b.chips, "{what}: chips");
+    assert_eq!(a.opts, b.opts, "{what}: opts");
+    assert_eq!(a.pairs, b.pairs, "{what}: pairs");
+    assert_eq!(a.log_ratios.len(), b.log_ratios.len(), "{what}: rows");
+    for (ra, rb) in a.log_ratios.iter().zip(&b.log_ratios) {
+        for (va, vb) in ra.iter().zip(rb) {
+            assert_eq!(va.to_bits(), vb.to_bits(), "{what}: log ratio diverges");
+        }
+    }
+    for (va, vb) in a.win_fraction.iter().zip(&b.win_fraction) {
+        assert_eq!(va.to_bits(), vb.to_bits(), "{what}: win fraction diverges");
+    }
+}
+
+#[test]
+fn study_is_bit_identical_from_inline_to_pooled_at_any_width() {
+    // threads = 1 is the inline engine (the pool is never touched);
+    // 2, 4, and 8 exercise the pooled engine at increasing widths.
+    let reference = run_study(&StudyConfig {
+        threads: 1,
+        ..StudyConfig::tiny()
+    });
+    for threads in [2, 4, 8] {
+        let pooled = run_study(&StudyConfig {
+            threads,
+            ..StudyConfig::tiny()
+        });
+        assert_datasets_bit_identical(&reference, &pooled, &format!("study @ {threads} threads"));
+    }
+}
+
+#[test]
+fn sweep_is_bit_identical_from_inline_to_pooled_at_any_width() {
+    let mut chips = study_chips();
+    chips.extend(latin_hypercube_chips(10, 7));
+    let reference = run_sweep(
+        &SweepConfig {
+            threads: 1,
+            ..SweepConfig::tiny()
+        },
+        &chips,
+    );
+    for threads in [2, 4, 8] {
+        let pooled = run_sweep(
+            &SweepConfig {
+                threads,
+                ..SweepConfig::tiny()
+            },
+            &chips,
+        );
+        assert_sweeps_bit_identical(&reference, &pooled, &format!("sweep @ {threads} threads"));
+    }
+}
