@@ -87,6 +87,17 @@ pub trait Application: Send + Sync {
     fn fastest_variant(&self) -> bool {
         false
     }
+    /// A hash of the application's *definition*, folded into trace-cache
+    /// keys so editing the program behind an app can never serve a stale
+    /// cached trace. Handwritten apps are versioned by the crate itself
+    /// (changing them means recompiling, and [`RECORDER_VERSION`]
+    /// guards format drift), so the default is a constant; DSL-backed
+    /// apps override this with a content hash of the compiled program.
+    ///
+    /// [`RECORDER_VERSION`]: gpp_sim::trace::RECORDER_VERSION
+    fn content_version(&self) -> u64 {
+        0
+    }
     /// Executes the algorithm on `graph`, reporting kernels to `exec`.
     fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput;
 }

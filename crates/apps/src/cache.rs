@@ -14,6 +14,11 @@
 //!
 //! * a different application, input, scale, or seed hashes to a
 //!   different key, so distinct traces can never collide on a file;
+//! * the application's
+//!   [`content_version`](crate::app::Application::content_version) is
+//!   folded in, so an app whose *definition* can change without a
+//!   recompile — a DSL program — invalidates its own entries when
+//!   edited instead of serving a stale trace;
 //! * bumping [`RECORDER_VERSION`] (any change to the trace format or
 //!   recording semantics) invalidates every existing entry;
 //! * the generated graph's node and edge counts are mixed in as a guard
@@ -63,9 +68,16 @@ impl TraceCache {
     }
 
     /// The content key of one (application, input) trace: an FNV-1a hash
-    /// over the application name, input name, scale, generation seed,
-    /// graph shape, and [`RECORDER_VERSION`].
-    pub fn key(app: &str, input: &StudyInput, scale: StudyScale, seed: u64) -> u64 {
+    /// over the application name, its
+    /// [`content_version`](crate::app::Application::content_version),
+    /// input name, scale, generation seed, graph shape, and
+    /// [`RECORDER_VERSION`].
+    ///
+    /// `version` exists for applications whose *definition* can change
+    /// without recompiling the crate — a DSL app folds a content hash of
+    /// its compiled program in here, so editing the program invalidates
+    /// its entries instead of serving a stale trace.
+    pub fn key(app: &str, version: u64, input: &StudyInput, scale: StudyScale, seed: u64) -> u64 {
         let scale_tag: u8 = match scale {
             StudyScale::Full => 0,
             StudyScale::Small => 1,
@@ -75,6 +87,7 @@ impl TraceCache {
         for byte in app
             .bytes()
             .chain([0])
+            .chain(version.to_le_bytes())
             .chain(input.name.bytes())
             .chain([0, scale_tag])
             .chain(seed.to_le_bytes())
@@ -90,8 +103,15 @@ impl TraceCache {
 
     /// The on-disk path of one entry. The human-readable prefix is for
     /// directory listings; the hash alone keys the entry.
-    pub fn entry_path(&self, app: &str, input: &StudyInput, scale: StudyScale, seed: u64) -> PathBuf {
-        let key = Self::key(app, input, scale, seed);
+    pub fn entry_path(
+        &self,
+        app: &str,
+        version: u64,
+        input: &StudyInput,
+        scale: StudyScale,
+        seed: u64,
+    ) -> PathBuf {
+        let key = Self::key(app, version, input, scale, seed);
         self.dir
             .join(format!("{app}-{}-{key:016x}.trace.json", input.name))
     }
@@ -102,11 +122,13 @@ impl TraceCache {
     pub fn load(
         &self,
         app: &str,
+        version: u64,
         input: &StudyInput,
         scale: StudyScale,
         seed: u64,
     ) -> Option<Trace> {
-        let loaded: Option<Trace> = std::fs::read_to_string(self.entry_path(app, input, scale, seed))
+        let loaded: Option<Trace> =
+            std::fs::read_to_string(self.entry_path(app, version, input, scale, seed))
             .ok()
             .and_then(|text| {
                 metrics::counter("trace_cache.bytes_read", text.len() as u64);
@@ -126,6 +148,7 @@ impl TraceCache {
     pub fn store(
         &self,
         app: &str,
+        version: u64,
         input: &StudyInput,
         scale: StudyScale,
         seed: u64,
@@ -138,7 +161,7 @@ impl TraceCache {
             return false;
         };
         metrics::counter("trace_cache.bytes_written", json.len() as u64);
-        let path = self.entry_path(app, input, scale, seed);
+        let path = self.entry_path(app, version, input, scale, seed);
         let tmp = path.with_extension(format!(
             "tmp.{}.{}",
             std::process::id(),
@@ -180,10 +203,11 @@ mod tests {
         app.run(&input.graph, &mut rec);
         let trace = rec.into_trace();
 
-        assert!(cache.load(app.name(), input, StudyScale::Tiny, 7).is_none());
-        assert!(cache.store(app.name(), input, StudyScale::Tiny, 7, &trace));
+        let v = app.content_version();
+        assert!(cache.load(app.name(), v, input, StudyScale::Tiny, 7).is_none());
+        assert!(cache.store(app.name(), v, input, StudyScale::Tiny, 7, &trace));
         let back = cache
-            .load(app.name(), input, StudyScale::Tiny, 7)
+            .load(app.name(), v, input, StudyScale::Tiny, 7)
             .expect("hit after store");
         assert_eq!(trace, back);
         // Exact at the byte level too, not just structurally.
@@ -199,13 +223,42 @@ mod tests {
         let inputs = study_inputs(StudyScale::Tiny, 7);
         let other_seed = study_inputs(StudyScale::Tiny, 8);
         let small = study_inputs(StudyScale::Small, 7);
-        let base = TraceCache::key("bfs-wl", &inputs[0], StudyScale::Tiny, 7);
-        assert_ne!(base, TraceCache::key("bfs-td", &inputs[0], StudyScale::Tiny, 7));
-        assert_ne!(base, TraceCache::key("bfs-wl", &inputs[1], StudyScale::Tiny, 7));
-        assert_ne!(base, TraceCache::key("bfs-wl", &other_seed[0], StudyScale::Tiny, 8));
-        assert_ne!(base, TraceCache::key("bfs-wl", &small[0], StudyScale::Small, 7));
+        let base = TraceCache::key("bfs-wl", 0, &inputs[0], StudyScale::Tiny, 7);
+        assert_ne!(base, TraceCache::key("bfs-td", 0, &inputs[0], StudyScale::Tiny, 7));
+        assert_ne!(base, TraceCache::key("bfs-wl", 1, &inputs[0], StudyScale::Tiny, 7));
+        assert_ne!(base, TraceCache::key("bfs-wl", 0, &inputs[1], StudyScale::Tiny, 7));
+        assert_ne!(base, TraceCache::key("bfs-wl", 0, &other_seed[0], StudyScale::Tiny, 8));
+        assert_ne!(base, TraceCache::key("bfs-wl", 0, &small[0], StudyScale::Small, 7));
         // Deterministic across calls.
-        assert_eq!(base, TraceCache::key("bfs-wl", &inputs[0], StudyScale::Tiny, 7));
+        assert_eq!(base, TraceCache::key("bfs-wl", 0, &inputs[0], StudyScale::Tiny, 7));
+    }
+
+    #[test]
+    fn editing_a_dsl_program_changes_the_key() {
+        // The ISSUE-9 regression: before content versioning, two DSL
+        // apps with the same name but different programs shared a cache
+        // key, so editing a program could serve the old program's trace.
+        let inputs = study_inputs(StudyScale::Tiny, 7);
+        let apps = crate::dsl::dsl_applications();
+        let versions: Vec<u64> = apps.iter().map(|a| a.content_version()).collect();
+        // Every built-in program hashes differently.
+        let mut sorted = versions.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), versions.len());
+        // A different version under the same app name is a different key
+        // (and a different entry path, so the old file cannot be read).
+        for (app, &v) in apps.iter().zip(&versions) {
+            let base = TraceCache::key(app.name(), v, &inputs[0], StudyScale::Tiny, 7);
+            let edited = TraceCache::key(app.name(), v ^ 1, &inputs[0], StudyScale::Tiny, 7);
+            assert_ne!(base, edited, "{}", app.name());
+        }
+        // Stable across calls: the OnceLock'd compile yields one hash.
+        for (app, &v) in apps.iter().zip(&versions) {
+            assert_eq!(app.content_version(), v, "{}", app.name());
+        }
+        // Handwritten apps default to version 0.
+        assert_eq!(all_applications()[0].content_version(), 0);
     }
 
     #[test]
@@ -219,10 +272,10 @@ mod tests {
             &[gpp_sim::exec::WorkItem::new(3, 1)],
         );
         let trace = rec.into_trace();
-        assert!(cache.store("bfs-wl", input, StudyScale::Tiny, 7, &trace));
-        let path = cache.entry_path("bfs-wl", input, StudyScale::Tiny, 7);
+        assert!(cache.store("bfs-wl", 0, input, StudyScale::Tiny, 7, &trace));
+        let path = cache.entry_path("bfs-wl", 0, input, StudyScale::Tiny, 7);
         std::fs::write(&path, "{not json").unwrap();
-        assert!(cache.load("bfs-wl", input, StudyScale::Tiny, 7).is_none());
+        assert!(cache.load("bfs-wl", 0, input, StudyScale::Tiny, 7).is_none());
         std::fs::remove_dir_all(cache.dir()).ok();
     }
 }

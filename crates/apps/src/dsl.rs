@@ -1,14 +1,18 @@
 //! DSL-backed study applications: the seven `gpp_irgl::programs` wrapped
-//! as [`Application`]s, executed through the bytecode VM with a
-//! compile-once-run-many discipline.
+//! as [`Application`]s, executed through the tiered `gpp_irgl` runtime
+//! with a compile-once-run-many discipline.
 //!
 //! Each [`DslApp`] lowers its program to a
 //! [`CompiledProgram`] exactly once per study (a [`OnceLock`], shared
 //! across inputs and across the grid runner's worker threads) and then
-//! drives a fresh [`KernelVm`] per run. With `GPP_IRGL_AST=1` the run
-//! goes through the tree-walking oracle instead — results and recorded
-//! traces are bit-identical either way, so the study dataset does not
-//! depend on the executor.
+//! runs it on the tier selected by [`Tier::from_env`] — the native
+//! closure tier by default, the bytecode VM or the tree-walking AST
+//! oracle under `GPP_IRGL_TIER=bytecode|ast`. The native artifact is
+//! itself compiled once per program (a second `OnceLock`, inside
+//! `CompiledProgram`), so the per-run cost is a fresh
+//! [`KernelVm`]/[`NativeVm`] over shared compiled code. Results and
+//! recorded traces are bit-identical across all three tiers, so the
+//! study dataset does not depend on the executor.
 //!
 //! These applications are *opt-in*: [`crate::study::StudyConfig`] has a
 //! `dsl_programs` flag (off by default, `gpp study --dsl`) that appends
@@ -19,7 +23,8 @@ use std::sync::OnceLock;
 
 use gpp_graph::{Graph, NodeId};
 use gpp_irgl::bytecode::{CompiledProgram, KernelVm};
-use gpp_irgl::{interp, programs, Program};
+use gpp_irgl::native::NativeVm;
+use gpp_irgl::{interp, programs, Program, Tier};
 use gpp_sim::exec::Executor;
 
 use crate::app::{AppOutput, Application, Problem};
@@ -64,6 +69,13 @@ impl DslApp {
     pub fn program(&self) -> &Program {
         &self.program
     }
+
+    /// The compiled program, lowering on first use.
+    fn compiled(&self) -> &CompiledProgram {
+        self.compiled.get_or_init(|| {
+            CompiledProgram::compile(&self.program).expect("built-in DSL programs are valid")
+        })
+    }
 }
 
 impl Application for DslApp {
@@ -75,14 +87,15 @@ impl Application for DslApp {
         self.problem
     }
 
+    fn content_version(&self) -> u64 {
+        self.compiled().content_hash()
+    }
+
     fn run(&self, graph: &Graph, exec: &mut dyn Executor) -> AppOutput {
-        let result = if interp::ast_requested() {
-            interp::execute_ast(&self.program, graph, exec)
-        } else {
-            let compiled = self.compiled.get_or_init(|| {
-                CompiledProgram::compile(&self.program).expect("built-in DSL programs are valid")
-            });
-            KernelVm::new().run(compiled, graph, exec)
+        let result = match Tier::from_env() {
+            Tier::Ast => interp::execute_ast(&self.program, graph, exec),
+            Tier::Bytecode => KernelVm::new().run(self.compiled(), graph, exec),
+            Tier::Native => NativeVm::new().run(self.compiled(), graph, exec),
         }
         .unwrap_or_else(|e| panic!("{}: {e}", self.name));
         let out = result.output(&self.program);

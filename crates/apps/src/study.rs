@@ -499,7 +499,7 @@ pub fn run_study_cached(
             let _item = tracer
                 .is_enabled()
                 .then(|| tracer.span_detail("trace", Some(format!("{}/{}", app.name(), input.name))));
-            let cached = cache.and_then(|c| c.load(app.name(), input, config.scale, config.seed));
+            let cached = cache.and_then(|c| c.load(app.name(), app.content_version(), input, config.scale, config.seed));
             let trace = match cached {
                 Some(trace) => {
                     tracer.counter("trace-cache-hits", None, 1.0);
@@ -516,7 +516,7 @@ pub fn run_study_cached(
                     let trace = recorder.into_trace();
                     if let Some(c) = cache {
                         tracer.counter("trace-cache-misses", None, 1.0);
-                        c.store(app.name(), input, config.scale, config.seed, &trace);
+                        c.store(app.name(), app.content_version(), input, config.scale, config.seed, &trace);
                     }
                     tracer.counter("traces-compiled", None, 1.0);
                     metrics::counter("study.traces_compiled", 1);

@@ -206,7 +206,7 @@ pub fn run_sweep_traced(
         let traces = par_map_pooled_traced(&pairs, threads, tracer, "collect-traces", move |_, &(i, a)| {
             let cache = cache.as_ref();
             let (input, app) = (&inputs[i], &apps[a]);
-            let cached = cache.and_then(|c| c.load(app.name(), input, config.scale, config.seed));
+            let cached = cache.and_then(|c| c.load(app.name(), app.content_version(), input, config.scale, config.seed));
             let trace = match cached {
                 Some(trace) => trace,
                 None => {
@@ -219,7 +219,7 @@ pub fn run_sweep_traced(
                     }
                     let trace = recorder.into_trace();
                     if let Some(c) = cache {
-                        c.store(app.name(), input, config.scale, config.seed, &trace);
+                        c.store(app.name(), app.content_version(), input, config.scale, config.seed, &trace);
                     }
                     trace
                 }

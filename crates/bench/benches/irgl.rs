@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpp_graph::generators;
-use gpp_irgl::{bytecode, codegen, interp, parser, printer, programs, transform};
+use gpp_irgl::{bytecode, codegen, interp, native, parser, printer, programs, transform};
 use gpp_sim::opts::{OptConfig, Optimization};
 use gpp_sim::trace::Recorder;
 use std::hint::black_box;
@@ -75,6 +75,64 @@ fn bench_bytecode_compile(c: &mut Criterion) {
                 .sum::<usize>()
         });
     });
+    // Closure fusion on top of an already-compiled program: the
+    // once-per-program cost of entering the native tier.
+    c.bench_function("irgl_native_compile_all", |b| {
+        let compiled: Vec<bytecode::CompiledProgram> = all
+            .iter()
+            .map(|p| bytecode::CompiledProgram::compile(p).expect("valid"))
+            .collect();
+        b.iter(|| {
+            compiled
+                .iter()
+                .map(|c| native::compile_native(black_box(c)).num_kernels())
+                .sum::<usize>()
+        });
+    });
+}
+
+fn bench_bytecode_vs_native(c: &mut Criterion) {
+    // The ISSUE-9 headline matchup: the same compiled program, the same
+    // graph, the register VM against the closure tier — per-run scratch
+    // reused in both, compile cost excluded from both.
+    let graph = generators::rmat(9, 6, 3).expect("valid");
+    let mut group = c.benchmark_group("bytecode_vs_native");
+    group.sample_size(20);
+    for program in [
+        programs::bfs_worklist(),
+        programs::cc_label_prop(),
+        programs::pr_pull(),
+    ] {
+        let compiled = bytecode::CompiledProgram::compile(&program).expect("valid");
+        compiled.native(); // build the closure artifact outside the timing loop
+        group.bench_with_input(
+            BenchmarkId::new("bytecode", program.name.clone()),
+            &compiled,
+            |b, compiled| {
+                let mut vm = bytecode::KernelVm::new();
+                b.iter(|| {
+                    let mut rec = Recorder::new();
+                    vm.run(black_box(compiled), black_box(&graph), &mut rec)
+                        .expect("runs")
+                        .iterations
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("native", program.name.clone()),
+            &compiled,
+            |b, compiled| {
+                let mut vm = native::NativeVm::new();
+                b.iter(|| {
+                    let mut rec = Recorder::new();
+                    vm.run(black_box(compiled), black_box(&graph), &mut rec)
+                        .expect("runs")
+                        .iterations
+                });
+            },
+        );
+    }
+    group.finish();
 }
 
 criterion_group! {
@@ -82,6 +140,7 @@ criterion_group! {
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_parse, bench_codegen, bench_interpret, bench_bytecode_compile
+    targets = bench_parse, bench_codegen, bench_interpret, bench_bytecode_compile,
+        bench_bytecode_vs_native
 }
 criterion_main!(benches);

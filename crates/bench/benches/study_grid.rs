@@ -37,6 +37,7 @@ use gpp_core::strategy::{
 };
 use gpp_graph::generators;
 use gpp_irgl::bytecode::{CompiledProgram, KernelVm};
+use gpp_irgl::native::NativeVm;
 use gpp_irgl::{interp, programs};
 use gpp_obs::{metrics, MemorySink, NullSink, Tracer};
 use gpp_sim::chip::{latin_hypercube_chips, study_chips, ChipBatch};
@@ -311,6 +312,48 @@ fn bench_interp_vs_bytecode(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_bytecode_vs_native(c: &mut Criterion) {
+    // One tier below the VM: the same precompiled program on the same
+    // graph, register-machine dispatch vs fused closures. Both VMs
+    // reuse their scratch; the closure artifact is built outside the
+    // timing loop (its one-time cost is `irgl_native_compile_all` in
+    // the irgl bench).
+    let graph = generators::rmat(9, 6, 3).expect("valid");
+    let mut group = c.benchmark_group("bytecode_vs_native");
+    group.sample_size(20);
+    for program in programs::all() {
+        let compiled = CompiledProgram::compile(&program).expect("valid");
+        compiled.native();
+        group.bench_with_input(
+            criterion::BenchmarkId::new("bytecode", &program.name),
+            &compiled,
+            |b, compiled| {
+                let mut vm = KernelVm::new();
+                b.iter(|| {
+                    let mut rec = Recorder::new();
+                    vm.run(black_box(compiled), black_box(&graph), &mut rec)
+                        .expect("runs")
+                        .iterations
+                });
+            },
+        );
+        group.bench_with_input(
+            criterion::BenchmarkId::new("native", &program.name),
+            &compiled,
+            |b, compiled| {
+                let mut vm = NativeVm::new();
+                b.iter(|| {
+                    let mut rec = Recorder::new();
+                    vm.run(black_box(compiled), black_box(&graph), &mut rec)
+                        .expect("runs")
+                        .iterations
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Times one serial and one parallel full run, checks they agree
 /// exactly, and writes the `BENCH_study.json` baseline.
 fn write_baseline() {
@@ -440,8 +483,9 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
     let single_pass_seconds = t.elapsed().as_secs_f64();
 
     // DSL executor A/B over the study inputs: the tree-walking oracle
-    // vs the bytecode VM in its study configuration (each program
-    // compiled once, one VM's scratch buffers reused across runs).
+    // vs the bytecode VM vs the native closure tier, each in its study
+    // configuration (every program compiled once, one VM's scratch
+    // buffers reused across runs, the closure artifacts prebuilt).
     let dsl = programs::all();
     let t = Instant::now();
     for program in &dsl {
@@ -464,6 +508,41 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         }
     }
     let dsl_bytecode_seconds = t.elapsed().as_secs_f64();
+    for compiled in &compiled_dsl {
+        compiled.native(); // fuse outside the timed region
+    }
+    let mut nvm = NativeVm::new();
+    let t = Instant::now();
+    for compiled in &compiled_dsl {
+        for input in &inputs {
+            let mut rec = Recorder::new();
+            black_box(nvm.run(compiled, &input.graph, &mut rec).expect("runs"));
+        }
+    }
+    let dsl_native_seconds = t.elapsed().as_secs_f64();
+    let native_kernel_speedup = dsl_bytecode_seconds / dsl_native_seconds;
+    // Untimed verification pass: the three tiers must agree bit for bit
+    // on every (program, input) the timings above just ran.
+    let dsl_identical = dsl.iter().zip(&compiled_dsl).all(|(program, compiled)| {
+        inputs.iter().all(|input| {
+            let mut ra = Recorder::new();
+            let a = interp::execute_ast(program, &input.graph, &mut ra).expect("runs");
+            let mut rb = Recorder::new();
+            let b = vm.run(compiled, &input.graph, &mut rb).expect("runs");
+            let mut rn = Recorder::new();
+            let n = nvm.run(compiled, &input.graph, &mut rn).expect("runs");
+            let bits = |e: &gpp_irgl::Execution| {
+                e.fields
+                    .iter()
+                    .flatten()
+                    .chain(e.globals.iter())
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<u64>>()
+            };
+            let (ta, tb, tn) = (ra.into_trace(), rb.into_trace(), rn.into_trace());
+            bits(&a) == bits(&b) && bits(&a) == bits(&n) && ta == tb && ta == tn
+        })
+    });
 
     // Cold run fills the cache under target/, warm run replays it; the
     // warm run must compile zero traces and reproduce the dataset
@@ -595,6 +674,9 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         "aggregation_single_pass_speedup": per_geometry_seconds / single_pass_seconds,
         "collect_traces_cold_seconds": collect_traces_cold_seconds,
         "bytecode_speedup": dsl_ast_seconds / dsl_bytecode_seconds,
+        "dsl_study_native_seconds": dsl_native_seconds,
+        "native_kernel_speedup": native_kernel_speedup,
+        "dsl_tiers_identical": dsl_identical,
         "trace_cache_cold_seconds": trace_cache_cold_seconds,
         "trace_cache_hit_seconds": trace_cache_hit_seconds,
         "trace_cache_identical_to_uncached": cache_identical,
@@ -611,7 +693,7 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         "par_scoped_seconds": par_scoped_seconds,
         "pool_vs_scoped_speedup": pool_vs_scoped_speedup,
         "par_small_item_ns_per_item": par_small_item_ns_per_item,
-        "regenerate": "cargo bench --bench study_grid (criterion groups: study_grid, cell_pricing_96_configs, study_tracing_overhead, study_metrics_overhead, analysis_pipeline, chip_sweep, par_overhead, interp_vs_bytecode; then writes this baseline)",
+        "regenerate": "cargo bench --bench study_grid (criterion groups: study_grid, cell_pricing_96_configs, study_tracing_overhead, study_metrics_overhead, analysis_pipeline, chip_sweep, par_overhead, interp_vs_bytecode, bytecode_vs_native; then writes this baseline)",
     });
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).expect("create baseline directory");
@@ -659,6 +741,13 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         chip_batch_identical,
         "chip-major batched pricing must be bit-identical to the per-chip loop"
     );
+    assert!(
+        dsl_identical,
+        "AST, bytecode, and native tiers must agree bit for bit"
+    );
+    eprintln!(
+        "[dsl tiers: ast {dsl_ast_seconds:.2}s, bytecode {dsl_bytecode_seconds:.2}s, native {dsl_native_seconds:.2}s, native {native_kernel_speedup:.2}x over bytecode]"
+    );
     eprintln!(
         "[chip sweep: {} chips in {} families, per-chip {chip_sweep_per_chip_seconds:.2}s, batched {chip_sweep_batched_seconds:.2}s, {chip_batch_speedup:.1}x, {chip_sweep_chips_per_second:.0} chips/s]",
         cloud.len(),
@@ -677,7 +766,7 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(5));
     targets = bench_study_grid, bench_cell_pricing, bench_tracing_overhead,
         bench_metrics_overhead, bench_analysis_pipeline, bench_chip_sweep,
-        bench_par_overhead, bench_interp_vs_bytecode
+        bench_par_overhead, bench_interp_vs_bytecode, bench_bytecode_vs_native
 }
 
 fn main() {

@@ -89,7 +89,7 @@ fn help(out: &mut dyn Write) -> Result<(), String> {
          classify FILE               classify an edge-list graph into road/social/random\n  \
          codegen PROGRAM [--opts \"sg, fg8\"]\n                              compile a built-in DSL program and print its OpenCL\n  \
          compile FILE [--opts OPTS]  compile a .irgl source file and print its OpenCL\n  \
-         run-dsl FILE [--input I] [--chip C] [--opts OPTS] [--ast]\n                              execute a .irgl program on a simulated chip; --ast\n                              forces the tree-walking interpreter instead of the\n                              bytecode VM (also: GPP_IRGL_AST=1)\n  \
+         run-dsl FILE [--input I] [--chip C] [--opts OPTS] [--tier T]\n                              execute a .irgl program on a simulated chip;\n                              --tier ast|bytecode|native picks the executor\n                              (default native; also: GPP_IRGL_TIER, and --ast\n                              as legacy shorthand for --tier ast)\n  \
          sensitivity [--data FILE] [--trials N] [--threads N]\n                              sample-size sensitivity sweep (Section IX-b)\n  \
          sweep [--chips N] [--chips-file FILE] [--scale S] [--seed N] [--threads N] [--out FILE] [--emit-chips FILE] [--trace-cache DIR] [--per-chip] [--smoke]\n                              price a latin-hypercube chip cloud chip-major against the\n                              trace arena and invert the win/loss boundaries; --chips-file\n                              sweeps an explicit JSON chip list instead; --per-chip forces\n                              the chip-at-a-time oracle (byte-identical output, for CI);\n                              --smoke is a tiny-scale CI preset\n  \
          predict [--data FILE] [--probes K] [--threads N]\n                              leave-one-out predictive model (Section IX-b)\n  \
@@ -592,7 +592,7 @@ fn compile_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 
 fn run_dsl(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let path = args.positional.first().ok_or(
-        "usage: gpp run-dsl <file.irgl> [--input road|social|random] [--chip NAME] [--opts OPTS]",
+        "usage: gpp run-dsl <file.irgl> [--input road|social|random] [--chip NAME] [--opts OPTS] [--tier ast|bytecode|native]",
     )?;
     let program = parse_irgl_file(path)?;
     let cfg = config_opt(args)?;
@@ -606,15 +606,18 @@ fn run_dsl(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         .ok_or_else(|| format!("unknown input `{input_name}` (road | social | random)"))?;
     let machine = Machine::new(chip);
     let mut session = machine.session(cfg);
-    // --ast runs the tree-walking oracle; the default is the bytecode
-    // VM. Both produce identical results and kernel reports.
-    let run = if args.flag("ast") {
-        interp::execute_ast
-    } else {
-        interp::execute
+    // --tier picks the executor explicitly; --ast is the legacy spelling
+    // of --tier ast; otherwise GPP_IRGL_TIER / the native default apply.
+    // All three tiers produce identical results and kernel reports.
+    let tier = match args.opt("tier") {
+        Some(text) => {
+            gpp_irgl::Tier::parse(text).ok_or_else(|| format!("bad --tier `{text}` (ast | bytecode | native)"))?
+        }
+        None if args.flag("ast") => gpp_irgl::Tier::Ast,
+        None => gpp_irgl::Tier::from_env(),
     };
-    let result =
-        run(&program, &input.graph, &mut session).map_err(|e| format!("execution failed: {e}"))?;
+    let result = interp::execute_tier(tier, &program, &input.graph, &mut session)
+        .map_err(|e| format!("execution failed: {e}"))?;
     let stats = session.finish();
     let output = result.output(&program);
     let finite = output.iter().filter(|v| v.is_finite()).count();
@@ -1259,7 +1262,7 @@ mod tests {
     }
 
     #[test]
-    fn run_dsl_ast_flag_matches_bytecode_output() {
+    fn run_dsl_tiers_match_each_other() {
         let dir = std::env::temp_dir().join(format!("gpp-cli-irgl4-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("hops.irgl");
@@ -1268,9 +1271,19 @@ mod tests {
         )
         .unwrap();
         std::fs::write(&path, src).unwrap();
-        let vm = run_cmd(&format!("run-dsl {} --input road", path.display())).unwrap();
+        let default = run_cmd(&format!("run-dsl {} --input road", path.display())).unwrap();
+        for tier in ["ast", "bytecode", "native"] {
+            let tiered =
+                run_cmd(&format!("run-dsl {} --input road --tier {tier}", path.display())).unwrap();
+            assert_eq!(default, tiered, "--tier {tier} must not change results or timings");
+        }
+        // Legacy spelling of --tier ast.
         let ast = run_cmd(&format!("run-dsl {} --input road --ast", path.display())).unwrap();
-        assert_eq!(vm, ast, "--ast must not change results or timings");
+        assert_eq!(default, ast, "--ast must not change results or timings");
+        // Unknown tiers are rejected, not silently defaulted.
+        assert!(run_cmd(&format!("run-dsl {} --tier jit", path.display()))
+            .unwrap_err()
+            .contains("bad --tier"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

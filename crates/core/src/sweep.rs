@@ -121,12 +121,16 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
             "singular system despite ridge term (column {col})"
         );
         for row in col + 1..n {
-            let f = a[row][col] / diag;
+            // Disjoint borrows of the pivot row (above the split) and the
+            // row being eliminated (first below it); `row > col` always.
+            let (upper, lower) = a.split_at_mut(row);
+            let (pivot_row, cur) = (&upper[col], &mut lower[0]);
+            let f = cur[col] / diag;
             if f == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+            for (x, &p) in cur[col..].iter_mut().zip(&pivot_row[col..]) {
+                *x -= f * p;
             }
             b[row] -= f * b[col];
         }

@@ -33,12 +33,15 @@
 //! recorded [`WorkItem`] streams — and therefore traces, cache keys and
 //! the downstream dataset — are bit-identical to the AST path.
 
+use std::sync::{Arc, OnceLock};
+
 use gpp_graph::{Graph, NodeId};
 use gpp_sim::exec::{Executor, KernelProfile, WorkItem};
 
 use crate::ast::{
     BinOp, Domain, Driver, Expr, FieldInit, Kernel, Program, Ref, Stmt, UnaryOp,
 };
+use crate::native::NativeProgram;
 use crate::interp::{
     apply_binary, apply_unary, hash2, init_field, seed_worklist, Execution,
 };
@@ -257,8 +260,14 @@ pub struct CompiledProgram {
     field_inits: Vec<FieldInit>,
     global_inits: Vec<f64>,
     kernels: Vec<CompiledKernel>,
+    // The unlowered kernels, kept so the native tier can fuse closures
+    // from the expression trees instead of re-deriving them from ops.
+    asts: Vec<Kernel>,
     driver: Driver,
     output: usize,
+    // The native closure artifact, built lazily on first native-tier
+    // run and shared (`Arc`) across clones and threads.
+    native: OnceLock<Arc<NativeProgram>>,
 }
 
 impl CompiledProgram {
@@ -281,8 +290,10 @@ impl CompiledProgram {
             field_inits: program.fields.iter().map(|d| d.init).collect(),
             global_inits: program.globals.iter().map(|g| g.init).collect(),
             kernels,
+            asts: program.kernels.clone(),
             driver: program.driver.clone(),
             output: program.output,
+            native: OnceLock::new(),
         })
     }
 
@@ -299,6 +310,65 @@ impl CompiledProgram {
     /// Index of the output field (for [`Execution::output`]).
     pub fn output_field(&self) -> usize {
         self.output
+    }
+
+    /// The native closure artifact, lowered on first use and cached for
+    /// the life of this `CompiledProgram` (clones made *before* the
+    /// first native run compile independently; clones made after share
+    /// the same `Arc`).
+    pub fn native(&self) -> &NativeProgram {
+        self.native
+            .get_or_init(|| Arc::new(crate::native::compile_native(self)))
+    }
+
+    /// The unlowered kernel ASTs, aligned with [`Self::kernels`].
+    pub(crate) fn kernel_asts(&self) -> &[Kernel] {
+        &self.asts
+    }
+
+    /// Per-field initialisers, aligned with the program's field table.
+    pub(crate) fn field_inits(&self) -> &[FieldInit] {
+        &self.field_inits
+    }
+
+    /// Initial values of the global scalars.
+    pub(crate) fn global_inits(&self) -> &[f64] {
+        &self.global_inits
+    }
+
+    /// The host-side driver.
+    pub(crate) fn driver(&self) -> &Driver {
+        &self.driver
+    }
+
+    /// A structural content hash of the compiled artifact: kernel
+    /// names, domains, local counts, the full node/edge op streams
+    /// (constants at round-trip precision via their `Debug` rendering),
+    /// field and global initialisers, driver, and output index. Folded
+    /// into DSL trace-cache keys so editing a program can never serve a
+    /// stale cached trace; deliberately independent of the lazy native
+    /// artifact's compile state.
+    pub fn content_hash(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut repr = String::new();
+        for k in &self.kernels {
+            let _ = write!(
+                repr,
+                "{}|{:?}|{}|{:?}|{:?};",
+                k.name, k.domain, k.locals, k.node_code, k.edge_code
+            );
+        }
+        let _ = write!(
+            repr,
+            "{:?}|{:?}|{:?}|{}",
+            self.field_inits, self.global_inits, self.driver, self.output
+        );
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for byte in repr.bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
     }
 }
 
@@ -583,7 +653,7 @@ impl KernelVm {
         graph: &Graph,
         exec: &mut dyn Executor,
     ) -> Result<Execution, IrglError> {
-        gpp_obs::metrics::counter("irgl.vm_runs", 1);
+        gpp_obs::metrics::counter("irgl.bytecode_runs", 1);
         let n = graph.num_nodes();
         let mut fields: Vec<Vec<f64>> = compiled
             .field_inits
@@ -968,5 +1038,74 @@ mod tests {
         p.output = 99;
         let err = CompiledProgram::compile(&p).unwrap_err();
         assert_eq!(err, validate(&p).unwrap_err());
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_structural() {
+        for p in programs::all() {
+            let a = CompiledProgram::compile(&p).unwrap();
+            let b = CompiledProgram::compile(&p).unwrap();
+            assert_eq!(a.content_hash(), b.content_hash(), "{}", p.name);
+            // Building the native artifact must not perturb the hash.
+            let before = a.content_hash();
+            let _ = a.native();
+            assert_eq!(before, a.content_hash(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn content_hash_changes_when_the_program_changes() {
+        let base = CompiledProgram::compile(&programs::bfs_worklist())
+            .unwrap()
+            .content_hash();
+        // A constant tweak deep inside a kernel body.
+        let mut edited = programs::bfs_worklist();
+        visit_first_const(&mut edited.kernels[0].body);
+        let edited_hash = CompiledProgram::compile(&edited).unwrap().content_hash();
+        assert_ne!(base, edited_hash, "op-stream edit must change the hash");
+        // A driver-only change (no kernel ops touched).
+        let mut rebound = programs::bfs_worklist();
+        if let Driver::WorklistLoop { max_iters, .. } = &mut rebound.driver {
+            *max_iters += 1;
+        }
+        let rebound_hash = CompiledProgram::compile(&rebound).unwrap().content_hash();
+        assert_ne!(base, rebound_hash, "driver edit must change the hash");
+        // Distinct programs never collide in practice.
+        let other = CompiledProgram::compile(&programs::bfs_topology())
+            .unwrap()
+            .content_hash();
+        assert_ne!(base, other);
+    }
+
+    fn visit_first_const(stmts: &mut [Stmt]) -> bool {
+        fn in_expr(e: &mut Expr) -> bool {
+            match e {
+                Expr::Const(c) => {
+                    *c += 1.0;
+                    true
+                }
+                Expr::Unary(_, a) => in_expr(a),
+                Expr::Binary(_, a, b) => in_expr(a) || in_expr(b),
+                Expr::Hash(a, b) => in_expr(a) || in_expr(b),
+                _ => false,
+            }
+        }
+        for s in stmts {
+            let hit = match s {
+                Stmt::Let(_, e) | Stmt::GlobalAdd(_, e) => in_expr(e),
+                Stmt::Store { value, .. }
+                | Stmt::AtomicMin { value, .. }
+                | Stmt::AtomicAdd { value, .. } => in_expr(value),
+                Stmt::If { cond, then, els } => {
+                    in_expr(cond) || visit_first_const(then) || visit_first_const(els)
+                }
+                Stmt::ForEachEdge(body) => visit_first_const(body),
+                Stmt::Push(_) | Stmt::MarkChanged => false,
+            };
+            if hit {
+                return true;
+            }
+        }
+        false
     }
 }

@@ -56,21 +56,88 @@ impl Execution {
 }
 
 /// Whether the `GPP_IRGL_AST` environment variable requests the
-/// tree-walking oracle instead of the default bytecode executor
+/// tree-walking oracle instead of the default executor
 /// (any value except `0` or empty selects the AST path).
 pub fn ast_requested() -> bool {
     std::env::var_os("GPP_IRGL_AST").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
+/// The three execution tiers of the DSL runtime, fastest last. All
+/// three are bit-identical — same [`Execution`], same kernel launches,
+/// same recorded [`WorkItem`] streams — which is what lets the slower
+/// tiers serve as a two-level differential oracle for the native one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The recursive tree-walker ([`execute_ast`]): the reference
+    /// semantics, re-dispatching the expression tree on every node.
+    Ast,
+    /// The register-machine bytecode VM
+    /// ([`crate::bytecode::KernelVm`]): a flat op stream, one `match`
+    /// per op.
+    Bytecode,
+    /// The closure-fused native tier ([`crate::native::NativeVm`]):
+    /// statements fused into single calls, leaf operands inlined,
+    /// constants folded at compile time. The default.
+    Native,
+}
+
+impl Tier {
+    /// Parses a tier name (`ast` | `bytecode` | `native`,
+    /// case-insensitive).
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ast" => Some(Tier::Ast),
+            "bytecode" => Some(Tier::Bytecode),
+            "native" => Some(Tier::Native),
+            _ => None,
+        }
+    }
+
+    /// The tier requested by the environment: `GPP_IRGL_TIER`
+    /// (`ast` | `bytecode` | `native`) wins; the legacy `GPP_IRGL_AST=1`
+    /// still selects [`Tier::Ast`]; otherwise — including an
+    /// unrecognised `GPP_IRGL_TIER` value — the default is
+    /// [`Tier::Native`].
+    pub fn from_env() -> Tier {
+        if let Some(v) = std::env::var_os("GPP_IRGL_TIER") {
+            if let Some(tier) = v.to_str().and_then(Tier::parse) {
+                return tier;
+            }
+        }
+        if ast_requested() {
+            Tier::Ast
+        } else {
+            Tier::Native
+        }
+    }
+
+    /// The tier's canonical lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Ast => "ast",
+            Tier::Bytecode => "bytecode",
+            Tier::Native => "native",
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Executes `program` on `graph`, reporting kernels to `exec`.
 ///
-/// Compiles the program to bytecode and runs the register VM (see
-/// [`crate::bytecode`]); set `GPP_IRGL_AST=1` to route through the
-/// tree-walking oracle [`execute_ast`] instead. Results and recorded
-/// [`WorkItem`] streams are bit-identical either way. Callers running
-/// the same program many times should compile once with
+/// Dispatches on [`Tier::from_env`]: by default the program is compiled
+/// and run through the closure-fused native tier (see
+/// [`crate::native`]); `GPP_IRGL_TIER=bytecode` selects the register VM
+/// and `GPP_IRGL_TIER=ast` (or the legacy `GPP_IRGL_AST=1`) the
+/// tree-walking oracle [`execute_ast`]. Results and recorded
+/// [`WorkItem`] streams are bit-identical across all three. Callers
+/// running the same program many times should compile once with
 /// [`crate::bytecode::CompiledProgram::compile`] and reuse a
-/// [`crate::bytecode::KernelVm`].
+/// [`crate::native::NativeVm`] or [`crate::bytecode::KernelVm`].
 ///
 /// # Errors
 ///
@@ -82,11 +149,34 @@ pub fn execute(
     graph: &Graph,
     exec: &mut dyn Executor,
 ) -> Result<Execution, IrglError> {
-    if ast_requested() {
-        return execute_ast(program, graph, exec);
+    execute_tier(Tier::from_env(), program, graph, exec)
+}
+
+/// [`execute`] with the tier chosen by the caller instead of the
+/// environment.
+///
+/// # Errors
+///
+/// Returns validation errors, or
+/// [`IrglError::IterationBoundExceeded`] if a fixed-point driver fails to
+/// converge within its bound.
+pub fn execute_tier(
+    tier: Tier,
+    program: &Program,
+    graph: &Graph,
+    exec: &mut dyn Executor,
+) -> Result<Execution, IrglError> {
+    match tier {
+        Tier::Ast => execute_ast(program, graph, exec),
+        Tier::Bytecode => {
+            let compiled = crate::bytecode::CompiledProgram::compile(program)?;
+            crate::bytecode::run_compiled(&compiled, graph, exec)
+        }
+        Tier::Native => {
+            let compiled = crate::bytecode::CompiledProgram::compile(program)?;
+            crate::native::run_native(&compiled, graph, exec)
+        }
     }
-    let compiled = crate::bytecode::CompiledProgram::compile(program)?;
-    crate::bytecode::run_compiled(&compiled, graph, exec)
 }
 
 /// [`execute`] via the recursive AST tree-walker — the differential

@@ -22,8 +22,12 @@
 //!   computing results while driving a timing session or trace recorder;
 //! - [`bytecode`] — the compiled runtime: lowers validated kernels to a
 //!   flat register-machine op stream and runs them with reusable scratch
-//!   buffers, bit-identical to the tree-walker (which remains as the
-//!   `GPP_IRGL_AST=1` differential oracle);
+//!   buffers, bit-identical to the tree-walker;
+//! - [`native`] — the native-compiled tier: fuses each kernel into a
+//!   tree of Rust closures (statements fused into single calls, leaf
+//!   operands inlined, constants folded) one rung below the bytecode
+//!   VM; tier selection via `GPP_IRGL_TIER` (the AST walker and the VM
+//!   remain as a two-level differential oracle);
 //! - [`programs`] — seven applications written in the DSL, validated
 //!   against the sequential references.
 //!
@@ -62,6 +66,7 @@ pub mod bytecode;
 pub mod codegen;
 pub mod fold;
 pub mod interp;
+pub mod native;
 pub mod parser;
 pub mod printer;
 pub mod profile;
@@ -72,7 +77,8 @@ pub mod validate;
 pub use ast::{Driver, Expr, Kernel, Program, Stmt};
 pub use bytecode::{run_compiled, CompiledProgram, KernelVm};
 pub use fold::fold_program;
-pub use interp::{execute, execute_ast, Execution};
+pub use interp::{execute, execute_ast, execute_tier, Execution, Tier};
+pub use native::{compile_native, run_native, NativeProgram, NativeVm};
 pub use parser::{parse, ParseError};
 pub use printer::to_source;
 pub use transform::{plan, CompilationPlan};

@@ -1,0 +1,743 @@
+//! The native-compiled kernel tier: closure-fused execution one rung
+//! below the bytecode VM.
+//!
+//! The register VM in [`crate::bytecode`] already removed the
+//! tree-walker's per-node re-dispatch, but it still pays a `match` per
+//! op, program-counter bookkeeping per op, and a register-file
+//! round-trip per operand. This module makes the last move the paper's
+//! IrGL pipeline makes — per-config kernels are *compiled*, not
+//! interpreted — by lowering each validated kernel into a tree of fused
+//! Rust closures built once per program and called many times:
+//!
+//! - **Statements fuse into single calls.** A statement becomes one
+//!   closure; short sequences chain directly (no dispatch loop for the
+//!   common 1–3 statement bodies) and longer ones iterate a boxed slice.
+//! - **Leaf operands are inlined.** Expression leaves (constants,
+//!   pre-resolved field/local/global slots, node ids, degrees, edge
+//!   weights, iteration counters) are captured as a small [`Leaf`] value
+//!   and evaluated inline by the consuming closure, so `dist[nbr] > d + w`
+//!   is *one* call, not five dispatches.
+//! - **Constants fold at compile time.** Any constant subexpression is
+//!   evaluated during lowering — through the *same*
+//!   [`apply_unary`]/[`apply_binary`]/[`hash2`] the interpreters use, so
+//!   folding cannot change a single bit — and an `If` with a constant
+//!   condition compiles to just the taken branch.
+//! - **Edge loops specialise.** `ForEachEdge` becomes a closure that
+//!   iterates CSR edges directly, calling the fused edge body with the
+//!   neighbour and weight staged in the context — no segment table, no
+//!   per-edge program counter.
+//!
+//! The artifact lives beside the bytecode inside
+//! [`CompiledProgram`] (built lazily on first use, shared via
+//! `OnceLock`), and [`NativeVm`] mirrors [`crate::bytecode::KernelVm`]
+//! launch for launch — same driver loops, same scratch reuse
+//! (locals/worklist/`in_next` cleared by draining), same
+//! [`WorkItem`] accounting — so all three tiers produce bit-identical
+//! [`Execution`] results and recorded traces (enforced by the
+//! release-mode three-tier differential suite in
+//! `tests/bytecode_identity.rs`).
+
+use gpp_graph::{Graph, NodeId};
+use gpp_sim::exec::{Executor, WorkItem};
+
+use crate::ast::{BinOp, Domain, Driver, Expr, Kernel, Ref, Stmt};
+use crate::bytecode::CompiledProgram;
+use crate::interp::{apply_binary, apply_unary, hash2, init_field, seed_worklist, Execution};
+use crate::validate::IrglError;
+
+/// Mutable program state threaded through every fused closure during one
+/// run: the graph, field/global/local storage, the worklist scratch, and
+/// the per-node cursor (`u`, `nbr`, `weight`, trip/push counters).
+struct NCtx<'a> {
+    graph: &'a Graph,
+    fields: &'a mut Vec<Vec<f64>>,
+    globals: &'a mut Vec<f64>,
+    locals: &'a mut Vec<f64>,
+    next_worklist: &'a mut Vec<NodeId>,
+    in_next: &'a mut Vec<bool>,
+    iter: u32,
+    changed: bool,
+    u: NodeId,
+    nbr: NodeId,
+    weight: u32,
+    trips: u32,
+    pushes: u32,
+}
+
+/// A fused expression: called once, returns the value.
+type ExprFn = Box<dyn Fn(&NCtx) -> f64 + Send + Sync>;
+/// A fused statement (or statement sequence).
+type StmtFn = Box<dyn Fn(&mut NCtx) + Send + Sync>;
+
+/// An expression leaf small enough to inline into the consuming closure
+/// instead of paying a boxed call: all slots pre-resolved at compile
+/// time.
+#[derive(Debug, Clone, Copy)]
+enum Leaf {
+    Const(f64),
+    Field(usize, bool),
+    Local(usize),
+    Global(usize),
+    NodeId(bool),
+    Degree(bool),
+    EdgeWeight,
+    Iter,
+    NumNodes,
+}
+
+#[inline]
+fn pick(c: &NCtx, use_nbr: bool) -> NodeId {
+    if use_nbr {
+        c.nbr
+    } else {
+        c.u
+    }
+}
+
+#[inline]
+fn eval_leaf(c: &NCtx, leaf: Leaf) -> f64 {
+    match leaf {
+        Leaf::Const(k) => k,
+        Leaf::Field(f, nbr) => c.fields[f][pick(c, nbr) as usize],
+        Leaf::Local(l) => c.locals[l],
+        Leaf::Global(g) => c.globals[g],
+        Leaf::NodeId(nbr) => pick(c, nbr) as f64,
+        Leaf::Degree(nbr) => c.graph.degree(pick(c, nbr)) as f64,
+        Leaf::EdgeWeight => c.weight as f64,
+        Leaf::Iter => c.iter as f64,
+        Leaf::NumNodes => c.graph.num_nodes() as f64,
+    }
+}
+
+/// One kernel lowered to a single fused body closure.
+struct NativeKernel {
+    locals: usize,
+    body: StmtFn,
+}
+
+/// A program's native artifact: every kernel as a fused closure tree,
+/// aligned index for index with [`CompiledProgram::kernels`].
+pub struct NativeProgram {
+    kernels: Vec<NativeKernel>,
+}
+
+impl std::fmt::Debug for NativeProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Closures are opaque; report only the shape.
+        f.debug_struct("NativeProgram")
+            .field("kernels", &self.kernels.len())
+            .finish()
+    }
+}
+
+impl NativeProgram {
+    /// Number of compiled kernels.
+    pub fn num_kernels(&self) -> usize {
+        self.kernels.len()
+    }
+}
+
+/// Lowers every kernel of an already-validated [`CompiledProgram`] into
+/// fused closures. Called lazily (once) by [`CompiledProgram::native`];
+/// public so benchmarks can measure the lowering itself — runtime
+/// callers should go through the cached artifact instead.
+pub fn compile_native(compiled: &CompiledProgram) -> NativeProgram {
+    let kernels: Vec<NativeKernel> = compiled.kernel_asts().iter().map(compile_kernel).collect();
+    gpp_obs::metrics::counter("irgl.native_kernels_compiled", kernels.len() as u64);
+    NativeProgram { kernels }
+}
+
+fn compile_kernel(kernel: &Kernel) -> NativeKernel {
+    NativeKernel {
+        locals: kernel.locals,
+        body: compile_block(&kernel.body),
+    }
+}
+
+fn is_nbr(r: Ref) -> bool {
+    r == Ref::Nbr
+}
+
+/// Fuses a statement sequence into one call: direct chaining for the
+/// short bodies that dominate real kernels, a boxed-slice loop beyond.
+fn compile_block(stmts: &[Stmt]) -> StmtFn {
+    let mut fns: Vec<StmtFn> = stmts.iter().map(compile_stmt).collect();
+    match fns.len() {
+        0 => Box::new(|_| {}),
+        1 => fns.pop().expect("len checked"),
+        2 => {
+            let b = fns.pop().expect("len checked");
+            let a = fns.pop().expect("len checked");
+            Box::new(move |c| {
+                a(c);
+                b(c);
+            })
+        }
+        3 => {
+            let z = fns.pop().expect("len checked");
+            let b = fns.pop().expect("len checked");
+            let a = fns.pop().expect("len checked");
+            Box::new(move |c| {
+                a(c);
+                b(c);
+                z(c);
+            })
+        }
+        _ => {
+            let seq = fns.into_boxed_slice();
+            Box::new(move |c| {
+                for f in &seq {
+                    f(c);
+                }
+            })
+        }
+    }
+}
+
+fn compile_stmt(stmt: &Stmt) -> StmtFn {
+    match stmt {
+        Stmt::Let(local, expr) => {
+            let l = *local;
+            let e = compile_expr(expr);
+            Box::new(move |c| c.locals[l] = e(c))
+        }
+        Stmt::If { cond, then, els } => {
+            // A constant condition selects its branch at compile time —
+            // the same `!= 0.0` test the interpreters apply at runtime.
+            if let Some(k) = const_eval(cond) {
+                return if k != 0.0 {
+                    compile_block(then)
+                } else {
+                    compile_block(els)
+                };
+            }
+            let cond = compile_expr(cond);
+            let then = compile_block(then);
+            if els.is_empty() {
+                Box::new(move |c| {
+                    if cond(c) != 0.0 {
+                        then(c);
+                    }
+                })
+            } else {
+                let els = compile_block(els);
+                Box::new(move |c| {
+                    if cond(c) != 0.0 {
+                        then(c);
+                    } else {
+                        els(c);
+                    }
+                })
+            }
+        }
+        Stmt::Store {
+            field,
+            target,
+            value,
+        } => {
+            let f = *field;
+            let v = compile_expr(value);
+            if is_nbr(*target) {
+                Box::new(move |c| {
+                    let x = v(c);
+                    c.fields[f][c.nbr as usize] = x;
+                })
+            } else {
+                Box::new(move |c| {
+                    let x = v(c);
+                    c.fields[f][c.u as usize] = x;
+                })
+            }
+        }
+        Stmt::AtomicMin {
+            field,
+            target,
+            value,
+        } => {
+            let f = *field;
+            let v = compile_expr(value);
+            if is_nbr(*target) {
+                Box::new(move |c| {
+                    let x = v(c);
+                    let slot = &mut c.fields[f][c.nbr as usize];
+                    if x < *slot {
+                        *slot = x;
+                    }
+                })
+            } else {
+                Box::new(move |c| {
+                    let x = v(c);
+                    let slot = &mut c.fields[f][c.u as usize];
+                    if x < *slot {
+                        *slot = x;
+                    }
+                })
+            }
+        }
+        Stmt::AtomicAdd {
+            field,
+            target,
+            value,
+        } => {
+            let f = *field;
+            let v = compile_expr(value);
+            if is_nbr(*target) {
+                Box::new(move |c| {
+                    let x = v(c);
+                    c.fields[f][c.nbr as usize] += x;
+                })
+            } else {
+                Box::new(move |c| {
+                    let x = v(c);
+                    c.fields[f][c.u as usize] += x;
+                })
+            }
+        }
+        Stmt::ForEachEdge(body) => {
+            let body = compile_block(body);
+            Box::new(move |c| {
+                let g = c.graph;
+                for (nbr, weight) in g.out_edges(c.u) {
+                    c.trips += 1;
+                    c.nbr = nbr;
+                    c.weight = weight;
+                    body(c);
+                }
+            })
+        }
+        Stmt::Push(target) => {
+            let nbr = is_nbr(*target);
+            Box::new(move |c| {
+                let v = pick(c, nbr);
+                if !c.in_next[v as usize] {
+                    c.in_next[v as usize] = true;
+                    c.next_worklist.push(v);
+                    c.pushes += 1;
+                }
+            })
+        }
+        Stmt::MarkChanged => Box::new(|c| c.changed = true),
+        Stmt::GlobalAdd(global, value) => {
+            let g = *global;
+            let v = compile_expr(value);
+            Box::new(move |c| {
+                let x = v(c);
+                c.globals[g] += x;
+            })
+        }
+    }
+}
+
+/// Evaluates a constant subexpression at compile time, through the same
+/// shared operator implementations the interpreters call at runtime —
+/// folding is therefore bit-preserving by construction.
+fn const_eval(expr: &Expr) -> Option<f64> {
+    match expr {
+        Expr::Const(c) => Some(*c),
+        Expr::Unary(op, a) => Some(apply_unary(*op, const_eval(a)?)),
+        Expr::Binary(op, a, b) => Some(apply_binary(*op, const_eval(a)?, const_eval(b)?)),
+        Expr::Hash(a, b) => Some(hash2(const_eval(a)? as u64, const_eval(b)? as u64) as f64),
+        _ => None,
+    }
+}
+
+/// An expression as a leaf (inlined into the consumer) if it is one.
+/// Constant subtrees of any depth fold to a `Leaf::Const`.
+fn as_leaf(expr: &Expr) -> Option<Leaf> {
+    if let Some(k) = const_eval(expr) {
+        return Some(Leaf::Const(k));
+    }
+    Some(match expr {
+        Expr::Field(f, r) => Leaf::Field(*f, is_nbr(*r)),
+        Expr::Local(l) => Leaf::Local(*l),
+        Expr::Global(g) => Leaf::Global(*g),
+        Expr::NodeId(r) => Leaf::NodeId(is_nbr(*r)),
+        Expr::Degree(r) => Leaf::Degree(is_nbr(*r)),
+        Expr::EdgeWeight => Leaf::EdgeWeight,
+        Expr::Iter => Leaf::Iter,
+        Expr::NumNodes => Leaf::NumNodes,
+        _ => return None,
+    })
+}
+
+fn compile_expr(expr: &Expr) -> ExprFn {
+    if let Some(leaf) = as_leaf(expr) {
+        if let Leaf::Const(k) = leaf {
+            return Box::new(move |_| k);
+        }
+        return Box::new(move |c| eval_leaf(c, leaf));
+    }
+    match expr {
+        Expr::Unary(op, a) => {
+            let op = *op;
+            if let Some(la) = as_leaf(a) {
+                Box::new(move |c| apply_unary(op, eval_leaf(c, la)))
+            } else {
+                let a = compile_expr(a);
+                Box::new(move |c| apply_unary(op, a(c)))
+            }
+        }
+        Expr::Binary(op, a, b) => compile_binary(*op, a, b),
+        Expr::Hash(a, b) => match (as_leaf(a), as_leaf(b)) {
+            (Some(la), Some(lb)) => {
+                Box::new(move |c| hash2(eval_leaf(c, la) as u64, eval_leaf(c, lb) as u64) as f64)
+            }
+            (Some(la), None) => {
+                let b = compile_expr(b);
+                Box::new(move |c| hash2(eval_leaf(c, la) as u64, b(c) as u64) as f64)
+            }
+            (None, Some(lb)) => {
+                let a = compile_expr(a);
+                Box::new(move |c| hash2(a(c) as u64, eval_leaf(c, lb) as u64) as f64)
+            }
+            (None, None) => {
+                let a = compile_expr(a);
+                let b = compile_expr(b);
+                Box::new(move |c| hash2(a(c) as u64, b(c) as u64) as f64)
+            }
+        },
+        // Leaves and constants were handled above.
+        _ => unreachable!("non-leaf, non-compound expression"),
+    }
+}
+
+/// Fuses a binary operator with leaf operands inlined on either side.
+/// Every arm routes through [`apply_binary`] with a compile-time-known
+/// operator, so the optimiser specialises each closure to a single
+/// operation while the semantics stay shared with the other tiers.
+fn compile_binary(op: BinOp, a: &Expr, b: &Expr) -> ExprFn {
+    match (as_leaf(a), as_leaf(b)) {
+        (Some(la), Some(lb)) => {
+            Box::new(move |c| apply_binary(op, eval_leaf(c, la), eval_leaf(c, lb)))
+        }
+        (Some(la), None) => {
+            let b = compile_expr(b);
+            Box::new(move |c| apply_binary(op, eval_leaf(c, la), b(c)))
+        }
+        (None, Some(lb)) => {
+            let a = compile_expr(a);
+            Box::new(move |c| apply_binary(op, a(c), eval_leaf(c, lb)))
+        }
+        (None, None) => {
+            let a = compile_expr(a);
+            let b = compile_expr(b);
+            Box::new(move |c| apply_binary(op, a(c), b(c)))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+/// The native-tier executor. Owns every scratch buffer — the locals
+/// slab, the per-launch [`WorkItem`] vector, the worklists and the
+/// `in_next` dedup bitmap — so repeated [`NativeVm::run`] calls allocate
+/// nothing beyond the result's field vectors, exactly like
+/// [`crate::bytecode::KernelVm`].
+#[derive(Debug, Default)]
+pub struct NativeVm {
+    locals: Vec<f64>,
+    items: Vec<WorkItem>,
+    worklist: Vec<NodeId>,
+    next_worklist: Vec<NodeId>,
+    in_next: Vec<bool>,
+}
+
+impl NativeVm {
+    /// A VM with empty scratch buffers (grown on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Executes `compiled` through its native closure artifact
+    /// (building it on first use), reporting every kernel launch to
+    /// `exec`. Mirrors the bytecode VM and the tree-walker launch for
+    /// launch: results and recorded [`WorkItem`] streams are
+    /// bit-identical across all three tiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrglError::IterationBoundExceeded`] if a fixed-point
+    /// driver fails to converge within its bound.
+    pub fn run(
+        &mut self,
+        compiled: &CompiledProgram,
+        graph: &Graph,
+        exec: &mut dyn Executor,
+    ) -> Result<Execution, IrglError> {
+        gpp_obs::metrics::counter("irgl.native_runs", 1);
+        let native = compiled.native();
+        let n = graph.num_nodes();
+        let mut fields: Vec<Vec<f64>> = compiled
+            .field_inits()
+            .iter()
+            .map(|&init| init_field(init, n))
+            .collect();
+        let mut globals: Vec<f64> = compiled.global_inits().to_vec();
+
+        // A previous run that errored out mid-loop may have left stale
+        // worklist entries or raised dedup flags; start clean.
+        self.items.clear();
+        self.worklist.clear();
+        self.next_worklist.clear();
+        self.in_next.clear();
+
+        let NativeVm {
+            locals,
+            items,
+            worklist,
+            next_worklist,
+            in_next,
+        } = self;
+        let mut ctx = NCtx {
+            graph,
+            fields: &mut fields,
+            globals: &mut globals,
+            locals,
+            next_worklist,
+            in_next,
+            iter: 0,
+            changed: false,
+            u: 0,
+            nbr: 0,
+            weight: 0,
+            trips: 0,
+            pushes: 0,
+        };
+
+        let global_inits = compiled.global_inits();
+        let mut iterations = 0u32;
+        let mut kernels = 0u32;
+        match compiled.driver() {
+            Driver::UntilFixpoint {
+                kernels: seq,
+                max_iters,
+            } => loop {
+                if iterations >= *max_iters {
+                    return Err(IrglError::IterationBoundExceeded {
+                        program: compiled.name().to_owned(),
+                        bound: *max_iters,
+                    });
+                }
+                ctx.begin_iteration(global_inits, iterations);
+                for &k in seq {
+                    let kernel = &native.kernels[k];
+                    debug_assert_eq!(compiled.kernel_asts()[k].domain, Domain::AllNodes);
+                    items.clear();
+                    for u in graph.nodes() {
+                        run_node(&mut ctx, kernel, u, items);
+                    }
+                    exec.kernel(compiled.kernels()[k].profile(), items);
+                    kernels += 1;
+                }
+                iterations += 1;
+                if !ctx.changed {
+                    break;
+                }
+            },
+            Driver::Fixed {
+                kernels: seq,
+                iters,
+            } => {
+                for iter in 0..*iters {
+                    ctx.begin_iteration(global_inits, iter);
+                    for &k in seq {
+                        let kernel = &native.kernels[k];
+                        debug_assert_eq!(compiled.kernel_asts()[k].domain, Domain::AllNodes);
+                        items.clear();
+                        for u in graph.nodes() {
+                            run_node(&mut ctx, kernel, u, items);
+                        }
+                        exec.kernel(compiled.kernels()[k].profile(), items);
+                        kernels += 1;
+                    }
+                    iterations += 1;
+                }
+            }
+            Driver::WorklistLoop {
+                init,
+                kernel,
+                max_iters,
+            } => {
+                let k = *kernel;
+                let native_kernel = &native.kernels[k];
+                debug_assert_eq!(compiled.kernel_asts()[k].domain, Domain::Worklist);
+                worklist.extend_from_slice(&seed_worklist(*init, graph));
+                ctx.in_next.resize(n, false);
+                while !worklist.is_empty() {
+                    if iterations >= *max_iters {
+                        return Err(IrglError::IterationBoundExceeded {
+                            program: compiled.name().to_owned(),
+                            bound: *max_iters,
+                        });
+                    }
+                    ctx.begin_iteration(global_inits, iterations);
+                    items.clear();
+                    for &u in worklist.iter() {
+                        run_node(&mut ctx, native_kernel, u, items);
+                    }
+                    exec.kernel(compiled.kernels()[k].profile(), items);
+                    kernels += 1;
+                    // Clear-by-drain: swap in the pushed nodes and lower
+                    // exactly their dedup flags — no O(n) reset per level.
+                    std::mem::swap(worklist, ctx.next_worklist);
+                    ctx.next_worklist.clear();
+                    for &v in worklist.iter() {
+                        ctx.in_next[v as usize] = false;
+                    }
+                    iterations += 1;
+                }
+            }
+        }
+        Ok(Execution {
+            fields,
+            globals,
+            iterations,
+            kernels,
+        })
+    }
+}
+
+impl NCtx<'_> {
+    /// Same per-iteration reset as the other tiers: stamp the iteration
+    /// counter, lower the fixed-point flag, restore global initials.
+    fn begin_iteration(&mut self, global_inits: &[f64], iter: u32) {
+        self.iter = iter;
+        self.changed = false;
+        self.globals.copy_from_slice(global_inits);
+    }
+}
+
+/// Runs one fused kernel body over one node: zeroes the locals, stages
+/// the node cursor, calls the body once, records the [`WorkItem`].
+#[inline]
+fn run_node(ctx: &mut NCtx<'_>, kernel: &NativeKernel, u: NodeId, items: &mut Vec<WorkItem>) {
+    if ctx.locals.len() < kernel.locals {
+        ctx.locals.resize(kernel.locals, 0.0);
+    }
+    for l in &mut ctx.locals[..kernel.locals] {
+        *l = 0.0;
+    }
+    ctx.u = u;
+    ctx.trips = 0;
+    ctx.pushes = 0;
+    (kernel.body)(ctx);
+    items.push(WorkItem::new(ctx.trips, ctx.pushes));
+}
+
+/// Runs a compiled program through the native tier with a fresh
+/// [`NativeVm`]. Callers executing the same program repeatedly should
+/// keep a `NativeVm` and call [`NativeVm::run`] to reuse its scratch.
+///
+/// # Errors
+///
+/// Returns [`IrglError::IterationBoundExceeded`] if a fixed-point driver
+/// fails to converge within its bound.
+pub fn run_native(
+    compiled: &CompiledProgram,
+    graph: &Graph,
+    exec: &mut dyn Executor,
+) -> Result<Execution, IrglError> {
+    NativeVm::new().run(compiled, graph, exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::execute_ast;
+    use crate::programs;
+    use crate::validate::validate;
+    use gpp_graph::generators;
+    use gpp_sim::trace::Recorder;
+
+    fn ast_run(
+        p: &crate::ast::Program,
+        g: &Graph,
+    ) -> (Result<Execution, IrglError>, gpp_sim::trace::Trace) {
+        let mut rec = Recorder::new();
+        let r = execute_ast(p, g, &mut rec);
+        (r, rec.into_trace())
+    }
+
+    fn native_run(
+        p: &crate::ast::Program,
+        g: &Graph,
+    ) -> (Result<Execution, IrglError>, gpp_sim::trace::Trace) {
+        let mut rec = Recorder::new();
+        let compiled = CompiledProgram::compile(p).unwrap();
+        let r = NativeVm::new().run(&compiled, g, &mut rec);
+        (r, rec.into_trace())
+    }
+
+    #[test]
+    fn all_builtin_programs_match_the_ast_oracle() {
+        let graphs = vec![
+            generators::road_grid(8, 8, 3).unwrap(),
+            generators::rmat(7, 6, 42).unwrap(),
+            generators::star(33).unwrap(),
+            generators::path(1).unwrap(),
+            Graph::from_csr(vec![0], vec![], vec![], true).unwrap(),
+        ];
+        for p in programs::all() {
+            for g in &graphs {
+                let (ast, ast_trace) = ast_run(&p, g);
+                let (nat, nat_trace) = native_run(&p, g);
+                assert_eq!(ast, nat, "{} execution diverged", p.name);
+                assert_eq!(ast_trace, nat_trace, "{} trace diverged", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn native_artifact_is_built_once_and_shared() {
+        let p = programs::bfs_worklist();
+        let compiled = CompiledProgram::compile(&p).unwrap();
+        let first: *const NativeProgram = compiled.native();
+        let second: *const NativeProgram = compiled.native();
+        assert_eq!(first, second, "OnceLock must reuse the artifact");
+        assert_eq!(compiled.native().num_kernels(), compiled.kernels().len());
+    }
+
+    #[test]
+    fn constant_folding_is_bit_preserving() {
+        // 1/0, 0/0 and eager And/Or must fold to exactly what the
+        // runtime computes.
+        let inf = Expr::bin(BinOp::Div, Expr::Const(1.0), Expr::Const(0.0));
+        assert_eq!(const_eval(&inf), Some(f64::INFINITY));
+        let nan = Expr::bin(BinOp::Div, Expr::Const(0.0), Expr::Const(0.0));
+        assert!(const_eval(&nan).unwrap().is_nan());
+        let or = Expr::bin(BinOp::Or, Expr::Const(0.0), Expr::Const(2.0));
+        assert_eq!(const_eval(&or), Some(1.0));
+        let hash = Expr::Hash(Box::new(Expr::Const(3.0)), Box::new(Expr::Const(7.0)));
+        assert_eq!(const_eval(&hash), Some(hash2(3, 7) as f64));
+        // Non-constant subtrees do not fold.
+        assert_eq!(const_eval(&Expr::Iter), None);
+        assert!(as_leaf(&Expr::Iter).is_some());
+    }
+
+    #[test]
+    fn native_scratch_reuse_is_clean_across_runs() {
+        let g1 = generators::rmat(6, 5, 7).unwrap();
+        let g2 = generators::road_grid(5, 5, 1).unwrap();
+        let mut vm = NativeVm::new();
+        for p in programs::all() {
+            let compiled = CompiledProgram::compile(&p).unwrap();
+            for g in [&g1, &g2, &g1] {
+                let mut rec_reused = Recorder::new();
+                let reused = vm.run(&compiled, g, &mut rec_reused);
+                let (fresh, fresh_trace) = native_run(&p, g);
+                assert_eq!(reused.unwrap(), fresh.unwrap(), "{}", p.name);
+                assert_eq!(rec_reused.into_trace(), fresh_trace, "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn compile_rejects_invalid_programs_like_validate() {
+        let mut p = programs::bfs_topology();
+        p.output = 99;
+        let err = CompiledProgram::compile(&p).unwrap_err();
+        assert_eq!(err, validate(&p).unwrap_err());
+    }
+}

@@ -30,6 +30,14 @@
 //! (condvar wakes of parked pool workers), and `par.nested_calls`
 //! (fan-outs issued from inside another parallel worker, served
 //! cooperatively instead of oversubscribing).
+//!
+//! The `irgl.*` family attributes DSL execution by tier: `irgl.ast_runs`
+//! / `irgl.bytecode_runs` / `irgl.native_runs` (one per program
+//! execution through the tree-walker, the register VM, or the
+//! closure-fused native tier — `gpp profile study --dsl` shows which
+//! tier actually ran), `irgl.programs_compiled` (bytecode lowerings),
+//! and `irgl.native_kernels_compiled` (kernels fused to closures; both
+//! stay flat across runs under compile-once-run-many).
 
 use std::cell::RefCell;
 use std::collections::HashMap;

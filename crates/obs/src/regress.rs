@@ -215,6 +215,12 @@ mod tests {
         assert_eq!(direction_of("trace_arena_bytes_per_item"), Direction::LowerIsBetter);
         assert_eq!(direction_of("speedup"), Direction::HigherIsBetter);
         assert_eq!(direction_of("trace_cache.hits"), Direction::HigherIsBetter);
+        // The ISSUE-9 native-tier fields must be guarded, not merely
+        // informational: the committed speedup floor may never sink
+        // below baseline tolerance, and tier identity must hold.
+        assert_eq!(direction_of("native_kernel_speedup"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("dsl_study_native_seconds"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("dsl_tiers_identical"), Direction::MustHold);
         assert_eq!(
             direction_of("parallel_identical_to_serial"),
             Direction::MustHold

@@ -236,8 +236,8 @@ impl Executor for Recorder {
 /// `replay_all_configs` call. The returned [`Arc`] shares the cached
 /// grouping; iterate it with `.iter()`.
 pub fn geometry_groups(chip: &ChipProfile) -> Arc<Vec<(u32, Vec<OptConfig>)>> {
-    static CACHE: OnceLock<RwLock<HashMap<u32, Arc<Vec<(u32, Vec<OptConfig>)>>>>> =
-        OnceLock::new();
+    type GroupCache = RwLock<HashMap<u32, Arc<Vec<(u32, Vec<OptConfig>)>>>>;
+    static CACHE: OnceLock<GroupCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
     let max_wg = chip.max_workgroup_size();
     if let Some(groups) = cache.read().unwrap().get(&max_wg) {

@@ -17,12 +17,15 @@ fn ast_fallback_produces_a_byte_identical_dsl_study() {
     std::env::set_var("GPP_IRGL_AST", "1");
     let ast = serde_json::to_string(&run_study(&config)).unwrap();
 
+    // The default executor is now the native closure tier
+    // (tests/tier_env.rs covers all of `GPP_IRGL_TIER`); the legacy
+    // switch must still reproduce it byte for byte.
     std::env::remove_var("GPP_IRGL_AST");
-    let bytecode = serde_json::to_string(&run_study(&config)).unwrap();
+    let default_tier = serde_json::to_string(&run_study(&config)).unwrap();
 
-    assert_eq!(ast, bytecode, "AST oracle and bytecode VM diverged");
+    assert_eq!(ast, default_tier, "AST oracle and default tier diverged");
 
-    // An explicit "0" (and the empty string) mean "stay on bytecode".
+    // An explicit "0" (and the empty string) mean "stay off the walker".
     std::env::set_var("GPP_IRGL_AST", "0");
     assert!(!gpp::irgl::interp::ast_requested());
     std::env::set_var("GPP_IRGL_AST", "");

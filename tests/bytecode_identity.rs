@@ -1,11 +1,13 @@
-//! Differential testing of the bytecode register VM against the AST
-//! tree-walking oracle: for every DSL program — the seven built-ins on
-//! the study inputs, plus randomly generated valid programs over random
-//! small graphs in all three driver forms — both executors must produce
+//! Three-way differential testing of the execution tiers: for every DSL
+//! program — the seven built-ins on the study inputs, corner graphs
+//! (empty graph included), plus randomly generated valid programs over
+//! random small graphs in all three driver forms — the AST tree-walker,
+//! the bytecode register VM, and the native closure tier must produce
 //! bit-identical [`Execution`] state and bit-identical recorded traces
-//! (same kernel launches, same per-node `WorkItem` streams). This is the
-//! invariant that keeps cached traces and the study dataset unchanged by
-//! the compilation layer.
+//! (same kernel launches, same per-node `WorkItem` streams). The walker
+//! and the VM form a two-level oracle below the native tier; this is
+//! the invariant that keeps cached traces and the study dataset
+//! unchanged by the compilation layer.
 
 use gpp::graph::{generators, Graph, GraphBuilder};
 use gpp::irgl::ast::{
@@ -14,6 +16,7 @@ use gpp::irgl::ast::{
 };
 use gpp::irgl::bytecode::{CompiledProgram, KernelVm};
 use gpp::irgl::interp::{execute_ast, Execution};
+use gpp::irgl::native::NativeVm;
 use gpp::irgl::validate::IrglError;
 use gpp::irgl::programs;
 use gpp::sim::trace::{Recorder, Trace};
@@ -33,6 +36,20 @@ fn run_vm(program: &Program, graph: &Graph) -> RunResult {
     let result = CompiledProgram::compile(program)
         .and_then(|compiled| KernelVm::new().run(&compiled, graph, &mut rec));
     (result, rec.into_trace())
+}
+
+fn run_native(program: &Program, graph: &Graph) -> RunResult {
+    let mut rec = Recorder::new();
+    let result = CompiledProgram::compile(program)
+        .and_then(|compiled| NativeVm::new().run(&compiled, graph, &mut rec));
+    (result, rec.into_trace())
+}
+
+/// All three tiers against the AST oracle in one comparison.
+fn assert_all_tiers_identical(name: &str, program: &Program, graph: &Graph) {
+    let ast = run_ast(program, graph);
+    assert_identical(&format!("{name} [bytecode]"), &ast, &run_vm(program, graph));
+    assert_identical(&format!("{name} [native]"), &ast, &run_native(program, graph));
 }
 
 /// Bit-level equality: `f64::to_bits` so NaN == NaN and -0.0 != 0.0 —
@@ -78,11 +95,7 @@ fn builtin_programs_are_bit_identical_on_study_and_corner_graphs() {
     }
     for program in programs::all() {
         for graph in &graphs {
-            assert_identical(
-                &program.name,
-                &run_ast(&program, graph),
-                &run_vm(&program, graph),
-            );
+            assert_all_tiers_identical(&program.name, &program, graph);
         }
     }
 }
@@ -106,10 +119,37 @@ fn iteration_bound_errors_are_identical_including_partial_traces() {
         let ast = run_ast(&program, &graph);
         errors += usize::from(ast.0.is_err());
         assert_identical(&program.name, &ast, &run_vm(&program, &graph));
+        assert_identical(&program.name, &ast, &run_native(&program, &graph));
     }
     // The level-by-level programs (BFS both ways, worklist SSSP, Luby
     // MIS) cannot finish a 16-diameter grid in two rounds.
     assert!(errors >= 4, "expected several bound errors, got {errors}");
+}
+
+#[test]
+fn reused_vms_match_fresh_vms_on_the_builtins() {
+    // Deterministic sibling of the proptest reuse property below: one
+    // KernelVm and one NativeVm each driven across different graphs
+    // (scratch reused, and for the native tier the shared closure
+    // artifact reused) must match freshly constructed VMs.
+    let graphs = [
+        generators::star(17).unwrap(),
+        generators::road_grid(5, 5, 3).unwrap(),
+        generators::star(17).unwrap(),
+    ];
+    for program in programs::all() {
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let mut vm = KernelVm::new();
+        let mut native = NativeVm::new();
+        for g in &graphs {
+            let mut rec = Recorder::new();
+            let reused = (vm.run(&compiled, g, &mut rec), rec.into_trace());
+            assert_identical("vm reuse", &run_vm(&program, g), &reused);
+            let mut rec = Recorder::new();
+            let reused = (native.run(&compiled, g, &mut rec), rec.into_trace());
+            assert_identical("native reuse", &run_native(&program, g), &reused);
+        }
+    }
 }
 
 // -------------------------------------------------------------------
@@ -383,21 +423,30 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
     #[test]
-    fn random_programs_are_bit_identical(program in arb_program(), graph in arb_graph()) {
+    fn random_programs_are_bit_identical_across_all_tiers(
+        program in arb_program(),
+        graph in arb_graph(),
+    ) {
         prop_assert!(gpp::irgl::validate_program(&program).is_ok());
-        assert_identical("random", &run_ast(&program, &graph), &run_vm(&program, &graph));
+        assert_all_tiers_identical("random", &program, &graph);
     }
 
     #[test]
     fn vm_reuse_matches_fresh_vm(program in arb_program(), g1 in arb_graph(), g2 in arb_graph()) {
         // One VM across two different graphs (scratch buffers reused,
-        // possibly after an iteration-bound error) must match fresh VMs.
+        // possibly after an iteration-bound error) must match fresh VMs
+        // — for the bytecode tier and the native tier alike (the native
+        // VM additionally reuses the program's shared closure artifact).
         let compiled = CompiledProgram::compile(&program).unwrap();
         let mut vm = KernelVm::new();
+        let mut native = NativeVm::new();
         for g in [&g1, &g2, &g1] {
             let mut rec = Recorder::new();
             let reused = (vm.run(&compiled, g, &mut rec), rec.into_trace());
-            assert_identical("reuse", &run_vm(&program, g), &reused);
+            assert_identical("vm reuse", &run_vm(&program, g), &reused);
+            let mut rec = Recorder::new();
+            let reused = (native.run(&compiled, g, &mut rec), rec.into_trace());
+            assert_identical("native reuse", &run_native(&program, g), &reused);
         }
     }
 }

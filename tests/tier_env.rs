@@ -1,0 +1,82 @@
+//! `GPP_IRGL_TIER` must select the DSL executor *without changing a
+//! single byte of the study dataset*: the whole `--dsl` study run on the
+//! AST walker, the bytecode VM, and the native closure tier must
+//! serialize to identical JSON. This test mutates the process
+//! environment, so it lives in its own integration-test binary (its own
+//! process), as a single `#[test]` (no intra-process races), and must
+//! not share a file with any other test that reads `GPP_IRGL_TIER` or
+//! `GPP_IRGL_AST`.
+
+use gpp::apps::{run_study, StudyConfig};
+use gpp::irgl::Tier;
+
+#[test]
+fn every_tier_produces_a_byte_identical_dsl_study() {
+    // --- Selection precedence -------------------------------------
+    // GPP_IRGL_TIER wins over the legacy GPP_IRGL_AST switch.
+    std::env::set_var("GPP_IRGL_AST", "1");
+    std::env::set_var("GPP_IRGL_TIER", "bytecode");
+    assert_eq!(Tier::from_env(), Tier::Bytecode);
+
+    // Without GPP_IRGL_TIER, the legacy switch still forces the walker.
+    std::env::remove_var("GPP_IRGL_TIER");
+    assert_eq!(Tier::from_env(), Tier::Ast);
+
+    // With neither set, the native tier is the default.
+    std::env::remove_var("GPP_IRGL_AST");
+    assert_eq!(Tier::from_env(), Tier::Native);
+
+    // Unrecognized tiers fall back to the default rather than panicking
+    // mid-study; parsing is case- and whitespace-insensitive.
+    std::env::set_var("GPP_IRGL_TIER", "jit");
+    assert_eq!(Tier::from_env(), Tier::Native);
+    std::env::set_var("GPP_IRGL_TIER", " Bytecode ");
+    assert_eq!(Tier::from_env(), Tier::Bytecode);
+    std::env::set_var("GPP_IRGL_TIER", "AST");
+    assert_eq!(Tier::from_env(), Tier::Ast);
+    std::env::remove_var("GPP_IRGL_TIER");
+    assert_eq!(Tier::parse("native"), Some(Tier::Native));
+    assert_eq!(Tier::parse("threaded"), None);
+
+    // --- Whole-study identity -------------------------------------
+    let config = StudyConfig {
+        dsl_programs: true,
+        threads: 2,
+        ..StudyConfig::tiny()
+    };
+
+    std::env::set_var("GPP_IRGL_TIER", "native");
+    let native = run_study(&config);
+
+    std::env::set_var("GPP_IRGL_TIER", "bytecode");
+    let bytecode = run_study(&config);
+
+    std::env::set_var("GPP_IRGL_TIER", "ast");
+    let ast = run_study(&config);
+
+    std::env::remove_var("GPP_IRGL_TIER");
+    let default = run_study(&config);
+
+    assert_eq!(native, bytecode, "native tier diverged from bytecode VM");
+    assert_eq!(native, ast, "native tier diverged from AST oracle");
+    assert_eq!(native, default, "default tier is not native");
+
+    // Bit-level on every timing (to_bits is stricter than the f64
+    // PartialEq above: it rejects -0.0 vs 0.0 and NaN payload drift).
+    let bits = |ds: &gpp::apps::Dataset| -> Vec<u64> {
+        ds.cells
+            .iter()
+            .flat_map(|c| c.times.iter().flatten().map(|v| v.to_bits()))
+            .collect()
+    };
+    assert_eq!(bits(&native), bits(&bytecode));
+    assert_eq!(bits(&native), bits(&ast));
+    assert_eq!(bits(&native), bits(&default));
+
+    // Byte-level too, not just structurally: the dataset on disk must
+    // not depend on the executor.
+    let native = serde_json::to_string(&native).unwrap();
+    assert_eq!(native, serde_json::to_string(&bytecode).unwrap());
+    assert_eq!(native, serde_json::to_string(&ast).unwrap());
+    assert_eq!(native, serde_json::to_string(&default).unwrap());
+}

@@ -107,9 +107,9 @@ fn cache_round_trip_is_byte_identical_for_every_app() {
             let mut rec = Recorder::new();
             app.run(&input.graph, &mut rec);
             let trace = rec.into_trace();
-            assert!(cache.store(app.name(), input, scale, seed, &trace));
+            assert!(cache.store(app.name(), app.content_version(), input, scale, seed, &trace));
             let loaded = cache
-                .load(app.name(), input, scale, seed)
+                .load(app.name(), app.content_version(), input, scale, seed)
                 .unwrap_or_else(|| panic!("{} on {} missing", app.name(), input.name));
             assert_eq!(trace, loaded, "{} on {}", app.name(), input.name);
             assert_eq!(
