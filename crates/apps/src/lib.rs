@@ -68,4 +68,7 @@ pub use inputs::{study_inputs, study_inputs_extended, StudyInput, StudyScale};
 pub use study::{
     run_study, run_study_cached, run_study_on, run_study_traced, Cell, Dataset, StudyConfig,
 };
-pub use sweep::{run_sweep, run_sweep_cached, ChipSweep, SweepConfig};
+pub use sweep::{
+    price_cloud, price_cloud_cached, run_sweep, run_sweep_cached, ChipSweep, CloudTimes,
+    SweepConfig,
+};

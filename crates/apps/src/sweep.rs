@@ -123,6 +123,167 @@ fn pair_opt_means(
         .collect()
 }
 
+/// Raw pricing of a chip cloud: for every (application, input) pair and
+/// every chip, the full 96 per-configuration runtimes.
+///
+/// This is the `gpp sweep` → `gpp portfolio` handoff. Each row feeds
+/// [`SlowdownMatrix::from_cell_times`], which normalises it to that
+/// cell's own oracle, so a portfolio searched over a synthetic chip
+/// cloud uses exactly the same [`ChipBatch`] pricing as the sweep
+/// itself — and, like the sweep, is a pure function of its
+/// configuration and chip set.
+///
+/// [`SlowdownMatrix::from_cell_times`]:
+/// ../../gpp_core/portfolio/struct.SlowdownMatrix.html#method.from_cell_times
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudTimes {
+    /// Cell labels, `app/input@chip`, pair-major then chip order.
+    pub cells: Vec<String>,
+    /// `times[cell][config]` — runtime in nanoseconds, indexed by
+    /// [`gpp_sim::opts::OptConfig::index`].
+    pub times: Vec<Vec<f64>>,
+}
+
+/// Prices every (application, input, chip) cell of a chip cloud through
+/// the batched [`ChipBatch`] replay path (or the chip-at-a-time oracle
+/// path when `config.per_chip` is set — the rows are bit-identical).
+/// Rows are scattered back to pair-major, chip-minor order regardless
+/// of batch partitioning or thread count.
+///
+/// # Panics
+///
+/// Panics as [`run_sweep`] does.
+pub fn price_cloud(config: &SweepConfig, chips: &[ChipProfile]) -> CloudTimes {
+    price_cloud_cached(config, chips, None)
+}
+
+/// [`price_cloud`] with a persistent [`TraceCache`], sharing traces
+/// with `gpp study` and `gpp sweep` runs at the same scale and seed.
+///
+/// # Panics
+///
+/// Panics as [`run_sweep`] does.
+pub fn price_cloud_cached(
+    config: &SweepConfig,
+    chips: &[ChipProfile],
+    cache: Option<&TraceCache>,
+) -> CloudTimes {
+    assert!(!chips.is_empty(), "need at least one chip to price");
+    let tracer = Tracer::disabled();
+    let config = *config;
+    let inputs = Arc::new(study_inputs(config.scale, config.seed));
+    let apps = Arc::new(all_applications());
+    let threads = crate::par::effective_threads(config.threads);
+    let batches = Arc::new(ChipBatch::partition(chips));
+    let reps: Arc<Vec<Machine>> = Arc::new(
+        batches
+            .iter()
+            .map(|b| Machine::new(b.chips()[0].clone()))
+            .collect(),
+    );
+    let pairs: Arc<Vec<(usize, usize)>> = Arc::new(
+        (0..inputs.len())
+            .flat_map(|i| (0..apps.len()).map(move |a| (i, a)))
+            .collect(),
+    );
+    let traces = collect_pair_traces(config, &inputs, &apps, &reps, &pairs, threads, &tracer, cache);
+
+    let tasks: Arc<Vec<(usize, usize)>> = Arc::new(
+        (0..pairs.len())
+            .flat_map(|p| (0..batches.len()).map(move |b| (p, b)))
+            .collect(),
+    );
+    let priced: Vec<Vec<Vec<f64>>> = {
+        let batches = Arc::clone(&batches);
+        let traces = Arc::clone(&traces);
+        par_map_pooled_traced(&tasks, threads, &tracer, "price-cloud", move |_, &(p, b)| {
+            let batch = &batches[b];
+            if config.per_chip {
+                batch
+                    .chips()
+                    .iter()
+                    .map(|chip| {
+                        let stats = traces[p].replay_all_configs(&Machine::new(chip.clone()));
+                        stats.iter().map(|s| s.time_ns).collect()
+                    })
+                    .collect()
+            } else {
+                traces[p]
+                    .replay_all_configs_many_chips(batch)
+                    .iter()
+                    .map(|stats| stats.iter().map(|s| s.time_ns).collect())
+                    .collect()
+            }
+        })
+    };
+    metrics::counter("sweep.chips_priced", (chips.len() * pairs.len()) as u64);
+
+    // Scatter batch-local rows back to (pair, input-order chip) cells.
+    let mut times = vec![Vec::new(); pairs.len() * chips.len()];
+    for (&(p, b), rows) in tasks.iter().zip(&priced) {
+        for (&chip_idx, row) in batches[b].source_indices().iter().zip(rows) {
+            times[p * chips.len() + chip_idx] = row.clone();
+        }
+    }
+    let cells = pairs
+        .iter()
+        .flat_map(|&(i, a)| {
+            let label = format!("{}/{}", apps[a].name(), inputs[i].name);
+            chips
+                .iter()
+                .map(move |chip| format!("{label}@{}", chip.name))
+        })
+        .collect();
+    CloudTimes { cells, times }
+}
+
+/// Phase 1 of both [`run_sweep_traced`] and [`price_cloud_cached`]: one
+/// compiled trace per (input, application) pair, input-major, loaded
+/// from the cache when one is supplied and precompiled for every batch
+/// representative.
+#[allow(clippy::too_many_arguments)]
+fn collect_pair_traces(
+    config: SweepConfig,
+    inputs: &Arc<Vec<crate::inputs::StudyInput>>,
+    apps: &Arc<Vec<Box<dyn crate::app::Application>>>,
+    reps: &Arc<Vec<Machine>>,
+    pairs: &Arc<Vec<(usize, usize)>>,
+    threads: usize,
+    tracer: &Tracer,
+    cache: Option<&TraceCache>,
+) -> Arc<Vec<CompiledTrace>> {
+    let inputs = Arc::clone(inputs);
+    let apps = Arc::clone(apps);
+    let reps = Arc::clone(reps);
+    let cache = cache.cloned();
+    let traces = par_map_pooled_traced(pairs, threads, tracer, "collect-traces", move |_, &(i, a)| {
+        let cache = cache.as_ref();
+        let (input, app) = (&inputs[i], &apps[a]);
+        let cached = cache.and_then(|c| c.load(app.name(), app.content_version(), input, config.scale, config.seed));
+        let trace = match cached {
+            Some(trace) => trace,
+            None => {
+                let mut recorder = Recorder::new();
+                let output = app.run(&input.graph, &mut recorder);
+                if config.validate {
+                    if let Err(e) = validate(&input.graph, &output) {
+                        panic!("{} on {}: {e}", app.name(), input.name);
+                    }
+                }
+                let trace = recorder.into_trace();
+                if let Some(c) = cache {
+                    c.store(app.name(), app.content_version(), input, config.scale, config.seed, &trace);
+                }
+                trace
+            }
+        };
+        let compiled = CompiledTrace::new(trace);
+        compiled.precompile_all(&reps);
+        compiled
+    });
+    Arc::new(traces)
+}
+
 /// Runs a sweep of `chips` over the study applications and inputs.
 ///
 /// # Panics
@@ -199,36 +360,7 @@ pub fn run_sweep_traced(
     );
     let traces: Arc<Vec<CompiledTrace>> = {
         let _phase = tracer.span_detail("phase", Some("collect-traces".to_owned()));
-        let inputs = Arc::clone(&inputs);
-        let apps = Arc::clone(&apps);
-        let reps = Arc::clone(&reps);
-        let cache = cache.cloned();
-        let traces = par_map_pooled_traced(&pairs, threads, tracer, "collect-traces", move |_, &(i, a)| {
-            let cache = cache.as_ref();
-            let (input, app) = (&inputs[i], &apps[a]);
-            let cached = cache.and_then(|c| c.load(app.name(), app.content_version(), input, config.scale, config.seed));
-            let trace = match cached {
-                Some(trace) => trace,
-                None => {
-                    let mut recorder = Recorder::new();
-                    let output = app.run(&input.graph, &mut recorder);
-                    if config.validate {
-                        if let Err(e) = validate(&input.graph, &output) {
-                            panic!("{} on {}: {e}", app.name(), input.name);
-                        }
-                    }
-                    let trace = recorder.into_trace();
-                    if let Some(c) = cache {
-                        c.store(app.name(), app.content_version(), input, config.scale, config.seed, &trace);
-                    }
-                    trace
-                }
-            };
-            let compiled = CompiledTrace::new(trace);
-            compiled.precompile_all(&reps);
-            compiled
-        });
-        Arc::new(traces)
+        collect_pair_traces(config, &inputs, &apps, &reps, &pairs, threads, tracer, cache)
     };
 
     // Phase 2: price each (pair, batch) task — every chip in the batch
@@ -407,6 +539,44 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.name == "busy-ns" && e.detail.as_deref() == Some("price-batches")));
+    }
+
+    #[test]
+    fn cloud_times_have_full_shape_and_labels() {
+        let chips = study_chips();
+        let cloud = price_cloud(&SweepConfig::tiny(), &chips);
+        assert_eq!(cloud.times.len(), 17 * 3 * chips.len());
+        assert_eq!(cloud.cells.len(), cloud.times.len());
+        for row in &cloud.times {
+            assert_eq!(row.len(), gpp_sim::opts::NUM_CONFIGS);
+            assert!(row.iter().all(|v| v.is_finite() && *v > 0.0));
+        }
+        // Pair-major, chip-minor: the first |chips| cells share a pair
+        // label and walk the chips in input order.
+        for (c, chip) in chips.iter().enumerate() {
+            assert!(cloud.cells[c].ends_with(&format!("@{}", chip.name)));
+        }
+    }
+
+    #[test]
+    fn cloud_pricing_is_identical_batched_vs_per_chip_at_any_threads() {
+        let chips = sweep_chips();
+        let cfg = SweepConfig::tiny();
+        let batched = price_cloud(&cfg, &chips);
+        let oracle = price_cloud(
+            &SweepConfig {
+                per_chip: true,
+                threads: 4,
+                ..cfg
+            },
+            &chips,
+        );
+        assert_eq!(batched, oracle);
+        for (a, b) in batched.times.iter().zip(&oracle.times) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

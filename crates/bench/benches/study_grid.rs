@@ -19,7 +19,9 @@
 //! cargo bench --bench study_grid -- --smoke   # fast end-to-end check
 //! ```
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -30,6 +32,10 @@ use gpp_apps::inputs::{study_inputs, StudyScale};
 use gpp_apps::par::{par_map, par_map_pooled};
 use gpp_apps::study::{run_study, run_study_cached, run_study_traced, StudyConfig};
 use gpp_core::analysis::DatasetStats;
+use gpp_core::portfolio::{
+    exact_search, score_portfolio_naive, search_curve, Objective, PortfolioScorer, SearchParams,
+    SlowdownMatrix,
+};
 use gpp_core::predict::leave_one_out_par;
 use gpp_core::sensitivity::{subsample_sensitivity, subsample_sensitivity_par};
 use gpp_core::strategy::{
@@ -44,6 +50,32 @@ use gpp_sim::chip::{latin_hypercube_chips, study_chips, ChipBatch};
 use gpp_sim::exec::{CallAggregates, Machine, RunStats};
 use gpp_sim::opts::all_configs;
 use gpp_sim::trace::{geometry_groups, CompiledTrace, Recorder};
+
+/// Counting wrapper around the system allocator: the baseline writer
+/// uses the allocation count to prove the portfolio scorer's hot path
+/// allocates nothing after its scratch buffer warms up.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn small(threads: usize) -> StudyConfig {
     StudyConfig {
@@ -219,6 +251,53 @@ fn bench_chip_sweep(c: &mut Criterion) {
                 })
                 .sum::<f64>()
         })
+    });
+    group.finish();
+}
+
+fn bench_portfolio_search(c: &mut Criterion) {
+    // The portfolio engine's two layers: scoring (dense matrix vs the
+    // naive per-cell DatasetStats oracle on the same portfolios) and
+    // search (exact branch-and-bound at k=3 over the full grid, and a
+    // six-point curve with the beam levels included).
+    let ds = run_study(&StudyConfig::tiny());
+    let stats = DatasetStats::new(&ds);
+    let matrix = Arc::new(SlowdownMatrix::from_stats(&stats));
+    let pairs: Vec<Vec<usize>> = (0..96usize)
+        .flat_map(|a| ((a + 1)..96).step_by(19).map(move |b| vec![a, b]))
+        .collect();
+    let all96: Vec<usize> = (0..96).collect();
+    let mut group = c.benchmark_group("portfolio_search");
+    group.sample_size(10);
+    group.bench_function("matrix_scorer_pairs", |b| {
+        let mut scorer = PortfolioScorer::new(&matrix);
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|p| scorer.score(p, Objective::Geomean))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("naive_scorer_pairs", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|p| score_portfolio_naive(&stats, p, Objective::Geomean))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("exact_k3_full_grid", |b| {
+        b.iter(|| exact_search(&matrix, &all96, 3, Objective::Geomean, 0).slowdown)
+    });
+    group.bench_function("curve_k6_beam32", |b| {
+        let params = SearchParams {
+            objective: Objective::Geomean,
+            k_max: 6,
+            exact_k_max: 3,
+            beam_width: 32,
+            threads: 0,
+        };
+        b.iter(|| search_curve(&matrix, &params).points.len())
     });
     group.finish();
 }
@@ -619,6 +698,91 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
     let chip_sweep_chips_per_second = cloud.len() as f64 / chip_sweep_batched_seconds;
     let chip_batch_speedup = chip_sweep_per_chip_seconds / chip_sweep_batched_seconds;
 
+    // Dense-matrix portfolio engine: the flattened slowdown matrix vs
+    // the naive per-cell `DatasetStats` scorer (kept as the
+    // differential oracle) over the full 96-configuration grid —
+    // singletons plus a strided pair sample — then the exact k=3
+    // branch-and-bound and the curve's thread invariance. The scorers
+    // must agree bit for bit and the matrix hot path must not allocate
+    // after its scratch buffer warms up.
+    let portfolio_matrix = Arc::new(SlowdownMatrix::from_stats(&stats));
+    let portfolio_workload: Vec<Vec<usize>> = (0..96usize)
+        .map(|c| vec![c])
+        .chain((0..96usize).flat_map(|a| ((a + 1)..96).step_by(7).map(move |b| vec![a, b])))
+        .collect();
+    let mut portfolio_scorer = PortfolioScorer::new(&portfolio_matrix);
+    // One warm-up call sizes the scratch buffer; every later score must
+    // be allocation-free.
+    black_box(portfolio_scorer.score(&portfolio_workload[0], Objective::Geomean));
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    const MATRIX_REPS: usize = 20;
+    let mut matrix_sum = 0.0;
+    let t = Instant::now();
+    for _ in 0..MATRIX_REPS {
+        for p in &portfolio_workload {
+            matrix_sum += portfolio_scorer.score(p, Objective::Geomean);
+        }
+    }
+    let portfolio_matrix_pass_seconds = t.elapsed().as_secs_f64() / MATRIX_REPS as f64;
+    let portfolio_scorer_allocations = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    black_box(matrix_sum);
+    let t = Instant::now();
+    let naive_scores: Vec<f64> = portfolio_workload
+        .iter()
+        .map(|p| score_portfolio_naive(&stats, p, Objective::Geomean))
+        .collect();
+    let portfolio_naive_pass_seconds = t.elapsed().as_secs_f64();
+    let portfolio_matrix_speedup = portfolio_naive_pass_seconds / portfolio_matrix_pass_seconds;
+    let portfolio_scorers_identical = portfolio_workload.iter().zip(&naive_scores).all(
+        |(p, naive)| {
+            portfolio_scorer.score(p, Objective::Geomean).to_bits() == naive.to_bits()
+        },
+    );
+
+    let all96: Vec<usize> = (0..96).collect();
+    let t = Instant::now();
+    let exact3 = exact_search(&portfolio_matrix, &all96, 3, Objective::Geomean, threads);
+    let portfolio_exact_k3_seconds = t.elapsed().as_secs_f64();
+    let curve_params = SearchParams {
+        objective: Objective::Geomean,
+        k_max: 6,
+        exact_k_max: 3,
+        beam_width: 32,
+        threads: 1,
+    };
+    let portfolio_curve_serial = search_curve(&portfolio_matrix, &curve_params);
+    let portfolio_curve_parallel = search_curve(
+        &portfolio_matrix,
+        &SearchParams {
+            threads,
+            ..curve_params
+        },
+    );
+    let portfolio_curve_identical = portfolio_curve_serial == portfolio_curve_parallel;
+    assert!(
+        portfolio_scorers_identical,
+        "matrix scorer must agree with the naive oracle bit for bit"
+    );
+    assert_eq!(
+        portfolio_scorer_allocations, 0,
+        "portfolio matrix scorer hot path must not allocate"
+    );
+    assert!(
+        portfolio_matrix_speedup >= 10.0,
+        "matrix-backed evaluation must be >= 10x the naive scorer, got {portfolio_matrix_speedup:.1}x"
+    );
+    assert!(
+        exact3.slowdown.is_finite() && exact3.slowdown >= 1.0 && exact3.configs.len() == 3,
+        "exact k=3 search must return a valid portfolio"
+    );
+    assert!(
+        portfolio_curve_identical,
+        "portfolio curve must be identical at any thread count"
+    );
+    eprintln!(
+        "[portfolio: matrix {portfolio_matrix_pass_seconds:.4}s vs naive {portfolio_naive_pass_seconds:.4}s per pass ({portfolio_matrix_speedup:.1}x), exact k=3 {portfolio_exact_k3_seconds:.3}s, curve identical {portfolio_curve_identical}]"
+    );
+
     // Executor overhead on the many-small-calls regime (304 items per
     // call — one paper-grid pair table per fan-out): the persistent
     // pool vs per-call scoped spawning, identical outputs required.
@@ -687,13 +851,20 @@ fn write_baseline_to(scale: &str, path: &std::path::Path) {
         "chip_sweep_chips_per_second": chip_sweep_chips_per_second,
         "chip_batch_speedup": chip_batch_speedup,
         "chip_batch_identical_to_per_chip": chip_batch_identical,
+        "portfolio_matrix_pass_seconds": portfolio_matrix_pass_seconds,
+        "portfolio_naive_pass_seconds": portfolio_naive_pass_seconds,
+        "portfolio_matrix_speedup": portfolio_matrix_speedup,
+        "portfolio_scorers_identical": portfolio_scorers_identical,
+        "portfolio_scorer_allocations": portfolio_scorer_allocations,
+        "portfolio_exact_k3_seconds": portfolio_exact_k3_seconds,
+        "portfolio_curve_identical": portfolio_curve_identical,
         "par_overhead_calls": par_calls,
         "par_overhead_threads": par_threads,
         "par_pooled_seconds": par_pooled_seconds,
         "par_scoped_seconds": par_scoped_seconds,
         "pool_vs_scoped_speedup": pool_vs_scoped_speedup,
         "par_small_item_ns_per_item": par_small_item_ns_per_item,
-        "regenerate": "cargo bench --bench study_grid (criterion groups: study_grid, cell_pricing_96_configs, study_tracing_overhead, study_metrics_overhead, analysis_pipeline, chip_sweep, par_overhead, interp_vs_bytecode, bytecode_vs_native; then writes this baseline)",
+        "regenerate": "cargo bench --bench study_grid (criterion groups: study_grid, cell_pricing_96_configs, study_tracing_overhead, study_metrics_overhead, analysis_pipeline, chip_sweep, portfolio_search, par_overhead, interp_vs_bytecode, bytecode_vs_native; then writes this baseline)",
     });
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).expect("create baseline directory");
@@ -766,7 +937,8 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(5));
     targets = bench_study_grid, bench_cell_pricing, bench_tracing_overhead,
         bench_metrics_overhead, bench_analysis_pipeline, bench_chip_sweep,
-        bench_par_overhead, bench_interp_vs_bytecode, bench_bytecode_vs_native
+        bench_portfolio_search, bench_par_overhead, bench_interp_vs_bytecode,
+        bench_bytecode_vs_native
 }
 
 fn main() {

@@ -7,14 +7,14 @@ use std::sync::Arc;
 
 use gpp_apps::cache::TraceCache;
 use gpp_apps::study::{run_study, run_study_cached, Dataset, StudyConfig};
-use gpp_apps::sweep::{run_sweep_cached, run_sweep_traced, SweepConfig};
+use gpp_apps::sweep::{price_cloud_cached, run_sweep_cached, run_sweep_traced, SweepConfig};
 use gpp_apps::StudyScale;
 use gpp_core::analysis::{DatasetStats, Decision};
 use gpp_core::report::{percent, ratio, Table};
 use gpp_core::strategy::{build_assignment_par, chip_function_par, Strategy};
 use gpp_core::{
     evaluate_assignment, extremes, heatmap, leave_one_out_par, ranking,
-    subsample_sensitivity_par,
+    subsample_sensitivity_par, Objective, SearchParams, SlowdownMatrix,
 };
 use gpp_graph::{io as graph_io, properties};
 use gpp_irgl::{codegen, interp, parser, programs, transform};
@@ -27,7 +27,7 @@ use gpp_sim::chip::{latin_hypercube_chips, study_chip, study_chips, ChipProfile}
 use gpp_sim::exec::Machine;
 use gpp_sim::memmodel::chip_support;
 use gpp_sim::microbench::{m_divg, sg_cmb, utilisation, LAUNCHES, M_DIVG_ROUNDS, SG_CMB_N};
-use gpp_sim::opts::OptConfig;
+use gpp_sim::opts::{OptConfig, NUM_CONFIGS};
 use gpp_sim::trace::{CompiledTrace, Recorder};
 
 use crate::args::Args;
@@ -55,6 +55,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         "run-dsl" => run_dsl(args, out),
         "sensitivity" => sensitivity_cmd(args, out),
         "sweep" => sweep_cmd(args, out),
+        "portfolio" => portfolio_cmd(args, out),
         "profile" => profile_cmd(args, out),
         "bench-check" => bench_check(args, out),
         "predict" => predict_cmd(args, out),
@@ -92,6 +93,7 @@ fn help(out: &mut dyn Write) -> Result<(), String> {
          run-dsl FILE [--input I] [--chip C] [--opts OPTS] [--tier T]\n                              execute a .irgl program on a simulated chip;\n                              --tier ast|bytecode|native picks the executor\n                              (default native; also: GPP_IRGL_TIER, and --ast\n                              as legacy shorthand for --tier ast)\n  \
          sensitivity [--data FILE] [--trials N] [--threads N]\n                              sample-size sensitivity sweep (Section IX-b)\n  \
          sweep [--chips N] [--chips-file FILE] [--scale S] [--seed N] [--threads N] [--out FILE] [--emit-chips FILE] [--trace-cache DIR] [--per-chip] [--smoke]\n                              price a latin-hypercube chip cloud chip-major against the\n                              trace arena and invert the win/loss boundaries; --chips-file\n                              sweeps an explicit JSON chip list instead; --per-chip forces\n                              the chip-at-a-time oracle (byte-identical output, for CI);\n                              --smoke is a tiny-scale CI preset\n  \
+         portfolio [--data FILE] [--chips-file FILE] [--k N] [--objective geomean|worst] [--exact-max N] [--beam N] [--scale S] [--seed N] [--threads N] [--per-chip] [--out FILE] [--metrics-out FILE] [--smoke]\n                              k-version portfolio search: the portability-cost curve\n                              (best-of-k slowdown vs oracle for k = 1..N) over the study\n                              dataset, exact for k <= --exact-max then beam search;\n                              --chips-file prices a sweep chip cloud instead of the six\n                              study chips; --smoke runs a tiny in-memory study preset\n  \
          predict [--data FILE] [--probes K] [--threads N]\n                              leave-one-out predictive model (Section IX-b)\n  \
          export-csv [--data FILE] [--out FILE]\n                              dataset medians as CSV\n\n\
          --threads 0 (the default) resolves via GPP_STUDY_THREADS (read\n\
@@ -800,6 +802,144 @@ fn sweep_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// k-version portfolio search: build the dense slowdown matrix — from
+/// the study dataset, a tiny in-memory smoke study, or a `gpp sweep`
+/// chip cloud priced through the batched replay path — and print the
+/// portability-cost curve: the best k-version portfolio's slowdown vs
+/// the per-cell oracle for k = 1..=`--k`, exact up to `--exact-max`,
+/// beam search above. The curve is byte-identical at any thread count.
+fn portfolio_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let smoke = args.flag("smoke");
+    let objective = Objective::parse(args.opt("objective").unwrap_or("geomean"))?;
+    let defaults = SearchParams::default();
+    let k_max: usize = args.num("k", if smoke { 4 } else { defaults.k_max })?;
+    let exact_k_max: usize = args.num("exact-max", if smoke { 2 } else { defaults.exact_k_max })?;
+    let beam_width: usize = args.num("beam", defaults.beam_width)?;
+    let threads: usize = args.num("threads", 0usize)?;
+    if !(1..=NUM_CONFIGS).contains(&k_max) {
+        return Err(format!("--k must be in 1..={NUM_CONFIGS}, got {k_max}"));
+    }
+    if exact_k_max < 1 {
+        return Err("--exact-max must be at least 1".into());
+    }
+    if beam_width == 0 {
+        return Err("--beam must be at least 1".into());
+    }
+    // With --metrics-out, the registry records the portfolio.* counters
+    // and the matrix-build histogram; like everywhere else, metrics
+    // only observe — the curve is byte-identical either way.
+    let metrics_out = args.opt("metrics-out");
+    if metrics_out.is_some() {
+        metrics::global().reset();
+        metrics::global().set_enabled(true);
+    }
+    let (matrix, source) = if let Some(file) = args.opt("chips-file") {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let chips: Vec<ChipProfile> =
+            serde_json::from_str(&text).map_err(|e| format!("{file}: {e}"))?;
+        if chips.is_empty() {
+            return Err(format!("{file}: chip list is empty"));
+        }
+        for (i, chip) in chips.iter().enumerate() {
+            chip.validate()
+                .map_err(|e| format!("{file}: chip {i}: {e}"))?;
+        }
+        let scale = match args.opt("scale") {
+            Some(_) => parse_scale(args)?,
+            None if smoke => StudyScale::Tiny,
+            None => StudyScale::Small,
+        };
+        let cfg = SweepConfig {
+            scale,
+            seed: args.num("seed", SweepConfig::default().seed)?,
+            threads,
+            per_chip: args.flag("per-chip"),
+            ..SweepConfig::default()
+        };
+        let cache = match args.opt("trace-cache") {
+            None => None,
+            Some(dir) => Some(TraceCache::new(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?),
+        };
+        let cloud = price_cloud_cached(&cfg, &chips, cache.as_ref());
+        let matrix = SlowdownMatrix::from_cell_times(&cloud.times);
+        let source = format!(
+            "{} cells ({} pairs x {} chips priced from {file})",
+            cloud.times.len(),
+            cloud.times.len() / chips.len(),
+            chips.len()
+        );
+        (Arc::new(matrix), source)
+    } else {
+        let ds = if smoke && args.opt("data").is_none() {
+            run_study(&StudyConfig {
+                threads,
+                ..StudyConfig::tiny()
+            })
+        } else {
+            load_dataset(args)?
+        };
+        let stats = DatasetStats::new(&ds);
+        let matrix = SlowdownMatrix::from_stats(&stats);
+        let source = format!("{} cells from the study dataset", stats.num_cells());
+        (Arc::new(matrix), source)
+    };
+    let params = SearchParams {
+        objective,
+        k_max,
+        exact_k_max,
+        beam_width,
+        threads,
+    };
+    let curve = gpp_core::search_curve(&matrix, &params);
+    w(
+        out,
+        format!(
+            "portability-cost curve over {source}, objective {}",
+            curve.objective
+        ),
+    )?;
+    let mut t = Table::new(["k", "Slowdown", "Search", "Configurations"]);
+    for p in &curve.points {
+        t.row([
+            p.k.to_string(),
+            format!("{:.4}x", p.slowdown),
+            if p.exact { "exact" } else { "beam" }.to_owned(),
+            p.configs.join(" "),
+        ]);
+    }
+    w(out, t)?;
+    w(
+        out,
+        format!(
+            "search: {} candidates evaluated, {} prefixes pruned, {} beam rounds",
+            curve.candidates_evaluated, curve.prefixes_pruned, curve.beam_rounds
+        ),
+    )?;
+    if let Some(path) = args.opt("out") {
+        let text = serde_json::to_string_pretty(&curve).map_err(|e| e.to_string())?;
+        if let Some(dir) = Path::new(path).parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{path}: {e}"))?;
+        }
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        w(out, format!("saved to {path}"))?;
+    }
+    if let Some(path) = metrics_out {
+        let snapshot = metrics::global().snapshot();
+        metrics::global().set_enabled(false);
+        std::fs::write(path, snapshot.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        w(
+            out,
+            format!(
+                "metrics: {} counters, {} gauges, {} histograms written to {path}",
+                snapshot.counters.len(),
+                snapshot.gauges.len(),
+                snapshot.histograms.len()
+            ),
+        )?;
+    }
+    Ok(())
+}
+
 /// Self-profiling wrapper: run a study or sweep workload with the
 /// phase profiler and the metrics registry attached, then print the
 /// aggregated phase tree (total/self wall time, worker utilisation),
@@ -1111,6 +1251,110 @@ mod tests {
         std::fs::write(&file, "[]").unwrap();
         let err = run_cmd(&format!("sweep --smoke --chips-file {}", file.display())).unwrap_err();
         assert!(err.contains("empty"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn portfolio_smoke_curve_is_identical_at_any_thread_count() {
+        let a = run_cmd("portfolio --smoke --threads 1").unwrap();
+        let b = run_cmd("portfolio --smoke --threads 4").unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("portability-cost curve"), "{a}");
+        assert!(a.contains("objective geomean"), "{a}");
+        assert!(a.contains("exact"), "{a}");
+        assert!(a.contains("beam"), "{a}");
+        assert!(a.contains("candidates evaluated"), "{a}");
+    }
+
+    #[test]
+    fn portfolio_worst_objective_and_out_file() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-pf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("curve.json");
+        let text = run_cmd(&format!(
+            "portfolio --smoke --objective worst --k 3 --threads 2 --out {}",
+            file.display()
+        ))
+        .unwrap();
+        assert!(text.contains("objective worst"), "{text}");
+        let curve: gpp_core::PortfolioCurve =
+            serde_json::from_str(&std::fs::read_to_string(&file).unwrap()).unwrap();
+        assert_eq!(curve.objective, "worst");
+        assert_eq!(curve.points.len(), 3);
+        for (i, p) in curve.points.iter().enumerate() {
+            assert_eq!(p.k, i + 1);
+            assert!(p.slowdown >= 1.0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn portfolio_accepts_a_chips_file_and_prices_identically_per_chip() {
+        let dir = std::env::temp_dir().join(format!("gpp-cli-pf-chips-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let chips = dir.join("chips.json");
+        std::fs::write(&chips, serde_json::to_string_pretty(&study_chips()).unwrap()).unwrap();
+        let (batched, oracle) = (dir.join("batched.json"), dir.join("oracle.json"));
+        let a = run_cmd(&format!(
+            "portfolio --smoke --k 3 --threads 2 --chips-file {} --out {}",
+            chips.display(),
+            batched.display()
+        ))
+        .unwrap();
+        let b = run_cmd(&format!(
+            "portfolio --smoke --k 3 --threads 2 --per-chip --chips-file {} --out {}",
+            chips.display(),
+            oracle.display()
+        ))
+        .unwrap();
+        assert!(a.contains("x 6 chips priced from"), "{a}");
+        assert_eq!(a.replace("batched.json", ""), b.replace("oracle.json", ""));
+        assert_eq!(
+            std::fs::read(&batched).unwrap(),
+            std::fs::read(&oracle).unwrap(),
+            "batched and per-chip portfolio curves must match"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn portfolio_rejects_bad_arguments() {
+        assert!(run_cmd("portfolio --smoke --objective median")
+            .unwrap_err()
+            .contains("unknown objective"));
+        assert!(run_cmd("portfolio --smoke --k 0")
+            .unwrap_err()
+            .contains("--k must be"));
+        assert!(run_cmd("portfolio --smoke --k 97")
+            .unwrap_err()
+            .contains("--k must be"));
+        assert!(run_cmd("portfolio --smoke --beam 0")
+            .unwrap_err()
+            .contains("--beam"));
+        assert!(run_cmd("portfolio --smoke --exact-max 0")
+            .unwrap_err()
+            .contains("--exact-max"));
+    }
+
+    #[test]
+    fn portfolio_metrics_out_includes_the_portfolio_family() {
+        let _guard = METRICS_TESTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = std::env::temp_dir().join(format!("gpp-cli-pf-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        let text = run_cmd(&format!(
+            "portfolio --smoke --threads 2 --metrics-out {}",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("metrics:"), "{text}");
+        let snap =
+            gpp_obs::MetricsSnapshot::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(*snap.counters.get("portfolio.candidates_evaluated").unwrap() >= 1);
+        assert!(snap.counters.contains_key("portfolio.prefixes_pruned"));
+        assert!(snap.counters.contains_key("portfolio.beam_rounds"));
+        let hist = snap.histograms.get("portfolio.matrix_build_ns").unwrap();
+        assert!(hist.count >= 1, "histogram count {}", hist.count);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -63,6 +63,11 @@ pub struct DatasetStats<'d> {
     medians: Vec<Vec<f64>>,
     cis: Vec<Vec<Ci95>>,
     best: Vec<OptConfig>,
+    /// Per cell, the median of its oracle configuration — the
+    /// denominator of every slowdown-vs-oracle ratio, memoized so the
+    /// hot evaluation paths do one load instead of an indirected
+    /// best-config lookup per call.
+    oracle: Vec<f64>,
     /// Cell-major memo over [`comparison_pairs`]: `Some(ratio)` when
     /// the pair differs significantly on the cell, `None` otherwise.
     evidence: Vec<Option<f64>>,
@@ -92,6 +97,11 @@ impl<'d> DatasetStats<'d> {
             cis.push(c);
             best.push(cell.best_config());
         }
+        let oracle: Vec<f64> = medians
+            .iter()
+            .zip(&best)
+            .map(|(row, b)| row[b.index()])
+            .collect();
         // Memoize the Algorithm 1 evidence: for every cell and every
         // (setting, mirror) pair, the significance verdict and — when
         // significant — the normalised runtime, computed once here
@@ -110,6 +120,7 @@ impl<'d> DatasetStats<'d> {
             medians,
             cis,
             best,
+            oracle,
             evidence,
         }
     }
@@ -156,6 +167,21 @@ impl<'d> DatasetStats<'d> {
     /// The oracle configuration of `cell` (smallest median).
     pub fn best_config(&self, cell: usize) -> OptConfig {
         self.best[cell]
+    }
+
+    /// Median runtime of `cell` under its oracle configuration —
+    /// bit-identical to `median_of(cell, best_config(cell))`, one load.
+    pub fn oracle_median(&self, cell: usize) -> f64 {
+        self.oracle[cell]
+    }
+
+    /// Slowdown of `config` vs the cell's oracle (≥ 1; 1 = this *is*
+    /// the oracle). The numerator and denominator are the same
+    /// memoized medians the historical per-call expression divided, so
+    /// the ratio is bit-identical to
+    /// `median_of(cell, config) / median_of(cell, best_config(cell))`.
+    pub fn slowdown_vs_oracle(&self, cell: usize, config: OptConfig) -> f64 {
+        self.medians[cell][config.index()] / self.oracle[cell]
     }
 
     /// Whether `a` and `b` differ significantly on `cell` (95% CI).

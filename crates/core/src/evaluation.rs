@@ -9,7 +9,8 @@ use gpp_sim::opts::{all_configs, OptConfig, Optimization};
 use serde::{Deserialize, Serialize};
 
 use crate::analysis::DatasetStats;
-use crate::stats::geomean;
+use crate::portfolio::SlowdownMatrix;
+use crate::stats::{geomean, geomean_iter};
 use crate::strategy::Assignment;
 
 /// Outcome of running a cell under some configuration, relative to the
@@ -85,7 +86,7 @@ pub fn evaluate_assignment(
                 Outcome::NoChange => no_change += 1,
             }
         }
-        vs_oracle.push(stats.median_of(cell, cfg) / stats.median_of(cell, stats.best_config(cell)));
+        vs_oracle.push(stats.slowdown_vs_oracle(cell, cfg));
         vs_baseline.push(stats.speedup(cell, cfg));
     }
     StrategyEvaluation {
@@ -116,49 +117,36 @@ pub struct Heatmap {
     pub row_geomeans: Vec<f64>,
 }
 
-/// Computes the Fig. 1 heatmap.
+/// Computes the Fig. 1 heatmap. Slowdown ratios come from a
+/// [`SlowdownMatrix`] built once over the memoized median tables —
+/// entry (config, cell) is bit-identical to the historical per-pair
+/// `median_of(dst, cfg) / median_of(dst, best_config(dst))` expression
+/// — and every geomean streams through [`geomean_iter`], so the per-
+/// pair loop performs no allocation and no repeated oracle lookups.
 pub fn heatmap(stats: &DatasetStats<'_>) -> Heatmap {
     let ds = stats.dataset();
     let chips = ds.chips.clone();
     let k = chips.len();
+    let slowdowns = SlowdownMatrix::from_stats(stats);
     let mut matrix = vec![vec![0.0f64; k]; k];
     for (from_idx, tuned_for) in chips.iter().enumerate() {
         for (on_idx, run_on) in chips.iter().enumerate() {
-            let mut ratios = Vec::new();
-            for app in &ds.apps {
-                for input in &ds.inputs {
+            matrix[on_idx][from_idx] = geomean_iter(ds.apps.iter().flat_map(|app| {
+                ds.inputs.iter().map(|input| {
                     let src = stats.cell_index(app, input, tuned_for).expect("full grid");
                     let dst = stats.cell_index(app, input, run_on).expect("full grid");
-                    let cfg = stats.best_config(src);
-                    let slowdown =
-                        stats.median_of(dst, cfg) / stats.median_of(dst, stats.best_config(dst));
-                    ratios.push(slowdown);
-                }
-            }
-            matrix[on_idx][from_idx] = geomean(&ratios);
+                    slowdowns.ratio(stats.best_config(src).index(), dst)
+                })
+            }));
         }
     }
     // Column/row geomeans exclude the diagonal (which is 1 by
     // construction), matching the "on all *other* chips" reading.
     let column_geomeans = (0..k)
-        .map(|c| {
-            geomean(
-                &(0..k)
-                    .filter(|&r| r != c)
-                    .map(|r| matrix[r][c])
-                    .collect::<Vec<_>>(),
-            )
-        })
+        .map(|c| geomean_iter((0..k).filter(|&r| r != c).map(|r| matrix[r][c])))
         .collect();
     let row_geomeans = (0..k)
-        .map(|r| {
-            geomean(
-                &(0..k)
-                    .filter(|&c| c != r)
-                    .map(|c| matrix[r][c])
-                    .collect::<Vec<_>>(),
-            )
-        })
+        .map(|r| geomean_iter((0..k).filter(|&c| c != r).map(|c| matrix[r][c])))
         .collect();
     Heatmap {
         chips,
@@ -248,20 +236,22 @@ pub fn ranking(stats: &DatasetStats<'_>) -> Vec<RankedConfig> {
         .filter(|c| !c.is_baseline())
         .map(|config| {
             let (mut slowdowns, mut speedups) = (0, 0);
-            let mut ratios = Vec::with_capacity(n);
             for cell in 0..n {
                 match classify(stats, cell, config) {
                     Outcome::Slowdown => slowdowns += 1,
                     Outcome::Speedup => speedups += 1,
                     Outcome::NoChange => {}
                 }
-                ratios.push(stats.speedup(cell, config));
             }
+            // Streamed straight off the memoized median tables in the
+            // same cell order the historical Vec was pushed —
+            // bit-identical geomean, no per-config allocation.
+            let geomean_speedup = geomean_iter((0..n).map(|cell| stats.speedup(cell, config)));
             RankedConfig {
                 config,
                 slowdowns,
                 speedups,
-                geomean_speedup: geomean(&ratios),
+                geomean_speedup,
             }
         })
         .collect();

@@ -12,6 +12,9 @@
 //! - [`predict`] / [`sensitivity`] — the future-work studies (probe
 //!   prediction, sample-size sensitivity);
 //! - [`evaluation`] — Figures 1–4 and Tables II–IV/IX computations;
+//! - [`portfolio`] — k-version strategy search ("A Few Fit Most"):
+//!   dense slowdown matrix, exact branch-and-bound + seeded beam
+//!   search, and the portability-cost curve (slowdown vs k);
 //! - [`sweep`] — mechanism inversion over a parametric chip sweep:
 //!   per-optimisation win/loss boundaries against the chip axes;
 //!
@@ -45,6 +48,7 @@
 
 pub mod analysis;
 pub mod evaluation;
+pub mod portfolio;
 pub mod predict;
 pub mod report;
 pub mod sensitivity;
@@ -60,6 +64,10 @@ pub use evaluation::{
     classify, evaluate_assignment, extremes, heatmap, improvable, max_geomean_config,
     per_chip_outcomes, ranking, top_speedup_opts, Heatmap, Outcome, RankedConfig,
     StrategyEvaluation,
+};
+pub use portfolio::{
+    exact_search, score_portfolio_naive, search_curve, search_curve_over, CurvePoint, Objective,
+    PortfolioCurve, PortfolioScorer, SearchOutcome, SearchParams, SlowdownMatrix,
 };
 pub use predict::{
     leave_one_out, leave_one_out_par, predict_config, probe_set, PredictionEvaluation,

@@ -1,0 +1,1093 @@
+//! k-version portfolio search: "A Few Fit Most" over the priced grid.
+//!
+//! The paper picks one semi-specialised configuration per partition;
+//! Hochgraf & Pai show that a *small portfolio* of k kernel versions
+//! covers most devices nearly as well as full specialisation. This
+//! module searches for that portfolio: choose k of the 96
+//! configurations minimising the geomean (or worst-case) slowdown
+//! versus the per-cell oracle, for k = 1..8, and emit the
+//! portability-cost curve (slowdown vs k).
+//!
+//! The search is only tractable because the inner evaluation is made
+//! brutally fast. [`SlowdownMatrix`] flattens [`DatasetStats`] into a
+//! dense config-major table of per-cell slowdown-vs-oracle ratios and
+//! their natural logs, built once in a single pass over the memoized
+//! median tables. Scoring one portfolio is then a branch-free
+//! columnwise min-reduce over contiguous rows followed by one
+//! geomean/worst-case fold — no hash lookups, no divisions, and no
+//! per-cell `ln` calls in the hot loop (the logs are precomputed, and
+//! both objectives fold in log space). The naive per-cell
+//! `DatasetStats`-lookup scorer is kept as the differential oracle:
+//! [`score_portfolio_naive`] computes the same chained `f64::min` over
+//! the same `ln` values in the same order, so the two scorers agree
+//! *bit for bit* (asserted in tests and in the `study_grid` bench,
+//! which also enforces the ≥ 10x speedup as `portfolio_matrix_speedup`).
+//!
+//! Search itself is exact for small k — lexicographic enumeration with
+//! branch-and-bound pruning, where the bound folds the current prefix
+//! against elementwise suffix minima (the best possible completion) and
+//! kills a prefix, and everything lexicographically after it, as soon
+//! as even that ideal completion cannot beat the incumbent — and a
+//! seeded beam search above the exact threshold. Both fan out over the
+//! `gpp-par` pooled executor: the exact search by first configuration
+//! with a fixed greedy incumbent per subtree (never a shared racing
+//! best, so pruning decisions do not depend on thread timing), the beam
+//! by pure candidate scoring with a serial sort on a total key. Results
+//! *and* the `portfolio.*` counters are therefore byte-identical at any
+//! thread count.
+
+use std::sync::Arc;
+
+use gpp_obs::metrics;
+use gpp_sim::opts::{OptConfig, NUM_CONFIGS};
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::DatasetStats;
+
+/// How a portfolio is scored across cells (always on slowdown-vs-oracle
+/// ratios, always ≥ 1, 1 = oracle performance everywhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Geometric mean of the per-cell best-version slowdowns.
+    Geomean,
+    /// The single worst per-cell best-version slowdown.
+    Worst,
+}
+
+impl Objective {
+    /// Parses a CLI spelling (`geomean` | `worst`).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "geomean" => Ok(Objective::Geomean),
+            "worst" => Ok(Objective::Worst),
+            other => Err(format!("unknown objective `{other}` (geomean | worst)")),
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Geomean => "geomean",
+            Objective::Worst => "worst",
+        }
+    }
+
+    /// Folds per-cell minimum log-slowdowns into the objective value.
+    ///
+    /// Empty input (a degenerate zero-cell dataset) returns 1.0 — the
+    /// fold's neutral element — instead of letting a 0/0 or an empty
+    /// max propagate NaN into reports; the same guard as
+    /// [`crate::stats::geomean`].
+    #[must_use]
+    pub fn fold_logs(self, min_logs: &[f64]) -> f64 {
+        if min_logs.is_empty() {
+            return 1.0;
+        }
+        match self {
+            Objective::Geomean => {
+                let sum: f64 = min_logs.iter().sum();
+                (sum / min_logs.len() as f64).exp()
+            }
+            Objective::Worst => {
+                let mut worst = f64::NEG_INFINITY;
+                for &v in min_logs {
+                    worst = worst.max(v);
+                }
+                worst.exp()
+            }
+        }
+    }
+}
+
+/// Dense config-major table of per-cell slowdown-vs-oracle ratios.
+///
+/// `ratio(config, cell)` is exactly
+/// `stats.median_of(cell, config) / stats.median_of(cell, best)` — the
+/// same two memoized loads and one divide as the per-cell lookup, so
+/// entries are bit-identical to [`DatasetStats::slowdown_vs_oracle`]
+/// (`f64::to_bits`-asserted in tests). Rows are contiguous per
+/// configuration, which is the layout the search wants: evaluating a
+/// portfolio min-reduces k rows columnwise and folds once. The log
+/// plane stores `ratio.ln()` so neither scorer pays a transcendental
+/// per cell per candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowdownMatrix {
+    num_cells: usize,
+    /// `ratios[config * num_cells + cell]`, ≥ 1.
+    ratios: Vec<f64>,
+    /// `ratios[i].ln()`, ≥ 0 (`ln(1.0)` is +0.0, so chained `f64::min`
+    /// over logs never hits a ±0 ordering ambiguity).
+    logs: Vec<f64>,
+}
+
+impl SlowdownMatrix {
+    /// Flattens a [`DatasetStats`] into the dense matrix in a single
+    /// pass over the memoized median tables. Build time is recorded as
+    /// the `portfolio.matrix_build_ns` histogram.
+    #[must_use]
+    pub fn from_stats(stats: &DatasetStats<'_>) -> Self {
+        let started = metrics::start();
+        let n = stats.num_cells();
+        let mut ratios = vec![0.0f64; NUM_CONFIGS * n];
+        for cell in 0..n {
+            for cfg in 0..NUM_CONFIGS {
+                ratios[cfg * n + cell] = stats.slowdown_vs_oracle(cell, OptConfig::from_index(cfg));
+            }
+        }
+        let logs = ratios.iter().map(|r| r.ln()).collect();
+        metrics::observe_since("portfolio.matrix_build_ns", started);
+        SlowdownMatrix {
+            num_cells: n,
+            ratios,
+            logs,
+        }
+    }
+
+    /// Builds the matrix from raw per-cell, per-configuration times —
+    /// the `gpp sweep` cloud handoff, where a cell is a (pair, chip)
+    /// of the parametric sweep rather than a study cell. Each row must
+    /// hold all 96 configuration times; the cell's oracle is its
+    /// fastest configuration (first minimum on ties, matching
+    /// `best_config`'s scan direction on distinct-time data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row is not exactly 96 entries or any time is not
+    /// strictly positive.
+    #[must_use]
+    pub fn from_cell_times(times: &[Vec<f64>]) -> Self {
+        let started = metrics::start();
+        let n = times.len();
+        let mut ratios = vec![0.0f64; NUM_CONFIGS * n];
+        for (cell, row) in times.iter().enumerate() {
+            assert_eq!(row.len(), NUM_CONFIGS, "cell is missing configurations");
+            let mut oracle = f64::INFINITY;
+            for &t in row {
+                assert!(t > 0.0, "times must be positive, got {t}");
+                oracle = oracle.min(t);
+            }
+            for (cfg, &t) in row.iter().enumerate() {
+                ratios[cfg * n + cell] = t / oracle;
+            }
+        }
+        let logs = ratios.iter().map(|r| r.ln()).collect();
+        metrics::observe_since("portfolio.matrix_build_ns", started);
+        SlowdownMatrix {
+            num_cells: n,
+            ratios,
+            logs,
+        }
+    }
+
+    /// Number of cells (columns).
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.num_cells
+    }
+
+    /// Slowdown of `config` vs the cell's oracle (≥ 1).
+    #[must_use]
+    pub fn ratio(&self, config: usize, cell: usize) -> f64 {
+        self.ratios[config * self.num_cells + cell]
+    }
+
+    /// `ratio(config, cell).ln()`.
+    #[must_use]
+    pub fn log_ratio(&self, config: usize, cell: usize) -> f64 {
+        self.logs[config * self.num_cells + cell]
+    }
+
+    /// The contiguous log-slowdown row of one configuration.
+    #[must_use]
+    pub fn log_row(&self, config: usize) -> &[f64] {
+        &self.logs[config * self.num_cells..(config + 1) * self.num_cells]
+    }
+}
+
+/// Reusable portfolio evaluator over a [`SlowdownMatrix`]: one scratch
+/// row, grown on first use, after which every [`score`](Self::score)
+/// is allocation-free (asserted by a counting-allocator check in the
+/// `study_grid` bench).
+#[derive(Debug)]
+pub struct PortfolioScorer<'m> {
+    matrix: &'m SlowdownMatrix,
+    scratch: Vec<f64>,
+}
+
+impl<'m> PortfolioScorer<'m> {
+    /// A scorer over `matrix`.
+    #[must_use]
+    pub fn new(matrix: &'m SlowdownMatrix) -> Self {
+        PortfolioScorer {
+            matrix,
+            scratch: Vec::with_capacity(matrix.num_cells()),
+        }
+    }
+
+    /// Scores a portfolio of configuration indices: columnwise min over
+    /// the rows, then the objective fold. An empty portfolio cannot run
+    /// anything and scores +∞ (defined, never NaN); zero cells score
+    /// 1.0 per [`Objective::fold_logs`].
+    pub fn score(&mut self, configs: &[usize], objective: Objective) -> f64 {
+        if self.matrix.num_cells == 0 {
+            return 1.0;
+        }
+        let Some((&first, rest)) = configs.split_first() else {
+            return f64::INFINITY;
+        };
+        self.scratch.clear();
+        self.scratch.extend_from_slice(self.matrix.log_row(first));
+        for &cfg in rest {
+            let row = self.matrix.log_row(cfg);
+            for (m, &v) in self.scratch.iter_mut().zip(row) {
+                *m = m.min(v);
+            }
+        }
+        objective.fold_logs(&self.scratch)
+    }
+}
+
+/// The naive differential oracle: scores a portfolio straight off the
+/// per-cell [`DatasetStats`] lookups — per (cell, config) two memoized
+/// loads, a divide, and an `ln` — chaining `f64::min` in the same
+/// config order and folding in the same cell order as
+/// [`PortfolioScorer::score`], so the result is bit-identical while
+/// being an order of magnitude slower (that gap is the
+/// `portfolio_matrix_speedup` bench field).
+#[must_use]
+pub fn score_portfolio_naive(
+    stats: &DatasetStats<'_>,
+    configs: &[usize],
+    objective: Objective,
+) -> f64 {
+    let n = stats.num_cells();
+    if n == 0 {
+        return 1.0;
+    }
+    if configs.is_empty() {
+        return f64::INFINITY;
+    }
+    match objective {
+        Objective::Geomean => {
+            let mut sum = 0.0f64;
+            for cell in 0..n {
+                sum += min_log_slowdown(stats, cell, configs);
+            }
+            (sum / n as f64).exp()
+        }
+        Objective::Worst => {
+            let mut worst = f64::NEG_INFINITY;
+            for cell in 0..n {
+                worst = worst.max(min_log_slowdown(stats, cell, configs));
+            }
+            worst.exp()
+        }
+    }
+}
+
+/// `min` over the portfolio of `ln(slowdown_vs_oracle)` for one cell,
+/// chained in config order exactly as the matrix scorer chains it
+/// (`min(+∞, x)` is `x` for every non-NaN `x`, so seeding with +∞
+/// matches seeding with the first row).
+fn min_log_slowdown(stats: &DatasetStats<'_>, cell: usize, configs: &[usize]) -> f64 {
+    let mut m = f64::INFINITY;
+    for &cfg in configs {
+        m = m.min(stats.slowdown_vs_oracle(cell, OptConfig::from_index(cfg)).ln());
+    }
+    m
+}
+
+/// Parameters of a portfolio search.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchParams {
+    /// Scoring objective.
+    pub objective: Objective,
+    /// Largest portfolio size on the curve.
+    pub k_max: usize,
+    /// Portfolio sizes up to this run the exact branch-and-bound
+    /// search; larger sizes use the seeded beam.
+    pub exact_k_max: usize,
+    /// Beam width above the exact threshold.
+    pub beam_width: usize,
+    /// Worker threads (0 = auto, as everywhere in the pipeline).
+    pub threads: usize,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams {
+            objective: Objective::Geomean,
+            k_max: 8,
+            exact_k_max: 3,
+            beam_width: 64,
+            threads: 0,
+        }
+    }
+}
+
+/// The outcome of one fixed-k search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Objective value (slowdown vs oracle, ≥ 1).
+    pub slowdown: f64,
+    /// Chosen configuration indices, ascending.
+    pub configs: Vec<usize>,
+    /// Whether the value is the exact optimum.
+    pub exact: bool,
+    /// Full portfolios scored by the branch-and-bound leaves.
+    pub candidates_evaluated: u64,
+    /// Enumeration branch points killed by the completion bound.
+    pub prefixes_pruned: u64,
+}
+
+/// One point of the portability-cost curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Portfolio size.
+    pub k: usize,
+    /// Objective value (slowdown vs oracle, ≥ 1).
+    pub slowdown: f64,
+    /// Whether this point is an exact optimum (vs beam search).
+    pub exact: bool,
+    /// Chosen configuration indices, ascending.
+    pub config_indices: Vec<usize>,
+    /// Human-readable configuration names, same order.
+    pub configs: Vec<String>,
+}
+
+/// The portability-cost curve: objective vs k, plus the search-effort
+/// counters (also exported as `portfolio.*` metrics).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortfolioCurve {
+    /// Objective name (`geomean` | `worst`).
+    pub objective: String,
+    /// Number of cells scored.
+    pub num_cells: usize,
+    /// One point per k, k ascending from 1.
+    pub points: Vec<CurvePoint>,
+    /// Total full portfolios scored by exact search.
+    pub candidates_evaluated: u64,
+    /// Total branch points pruned by the completion bound.
+    pub prefixes_pruned: u64,
+    /// Beam expansion rounds run.
+    pub beam_rounds: u64,
+}
+
+/// Elementwise suffix minima of the allowed log rows: `suffix[j]` is
+/// the columnwise min over allowed positions `j..`, i.e. the best any
+/// completion drawing from position j onward could possibly reach.
+fn suffix_minima(matrix: &SlowdownMatrix, allowed: &[usize]) -> Vec<f64> {
+    let n = matrix.num_cells();
+    let m = allowed.len();
+    let mut suffix = vec![f64::INFINITY; (m + 1) * n];
+    for j in (0..m).rev() {
+        let row = matrix.log_row(allowed[j]);
+        let (cur, next) = suffix[j * n..(j + 2) * n].split_at_mut(n);
+        for ((c, &nx), &r) in cur.iter_mut().zip(next.iter()).zip(row) {
+            *c = nx.min(r);
+        }
+    }
+    suffix
+}
+
+/// Folds `objective` over `min(a[i], b[i])` without materialising the
+/// min row — the branch-and-bound completion bound.
+fn fold_min2(objective: Objective, a: &[f64], b: &[f64], n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    match objective {
+        Objective::Geomean => {
+            let mut sum = 0.0f64;
+            for (&x, &y) in a.iter().zip(b) {
+                sum += x.min(y);
+            }
+            (sum / n as f64).exp()
+        }
+        Objective::Worst => {
+            let mut worst = f64::NEG_INFINITY;
+            for (&x, &y) in a.iter().zip(b) {
+                worst = worst.max(x.min(y));
+            }
+            worst.exp()
+        }
+    }
+}
+
+/// Greedy forward selection: the deterministic incumbent that seeds
+/// every branch-and-bound subtree. Ties break to the lowest position.
+fn greedy_portfolio(
+    matrix: &SlowdownMatrix,
+    allowed: &[usize],
+    k: usize,
+    objective: Objective,
+) -> (f64, Vec<usize>) {
+    let n = matrix.num_cells();
+    let mut mins = vec![f64::INFINITY; n];
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut best: Option<(f64, usize)> = None;
+        for (pos, &cfg) in allowed.iter().enumerate() {
+            if chosen.contains(&pos) {
+                continue;
+            }
+            let obj = fold_min2(objective, &mins, matrix.log_row(cfg), n);
+            if best.is_none_or(|(b, _)| obj < b) {
+                best = Some((obj, pos));
+            }
+        }
+        let (_, pos) = best.expect("k <= allowed.len()");
+        for (m, &v) in mins.iter_mut().zip(matrix.log_row(allowed[pos])) {
+            *m = m.min(v);
+        }
+        chosen.push(pos);
+    }
+    chosen.sort_unstable();
+    (objective.fold_logs(&mins), chosen)
+}
+
+/// Per-subtree depth-first state of the exact search.
+struct Dfs<'a> {
+    matrix: &'a SlowdownMatrix,
+    allowed: &'a [usize],
+    suffix: &'a [f64],
+    objective: Objective,
+    k: usize,
+    /// Incumbent objective: the greedy seed, improved only by this
+    /// subtree's own strictly better finds — never a racing shared
+    /// best, so pruning is identical at any thread count.
+    best_obj: f64,
+    best: Option<Vec<usize>>,
+    evaluated: u64,
+    pruned: u64,
+    /// `k` stacked min rows of `num_cells` each; depth d's prefix
+    /// minima live in row d-1.
+    mins_stack: Vec<f64>,
+    chosen: Vec<usize>,
+}
+
+impl Dfs<'_> {
+    fn prefix_mins(&self, depth: usize) -> &[f64] {
+        let n = self.matrix.num_cells();
+        if depth == 0 {
+            // Depth 0 has no prefix; the +∞ tail of `suffix` is a
+            // ready-made all-infinite row of the right length.
+            &self.suffix[self.allowed.len() * n..]
+        } else {
+            &self.mins_stack[(depth - 1) * n..depth * n]
+        }
+    }
+
+    /// Explores portfolios extending the current prefix with positions
+    /// from `start` onward. The completion bound is monotone in the
+    /// position (later suffixes cover fewer rows), so the first bound
+    /// at or above the incumbent kills every remaining branch point.
+    fn run(&mut self, depth: usize, start: usize) {
+        let n = self.matrix.num_cells();
+        let remaining = self.k - depth;
+        if remaining == 0 {
+            let obj = self.objective.fold_logs(self.prefix_mins(depth));
+            self.evaluated += 1;
+            if obj < self.best_obj {
+                self.best_obj = obj;
+                self.best = Some(self.chosen.clone());
+            }
+            return;
+        }
+        let last_start = self.allowed.len() - remaining;
+        for pos in start..=last_start {
+            let bound = fold_min2(
+                self.objective,
+                self.prefix_mins(depth),
+                &self.suffix[pos * n..(pos + 1) * n],
+                n,
+            );
+            if bound >= self.best_obj {
+                self.pruned += (last_start - pos + 1) as u64;
+                return;
+            }
+            let row = self.matrix.log_row(self.allowed[pos]);
+            {
+                let (prefix, rest) = self.mins_stack.split_at_mut(depth * n);
+                let child = &mut rest[..n];
+                if depth == 0 {
+                    child.copy_from_slice(row);
+                } else {
+                    let parent = &prefix[(depth - 1) * n..];
+                    for ((c, &p), &r) in child.iter_mut().zip(parent).zip(row) {
+                        *c = p.min(r);
+                    }
+                }
+            }
+            self.chosen.push(pos);
+            self.run(depth + 1, pos + 1);
+            self.chosen.pop();
+        }
+    }
+}
+
+/// Exact k-portfolio search over `allowed` configuration indices:
+/// lexicographic enumeration with branch-and-bound pruning, fanned
+/// over the pooled executor by first position. Returns the optimum
+/// objective and a deterministic argmin (the greedy seed when nothing
+/// beats it, otherwise the first strictly improving portfolio in
+/// subtree-then-DFS order). Results and counters are byte-identical at
+/// any thread count.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds `allowed.len()`, or if `allowed`
+/// is not strictly ascending.
+#[must_use]
+pub fn exact_search(
+    matrix: &Arc<SlowdownMatrix>,
+    allowed: &[usize],
+    k: usize,
+    objective: Objective,
+    threads: usize,
+) -> SearchOutcome {
+    assert!(k >= 1 && k <= allowed.len(), "k must be in 1..=allowed.len()");
+    assert!(
+        allowed.windows(2).all(|w| w[0] < w[1]),
+        "allowed configuration indices must be strictly ascending"
+    );
+    let threads = gpp_par::effective_threads(threads);
+    let (seed_obj, seed_positions) = greedy_portfolio(matrix, allowed, k, objective);
+    let suffix = Arc::new(suffix_minima(matrix, allowed));
+    let allowed_arc: Arc<Vec<usize>> = Arc::new(allowed.to_vec());
+    let first_positions: Arc<Vec<usize>> = Arc::new((0..=allowed.len() - k).collect());
+
+    let matrix_task = Arc::clone(matrix);
+    let suffix_task = Arc::clone(&suffix);
+    let allowed_task = Arc::clone(&allowed_arc);
+    let results = gpp_par::par_map_pooled(&first_positions, threads, move |_, &p0| {
+        let n = matrix_task.num_cells();
+        let mut dfs = Dfs {
+            matrix: &matrix_task,
+            allowed: &allowed_task,
+            suffix: &suffix_task,
+            objective,
+            k,
+            best_obj: seed_obj,
+            best: None,
+            evaluated: 0,
+            pruned: 0,
+            mins_stack: vec![0.0f64; k * n],
+            chosen: Vec::with_capacity(k),
+        };
+        // Root bound for this subtree: can any portfolio drawing from
+        // p0 onward beat the seed at all?
+        let bound = fold_min2(
+            objective,
+            dfs.prefix_mins(0),
+            &dfs.suffix[p0 * n..(p0 + 1) * n],
+            n,
+        );
+        if bound >= dfs.best_obj {
+            dfs.pruned += 1;
+        } else {
+            dfs.chosen.push(p0);
+            let row = dfs.matrix.log_row(dfs.allowed[p0]);
+            dfs.mins_stack[..n].copy_from_slice(row);
+            dfs.run(1, p0 + 1);
+        }
+        (dfs.best_obj, dfs.best, dfs.evaluated, dfs.pruned)
+    });
+
+    // Serial reduction in first-position order: strict improvement
+    // only, so ties keep the earliest subtree (and the greedy seed
+    // when nothing beats it) — deterministic regardless of which
+    // worker finished first.
+    let mut best_obj = seed_obj;
+    let mut best_positions = seed_positions;
+    let (mut evaluated, mut pruned) = (0u64, 0u64);
+    for (obj, positions, e, p) in results {
+        evaluated += e;
+        pruned += p;
+        if let Some(positions) = positions {
+            if obj < best_obj {
+                best_obj = obj;
+                best_positions = positions;
+            }
+        }
+    }
+    SearchOutcome {
+        slowdown: best_obj,
+        configs: best_positions.iter().map(|&p| allowed[p]).collect(),
+        exact: true,
+        candidates_evaluated: evaluated,
+        prefixes_pruned: pruned,
+    }
+}
+
+/// One beam state: an ascending set of allowed-positions with its
+/// cached columnwise min row and objective value.
+#[derive(Debug, Clone)]
+struct BeamState {
+    positions: Vec<usize>,
+    mins: Vec<f64>,
+    obj: f64,
+}
+
+/// The canonical (sorted ascending) position set of a parent extended
+/// by `p` — the dedup and tie-break key of the beam sort.
+fn child_key(parent: &[usize], p: usize) -> Vec<usize> {
+    let at = parent.partition_point(|&q| q < p);
+    let mut key = Vec::with_capacity(parent.len() + 1);
+    key.extend_from_slice(&parent[..at]);
+    key.push(p);
+    key.extend_from_slice(&parent[at..]);
+    key
+}
+
+/// Expands `beam` by one position per state — every position not
+/// already in the state, so a beam can never dead-end — scores every
+/// child on the pooled executor, and keeps the `width` best distinct
+/// sets under the total (objective, canonical position set) order.
+/// Identical sets reached through different parents score identically
+/// bit for bit (all log values are ≥ +0.0, so chained `f64::min` is
+/// order-independent at the bit level) and are deduplicated on the
+/// canonical key, so the result does not depend on scoring order.
+fn beam_step(
+    matrix: &Arc<SlowdownMatrix>,
+    allowed: &Arc<Vec<usize>>,
+    beam: &[BeamState],
+    objective: Objective,
+    width: usize,
+    threads: usize,
+) -> Vec<BeamState> {
+    let n = matrix.num_cells();
+    let m = allowed.len();
+    let parents: Arc<Vec<Vec<f64>>> = Arc::new(beam.iter().map(|s| s.mins.clone()).collect());
+    let children: Arc<Vec<(usize, usize)>> = Arc::new(
+        beam.iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                (0..m)
+                    .filter(move |p| !s.positions.contains(p))
+                    .map(move |p| (i, p))
+            })
+            .collect(),
+    );
+    let matrix_task = Arc::clone(matrix);
+    let allowed_task = Arc::clone(allowed);
+    let parents_task = Arc::clone(&parents);
+    let scored: Vec<f64> = gpp_par::par_map_pooled(&children, threads, move |_, &(i, p)| {
+        fold_min2(
+            objective,
+            &parents_task[i],
+            matrix_task.log_row(allowed_task[p]),
+            n,
+        )
+    });
+
+    // Serial selection on the total key: objective, then the child's
+    // canonical position set — independent of scoring order.
+    let keys: Vec<Vec<usize>> = children
+        .iter()
+        .map(|&(i, p)| child_key(&beam[i].positions, p))
+        .collect();
+    let mut order: Vec<usize> = (0..children.len()).collect();
+    order.sort_unstable_by(|&x, &y| {
+        scored[x]
+            .partial_cmp(&scored[y])
+            .expect("finite objective")
+            .then_with(|| keys[x].cmp(&keys[y]))
+    });
+    let mut next: Vec<BeamState> = Vec::with_capacity(width);
+    for c in order {
+        if next.len() == width {
+            break;
+        }
+        if next.iter().any(|s| s.positions == keys[c]) {
+            continue;
+        }
+        let (i, p) = children[c];
+        let mut mins = beam[i].mins.clone();
+        for (mv, &v) in mins.iter_mut().zip(matrix.log_row(allowed[p])) {
+            *mv = mv.min(v);
+        }
+        next.push(BeamState {
+            positions: keys[c].clone(),
+            mins,
+            obj: scored[c],
+        });
+    }
+    next
+}
+
+/// Searches the full portability-cost curve for k = 1..=`k_max`: exact
+/// branch-and-bound up to `exact_k_max`, then beam search over a
+/// frontier grown from the singleton level with every exact optimum
+/// injected. Emits the `portfolio.candidates_evaluated`,
+/// `portfolio.prefixes_pruned`, and `portfolio.beam_rounds` counters.
+/// The curve — values, configurations, and counters — is byte-identical
+/// at any thread count.
+///
+/// # Panics
+///
+/// Panics if `k_max` is zero or exceeds the configuration count, or if
+/// `beam_width` is zero while the curve extends past `exact_k_max`.
+#[must_use]
+pub fn search_curve(matrix: &Arc<SlowdownMatrix>, params: &SearchParams) -> PortfolioCurve {
+    let allowed: Vec<usize> = (0..NUM_CONFIGS).collect();
+    search_curve_over(matrix, &allowed, params)
+}
+
+/// [`search_curve`] restricted to a subset of configuration indices
+/// (strictly ascending) — the entry point the subsampled-grid property
+/// tests use.
+///
+/// # Panics
+///
+/// Panics as [`search_curve`] does.
+#[must_use]
+pub fn search_curve_over(
+    matrix: &Arc<SlowdownMatrix>,
+    allowed: &[usize],
+    params: &SearchParams,
+) -> PortfolioCurve {
+    assert!(
+        params.k_max >= 1 && params.k_max <= allowed.len(),
+        "k_max must be in 1..=allowed.len()"
+    );
+    let threads = gpp_par::effective_threads(params.threads);
+    let exact_k_max = params.exact_k_max.max(1);
+    let allowed_arc: Arc<Vec<usize>> = Arc::new(allowed.to_vec());
+    let use_beam = params.k_max > exact_k_max;
+    if use_beam {
+        assert!(params.beam_width >= 1, "beam width must be >= 1");
+    }
+    let n = matrix.num_cells();
+    let mut points = Vec::with_capacity(params.k_max);
+    let (mut evaluated, mut pruned, mut rounds) = (0u64, 0u64, 0u64);
+    // The beam frontier is grown from level 1 (all singletons) even
+    // through the exact levels, so that by the time the curve leaves
+    // the exact regime it holds a diverse width-best population rather
+    // than a single seed that could fail to improve. Each exact
+    // optimum is additionally injected into the frontier, which keeps
+    // the beam at least as good as the exact prefix it extends.
+    let mut beam: Vec<BeamState> = Vec::new();
+    for k in 1..=params.k_max {
+        if use_beam {
+            if k == 1 {
+                beam = (0..allowed.len())
+                    .map(|p| {
+                        let mins = matrix.log_row(allowed[p]).to_vec();
+                        let obj = params.objective.fold_logs(&mins);
+                        BeamState {
+                            positions: vec![p],
+                            mins,
+                            obj,
+                        }
+                    })
+                    .collect();
+                beam.sort_unstable_by(|a, b| {
+                    a.obj
+                        .partial_cmp(&b.obj)
+                        .expect("finite objective")
+                        .then_with(|| a.positions.cmp(&b.positions))
+                });
+                beam.truncate(params.beam_width);
+            } else {
+                beam = beam_step(
+                    matrix,
+                    &allowed_arc,
+                    &beam,
+                    params.objective,
+                    params.beam_width,
+                    threads,
+                );
+                rounds += 1;
+            }
+        }
+        if k <= exact_k_max {
+            let outcome = exact_search(matrix, allowed, k, params.objective, threads);
+            evaluated += outcome.candidates_evaluated;
+            pruned += outcome.prefixes_pruned;
+            if use_beam {
+                let positions: Vec<usize> = outcome
+                    .configs
+                    .iter()
+                    .map(|c| allowed.binary_search(c).expect("own configs"))
+                    .collect();
+                if !beam.iter().any(|s| s.positions == positions) {
+                    let mut mins = vec![f64::INFINITY; n];
+                    for &p in &positions {
+                        for (m, &v) in mins.iter_mut().zip(matrix.log_row(allowed[p])) {
+                            *m = m.min(v);
+                        }
+                    }
+                    beam.push(BeamState {
+                        positions,
+                        mins,
+                        obj: outcome.slowdown,
+                    });
+                    beam.sort_unstable_by(|a, b| {
+                        a.obj
+                            .partial_cmp(&b.obj)
+                            .expect("finite objective")
+                            .then_with(|| a.positions.cmp(&b.positions))
+                    });
+                    beam.truncate(params.beam_width);
+                }
+            }
+            points.push(curve_point(k, outcome.slowdown, true, &outcome.configs));
+        } else {
+            let best = beam.first().expect("beam never empties while k <= allowed");
+            let configs: Vec<usize> = best.positions.iter().map(|&p| allowed[p]).collect();
+            points.push(curve_point(k, best.obj, false, &configs));
+        }
+    }
+    metrics::counter("portfolio.candidates_evaluated", evaluated);
+    metrics::counter("portfolio.prefixes_pruned", pruned);
+    metrics::counter("portfolio.beam_rounds", rounds);
+    PortfolioCurve {
+        objective: params.objective.name().to_owned(),
+        num_cells: matrix.num_cells(),
+        points,
+        candidates_evaluated: evaluated,
+        prefixes_pruned: pruned,
+        beam_rounds: rounds,
+    }
+}
+
+fn curve_point(k: usize, slowdown: f64, exact: bool, configs: &[usize]) -> CurvePoint {
+    CurvePoint {
+        k,
+        slowdown,
+        exact,
+        config_indices: configs.to_vec(),
+        configs: configs
+            .iter()
+            .map(|&c| OptConfig::from_index(c).to_string())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_apps::study::{run_study, Dataset, StudyConfig};
+    use std::sync::OnceLock;
+
+    fn tiny() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| run_study(&StudyConfig::tiny()))
+    }
+
+    fn tiny_matrix() -> (DatasetStats<'static>, Arc<SlowdownMatrix>) {
+        let stats = DatasetStats::new(tiny());
+        let matrix = Arc::new(SlowdownMatrix::from_stats(&stats));
+        (stats, matrix)
+    }
+
+    #[test]
+    fn matrix_entries_bit_identical_to_stats_lookups() {
+        let (stats, matrix) = tiny_matrix();
+        assert_eq!(matrix.num_cells(), stats.num_cells());
+        for cell in (0..stats.num_cells()).step_by(17) {
+            for cfg in (0..NUM_CONFIGS).step_by(7) {
+                let direct = stats.slowdown_vs_oracle(cell, OptConfig::from_index(cfg));
+                assert_eq!(
+                    matrix.ratio(cfg, cell).to_bits(),
+                    direct.to_bits(),
+                    "cell {cell} cfg {cfg}"
+                );
+                assert_eq!(
+                    matrix.log_ratio(cfg, cell).to_bits(),
+                    direct.ln().to_bits(),
+                    "log cell {cell} cfg {cfg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_scorer_bit_identical_to_naive_oracle() {
+        let (stats, matrix) = tiny_matrix();
+        let mut scorer = PortfolioScorer::new(&matrix);
+        let portfolios: [&[usize]; 5] = [&[0], &[0, 95], &[3, 17, 41], &[5, 6, 7, 8], &[12]];
+        for objective in [Objective::Geomean, Objective::Worst] {
+            for configs in portfolios {
+                let fast = scorer.score(configs, objective);
+                let naive = score_portfolio_naive(&stats, configs, objective);
+                assert_eq!(fast.to_bits(), naive.to_bits(), "{objective:?} {configs:?}");
+                assert!(fast >= 1.0 - 1e-12, "{fast}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_portfolio_and_empty_matrix_are_defined() {
+        let (stats, matrix) = tiny_matrix();
+        let mut scorer = PortfolioScorer::new(&matrix);
+        for objective in [Objective::Geomean, Objective::Worst] {
+            assert_eq!(scorer.score(&[], objective), f64::INFINITY);
+            assert_eq!(score_portfolio_naive(&stats, &[], objective), f64::INFINITY);
+            assert_eq!(objective.fold_logs(&[]), 1.0);
+        }
+        let empty = SlowdownMatrix::from_cell_times(&[]);
+        let mut empty_scorer = PortfolioScorer::new(&empty);
+        assert_eq!(empty_scorer.score(&[1, 2], Objective::Geomean), 1.0);
+    }
+
+    #[test]
+    fn oracle_containing_portfolio_scores_one_on_covered_cells() {
+        // A portfolio of every config is the oracle everywhere: min
+        // ratio per cell is exactly 1, both objectives give 1.
+        let (_, matrix) = tiny_matrix();
+        let all: Vec<usize> = (0..NUM_CONFIGS).collect();
+        let mut scorer = PortfolioScorer::new(&matrix);
+        for objective in [Objective::Geomean, Objective::Worst] {
+            let v = scorer.score(&all, objective);
+            assert!((v - 1.0).abs() < 1e-12, "{objective:?}: {v}");
+        }
+    }
+
+    #[test]
+    fn exact_search_beats_or_equals_every_singleton_and_shrinks_with_k() {
+        let (_, matrix) = tiny_matrix();
+        let allowed: Vec<usize> = (0..NUM_CONFIGS).collect();
+        let mut prev = f64::INFINITY;
+        for k in 1..=3 {
+            let r = exact_search(&matrix, &allowed, k, Objective::Geomean, 1);
+            assert_eq!(r.configs.len(), k);
+            assert!(r.configs.windows(2).all(|w| w[0] < w[1]));
+            assert!(r.slowdown <= prev + 1e-15, "k={k}: {} > {prev}", r.slowdown);
+            prev = r.slowdown;
+        }
+    }
+
+    #[test]
+    fn exact_search_matches_brute_force_k2_subset() {
+        let (_, matrix) = tiny_matrix();
+        let allowed: Vec<usize> = (0..NUM_CONFIGS).step_by(9).collect();
+        for objective in [Objective::Geomean, Objective::Worst] {
+            let exact = exact_search(&matrix, &allowed, 2, objective, 1);
+            let mut scorer = PortfolioScorer::new(&matrix);
+            let mut best = f64::INFINITY;
+            for i in 0..allowed.len() {
+                for j in i + 1..allowed.len() {
+                    best = best.min(scorer.score(&[allowed[i], allowed[j]], objective));
+                }
+            }
+            assert_eq!(exact.slowdown.to_bits(), best.to_bits(), "{objective:?}");
+            assert_eq!(
+                scorer.score(&exact.configs, objective).to_bits(),
+                exact.slowdown.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_search_is_identical_at_any_thread_count() {
+        let (_, matrix) = tiny_matrix();
+        let allowed: Vec<usize> = (0..NUM_CONFIGS).collect();
+        let serial = exact_search(&matrix, &allowed, 3, Objective::Geomean, 1);
+        for threads in [2, 4, 8] {
+            let par = exact_search(&matrix, &allowed, 3, Objective::Geomean, threads);
+            assert_eq!(serial, par, "threads={threads}");
+        }
+        assert!(serial.candidates_evaluated > 0);
+    }
+
+    #[test]
+    fn curve_is_monotone_exact_flagged_and_thread_invariant() {
+        let (_, matrix) = tiny_matrix();
+        let params = SearchParams {
+            k_max: 5,
+            exact_k_max: 2,
+            beam_width: 8,
+            threads: 1,
+            ..SearchParams::default()
+        };
+        let curve = search_curve(&matrix, &params);
+        assert_eq!(curve.points.len(), 5);
+        for (i, p) in curve.points.iter().enumerate() {
+            assert_eq!(p.k, i + 1);
+            assert_eq!(p.exact, p.k <= 2);
+            assert_eq!(p.config_indices.len(), p.k);
+            assert_eq!(p.configs.len(), p.k);
+            if i > 0 {
+                assert!(
+                    p.slowdown <= curve.points[i - 1].slowdown + 1e-12,
+                    "k={} got worse",
+                    p.k
+                );
+            }
+        }
+        // One beam expansion per level past the singleton frontier.
+        assert_eq!(curve.beam_rounds, 4);
+        for threads in [2, 4, 8] {
+            let par = search_curve(
+                &matrix,
+                &SearchParams {
+                    threads,
+                    ..params
+                },
+            );
+            assert_eq!(curve, par, "threads={threads}");
+            for (a, b) in curve.points.iter().zip(&par.points) {
+                assert_eq!(a.slowdown.to_bits(), b.slowdown.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn beam_matches_exact_when_wide_enough() {
+        // With a beam as wide as the candidate space, beam search at
+        // k = exact+1 must find the same objective as exact search.
+        let (_, matrix) = tiny_matrix();
+        let allowed: Vec<usize> = (0..NUM_CONFIGS).step_by(12).collect();
+        let params = SearchParams {
+            k_max: 3,
+            exact_k_max: 2,
+            beam_width: 4096,
+            threads: 1,
+            ..SearchParams::default()
+        };
+        let curve = search_curve_over(&matrix, &allowed, &params);
+        let exact = exact_search(&matrix, &allowed, 3, Objective::Geomean, 1);
+        let beam_point = &curve.points[2];
+        assert!(!beam_point.exact);
+        // The frontier is grown from every singleton, so with a width
+        // that exceeds the candidate space the beam has retained every
+        // 2-set at k=2 and scored every 3-set at k=3 — it must land on
+        // the exact optimum's objective, bit for bit.
+        assert_eq!(beam_point.slowdown.to_bits(), exact.slowdown.to_bits());
+        assert!(beam_point.slowdown <= curve.points[1].slowdown + 1e-15);
+    }
+
+    #[test]
+    fn from_cell_times_normalises_to_own_oracle() {
+        let mut rows = Vec::new();
+        for cell in 0..4 {
+            let row: Vec<f64> = (0..NUM_CONFIGS)
+                .map(|c| 10.0 + ((c * 7 + cell * 13) % 17) as f64)
+                .collect();
+            rows.push(row);
+        }
+        let matrix = SlowdownMatrix::from_cell_times(&rows);
+        assert_eq!(matrix.num_cells(), 4);
+        for (cell, row) in rows.iter().enumerate() {
+            let min = row.iter().copied().fold(f64::INFINITY, f64::min);
+            let mut saw_one = false;
+            for (cfg, &time) in row.iter().enumerate() {
+                let r = matrix.ratio(cfg, cell);
+                assert!(r >= 1.0, "{r}");
+                assert_eq!(r.to_bits(), (time / min).to_bits());
+                saw_one |= r == 1.0;
+            }
+            assert!(saw_one, "every cell has an oracle ratio of 1");
+        }
+    }
+
+    #[test]
+    fn objective_parse_round_trips() {
+        assert_eq!(Objective::parse("geomean"), Ok(Objective::Geomean));
+        assert_eq!(Objective::parse("worst"), Ok(Objective::Worst));
+        assert!(Objective::parse("median").is_err());
+        assert_eq!(Objective::Worst.name(), "worst");
+    }
+}

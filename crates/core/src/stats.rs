@@ -21,21 +21,40 @@ pub fn median(values: &[f64]) -> f64 {
     v[v.len() / 2]
 }
 
-/// Geometric mean of strictly positive values.
+/// Geometric mean of strictly positive values. An empty sample returns
+/// 1.0 — the fold's neutral element — so degenerate datasets (zero
+/// cells, zero chips) produce a defined report value instead of a
+/// panic or a NaN.
 ///
 /// # Panics
 ///
-/// Panics if `values` is empty or any value is not positive.
+/// Panics if any value is not positive.
 pub fn geomean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "geomean of empty sample");
-    let log_sum: f64 = values
-        .iter()
-        .map(|&v| {
-            assert!(v > 0.0, "geomean requires positive values, got {v}");
-            v.ln()
-        })
-        .sum();
-    (log_sum / values.len() as f64).exp()
+    geomean_iter(values.iter().copied())
+}
+
+/// Streaming [`geomean`]: the identical fold — a sequential sum of
+/// `ln` values in iteration order, one divide, one `exp` — without
+/// materialising a slice, so hot paths can feed ratios straight from
+/// memoized tables with zero per-call allocation. Bit-identical to
+/// collecting into a `Vec` and calling [`geomean`]. Empty input
+/// returns 1.0.
+///
+/// # Panics
+///
+/// Panics if any value is not positive.
+pub fn geomean_iter<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut log_sum = 0.0f64;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geomean requires positive values, got {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 1.0;
+    }
+    (log_sum / n as f64).exp()
 }
 
 /// A 95% confidence interval for the mean of a small sample, using the
@@ -242,6 +261,25 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn geomean_rejects_nonpositive() {
         geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn geomean_empty_is_one() {
+        assert_eq!(geomean(&[]), 1.0);
+        assert_eq!(geomean_iter(std::iter::empty::<f64>()), 1.0);
+    }
+
+    #[test]
+    fn geomean_iter_bit_identical_to_slice() {
+        let values = [1.0, 4.0, 0.25, 3.7, 9.125, 0.001];
+        for len in 1..=values.len() {
+            let slice = &values[..len];
+            assert_eq!(
+                geomean(slice).to_bits(),
+                geomean_iter(slice.iter().copied()).to_bits(),
+                "len {len}"
+            );
+        }
     }
 
     #[test]

@@ -38,6 +38,17 @@
 //! tier actually ran), `irgl.programs_compiled` (bytecode lowerings),
 //! and `irgl.native_kernels_compiled` (kernels fused to closures; both
 //! stay flat across runs under compile-once-run-many).
+//!
+//! The `portfolio.*` family attributes the k-version strategy search:
+//! `portfolio.matrix_build_ns` (histogram — one observation per dense
+//! slowdown-matrix build from memoized dataset statistics),
+//! `portfolio.candidates_evaluated` (complete portfolios scored by the
+//! exact branch-and-bound), `portfolio.prefixes_pruned` (search-tree
+//! branch points eliminated by the suffix-minima completion bound —
+//! pruned plus evaluated accounts for the whole enumeration), and
+//! `portfolio.beam_rounds` (beam expansion levels above the exact
+//! threshold). All are byte-identical at any thread count, like the
+//! curve itself.
 
 use std::cell::RefCell;
 use std::collections::HashMap;

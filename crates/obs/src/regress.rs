@@ -225,6 +225,25 @@ mod tests {
             direction_of("parallel_identical_to_serial"),
             Direction::MustHold
         );
+        // The portfolio-engine fields: the committed matrix-vs-naive
+        // speedup floor is guarded upward, the exact-search budget
+        // downward, and curve thread-invariance must hold.
+        assert_eq!(
+            direction_of("portfolio_matrix_speedup"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_of("portfolio_exact_k3_seconds"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction_of("portfolio_curve_identical"),
+            Direction::MustHold
+        );
+        assert_eq!(
+            direction_of("portfolio_scorers_identical"),
+            Direction::MustHold
+        );
         assert_eq!(direction_of("grid.apps"), Direction::Informational);
     }
 

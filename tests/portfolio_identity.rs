@@ -1,0 +1,242 @@
+//! The portfolio engine's three load-bearing invariants, end to end:
+//! the dense [`SlowdownMatrix`] is bit-identical to per-cell
+//! `DatasetStats` lookups, the branch-and-bound exact search matches
+//! brute-force enumeration for every small k, and the full
+//! portability-cost curve — values, configurations, and search
+//! counters — serialises byte-identically at any thread count.
+//!
+//! [`SlowdownMatrix`]: gpp::core::portfolio::SlowdownMatrix
+
+use std::sync::{Arc, OnceLock};
+
+use gpp::apps::study::{run_study, StudyConfig};
+use gpp::core::analysis::DatasetStats;
+use gpp::core::portfolio::{
+    exact_search, score_portfolio_naive, search_curve, search_curve_over, Objective, SearchParams,
+    SlowdownMatrix,
+};
+use gpp::sim::opts::{OptConfig, NUM_CONFIGS};
+use proptest::prelude::*;
+
+fn tiny() -> &'static gpp::apps::study::Dataset {
+    static DS: OnceLock<gpp::apps::study::Dataset> = OnceLock::new();
+    DS.get_or_init(|| run_study(&StudyConfig::tiny()))
+}
+
+fn tiny_matrix() -> Arc<SlowdownMatrix> {
+    static MX: OnceLock<Arc<SlowdownMatrix>> = OnceLock::new();
+    Arc::clone(MX.get_or_init(|| {
+        let stats = DatasetStats::new(tiny());
+        Arc::new(SlowdownMatrix::from_stats(&stats))
+    }))
+}
+
+#[test]
+fn matrix_is_bit_identical_to_dataset_stats_lookups() {
+    let ds = tiny();
+    let stats = DatasetStats::new(ds);
+    let matrix = tiny_matrix();
+    assert_eq!(matrix.num_cells(), stats.num_cells());
+    for cell in 0..stats.num_cells() {
+        for cfg in 0..NUM_CONFIGS {
+            let direct = stats.slowdown_vs_oracle(cell, OptConfig::from_index(cfg));
+            assert_eq!(
+                matrix.ratio(cfg, cell).to_bits(),
+                direct.to_bits(),
+                "cell {cell} cfg {cfg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_scorer_matches_the_naive_oracle_on_every_singleton() {
+    let ds = tiny();
+    let stats = DatasetStats::new(ds);
+    let matrix = tiny_matrix();
+    let mut scorer = gpp::core::portfolio::PortfolioScorer::new(&matrix);
+    for objective in [Objective::Geomean, Objective::Worst] {
+        for cfg in 0..NUM_CONFIGS {
+            let fast = scorer.score(&[cfg], objective);
+            let slow = score_portfolio_naive(&stats, &[cfg], objective);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "cfg {cfg}");
+        }
+    }
+}
+
+#[test]
+fn full_curve_serialises_byte_identically_at_any_thread_count() {
+    let matrix = tiny_matrix();
+    let params = SearchParams {
+        objective: Objective::Geomean,
+        k_max: 6,
+        exact_k_max: 2,
+        beam_width: 16,
+        threads: 1,
+    };
+    let serial = search_curve(&matrix, &params);
+    let json = serde_json::to_string(&serial).expect("serialise curve");
+    for threads in [2, 4, 8] {
+        let par = search_curve(
+            &matrix,
+            &SearchParams {
+                threads,
+                ..params
+            },
+        );
+        assert_eq!(serial, par, "threads={threads}");
+        assert_eq!(
+            json,
+            serde_json::to_string(&par).unwrap(),
+            "curve bytes @ {threads} threads"
+        );
+    }
+}
+
+/// Every k-subset of `allowed` (by position), lexicographic order.
+fn k_subsets(m: usize, k: usize) -> Vec<Vec<usize>> {
+    if k == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for first in 0..m {
+        for mut tail in k_subsets(m, k - 1) {
+            if tail.iter().all(|&p| p > first) {
+                let mut set = vec![first];
+                set.append(&mut tail);
+                out.push(set);
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic counterpart of the brute-force property below: fixed
+/// subsampled grids, every k <= 3, both objectives, several thread
+/// counts. Runs even where proptest is unavailable.
+#[test]
+fn exact_search_matches_brute_force_on_fixed_grids() {
+    let matrix = tiny_matrix();
+    let grids: [Vec<usize>; 3] = [
+        (0..NUM_CONFIGS).step_by(11).collect(),
+        vec![0, 1, 2, 3, 92, 93, 94, 95],
+        (5..NUM_CONFIGS).step_by(17).collect(),
+    ];
+    let mut scorer = gpp::core::portfolio::PortfolioScorer::new(&matrix);
+    for allowed in &grids {
+        for objective in [Objective::Geomean, Objective::Worst] {
+            for k in 1..=3usize.min(allowed.len()) {
+                let brute = k_subsets(allowed.len(), k)
+                    .into_iter()
+                    .map(|set| {
+                        let configs: Vec<usize> = set.iter().map(|&p| allowed[p]).collect();
+                        scorer.score(&configs, objective)
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                for threads in [1, 2, 4] {
+                    let outcome = exact_search(&matrix, allowed, k, objective, threads);
+                    assert_eq!(
+                        outcome.slowdown.to_bits(),
+                        brute.to_bits(),
+                        "k={k} objective={objective:?} threads={threads} allowed={allowed:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic counterpart of the thread-invariance property below.
+#[test]
+fn subsampled_curve_is_thread_invariant_on_a_fixed_grid() {
+    let matrix = tiny_matrix();
+    let allowed: Vec<usize> = (0..NUM_CONFIGS).step_by(7).collect();
+    let params = SearchParams {
+        objective: Objective::Worst,
+        k_max: 5,
+        exact_k_max: 2,
+        beam_width: 8,
+        threads: 1,
+    };
+    let serial = search_curve_over(&matrix, &allowed, &params);
+    for threads in [2, 3, 8] {
+        let par = search_curve_over(&matrix, &allowed, &SearchParams { threads, ..params });
+        assert_eq!(serial, par, "threads={threads}");
+    }
+}
+
+/// A strictly ascending random subset of the 96 configuration indices
+/// (sorted and deduplicated, so it is never empty).
+fn arb_allowed() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..NUM_CONFIGS, 3..10).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Branch-and-bound exact search equals brute-force enumeration for
+    /// k <= 3 over arbitrary subsampled configuration grids, for both
+    /// objectives and any thread count.
+    #[test]
+    fn exact_search_matches_brute_force(
+        allowed in arb_allowed(),
+        worst in proptest::bool::ANY,
+        threads in 1usize..5,
+    ) {
+        let objective = if worst { Objective::Worst } else { Objective::Geomean };
+        let matrix = tiny_matrix();
+        let mut scorer = gpp::core::portfolio::PortfolioScorer::new(&matrix);
+        for k in 1..=3usize.min(allowed.len()) {
+            let outcome = exact_search(&matrix, &allowed, k, objective, threads);
+            let brute = k_subsets(allowed.len(), k)
+                .into_iter()
+                .map(|set| {
+                    let configs: Vec<usize> = set.iter().map(|&p| allowed[p]).collect();
+                    scorer.score(&configs, objective)
+                })
+                .fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(
+                outcome.slowdown.to_bits(),
+                brute.to_bits(),
+                "k={} objective={:?} allowed={:?}",
+                k,
+                objective,
+                allowed
+            );
+            let mut rescore = gpp::core::portfolio::PortfolioScorer::new(&matrix);
+            prop_assert_eq!(
+                rescore.score(&outcome.configs, objective).to_bits(),
+                outcome.slowdown.to_bits()
+            );
+        }
+    }
+
+    /// The curve over a subsampled grid is invariant in the thread
+    /// count — struct equality covers values, configurations, and the
+    /// pruning counters.
+    #[test]
+    fn subsampled_curve_is_thread_invariant(
+        allowed in arb_allowed(),
+        threads in 2usize..6,
+    ) {
+        let matrix = tiny_matrix();
+        let params = SearchParams {
+            objective: Objective::Geomean,
+            k_max: allowed.len().min(5),
+            exact_k_max: 2,
+            beam_width: 8,
+            threads: 1,
+        };
+        let serial = search_curve_over(&matrix, &allowed, &params);
+        let par = search_curve_over(
+            &matrix,
+            &allowed,
+            &SearchParams { threads, ..params },
+        );
+        prop_assert_eq!(serial, par);
+    }
+}
